@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_fig*`` file regenerates one of the paper's figures (as a
+behaviour/artifact — the paper has no numeric tables); each
+``test_claim_*`` file measures one of the Section-6 qualitative claims.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Printed tables appear with ``-s``.
+"""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.slimpad.app import SlimPadApplication
+from repro.workloads.icu import generate_icu
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """A standard census shared within a bench module."""
+    return generate_icu(num_patients=4, seed=2001)
+
+
+@pytest.fixture(scope="module")
+def manager(dataset):
+    return standard_mark_manager(dataset.library)
+
+
+@pytest.fixture()
+def slimpad(manager):
+    app = SlimPadApplication(manager)
+    app.new_pad("Bench")
+    return app
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* exactly once under the benchmark fixture.
+
+    Report-style benches (artifact checks, self-timing summaries) still
+    need to run under ``--benchmark-only``; pedantic mode with one round
+    records them without repeating side-effectful bodies.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_table(title, headers, rows):
+    """A small fixed-width table printer for bench reports."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(headers)]
+    print(f"\n== {title} ==")
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

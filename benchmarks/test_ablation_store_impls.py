@@ -1,0 +1,92 @@
+"""Ablation — alternative SLIM Store implementation mechanisms.
+
+Section 6: *"some data sets are quite large and we are developing
+alternative implementation mechanisms."*  Compares the reference
+:class:`TripleStore` with the dictionary-encoded
+:class:`InternedTripleStore` on space and on the core operations, over
+repetitive pad-shaped data (where interning pays) — the design-choice
+ablation DESIGN.md calls out.
+"""
+
+import pytest
+
+from repro.triples.interned import InternedTripleStore
+from repro.triples.store import TripleStore
+from repro.triples.triple import Resource
+from repro.workloads.generator import random_triples
+
+from benchmarks.conftest import print_table, run_once
+
+SIZE = 20000
+
+
+@pytest.fixture(scope="module")
+def items():
+    return random_triples(SIZE, num_subjects=500, num_properties=12)
+
+
+def test_ablation_space_comparison(benchmark, items):
+    def measure():
+        plain, interned = TripleStore(), InternedTripleStore()
+        plain.add_all(items)
+        interned.add_all(items)
+        return plain.estimated_bytes(), interned.estimated_bytes()
+
+    plain_bytes, interned_bytes = run_once(benchmark, measure)
+    print_table("Ablation — store footprint at 20k statements",
+                ["implementation", "bytes", "vs plain"],
+                [("TripleStore (reference)", f"{plain_bytes:,}", "1.00x"),
+                 ("InternedTripleStore",
+                  f"{interned_bytes:,}",
+                  f"{interned_bytes / plain_bytes:.2f}x")])
+    assert interned_bytes < plain_bytes
+
+
+def test_ablation_plain_load(benchmark, items):
+    def load():
+        store = TripleStore()
+        store.add_all(items)
+        return store
+
+    assert len(benchmark(load)) <= SIZE
+
+
+def test_ablation_interned_load(benchmark, items):
+    def load():
+        store = InternedTripleStore()
+        store.add_all(items)
+        return store
+
+    assert len(benchmark(load)) <= SIZE
+
+
+def test_ablation_plain_match(benchmark, items):
+    store = TripleStore()
+    store.add_all(items)
+    prop = Resource("slim:p5")
+    hits = benchmark(lambda: list(store.match(property=prop)))
+    assert hits
+
+
+def test_ablation_interned_match(benchmark, items):
+    store = InternedTripleStore()
+    store.add_all(items)
+    prop = Resource("slim:p5")
+    hits = benchmark(lambda: list(store.match(property=prop)))
+    assert hits
+
+
+def test_ablation_results_identical(benchmark, items):
+    """Whatever the mechanism, the store answers identically."""
+    plain, interned = TripleStore(), InternedTripleStore()
+    plain.add_all(items)
+    interned.add_all(items)
+
+    def compare_all():
+        for prop_index in range(12):
+            prop = Resource(f"slim:p{prop_index}")
+            assert set(plain.match(property=prop)) == \
+                set(interned.match(property=prop))
+        return True
+
+    assert run_once(benchmark, compare_all)

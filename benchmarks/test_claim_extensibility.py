@@ -1,0 +1,167 @@
+"""Claim C-4 (Sections 4.2, 6) — Mark Manager extensibility.
+
+*"new kinds of base information have been introduced without disturbing
+existing superimposed applications"* and *"the amount of modification to
+a base application is small, plus the interface of marks to the rest of
+the system remains fixed."*
+
+Measures: (a) a brand-new mark type registered at runtime while existing
+marks keep resolving; (b) a second resolution behaviour added for an
+existing mark type without touching the marks (the Monikers contrast —
+a moniker needs a *new address object* for a new behaviour).
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.base import standard_mark_manager
+from repro.base.application import BaseApplication, BaseDocument
+from repro.baselines.monikers import MonikerFactory
+from repro.errors import AddressError, MarkResolutionError
+from repro.marks.mark import Mark
+from repro.marks.modules import ROLE_EXTRACTOR, MarkModule, Resolution
+
+from benchmarks.conftest import print_table, run_once
+
+
+# -- a minimal new base type defined entirely here ---------------------------
+
+class LogDocument(BaseDocument):
+    kind = "log"
+
+    def __init__(self, name, lines):
+        super().__init__(name)
+        self.lines = list(lines)
+
+    def estimated_bytes(self):
+        return sum(len(line) for line in self.lines)
+
+
+class LogApp(BaseApplication):
+    kind = "log"
+
+    def select_line(self, index):
+        document = self.require_document()
+        if index < 1 or index > len(document.lines):
+            raise AddressError(f"no line {index}")
+        self._set_selection((document.name, index))
+        return self.selection
+
+    def navigate_to(self, address):
+        name, index = address
+        self.open_document(name)
+        if index < 1 or index > len(self.current_document.lines):
+            raise AddressError(f"no line {index}")
+        self._set_selection(address)
+        self._set_highlight(address)
+        return self.current_document.lines[index - 1]
+
+
+@dataclass(frozen=True)
+class LogMark(Mark):
+    file_name: str = ""
+    line: int = 1
+    mark_type: ClassVar[str] = "log"
+
+
+class LogMarkModule(MarkModule):
+    mark_class = LogMark
+    application_kind = "log"
+
+    def create_from_selection(self, app, mark_id):
+        name, index = app.current_selection_address()
+        return LogMark(mark_id, file_name=name, line=index)
+
+    def resolve(self, mark, app):
+        self.check_mark(mark)
+        try:
+            content = app.navigate_to((mark.file_name, mark.line))
+        except AddressError as exc:
+            raise MarkResolutionError(str(exc)) from exc
+        return Resolution(mark=mark, application_kind="log",
+                          document_name=mark.file_name,
+                          address=f"{mark.file_name}:{mark.line}",
+                          content=content)
+
+
+def test_c4_runtime_extension_without_disturbance(benchmark, dataset):
+    """Add the log type at runtime; existing marks keep resolving."""
+    manager = standard_mark_manager(dataset.library)
+    excel = manager.application("spreadsheet")
+    excel.open_workbook(dataset.patients[0].meds_file)
+    excel.select_range("A2:D2")
+    existing = manager.create_mark(excel)
+    types_before = list(manager.supported_mark_types())
+
+    def extend_at_runtime():
+        if "vent.log" not in dataset.library:
+            dataset.library.add(LogDocument("vent.log",
+                                            ["FiO2 0.4", "PEEP 5", "RR 18"]))
+        manager.register_application(LogApp(dataset.library))
+        manager.register_module(LogMarkModule())
+        log_app = manager.application("log")
+        log_app.open_document("vent.log")
+        log_app.select_line(2)
+        return manager.create_mark(log_app)
+
+    new_mark = run_once(benchmark, extend_at_runtime)
+
+    rows = [
+        ("mark types before", ", ".join(types_before)),
+        ("mark types after", ", ".join(manager.supported_mark_types())),
+        ("existing mark still resolves",
+         str(manager.resolvable(existing.mark_id))),
+        ("new mark resolves",
+         manager.resolve(new_mark.mark_id).content),
+        ("components touched", "1 app + 1 module (registered, not edited)"),
+    ]
+    print_table("C-4 — runtime extensibility", ["check", "result"], rows)
+
+    assert manager.resolve(existing.mark_id).content_text()
+    assert manager.resolve(new_mark.mark_id).content == "PEEP 5"
+
+
+def test_c4_new_behaviour_same_marks_vs_monikers(benchmark, dataset):
+    """Mark-Manager marks take a second behaviour with zero mark churn;
+    monikers require new address objects per behaviour."""
+    manager = standard_mark_manager(dataset.library)
+    excel = manager.application("spreadsheet")
+    excel.open_workbook(dataset.patients[0].meds_file)
+    marks = []
+    for row in range(2, 5):
+        excel.select_range(f"A{row}:D{row}")
+        marks.append(manager.create_mark(excel))
+
+    # New behaviour (extractor) on the SAME marks: 0 new address objects.
+    extracted = run_once(benchmark, lambda: [
+        manager.resolve(m.mark_id, role=ROLE_EXTRACTOR) for m in marks])
+
+    # Monikers: one address object per (element, behaviour) pair.
+    factory = MonikerFactory()
+    viewer_monikers = [factory.excel_range_viewer(
+        dataset.patients[0].meds_file, "Current", f"A{row}:D{row}")
+        for row in range(2, 5)]
+    text_monikers = [factory.excel_range_as_text(
+        dataset.patients[0].meds_file, "Current", f"A{row}:D{row}")
+        for row in range(2, 5)]
+
+    print_table("C-4 — second behaviour: address objects needed",
+                ["design", "elements", "behaviours", "address objects"],
+                [("Mark Manager (paper)", 3, 2, len(marks)),
+                 ("Monikers", 3, 2,
+                  len(viewer_monikers) + len(text_monikers))])
+    assert len(marks) == 3
+    assert len(viewer_monikers) + len(text_monikers) == 6
+    assert all(r.content for r in extracted)
+
+
+def test_c4_extension_registration_cost(benchmark, dataset):
+    """Registering a new module is O(1) regardless of existing marks."""
+    def register_fresh():
+        manager = standard_mark_manager(dataset.library)
+        manager.register_application(LogApp(dataset.library))
+        manager.register_module(LogMarkModule())
+        return manager
+
+    manager = benchmark(register_fresh)
+    assert "log" in manager.supported_mark_types()

@@ -1,0 +1,172 @@
+"""Claim C-2 (Section 6) — the cost of interpreting SLIM Store operations.
+
+*"… and the cost of interpreting manipulations on SLIM Store data.
+However, this tradeoff seems justified, as we expect the volume of
+superimposed information to be a fraction of the base data."*
+
+Measures the same operations through the triple-backed DMI and through
+the schema-first native store, plus the index ablation (DESIGN.md):
+TRIM's indexed selection vs a full scan.  Expectation (shape): the DMI
+pays an interpretation factor but stays cheap in absolute terms; the
+index turns selection from O(store) into O(result).
+"""
+
+import time
+
+from repro.slimpad.dmi import SlimPadDMI
+from repro.baselines.schema_first import SchemaFirstStore
+from repro.triples.triple import Resource
+from repro.util.coordinates import Coordinate
+from repro.workloads.generator import populate_store
+
+from benchmarks.conftest import print_table, run_once
+
+
+def test_c2_create_via_dmi(benchmark):
+    dmi = SlimPadDMI()
+    benchmark(lambda: dmi.Create_Scrap(scrapName="s",
+                                       scrapPos=Coordinate(1, 2)))
+
+
+def test_c2_create_native(benchmark):
+    store = SchemaFirstStore()
+    benchmark(lambda: store.create_scrap("s", Coordinate(1, 2)))
+
+
+def test_c2_update_via_dmi(benchmark):
+    dmi = SlimPadDMI()
+    scrap = dmi.Create_Scrap(scrapName="s")
+    benchmark(lambda: dmi.Update_scrapName(scrap, "renamed"))
+
+
+def test_c2_update_native(benchmark):
+    store = SchemaFirstStore()
+    scrap = store.create_scrap("s")
+    benchmark(lambda: store.update(scrap, "name", "renamed"))
+
+
+def test_c2_read_via_dmi(benchmark):
+    dmi = SlimPadDMI()
+    scrap = dmi.Create_Scrap(scrapName="s")
+    assert benchmark(lambda: scrap.scrapName) == "s"
+
+
+def test_c2_read_native(benchmark):
+    store = SchemaFirstStore()
+    scrap = store.create_scrap("s")
+    assert benchmark(lambda: scrap.name) == "s"
+
+
+def test_c2_interpretation_factor_summary(benchmark):
+    """The headline numbers, measured directly and printed."""
+    iterations = 2000
+
+    def measure():
+        dmi = SlimPadDMI()
+        native = SchemaFirstStore()
+        start = time.perf_counter()
+        dmi_scraps = [dmi.Create_Scrap(scrapName=f"s{i}")
+                      for i in range(iterations)]
+        dmi_create = time.perf_counter() - start
+
+        start = time.perf_counter()
+        native_scraps = [native.create_scrap(f"s{i}")
+                         for i in range(iterations)]
+        native_create = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for scrap in dmi_scraps:
+            dmi.Update_scrapName(scrap, "x")
+        dmi_update = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for scrap in native_scraps:
+            native.update(scrap, "name", "x")
+        native_update = time.perf_counter() - start
+        return dmi_create, native_create, dmi_update, native_update
+
+    dmi_create, native_create, dmi_update, native_update = \
+        run_once(benchmark, measure)
+
+    rows = [
+        ("create", f"{dmi_create / iterations * 1e6:7.1f}",
+         f"{native_create / iterations * 1e6:7.1f}",
+         f"{dmi_create / native_create:5.1f}x"),
+        ("update", f"{dmi_update / iterations * 1e6:7.1f}",
+         f"{native_update / iterations * 1e6:7.1f}",
+         f"{dmi_update / native_update:5.1f}x"),
+    ]
+    print_table("C-2 — interpretation cost (DMI-over-triples vs native)",
+                ["op", "DMI us/op", "native us/op", "factor"], rows)
+
+    # Shape: the DMI is slower (interpretation is real) but each op stays
+    # well under a millisecond (lightweight, justified by C-3).
+    assert dmi_create > native_create
+    assert dmi_create / iterations < 1e-3
+
+
+def test_c2_indexed_selection(benchmark):
+    """Ablation: TRIM's indexed match."""
+    store = populate_store(20000)
+    prop = Resource("slim:p5")
+    hits = benchmark(lambda: store.select(property=prop))
+    assert hits
+
+
+def test_c2_scan_selection(benchmark):
+    """Ablation counterpart: the same selection as a full scan."""
+    store = populate_store(20000)
+    prop = Resource("slim:p5")
+
+    def scan():
+        return [t for t in store if t.property == prop]
+
+    hits = benchmark(scan)
+    assert hits
+
+
+def test_c2_index_ablation_summary(benchmark):
+    """Indexed vs scan selection, broad and narrow, with speedups.
+
+    A property selection returns ~1/12 of the store (broad); a subject
+    selection returns ~40 triples of 20k (narrow) — where the index
+    pays hardest.
+    """
+    store = populate_store(20000)
+    prop = Resource("slim:p5")
+    subject = Resource("subject-0042")
+    repeat = 50
+
+    def timed(fn):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            result = fn()
+        return result, time.perf_counter() - start
+
+    def measure():
+        broad_indexed, broad_indexed_s = timed(
+            lambda: store.select(property=prop))
+        broad_scan, broad_scan_s = timed(
+            lambda: [t for t in store if t.property == prop])
+        narrow_indexed, narrow_indexed_s = timed(
+            lambda: store.select(subject=subject))
+        narrow_scan, narrow_scan_s = timed(
+            lambda: [t for t in store if t.subject == subject])
+        assert set(broad_indexed) == set(broad_scan)
+        assert set(narrow_indexed) == set(narrow_scan)
+        return (broad_indexed_s, broad_scan_s,
+                narrow_indexed_s, narrow_scan_s, len(narrow_indexed))
+
+    (broad_indexed_s, broad_scan_s, narrow_indexed_s, narrow_scan_s,
+     narrow_hits) = run_once(benchmark, measure)
+    print_table(
+        "C-2 ablation — indexed vs scan selection (20k triples)",
+        ["selection", "indexed ms", "scan ms", "speedup"],
+        [("broad (by property, ~8%)", f"{broad_indexed_s * 1e3:.1f}",
+          f"{broad_scan_s * 1e3:.1f}",
+          f"{broad_scan_s / broad_indexed_s:.1f}x"),
+         (f"narrow (by subject, {narrow_hits} hits)",
+          f"{narrow_indexed_s * 1e3:.1f}", f"{narrow_scan_s * 1e3:.1f}",
+          f"{narrow_scan_s / narrow_indexed_s:.0f}x")])
+    assert broad_indexed_s < broad_scan_s
+    assert narrow_indexed_s * 10 < narrow_scan_s

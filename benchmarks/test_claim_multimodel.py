@@ -1,0 +1,138 @@
+"""Claim C-5 (Section 4.3) — one representation, many superimposed models.
+
+*"we can describe superimposed information from various models uniformly
+using RDF triples … We can leverage the generic representation directly,
+by defining mappings between superimposed models."*
+
+Builds three different superimposed models (Bundle-Scrap, a flat
+annotation model, a topic-map-like model) in ONE store, populates each,
+and applies a schema-to-schema mapping — benchmarking definition,
+population, and mapping application.
+"""
+
+from repro.metamodel.instance import InstanceSpace
+from repro.metamodel.mapping import ModelMapping, SchemaMapping
+from repro.metamodel.model import ModelDefinition, list_models
+from repro.metamodel.rdfs import model_as_rdfs
+from repro.metamodel.schema import SchemaDefinition
+from repro.triples.store import TripleStore
+from repro.triples.trim import TrimManager
+
+from benchmarks.conftest import print_table
+
+
+def define_three_models(trim):
+    bundle_scrap = ModelDefinition.define(trim, "BundleScrap")
+    bundle = bundle_scrap.add_construct("Bundle")
+    scrap = bundle_scrap.add_construct("Scrap")
+    bundle_scrap.add_literal_construct("bundleName")
+    bundle_scrap.add_connector("bundleContent", bundle, scrap)
+
+    annotation = ModelDefinition.define(trim, "Annotation")
+    note = annotation.add_construct("Note")
+    anchor = annotation.add_mark_construct("Anchor")
+    annotation.add_literal_construct("noteText")
+    annotation.add_connector("noteAnchor", note, anchor, min_card=1,
+                             max_card=1)
+
+    topic_map = ModelDefinition.define(trim, "TopicMap")
+    topic = topic_map.add_construct("Topic")
+    occurrence = topic_map.add_construct("Occurrence")
+    topic_map.add_literal_construct("topicName")
+    topic_map.add_connector("occurrenceOf", topic, occurrence)
+    return bundle_scrap, annotation, topic_map
+
+
+def test_c5_three_models_one_store(benchmark):
+    def define_all():
+        trim = TrimManager()
+        define_three_models(trim)
+        return trim
+
+    trim = benchmark(define_all)
+    models = list_models(trim)
+    rows = [(m.name, len(m.constructs()), len(m.connectors()))
+            for m in models]
+    print_table("C-5 — three superimposed models in one store",
+                ["model", "constructs", "connectors"], rows)
+    assert {m.name for m in models} == {"BundleScrap", "Annotation",
+                                        "TopicMap"}
+
+
+def test_c5_population_across_models(benchmark):
+    trim = TrimManager()
+    bundle_scrap, annotation, _topic_map = define_three_models(trim)
+    rounds = SchemaDefinition.define(trim, "Rounds", model=bundle_scrap)
+    bundle_el = rounds.add_element("PatientBundle",
+                                   conforms_to=bundle_scrap.construct("Bundle"))
+    notes = SchemaDefinition.define(trim, "Notes", model=annotation)
+    note_el = notes.add_element("ClinicalNote",
+                                conforms_to=annotation.construct("Note"))
+    space = InstanceSpace(trim)
+
+    def populate():
+        bundle = space.create(conforms_to=bundle_el)
+        space.set_value(bundle,
+                        bundle_scrap.construct("bundleName").resource, "x")
+        note = space.create(conforms_to=note_el)
+        space.set_value(note,
+                        annotation.construct("noteText").resource, "y")
+        return bundle, note
+
+    bundle, note = benchmark(populate)
+    assert space.conformance_of(bundle) == bundle_el.resource
+    assert space.conformance_of(note) == note_el.resource
+
+
+def test_c5_schema_to_schema_mapping(benchmark):
+    trim = TrimManager()
+    bundle_scrap, _annotation, topic_map = define_three_models(trim)
+    rounds = SchemaDefinition.define(trim, "Rounds", model=bundle_scrap)
+    bundle_el = rounds.add_element("PatientBundle",
+                                   conforms_to=bundle_scrap.construct("Bundle"))
+    scrap_el = rounds.add_element("LabScrap",
+                                  conforms_to=bundle_scrap.construct("Scrap"))
+    topics = SchemaDefinition.define(trim, "Topics", model=topic_map)
+    topics.add_element("PatientTopic",
+                       conforms_to=topic_map.construct("Topic"))
+    topics.add_element("LabOccurrence",
+                       conforms_to=topic_map.construct("Occurrence"))
+
+    model_mapping = ModelMapping(trim, bundle_scrap, topic_map)
+    model_mapping.map_construct("Bundle", "Topic")
+    model_mapping.map_construct("Scrap", "Occurrence")
+    model_mapping.map_construct("bundleName", "topicName")
+    model_mapping.map_connector("bundleContent", "occurrenceOf")
+    mapping = SchemaMapping(trim, rounds, topics, model_mapping)
+    mapping.map_element("PatientBundle", "PatientTopic")
+    mapping.map_element("LabScrap", "LabOccurrence")
+
+    space = InstanceSpace(trim)
+    for _ in range(50):
+        bundle = space.create(conforms_to=bundle_el)
+        space.set_value(bundle,
+                        bundle_scrap.construct("bundleName").resource, "p")
+        scrap = space.create(conforms_to=scrap_el)
+        space.link(bundle,
+                   bundle_scrap.connector("bundleContent").resource, scrap)
+
+    def apply_mapping():
+        return mapping.apply(target_store=TripleStore())
+
+    report = benchmark(apply_mapping)
+    assert report.complete
+    # 4 triples per bundle (type, conformsTo, name, link) + 2 per scrap.
+    assert report.rewritten == 50 * 4 + 50 * 2
+
+    print_table("C-5 — schema-to-schema mapping",
+                ["instances", "triples rewritten", "complete"],
+                [(100, report.rewritten, report.complete)])
+
+
+def test_c5_rdfs_rendering(benchmark):
+    """The interoperability surface: any model rendered as RDF Schema."""
+    trim = TrimManager()
+    bundle_scrap, _a, _t = define_three_models(trim)
+
+    store = benchmark(lambda: model_as_rdfs(bundle_scrap))
+    assert len(store) > 10

@@ -1,0 +1,125 @@
+"""Claim C-6 (Section 3) — linked redundancy avoids transcription error.
+
+*"Redundancy is a problem, however, if it introduces errors during
+transcription. Thus we decided to link information elements that come
+from digital sources to their location in those sources, to minimize
+inconsistency. Using these links, we can re-establish context for a
+selected item, and navigate to nearby information."*
+
+Measures staleness after base-layer edits: marked scraps re-read the
+current value on every resolution; transcribed copies drift.  Also
+benchmarks re-resolution cost (the price of freshness) and context
+re-establishment.
+"""
+
+import random
+
+from repro.base import standard_mark_manager
+from repro.marks.behaviors import extract_content
+from repro.slimpad.app import SlimPadApplication
+from repro.util.coordinates import Coordinate
+from repro.workloads.icu import generate_icu
+
+from benchmarks.conftest import print_table, run_once
+
+
+def build_linked_and_transcribed(dataset, manager, slimpad):
+    """For every patient's K result: one marked scrap + one copied note."""
+    pairs = []
+    xml = manager.application("xml")
+    for i, patient in enumerate(dataset.patients):
+        document = xml.open_document(patient.labs_file)
+        k_result = [e for e in document.root.find_all("result")
+                    if e.attributes["test"] == "K"][0]
+        xml.select_element(k_result)
+        linked = slimpad.create_scrap_from_selection(
+            xml, label=f"K {k_result.text}", pos=Coordinate(10, 10 + i * 30))
+        copied = slimpad.create_note_scrap(
+            f"K {k_result.text}", Coordinate(150, 10 + i * 30))
+        pairs.append((patient, k_result, linked, copied))
+    return pairs
+
+
+def test_c6_staleness_after_base_edits(benchmark, dataset):
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Redundancy")
+    pairs = build_linked_and_transcribed(dataset, manager, slimpad)
+
+    # New lab values arrive in the base layer for every patient.
+    rng = random.Random(99)
+    for _patient, k_result, _linked, _copied in pairs:
+        k_result.text = str(round(rng.uniform(3.0, 5.4), 1))
+
+    def assess():
+        rows = []
+        stale = 0
+        fresh = 0
+        for patient, k_result, linked, copied in pairs:
+            current = slimpad.double_click(linked).content
+            linked_fresh = current == k_result.text
+            copy_fresh = copied.scrapName == f"K {k_result.text}"
+            fresh += linked_fresh
+            stale += not copy_fresh
+            rows.append((patient.name, k_result.text,
+                         "fresh" if linked_fresh else "STALE",
+                         "fresh" if copy_fresh else "stale"))
+        return rows, fresh, stale
+
+    rows, fresh_links, stale_copies = run_once(benchmark, assess)
+    print_table("C-6 — after base edits: linked scraps vs transcribed copies",
+                ["patient", "current K", "linked scrap", "copied note"],
+                rows)
+
+    assert fresh_links == len(pairs)       # every link re-reads correctly
+    assert stale_copies == len(pairs)      # every copy went stale
+
+
+def test_c6_reresolution_cost(benchmark, dataset):
+    """The price of freshness: re-resolving a scrap's mark."""
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Redundancy")
+    pairs = build_linked_and_transcribed(dataset, manager, slimpad)
+    linked = pairs[0][2]
+
+    resolution = benchmark(lambda: slimpad.double_click(linked))
+    assert resolution.content
+
+
+def test_c6_context_reestablishment(benchmark, dataset):
+    """Links also navigate to nearby information (the panel around K)."""
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Context")
+    pairs = build_linked_and_transcribed(dataset, manager, slimpad)
+    _patient, k_result, linked, _copied = pairs[0]
+
+    resolution = run_once(benchmark, lambda: slimpad.double_click(linked))
+    # The base window now shows the whole report; the K element is
+    # highlighted and its siblings (the rest of the panel) are adjacent.
+    xml = manager.application("xml")
+    highlighted = xml.element_at(resolution.mark.to_address())
+    panel = highlighted.parent
+    siblings = [e.attributes["test"] for e in panel.children]
+    print(f"\ncontext around K: panel {panel.attributes['name']!r} "
+          f"with {siblings}")
+    assert "Na" in siblings and "Cr" in siblings
+
+
+def test_c6_extract_content_refresh_sweep(benchmark, dataset):
+    """Refreshing every linked value on a pad (a 'refresh' feature a
+    SLIMPad deployment would run before rounds)."""
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Refresh")
+    build_linked_and_transcribed(dataset, manager, slimpad)
+    marked = [s for s in slimpad.scraps_in(slimpad.root_bundle)
+              if s.scrapMark]
+
+    def refresh_all():
+        return [extract_content(manager, s.scrapMark[0].markId).content
+                for s in marked]
+
+    values = benchmark(refresh_all)
+    assert len(values) == len(marked)

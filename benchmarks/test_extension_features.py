@@ -1,0 +1,83 @@
+"""Benches for the Section-6 extension features built beyond the core.
+
+Not tied to one figure — these measure the features the paper lists as
+contemplated/current work, all implemented in this reproduction:
+annotations, templates, the hand-off report, pad search, and cross-pad
+bundle exchange.
+"""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.slimpad.app import SlimPadApplication
+from repro.slimpad.handoff import build_handoff
+from repro.slimpad.search import search_pad
+from repro.slimpad.sharing import export_bundle, import_bundle
+from repro.slimpad.templates import BundleTemplate
+from repro.workloads.icu import generate_icu
+from repro.workloads.rounds import build_rounds_worksheet
+
+from benchmarks.conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def worksheet():
+    dataset = generate_icu(num_patients=4, seed=2001)
+    slimpad, rows = build_rounds_worksheet(dataset)
+    return dataset, slimpad, rows
+
+
+def test_ext_handoff_report(benchmark, worksheet):
+    """Building the weekend hand-off over a 4-patient worksheet."""
+    dataset, slimpad, _rows = worksheet
+    report = benchmark(lambda: build_handoff(slimpad))
+    assert len(report.patients) == 4
+    rows = [(p.patient, len(p.items), len(p.todos), len(p.broken))
+            for p in report.patients]
+    print_table("Hand-off report contents",
+                ["patient", "items", "to-dos", "broken"], rows)
+
+
+def test_ext_search_labels(benchmark, worksheet):
+    """Label search across the whole worksheet."""
+    _dataset, slimpad, _rows = worksheet
+    hits = benchmark(lambda: search_pad(slimpad, "K "))
+    assert hits  # the K lab scrap of every patient
+
+
+def test_ext_search_content(benchmark, worksheet):
+    """Content search: resolving every mark on the pad."""
+    _dataset, slimpad, _rows = worksheet
+    hits = benchmark(lambda: search_pad(slimpad, "IV", in_content=True))
+    assert hits  # the IV medications
+
+
+def test_ext_template_instantiation(benchmark, worksheet):
+    """Capturing a patient row and stamping a fresh one."""
+    _dataset, slimpad, rows = worksheet
+    template = BundleTemplate.capture(rows[0].bundle)
+
+    def stamp():
+        return template.instantiate(slimpad.dmi, slimpad.root_bundle,
+                                    name="stamped")
+
+    bundle = benchmark(stamp)
+    assert len(slimpad.scraps_in(bundle, recursive=True)) == \
+        template.slot_count()
+
+
+def test_ext_bundle_exchange(benchmark, worksheet):
+    """Export one patient row and import it into a fresh pad."""
+    dataset, slimpad, rows = worksheet
+    parcel = export_bundle(slimpad, rows[0].bundle)
+
+    def round_trip():
+        receiver = SlimPadApplication(standard_mark_manager(dataset.library))
+        receiver.new_pad("Receiver")
+        return import_bundle(receiver, parcel), receiver
+
+    imported, receiver = benchmark(round_trip)
+    assert imported.bundleName == rows[0].bundle.bundleName
+    # Imported marks resolve on the receiving side.
+    lab = imported.nestedBundle[2].bundleContent[0]
+    assert receiver.double_click(lab).content_text()

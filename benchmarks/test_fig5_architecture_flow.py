@@ -1,0 +1,85 @@
+"""Fig. 5 — the architecture overview.
+
+Regenerates the figure as a measured flow: one user action (select in a
+base app → create mark → create scrap → later de-reference) crossing
+every box — superimposed application, superimposed information
+management (DMI → TRIM → triples), mark management, base application.
+The per-layer latency breakdown is the printed table.
+"""
+
+import time
+
+from repro.base import standard_mark_manager
+from repro.slimpad.app import SlimPadApplication
+from repro.util.coordinates import Coordinate
+from repro.workloads.icu import generate_icu
+
+from benchmarks.conftest import print_table, run_once
+
+
+def test_fig5_full_stack_flow(benchmark, dataset):
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Flow")
+    excel = manager.application("spreadsheet")
+    excel.open_workbook(dataset.patients[0].meds_file)
+    counter = {"n": 0}
+
+    def one_flow():
+        counter["n"] += 1
+        excel.select_range("A2:D2")                     # base application
+        mark = manager.create_mark(excel)               # mark management
+        scrap = slimpad.create_scrap_from_mark(         # superimposed app
+            mark, label=f"med {counter['n']}",          # + SI management
+            pos=Coordinate(10, 10 * counter["n"]))
+        return slimpad.double_click(scrap)              # back down the stack
+
+    resolution = benchmark(one_flow)
+    assert resolution.content == [[dataset.patients[0].medications[0][0],
+                                   dataset.patients[0].medications[0][1],
+                                   dataset.patients[0].medications[0][2],
+                                   dataset.patients[0].medications[0][3]]]
+
+
+def test_fig5_per_layer_breakdown(benchmark, dataset):
+    """Where the time goes, layer by layer (timed once, printed)."""
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Flow")
+    excel = manager.application("spreadsheet")
+    excel.open_workbook(dataset.patients[0].meds_file)
+    iterations = 300
+
+    def breakdown():
+        timings = {}
+        start = time.perf_counter()
+        for _ in range(iterations):
+            excel.select_range("A2:D2")
+        timings["base app: select"] = time.perf_counter() - start
+
+        excel.select_range("A2:D2")
+        start = time.perf_counter()
+        marks = [manager.create_mark(excel) for _ in range(iterations)]
+        timings["mark mgmt: create"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scraps = [slimpad.create_scrap_from_mark(mark, label="m",
+                                                 pos=Coordinate(0, 0))
+                  for mark in marks]
+        timings["SI mgmt: scrap via DMI/TRIM"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for scrap in scraps:
+            slimpad.double_click(scrap)
+        timings["resolve: full round trip"] = time.perf_counter() - start
+        return timings
+
+    timings = run_once(benchmark, breakdown)
+
+    total = sum(timings.values())
+    rows = [(layer, f"{seconds / iterations * 1e6:8.1f}",
+             f"{seconds / total * 100:5.1f}%")
+            for layer, seconds in timings.items()]
+    print_table("Fig. 5 — per-layer cost of one user action",
+                ["layer", "us/op", "share"], rows)
+    assert total > 0

@@ -1,0 +1,87 @@
+"""Fig. 6 — the three viewing styles.
+
+Regenerates the figure as behaviour: the same scrap shown under each
+style, with the observable differences (which windows are up, where the
+content lands, whether the base surfaced) printed as the figure's
+three panels.  Benchmarks measure each style's show() cost.
+"""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.slimpad.app import SlimPadApplication
+from repro.util.coordinates import Coordinate
+from repro.viewing.styles import (EnhancedBaseLayerViewing,
+                                  IndependentViewing, SimultaneousViewing)
+
+from benchmarks.conftest import print_table, run_once
+
+
+@pytest.fixture(scope="module")
+def stack(dataset):
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Styles")
+    excel = manager.application("spreadsheet")
+    excel.open_workbook(dataset.patients[0].meds_file)
+    excel.select_range("A2:D2")
+    scrap = slimpad.create_scrap_from_selection(excel, label="med",
+                                                pos=Coordinate(10, 10))
+    return manager, slimpad, scrap
+
+
+def test_fig6_simultaneous(benchmark, stack):
+    _manager, slimpad, scrap = stack
+    outcome = benchmark(lambda: SimultaneousViewing(slimpad).show(scrap))
+    assert outcome.base_surfaced
+    assert outcome.presented_in == "base-window"
+
+
+def test_fig6_independent(benchmark, stack):
+    _manager, slimpad, scrap = stack
+    outcome = benchmark(lambda: IndependentViewing(slimpad).show(scrap))
+    assert not outcome.base_surfaced
+    assert outcome.windows_visible == ("slimpad",)
+
+
+def test_fig6_enhanced_base_layer(benchmark, stack, dataset):
+    manager, _slimpad, _scrap = stack
+    browser = manager.application("html")
+    page = browser.load(dataset.guideline_url)
+    enhanced = EnhancedBaseLayerViewing(browser)
+    browser.select_element(page.root.find_all("p")[0])
+    enhanced.annotate_selection("note")
+
+    outcome = benchmark(lambda: enhanced.show(dataset.guideline_url))
+    assert outcome.presented_in == "base-overlay"
+    assert outcome.windows_visible == ("html",)
+
+
+def test_fig6_three_panels_compared(benchmark, stack, dataset):
+    """The figure itself: one row per style, observable differences."""
+    manager, slimpad, scrap = stack
+
+    def all_three():
+        rows = []
+        outcome = SimultaneousViewing(slimpad).show(scrap)
+        rows.append((outcome.style, ", ".join(outcome.windows_visible),
+                     outcome.presented_in, outcome.base_surfaced))
+        outcome = IndependentViewing(slimpad).show(scrap)
+        rows.append((outcome.style, ", ".join(outcome.windows_visible),
+                     outcome.presented_in, outcome.base_surfaced))
+        browser = manager.application("html")
+        page = browser.load(dataset.guideline_url)
+        enhanced = EnhancedBaseLayerViewing(browser)
+        browser.select_element(page.root.find_all("p")[0])
+        enhanced.annotate_selection("note")
+        outcome = enhanced.show(dataset.guideline_url)
+        rows.append((outcome.style, ", ".join(outcome.windows_visible),
+                     outcome.presented_in, outcome.base_surfaced))
+        return rows
+
+    rows = run_once(benchmark, all_three)
+
+    print_table("Fig. 6 — the three viewing styles",
+                ["style", "windows", "content lands in", "base surfaced"],
+                rows)
+    assert len({row[0] for row in rows}) == 3

@@ -1,0 +1,79 @@
+"""Fig. 7 — the mark-management architecture.
+
+Regenerates the figure as behaviour: one Mark Manager, one module per
+base application, every mark type created and resolved through the same
+two calls, and all marks stored generically in one file regardless of
+type.  Benchmarks measure per-type create/resolve cost.
+"""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.workloads.icu import generate_icu
+
+from benchmarks.conftest import print_table
+
+ALL_KINDS = ["spreadsheet", "xml", "pdf", "html", "word", "slides"]
+
+
+def select_in(manager, dataset, kind):
+    patient = dataset.patients[0]
+    app = manager.application(kind)
+    if kind == "spreadsheet":
+        app.open_workbook(patient.meds_file)
+        app.select_range("A2:D2")
+    elif kind == "xml":
+        doc = app.open_document(patient.labs_file)
+        app.select_element(doc.root.find_all("result")[1])
+    elif kind == "pdf":
+        app.open_pdf(dataset.handbook_file)
+        app.goto_page(2)
+        app.select_span(2, 5, 2, 18)
+    elif kind == "html":
+        page = app.load(dataset.guideline_url)
+        app.select_element(page.root.find_all("p")[0])
+    elif kind == "word":
+        app.open_document(patient.note_file)
+        app.select_span(1, 0, 14)
+    elif kind == "slides":
+        app.open_presentation(dataset.rounds_deck)
+        app.goto_slide(2)
+        app.select_shape("Problems")
+    return app
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_fig7_create_resolve_per_type(benchmark, dataset, kind):
+    manager = standard_mark_manager(dataset.library)
+    app = select_in(manager, dataset, kind)
+
+    def create_and_resolve():
+        mark = manager.create_mark(app)
+        return manager.resolve(mark.mark_id)
+
+    resolution = benchmark(create_and_resolve)
+    assert resolution.content_text()
+
+
+def test_fig7_uniform_storage(benchmark, dataset, tmp_path):
+    """All six mark types persist through one generic channel."""
+    manager = standard_mark_manager(dataset.library)
+    for kind in ALL_KINDS:
+        manager.create_mark(select_in(manager, dataset, kind))
+    path = str(tmp_path / "marks.xml")
+
+    def save_and_reload():
+        manager.save(path)
+        fresh = standard_mark_manager(dataset.library)
+        fresh.load(path)
+        return fresh
+
+    fresh = benchmark(save_and_reload)
+    rows = [(mark.mark_type, mark.mark_id,
+             "yes" if fresh.resolvable(mark.mark_id) else "NO")
+            for mark in fresh.marks()[:len(ALL_KINDS)]]
+    print_table("Fig. 7 — six mark types, one store, one resolve call",
+                ["mark type", "id", "resolves"], rows)
+    assert {row[0] for row in rows} == \
+        {"excel", "xml", "pdf", "html", "word", "slides"}
+    assert all(row[2] == "yes" for row in rows)

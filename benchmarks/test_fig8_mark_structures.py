@@ -1,0 +1,75 @@
+"""Fig. 8 — the internal structure of Excel and XML marks.
+
+Regenerates the figure as a checked artifact (the marks carry exactly
+the drawn fields) and benchmarks the addressing machinery behind each
+field: A1-range parsing at growing range sizes, and element-path
+resolution at growing document depths.
+"""
+
+import pytest
+
+from repro.base.spreadsheet.marks import ExcelMark
+from repro.base.spreadsheet.workbook import CellRange
+from repro.base.xmldoc.dom import XmlElement
+from repro.base.xmldoc.marks import XMLMark
+from repro.base.xmldoc.xpath import path_of, resolve_path
+
+from benchmarks.conftest import print_table, run_once
+
+
+def test_fig8_mark_fields(benchmark):
+    """The figure's two boxes, asserted field for field."""
+    def build_both():
+        return (ExcelMark("mark-000001", file_name="meds.xls",
+                          sheet_name="Current", range="B2:B4"),
+                XMLMark("mark-000002", file_name="labs.xml",
+                        xml_path="/labReport[1]/panel[1]/result[2]"))
+
+    excel, xml = run_once(benchmark, build_both)
+    print_table("Fig. 8 — mark structures",
+                ["mark type", "fields"],
+                [("Microsoft Excel Mark",
+                  "markId, fileName, sheetName, range"),
+                 ("XML Mark", "markId, fileName, xmlPath")])
+    assert set(excel.address_fields()) == {"file_name", "sheet_name", "range"}
+    assert set(xml.address_fields()) == {"file_name", "xml_path"}
+
+
+@pytest.mark.parametrize("range_text", ["B2", "B2:D4", "A1:Z100",
+                                        "A1:AZ1000"])
+def test_fig8_range_addressing(benchmark, range_text):
+    """Parsing + formatting the Excel mark's range field."""
+    def round_trip():
+        return str(CellRange.parse(range_text))
+
+    result = benchmark(round_trip)
+    assert CellRange.parse(result) == CellRange.parse(range_text)
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32])
+def test_fig8_xmlpath_addressing(benchmark, depth):
+    """Resolving the XML mark's path field at growing depth."""
+    root = XmlElement("level0")
+    node = root
+    for i in range(1, depth + 1):
+        node = node.append(XmlElement(f"level{i}"))
+    path = path_of(node)
+
+    resolved = benchmark(lambda: resolve_path(root, path))
+    assert resolved is node
+
+
+def test_fig8_path_canonicalization(benchmark):
+    """path_of inverts resolve_path across a wide bushy tree."""
+    root = XmlElement("root")
+    for _ in range(20):
+        child = root.append(XmlElement("panel"))
+        for _ in range(10):
+            child.append(XmlElement("result"))
+    leaves = [element for element in root.iter() if not element.children]
+
+    def all_round_trips():
+        return all(resolve_path(root, path_of(leaf)) is leaf
+                   for leaf in leaves)
+
+    assert benchmark(all_round_trips)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The three viewing styles (Fig. 6) and the annotation baselines side
+by side on one task: reviewing the potassium protocol.
+
+Shows the same information need handled four ways — SLIMPad in
+simultaneous viewing, SLIMPad in independent viewing, Third-Voice-style
+enhanced base-layer viewing, and ComMentor-style shared annotations —
+surfacing exactly the differences Section 5 discusses.
+
+Run:  python examples/annotation_sharing.py
+"""
+
+from repro.base import standard_mark_manager
+from repro.baselines.commentor import ComMentorSystem
+from repro.baselines.vdoc import VirtualDocument
+from repro.errors import BaseLayerError
+from repro.slimpad.app import SlimPadApplication
+from repro.util.coordinates import Coordinate
+from repro.viewing.styles import (EnhancedBaseLayerViewing,
+                                  IndependentViewing, SimultaneousViewing)
+from repro.workloads.icu import generate_icu
+
+
+def main() -> None:
+    dataset = generate_icu(num_patients=1, seed=3)
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Protocol review")
+
+    browser = manager.application("html")
+    page = browser.load(dataset.guideline_url)
+    dosing = page.root.find_all("p")[0]
+    browser.select_element(dosing)
+    scrap = slimpad.create_scrap_from_selection(
+        browser, label="KCl dosing", pos=Coordinate(16, 20))
+
+    print("=== 1. SLIMPad, simultaneous viewing ===")
+    outcome = SimultaneousViewing(slimpad).show(scrap)
+    print(f"windows: {outcome.windows_visible}, "
+          f"base surfaced: {outcome.base_surfaced}")
+    print(f"shown in {outcome.presented_in}: {outcome.content!r}\n")
+
+    print("=== 2. SLIMPad, independent viewing ===")
+    outcome = IndependentViewing(slimpad).show(scrap)
+    print(f"windows: {outcome.windows_visible}, "
+          f"base surfaced: {outcome.base_surfaced}")
+    print(f"shown in {outcome.presented_in}:\n{outcome.content}\n")
+
+    print("=== 3. Enhanced base-layer viewing (Third Voice style) ===")
+    enhanced = EnhancedBaseLayerViewing(browser)
+    browser.select_element(dosing)
+    enhanced.annotate_selection("we round doses to 20 mEq", author="pg")
+    browser.select_element(page.root.find_all("li")[0])
+    enhanced.annotate_selection("telemetry required", author="ja")
+    outcome = enhanced.show(dataset.guideline_url)
+    print(f"windows: {outcome.windows_visible} (no separate app)")
+    for address, text in outcome.content["annotations"]:
+        print(f"  overlay @ {address}: {text}")
+    print()
+
+    print("=== 4. ComMentor-style shared annotations ===")
+    commentor = ComMentorSystem(browser)
+    browser.select_element(dosing)
+    commentor.annotate_selection("comment", "dosing confirmed", author="pg")
+    checkpoint = commentor.now
+    browser.select_element(page.root.find_all("p")[1])
+    commentor.annotate_selection("question", "recheck window too long?",
+                                 author="ja")
+    recent = commentor.query(since=checkpoint + 1)
+    print(f"annotations since t={checkpoint}: "
+          f"{[(a.annotation_type, a.text) for a in recent]}")
+    print("navigating from the question:",
+          repr(commentor.navigate(recent[0])))
+    print()
+
+    print("=== 5. What the baselines cannot do ===")
+    vdoc = VirtualDocument("summary", manager)
+    try:
+        vdoc.append_text("my own conclusion")
+    except BaseLayerError as exc:
+        print(f"virtual document refuses original content: {exc}")
+    note = slimpad.create_note_scrap("my own conclusion: use the protocol",
+                                     Coordinate(16, 60))
+    print(f"SLIMPad happily holds it as a note scrap: {note.scrapName!r}")
+
+
+if __name__ == "__main__":
+    main()

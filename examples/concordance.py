@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""A concordance as superimposed information (the paper's opening example).
+
+Builds play/act/scene/line-structured XML for a small original verse
+corpus, then constructs a concordance pad: one bundle per term, one scrap
+per line using the term.  Unlike a print concordance, each entry carries a
+mark — double-clicking re-establishes the line in its original context.
+
+Run:  python examples/concordance.py [term ...]
+"""
+
+import sys
+
+from repro.slimpad.render import render_text
+from repro.workloads.concordance import build_concordance, play_titles
+
+
+def main() -> None:
+    terms = sys.argv[1:] or ["water", "crown", "fool", "stone"]
+    print(f"Corpus: {', '.join(play_titles())}")
+    print(f"Concordance terms: {', '.join(terms)}\n")
+
+    slimpad, citations = build_concordance(terms)
+
+    for term in sorted(citations):
+        uses = citations[term]
+        print(f"{term!r}: {len(uses)} use(s)")
+        for citation in uses:
+            print(f"   {citation}")
+
+    print("\n=== The concordance pad ===")
+    print(render_text(slimpad.pad))
+
+    # Re-establish context for the first citation of the first term.
+    first_term = sorted(citations)[0]
+    bundle = slimpad.find_bundle(first_term)
+    if bundle is not None and bundle.bundleContent:
+        scrap = bundle.bundleContent[0]
+        resolution = slimpad.double_click(scrap)
+        print(f"\nDouble-click {scrap.scrapName!r}:")
+        print(f"  {resolution.address}")
+        print(f"  the line, in context: {resolution.content!r}")
+        print(f"  ({resolution.context})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The SLIM Store's model flexibility (Section 4.3): two superimposed
+models in one store, instances, conformance checking, a schema-to-schema
+mapping between them, the RDFS rendering, and a generated DMI.
+
+Run:  python examples/model_mapping.py
+"""
+
+from repro.dmi.generator import generate_dmi_class, render_source
+from repro.dmi.spec import AttrSpec, EntitySpec, ModelSpec, RefSpec
+from repro.metamodel.instance import InstanceSpace
+from repro.metamodel.mapping import ModelMapping, SchemaMapping
+from repro.metamodel.model import ModelDefinition
+from repro.metamodel.rdfs import model_as_rdfs
+from repro.metamodel.schema import SchemaDefinition
+from repro.metamodel.validation import ConformanceChecker
+from repro.triples.store import TripleStore
+from repro.triples.trim import TrimManager
+
+
+def main() -> None:
+    trim = TrimManager()
+
+    # --- Model 1: Bundle-Scrap (SLIMPad's model) -------------------------
+    bundle_scrap = ModelDefinition.define(trim, "BundleScrap")
+    bundle = bundle_scrap.add_construct("Bundle")
+    scrap = bundle_scrap.add_construct("Scrap")
+    bundle_scrap.add_literal_construct("bundleName", "string")
+    bundle_scrap.add_connector("bundleContent", bundle, scrap)
+
+    # --- Model 2: a Topic-Map-like model ---------------------------------
+    topic_map = ModelDefinition.define(trim, "TopicMap")
+    topic = topic_map.add_construct("Topic")
+    occurrence = topic_map.add_construct("Occurrence")
+    topic_map.add_literal_construct("topicName", "string")
+    topic_map.add_connector("occurrenceOf", topic, occurrence)
+
+    print("One store, two models:",
+          [m.name for m in
+           __import__("repro.metamodel.model", fromlist=["list_models"])
+           .list_models(trim)])
+
+    # --- Schemas and schema-later instances ------------------------------
+    rounds = SchemaDefinition.define(trim, "Rounds", model=bundle_scrap)
+    patient_bundle = rounds.add_element("PatientBundle", conforms_to=bundle)
+    lab_scrap = rounds.add_element("LabScrap", conforms_to=scrap)
+
+    space = InstanceSpace(trim)
+    freeform = space.create()                      # no schema yet!
+    space.set_value(freeform,
+                    bundle_scrap.construct("bundleName").resource, "John")
+    space.declare_conformance(freeform, patient_bundle)   # schema-later
+    lab = space.create(conforms_to=lab_scrap)
+    space.link(freeform, bundle_scrap.connector("bundleContent").resource, lab)
+
+    report = ConformanceChecker(trim, rounds, bundle_scrap).check()
+    print(f"conformance after schema-later entry: ok={report.ok} "
+          f"({report.checked_instances} instances checked)")
+
+    # --- Schema-to-schema mapping onto the topic map ----------------------
+    topics = SchemaDefinition.define(trim, "Topics", model=topic_map)
+    patient_topic = topics.add_element("PatientTopic", conforms_to=topic)
+    lab_occurrence = topics.add_element("LabOccurrence",
+                                        conforms_to=occurrence)
+
+    model_mapping = ModelMapping(trim, bundle_scrap, topic_map)
+    model_mapping.map_construct("Bundle", "Topic")
+    model_mapping.map_construct("Scrap", "Occurrence")
+    model_mapping.map_construct("bundleName", "topicName")
+    model_mapping.map_connector("bundleContent", "occurrenceOf")
+
+    mapping = SchemaMapping(trim, rounds, topics, model_mapping)
+    mapping.map_element("PatientBundle", "PatientTopic")
+    mapping.map_element("LabScrap", "LabOccurrence")
+
+    target = TripleStore()
+    result = mapping.apply(target_store=target)
+    print(f"mapping applied: {result.rewritten} triples rewritten, "
+          f"complete={result.complete}")
+    name = target.literal_of(freeform.resource,
+                             topic_map.construct("topicName").resource)
+    print(f"the bundle 'John' is now a Topic named: {name!r}")
+
+    # --- RDFS rendering (Section 4.3's representation) --------------------
+    rdfs = model_as_rdfs(bundle_scrap)
+    print(f"\nBundleScrap as RDF Schema: {len(rdfs)} triples, e.g.")
+    for statement in list(rdfs)[:4]:
+        print(f"  {statement}")
+
+    # --- Automatic DMI generation (Section 6 current work) ----------------
+    spec = ModelSpec("Memo", [
+        EntitySpec("Memo", attributes=(AttrSpec("title", "string"),),
+                   references=(RefSpec("item", "Item", many=True,
+                                       containment=True),)),
+        EntitySpec("Item", attributes=(AttrSpec("text", "string"),)),
+    ])
+    memo_dmi_class = generate_dmi_class(spec)
+    print(f"\nGenerated {memo_dmi_class.__name__} "
+          f"({len(render_source(spec).splitlines())} lines of source)")
+    dmi = memo_dmi_class()
+    memo = dmi.Create_Memo(title="handoff")
+    item = dmi.Create_Item(text="check K+ at 18:00")
+    dmi.Add_item(memo, item)
+    print(f"memo {memo.title!r} items:", [i.text for i in memo.item])
+
+
+if __name__ == "__main__":
+    main()

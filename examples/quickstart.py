@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: the superimposed-information loop in thirty lines.
+
+Builds a tiny base layer (one spreadsheet, one XML report), wires the
+Mark Manager, creates a pad with two marked scraps, and de-references
+them back into their base documents — the complete Fig. 1 round trip.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DocumentLibrary, SlimPadApplication, standard_mark_manager
+from repro.base.spreadsheet import Workbook
+from repro.base.xmldoc import XmlDocument
+from repro.slimpad.render import render_text
+from repro.util.coordinates import Coordinate
+
+
+def main() -> None:
+    # 1. The base layer: documents owned by "other applications".
+    library = DocumentLibrary()
+    meds = Workbook("medications.xls")
+    sheet = meds.add_sheet("Current")
+    sheet.set_row(1, ["Drug", "Dose", "Route", "Schedule"])
+    sheet.set_row(2, ["Lasix", "40mg", "IV", "BID"])
+    library.add(meds)
+    library.add(XmlDocument.parse("labs.xml", """
+        <labReport patient="John Smith">
+          <panel name="electrolytes">
+            <result test="Na" unit="mmol/L">140</result>
+            <result test="K" unit="mmol/L">3.9</result>
+          </panel>
+        </labReport>"""))
+
+    # 2. The generic components: Mark Manager + base apps (Fig. 7).
+    manager = standard_mark_manager(library)
+
+    # 3. The superimposed application: SLIMPad (Fig. 4).
+    pad = SlimPadApplication(manager)
+    pad.new_pad("Rounds")
+
+    # Select in Excel, drop a scrap.
+    excel = manager.application("spreadsheet")
+    excel.open_workbook("medications.xls")
+    excel.select_range("A2:D2")
+    lasix = pad.create_scrap_from_selection(
+        excel, label="Lasix 40mg IV BID", pos=Coordinate(20, 30))
+
+    # Select in the XML viewer, drop another scrap.
+    xml = manager.application("xml")
+    report = xml.open_document("labs.xml")
+    potassium = report.root.find_all("result")[1]
+    xml.select_element(potassium)
+    k_scrap = pad.create_scrap_from_selection(
+        xml, label="K+ 3.9", pos=Coordinate(20, 60))
+
+    print("The pad:")
+    print(render_text(pad.pad))
+
+    # 4. Double-click: de-reference the mark, the base app highlights it.
+    print("\nDouble-click 'Lasix 40mg IV BID':")
+    resolution = pad.double_click(lasix)
+    print(f"  {resolution.document_name} -> {resolution.address}")
+    print(f"  highlighted content: {resolution.content}")
+
+    print("\nDouble-click 'K+ 3.9':")
+    resolution = pad.double_click(k_scrap)
+    print(f"  {resolution.document_name} -> {resolution.address}")
+    print(f"  highlighted content: {resolution.content!r}")
+
+    # 5. The mark is a link, not a copy: base edits show through.
+    sheet.set_cell("B2", "80mg")
+    print("\nAfter the base document changed (dose 40mg -> 80mg):")
+    print(f"  re-resolved content: {pad.double_click(lasix).content}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The weekend hand-off (the paper's Section-6 target task).
+
+One doctor built a rounds worksheet during the week; labs keep changing
+underneath it; one document disappears from the record system.  The
+incoming doctor runs the hand-off report: every linked value is re-read
+fresh, stale labels are flagged with the current value, broken marks are
+called out, and the outgoing doctor's annotations travel along.
+
+Run:  python examples/weekend_handoff.py
+"""
+
+from repro.slimpad.handoff import build_handoff
+from repro.workloads.icu import generate_icu
+from repro.workloads.rounds import build_rounds_worksheet
+
+
+def main() -> None:
+    # Friday: the outgoing doctor's worksheet.
+    dataset = generate_icu(num_patients=3, seed=77)
+    slimpad, rows = build_rounds_worksheet(dataset)
+    k_scrap = rows[0].labs.bundleContent[1]
+    slimpad.dmi.Annotate_Scrap(k_scrap, "gave 20 mEq KCl at 14:00",
+                               author="outgoing")
+    print("Friday: worksheet built for",
+          ", ".join(p.name for p in dataset.patients))
+
+    # Over the weekend the base layer moves on.
+    labs0 = dataset.library.get(dataset.patients[0].labs_file)
+    k_result = [e for e in labs0.root.find_all("result")
+                if e.attributes["test"] == "K"][0]
+    old_k = k_result.text
+    k_result.text = "4.4"                         # the KCl worked
+    dataset.library.remove(dataset.patients[2].note_file)  # chart moved
+    print(f"Weekend: {dataset.patients[0].name}'s K changed "
+          f"{old_k} -> 4.4; {dataset.patients[2].name}'s note was archived.")
+
+    # Monday: the incoming doctor takes over.
+    report = build_handoff(slimpad)
+    print(f"\nHand-off health: {report.total_stale} stale value(s), "
+          f"{report.total_broken} unresolvable scrap(s).\n")
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — a reproduction of *Bundles in Captivity* (ICDE 2001).
+
+A generic superimposed-information system and the SLIMPad application:
+
+- :mod:`repro.triples` — TRIM, the triple manager (store, queries, views,
+  XML persistence, undo)
+- :mod:`repro.metamodel` — models/schemas/instances described by the SLIM
+  metamodel, conformance checking, cross-model mappings, RDFS rendering
+- :mod:`repro.dmi` — Data Manipulation Interfaces: spec language, runtime,
+  and automatic generation
+- :mod:`repro.marks` — the Mark Manager, mark types, modules, behaviours
+- :mod:`repro.base` — six simulated base applications (spreadsheet, XML,
+  PDF, HTML, Word, slides) behind the paper's narrow interface
+- :mod:`repro.slimpad` — SLIMPad: bundles, scraps, freeform layout,
+  templates, rendering
+- :mod:`repro.viewing` — the three viewing styles
+- :mod:`repro.baselines` — related-work comparators and ablation stores
+- :mod:`repro.workloads` — ICU census, rounds worksheets, concordances
+
+Quickstart::
+
+    from repro import DocumentLibrary, SlimPadApplication, standard_mark_manager
+    from repro.base.spreadsheet import Workbook
+
+    library = DocumentLibrary()
+    meds = library.add(Workbook("meds.xls"))
+    meds.add_sheet("Current").set_row(2, ["Lasix", "40mg", "IV", "BID"])
+
+    manager = standard_mark_manager(library)
+    pad = SlimPadApplication(manager)
+    pad.new_pad("Rounds")
+    excel = manager.application("spreadsheet")
+    excel.open_workbook("meds.xls")
+    excel.select_range("A2:D2")
+    scrap = pad.create_scrap_from_selection(excel, label="Lasix 40mg")
+    pad.double_click(scrap)   # opens meds.xls with A2:D2 highlighted
+"""
+
+from repro.base import BaseApplication, BaseDocument, DocumentLibrary, \
+    standard_mark_manager
+from repro.dmi import DmiRuntime, ModelSpec, generate_dmi_class
+from repro.errors import ReproError
+from repro.marks import Mark, MarkManager, Resolution
+from repro.metamodel import (ConformanceChecker, InstanceSpace,
+                             ModelDefinition, SchemaDefinition)
+from repro.slimpad import (SlimPadApplication, SlimPadDMI, render_svg,
+                           render_text)
+from repro.triples import (Literal, Resource, Triple, TripleStore,
+                           TrimManager, triple)
+from repro.util import Coordinate, Rect
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseApplication",
+    "BaseDocument",
+    "DocumentLibrary",
+    "standard_mark_manager",
+    "DmiRuntime",
+    "ModelSpec",
+    "generate_dmi_class",
+    "ReproError",
+    "Mark",
+    "MarkManager",
+    "Resolution",
+    "ConformanceChecker",
+    "InstanceSpace",
+    "ModelDefinition",
+    "SchemaDefinition",
+    "SlimPadApplication",
+    "SlimPadDMI",
+    "render_svg",
+    "render_text",
+    "Literal",
+    "Resource",
+    "Triple",
+    "TripleStore",
+    "TrimManager",
+    "triple",
+    "Coordinate",
+    "Rect",
+    "__version__",
+]

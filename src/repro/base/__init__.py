@@ -1,0 +1,57 @@
+"""The base layer: six simulated base applications plus shared machinery.
+
+Each subpackage provides a document model, an application facade exposing
+the paper's narrow interface (report the address of the current selection;
+navigate back to an address), and mark modules:
+
+- :mod:`repro.base.spreadsheet` — Excel substitute (A1 range addressing)
+- :mod:`repro.base.xmldoc` — XML viewer (element-path addressing)
+- :mod:`repro.base.pdf` — Acrobat substitute (page + span addressing)
+- :mod:`repro.base.html` — browser (element path + text span)
+- :mod:`repro.base.worddoc` — Word substitute (paragraph + char range)
+- :mod:`repro.base.slides` — PowerPoint substitute (slide + shape)
+"""
+
+from repro.base.application import (BaseApplication, BaseDocument,
+                                    DocumentLibrary)
+
+__all__ = [
+    "BaseApplication",
+    "BaseDocument",
+    "DocumentLibrary",
+    "standard_mark_manager",
+]
+
+
+def standard_mark_manager(library: DocumentLibrary, bus=None):
+    """A Mark Manager wired with every base application and module.
+
+    This is the Fig. 7 configuration: one manager, six applications, a
+    viewer and an extractor module per mark type.
+    """
+    from repro.base.html import (BrowserApp, HtmlExtractorModule,
+                                 HtmlMarkModule)
+    from repro.base.pdf import (PdfExtractorModule, PdfMarkModule,
+                                PdfViewerApp)
+    from repro.base.slides import (SlideExtractorModule, SlideMarkModule,
+                                   SlidesApp)
+    from repro.base.spreadsheet import (ExcelExtractorModule, ExcelMarkModule,
+                                        SpreadsheetApp)
+    from repro.base.worddoc import (WordApp, WordExtractorModule,
+                                    WordMarkModule)
+    from repro.base.xmldoc import (XmlExtractorModule, XmlMarkModule,
+                                   XmlViewerApp)
+    from repro.marks.manager import MarkManager
+
+    manager = MarkManager()
+    for app_class in (SpreadsheetApp, XmlViewerApp, PdfViewerApp,
+                      BrowserApp, WordApp, SlidesApp):
+        manager.register_application(app_class(library, bus))
+    for module_class in (ExcelMarkModule, ExcelExtractorModule,
+                         XmlMarkModule, XmlExtractorModule,
+                         PdfMarkModule, PdfExtractorModule,
+                         HtmlMarkModule, HtmlExtractorModule,
+                         WordMarkModule, WordExtractorModule,
+                         SlideMarkModule, SlideExtractorModule):
+        manager.register_module(module_class())
+    return manager

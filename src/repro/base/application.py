@@ -1,0 +1,217 @@
+"""The base layer: documents, the document library, and applications.
+
+The paper's architecture makes exactly two assumptions about a base
+application (Section 1): *"a base source can supply the address of a
+currently selected information element, and … it can return to that
+element given the address."*  :class:`BaseApplication` is that narrow
+facade; every simulated application (spreadsheet, XML viewer, PDF viewer,
+browser, word processor, slide show) extends it with its own selection
+and navigation vocabulary, but the superimposed layer only ever touches
+the narrow interface through mark modules.
+
+The :class:`DocumentLibrary` stands in for the file system / web shared
+by the base applications: documents are keyed by name (a file name or
+URL).  Documents are *outside the box* — the library supports editing
+them underneath the superimposed layer, which the redundancy experiments
+(claim C-6) exploit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.errors import AddressError, DocumentNotFoundError, NoSelectionError
+from repro.util.events import EventBus
+
+
+class BaseDocument(ABC):
+    """A unit of base-layer information (a workbook, an XML file, a page…)."""
+
+    #: The document kind tag; matches the owning application's kind.
+    kind: str = "abstract"
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("document name must be non-empty")
+        self.name = name
+
+    @abstractmethod
+    def estimated_bytes(self) -> int:
+        """Approximate content size; used by the volume-fraction bench (C-3)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class DocumentLibrary:
+    """All base documents available to the base applications.
+
+    One library is shared by every application in a scenario, playing the
+    role of the machine's file system and the web together.
+    """
+
+    def __init__(self) -> None:
+        self._documents: Dict[str, BaseDocument] = {}
+
+    def add(self, document: BaseDocument) -> BaseDocument:
+        """Register (or replace) a document under its name."""
+        self._documents[document.name] = document
+        return document
+
+    def get(self, name: str) -> BaseDocument:
+        """Fetch a document; raises :class:`DocumentNotFoundError`."""
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise DocumentNotFoundError(f"no document named {name!r}") from None
+
+    def remove(self, name: str) -> BaseDocument:
+        """Delete a document (simulating a file removed under our feet)."""
+        try:
+            return self._documents.pop(name)
+        except KeyError:
+            raise DocumentNotFoundError(f"no document named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    def names(self) -> List[str]:
+        """All document names, in registration order."""
+        return list(self._documents)
+
+    def documents(self) -> List[BaseDocument]:
+        """All documents, in registration order."""
+        return list(self._documents.values())
+
+    def total_bytes(self) -> int:
+        """Combined size of every document (claim C-3's denominator)."""
+        return sum(doc.estimated_bytes() for doc in self._documents.values())
+
+
+class BaseApplication(ABC):
+    """The narrow base-application facade.
+
+    State every application shares:
+
+    - the open document (at most one; real apps have many, one suffices),
+    - the current selection (application-specific address, or None),
+    - a highlight (set when a mark resolution navigated here),
+    - window state (``visible``/``in_front``) for the viewing styles of
+      Fig. 6.
+
+    Events (when a bus is supplied): ``base.opened``, ``base.selection``,
+    ``base.highlight``, each carrying ``app`` and ``document``.
+    """
+
+    #: Application kind tag (e.g. 'spreadsheet'); subclasses override.
+    kind: str = "abstract"
+
+    def __init__(self, library: DocumentLibrary,
+                 bus: Optional[EventBus] = None) -> None:
+        self.library = library
+        self.bus = bus
+        self._document: Optional[BaseDocument] = None
+        self._selection: Optional[object] = None
+        self._highlight: Optional[object] = None
+        self.visible = False
+        self.in_front = False
+
+    # -- documents ---------------------------------------------------------------
+
+    def open_document(self, name: str) -> BaseDocument:
+        """Open a document from the library (clearing selection/highlight)."""
+        document = self.library.get(name)
+        if document.kind != self.kind:
+            raise AddressError(
+                f"{type(self).__name__} cannot open {document.kind!r} "
+                f"document {name!r}")
+        self._document = document
+        self._selection = None
+        self._highlight = None
+        self.visible = True
+        self._emit("base.opened", document=name)
+        return document
+
+    @property
+    def current_document(self) -> Optional[BaseDocument]:
+        """The open document, if any."""
+        return self._document
+
+    def require_document(self) -> BaseDocument:
+        """The open document; raises when none is open."""
+        if self._document is None:
+            raise AddressError(f"no document open in {type(self).__name__}")
+        return self._document
+
+    # -- selection (the first narrow-interface capability) -------------------------
+
+    @property
+    def selection(self) -> Optional[object]:
+        """The current selection address, if any (application-specific)."""
+        return self._selection
+
+    def _set_selection(self, address: object) -> None:
+        self._selection = address
+        self._emit("base.selection", address=address)
+
+    def clear_selection(self) -> None:
+        """Drop the current selection."""
+        self._selection = None
+
+    def current_selection_address(self) -> object:
+        """The address of the current selection.
+
+        This is the entire creation-side interface the superimposed layer
+        relies on.  Raises :class:`NoSelectionError` when nothing is
+        selected.
+        """
+        if self._selection is None:
+            raise NoSelectionError(
+                f"{type(self).__name__} has no current selection")
+        return self._selection
+
+    # -- navigation (the second narrow-interface capability) -------------------------
+
+    @abstractmethod
+    def navigate_to(self, address: object) -> object:
+        """Drive the application to *address*; return the element content.
+
+        Implementations open the right document, activate the right
+        sub-context (worksheet, page, slide…), select the element and
+        highlight it.  Raises :class:`AddressError` when the address
+        cannot be honoured.
+        """
+
+    # -- highlight / window state ------------------------------------------------------
+
+    @property
+    def highlight(self) -> Optional[object]:
+        """The address most recently highlighted by a resolution."""
+        return self._highlight
+
+    def _set_highlight(self, address: object) -> None:
+        self._highlight = address
+        self._emit("base.highlight", address=address)
+
+    def bring_to_front(self) -> None:
+        """Surface the application window (simultaneous viewing)."""
+        self.visible = True
+        self.in_front = True
+
+    def send_to_back(self) -> None:
+        """Hide the application window (independent viewing)."""
+        self.in_front = False
+
+    def hide(self) -> None:
+        """Close the window entirely."""
+        self.visible = False
+        self.in_front = False
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _emit(self, topic: str, **payload) -> None:
+        if self.bus is not None:
+            payload.setdefault("document",
+                               self._document.name if self._document else None)
+            self.bus.publish(topic, app=self.kind, **payload)

@@ -1,0 +1,15 @@
+"""The HTML base application (web-browser substitute)."""
+
+from repro.base.html.app import BrowserApp, HtmlAddress
+from repro.base.html.marks import HTMLMark, HtmlExtractorModule, HtmlMarkModule
+from repro.base.html.parser import HtmlPage, parse_html
+
+__all__ = [
+    "BrowserApp",
+    "HtmlAddress",
+    "HTMLMark",
+    "HtmlExtractorModule",
+    "HtmlMarkModule",
+    "HtmlPage",
+    "parse_html",
+]

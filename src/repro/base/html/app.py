@@ -1,0 +1,106 @@
+"""The simulated web browser.
+
+HTML marks are application-centric: the browser supplies the address of
+the current selection — an element path (shared with the XML side) plus an
+optional character span within the element's text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.base.application import BaseApplication
+from repro.base.html.parser import HtmlPage
+from repro.base.xmldoc.dom import XmlElement
+from repro.base.xmldoc.xpath import path_of, resolve_path
+
+
+@dataclass(frozen=True)
+class HtmlAddress:
+    """An element (and optional text span within it) on a page.
+
+    ``start``/``end`` are character offsets into the element's own text;
+    ``(0, 0)`` with ``whole_element=True`` addresses the element itself.
+    """
+
+    url: str
+    element_path: str
+    start: int = 0
+    end: int = 0
+    whole_element: bool = True
+
+    def __str__(self) -> str:
+        span = "" if self.whole_element else f"@{self.start}-{self.end}"
+        return f"{self.url}#{self.element_path}{span}"
+
+
+class BrowserApp(BaseApplication):
+    """Load pages by URL and select elements or text runs."""
+
+    kind = "html"
+
+    # -- browser verbs -------------------------------------------------------------
+
+    def load(self, url: str) -> HtmlPage:
+        """Navigate the browser to *url*."""
+        page = self.open_document(url)
+        assert isinstance(page, HtmlPage)
+        return page
+
+    def select_element(self, element: XmlElement) -> HtmlAddress:
+        """Select a whole element of the loaded page."""
+        page = self.require_document()
+        address = HtmlAddress(page.name, path_of(element))
+        self._set_selection(address)
+        return address
+
+    def select_text(self, element_path: str, start: int, end: int) -> HtmlAddress:
+        """Select a character span within an element's text."""
+        page = self.require_document()
+        assert isinstance(page, HtmlPage)
+        element = resolve_path(page.root, element_path)
+        if not (0 <= start <= end <= len(element.text)):
+            raise AddressError(
+                f"span [{start}, {end}) outside element text "
+                f"of length {len(element.text)}")
+        address = HtmlAddress(page.name, element_path, start, end,
+                              whole_element=False)
+        self._set_selection(address)
+        return address
+
+    def selected_text(self) -> str:
+        """The text under the current selection."""
+        address = self.current_selection_address()
+        assert isinstance(address, HtmlAddress)
+        return self.text_at(address)
+
+    # -- the narrow interface -----------------------------------------------------------
+
+    def navigate_to(self, address: HtmlAddress) -> str:
+        """Load the page and highlight the addressed element/span."""
+        if not isinstance(address, HtmlAddress):
+            raise AddressError(f"not an HTML address: {address!r}")
+        self.load(address.url)
+        content = self.text_at(address)
+        self._set_selection(address)
+        self._set_highlight(address)
+        return content
+
+    def element_at(self, address: HtmlAddress) -> XmlElement:
+        """The element an address names (no UI effects)."""
+        page = self.library.get(address.url)
+        if not isinstance(page, HtmlPage):
+            raise AddressError(f"{address.url!r} is not an HTML page")
+        return resolve_path(page.root, address.element_path)
+
+    def text_at(self, address: HtmlAddress) -> str:
+        """The text an address covers (whole element or span)."""
+        element = self.element_at(address)
+        if address.whole_element:
+            return element.full_text()
+        if not (0 <= address.start <= address.end <= len(element.text)):
+            raise AddressError(
+                f"span [{address.start}, {address.end}) no longer fits "
+                f"element text of length {len(element.text)}")
+        return element.text[address.start:address.end]

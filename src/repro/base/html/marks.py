@@ -1,0 +1,82 @@
+"""The HTML mark and its modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import (AddressError, DocumentNotFoundError,
+                          MarkResolutionError)
+from repro.base.html.app import BrowserApp, HtmlAddress
+from repro.marks.mark import Mark
+from repro.marks.modules import (ROLE_EXTRACTOR, ROLE_VIEWER, MarkModule,
+                                 Resolution)
+
+
+@dataclass(frozen=True)
+class HTMLMark(Mark):
+    """Addresses an element (or a text span within one) on a web page."""
+
+    url: str = ""
+    element_path: str = ""
+    start: int = 0
+    end: int = 0
+    whole_element: bool = True
+
+    mark_type: ClassVar[str] = "html"
+
+    def to_address(self) -> HtmlAddress:
+        """The application-level address this mark stores."""
+        return HtmlAddress(self.url, self.element_path, self.start,
+                           self.end, self.whole_element)
+
+
+class HtmlMarkModule(MarkModule):
+    """Viewer-role module: load the page, highlight the element."""
+
+    mark_class = HTMLMark
+    application_kind = BrowserApp.kind
+    role = ROLE_VIEWER
+
+    def create_from_selection(self, app: BrowserApp, mark_id: str) -> HTMLMark:
+        address = app.current_selection_address()
+        return HTMLMark(mark_id, url=address.url,
+                        element_path=address.element_path,
+                        start=address.start, end=address.end,
+                        whole_element=address.whole_element)
+
+    def resolve(self, mark: HTMLMark, app: BrowserApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            content = app.navigate_to(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        app.bring_to_front()
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.url,
+                          address=str(mark.to_address()), content=content,
+                          context=mark.element_path, surfaced=True)
+
+
+class HtmlExtractorModule(MarkModule):
+    """Extractor-role module: read the text without surfacing the browser."""
+
+    mark_class = HTMLMark
+    application_kind = BrowserApp.kind
+    role = ROLE_EXTRACTOR
+
+    def create_from_selection(self, app: BrowserApp, mark_id: str) -> HTMLMark:
+        return HtmlMarkModule().create_from_selection(app, mark_id)
+
+    def resolve(self, mark: HTMLMark, app: BrowserApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            content = app.text_at(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.url,
+                          address=str(mark.to_address()), content=content,
+                          context=mark.element_path, surfaced=False)

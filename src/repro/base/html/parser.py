@@ -1,0 +1,206 @@
+"""A tolerant HTML parser for the base layer (the web-browser stand-in).
+
+Real web pages are tag soup, and the paper's HTML marks must survive them.
+This parser produces the same :class:`~repro.base.xmldoc.dom.XmlElement`
+tree the XML side uses (so the path addressing in
+:mod:`repro.base.xmldoc.xpath` applies), while tolerating HTML's habits:
+
+- void elements (``<br>``, ``<img>`` …) never take children;
+- ``<p>`` and ``<li>`` auto-close when a sibling opens;
+- unclosed tags at end-of-input are closed implicitly;
+- stray end tags are ignored;
+- tag and attribute names are case-folded to lower case;
+- attribute values may be unquoted;
+- ``<script>``/``<style>`` content is treated as opaque text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.base.application import BaseDocument
+from repro.base.xmldoc.dom import XmlElement
+
+VOID_ELEMENTS = frozenset({
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "param", "source", "track", "wbr",
+})
+
+#: Opening the key closes an open element whose tag is in the value set.
+_AUTO_CLOSE = {
+    "li": {"li"},
+    "tr": {"tr", "td", "th"},
+    "td": {"td", "th"},
+    "th": {"td", "th"},
+    "option": {"option"},
+}
+#: Block-level elements implicitly close an open <p> (HTML5 rules).
+_CLOSES_P = frozenset({
+    "p", "ul", "ol", "div", "table", "blockquote", "pre", "section",
+    "article", "aside", "h1", "h2", "h3", "h4", "h5", "h6", "hr",
+    "form", "fieldset", "address",
+})
+for _tag in _CLOSES_P:
+    _AUTO_CLOSE.setdefault(_tag, set()).add("p")
+
+_RAW_TEXT = frozenset({"script", "style"})
+
+_TAG_RE = re.compile(r"<(/?)([A-Za-z][A-Za-z0-9\-]*)((?:[^>'\"]|'[^']*'|\"[^\"]*\")*?)(/?)>")
+_ATTR_RE = re.compile(
+    r"([A-Za-z_:][-A-Za-z0-9_:.]*)(?:\s*=\s*(\"[^\"]*\"|'[^']*'|[^\s\"'>]+))?")
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"',
+             "apos": "'", "nbsp": " "}
+
+
+class HtmlPage(BaseDocument):
+    """A web page: a URL (its name) plus a parsed element tree."""
+
+    kind = "html"
+
+    def __init__(self, url: str, root: XmlElement) -> None:
+        super().__init__(url)
+        self.root = root
+
+    @classmethod
+    def parse(cls, url: str, source: str) -> "HtmlPage":
+        """Parse HTML source into a page."""
+        return cls(url, parse_html(source))
+
+    @property
+    def url(self) -> str:
+        """Alias: a page's name is its URL."""
+        return self.name
+
+    def title(self) -> str:
+        """The page's <title> text, or '' when absent."""
+        titles = self.root.find_all("title")
+        return titles[0].full_text() if titles else ""
+
+    def estimated_bytes(self) -> int:
+        total = 0
+        for element in self.root.iter():
+            total += len(element.tag) + len(element.text)
+            total += sum(len(k) + len(v) for k, v in element.attributes.items())
+        return total
+
+
+def parse_html(source: str) -> XmlElement:
+    """Parse tag soup into an element tree rooted at ``<html>``.
+
+    A synthetic ``<html>`` root is supplied when the source lacks one, so
+    every page yields a single rooted tree for path addressing.
+    """
+    root = XmlElement("html")
+    stack: List[XmlElement] = [root]
+    text_parts: List[str] = []
+    pos = 0
+    source = _strip_comments_and_doctype(source)
+
+    def flush_text(target: XmlElement) -> None:
+        text = _decode("".join(text_parts)).strip()
+        if text:
+            target.text = f"{target.text} {text}".strip() if target.text else text
+        text_parts.clear()
+
+    while pos < len(source):
+        lt = source.find("<", pos)
+        if lt < 0:
+            text_parts.append(source[pos:])
+            break
+        if lt > pos:
+            text_parts.append(source[pos:lt])
+        match = _TAG_RE.match(source, lt)
+        if match is None:
+            # A lone '<' in text: keep it and move on (tag soup!).
+            text_parts.append("<")
+            pos = lt + 1
+            continue
+        closing, raw_tag, raw_attrs, self_closing = match.groups()
+        tag = raw_tag.lower()
+        pos = match.end()
+        flush_text(stack[-1])
+
+        if closing:
+            _close_tag(stack, root, tag)
+            continue
+
+        if tag == "html" and stack[-1] is root and not root.children \
+                and not root.text:
+            # The page supplies its own <html>: adopt its attributes
+            # instead of nesting a second root.
+            root.attributes.update(_parse_attrs(raw_attrs))
+            continue
+
+        _auto_close(stack, root, tag)
+        element = XmlElement(tag, _parse_attrs(raw_attrs))
+        stack[-1].append(element)
+        if self_closing or tag in VOID_ELEMENTS:
+            continue
+        if tag in _RAW_TEXT:
+            end = source.lower().find(f"</{tag}", pos)
+            if end < 0:
+                element.text = source[pos:].strip()
+                pos = len(source)
+            else:
+                element.text = source[pos:end].strip()
+                close = source.find(">", end)
+                pos = len(source) if close < 0 else close + 1
+            continue
+        stack.append(element)
+
+    flush_text(stack[-1])
+    return root
+
+
+def _strip_comments_and_doctype(source: str) -> str:
+    source = re.sub(r"<!--.*?-->", "", source, flags=re.DOTALL)
+    source = re.sub(r"<!DOCTYPE[^>]*>", "", source, flags=re.IGNORECASE)
+    return source
+
+
+def _parse_attrs(raw: str) -> dict:
+    attributes = {}
+    for match in _ATTR_RE.finditer(raw):
+        name = match.group(1).lower()
+        value = match.group(2)
+        if value is None:
+            attributes[name] = name  # boolean attribute, HTML-style
+        else:
+            if value[:1] in ("'", '"'):
+                value = value[1:-1]
+            attributes[name] = _decode(value)
+    return attributes
+
+
+def _auto_close(stack: List[XmlElement], root: XmlElement, tag: str) -> None:
+    closers = _AUTO_CLOSE.get(tag)
+    if closers and len(stack) > 1 and stack[-1].tag in closers:
+        stack.pop()
+
+
+def _close_tag(stack: List[XmlElement], root: XmlElement, tag: str) -> None:
+    """Pop to the matching open tag; ignore stray end tags entirely."""
+    for depth in range(len(stack) - 1, 0, -1):
+        if stack[depth].tag == tag:
+            del stack[depth:]
+            return
+    # No matching open tag: tag soup says ignore it.
+
+
+def _decode(raw: str) -> str:
+    def replace(match: "re.Match[str]") -> str:
+        body = match.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                return chr(int(body[2:], 16))
+            except ValueError:
+                return match.group(0)
+        if body.startswith("#"):
+            try:
+                return chr(int(body[1:]))
+            except ValueError:
+                return match.group(0)
+        return _ENTITIES.get(body, match.group(0))
+
+    return re.sub(r"&([^;&\s]+);", replace, raw)

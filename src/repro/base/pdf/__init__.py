@@ -1,0 +1,15 @@
+"""The PDF base application (Acrobat substitute)."""
+
+from repro.base.pdf.app import PdfAddress, PdfViewerApp
+from repro.base.pdf.document import PdfDocument, PdfPage
+from repro.base.pdf.marks import PDFMark, PdfExtractorModule, PdfMarkModule
+
+__all__ = [
+    "PdfAddress",
+    "PdfViewerApp",
+    "PdfDocument",
+    "PdfPage",
+    "PDFMark",
+    "PdfExtractorModule",
+    "PdfMarkModule",
+]

@@ -1,0 +1,102 @@
+"""The simulated PDF viewer (the Adobe Acrobat stand-in)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AddressError
+from repro.base.application import BaseApplication
+from repro.base.pdf.document import PdfDocument
+
+
+@dataclass(frozen=True)
+class PdfAddress:
+    """A text span within a page of a PDF document.
+
+    Lines are 1-based; columns are 0-based with an exclusive end.
+    """
+
+    file_name: str
+    page: int
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+
+    def __str__(self) -> str:
+        return (f"{self.file_name} p.{self.page} "
+                f"{self.start_line}:{self.start_col}-{self.end_line}:{self.end_col}")
+
+
+class PdfViewerApp(BaseApplication):
+    """Open documents, turn pages, select text spans."""
+
+    kind = "pdf"
+
+    def __init__(self, library, bus=None) -> None:
+        super().__init__(library, bus)
+        self._current_page: Optional[int] = None
+
+    # -- viewer verbs -------------------------------------------------------------
+
+    def open_pdf(self, file_name: str) -> PdfDocument:
+        """Open a document at its first page."""
+        document = self.open_document(file_name)
+        assert isinstance(document, PdfDocument)
+        self._current_page = document.pages[0].number if document.pages else None
+        return document
+
+    def goto_page(self, number: int) -> None:
+        """Turn to a page of the open document."""
+        document = self.require_document()
+        assert isinstance(document, PdfDocument)
+        document.page(number)  # validates
+        self._current_page = number
+
+    @property
+    def current_page(self) -> Optional[int]:
+        """The displayed page number, if a document is open."""
+        return self._current_page
+
+    def select_span(self, start_line: int, start_col: int,
+                    end_line: int, end_col: int) -> PdfAddress:
+        """Select a text span on the current page."""
+        document = self.require_document()
+        assert isinstance(document, PdfDocument)
+        if self._current_page is None:
+            raise AddressError("no current page to select on")
+        page = document.page(self._current_page)
+        page.span_text(start_line, start_col, end_line, end_col)  # validates
+        address = PdfAddress(document.name, self._current_page,
+                             start_line, start_col, end_line, end_col)
+        self._set_selection(address)
+        return address
+
+    def selected_text(self) -> str:
+        """The text under the current selection."""
+        address = self.current_selection_address()
+        assert isinstance(address, PdfAddress)
+        return self.text_at(address)
+
+    # -- the narrow interface ----------------------------------------------------------
+
+    def navigate_to(self, address: PdfAddress) -> str:
+        """Open the document, turn to the page, highlight the span."""
+        if not isinstance(address, PdfAddress):
+            raise AddressError(f"not a PDF address: {address!r}")
+        self.open_pdf(address.file_name)
+        self.goto_page(address.page)
+        self.select_span(address.start_line, address.start_col,
+                         address.end_line, address.end_col)
+        self._set_highlight(address)
+        return self.text_at(address)
+
+    def text_at(self, address: PdfAddress) -> str:
+        """Read the span's text (no UI effects)."""
+        document = self.library.get(address.file_name)
+        if not isinstance(document, PdfDocument):
+            raise AddressError(f"{address.file_name!r} is not a PDF document")
+        page = document.page(address.page)
+        return page.span_text(address.start_line, address.start_col,
+                              address.end_line, address.end_col)

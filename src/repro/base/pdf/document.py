@@ -1,0 +1,96 @@
+"""A paginated text document model (the Adobe PDF stand-in).
+
+SLIMPad marks into PDF documents at sub-document granularity; our
+substitute models what that addressing needs: numbered pages of text
+lines, with spans addressed as (page, start line/column, end line/column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import AddressError
+from repro.base.application import BaseDocument
+
+
+class PdfPage:
+    """One page: a 1-based number and its text lines."""
+
+    def __init__(self, number: int, lines: List[str]) -> None:
+        if number < 1:
+            raise AddressError("page numbers are 1-based")
+        self.number = number
+        self.lines = list(lines)
+
+    def line(self, index: int) -> str:
+        """The 1-based *index*-th line."""
+        if index < 1 or index > len(self.lines):
+            raise AddressError(
+                f"page {self.number} has no line {index} "
+                f"(has {len(self.lines)})")
+        return self.lines[index - 1]
+
+    def span_text(self, start_line: int, start_col: int,
+                  end_line: int, end_col: int) -> str:
+        """The text covered by a span; columns are 0-based, end exclusive."""
+        if end_line < start_line or \
+                (end_line == start_line and end_col < start_col):
+            raise AddressError("span end precedes start")
+        first = self.line(start_line)
+        last = self.line(end_line)
+        if start_col < 0 or start_col > len(first):
+            raise AddressError(f"start column {start_col} outside line")
+        if end_col < 0 or end_col > len(last):
+            raise AddressError(f"end column {end_col} outside line")
+        if start_line == end_line:
+            return first[start_col:end_col]
+        pieces = [first[start_col:]]
+        pieces.extend(self.lines[start_line:end_line - 1])
+        pieces.append(last[:end_col])
+        return "\n".join(pieces)
+
+    def text(self) -> str:
+        """The whole page as one string."""
+        return "\n".join(self.lines)
+
+
+class PdfDocument(BaseDocument):
+    """A named, paginated document."""
+
+    kind = "pdf"
+
+    def __init__(self, name: str, pages: List[PdfPage]) -> None:
+        super().__init__(name)
+        self.pages = list(pages)
+        numbers = [p.number for p in self.pages]
+        if numbers != sorted(set(numbers)):
+            raise AddressError("page numbers must be unique and ascending")
+
+    @classmethod
+    def from_text(cls, name: str, text: str,
+                  lines_per_page: int = 40) -> "PdfDocument":
+        """Paginate running text into a document."""
+        if lines_per_page < 1:
+            raise AddressError("lines_per_page must be >= 1")
+        lines = text.split("\n")
+        pages = []
+        for start in range(0, max(1, len(lines)), lines_per_page):
+            pages.append(PdfPage(len(pages) + 1,
+                                 lines[start:start + lines_per_page]))
+        return cls(name, pages)
+
+    def page(self, number: int) -> PdfPage:
+        """Fetch a page by its 1-based number."""
+        for page in self.pages:
+            if page.number == number:
+                return page
+        raise AddressError(f"{self.name!r} has no page {number}")
+
+    @property
+    def page_count(self) -> int:
+        """How many pages the document has."""
+        return len(self.pages)
+
+    def estimated_bytes(self) -> int:
+        return sum(len(line) + 1 for page in self.pages for line in page.lines)

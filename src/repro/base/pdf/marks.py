@@ -1,0 +1,82 @@
+"""The PDF mark and its modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import (AddressError, DocumentNotFoundError,
+                          MarkResolutionError)
+from repro.base.pdf.app import PdfAddress, PdfViewerApp
+from repro.marks.mark import Mark
+from repro.marks.modules import (ROLE_EXTRACTOR, ROLE_VIEWER, MarkModule,
+                                 Resolution)
+
+
+@dataclass(frozen=True)
+class PDFMark(Mark):
+    """Addresses a text span on a page of a PDF document."""
+
+    file_name: str = ""
+    page: int = 1
+    start_line: int = 1
+    start_col: int = 0
+    end_line: int = 1
+    end_col: int = 0
+
+    mark_type: ClassVar[str] = "pdf"
+
+    def to_address(self) -> PdfAddress:
+        """The application-level address this mark stores."""
+        return PdfAddress(self.file_name, self.page, self.start_line,
+                          self.start_col, self.end_line, self.end_col)
+
+
+class PdfMarkModule(MarkModule):
+    """Viewer-role module: open, turn to the page, highlight the span."""
+
+    mark_class = PDFMark
+    application_kind = PdfViewerApp.kind
+    role = ROLE_VIEWER
+
+    def create_from_selection(self, app: PdfViewerApp, mark_id: str) -> PDFMark:
+        address = app.current_selection_address()
+        return PDFMark(mark_id, file_name=address.file_name, page=address.page,
+                       start_line=address.start_line, start_col=address.start_col,
+                       end_line=address.end_line, end_col=address.end_col)
+
+    def resolve(self, mark: PDFMark, app: PdfViewerApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            content = app.navigate_to(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        app.bring_to_front()
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name,
+                          address=str(mark.to_address()), content=content,
+                          context=f"page {mark.page}", surfaced=True)
+
+
+class PdfExtractorModule(MarkModule):
+    """Extractor-role module: fetch the span text without surfacing."""
+
+    mark_class = PDFMark
+    application_kind = PdfViewerApp.kind
+    role = ROLE_EXTRACTOR
+
+    def create_from_selection(self, app: PdfViewerApp, mark_id: str) -> PDFMark:
+        return PdfMarkModule().create_from_selection(app, mark_id)
+
+    def resolve(self, mark: PDFMark, app: PdfViewerApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            content = app.text_at(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name,
+                          address=str(mark.to_address()), content=content,
+                          context=f"page {mark.page}", surfaced=False)

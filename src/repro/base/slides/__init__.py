@@ -1,0 +1,17 @@
+"""The slide-show base application (Microsoft PowerPoint substitute)."""
+
+from repro.base.slides.app import SlideAddress, SlidesApp
+from repro.base.slides.marks import (SlideExtractorModule, SlideMark,
+                                     SlideMarkModule)
+from repro.base.slides.presentation import Presentation, Shape, Slide
+
+__all__ = [
+    "SlideAddress",
+    "SlidesApp",
+    "SlideExtractorModule",
+    "SlideMark",
+    "SlideMarkModule",
+    "Presentation",
+    "Shape",
+    "Slide",
+]

@@ -1,0 +1,89 @@
+"""The simulated slide-show application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AddressError
+from repro.base.application import BaseApplication
+from repro.base.slides.presentation import Presentation, Shape
+
+
+@dataclass(frozen=True)
+class SlideAddress:
+    """A shape on a numbered slide of a presentation."""
+
+    file_name: str
+    slide: int
+    shape: str
+
+    def __str__(self) -> str:
+        return f"{self.file_name} slide {self.slide} / {self.shape}"
+
+
+class SlidesApp(BaseApplication):
+    """Open decks, turn slides, select shapes."""
+
+    kind = "slides"
+
+    def __init__(self, library, bus=None) -> None:
+        super().__init__(library, bus)
+        self._current_slide: Optional[int] = None
+
+    # -- deck verbs ------------------------------------------------------------
+
+    def open_presentation(self, file_name: str) -> Presentation:
+        """Open a deck at its first slide."""
+        deck = self.open_document(file_name)
+        assert isinstance(deck, Presentation)
+        self._current_slide = deck.slides[0].number if deck.slides else None
+        return deck
+
+    def goto_slide(self, number: int) -> None:
+        """Show a slide of the open deck."""
+        deck = self.require_document()
+        assert isinstance(deck, Presentation)
+        deck.slide(number)  # validates
+        self._current_slide = number
+
+    @property
+    def current_slide(self) -> Optional[int]:
+        """The displayed slide number, if a deck is open."""
+        return self._current_slide
+
+    def select_shape(self, shape_name: str) -> SlideAddress:
+        """Select a shape on the current slide."""
+        deck = self.require_document()
+        assert isinstance(deck, Presentation)
+        if self._current_slide is None:
+            raise AddressError("no current slide to select on")
+        deck.slide(self._current_slide).shape(shape_name)  # validates
+        address = SlideAddress(deck.name, self._current_slide, shape_name)
+        self._set_selection(address)
+        return address
+
+    def selected_shape(self) -> Shape:
+        """The shape under the current selection."""
+        address = self.current_selection_address()
+        assert isinstance(address, SlideAddress)
+        return self.shape_at(address)
+
+    # -- the narrow interface -----------------------------------------------------
+
+    def navigate_to(self, address: SlideAddress) -> str:
+        """Open the deck, show the slide, highlight the shape."""
+        if not isinstance(address, SlideAddress):
+            raise AddressError(f"not a slide address: {address!r}")
+        self.open_presentation(address.file_name)
+        self.goto_slide(address.slide)
+        self.select_shape(address.shape)
+        self._set_highlight(address)
+        return self.shape_at(address).text
+
+    def shape_at(self, address: SlideAddress) -> Shape:
+        """The shape an address names (no UI effects)."""
+        deck = self.library.get(address.file_name)
+        if not isinstance(deck, Presentation):
+            raise AddressError(f"{address.file_name!r} is not a presentation")
+        return deck.slide(address.slide).shape(address.shape)

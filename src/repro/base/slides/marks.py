@@ -1,0 +1,77 @@
+"""The PowerPoint-style mark and its modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import (AddressError, DocumentNotFoundError,
+                          MarkResolutionError)
+from repro.base.slides.app import SlideAddress, SlidesApp
+from repro.marks.mark import Mark
+from repro.marks.modules import (ROLE_EXTRACTOR, ROLE_VIEWER, MarkModule,
+                                 Resolution)
+
+
+@dataclass(frozen=True)
+class SlideMark(Mark):
+    """Addresses a shape on a slide of a presentation."""
+
+    file_name: str = ""
+    slide: int = 1
+    shape: str = ""
+
+    mark_type: ClassVar[str] = "slides"
+
+    def to_address(self) -> SlideAddress:
+        """The application-level address this mark stores."""
+        return SlideAddress(self.file_name, self.slide, self.shape)
+
+
+class SlideMarkModule(MarkModule):
+    """Viewer-role module."""
+
+    mark_class = SlideMark
+    application_kind = SlidesApp.kind
+    role = ROLE_VIEWER
+
+    def create_from_selection(self, app: SlidesApp, mark_id: str) -> SlideMark:
+        address = app.current_selection_address()
+        return SlideMark(mark_id, file_name=address.file_name,
+                         slide=address.slide, shape=address.shape)
+
+    def resolve(self, mark: SlideMark, app: SlidesApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            content = app.navigate_to(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        app.bring_to_front()
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name,
+                          address=str(mark.to_address()), content=content,
+                          context=f"slide {mark.slide}", surfaced=True)
+
+
+class SlideExtractorModule(MarkModule):
+    """Extractor-role module."""
+
+    mark_class = SlideMark
+    application_kind = SlidesApp.kind
+    role = ROLE_EXTRACTOR
+
+    def create_from_selection(self, app: SlidesApp, mark_id: str) -> SlideMark:
+        return SlideMarkModule().create_from_selection(app, mark_id)
+
+    def resolve(self, mark: SlideMark, app: SlidesApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            shape = app.shape_at(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name,
+                          address=str(mark.to_address()), content=shape.text,
+                          context=f"slide {mark.slide}", surfaced=False)

@@ -1,0 +1,83 @@
+"""A slide-deck document model (the Microsoft PowerPoint stand-in).
+
+PowerPoint marks address a shape on a numbered slide (optionally a text
+run within the shape's text frame).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import AddressError
+from repro.base.application import BaseDocument
+
+
+class Shape:
+    """A named shape with a text frame."""
+
+    def __init__(self, name: str, text: str = "") -> None:
+        if not name:
+            raise AddressError("shape name must be non-empty")
+        self.name = name
+        self.text = text
+
+
+class Slide:
+    """A numbered slide holding named shapes."""
+
+    def __init__(self, number: int, shapes: Optional[List[Shape]] = None) -> None:
+        if number < 1:
+            raise AddressError("slide numbers are 1-based")
+        self.number = number
+        self.shapes = list(shapes or [])
+
+    def shape(self, name: str) -> Shape:
+        """Fetch a shape by name."""
+        for shape in self.shapes:
+            if shape.name == name:
+                return shape
+        raise AddressError(f"slide {self.number} has no shape {name!r}")
+
+    def add_shape(self, shape: Shape) -> Shape:
+        """Add a shape; duplicate names are an error."""
+        if any(s.name == shape.name for s in self.shapes):
+            raise AddressError(
+                f"slide {self.number} already has shape {shape.name!r}")
+        self.shapes.append(shape)
+        return shape
+
+
+class Presentation(BaseDocument):
+    """A named deck of slides."""
+
+    kind = "slides"
+
+    def __init__(self, name: str, slides: Optional[List[Slide]] = None) -> None:
+        super().__init__(name)
+        self.slides = list(slides or [])
+        numbers = [s.number for s in self.slides]
+        if numbers != sorted(set(numbers)):
+            raise AddressError("slide numbers must be unique and ascending")
+
+    def slide(self, number: int) -> Slide:
+        """Fetch a slide by its 1-based number."""
+        for slide in self.slides:
+            if slide.number == number:
+                return slide
+        raise AddressError(f"{self.name!r} has no slide {number}")
+
+    def add_slide(self) -> Slide:
+        """Append a new empty slide."""
+        number = self.slides[-1].number + 1 if self.slides else 1
+        slide = Slide(number)
+        self.slides.append(slide)
+        return slide
+
+    @property
+    def slide_count(self) -> int:
+        """How many slides the deck has."""
+        return len(self.slides)
+
+    def estimated_bytes(self) -> int:
+        return sum(len(shape.name) + len(shape.text) + 8
+                   for slide in self.slides for shape in slide.shapes)

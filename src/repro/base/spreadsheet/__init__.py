@@ -1,0 +1,28 @@
+"""The spreadsheet base application (Excel substitute) and its marks."""
+
+from repro.base.spreadsheet.app import SpreadsheetAddress, SpreadsheetApp
+from repro.base.spreadsheet.formulas import (evaluate_cell, evaluate_range,
+                                             is_formula)
+from repro.base.spreadsheet.marks import (ExcelExtractorModule, ExcelMark,
+                                          ExcelMarkModule)
+from repro.base.spreadsheet.workbook import (CellRange, Workbook, Worksheet,
+                                             column_to_index, format_cell_ref,
+                                             index_to_column, parse_cell_ref)
+
+__all__ = [
+    "SpreadsheetAddress",
+    "SpreadsheetApp",
+    "evaluate_cell",
+    "evaluate_range",
+    "is_formula",
+    "ExcelExtractorModule",
+    "ExcelMark",
+    "ExcelMarkModule",
+    "CellRange",
+    "Workbook",
+    "Worksheet",
+    "column_to_index",
+    "format_cell_ref",
+    "index_to_column",
+    "parse_cell_ref",
+]

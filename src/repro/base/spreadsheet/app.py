@@ -1,0 +1,109 @@
+"""The simulated spreadsheet application (the Excel stand-in).
+
+Exposes Excel-like verbs — open workbook, activate sheet, select range —
+and the narrow base-application interface on top of them.  The resolve
+protocol in Section 4.2 ("tell Microsoft Excel to open the file, activate
+the worksheet, and select the appropriate range") is implemented verbatim
+by :meth:`SpreadsheetApp.navigate_to`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import AddressError
+from repro.base.application import BaseApplication
+from repro.base.spreadsheet.workbook import CellRange, Workbook, Worksheet
+
+
+@dataclass(frozen=True)
+class SpreadsheetAddress:
+    """The address form an Excel mark carries (Fig. 8):
+    ``fileName``, ``sheetName``, ``range``."""
+
+    file_name: str
+    sheet_name: str
+    range: str
+
+    def __str__(self) -> str:
+        return f"{self.file_name}!{self.sheet_name}!{self.range}"
+
+
+class SpreadsheetApp(BaseApplication):
+    """Open workbooks, activate sheets, select ranges."""
+
+    kind = "spreadsheet"
+
+    def __init__(self, library, bus=None) -> None:
+        super().__init__(library, bus)
+        self._active_sheet: Optional[str] = None
+
+    # -- Excel-like verbs -----------------------------------------------------
+
+    def open_workbook(self, file_name: str) -> Workbook:
+        """Open a workbook, activating its first sheet."""
+        workbook = self.open_document(file_name)
+        assert isinstance(workbook, Workbook)
+        names = workbook.sheet_names()
+        self._active_sheet = names[0] if names else None
+        return workbook
+
+    def activate_sheet(self, sheet_name: str) -> Worksheet:
+        """Make *sheet_name* the active sheet of the open workbook."""
+        workbook = self.require_document()
+        assert isinstance(workbook, Workbook)
+        sheet = workbook.sheet(sheet_name)  # raises for unknown names
+        self._active_sheet = sheet_name
+        return sheet
+
+    @property
+    def active_sheet(self) -> Optional[str]:
+        """The active sheet name, if a workbook is open."""
+        return self._active_sheet
+
+    def select_range(self, range_text: str) -> SpreadsheetAddress:
+        """Select a range on the active sheet; returns its full address."""
+        workbook = self.require_document()
+        if self._active_sheet is None:
+            raise AddressError("no active sheet to select on")
+        cell_range = CellRange.parse(range_text)  # validates syntax
+        address = SpreadsheetAddress(workbook.name, self._active_sheet,
+                                     str(cell_range))
+        self._set_selection(address)
+        return address
+
+    def selected_values(self) -> List[List]:
+        """The values under the current selection (row-major matrix)."""
+        address = self.current_selection_address()
+        assert isinstance(address, SpreadsheetAddress)
+        return self.values_at(address)
+
+    # -- the narrow interface ------------------------------------------------------
+
+    def navigate_to(self, address: SpreadsheetAddress) -> List[List]:
+        """Open the file, activate the worksheet, select the range.
+
+        Exactly the Section 4.2 resolution sequence.  Returns the range's
+        values and leaves the range highlighted.
+        """
+        if not isinstance(address, SpreadsheetAddress):
+            raise AddressError(f"not a spreadsheet address: {address!r}")
+        self.open_workbook(address.file_name)
+        self.activate_sheet(address.sheet_name)
+        self.select_range(address.range)
+        self._set_highlight(address)
+        return self.values_at(address)
+
+    def values_at(self, address: SpreadsheetAddress) -> List[List]:
+        """Read the values a spreadsheet address covers (no UI effects).
+
+        Formula cells (``=SUM(B2:B4)`` …) evaluate live, so a resolved
+        mark always reports the current computed value.
+        """
+        from repro.base.spreadsheet.formulas import evaluate_range
+        workbook = self.library.get(address.file_name)
+        if not isinstance(workbook, Workbook):
+            raise AddressError(f"{address.file_name!r} is not a workbook")
+        sheet = workbook.sheet(address.sheet_name)
+        return evaluate_range(sheet, address.range)

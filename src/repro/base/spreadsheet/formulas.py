@@ -1,0 +1,224 @@
+"""Formula evaluation for the spreadsheet substitute.
+
+Real medication lists and flowsheets compute: totals, averages, deltas.
+To make the Excel stand-in a faithful substrate, worksheets may hold
+formula cells (strings starting with ``=``) which evaluate on read:
+
+- cell references: ``=B2``
+- ranges inside functions: ``=SUM(B2:B9)``, ``AVG``, ``MIN``, ``MAX``,
+  ``COUNT``
+- arithmetic with ``+ - * /``, parentheses, and numeric literals:
+  ``=(B2+B3)*2``
+
+Evaluation is by recursive descent over a tokenized expression, pulling
+referenced values live from the worksheet — so a mark resolved over a
+formula cell reports the *current computed* value, which the redundancy
+experiments exercise.  Reference cycles raise :class:`AddressError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import AddressError
+from repro.base.spreadsheet.workbook import (CellRange, Worksheet,
+                                             parse_cell_ref)
+
+Number = float
+
+_TOKEN_RE = re.compile(r"""
+    (?P<range>[A-Za-z]+[1-9]\d*:[A-Za-z]+[1-9]\d*)
+  | (?P<cell>[A-Za-z]+[1-9]\d*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<func>[A-Za-z]+)(?=\()
+  | (?P<op>[()+\-*/,])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+_FUNCTIONS = {
+    "SUM": sum,
+    "AVG": lambda values: sum(values) / len(values) if values else 0.0,
+    "MIN": min,
+    "MAX": max,
+    "COUNT": len,
+}
+
+
+def is_formula(value: object) -> bool:
+    """Whether a cell value is a formula (a string starting with '=')."""
+    return isinstance(value, str) and value.startswith("=")
+
+
+def evaluate_cell(sheet: Worksheet, ref: str,
+                  _active: Optional[Set[Tuple[int, int]]] = None) -> object:
+    """The cell's value with formulas evaluated (non-formulas pass through).
+
+    ``_active`` carries the in-progress evaluation set for cycle
+    detection; callers never pass it.
+    """
+    position = parse_cell_ref(ref)
+    active = _active if _active is not None else set()
+    if position in active:
+        raise AddressError(f"formula reference cycle at {ref}")
+    raw = sheet.cell(ref)
+    if not is_formula(raw):
+        return raw
+    active.add(position)
+    try:
+        return _Evaluator(sheet, str(raw)[1:], active).evaluate()
+    finally:
+        active.discard(position)
+
+
+def evaluate_range(sheet: Worksheet, range_text: str) -> List[List[object]]:
+    """Range values with every formula cell evaluated."""
+    cell_range = CellRange.parse(range_text)
+    rows = []
+    for row in range(cell_range.top, cell_range.bottom + 1):
+        out_row = []
+        for col in range(cell_range.left, cell_range.right + 1):
+            from repro.base.spreadsheet.workbook import format_cell_ref
+            out_row.append(evaluate_cell(sheet, format_cell_ref(row, col)))
+        rows.append(out_row)
+    return rows
+
+
+class _Evaluator:
+    """Recursive-descent evaluator over one formula expression."""
+
+    def __init__(self, sheet: Worksheet, expression: str,
+                 active: Set[Tuple[int, int]]) -> None:
+        self._sheet = sheet
+        self._active = active
+        self._tokens = self._tokenize(expression)
+        self._pos = 0
+
+    @staticmethod
+    def _tokenize(expression: str) -> List[Tuple[str, str]]:
+        tokens: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(expression):
+            match = _TOKEN_RE.match(expression, position)
+            if match is None:
+                raise AddressError(
+                    f"bad formula at {expression[position:]!r}")
+            kind = match.lastgroup
+            if kind != "ws":
+                tokens.append((kind, match.group(0)))
+            position = match.end()
+        return tokens
+
+    # -- grammar: expr := term (('+'|'-') term)*
+    #             term := factor (('*'|'/') factor)*
+    #             factor := number | cell | func '(' args ')' |
+    #                       '(' expr ')' | '-' factor
+
+    def evaluate(self) -> Number:
+        value = self._expr()
+        if self._pos != len(self._tokens):
+            raise AddressError("trailing tokens in formula")
+        return value
+
+    def _expr(self) -> Number:
+        value = self._term()
+        while self._peek_op() in ("+", "-"):
+            op = self._next()[1]
+            right = self._term()
+            value = value + right if op == "+" else value - right
+        return value
+
+    def _term(self) -> Number:
+        value = self._factor()
+        while self._peek_op() in ("*", "/"):
+            op = self._next()[1]
+            right = self._factor()
+            if op == "/":
+                if right == 0:
+                    raise AddressError("division by zero in formula")
+                value = value / right
+            else:
+                value = value * right
+        return value
+
+    def _factor(self) -> Number:
+        if self._pos >= len(self._tokens):
+            raise AddressError("formula ended unexpectedly")
+        kind, text = self._tokens[self._pos]
+        if kind == "op" and text == "-":
+            self._pos += 1
+            return -self._factor()
+        if kind == "op" and text == "(":
+            self._pos += 1
+            value = self._expr()
+            self._expect(")")
+            return value
+        if kind == "number":
+            self._pos += 1
+            return float(text)
+        if kind == "cell":
+            self._pos += 1
+            return self._cell_value(text)
+        if kind == "func":
+            return self._function(text)
+        raise AddressError(f"unexpected {text!r} in formula")
+
+    def _function(self, name: str) -> Number:
+        upper = name.upper()
+        if upper not in _FUNCTIONS:
+            raise AddressError(f"unknown function {name!r}")
+        self._pos += 1
+        self._expect("(")
+        values: List[Number] = []
+        while True:
+            kind, text = self._tokens[self._pos] \
+                if self._pos < len(self._tokens) else ("", "")
+            if kind == "range":
+                self._pos += 1
+                values.extend(self._range_values(text))
+            else:
+                values.append(self._expr())
+            if self._peek_op() == ",":
+                self._pos += 1
+                continue
+            break
+        self._expect(")")
+        if upper in ("MIN", "MAX") and not values:
+            raise AddressError(f"{upper} of nothing")
+        return float(_FUNCTIONS[upper](values))
+
+    def _range_values(self, range_text: str) -> List[Number]:
+        values: List[Number] = []
+        for row, col in CellRange.parse(range_text).cells():
+            from repro.base.spreadsheet.workbook import format_cell_ref
+            value = evaluate_cell(self._sheet, format_cell_ref(row, col),
+                                  self._active)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue  # non-numeric cells are skipped, as Excel does
+            values.append(float(value))
+        return values
+
+    def _cell_value(self, ref: str) -> Number:
+        value = evaluate_cell(self._sheet, ref, self._active)
+        if value is None:
+            return 0.0  # empty cells count as zero, as Excel does
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise AddressError(f"cell {ref} is not numeric")
+        return float(value)
+
+    def _peek_op(self) -> str:
+        if self._pos < len(self._tokens):
+            kind, text = self._tokens[self._pos]
+            if kind == "op":
+                return text
+        return ""
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, op: str) -> None:
+        if self._peek_op() != op:
+            raise AddressError(f"expected {op!r} in formula")
+        self._pos += 1

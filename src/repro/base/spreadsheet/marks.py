@@ -1,0 +1,89 @@
+"""The Excel mark and its modules (Fig. 8, left).
+
+``ExcelMark`` carries exactly the fields the paper draws: ``markId``,
+``fileName``, ``sheetName``, ``range``.  Two modules serve it:
+
+- :class:`ExcelMarkModule` (viewer) — resolves by driving the spreadsheet
+  app through open/activate/select and surfaces the window;
+- :class:`ExcelExtractorModule` (extractor) — reads the range's values
+  without disturbing the application's windows.  This pair demonstrates
+  the architecture's answer to Monikers: multiple resolution behaviours
+  for one inert mark type (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import (AddressError, DocumentNotFoundError,
+                          MarkResolutionError)
+from repro.base.spreadsheet.app import SpreadsheetAddress, SpreadsheetApp
+from repro.marks.mark import Mark
+from repro.marks.modules import (ROLE_EXTRACTOR, ROLE_VIEWER, MarkModule,
+                                 Resolution)
+
+
+@dataclass(frozen=True)
+class ExcelMark(Mark):
+    """Addresses a cell or range of cells within a workbook."""
+
+    file_name: str = ""
+    sheet_name: str = ""
+    range: str = ""
+
+    mark_type: ClassVar[str] = "excel"
+
+    def to_address(self) -> SpreadsheetAddress:
+        """The application-level address this mark stores."""
+        return SpreadsheetAddress(self.file_name, self.sheet_name, self.range)
+
+
+class ExcelMarkModule(MarkModule):
+    """Viewer-role module: resolve in context (open/activate/select)."""
+
+    mark_class = ExcelMark
+    application_kind = SpreadsheetApp.kind
+    role = ROLE_VIEWER
+
+    def create_from_selection(self, app: SpreadsheetApp, mark_id: str) -> ExcelMark:
+        address = app.current_selection_address()
+        return ExcelMark(mark_id, file_name=address.file_name,
+                         sheet_name=address.sheet_name, range=address.range)
+
+    def resolve(self, mark: ExcelMark, app: SpreadsheetApp) -> Resolution:
+        self.check_mark(mark)
+        address = mark.to_address()
+        try:
+            values = app.navigate_to(address)
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(f"cannot resolve {mark.describe()}: {exc}") from exc
+        app.bring_to_front()
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name, address=str(address),
+                          content=values,
+                          context=f"sheet {mark.sheet_name}", surfaced=True)
+
+
+class ExcelExtractorModule(MarkModule):
+    """Extractor-role module: fetch values without surfacing the app."""
+
+    mark_class = ExcelMark
+    application_kind = SpreadsheetApp.kind
+    role = ROLE_EXTRACTOR
+
+    def create_from_selection(self, app: SpreadsheetApp, mark_id: str) -> ExcelMark:
+        # Creation is identical regardless of role.
+        return ExcelMarkModule().create_from_selection(app, mark_id)
+
+    def resolve(self, mark: ExcelMark, app: SpreadsheetApp) -> Resolution:
+        self.check_mark(mark)
+        address = mark.to_address()
+        try:
+            values = app.values_at(address)
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(f"cannot resolve {mark.describe()}: {exc}") from exc
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name, address=str(address),
+                          content=values,
+                          context=f"sheet {mark.sheet_name}", surfaced=False)

@@ -1,0 +1,209 @@
+"""A spreadsheet document model with A1-style addressing.
+
+Stands in for Microsoft Excel workbooks (see DESIGN.md substitutions).
+The model is deliberately close to what the paper's Excel mark needs:
+workbooks contain named worksheets; worksheets hold sparse cells addressed
+``A1``-style; a range like ``B2:C4`` selects a rectangle of cells.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import AddressError
+from repro.base.application import BaseDocument
+
+CellValue = Union[str, int, float, bool]
+
+_CELL_RE = re.compile(r"^(?P<col>[A-Z]+)(?P<row>[1-9]\d*)$")
+
+
+def column_to_index(letters: str) -> int:
+    """Convert column letters to a 1-based index: A->1, Z->26, AA->27."""
+    if not letters or not letters.isalpha():
+        raise AddressError(f"bad column letters: {letters!r}")
+    index = 0
+    for ch in letters.upper():
+        index = index * 26 + (ord(ch) - ord("A") + 1)
+    return index
+
+
+def index_to_column(index: int) -> str:
+    """Convert a 1-based column index to letters: 1->A, 27->AA."""
+    if index < 1:
+        raise AddressError(f"bad column index: {index}")
+    letters = []
+    while index:
+        index, rem = divmod(index - 1, 26)
+        letters.append(chr(ord("A") + rem))
+    return "".join(reversed(letters))
+
+
+def parse_cell_ref(ref: str) -> Tuple[int, int]:
+    """Parse ``'B3'`` into 1-based ``(row, column)`` = ``(3, 2)``."""
+    match = _CELL_RE.match(ref.strip().upper())
+    if match is None:
+        raise AddressError(f"bad cell reference: {ref!r}")
+    return int(match.group("row")), column_to_index(match.group("col"))
+
+
+def format_cell_ref(row: int, col: int) -> str:
+    """Format 1-based ``(row, column)`` as ``'B3'``."""
+    if row < 1:
+        raise AddressError(f"bad row index: {row}")
+    return f"{index_to_column(col)}{row}"
+
+
+@dataclass(frozen=True)
+class CellRange:
+    """A rectangular range, normalized so top-left <= bottom-right."""
+
+    top: int
+    left: int
+    bottom: int
+    right: int
+
+    def __post_init__(self) -> None:
+        if self.top < 1 or self.left < 1:
+            raise AddressError("range indices are 1-based")
+        if self.bottom < self.top or self.right < self.left:
+            raise AddressError("range corners are not normalized")
+
+    @classmethod
+    def parse(cls, text: str) -> "CellRange":
+        """Parse ``'B2:C4'`` (or a single cell ``'B2'``)."""
+        first, colon, second = text.strip().partition(":")
+        if colon and not second:
+            raise AddressError(f"bad range: {text!r}")
+        row1, col1 = parse_cell_ref(first)
+        row2, col2 = parse_cell_ref(second) if second else (row1, col1)
+        return cls(min(row1, row2), min(col1, col2),
+                   max(row1, row2), max(col1, col2))
+
+    def __str__(self) -> str:
+        start = format_cell_ref(self.top, self.left)
+        end = format_cell_ref(self.bottom, self.right)
+        return start if start == end else f"{start}:{end}"
+
+    @property
+    def is_single_cell(self) -> bool:
+        """Whether the range covers exactly one cell."""
+        return self.top == self.bottom and self.left == self.right
+
+    @property
+    def height(self) -> int:
+        """Number of rows covered."""
+        return self.bottom - self.top + 1
+
+    @property
+    def width(self) -> int:
+        """Number of columns covered."""
+        return self.right - self.left + 1
+
+    def cells(self) -> Iterator[Tuple[int, int]]:
+        """Yield every (row, col) in the range, row-major."""
+        for row in range(self.top, self.bottom + 1):
+            for col in range(self.left, self.right + 1):
+                yield row, col
+
+    def contains(self, row: int, col: int) -> bool:
+        """Whether 1-based (row, col) lies inside the range."""
+        return self.top <= row <= self.bottom and self.left <= col <= self.right
+
+
+class Worksheet:
+    """A named sheet of sparse cells."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise AddressError("worksheet name must be non-empty")
+        self.name = name
+        self._cells: Dict[Tuple[int, int], CellValue] = {}
+
+    def set_cell(self, ref: str, value: CellValue) -> None:
+        """Write one cell by A1 reference."""
+        self._cells[parse_cell_ref(ref)] = value
+
+    def set_row(self, row: int, values: List[CellValue],
+                start_col: int = 1) -> None:
+        """Write a run of cells left to right starting at (row, start_col)."""
+        for offset, value in enumerate(values):
+            self._cells[(row, start_col + offset)] = value
+
+    def cell(self, ref: str) -> Optional[CellValue]:
+        """Read one cell (``None`` when empty)."""
+        return self._cells.get(parse_cell_ref(ref))
+
+    def clear_cell(self, ref: str) -> None:
+        """Empty one cell."""
+        self._cells.pop(parse_cell_ref(ref), None)
+
+    def range_values(self, cell_range: CellRange) -> List[List[Optional[CellValue]]]:
+        """The range's values as a row-major matrix (empty cells = None)."""
+        return [[self._cells.get((row, col))
+                 for col in range(cell_range.left, cell_range.right + 1)]
+                for row in range(cell_range.top, cell_range.bottom + 1)]
+
+    def used_range(self) -> Optional[CellRange]:
+        """The smallest range covering every non-empty cell."""
+        if not self._cells:
+            return None
+        rows = [rc[0] for rc in self._cells]
+        cols = [rc[1] for rc in self._cells]
+        return CellRange(min(rows), min(cols), max(rows), max(cols))
+
+    def cell_count(self) -> int:
+        """How many cells hold values."""
+        return len(self._cells)
+
+    def find(self, value: CellValue) -> List[str]:
+        """A1 references of every cell equal to *value*, row-major order."""
+        hits = [rc for rc, v in self._cells.items() if v == value]
+        return [format_cell_ref(row, col) for row, col in sorted(hits)]
+
+
+class Workbook(BaseDocument):
+    """A spreadsheet file: an ordered collection of worksheets."""
+
+    kind = "spreadsheet"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._sheets: Dict[str, Worksheet] = {}
+
+    def add_sheet(self, sheet_name: str) -> Worksheet:
+        """Create a worksheet; duplicate names are an error."""
+        if sheet_name in self._sheets:
+            raise AddressError(f"sheet {sheet_name!r} already exists")
+        sheet = Worksheet(sheet_name)
+        self._sheets[sheet_name] = sheet
+        return sheet
+
+    def sheet(self, sheet_name: str) -> Worksheet:
+        """Fetch a worksheet by name."""
+        try:
+            return self._sheets[sheet_name]
+        except KeyError:
+            raise AddressError(
+                f"workbook {self.name!r} has no sheet {sheet_name!r}") from None
+
+    def remove_sheet(self, sheet_name: str) -> None:
+        """Delete a worksheet."""
+        if sheet_name not in self._sheets:
+            raise AddressError(
+                f"workbook {self.name!r} has no sheet {sheet_name!r}")
+        del self._sheets[sheet_name]
+
+    def sheet_names(self) -> List[str]:
+        """Worksheet names, in creation order."""
+        return list(self._sheets)
+
+    def estimated_bytes(self) -> int:
+        total = 0
+        for sheet in self._sheets.values():
+            total += len(sheet.name)
+            for value in sheet._cells.values():
+                total += len(str(value)) + 8  # value text + coordinates
+        return total

@@ -1,0 +1,16 @@
+"""The word-processor base application (Microsoft Word substitute)."""
+
+from repro.base.worddoc.app import WordAddress, WordApp
+from repro.base.worddoc.document import WordComment, WordDocument
+from repro.base.worddoc.marks import (WordExtractorModule, WordMark,
+                                      WordMarkModule)
+
+__all__ = [
+    "WordAddress",
+    "WordApp",
+    "WordComment",
+    "WordDocument",
+    "WordExtractorModule",
+    "WordMark",
+    "WordMarkModule",
+]

@@ -1,0 +1,62 @@
+"""The simulated word processor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.base.application import BaseApplication
+from repro.base.worddoc.document import WordDocument
+
+
+@dataclass(frozen=True)
+class WordAddress:
+    """A character span within one paragraph of a document."""
+
+    file_name: str
+    paragraph: int
+    start: int
+    end: int
+
+    def __str__(self) -> str:
+        return f"{self.file_name} ¶{self.paragraph}[{self.start}:{self.end}]"
+
+
+class WordApp(BaseApplication):
+    """Open documents and select character runs."""
+
+    kind = "word"
+
+    def select_span(self, paragraph: int, start: int, end: int) -> WordAddress:
+        """Select a character span in the open document."""
+        document = self.require_document()
+        assert isinstance(document, WordDocument)
+        document.span_text(paragraph, start, end)  # validates
+        address = WordAddress(document.name, paragraph, start, end)
+        self._set_selection(address)
+        return address
+
+    def selected_text(self) -> str:
+        """The text under the current selection."""
+        address = self.current_selection_address()
+        assert isinstance(address, WordAddress)
+        return self.text_at(address)
+
+    # -- the narrow interface -----------------------------------------------------
+
+    def navigate_to(self, address: WordAddress) -> str:
+        """Open the document and highlight the span."""
+        if not isinstance(address, WordAddress):
+            raise AddressError(f"not a Word address: {address!r}")
+        self.open_document(address.file_name)
+        content = self.text_at(address)
+        self._set_selection(address)
+        self._set_highlight(address)
+        return content
+
+    def text_at(self, address: WordAddress) -> str:
+        """Read the span's text (no UI effects)."""
+        document = self.library.get(address.file_name)
+        if not isinstance(document, WordDocument):
+            raise AddressError(f"{address.file_name!r} is not a Word document")
+        return document.span_text(address.paragraph, address.start, address.end)

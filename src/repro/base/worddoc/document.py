@@ -1,0 +1,87 @@
+"""A paragraph-structured document model (the Microsoft Word stand-in).
+
+Word marks in SLIMPad address character ranges within named documents;
+the model is a list of paragraphs of plain text.  The document also
+supports embedded comments — used by the in-situ annotation baseline
+(Section 5 compares SLIMPad to Word Comments' next/previous navigation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import AddressError
+from repro.base.application import BaseDocument
+
+
+@dataclass(frozen=True)
+class WordComment:
+    """An in-document comment anchored to a span of one paragraph.
+
+    Columns are 0-based with an exclusive end — matching Word's behaviour
+    of anchoring comments to a run of characters.
+    """
+
+    paragraph: int
+    start: int
+    end: int
+    text: str
+    author: str = ""
+
+
+class WordDocument(BaseDocument):
+    """A named document: ordered paragraphs plus anchored comments."""
+
+    kind = "word"
+
+    def __init__(self, name: str, paragraphs: List[str]) -> None:
+        super().__init__(name)
+        self.paragraphs = list(paragraphs)
+        self.comments: List[WordComment] = []
+
+    def paragraph(self, index: int) -> str:
+        """The 1-based *index*-th paragraph."""
+        if index < 1 or index > len(self.paragraphs):
+            raise AddressError(
+                f"{self.name!r} has no paragraph {index} "
+                f"(has {len(self.paragraphs)})")
+        return self.paragraphs[index - 1]
+
+    def span_text(self, paragraph: int, start: int, end: int) -> str:
+        """The text of a character span within one paragraph."""
+        text = self.paragraph(paragraph)
+        if not (0 <= start <= end <= len(text)):
+            raise AddressError(
+                f"span [{start}, {end}) outside paragraph {paragraph} "
+                f"of length {len(text)}")
+        return text[start:end]
+
+    def replace_paragraph(self, index: int, text: str) -> None:
+        """Edit one paragraph in place (base-layer edits happen!)."""
+        self.paragraph(index)  # validates
+        self.paragraphs[index - 1] = text
+
+    def insert_paragraph(self, index: int, text: str) -> None:
+        """Insert a paragraph so it becomes the 1-based *index*-th."""
+        if index < 1 or index > len(self.paragraphs) + 1:
+            raise AddressError(f"cannot insert at position {index}")
+        self.paragraphs.insert(index - 1, text)
+
+    # -- comments (for the in-situ annotation baseline) ---------------------------
+
+    def add_comment(self, comment: WordComment) -> WordComment:
+        """Anchor a comment (validating its span)."""
+        self.span_text(comment.paragraph, comment.start, comment.end)
+        self.comments.append(comment)
+        return comment
+
+    def comments_in_order(self) -> List[WordComment]:
+        """Comments sorted by document position (for next/previous)."""
+        return sorted(self.comments,
+                      key=lambda c: (c.paragraph, c.start, c.end))
+
+    def estimated_bytes(self) -> int:
+        total = sum(len(p) + 1 for p in self.paragraphs)
+        total += sum(len(c.text) + len(c.author) + 12 for c in self.comments)
+        return total

@@ -1,0 +1,79 @@
+"""The Word mark and its modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import (AddressError, DocumentNotFoundError,
+                          MarkResolutionError)
+from repro.base.worddoc.app import WordAddress, WordApp
+from repro.marks.mark import Mark
+from repro.marks.modules import (ROLE_EXTRACTOR, ROLE_VIEWER, MarkModule,
+                                 Resolution)
+
+
+@dataclass(frozen=True)
+class WordMark(Mark):
+    """Addresses a character span within a paragraph of a document."""
+
+    file_name: str = ""
+    paragraph: int = 1
+    start: int = 0
+    end: int = 0
+
+    mark_type: ClassVar[str] = "word"
+
+    def to_address(self) -> WordAddress:
+        """The application-level address this mark stores."""
+        return WordAddress(self.file_name, self.paragraph, self.start, self.end)
+
+
+class WordMarkModule(MarkModule):
+    """Viewer-role module."""
+
+    mark_class = WordMark
+    application_kind = WordApp.kind
+    role = ROLE_VIEWER
+
+    def create_from_selection(self, app: WordApp, mark_id: str) -> WordMark:
+        address = app.current_selection_address()
+        return WordMark(mark_id, file_name=address.file_name,
+                        paragraph=address.paragraph,
+                        start=address.start, end=address.end)
+
+    def resolve(self, mark: WordMark, app: WordApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            content = app.navigate_to(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        app.bring_to_front()
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name,
+                          address=str(mark.to_address()), content=content,
+                          context=f"paragraph {mark.paragraph}", surfaced=True)
+
+
+class WordExtractorModule(MarkModule):
+    """Extractor-role module."""
+
+    mark_class = WordMark
+    application_kind = WordApp.kind
+    role = ROLE_EXTRACTOR
+
+    def create_from_selection(self, app: WordApp, mark_id: str) -> WordMark:
+        return WordMarkModule().create_from_selection(app, mark_id)
+
+    def resolve(self, mark: WordMark, app: WordApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            content = app.text_at(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name,
+                          address=str(mark.to_address()), content=content,
+                          context=f"paragraph {mark.paragraph}", surfaced=False)

@@ -1,0 +1,21 @@
+"""The XML base application (viewer + parser + path addressing)."""
+
+from repro.base.xmldoc.app import XmlAddress, XmlViewerApp
+from repro.base.xmldoc.dom import XmlDocument, XmlElement, parse_xml
+from repro.base.xmldoc.marks import XMLMark, XmlExtractorModule, XmlMarkModule
+from repro.base.xmldoc.xpath import format_path, parse_path, path_of, resolve_path
+
+__all__ = [
+    "XmlAddress",
+    "XmlViewerApp",
+    "XmlDocument",
+    "XmlElement",
+    "parse_xml",
+    "XMLMark",
+    "XmlExtractorModule",
+    "XmlMarkModule",
+    "format_path",
+    "parse_path",
+    "path_of",
+    "resolve_path",
+]

@@ -1,0 +1,81 @@
+"""The simulated XML viewer application.
+
+Fig. 4's lab-report window: the viewer opens an XML document, the user
+selects an element (by clicking, here by path), and mark resolution
+*"opens the lab report and highlights the appropriate section of the XML
+document"*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.base.application import BaseApplication
+from repro.base.xmldoc.dom import XmlDocument, XmlElement
+from repro.base.xmldoc.xpath import path_of, resolve_path
+
+
+@dataclass(frozen=True)
+class XmlAddress:
+    """The address form an XML mark carries (Fig. 8): ``fileName``,
+    ``xmlPath``."""
+
+    file_name: str
+    xml_path: str
+
+    def __str__(self) -> str:
+        return f"{self.file_name}#{self.xml_path}"
+
+
+class XmlViewerApp(BaseApplication):
+    """Open XML documents and select elements by path."""
+
+    kind = "xml"
+
+    # -- viewer verbs -----------------------------------------------------------
+
+    def select_element(self, element: XmlElement) -> XmlAddress:
+        """Select a DOM element of the open document (user click)."""
+        document = self.require_document()
+        assert isinstance(document, XmlDocument)
+        address = XmlAddress(document.name, path_of(element))
+        self._set_selection(address)
+        return address
+
+    def select_path(self, xml_path: str) -> XmlAddress:
+        """Select by path directly (validates the path exists)."""
+        document = self.require_document()
+        assert isinstance(document, XmlDocument)
+        resolve_path(document.root, xml_path)
+        address = XmlAddress(document.name, xml_path)
+        self._set_selection(address)
+        return address
+
+    def selected_element(self) -> XmlElement:
+        """The DOM element under the current selection."""
+        address = self.current_selection_address()
+        assert isinstance(address, XmlAddress)
+        return self.element_at(address)
+
+    # -- the narrow interface ------------------------------------------------------
+
+    def navigate_to(self, address: XmlAddress) -> str:
+        """Open the document and highlight the addressed element.
+
+        Returns the element's full text content.
+        """
+        if not isinstance(address, XmlAddress):
+            raise AddressError(f"not an XML address: {address!r}")
+        self.open_document(address.file_name)
+        element = self.element_at(address)
+        self._set_selection(address)
+        self._set_highlight(address)
+        return element.full_text()
+
+    def element_at(self, address: XmlAddress) -> XmlElement:
+        """The DOM element an address names (no UI effects)."""
+        document = self.library.get(address.file_name)
+        if not isinstance(document, XmlDocument):
+            raise AddressError(f"{address.file_name!r} is not an XML document")
+        return resolve_path(document.root, address.xml_path)

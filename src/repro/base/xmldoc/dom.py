@@ -1,0 +1,281 @@
+"""A minimal XML document model and parser for the base layer.
+
+Stands in for the XML files SLIMPad marks into (lab reports in Fig. 4).
+This is *base-layer* machinery — a document an external application owns —
+so it is independent of TRIM's persistence format.
+
+The parser handles the well-formed subset that matters for documents:
+elements, attributes (single- or double-quoted), character data with the
+five standard entities, comments, processing instructions, and CDATA
+sections.  Errors carry the character offset where parsing failed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ParseError
+from repro.base.application import BaseDocument
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w.\-]*")
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+
+class XmlElement:
+    """One element: tag, attributes, text pieces and child elements.
+
+    ``children`` holds child *elements*; interleaved character data is
+    concatenated into :attr:`text` (enough for addressing and display —
+    we do not need mixed-content fidelity).
+    """
+
+    def __init__(self, tag: str, attributes: Optional[Dict[str, str]] = None) -> None:
+        self.tag = tag
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.children: List["XmlElement"] = []
+        self.text = ""
+        self.parent: Optional["XmlElement"] = None
+
+    def append(self, child: "XmlElement") -> "XmlElement":
+        """Add a child element (setting its parent)."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def remove(self, child: "XmlElement") -> None:
+        """Remove a direct child element."""
+        self.children.remove(child)
+        child.parent = None
+
+    def child_tagged(self, tag: str, occurrence: int = 1) -> "XmlElement":
+        """The *occurrence*-th (1-based) child with tag *tag*."""
+        seen = 0
+        for child in self.children:
+            if child.tag == tag:
+                seen += 1
+                if seen == occurrence:
+                    return child
+        raise ParseError(f"<{self.tag}> has no {occurrence}-th <{tag}> child")
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """This element and all descendants, document order."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find_all(self, tag: str) -> List["XmlElement"]:
+        """Every descendant (or self) with tag *tag*, document order."""
+        return [el for el in self.iter() if el.tag == tag]
+
+    def full_text(self) -> str:
+        """This element's text plus all descendants' text, in order."""
+        parts = [self.text] if self.text else []
+        for child in self.children:
+            inner = child.full_text()
+            if inner:
+                parts.append(inner)
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<XmlElement {self.tag} children={len(self.children)}>"
+
+
+class XmlDocument(BaseDocument):
+    """An XML file: a name plus a root element."""
+
+    kind = "xml"
+
+    def __init__(self, name: str, root: XmlElement) -> None:
+        super().__init__(name)
+        self.root = root
+
+    @classmethod
+    def parse(cls, name: str, text: str) -> "XmlDocument":
+        """Parse XML source into a document."""
+        return cls(name, parse_xml(text))
+
+    def estimated_bytes(self) -> int:
+        total = 0
+        for element in self.root.iter():
+            total += len(element.tag) + len(element.text)
+            total += sum(len(k) + len(v) for k, v in element.attributes.items())
+        return total
+
+
+def parse_xml(text: str) -> XmlElement:
+    """Parse well-formed XML source; returns the root element."""
+    parser = _Parser(text)
+    return parser.parse()
+
+
+class _Parser:
+    """A small recursive-descent XML parser."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+
+    def parse(self) -> XmlElement:
+        self._skip_misc()
+        root = self._parse_element()
+        self._skip_misc()
+        if self._pos != len(self._text):
+            self._fail("content after document element")
+        return root
+
+    # -- grammar -------------------------------------------------------------
+
+    def _parse_element(self) -> XmlElement:
+        if not self._consume("<"):
+            self._fail("expected '<'")
+        tag = self._parse_name()
+        element = XmlElement(tag, self._parse_attributes())
+        self._skip_ws()
+        if self._consume("/>"):
+            return element
+        if not self._consume(">"):
+            self._fail(f"malformed start tag <{tag}>")
+        self._parse_content(element)
+        return element
+
+    def _parse_content(self, element: XmlElement) -> None:
+        text_parts: List[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                self._fail(f"unexpected end of input inside <{element.tag}>")
+            if self._peek("</"):
+                self._pos += 2
+                closing = self._parse_name()
+                self._skip_ws()
+                if not self._consume(">"):
+                    self._fail("malformed end tag")
+                if closing != element.tag:
+                    self._fail(f"mismatched end tag </{closing}> "
+                               f"for <{element.tag}>")
+                element.text = "".join(text_parts).strip()
+                return
+            if self._peek("<!--"):
+                self._skip_comment()
+            elif self._peek("<![CDATA["):
+                text_parts.append(self._parse_cdata())
+            elif self._peek("<?"):
+                self._skip_pi()
+            elif self._peek("<"):
+                element.append(self._parse_element())
+            else:
+                text_parts.append(self._parse_chardata())
+
+    def _parse_attributes(self) -> Dict[str, str]:
+        attributes: Dict[str, str] = {}
+        while True:
+            self._skip_ws()
+            if self._peek(">") or self._peek("/>") or self._pos >= len(self._text):
+                return attributes
+            name = self._parse_name()
+            self._skip_ws()
+            if not self._consume("="):
+                self._fail(f"attribute {name!r} missing '='")
+            self._skip_ws()
+            quote = self._text[self._pos:self._pos + 1]
+            if quote not in ("'", '"'):
+                self._fail(f"attribute {name!r} value must be quoted")
+            self._pos += 1
+            end = self._text.find(quote, self._pos)
+            if end < 0:
+                self._fail(f"unterminated attribute value for {name!r}")
+            if name in attributes:
+                self._fail(f"duplicate attribute {name!r}")
+            attributes[name] = _decode_entities(self._text[self._pos:end],
+                                                self)
+            self._pos = end + 1
+
+    def _parse_chardata(self) -> str:
+        end = self._text.find("<", self._pos)
+        if end < 0:
+            self._fail("character data outside any element")
+        raw = self._text[self._pos:end]
+        self._pos = end
+        return _decode_entities(raw, self)
+
+    def _parse_cdata(self) -> str:
+        self._pos += len("<![CDATA[")
+        end = self._text.find("]]>", self._pos)
+        if end < 0:
+            self._fail("unterminated CDATA section")
+        raw = self._text[self._pos:end]
+        self._pos = end + 3
+        return raw
+
+    def _parse_name(self) -> str:
+        match = _NAME_RE.match(self._text, self._pos)
+        if match is None:
+            self._fail("expected a name")
+        self._pos = match.end()
+        return match.group(0)
+
+    # -- low-level helpers ------------------------------------------------------
+
+    def _skip_misc(self) -> None:
+        """Skip whitespace, comments, PIs and the XML declaration."""
+        while True:
+            self._skip_ws()
+            if self._peek("<!--"):
+                self._skip_comment()
+            elif self._peek("<?"):
+                self._skip_pi()
+            elif self._peek("<!DOCTYPE"):
+                end = self._text.find(">", self._pos)
+                if end < 0:
+                    self._fail("unterminated DOCTYPE")
+                self._pos = end + 1
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        end = self._text.find("-->", self._pos)
+        if end < 0:
+            self._fail("unterminated comment")
+        self._pos = end + 3
+
+    def _skip_pi(self) -> None:
+        end = self._text.find("?>", self._pos)
+        if end < 0:
+            self._fail("unterminated processing instruction")
+        self._pos = end + 2
+
+    def _skip_ws(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1
+
+    def _peek(self, token: str) -> bool:
+        return self._text.startswith(token, self._pos)
+
+    def _consume(self, token: str) -> bool:
+        if self._peek(token):
+            self._pos += len(token)
+            return True
+        return False
+
+    def _fail(self, message: str) -> None:
+        raise ParseError(f"XML parse error at offset {self._pos}: {message}")
+
+
+def _decode_entities(raw: str, parser: _Parser) -> str:
+    """Replace the five standard entities and numeric references."""
+    def replace(match: "re.Match[str]") -> str:
+        body = match.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        if body in _ENTITIES:
+            return _ENTITIES[body]
+        parser._fail(f"unknown entity &{body};")
+        raise AssertionError("unreachable")
+
+    try:
+        return re.sub(r"&([^;&\s]+);", replace, raw)
+    except ValueError:
+        parser._fail("malformed numeric character reference")
+        raise AssertionError("unreachable")

@@ -1,0 +1,84 @@
+"""The XML mark and its modules (Fig. 8, right).
+
+``XMLMark`` carries ``markId``, ``fileName``, ``xmlPath`` — the element-
+path addressing of the lab-report scraps in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import (AddressError, DocumentNotFoundError,
+                          MarkResolutionError)
+from repro.base.xmldoc.app import XmlAddress, XmlViewerApp
+from repro.marks.mark import Mark
+from repro.marks.modules import (ROLE_EXTRACTOR, ROLE_VIEWER, MarkModule,
+                                 Resolution)
+
+
+@dataclass(frozen=True)
+class XMLMark(Mark):
+    """Addresses an element within an XML file."""
+
+    file_name: str = ""
+    xml_path: str = ""
+
+    mark_type: ClassVar[str] = "xml"
+
+    def to_address(self) -> XmlAddress:
+        """The application-level address this mark stores."""
+        return XmlAddress(self.file_name, self.xml_path)
+
+
+class XmlMarkModule(MarkModule):
+    """Viewer-role module: open the document, highlight the element."""
+
+    mark_class = XMLMark
+    application_kind = XmlViewerApp.kind
+    role = ROLE_VIEWER
+
+    def create_from_selection(self, app: XmlViewerApp, mark_id: str) -> XMLMark:
+        address = app.current_selection_address()
+        return XMLMark(mark_id, file_name=address.file_name,
+                       xml_path=address.xml_path)
+
+    def resolve(self, mark: XMLMark, app: XmlViewerApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            content = app.navigate_to(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        app.bring_to_front()
+        element = app.element_at(mark.to_address())
+        parent = element.parent
+        context = f"under <{parent.tag}>" if parent is not None else "document root"
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name,
+                          address=str(mark.to_address()), content=content,
+                          context=context, surfaced=True)
+
+
+class XmlExtractorModule(MarkModule):
+    """Extractor-role module: read the element's text without surfacing."""
+
+    mark_class = XMLMark
+    application_kind = XmlViewerApp.kind
+    role = ROLE_EXTRACTOR
+
+    def create_from_selection(self, app: XmlViewerApp, mark_id: str) -> XMLMark:
+        return XmlMarkModule().create_from_selection(app, mark_id)
+
+    def resolve(self, mark: XMLMark, app: XmlViewerApp) -> Resolution:
+        self.check_mark(mark)
+        try:
+            element = app.element_at(mark.to_address())
+        except (DocumentNotFoundError, AddressError) as exc:
+            raise MarkResolutionError(
+                f"cannot resolve {mark.describe()}: {exc}") from exc
+        return Resolution(mark=mark, application_kind=self.application_kind,
+                          document_name=mark.file_name,
+                          address=str(mark.to_address()),
+                          content=element.full_text(),
+                          context=f"<{element.tag}>", surfaced=False)

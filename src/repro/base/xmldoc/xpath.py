@@ -1,0 +1,88 @@
+"""Child-index path addressing for XML elements (the ``xmlPath`` of Fig. 8).
+
+A path looks like ``/labReport/panel[1]/result[3]`` — rooted, one step per
+level, each step a tag name with a 1-based occurrence index among
+same-tagged siblings (``[1]`` may be omitted when writing, but
+:func:`path_of` always writes it, so paths are canonical).
+
+This is the fine-granularity addressing scheme the XML mark stores; it is
+stable under edits elsewhere in the document and resolvable in O(depth).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import AddressError
+from repro.base.xmldoc.dom import XmlElement
+
+_STEP_RE = re.compile(r"^(?P<tag>[A-Za-z_][\w.\-]*)(?:\[(?P<index>[1-9]\d*)\])?$")
+
+
+def parse_path(path: str) -> List[Tuple[str, int]]:
+    """Parse ``'/a/b[2]/c'`` into ``[('a', 1), ('b', 2), ('c', 1)]``."""
+    if not path.startswith("/"):
+        raise AddressError(f"xmlPath must be rooted (start with '/'): {path!r}")
+    steps: List[Tuple[str, int]] = []
+    for raw in path[1:].split("/"):
+        match = _STEP_RE.match(raw)
+        if match is None:
+            raise AddressError(f"bad xmlPath step {raw!r} in {path!r}")
+        steps.append((match.group("tag"), int(match.group("index") or 1)))
+    if not steps:
+        raise AddressError(f"empty xmlPath: {path!r}")
+    return steps
+
+
+def format_path(steps: List[Tuple[str, int]]) -> str:
+    """The canonical text form of parsed steps (indices always written)."""
+    return "/" + "/".join(f"{tag}[{index}]" for tag, index in steps)
+
+
+def resolve_path(root: XmlElement, path: str) -> XmlElement:
+    """Walk *path* from *root*; raises :class:`AddressError` when absent."""
+    steps = parse_path(path)
+    tag, index = steps[0]
+    if root.tag != tag or index != 1:
+        raise AddressError(
+            f"path {path!r} does not start at root <{root.tag}>")
+    element = root
+    for tag, index in steps[1:]:
+        seen = 0
+        found = None
+        for child in element.children:
+            if child.tag == tag:
+                seen += 1
+                if seen == index:
+                    found = child
+                    break
+        if found is None:
+            raise AddressError(
+                f"no {index}-th <{tag}> under <{element.tag}> for {path!r}")
+        element = found
+    return element
+
+
+def path_of(element: XmlElement) -> str:
+    """The canonical rooted path addressing *element*.
+
+    Inverse of :func:`resolve_path` for elements attached to a tree.
+    """
+    steps: List[Tuple[str, int]] = []
+    current = element
+    while current is not None:
+        parent = current.parent
+        if parent is None:
+            steps.append((current.tag, 1))
+        else:
+            index = 0
+            for sibling in parent.children:
+                if sibling.tag == current.tag:
+                    index += 1
+                if sibling is current:
+                    break
+            steps.append((current.tag, index))
+        current = parent
+    steps.reverse()
+    return format_path(steps)

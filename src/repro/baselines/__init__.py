@@ -1,0 +1,43 @@
+"""Related-work baselines (paper Section 5) and ablation counterparts.
+
+- :class:`InSituAnnotationSystem` — Acrobat/Word-Comments-style in-situ
+  annotation bound to the displayed document
+- :class:`ComMentorSystem` — shared, typed, time-ranged web annotations
+- :class:`VirtualDocument` — Mirage-III span-link composition (no original
+  content)
+- :class:`MvdMarker` — document-centric structural marks (the MVD position)
+- :class:`Moniker` / :class:`MonikerFactory` — self-resolving addresses
+- :class:`SchemaFirstStore` — the fixed-schema native store used by the
+  space/interpretation-cost ablations (claims C-1, C-2)
+"""
+
+from repro.baselines.commentor import ComMentorSystem, WebAnnotation
+from repro.baselines.insitu import InSituAnnotationSystem
+from repro.baselines.monikers import Moniker, MonikerFactory
+from repro.baselines.mvd import MvdMarker, StructuralMark, TreeNode, tree_view
+from repro.baselines.powerbookmarks import Bookmark, PowerBookmarksSystem
+from repro.baselines.schema_first import (NativeBundle, NativeMarkHandle,
+                                          NativePad, NativeScrap,
+                                          SchemaFirstStore)
+from repro.baselines.vdoc import SpanLink, VirtualDocument
+
+__all__ = [
+    "ComMentorSystem",
+    "WebAnnotation",
+    "InSituAnnotationSystem",
+    "Moniker",
+    "MonikerFactory",
+    "Bookmark",
+    "PowerBookmarksSystem",
+    "MvdMarker",
+    "StructuralMark",
+    "TreeNode",
+    "tree_view",
+    "NativeBundle",
+    "NativeMarkHandle",
+    "NativePad",
+    "NativeScrap",
+    "SchemaFirstStore",
+    "SpanLink",
+    "VirtualDocument",
+]

@@ -1,0 +1,84 @@
+"""ComMentor-style shared web annotations (Section 5).
+
+*"In ComMentor, users can ask for specific types of annotations created
+within a time range and use the returned annotations to navigate the
+corresponding web pages."*
+
+The baseline stores annotations separately from the pages (like SLIMPad)
+but is restricted to HTML, and its organizing abstractions are flat:
+typed, timestamped annotations with attribute queries — no bundles, no
+nesting, no freeform layout.  Time is logical (a per-store counter), so
+runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import BaseLayerError
+from repro.base.html.app import BrowserApp, HtmlAddress
+
+
+@dataclass(frozen=True)
+class WebAnnotation:
+    """One shared annotation on a web page."""
+
+    annotation_id: int
+    address: HtmlAddress
+    annotation_type: str     # e.g. 'comment', 'question', 'seal'
+    text: str
+    author: str
+    created_at: int          # logical timestamp
+
+
+class ComMentorSystem:
+    """A shared store of typed web annotations with range queries."""
+
+    def __init__(self, browser: BrowserApp) -> None:
+        self.browser = browser
+        self._annotations: List[WebAnnotation] = []
+        self._clock = 0
+
+    def annotate_selection(self, annotation_type: str, text: str,
+                           author: str = "") -> WebAnnotation:
+        """Annotate the browser's current selection."""
+        address = self.browser.current_selection_address()
+        if not isinstance(address, HtmlAddress):
+            raise BaseLayerError("ComMentor only annotates web pages")
+        self._clock += 1
+        annotation = WebAnnotation(len(self._annotations) + 1, address,
+                                   annotation_type, text, author, self._clock)
+        self._annotations.append(annotation)
+        return annotation
+
+    @property
+    def now(self) -> int:
+        """The current logical time."""
+        return self._clock
+
+    def query(self, annotation_type: Optional[str] = None,
+              since: Optional[int] = None,
+              until: Optional[int] = None,
+              author: Optional[str] = None) -> List[WebAnnotation]:
+        """The paper's query: by type, within a time range."""
+        hits = []
+        for annotation in self._annotations:
+            if annotation_type is not None and \
+                    annotation.annotation_type != annotation_type:
+                continue
+            if since is not None and annotation.created_at < since:
+                continue
+            if until is not None and annotation.created_at > until:
+                continue
+            if author is not None and annotation.author != author:
+                continue
+            hits.append(annotation)
+        return hits
+
+    def navigate(self, annotation: WebAnnotation) -> str:
+        """Use an annotation to navigate to its page/element."""
+        return self.browser.navigate_to(annotation.address)
+
+    def __len__(self) -> int:
+        return len(self._annotations)

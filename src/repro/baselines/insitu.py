@@ -1,0 +1,83 @@
+"""In-situ annotation baseline (Section 5).
+
+*"In most annotation systems, users manipulate, create, and view
+annotations in-situ (annotations are available only while the document is
+being displayed)."*  — Adobe Acrobat comments, Microsoft Word Comments.
+
+:class:`InSituAnnotationSystem` models exactly that contract over our
+Word documents: annotations are stored *inside* the document, can only be
+created or read while the document is open in the application, and are
+navigated next/previous within one document (the Word Comments behaviour
+the paper cites).  The contrast with SLIMPad: no cross-document
+organization, no access apart from the document, no selection/regrouping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import BaseLayerError
+from repro.base.worddoc.app import WordApp
+from repro.base.worddoc.document import WordComment, WordDocument
+
+
+class InSituAnnotationSystem:
+    """Word-Comments-style annotation bound to one application window."""
+
+    def __init__(self, app: WordApp) -> None:
+        self.app = app
+        self._cursor: Optional[int] = None  # index into comments_in_order()
+
+    def _open_doc(self) -> WordDocument:
+        document = self.app.current_document
+        if document is None:
+            raise BaseLayerError(
+                "in-situ annotation requires the document to be displayed")
+        assert isinstance(document, WordDocument)
+        return document
+
+    def annotate_selection(self, text: str, author: str = "") -> WordComment:
+        """Comment on the current selection (document must be open)."""
+        document = self._open_doc()
+        address = self.app.current_selection_address()
+        comment = WordComment(address.paragraph, address.start,
+                              address.end, text, author)
+        document.add_comment(comment)
+        return comment
+
+    def comments(self) -> List[WordComment]:
+        """The open document's comments, in document order."""
+        return self._open_doc().comments_in_order()
+
+    # -- next/previous navigation (the Microsoft Comments behaviour) -------------
+
+    def next_comment(self) -> WordComment:
+        """Advance to the next comment in the open document (wraps)."""
+        ordered = self.comments()
+        if not ordered:
+            raise BaseLayerError("document has no comments")
+        self._cursor = 0 if self._cursor is None \
+            else (self._cursor + 1) % len(ordered)
+        return self._select(ordered[self._cursor])
+
+    def previous_comment(self) -> WordComment:
+        """Step back to the previous comment (wraps)."""
+        ordered = self.comments()
+        if not ordered:
+            raise BaseLayerError("document has no comments")
+        self._cursor = len(ordered) - 1 if self._cursor is None \
+            else (self._cursor - 1) % len(ordered)
+        return self._select(ordered[self._cursor])
+
+    def _select(self, comment: WordComment) -> WordComment:
+        self.app.select_span(comment.paragraph, comment.start, comment.end)
+        return comment
+
+    # -- the limitation SLIMPad lifts ---------------------------------------------
+
+    def close_document(self) -> None:
+        """Closing the window: annotations become unreachable through the
+        system (they live only in the displayed document)."""
+        self.app.hide()
+        self.app._document = None  # the window is gone
+        self._cursor = None

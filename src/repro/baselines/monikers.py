@@ -1,0 +1,105 @@
+"""Microsoft-Monikers-style self-resolving addresses baseline (Section 5).
+
+*"Both our architecture and Monikers provide application-interpreted
+addresses. … The difference between our architecture and Monikers is that
+we use Mark Managers to resolve Marks instead of the Mark itself, which
+allows for multiple ways to resolve marks via different managers."*
+
+A :class:`Moniker` carries its resolution *behaviour* inside the address
+object, fixed at creation.  Resolving a moniker a second way requires
+constructing a **new** moniker (and re-addressing the element), whereas a
+Mark Manager resolves the same inert mark through any registered module.
+The extensibility bench (C-4) measures this difference directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import MarkResolutionError
+from repro.base.application import DocumentLibrary
+
+#: A moniker's bound behaviour: library -> content.
+Binding = Callable[[DocumentLibrary], object]
+
+
+@dataclass(frozen=True)
+class Moniker:
+    """An address that knows how to resolve itself — and only one way."""
+
+    moniker_id: str
+    display_name: str
+    _binding: Binding
+
+    def bind(self, library: DocumentLibrary) -> object:
+        """Resolve this moniker against a library (COM's BindToObject)."""
+        try:
+            return self._binding(library)
+        except Exception as exc:
+            raise MarkResolutionError(
+                f"moniker {self.display_name!r} failed to bind: {exc}") from exc
+
+
+class MonikerFactory:
+    """Mint monikers for the base documents we simulate.
+
+    Each factory method bakes one behaviour into the address.  There is no
+    way to reinterpret an existing moniker differently — that is the
+    design point under comparison.
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"moniker-{self._counter:06d}"
+
+    def excel_range_viewer(self, file_name: str, sheet_name: str,
+                           range_text: str) -> Moniker:
+        """A moniker that yields the range's values."""
+        from repro.base.spreadsheet.workbook import CellRange, Workbook
+
+        def binding(library: DocumentLibrary) -> object:
+            workbook = library.get(file_name)
+            assert isinstance(workbook, Workbook)
+            return workbook.sheet(sheet_name).range_values(
+                CellRange.parse(range_text))
+
+        return Moniker(self._next_id(),
+                       f"{file_name}!{sheet_name}!{range_text}", binding)
+
+    def excel_range_as_text(self, file_name: str, sheet_name: str,
+                            range_text: str) -> Moniker:
+        """The *same element* with a different behaviour needs a new
+        moniker — the address must be restated."""
+        inner = self.excel_range_viewer(file_name, sheet_name, range_text)
+
+        def binding(library: DocumentLibrary) -> object:
+            rows = inner.bind(library)
+            return "\n".join(" ".join(str(c) for c in row if c is not None)
+                             for row in rows)
+
+        return Moniker(self._next_id(), inner.display_name + " (text)", binding)
+
+    def xml_element_text(self, file_name: str, xml_path: str) -> Moniker:
+        """A moniker yielding an XML element's text."""
+        from repro.base.xmldoc.dom import XmlDocument
+        from repro.base.xmldoc.xpath import resolve_path
+
+        def binding(library: DocumentLibrary) -> object:
+            document = library.get(file_name)
+            assert isinstance(document, XmlDocument)
+            return resolve_path(document.root, xml_path).full_text()
+
+        return Moniker(self._next_id(), f"{file_name}#{xml_path}", binding)
+
+    def composite(self, first: Moniker, second: Moniker) -> Moniker:
+        """Composite monikers (COM's other hallmark): bind both, pair up."""
+        def binding(library: DocumentLibrary) -> object:
+            return (first.bind(library), second.bind(library))
+
+        return Moniker(self._next_id(),
+                       f"({first.display_name} ∘ {second.display_name})",
+                       binding)

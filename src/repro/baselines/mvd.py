@@ -1,0 +1,127 @@
+"""Multivalent-document-style structural marks baseline (Section 5).
+
+*"Multivalent Documents (MVD) use the structure of documents for
+addressing while accommodating a wide range of document types. …
+SLIMPad's approach for marking information sources is more generic than
+MVD. Instead of being document-centric, we choose to be
+application-centric, which means we can leverage the application's
+addressing mechanisms to provide various granularities."*
+
+This baseline implements the *document-centric* position: a single
+:class:`StructuralMark` type whose address is a child-index path over a
+generic tree view of the document.  Documents that expose tree structure
+(XML, HTML) can be marked; documents whose natural addressing is not tree
+paths (spreadsheet ranges, PDF character spans) either cannot be marked
+at all or only at coarse granularity — the measurable cost of giving up
+application-centric addressing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import AddressError, BaseLayerError
+from repro.base.application import BaseDocument, DocumentLibrary
+from repro.base.html.parser import HtmlPage
+from repro.base.pdf.document import PdfDocument
+from repro.base.spreadsheet.workbook import Workbook
+from repro.base.worddoc.document import WordDocument
+from repro.base.xmldoc.dom import XmlDocument, XmlElement
+
+
+@dataclass(frozen=True)
+class StructuralMark:
+    """A document-centric mark: a document name + child-index path."""
+
+    mark_id: str
+    document_name: str
+    path: "tuple[int, ...]"   # child indexes from the root, 0-based
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One node of the generic tree view."""
+
+    label: str
+    content: str
+    children: "tuple[TreeNode, ...]"
+
+
+def tree_view(document: BaseDocument) -> TreeNode:
+    """The generic tree an MVD-style system sees for *document*.
+
+    - XML/HTML: the real element tree (full granularity).
+    - Word: document -> paragraphs (paragraph granularity only).
+    - PDF: document -> pages -> lines (line granularity; no char spans).
+    - Spreadsheets: **no tree** — raises.  A grid has no natural
+      child-index decomposition; this is the baseline's blind spot.
+    """
+    if isinstance(document, (XmlDocument, HtmlPage)):
+        return _element_tree(document.root)
+    if isinstance(document, WordDocument):
+        children = tuple(TreeNode(f"paragraph[{i + 1}]", text, ())
+                         for i, text in enumerate(document.paragraphs))
+        return TreeNode(document.name, "", children)
+    if isinstance(document, PdfDocument):
+        pages = []
+        for page in document.pages:
+            lines = tuple(TreeNode(f"line[{i + 1}]", line, ())
+                          for i, line in enumerate(page.lines))
+            pages.append(TreeNode(f"page[{page.number}]", "", lines))
+        return TreeNode(document.name, "", tuple(pages))
+    if isinstance(document, Workbook):
+        raise BaseLayerError(
+            "document-centric addressing has no tree for spreadsheets; "
+            "range granularity requires application-centric marks")
+    raise BaseLayerError(
+        f"no tree view for document kind {document.kind!r}")
+
+
+def _element_tree(element: XmlElement) -> TreeNode:
+    return TreeNode(element.tag, element.text,
+                    tuple(_element_tree(c) for c in element.children))
+
+
+class MvdMarker:
+    """Create and resolve structural marks over a document library."""
+
+    def __init__(self, library: DocumentLibrary) -> None:
+        self.library = library
+        self._counter = 0
+
+    def mark(self, document_name: str, path: List[int]) -> StructuralMark:
+        """Mark the node at *path* (validating it exists)."""
+        self._node_at(document_name, tuple(path))  # raises when absent
+        self._counter += 1
+        return StructuralMark(f"smark-{self._counter:06d}",
+                              document_name, tuple(path))
+
+    def resolve(self, mark: StructuralMark) -> TreeNode:
+        """The tree node a structural mark addresses."""
+        return self._node_at(mark.document_name, mark.path)
+
+    def _node_at(self, document_name: str, path: "tuple[int, ...]") -> TreeNode:
+        node = tree_view(self.library.get(document_name))
+        for index in path:
+            if index < 0 or index >= len(node.children):
+                raise AddressError(
+                    f"path {path} leaves the tree at {node.label!r}")
+            node = node.children[index]
+        return node
+
+    def finest_granularity(self, document_name: str) -> str:
+        """What the finest addressable unit is for this document kind.
+
+        Reported by the comparison bench: application-centric marks reach
+        cell ranges and character spans where MVD-style marks stop at
+        lines/paragraphs (or nothing, for spreadsheets).
+        """
+        document = self.library.get(document_name)
+        if isinstance(document, (XmlDocument, HtmlPage)):
+            return "element"
+        if isinstance(document, WordDocument):
+            return "paragraph"
+        if isinstance(document, PdfDocument):
+            return "line"
+        return "none"

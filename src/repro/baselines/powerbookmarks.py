@@ -1,0 +1,105 @@
+"""PowerBookmarks-style bookmark organization baseline (reference [14]).
+
+*"PowerBookmarks: A system for personalizable web information
+organization, sharing, and management"* — the paper's Section 1 cites
+shared bookmarks as an existing superimposed application.  The baseline
+captures its contract: whole-page bookmarks (URL granularity only) with
+metadata, automatic keyword classification into folders, and sharing by
+user.  The contrasts with SLIMPad that the comparison bench surfaces:
+page-level (not sub-document) addressing, folder (not freeform 2-D)
+organization, and web-only scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import BaseLayerError
+from repro.base.application import DocumentLibrary
+from repro.base.html.parser import HtmlPage
+from repro.util.text import tokenize
+
+
+@dataclass(frozen=True)
+class Bookmark:
+    """One bookmark: a URL plus extracted metadata."""
+
+    bookmark_id: int
+    url: str
+    title: str
+    keywords: "tuple[str, ...]"
+    owner: str
+    folder: str
+
+
+class PowerBookmarksSystem:
+    """Bookmarks with auto-classification and per-user sharing."""
+
+    def __init__(self, library: DocumentLibrary) -> None:
+        self.library = library
+        self._bookmarks: List[Bookmark] = []
+        # folder name -> keywords that route a page into it
+        self._rules: Dict[str, List[str]] = {}
+
+    # -- classification rules ------------------------------------------------------
+
+    def add_folder_rule(self, folder: str, keywords: List[str]) -> None:
+        """Pages whose text mentions any keyword go to *folder*."""
+        self._rules[folder] = [keyword.lower() for keyword in keywords]
+
+    def _classify(self, keywords: "tuple[str, ...]") -> str:
+        for folder, rule_keywords in self._rules.items():
+            if any(keyword in rule_keywords for keyword in keywords):
+                return folder
+        return "Unfiled"
+
+    # -- bookmarking -----------------------------------------------------------------
+
+    def bookmark(self, url: str, owner: str) -> Bookmark:
+        """Bookmark a page: metadata is extracted, the folder assigned.
+
+        Whole pages only — PowerBookmarks has no sub-document addressing;
+        trying to bookmark anything finer is the baseline's documented
+        limitation.
+        """
+        page = self.library.get(url)
+        if not isinstance(page, HtmlPage):
+            raise BaseLayerError("PowerBookmarks bookmarks web pages only")
+        words = [token.normalized()
+                 for token in tokenize(page.root.full_text())]
+        seen: Dict[str, int] = {}
+        for word in words:
+            if len(word) > 3:
+                seen[word] = seen.get(word, 0) + 1
+        top = tuple(sorted(seen, key=lambda w: (-seen[w], w))[:8])
+        mark = Bookmark(len(self._bookmarks) + 1, url, page.title(),
+                        top, owner, self._classify(top))
+        self._bookmarks.append(mark)
+        return mark
+
+    # -- retrieval ----------------------------------------------------------------------
+
+    def folders(self) -> List[str]:
+        """Folder names in use, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for bookmark in self._bookmarks:
+            seen.setdefault(bookmark.folder, None)
+        return list(seen)
+
+    def in_folder(self, folder: str) -> List[Bookmark]:
+        """The bookmarks classified into one folder."""
+        return [b for b in self._bookmarks if b.folder == folder]
+
+    def by_owner(self, owner: str) -> List[Bookmark]:
+        """One user's bookmarks (the sharing dimension)."""
+        return [b for b in self._bookmarks if b.owner == owner]
+
+    def search(self, keyword: str) -> List[Bookmark]:
+        """Keyword search over extracted metadata."""
+        probe = keyword.lower()
+        return [b for b in self._bookmarks
+                if probe in b.keywords or probe in b.title.lower()]
+
+    def __len__(self) -> int:
+        return len(self._bookmarks)

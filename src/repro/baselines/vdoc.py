@@ -1,0 +1,94 @@
+"""Virtual documents (Mirage-III style) baseline (Section 5).
+
+*"Mirage-III is a digital library system that allows users to create
+virtual documents (VDOCs) that contain span links to other documents.
+When a VDOC is rendered, the span links are resolved and the information
+they reference is displayed. The main difference between SLIMPad and
+virtual documents is that SLIMPad can contain information not present in
+the underlying documents."*
+
+A :class:`VirtualDocument` is therefore an ordered sequence of **span
+links only** — attempting to add free text raises, which is precisely the
+limitation the paper contrasts against (SLIMPad's note scraps and labels).
+Rendering resolves every span through the Mark Manager's extractor role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import BaseLayerError, MarkResolutionError
+from repro.marks.manager import MarkManager
+from repro.marks.mark import Mark
+from repro.marks.modules import ROLE_EXTRACTOR
+
+
+@dataclass(frozen=True)
+class SpanLink:
+    """One link to a span in an underlying document (a mark id)."""
+
+    mark_id: str
+
+
+class VirtualDocument:
+    """An ordered composition of span links, rendered by resolution."""
+
+    def __init__(self, name: str, marks: MarkManager) -> None:
+        if not name:
+            raise BaseLayerError("virtual document needs a name")
+        self.name = name
+        self._marks = marks
+        self._links: List[SpanLink] = []
+
+    def append_link(self, mark: Mark) -> SpanLink:
+        """Append a span link for an existing mark."""
+        if mark.mark_id not in self._marks:
+            self._marks.adopt(mark)
+        link = SpanLink(mark.mark_id)
+        self._links.append(link)
+        return link
+
+    def append_text(self, text: str) -> None:
+        """VDOCs cannot hold original content — always raises.
+
+        This is the documented contrast with SLIMPad (which *can* hold
+        information not present in the underlying documents).
+        """
+        raise BaseLayerError(
+            "virtual documents contain only span links; "
+            "original content is not supported (see SLIMPad for that)")
+
+    @property
+    def links(self) -> List[SpanLink]:
+        """The document's span links, in composition order."""
+        return list(self._links)
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def render(self, separator: str = "\n") -> str:
+        """Resolve every span link and concatenate the referenced text."""
+        pieces = []
+        for link in self._links:
+            resolution = self._marks.resolve(link.mark_id, role=ROLE_EXTRACTOR)
+            pieces.append(resolution.content_text())
+        return separator.join(pieces)
+
+    def render_report(self) -> "List[tuple[str, str]]":
+        """(address, content) pairs — the rendered document with sources."""
+        report = []
+        for link in self._links:
+            resolution = self._marks.resolve(link.mark_id, role=ROLE_EXTRACTOR)
+            report.append((resolution.address, resolution.content_text()))
+        return report
+
+    def broken_links(self) -> List[SpanLink]:
+        """Links whose spans no longer resolve (underlying docs changed)."""
+        broken = []
+        for link in self._links:
+            try:
+                self._marks.resolve(link.mark_id, role=ROLE_EXTRACTOR)
+            except MarkResolutionError:
+                broken.append(link)
+        return broken

@@ -1,0 +1,146 @@
+"""A small command-line front end: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo`` — the quickstart round trip, printed.
+- ``worksheet [--patients N] [--seed S] [--svg PATH]`` — build a rounds
+  worksheet over a synthetic census; print the outline; optionally write
+  the SVG rendering.
+- ``handoff [--patients N] [--seed S]`` — build a worksheet and print the
+  weekend hand-off report.
+- ``concordance TERM [TERM ...]`` — concordance + KWIC over the built-in
+  corpus.
+- ``models`` — define the built-in superimposed models and list them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro import (DocumentLibrary, SlimPadApplication,
+                       standard_mark_manager)
+    from repro.base.spreadsheet import Workbook
+    from repro.slimpad.render import render_text
+    from repro.util.coordinates import Coordinate
+
+    library = DocumentLibrary()
+    meds = library.add(Workbook("meds.xls"))
+    sheet = meds.add_sheet("Current")
+    sheet.set_row(1, ["Drug", "Dose", "Route", "Schedule"])
+    sheet.set_row(2, ["Lasix", "40mg", "IV", "BID"])
+    manager = standard_mark_manager(library)
+    pad = SlimPadApplication(manager)
+    pad.new_pad("Demo")
+    excel = manager.application("spreadsheet")
+    excel.open_workbook("meds.xls")
+    excel.select_range("A2:D2")
+    scrap = pad.create_scrap_from_selection(excel, label="Lasix 40mg",
+                                            pos=Coordinate(10, 10))
+    print(render_text(pad.pad))
+    resolution = pad.double_click(scrap)
+    print(f"\nde-referenced -> {resolution.address}")
+    print(f"content: {resolution.content}")
+    return 0
+
+
+def _cmd_worksheet(args: argparse.Namespace) -> int:
+    from repro.slimpad.render import describe_structure, render_svg, render_text
+    from repro.workloads.icu import generate_icu
+    from repro.workloads.rounds import build_rounds_worksheet
+
+    dataset = generate_icu(num_patients=args.patients, seed=args.seed)
+    slimpad, _rows = build_rounds_worksheet(dataset)
+    print(render_text(slimpad.pad))
+    print("\nstructure:", describe_structure(slimpad.pad))
+    if args.svg:
+        svg = render_svg(slimpad.pad, width=1360,
+                         height=80 + args.patients * 190)
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        print(f"SVG written to {args.svg}")
+    return 0
+
+
+def _cmd_handoff(args: argparse.Namespace) -> int:
+    from repro.slimpad.handoff import build_handoff
+    from repro.workloads.icu import generate_icu
+    from repro.workloads.rounds import build_rounds_worksheet
+
+    dataset = generate_icu(num_patients=args.patients, seed=args.seed)
+    slimpad, _rows = build_rounds_worksheet(dataset)
+    print(build_handoff(slimpad).render())
+    return 0
+
+
+def _cmd_concordance(args: argparse.Namespace) -> int:
+    from repro.workloads.concordance import build_concordance, kwic
+
+    _slimpad, citations = build_concordance(args.terms)
+    for term in sorted(citations):
+        print(f"{term}: {len(citations[term])} use(s)")
+        for line in kwic(term):
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    from repro.metamodel.builtin_models import define_all
+    from repro.triples.trim import TrimManager
+
+    trim = TrimManager()
+    for model in define_all(trim):
+        constructs = ", ".join(c.name for c in model.constructs())
+        print(f"{model.name}: {constructs}")
+        for connector in model.connectors():
+            card = (f"{connector.min_card}.."
+                    f"{'*' if connector.max_card is None else connector.max_card}")
+            print(f"  {connector.name} [{card}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bundles in Captivity (ICDE 2001) reproduction")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="the quickstart round trip") \
+        .set_defaults(handler=_cmd_demo)
+
+    worksheet = commands.add_parser("worksheet",
+                                    help="build a rounds worksheet")
+    worksheet.add_argument("--patients", type=int, default=3)
+    worksheet.add_argument("--seed", type=int, default=2001)
+    worksheet.add_argument("--svg", default=None,
+                           help="write an SVG rendering to this path")
+    worksheet.set_defaults(handler=_cmd_worksheet)
+
+    handoff = commands.add_parser("handoff",
+                                  help="print a weekend hand-off report")
+    handoff.add_argument("--patients", type=int, default=3)
+    handoff.add_argument("--seed", type=int, default=2001)
+    handoff.set_defaults(handler=_cmd_handoff)
+
+    concordance = commands.add_parser("concordance",
+                                      help="concordance + KWIC")
+    concordance.add_argument("terms", nargs="+")
+    concordance.set_defaults(handler=_cmd_concordance)
+
+    commands.add_parser("models", help="list the built-in models") \
+        .set_defaults(handler=_cmd_models)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Data Manipulation Interfaces (paper Section 4.4, Figs. 9 & 10).
+
+- :class:`ModelSpec` / :class:`EntitySpec` / :class:`AttrSpec` /
+  :class:`RefSpec` — the high-level specification language
+- :class:`DmiRuntime` / :class:`EntityObject` — the engine that maps
+  entity operations onto triples and hands out read-only proxies
+- :func:`generate_dmi_class` / :func:`render_source` — automatic DMI
+  generation from a spec (the paper's SLIM-ML direction)
+"""
+
+from repro.dmi.generator import generate_dmi_class, render_source
+from repro.dmi.query import DmiQuery
+from repro.dmi.runtime import DmiRuntime, EntityObject
+from repro.dmi.spec import (ATTR_TYPES, AttrSpec, EntitySpec, ModelSpec,
+                            RefSpec)
+
+__all__ = [
+    "ATTR_TYPES",
+    "AttrSpec",
+    "EntitySpec",
+    "ModelSpec",
+    "RefSpec",
+    "DmiQuery",
+    "DmiRuntime",
+    "EntityObject",
+    "generate_dmi_class",
+    "render_source",
+]

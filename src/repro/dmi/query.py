@@ -1,0 +1,93 @@
+"""Typed queries over DMI application data.
+
+Section 6: *"We are also considering augmenting such interfaces with
+query capabilities, in addition to the current navigational access."*
+
+:class:`DmiQuery` is that augmentation: a small typed query surface over
+a :class:`~repro.dmi.runtime.DmiRuntime` that compiles to the conjunctive
+triple-query engine, returning application-data proxies rather than raw
+triples.  Navigational access (follow references) stays available on the
+proxies; queries add the declarative entry points.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.dmi.runtime import DmiRuntime, EntityObject
+from repro.dmi.spec import ATTR_TYPES
+from repro.triples.query import Pattern, Query, Var
+from repro.triples.triple import Literal, Resource
+
+
+class DmiQuery:
+    """Query entry points over one runtime's application data."""
+
+    def __init__(self, runtime: DmiRuntime) -> None:
+        self._runtime = runtime
+
+    # -- attribute queries ----------------------------------------------------------
+
+    def find(self, entity_name: str, attr_name: str, value) -> List[EntityObject]:
+        """Instances of *entity_name* whose *attr_name* equals *value*.
+
+        The value is encoded through the attribute's codec, so e.g.
+        coordinates compare correctly.
+        """
+        entity = self._runtime.spec.entity(entity_name)
+        attr = entity.attribute(attr_name)
+        encoded = ATTR_TYPES[attr.type].encode(value)
+        prop = self._runtime.property_resource(entity_name, attr_name)
+        hits = self._runtime.trim.select(prop=prop, value=Literal(encoded))
+        return [self._runtime.get(entity_name, t.subject.uri) for t in hits]
+
+    def find_where(self, entity_name: str,
+                   predicate: Callable[[EntityObject], bool]
+                   ) -> List[EntityObject]:
+        """Instances satisfying an arbitrary Python predicate (filter)."""
+        return [obj for obj in self._runtime.all(entity_name)
+                if predicate(obj)]
+
+    def first(self, entity_name: str, attr_name: str,
+              value) -> Optional[EntityObject]:
+        """The first :meth:`find` hit, or ``None``."""
+        hits = self.find(entity_name, attr_name, value)
+        return hits[0] if hits else None
+
+    # -- path queries (compiled to the conjunctive engine) -----------------------------
+
+    def contained_in(self, container_entity: str, ref_name: str,
+                     member_entity: str, member_attr: str,
+                     member_value) -> List[EntityObject]:
+        """Containers whose *ref_name* reaches a member with the given
+        attribute value — e.g. bundles containing a scrap named 'K 3.9'.
+
+        Compiles to a two-pattern conjunctive query joined on the member.
+        """
+        container = self._runtime.spec.entity(container_entity)
+        container.reference(ref_name)
+        member = self._runtime.spec.entity(member_entity)
+        attr = member.attribute(member_attr)
+        encoded = ATTR_TYPES[attr.type].encode(member_value)
+        query = Query([
+            Pattern(Var("c"),
+                    self._runtime.property_resource(container_entity, ref_name),
+                    Var("m")),
+            Pattern(Var("m"),
+                    self._runtime.property_resource(member_entity, member_attr),
+                    Literal(encoded)),
+        ])
+        results = []
+        for binding in query.run(self._runtime.trim.store):
+            container_node = binding["c"]
+            if isinstance(container_node, Resource):
+                try:
+                    results.append(self._runtime.get(container_entity,
+                                                     container_node.uri))
+                except KeyError:
+                    continue
+        return results
+
+    def count(self, entity_name: str) -> int:
+        """How many instances of *entity_name* exist."""
+        return len(self._runtime.all(entity_name))

@@ -1,0 +1,238 @@
+"""DMI model specifications.
+
+A :class:`ModelSpec` is the high-level description of an application data
+model — entities, typed attributes, references — from which a Data
+Manipulation Interface is generated (Section 4.4 and the Section 6 current
+work: *"automatic generation of customized data manipulation interfaces
+from high-level specification"*).
+
+Specs can be written directly (the "UML" path: Fig. 3 transcribed in
+code), converted **to** a metamodel model definition, or derived **from**
+one (the "triples" path) — the paper's two specification sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import SpecError
+from repro.metamodel.model import ModelDefinition
+from repro.triples.trim import TrimManager
+from repro.util.coordinates import Coordinate
+
+# -- attribute type codecs -------------------------------------------------------
+#
+# Each attribute type maps a Python value to/from a literal stored in one
+# triple.  'coordinate' packs a Coordinate as "x,y" so Fig. 3's
+# bundlePos/scrapPos attributes stay single triples.
+
+
+def _encode_coordinate(value: Coordinate) -> str:
+    if not isinstance(value, Coordinate):
+        raise TypeError(f"expected Coordinate, got {type(value).__name__}")
+    return f"{value.x},{value.y}"
+
+
+def _decode_coordinate(raw: object) -> Coordinate:
+    x_text, _, y_text = str(raw).partition(",")
+    return Coordinate(float(x_text), float(y_text))
+
+
+def _check_plain(python_type: type) -> Callable[[object], object]:
+    def encode(value: object) -> object:
+        # bool is an int subclass; require exact type identity.
+        if type(value) is not python_type:
+            raise TypeError(
+                f"expected {python_type.__name__}, got {type(value).__name__}")
+        return value
+    return encode
+
+
+@dataclass(frozen=True)
+class AttrType:
+    """A named attribute type with its encode/decode pair."""
+
+    name: str
+    encode: Callable[[object], object]
+    decode: Callable[[object], object]
+
+
+ATTR_TYPES: Dict[str, AttrType] = {
+    "string": AttrType("string", _check_plain(str), str),
+    "integer": AttrType("integer", _check_plain(int), int),
+    "float": AttrType("float", _check_plain(float), float),
+    "boolean": AttrType("boolean", _check_plain(bool), bool),
+    "coordinate": AttrType("coordinate", _encode_coordinate, _decode_coordinate),
+}
+
+#: How each attribute type is declared when bridged to the metamodel
+#: (coordinates travel as their packed string form).
+_METAMODEL_LITERAL_TYPE = {
+    "string": "string",
+    "integer": "integer",
+    "float": "float",
+    "boolean": "boolean",
+    "coordinate": "string",
+}
+
+
+@dataclass(frozen=True)
+class AttrSpec:
+    """One typed attribute of an entity (e.g. ``bundleName : string``)."""
+
+    name: str
+    type: str = "string"
+    required: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SpecError(f"attribute name must be an identifier: {self.name!r}")
+        if self.type not in ATTR_TYPES:
+            raise SpecError(f"unknown attribute type {self.type!r}; "
+                            f"expected one of {sorted(ATTR_TYPES)}")
+
+
+@dataclass(frozen=True)
+class RefSpec:
+    """One reference from an entity to another entity.
+
+    ``many`` distinguishes collections (``bundleContent 0..*``) from
+    single-valued references (``rootBundle 0..1``).  ``containment``
+    references cascade on delete — removing a Bundle removes its nested
+    Bundles and Scraps, as SLIMPad's Delete_Bundle must.
+    """
+
+    name: str
+    target: str
+    many: bool = True
+    required: bool = False
+    containment: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SpecError(f"reference name must be an identifier: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class EntitySpec:
+    """One entity: a named bag of attributes and references."""
+
+    name: str
+    attributes: Tuple[AttrSpec, ...] = ()
+    references: Tuple[RefSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SpecError(f"entity name must be an identifier: {self.name!r}")
+        names = [a.name for a in self.attributes] + [r.name for r in self.references]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SpecError(
+                f"entity {self.name!r} has duplicate member names: {sorted(duplicates)}")
+
+    def attribute(self, name: str) -> AttrSpec:
+        """Look up an attribute by name; raises SpecError when absent."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SpecError(f"entity {self.name!r} has no attribute {name!r}")
+
+    def reference(self, name: str) -> RefSpec:
+        """Look up a reference by name; raises SpecError when absent."""
+        for ref in self.references:
+            if ref.name == name:
+                return ref
+        raise SpecError(f"entity {self.name!r} has no reference {name!r}")
+
+
+class ModelSpec:
+    """A complete application data model: named entities, checked for sanity."""
+
+    def __init__(self, name: str, entities: List[EntitySpec]) -> None:
+        if not name.isidentifier():
+            raise SpecError(f"model name must be an identifier: {name!r}")
+        self.name = name
+        self.entities: Dict[str, EntitySpec] = {}
+        for entity in entities:
+            if entity.name in self.entities:
+                raise SpecError(f"duplicate entity {entity.name!r}")
+            self.entities[entity.name] = entity
+        self._validate_targets()
+
+    def _validate_targets(self) -> None:
+        for entity in self.entities.values():
+            for ref in entity.references:
+                if ref.target not in self.entities:
+                    raise SpecError(
+                        f"{entity.name}.{ref.name} references unknown "
+                        f"entity {ref.target!r}")
+
+    def entity(self, name: str) -> EntitySpec:
+        """Look up an entity by name; raises SpecError when absent."""
+        try:
+            return self.entities[name]
+        except KeyError:
+            raise SpecError(f"model {self.name!r} has no entity {name!r}") from None
+
+    # -- bridges to the metamodel (Section 6: "UML or as triples") ----------------
+
+    def to_metamodel(self, trim: TrimManager) -> ModelDefinition:
+        """Write this spec into a TRIM store as a model definition.
+
+        Entities become constructs; attributes become literal constructs
+        (named ``Entity.attr``) linked by connectors; references become
+        connectors with the spec's cardinalities.
+        """
+        model = ModelDefinition.define(trim, self.name)
+        constructs = {name: model.add_construct(name) for name in self.entities}
+        for entity in self.entities.values():
+            for attr in entity.attributes:
+                literal = model.add_literal_construct(
+                    f"{entity.name}.{attr.name}",
+                    _METAMODEL_LITERAL_TYPE[attr.type])
+                model.add_connector(f"{entity.name}.{attr.name}.of",
+                                    constructs[entity.name], literal,
+                                    min_card=1 if attr.required else 0,
+                                    max_card=1)
+            for ref in entity.references:
+                model.add_connector(
+                    f"{entity.name}.{ref.name}",
+                    constructs[entity.name], constructs[ref.target],
+                    min_card=1 if ref.required else 0,
+                    max_card=None if ref.many else 1)
+        return model
+
+    @classmethod
+    def from_metamodel(cls, model: ModelDefinition) -> "ModelSpec":
+        """Derive a spec from a model definition written by :meth:`to_metamodel`."""
+        entity_names = [c.name for c in model.constructs()
+                        if not c.is_literal and not c.is_mark]
+        attributes: Dict[str, List[AttrSpec]] = {n: [] for n in entity_names}
+        references: Dict[str, List[RefSpec]] = {n: [] for n in entity_names}
+        literal_types = {c.name: model.literal_type_of(c)
+                         for c in model.constructs() if c.is_literal}
+        construct_names = {c.resource: c.name for c in model.constructs()}
+
+        for connector in model.connectors():
+            source = construct_names.get(connector.source)
+            target = construct_names.get(connector.target)
+            if source not in attributes or target is None:
+                continue
+            if target in literal_types:
+                # An attribute connector: 'Entity.attr.of' -> literal construct.
+                attr_name = target.split(".", 1)[1] if "." in target else target
+                attributes[source].append(AttrSpec(
+                    attr_name, literal_types[target] or "string",
+                    required=connector.min_card >= 1))
+            elif target in entity_names:
+                ref_name = connector.name.split(".", 1)[1] \
+                    if connector.name.startswith(f"{source}.") else connector.name
+                references[source].append(RefSpec(
+                    ref_name, target,
+                    many=connector.max_card is None,
+                    required=connector.min_card >= 1))
+        entities = [EntitySpec(name, tuple(attributes[name]),
+                               tuple(references[name]))
+                    for name in entity_names]
+        return cls(model.name, entities)

@@ -1,0 +1,142 @@
+"""Exception hierarchy for the superimposed-information reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems raise the narrower types:
+
+- TRIM / triple store        -> :class:`TripleError` and children
+- metamodel / conformance    -> :class:`ModelError` and children
+- DMI runtime and generator  -> :class:`DmiError` and children
+- Mark Manager and modules   -> :class:`MarkError` and children
+- base applications          -> :class:`BaseLayerError` and children
+- SLIMPad application        -> :class:`SlimPadError`
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Triple store (TRIM)
+# ---------------------------------------------------------------------------
+
+class TripleError(ReproError):
+    """Base class for triple-store failures."""
+
+
+class InvalidTripleError(TripleError):
+    """A triple was constructed from components of the wrong kind."""
+
+
+class TripleNotFoundError(TripleError, KeyError):
+    """A removal or lookup referenced a triple absent from the store."""
+
+
+class NamespaceError(TripleError):
+    """A qualified name used an unregistered or conflicting prefix."""
+
+
+class PersistenceError(TripleError):
+    """Saving or loading a triple store (or marks file) failed."""
+
+
+class TransactionError(TripleError):
+    """Batch/undo machinery was used out of order (e.g. nested commit)."""
+
+
+class QueryError(TripleError):
+    """A selection or conjunctive query was malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Metamodel / models / schemas
+# ---------------------------------------------------------------------------
+
+class ModelError(ReproError):
+    """Base class for metamodel-level failures."""
+
+
+class UnknownConstructError(ModelError, KeyError):
+    """A schema or instance referenced a construct the model never defined."""
+
+
+class ConformanceError(ModelError):
+    """Conformance checking was requested and the data violates the model."""
+
+
+class MappingError(ModelError):
+    """A model/schema mapping was incomplete or applied to the wrong source."""
+
+
+# ---------------------------------------------------------------------------
+# DMI
+# ---------------------------------------------------------------------------
+
+class DmiError(ReproError):
+    """Base class for Data Manipulation Interface failures."""
+
+
+class SpecError(DmiError):
+    """A DMI model specification was inconsistent (dangling reference, dup)."""
+
+
+class UnknownEntityError(DmiError, KeyError):
+    """An operation referenced an entity id absent from the DMI store."""
+
+
+class StaleObjectError(DmiError):
+    """An application-data proxy was used after its entity was deleted."""
+
+
+# ---------------------------------------------------------------------------
+# Marks
+# ---------------------------------------------------------------------------
+
+class MarkError(ReproError):
+    """Base class for mark-management failures."""
+
+
+class UnknownMarkTypeError(MarkError, KeyError):
+    """No mark type/module registered for the requested kind."""
+
+
+class MarkNotFoundError(MarkError, KeyError):
+    """A mark id was not present in the Mark Manager."""
+
+
+class MarkResolutionError(MarkError):
+    """A mark could not be resolved against its base application."""
+
+
+class NoSelectionError(MarkError):
+    """Mark creation was requested while the base app had no selection."""
+
+
+# ---------------------------------------------------------------------------
+# Base layer
+# ---------------------------------------------------------------------------
+
+class BaseLayerError(ReproError):
+    """Base class for simulated base-application failures."""
+
+
+class DocumentNotFoundError(BaseLayerError, KeyError):
+    """The document library has no document under the requested name."""
+
+
+class AddressError(BaseLayerError):
+    """An address could not be parsed or does not exist in the document."""
+
+
+class ParseError(BaseLayerError):
+    """A base document (XML/HTML) could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# SLIMPad
+# ---------------------------------------------------------------------------
+
+class SlimPadError(ReproError):
+    """Base class for SLIMPad application failures."""

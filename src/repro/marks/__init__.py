@@ -1,0 +1,33 @@
+"""Mark management (paper Section 4.2, Figs. 7 & 8).
+
+- :class:`Mark` — inert typed addresses into base information
+- :class:`MarkTypeRegistry` — serialization and type lookup
+- :class:`MarkModule` / :class:`Resolution` — per-application create/resolve
+- :class:`MarkManager` — the façade superimposed applications use
+- :mod:`repro.marks.behaviors` — extract-content / display-in-place
+"""
+
+from repro.marks.behaviors import display_in_place, extract_content, preview
+from repro.marks.manager import MarkManager
+from repro.marks.mark import Mark
+from repro.marks.modules import (ROLE_EXTRACTOR, ROLE_VIEWER, MarkModule,
+                                 Resolution)
+from repro.marks.registry import MarkTypeRegistry
+from repro.marks.triples_bridge import (mark_records, marks_from_triples,
+                                        marks_to_triples)
+
+__all__ = [
+    "display_in_place",
+    "extract_content",
+    "preview",
+    "MarkManager",
+    "Mark",
+    "ROLE_EXTRACTOR",
+    "ROLE_VIEWER",
+    "MarkModule",
+    "Resolution",
+    "MarkTypeRegistry",
+    "mark_records",
+    "marks_from_triples",
+    "marks_to_triples",
+]

@@ -1,0 +1,54 @@
+"""Extended mark behaviours (Section 6 current work).
+
+*"we are considering additional behavior on marks that would be available
+to superimposed application builders, such as 'extract content' and
+'display in place'. Such an extension will require new mark modules for an
+existing mark type."*
+
+These behaviours are exactly that: thin functions over the Mark Manager's
+extractor-role modules, giving superimposed applications content access
+without surfacing base windows (the machinery behind independent viewing,
+Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.marks.manager import MarkManager
+from repro.marks.modules import ROLE_EXTRACTOR, Resolution
+from repro.util.text import shorten
+
+
+def extract_content(manager: MarkManager, mark_or_id) -> Resolution:
+    """Fetch the marked element's content without surfacing the base app.
+
+    Dispatches to the mark type's extractor-role module; the returned
+    resolution has ``surfaced=False``.
+    """
+    return manager.resolve(mark_or_id, role=ROLE_EXTRACTOR)
+
+
+def display_in_place(manager: MarkManager, mark_or_id,
+                     width: int = 60) -> str:
+    """Render the marked content as an in-place text block.
+
+    This is what SLIMPad uses to *"have marks on the SLIMPad resolve to
+    display the content of the marked element in place"* (independent
+    viewing).  The block is clipped to *width* columns per line.
+    """
+    resolution = extract_content(manager, mark_or_id)
+    lines = resolution.content_text().split("\n")
+    body = "\n".join(shorten(line, width) for line in lines) if lines else ""
+    header = shorten(f"[{resolution.document_name}] {resolution.address}", width)
+    return f"{header}\n{body}" if body else header
+
+
+def preview(manager: MarkManager, mark_or_id, limit: int = 40) -> Optional[str]:
+    """A one-line content preview for tooltips; ``None`` when unresolvable."""
+    try:
+        resolution = extract_content(manager, mark_or_id)
+    except Exception:
+        return None
+    text = resolution.content_text().replace("\n", " ")
+    return shorten(text, limit) if text else ""

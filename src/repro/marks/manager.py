@@ -1,0 +1,188 @@
+"""The Mark Manager (Fig. 7).
+
+*"The Mark Manager is the framework for creating and managing these links
+— called marks. … Mark management hides the details of the different
+kinds of base-layer information and base-layer applications from the
+superimposed application."*
+
+The manager holds:
+
+- a :class:`~repro.marks.registry.MarkTypeRegistry` (for storage),
+- mark modules keyed by (mark type, role) and by application kind,
+- the base applications themselves, keyed by kind,
+- the marks, keyed by mark id.
+
+The superimposed application's whole vocabulary is ``create_mark(app)``
+and ``resolve(mark_id)`` — base-layer variety is invisible above this
+line, which is what made the architecture "readily extensible".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (MarkError, MarkNotFoundError, MarkResolutionError,
+                          PersistenceError, UnknownMarkTypeError)
+from repro.marks.mark import Mark
+from repro.marks.modules import ROLE_VIEWER, MarkModule, Resolution
+from repro.marks.registry import MarkTypeRegistry
+from repro.util.identifiers import IdGenerator
+
+
+class MarkManager:
+    """Create, store, and resolve marks across all base applications."""
+
+    def __init__(self, registry: Optional[MarkTypeRegistry] = None) -> None:
+        self.registry = registry or MarkTypeRegistry()
+        self._modules: Dict[Tuple[str, str], MarkModule] = {}
+        self._module_by_app_kind: Dict[str, MarkModule] = {}
+        self._applications: Dict[str, object] = {}
+        self._marks: Dict[str, Mark] = {}
+        self._ids = IdGenerator()
+
+    # -- wiring ----------------------------------------------------------------
+
+    def register_module(self, module: MarkModule) -> None:
+        """Install a mark module (registers its mark type as a side effect).
+
+        The first viewer-role module for an application kind becomes that
+        kind's creation module.
+        """
+        key = (module.mark_type, module.role)
+        if key in self._modules:
+            raise MarkError(
+                f"module for {key} already registered")
+        self.registry.register(module.mark_class)
+        self._modules[key] = module
+        if module.role == ROLE_VIEWER:
+            self._module_by_app_kind.setdefault(module.application_kind, module)
+
+    def register_application(self, app) -> None:
+        """Install a base application instance (one per kind)."""
+        kind = app.kind
+        if kind in self._applications:
+            raise MarkError(f"application kind {kind!r} already registered")
+        self._applications[kind] = app
+
+    def application(self, kind: str):
+        """The registered base application of *kind*."""
+        try:
+            return self._applications[kind]
+        except KeyError:
+            raise MarkError(f"no application registered for kind {kind!r}") from None
+
+    def module_for(self, mark_type: str, role: str = ROLE_VIEWER) -> MarkModule:
+        """The module serving (*mark_type*, *role*)."""
+        try:
+            return self._modules[(mark_type, role)]
+        except KeyError:
+            raise UnknownMarkTypeError(
+                f"no {role!r} module for mark type {mark_type!r}") from None
+
+    def supported_mark_types(self) -> List[str]:
+        """Mark types with at least one module, in registration order."""
+        seen: Dict[str, None] = {}
+        for mark_type, _role in self._modules:
+            seen.setdefault(mark_type, None)
+        return list(seen)
+
+    # -- creation ----------------------------------------------------------------
+
+    def create_mark(self, app) -> Mark:
+        """Mint and store a mark for *app*'s current selection.
+
+        This is the paper's creation flow: the base application hands the
+        module its current selection, the module builds the typed mark.
+        """
+        module = self._module_by_app_kind.get(app.kind)
+        if module is None:
+            raise MarkError(f"no mark module for application kind {app.kind!r}")
+        mark = module.create_from_selection(app, self._ids.next("mark"))
+        self._marks[mark.mark_id] = mark
+        return mark
+
+    def adopt(self, mark: Mark) -> None:
+        """Store an externally constructed mark (e.g. received in a file)."""
+        if mark.mark_type not in self.registry:
+            raise UnknownMarkTypeError(
+                f"mark type {mark.mark_type!r} is not registered")
+        self._marks[mark.mark_id] = mark
+        self._ids.observe(mark.mark_id)
+
+    # -- retrieval ------------------------------------------------------------------
+
+    def get(self, mark_id: str) -> Mark:
+        """The stored mark with this id."""
+        try:
+            return self._marks[mark_id]
+        except KeyError:
+            raise MarkNotFoundError(f"no mark with id {mark_id!r}") from None
+
+    def marks(self) -> List[Mark]:
+        """All stored marks, in creation order."""
+        return list(self._marks.values())
+
+    def __len__(self) -> int:
+        return len(self._marks)
+
+    def __contains__(self, mark_id: str) -> bool:
+        return mark_id in self._marks
+
+    def remove(self, mark_id: str) -> Mark:
+        """Forget a mark; returns it.  Raises when absent."""
+        try:
+            return self._marks.pop(mark_id)
+        except KeyError:
+            raise MarkNotFoundError(f"no mark with id {mark_id!r}") from None
+
+    # -- resolution -------------------------------------------------------------------
+
+    def resolve(self, mark_or_id, role: str = ROLE_VIEWER) -> Resolution:
+        """Drive the right base application to the marked element.
+
+        *role* selects among multiple modules for the mark's type —
+        ``'viewer'`` surfaces the element in its original context;
+        ``'extractor'`` fetches content without surfacing the application.
+        """
+        mark = self.get(mark_or_id) if isinstance(mark_or_id, str) else mark_or_id
+        module = self.module_for(mark.mark_type, role)
+        app = self.application(module.application_kind)
+        return module.resolve(mark, app)
+
+    def resolvable(self, mark_or_id) -> bool:
+        """Whether resolution currently succeeds (element still exists)."""
+        try:
+            self.resolve(mark_or_id)
+            return True
+        except (MarkResolutionError, MarkError):
+            return False
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def dumps(self) -> str:
+        """All marks as an XML string."""
+        return self.registry.dumps(self.marks())
+
+    def loads(self, text: str) -> int:
+        """Adopt marks from :meth:`dumps` output; returns how many."""
+        marks = self.registry.loads(text)
+        for mark in marks:
+            self.adopt(mark)
+        return len(marks)
+
+    def save(self, path: str) -> None:
+        """Write all marks to *path*."""
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(self.dumps())
+        except OSError as exc:
+            raise PersistenceError(f"cannot write {path}: {exc}") from exc
+
+    def load(self, path: str) -> int:
+        """Adopt marks from *path*; returns how many."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise PersistenceError(f"cannot read {path}: {exc}") from exc
+        return self.loads(text)

@@ -1,0 +1,56 @@
+"""The Mark base class (Fig. 3, bottom; Fig. 8).
+
+A mark is inert data: a ``markId`` plus *"the address to the marked
+information element, in whatever form required by the base source"*.
+Each type of base information has one Mark subclass whose extra fields are
+exactly its addressing scheme (Fig. 8 shows the Excel and XML cases).
+
+Marks deliberately contain **no behaviour** — resolution lives in mark
+modules (:mod:`repro.marks.modules`).  This is the design point the paper
+contrasts with Microsoft Monikers: because the address is dumb data,
+several different modules can resolve the same mark in different ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict
+
+from repro.errors import MarkError
+
+#: Field value types that survive serialization.
+_SERIALIZABLE = (str, int, float, bool)
+
+
+@dataclass(frozen=True)
+class Mark:
+    """Base class for all marks.  Subclasses add address fields.
+
+    Subclasses must set the class attribute :attr:`mark_type` to a unique
+    tag (e.g. ``"excel"``) used by the registry and the serialized form.
+    """
+
+    mark_id: str
+
+    #: Unique tag for this mark type; subclasses override.
+    mark_type: ClassVar[str] = "abstract"
+
+    def __post_init__(self) -> None:
+        if not self.mark_id:
+            raise MarkError("mark_id must be non-empty")
+        for field_ in fields(self):
+            value = getattr(self, field_.name)
+            if not isinstance(value, _SERIALIZABLE):
+                raise MarkError(
+                    f"{type(self).__name__}.{field_.name} must be a scalar, "
+                    f"got {type(value).__name__}")
+
+    def address_fields(self) -> Dict[str, Any]:
+        """The address portion of this mark: every field except the id."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name != "mark_id"}
+
+    def describe(self) -> str:
+        """A one-line human-readable form, e.g. for tooltips."""
+        address = ", ".join(f"{k}={v!r}" for k, v in self.address_fields().items())
+        return f"{self.mark_type} mark {self.mark_id}: {address}"

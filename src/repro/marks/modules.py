@@ -1,0 +1,110 @@
+"""Mark modules: the bridge between mark types and base applications.
+
+Section 4.2: *"A mark module, specific to a base-layer application,
+enables the creation of marks by receiving information from that
+application … A mark module resolves a mark by driving the base-layer
+application to the information element designated by the mark."*
+
+A module knows one application kind and one mark type.  Creating a mark
+reads the application's current selection address; resolving a mark drives
+the application back to that address (open → activate → select → highlight,
+the exact sequence Section 4.2 narrates for Excel) and reports a
+:class:`Resolution`.
+
+Several modules may serve the *same mark type* in different roles — e.g. a
+viewer module that displays in context and an extractor that returns the
+content in place (Section 6 current work; the Monikers comparison in
+Section 5).  The Mark Manager dispatches on (mark type, role).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, ClassVar, Type
+
+from repro.errors import MarkResolutionError
+from repro.marks.mark import Mark
+
+#: The default module role.
+ROLE_VIEWER = "viewer"
+#: A module that extracts content without surfacing the base application.
+ROLE_EXTRACTOR = "extractor"
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """What resolving a mark produced.
+
+    ``content`` is the marked element's current value(s) — a string for
+    text-like sources, a list of rows for spreadsheet ranges.  ``context``
+    is nearby material (the paper: *"re-establish context for a selected
+    item, and navigate to nearby information"*).  ``surfaced`` records
+    whether the base application was brought to the user's attention
+    (viewer role) or worked silently (extractor role).
+    """
+
+    mark: Mark
+    application_kind: str
+    document_name: str
+    address: str
+    content: Any
+    context: str = ""
+    surfaced: bool = True
+
+    def content_text(self) -> str:
+        """The content flattened to one string (for scrap previews)."""
+        if isinstance(self.content, str):
+            return self.content
+        if isinstance(self.content, (list, tuple)):
+            parts = []
+            for item in self.content:
+                if isinstance(item, (list, tuple)):
+                    parts.append(" ".join(str(cell) for cell in item))
+                else:
+                    parts.append(str(item))
+            return "\n".join(parts)
+        return str(self.content)
+
+
+class MarkModule(ABC):
+    """One (application kind, mark type, role) implementation.
+
+    Concrete modules set :attr:`mark_class`, :attr:`application_kind` and
+    optionally :attr:`role` (default viewer).
+    """
+
+    #: The Mark subclass this module creates/resolves.
+    mark_class: ClassVar[Type[Mark]]
+    #: The base-application kind this module drives (e.g. 'spreadsheet').
+    application_kind: ClassVar[str]
+    #: Dispatch role; modules for the same mark type differ by role.
+    role: ClassVar[str] = ROLE_VIEWER
+
+    @property
+    def mark_type(self) -> str:
+        """The mark-type tag this module serves."""
+        return self.mark_class.mark_type
+
+    @abstractmethod
+    def create_from_selection(self, app, mark_id: str) -> Mark:
+        """Mint a mark for *app*'s current selection.
+
+        Raises :class:`~repro.errors.NoSelectionError` when the
+        application has nothing selected.
+        """
+
+    @abstractmethod
+    def resolve(self, mark: Mark, app) -> Resolution:
+        """Drive *app* to the element *mark* addresses and report it.
+
+        Raises :class:`~repro.errors.MarkResolutionError` when the address
+        no longer exists (document removed, element deleted).
+        """
+
+    def check_mark(self, mark: Mark) -> None:
+        """Guard helper: reject marks of the wrong type."""
+        if not isinstance(mark, self.mark_class):
+            raise MarkResolutionError(
+                f"{type(self).__name__} cannot resolve "
+                f"{type(mark).__name__} (expects {self.mark_class.__name__})")

@@ -1,0 +1,173 @@
+"""The mark-type registry and mark serialization.
+
+*"Since the specific addressing scheme of the base-layer information is
+encapsulated within the mark, the Mark Manager can generically store and
+retrieve all marks."* (Section 4.2.)
+
+The registry maps mark-type tags to Mark subclasses so marks of any type
+can be serialized to flat dictionaries / XML and reconstructed without the
+Mark Manager knowing their fields.  New base-layer information kinds are
+supported by registering one more class — nothing else changes (claim C-4).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import fields
+from typing import Any, Dict, List, Type
+
+from repro.errors import MarkError, PersistenceError, UnknownMarkTypeError
+from repro.marks.mark import Mark
+
+_FIELD_TYPE_TAGS = {str: "string", int: "integer", float: "float", bool: "boolean"}
+_TAG_DECODERS = {
+    "string": str,
+    "integer": int,
+    "float": float,
+    "boolean": lambda text: text == "true",
+}
+
+#: Characters XML 1.0 cannot carry verbatim (plus '%', our escape lead-in,
+#: and '\r', which XML parsers normalize to '\n').
+_XML_UNSAFE = {ch for ch in map(chr, range(0x20))
+               if ch not in ("\t", "\n")} | {"\r", "%"}
+
+
+def _encode_field_text(value: str) -> "tuple[str, bool]":
+    """Percent-encode characters that would not survive XML transport."""
+    if not any(ch in _XML_UNSAFE for ch in value):
+        return value, False
+    encoded = "".join(f"%{ord(ch):02X}" if ch in _XML_UNSAFE else ch
+                      for ch in value)
+    return encoded, True
+
+
+def _decode_field_text(text: str) -> str:
+    """Inverse of :func:`_encode_field_text` for flagged fields."""
+    out = []
+    i = 0
+    while i < len(text):
+        if text[i] == "%" and i + 3 <= len(text):
+            try:
+                out.append(chr(int(text[i + 1:i + 3], 16)))
+                i += 3
+                continue
+            except ValueError:
+                pass  # not one of our escapes; keep the raw '%'
+        out.append(text[i])
+        i += 1
+    return "".join(out)
+
+
+class MarkTypeRegistry:
+    """Maps mark-type tags to their Mark subclasses."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, Type[Mark]] = {}
+
+    def register(self, mark_class: Type[Mark]) -> Type[Mark]:
+        """Register a Mark subclass (usable as a class decorator).
+
+        Re-registering the same class is a no-op; a different class under
+        the same tag is an error.
+        """
+        tag = mark_class.mark_type
+        if not tag or tag == "abstract":
+            raise MarkError(
+                f"{mark_class.__name__} must define a concrete mark_type")
+        existing = self._types.get(tag)
+        if existing is not None and existing is not mark_class:
+            raise MarkError(f"mark type {tag!r} already registered "
+                            f"by {existing.__name__}")
+        self._types[tag] = mark_class
+        return mark_class
+
+    def get(self, tag: str) -> Type[Mark]:
+        """The Mark subclass for *tag*; raises when unknown."""
+        try:
+            return self._types[tag]
+        except KeyError:
+            raise UnknownMarkTypeError(f"no mark type registered as {tag!r}") from None
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._types
+
+    def types(self) -> List[str]:
+        """Registered tags, in registration order."""
+        return list(self._types)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self, mark: Mark) -> Dict[str, Any]:
+        """Flatten a mark to ``{'type': tag, 'mark_id': ..., <fields>}``."""
+        if mark.mark_type not in self._types:
+            raise UnknownMarkTypeError(
+                f"mark type {mark.mark_type!r} is not registered")
+        record: Dict[str, Any] = {"type": mark.mark_type, "mark_id": mark.mark_id}
+        record.update(mark.address_fields())
+        return record
+
+    def from_dict(self, record: Dict[str, Any]) -> Mark:
+        """Reconstruct a mark from :meth:`to_dict` output."""
+        data = dict(record)
+        try:
+            tag = data.pop("type")
+        except KeyError:
+            raise MarkError("mark record missing 'type'") from None
+        mark_class = self.get(tag)
+        expected = {f.name for f in fields(mark_class)}
+        unexpected = set(data) - expected
+        if unexpected:
+            raise MarkError(
+                f"unexpected field(s) for {tag!r} mark: {sorted(unexpected)}")
+        missing = expected - set(data)
+        if missing:
+            raise MarkError(f"missing field(s) for {tag!r} mark: {sorted(missing)}")
+        return mark_class(**data)
+
+    def dumps(self, marks: List[Mark]) -> str:
+        """Serialize marks to an XML string."""
+        root = ET.Element("marks")
+        for mark in marks:
+            record = self.to_dict(mark)
+            element = ET.SubElement(root, "mark", {"type": record.pop("type")})
+            for name, value in record.items():
+                type_tag = _FIELD_TYPE_TAGS[type(value)]
+                attrs = {"name": name, "type": type_tag}
+                if isinstance(value, bool):
+                    text = "true" if value else "false"
+                elif isinstance(value, str):
+                    text, was_encoded = _encode_field_text(value)
+                    if was_encoded:
+                        attrs["encoding"] = "pct"
+                else:
+                    text = str(value)
+                field_el = ET.SubElement(element, "field", attrs)
+                field_el.text = text
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode")
+
+    def loads(self, text: str) -> List[Mark]:
+        """Parse marks from :meth:`dumps` output."""
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise PersistenceError(f"malformed marks XML: {exc}") from exc
+        if root.tag != "marks":
+            raise PersistenceError(f"expected <marks> root, got <{root.tag}>")
+        marks: List[Mark] = []
+        for element in root:
+            if element.tag != "mark":
+                raise PersistenceError(f"unexpected element <{element.tag}>")
+            record: Dict[str, Any] = {"type": element.get("type", "")}
+            for field_el in element:
+                name = field_el.get("name")
+                type_tag = field_el.get("type", "string")
+                if not name or type_tag not in _TAG_DECODERS:
+                    raise PersistenceError("malformed mark field")
+                text = field_el.text or ""
+                if field_el.get("encoding") == "pct":
+                    text = _decode_field_text(text)
+                record[name] = _TAG_DECODERS[type_tag](text)
+            marks.append(self.from_dict(record))
+        return marks

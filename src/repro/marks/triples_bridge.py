@@ -1,0 +1,89 @@
+"""Storing marks in the superimposed information layer (as triples).
+
+Section 4.2: *"A mark is stored and maintained in the superimposed
+information layer, but references information in the base layer."*  The
+Mark Manager's own XML file is one storage channel; this bridge is the
+other — marks become triples in a TRIM store, so one persisted store can
+carry a pad *and* its marks (and TRIM's views/queries see both).
+
+Representation, per mark::
+
+    <mark-resource> rdf:type        slim:Mark
+    <mark-resource> slim:markType   "excel"
+    <mark-resource> slim:markId     "mark-000007"
+    <mark-resource> slim:field.file_name  "meds.xls"
+    <mark-resource> slim:field.range      "A2:D2"
+    ...
+
+Field literal types (int/float/bool/str) are preserved by the triple
+model itself, so the round trip is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import MarkError
+from repro.marks.manager import MarkManager
+from repro.marks.mark import Mark
+from repro.triples.namespaces import SLIM
+from repro.triples.triple import Literal, Resource
+from repro.triples.trim import TrimManager
+
+MARK_TYPE = SLIM["Mark"]
+MARK_KIND = SLIM["markType"]
+MARK_ID = SLIM["markId"]
+_FIELD_PREFIX = "field."
+_RDF_TYPE = Resource("rdf:type")
+
+
+def marks_to_triples(manager: MarkManager, trim: TrimManager) -> int:
+    """Write every mark the manager holds into *trim*'s store.
+
+    Existing mark triples for the same mark ids are replaced.  Returns
+    how many marks were written.
+    """
+    count = 0
+    for mark in manager.marks():
+        resource = trim.new_resource("markrec")
+        # Replace any previous record of this mark id.
+        for stale in trim.select(prop=MARK_ID, value=Literal(mark.mark_id)):
+            trim.remove_about(stale.subject)
+        trim.create(resource, _RDF_TYPE, MARK_TYPE)
+        trim.create(resource, MARK_KIND, mark.mark_type)
+        trim.create(resource, MARK_ID, mark.mark_id)
+        for name, value in mark.address_fields().items():
+            trim.create(resource, SLIM[f"{_FIELD_PREFIX}{name}"],
+                        Literal(value))
+        count += 1
+    return count
+
+
+def marks_from_triples(manager: MarkManager, trim: TrimManager) -> int:
+    """Adopt every mark recorded in *trim*'s store into the manager.
+
+    Mark types must already be registered (their modules installed).
+    Returns how many marks were adopted.
+    """
+    count = 0
+    for statement in trim.select(prop=_RDF_TYPE, value=MARK_TYPE):
+        resource = statement.subject
+        kind = trim.store.literal_of(resource, MARK_KIND)
+        mark_id = trim.store.literal_of(resource, MARK_ID)
+        if kind is None or mark_id is None:
+            raise MarkError(f"incomplete mark record at {resource}")
+        fields: Dict[str, object] = {}
+        for triple_ in trim.select(subject=resource):
+            local = triple_.property.local_name
+            if local.startswith(_FIELD_PREFIX) and \
+                    isinstance(triple_.value, Literal):
+                fields[local[len(_FIELD_PREFIX):]] = triple_.value.value
+        record = {"type": str(kind), "mark_id": str(mark_id), **fields}
+        manager.adopt(manager.registry.from_dict(record))
+        count += 1
+    return count
+
+
+def mark_records(trim: TrimManager) -> List[Resource]:
+    """The resources of every mark record in the store."""
+    return [t.subject for t in trim.select(prop=_RDF_TYPE, value=MARK_TYPE)]

@@ -1,0 +1,53 @@
+"""The SLIM metamodel (paper Section 4.3).
+
+A basic set of abstractions — constructs, literal constructs, mark
+constructs, connectors, conformance connectors, generalization connectors —
+with which superimposed data models are *described*, and under which model,
+schema, and instance data are all stored uniformly as triples.
+
+- :class:`ModelDefinition` / :class:`SchemaDefinition` / :class:`InstanceSpace`
+  — the three representation levels
+- :class:`ConformanceChecker` — validates declared structure only
+  ("schema-later": undeclared structure is never an error)
+- :class:`ModelMapping`, :class:`SchemaMapping`, :class:`SchemaToModelMapping`
+  — cross-model/schema data movement
+- :func:`model_as_rdfs`, :func:`metamodel_as_rdfs` — the RDF-Schema rendering
+"""
+
+from repro.metamodel.builtin_models import (define_all, define_rdf_model,
+                                            define_topic_map_model,
+                                            define_xlink_model)
+from repro.metamodel.instance import InstanceHandle, InstanceSpace
+from repro.metamodel.mapping import (MappingReport, ModelMapping,
+                                     SchemaMapping, SchemaToModelMapping)
+from repro.metamodel.model import (ConnectorHandle, ConstructHandle,
+                                   ModelDefinition, list_models)
+from repro.metamodel.rdfs import metamodel_as_rdfs, model_as_rdfs
+from repro.metamodel.schema import SchemaDefinition, SchemaElement, list_schemas
+from repro.metamodel.validation import (ConformanceChecker, ConformanceReport,
+                                        Violation)
+
+__all__ = [
+    "define_all",
+    "define_rdf_model",
+    "define_topic_map_model",
+    "define_xlink_model",
+    "InstanceHandle",
+    "InstanceSpace",
+    "MappingReport",
+    "ModelMapping",
+    "SchemaMapping",
+    "SchemaToModelMapping",
+    "ConnectorHandle",
+    "ConstructHandle",
+    "ModelDefinition",
+    "list_models",
+    "metamodel_as_rdfs",
+    "model_as_rdfs",
+    "SchemaDefinition",
+    "SchemaElement",
+    "list_schemas",
+    "ConformanceChecker",
+    "ConformanceReport",
+    "Violation",
+]

@@ -1,0 +1,88 @@
+"""Built-in superimposed model definitions.
+
+Section 1: *"we see models for information emerging that are inherently
+superimposed including topic maps, RDF, and XLink."*  Section 4.3 claims
+the metamodel can describe them.  This module backs that claim with
+executable definitions: each function writes one of those models into a
+TRIM store using only the metamodel's primitives, and the test suite
+validates instances against them.
+
+These are intentionally the *structural cores* of the standards —
+the constructs and connectors their data models rest on — not full
+implementations of the specifications.
+"""
+
+from __future__ import annotations
+
+from repro.metamodel.model import ModelDefinition
+from repro.triples.trim import TrimManager
+
+
+def define_topic_map_model(trim: TrimManager) -> ModelDefinition:
+    """ISO 13250 Topic Maps, structurally: topics, associations,
+    occurrences, with names and scoped roles."""
+    model = ModelDefinition.define(trim, "TopicMaps")
+    topic = model.add_construct("Topic")
+    association = model.add_construct("Association")
+    occurrence = model.add_construct("Occurrence")
+    role = model.add_construct("AssociationRole")
+    model.add_literal_construct("topicName", "string")
+    model.add_literal_construct("occurrenceType", "string")
+    resource_ref = model.add_mark_construct("ResourceRef")
+
+    model.add_connector("memberRole", association, role, min_card=2)
+    model.add_connector("rolePlayer", role, topic, min_card=1, max_card=1)
+    model.add_connector("hasOccurrence", topic, occurrence)
+    model.add_connector("occurrenceResource", occurrence, resource_ref,
+                        min_card=1, max_card=1)
+    return model
+
+
+def define_rdf_model(trim: TrimManager) -> ModelDefinition:
+    """The RDF data model, structurally: resources, properties,
+    statements (reified, so statements are first-class constructs)."""
+    model = ModelDefinition.define(trim, "RDF")
+    resource = model.add_construct("RdfResource")
+    statement = model.add_construct("Statement")
+    property_ = model.add_construct("Property")
+    model.add_literal_construct("literalValue", "string")
+    model.add_literal_construct("uri", "string")
+
+    model.add_connector("subject", statement, resource,
+                        min_card=1, max_card=1)
+    model.add_connector("predicate", statement, property_,
+                        min_card=1, max_card=1)
+    model.add_connector("object", statement, resource,
+                        min_card=0, max_card=1)
+    # Property is itself a resource (generalization connector).
+    model.add_generalization(property_, resource)
+    return model
+
+
+def define_xlink_model(trim: TrimManager) -> ModelDefinition:
+    """XLink, structurally: extended links over locators and arcs; a
+    simple link specializes the extended link."""
+    model = ModelDefinition.define(trim, "XLink")
+    extended = model.add_construct("ExtendedLink")
+    simple = model.add_construct("SimpleLink")
+    locator = model.add_construct("Locator")
+    arc = model.add_construct("Arc")
+    model.add_literal_construct("linkRole", "string")
+    model.add_literal_construct("arcRole", "string")
+    model.add_literal_construct("linkTitle", "string")
+    href = model.add_mark_construct("Href")
+
+    model.add_connector("hasLocator", extended, locator, min_card=1)
+    model.add_connector("hasArc", extended, arc)
+    model.add_connector("locatorHref", locator, href,
+                        min_card=1, max_card=1)
+    model.add_connector("arcFrom", arc, locator, min_card=1, max_card=1)
+    model.add_connector("arcTo", arc, locator, min_card=1, max_card=1)
+    model.add_generalization(simple, extended)
+    return model
+
+
+def define_all(trim: TrimManager) -> "list[ModelDefinition]":
+    """All three built-in models in one store (plus whatever was there)."""
+    return [define_topic_map_model(trim), define_rdf_model(trim),
+            define_xlink_model(trim)]

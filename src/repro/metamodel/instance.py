@@ -1,0 +1,157 @@
+"""Instance-level data: objects conforming (eventually) to schema elements.
+
+The paper stresses "schema-later" entry: *"we permit users to add
+information elements without prior definition of their meaning or their
+grouping"*.  An :class:`InstanceSpace` therefore lets you create instances
+with no declared schema element and attach conformance afterwards.
+
+Instances carry:
+
+- literal values keyed by a literal-construct (or ad-hoc property) resource,
+- links to other instances keyed by a connector (or ad-hoc property)
+  resource,
+- optionally a ``slim:markId`` literal when the instance stands for a mark
+  (instances of a mark construct).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ModelError
+from repro.metamodel import vocabulary as v
+from repro.metamodel.schema import SchemaElement
+from repro.triples.triple import Literal, LiteralValue, Resource
+from repro.triples.trim import TrimManager
+
+#: A property key: a defined construct/connector handle's resource, or any
+#: ad-hoc resource (schema-later data has no definitions yet).
+PropertyKey = Resource
+
+
+@dataclass(frozen=True)
+class InstanceHandle:
+    """A data-level object stored as triples."""
+
+    resource: Resource
+
+    @property
+    def id(self) -> str:
+        """The instance's stable identifier (its resource uri)."""
+        return self.resource.uri
+
+
+class InstanceSpace:
+    """Create, link, and read instances inside a TRIM store."""
+
+    def __init__(self, trim: TrimManager) -> None:
+        self._trim = trim
+
+    # -- creation / conformance --------------------------------------------------
+
+    def create(self, conforms_to: Optional[SchemaElement] = None) -> InstanceHandle:
+        """Create an instance, optionally conforming to a schema element."""
+        resource = self._trim.new_resource("instance")
+        self._trim.create(resource, v.TYPE, v.INSTANCE)
+        if conforms_to is not None:
+            self._trim.create(resource, v.CONFORMS_TO, conforms_to.resource)
+        return InstanceHandle(resource)
+
+    def declare_conformance(self, instance: InstanceHandle,
+                            element: SchemaElement) -> None:
+        """Attach (schema-later) or re-point an instance's schema element."""
+        self._trim.store.remove_matching(subject=instance.resource,
+                                         property=v.CONFORMS_TO)
+        self._trim.create(instance.resource, v.CONFORMS_TO, element.resource)
+
+    def conformance_of(self, instance: InstanceHandle) -> Optional[Resource]:
+        """The schema element this instance conforms to, if declared."""
+        node = self._trim.store.value_of(instance.resource, v.CONFORMS_TO)
+        return node if isinstance(node, Resource) else None
+
+    def delete(self, instance: InstanceHandle) -> int:
+        """Remove the instance: its own triples and links pointing at it."""
+        removed = self._trim.remove_about(instance.resource)
+        removed += self._trim.store.remove_matching(value=instance.resource)
+        return removed
+
+    # -- literal values -----------------------------------------------------------
+
+    def set_value(self, instance: InstanceHandle, key: PropertyKey,
+                  value: LiteralValue) -> None:
+        """Set (replacing) a single-valued literal property."""
+        self._trim.store.remove_matching(subject=instance.resource, property=key)
+        self._trim.create(instance.resource, key, Literal(value))
+
+    def add_value(self, instance: InstanceHandle, key: PropertyKey,
+                  value: LiteralValue) -> None:
+        """Add one value of a multi-valued literal property."""
+        self._trim.create(instance.resource, key, Literal(value))
+
+    def value(self, instance: InstanceHandle,
+              key: PropertyKey) -> Optional[LiteralValue]:
+        """Read a single-valued literal property (``None`` when unset)."""
+        return self._trim.store.literal_of(instance.resource, key)
+
+    def values(self, instance: InstanceHandle,
+               key: PropertyKey) -> List[LiteralValue]:
+        """Read every literal value of a property."""
+        return [node.value for node in
+                self._trim.store.values_of(instance.resource, key)
+                if isinstance(node, Literal)]
+
+    # -- links ---------------------------------------------------------------------
+
+    def link(self, source: InstanceHandle, key: PropertyKey,
+             target: InstanceHandle) -> None:
+        """Connect two instances via *key* (a connector resource)."""
+        self._trim.create(source.resource, key, target.resource)
+
+    def unlink(self, source: InstanceHandle, key: PropertyKey,
+               target: InstanceHandle) -> bool:
+        """Remove one link; returns whether it existed."""
+        return self._trim.store.remove_matching(
+            subject=source.resource, property=key,
+            value=target.resource) > 0
+
+    def linked(self, source: InstanceHandle,
+               key: PropertyKey) -> List[InstanceHandle]:
+        """Instances reachable from *source* via *key*, in link order."""
+        return [InstanceHandle(node) for node in
+                self._trim.store.values_of(source.resource, key)
+                if isinstance(node, Resource)]
+
+    def linking(self, target: InstanceHandle,
+                key: PropertyKey) -> List[InstanceHandle]:
+        """Instances that link *to* target via *key* (reverse navigation)."""
+        return [InstanceHandle(t.subject) for t in
+                self._trim.select(prop=key, value=target.resource)]
+
+    # -- marks ----------------------------------------------------------------------
+
+    def set_mark_id(self, instance: InstanceHandle, mark_id: str) -> None:
+        """Record the mark id carried by a mark-construct instance."""
+        if not mark_id:
+            raise ModelError("mark id must be non-empty")
+        self._trim.store.remove_matching(subject=instance.resource,
+                                         property=v.MARK_ID)
+        self._trim.create(instance.resource, v.MARK_ID, mark_id)
+
+    def mark_id(self, instance: InstanceHandle) -> Optional[str]:
+        """The mark id carried by this instance, if any."""
+        value = self._trim.store.literal_of(instance.resource, v.MARK_ID)
+        return None if value is None else str(value)
+
+    # -- enumeration ------------------------------------------------------------------
+
+    def all_instances(self) -> List[InstanceHandle]:
+        """Every instance in the store, in creation order."""
+        return [InstanceHandle(t.subject)
+                for t in self._trim.select(prop=v.TYPE, value=v.INSTANCE)]
+
+    def instances_of(self, element: SchemaElement) -> List[InstanceHandle]:
+        """Instances conforming to *element*."""
+        return [InstanceHandle(t.subject)
+                for t in self._trim.select(prop=v.CONFORMS_TO,
+                                           value=element.resource)]

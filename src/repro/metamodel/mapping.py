@@ -1,0 +1,203 @@
+"""Mappings between superimposed models and schemas.
+
+Section 4.3: *"We can leverage the generic representation directly, by
+defining mappings between superimposed models, including model-to-model,
+schema-to-schema and even schema-to-model mappings."*  (Bowers &
+Delcambre [4].)
+
+A mapping is a set of rules pairing source resources (constructs,
+connectors, or schema elements) with target resources.  Applying a mapping
+rewrites instance data — every ``rdf:type``/``slim:conformsTo`` target and
+every property key covered by a rule — into the target vocabulary,
+producing new triples (the source data is left untouched).
+
+Three concrete mapping kinds share the machinery:
+
+- :class:`ModelMapping` — constructs/connectors of model A to model B.
+- :class:`SchemaMapping` — elements of schema A to elements of schema B
+  (plus the property rules inherited from a model mapping, when given).
+- :class:`SchemaToModelMapping` — elements of schema A directly to
+  *constructs* of model B: the schema is "promoted", e.g. treating every
+  ``PatientBundle`` simply as a ``Bundle``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import MappingError
+from repro.metamodel import vocabulary as v
+from repro.metamodel.model import ModelDefinition
+from repro.metamodel.schema import SchemaDefinition
+from repro.triples.store import TripleStore
+from repro.triples.triple import Resource, Triple
+from repro.triples.trim import TrimManager
+
+
+@dataclass
+class MappingReport:
+    """What a mapping application did."""
+
+    rewritten: int                   # triples written to the target store
+    unmapped: List[Resource] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every touched element/property had a rule."""
+        return not self.unmapped
+
+
+class _RuleMapping:
+    """Shared rule table + application engine."""
+
+    def __init__(self, trim: TrimManager) -> None:
+        self._trim = trim
+        self._rules: Dict[Resource, Resource] = {}
+
+    def add_rule(self, source: Resource, target: Resource) -> None:
+        """Map *source* to *target*; re-adding a source must agree."""
+        existing = self._rules.get(source)
+        if existing is not None and existing != target:
+            raise MappingError(
+                f"conflicting rules for {source}: {existing} vs {target}")
+        self._rules[source] = target
+
+    @property
+    def rules(self) -> Dict[Resource, Resource]:
+        return dict(self._rules)
+
+    def translate(self, resource: Resource) -> Optional[Resource]:
+        """The target for *resource*, or ``None`` when unmapped."""
+        return self._rules.get(resource)
+
+    def apply_to_instances(self, instances: List[Resource],
+                           target_store: Optional[TripleStore] = None,
+                           strict: bool = False) -> MappingReport:
+        """Rewrite the given instances' triples under the rule table.
+
+        - conformance values (``slim:conformsTo``) are translated;
+        - property keys with a rule are translated;
+        - all other triples are copied through unchanged;
+        - instance ids are preserved (the mapping changes vocabulary,
+          not identity).
+
+        Unmapped conformance targets and property keys are reported; with
+        ``strict=True`` they raise :class:`MappingError` instead.
+        Results go to *target_store* (default: the source store itself).
+        """
+        store = self._trim.store
+        destination = target_store if target_store is not None else store
+        rewritten = 0
+        unmapped: List[Resource] = []
+
+        for instance in instances:
+            for triple_ in store.select(subject=instance):
+                new_property = self._rules.get(triple_.property, triple_.property)
+                new_value = triple_.value
+                if triple_.property == v.CONFORMS_TO and isinstance(new_value, Resource):
+                    translated = self._rules.get(new_value)
+                    if translated is None:
+                        unmapped.append(new_value)
+                        if strict:
+                            raise MappingError(
+                                f"no rule for conformance target {new_value}")
+                    else:
+                        new_value = translated
+                elif triple_.property not in self._rules and \
+                        triple_.property not in (v.TYPE, v.CONFORMS_TO,
+                                                 v.NAME, v.MARK_ID):
+                    # A data property without a rule: report once per key.
+                    if triple_.property not in unmapped:
+                        unmapped.append(triple_.property)
+                    if strict:
+                        raise MappingError(
+                            f"no rule for property {triple_.property}")
+                if destination.add(Triple(triple_.subject, new_property, new_value)):
+                    rewritten += 1
+        return MappingReport(rewritten, unmapped)
+
+
+class ModelMapping(_RuleMapping):
+    """Constructs and connectors of one model mapped onto another."""
+
+    def __init__(self, trim: TrimManager, source: ModelDefinition,
+                 target: ModelDefinition) -> None:
+        super().__init__(trim)
+        self.source = source
+        self.target = target
+
+    def map_construct(self, source_name: str, target_name: str) -> None:
+        """Rule: source model's construct -> target model's construct."""
+        self.add_rule(self.source.construct(source_name).resource,
+                      self.target.construct(target_name).resource)
+
+    def map_connector(self, source_name: str, target_name: str) -> None:
+        """Rule: source model's connector -> target model's connector."""
+        self.add_rule(self.source.connector(source_name).resource,
+                      self.target.connector(target_name).resource)
+
+    def missing_constructs(self) -> List[str]:
+        """Names of source constructs without a rule (coverage check)."""
+        return [c.name for c in self.source.constructs()
+                if c.resource not in self._rules]
+
+
+class SchemaMapping(_RuleMapping):
+    """Elements of one schema mapped onto another schema's elements.
+
+    When a *model_mapping* is supplied its property rules (connectors,
+    literal constructs) are inherited, so instance data moves both its
+    conformance and its vocabulary in one application.
+    """
+
+    def __init__(self, trim: TrimManager, source: SchemaDefinition,
+                 target: SchemaDefinition,
+                 model_mapping: Optional[ModelMapping] = None) -> None:
+        super().__init__(trim)
+        self.source = source
+        self.target = target
+        if model_mapping is not None:
+            for src, dst in model_mapping.rules.items():
+                self.add_rule(src, dst)
+
+    def map_element(self, source_name: str, target_name: str) -> None:
+        """Rule: source schema element -> target schema element."""
+        self.add_rule(self.source.element(source_name).resource,
+                      self.target.element(target_name).resource)
+
+    def apply(self, target_store: Optional[TripleStore] = None,
+              strict: bool = False) -> MappingReport:
+        """Rewrite every instance of the source schema's elements."""
+        from repro.metamodel.instance import InstanceSpace
+        space = InstanceSpace(self._trim)
+        instances: List[Resource] = []
+        for element in self.source.elements():
+            instances.extend(h.resource for h in space.instances_of(element))
+        return self.apply_to_instances(instances, target_store, strict)
+
+
+class SchemaToModelMapping(_RuleMapping):
+    """Schema elements mapped directly onto a (different) model's constructs."""
+
+    def __init__(self, trim: TrimManager, source: SchemaDefinition,
+                 target: ModelDefinition) -> None:
+        super().__init__(trim)
+        self.source = source
+        self.target = target
+
+    def map_element_to_construct(self, element_name: str,
+                                 construct_name: str) -> None:
+        """Rule: schema element -> model construct."""
+        self.add_rule(self.source.element(element_name).resource,
+                      self.target.construct(construct_name).resource)
+
+    def apply(self, target_store: Optional[TripleStore] = None,
+              strict: bool = False) -> MappingReport:
+        """Rewrite every instance of the source schema's elements."""
+        from repro.metamodel.instance import InstanceSpace
+        space = InstanceSpace(self._trim)
+        instances: List[Resource] = []
+        for element in self.source.elements():
+            instances.extend(h.resource for h in space.instances_of(element))
+        return self.apply_to_instances(instances, target_store, strict)

@@ -1,0 +1,270 @@
+"""Model-level definitions: superimposed data models as triples.
+
+A :class:`ModelDefinition` is a handle over triples describing one
+superimposed model — its constructs, literal constructs, mark constructs,
+connectors, and generalizations.  Everything is stored in the TRIM store;
+the handle classes are thin readers/writers, so a model can equally be
+*loaded* from triples that arrived from another application (the
+interoperability benefit of Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ModelError, UnknownConstructError
+from repro.metamodel import vocabulary as v
+from repro.triples.triple import Resource
+from repro.triples.trim import TrimManager
+
+
+@dataclass(frozen=True)
+class ConstructHandle:
+    """A construct (or literal/mark construct) within a model."""
+
+    resource: Resource
+    model: Resource
+    kind: Resource   # CONSTRUCT | LITERAL_CONSTRUCT | MARK_CONSTRUCT
+    name: str
+
+    @property
+    def is_literal(self) -> bool:
+        """Whether this is a literal construct."""
+        return self.kind == v.LITERAL_CONSTRUCT
+
+    @property
+    def is_mark(self) -> bool:
+        """Whether this is a mark construct."""
+        return self.kind == v.MARK_CONSTRUCT
+
+
+@dataclass(frozen=True)
+class ConnectorHandle:
+    """A connector between two constructs, with optional cardinalities.
+
+    ``max_card is None`` means unbounded (the UML ``*``).
+    """
+
+    resource: Resource
+    model: Resource
+    name: str
+    source: Resource
+    target: Resource
+    min_card: int
+    max_card: Optional[int]
+
+
+class ModelDefinition:
+    """Create and inspect one superimposed model inside a TRIM store."""
+
+    def __init__(self, trim: TrimManager, resource: Resource, name: str) -> None:
+        self._trim = trim
+        self.resource = resource
+        self.name = name
+
+    # -- definition ------------------------------------------------------------
+
+    @classmethod
+    def define(cls, trim: TrimManager, name: str) -> "ModelDefinition":
+        """Create a fresh model named *name* in *trim*'s store."""
+        resource = trim.new_resource("model")
+        trim.create(resource, v.TYPE, v.MODEL)
+        trim.create(resource, v.NAME, name)
+        return cls(trim, resource, name)
+
+    @classmethod
+    def attach(cls, trim: TrimManager, resource: Resource) -> "ModelDefinition":
+        """Wrap an existing model resource (e.g. after loading a store)."""
+        name = trim.store.literal_of(resource, v.NAME)
+        if name is None or trim.store.value_of(resource, v.TYPE) != v.MODEL:
+            raise ModelError(f"{resource} is not a slim:Model")
+        return cls(trim, resource, str(name))
+
+    def _add_construct_of_kind(self, name: str, kind: Resource) -> ConstructHandle:
+        if self.find_construct(name) is not None:
+            raise ModelError(f"model {self.name!r} already defines construct {name!r}")
+        resource = self._trim.new_resource("construct")
+        self._trim.create(resource, v.TYPE, kind)
+        self._trim.create(resource, v.NAME, name)
+        self._trim.create(resource, v.IN_MODEL, self.resource)
+        return ConstructHandle(resource, self.resource, kind, name)
+
+    def add_construct(self, name: str) -> ConstructHandle:
+        """Define a plain construct (a unit of structure)."""
+        return self._add_construct_of_kind(name, v.CONSTRUCT)
+
+    def add_literal_construct(self, name: str,
+                              literal_type: str = "string") -> ConstructHandle:
+        """Define a literal construct carrying a primitive type."""
+        if literal_type not in v.LITERAL_TYPES:
+            raise ModelError(f"unknown literal type {literal_type!r}; "
+                             f"expected one of {v.LITERAL_TYPES}")
+        handle = self._add_construct_of_kind(name, v.LITERAL_CONSTRUCT)
+        self._trim.create(handle.resource, v.LITERAL_TYPE, literal_type)
+        return handle
+
+    def add_mark_construct(self, name: str) -> ConstructHandle:
+        """Define a mark construct (instances delineate marks)."""
+        return self._add_construct_of_kind(name, v.MARK_CONSTRUCT)
+
+    def add_connector(self, name: str, source: ConstructHandle,
+                      target: ConstructHandle, min_card: int = 0,
+                      max_card: Optional[int] = None) -> ConnectorHandle:
+        """Define a connector from *source* to *target* constructs.
+
+        Cardinalities bound how many *target*-side values one source
+        instance may have; ``max_card=None`` is unbounded.
+        """
+        self._require_mine(source)
+        self._require_mine(target)
+        if min_card < 0:
+            raise ModelError("min_card must be >= 0")
+        if max_card is not None and max_card < min_card:
+            raise ModelError(f"max_card {max_card} < min_card {min_card}")
+        resource = self._trim.new_resource("connector")
+        self._trim.create(resource, v.TYPE, v.CONNECTOR)
+        self._trim.create(resource, v.NAME, name)
+        self._trim.create(resource, v.IN_MODEL, self.resource)
+        self._trim.create(resource, v.SOURCE, source.resource)
+        self._trim.create(resource, v.TARGET, target.resource)
+        self._trim.create(resource, v.MIN_CARD, min_card)
+        if max_card is not None:
+            self._trim.create(resource, v.MAX_CARD, max_card)
+        return ConnectorHandle(resource, self.resource, name,
+                               source.resource, target.resource,
+                               min_card, max_card)
+
+    def add_generalization(self, sub: ConstructHandle,
+                           super_: ConstructHandle) -> None:
+        """Declare that *sub* specializes *super_* (generalization connector)."""
+        self._require_mine(sub)
+        self._require_mine(super_)
+        if sub.resource == super_.resource:
+            raise ModelError("a construct cannot specialize itself")
+        if sub.resource in self._ancestors(super_.resource):
+            raise ModelError(
+                f"generalization cycle: {super_.name} already specializes {sub.name}")
+        self._trim.create(sub.resource, v.SPECIALIZES, super_.resource)
+
+    # -- inspection --------------------------------------------------------------
+
+    def constructs(self) -> List[ConstructHandle]:
+        """Every construct of any kind defined in this model."""
+        handles = []
+        for t in self._trim.select(prop=v.IN_MODEL, value=self.resource):
+            kind = self._trim.store.value_of(t.subject, v.TYPE)
+            if kind in (v.CONSTRUCT, v.LITERAL_CONSTRUCT, v.MARK_CONSTRUCT):
+                name = str(self._trim.store.literal_of(t.subject, v.NAME))
+                handles.append(ConstructHandle(t.subject, self.resource, kind, name))
+        return handles
+
+    def connectors(self) -> List[ConnectorHandle]:
+        """Every connector defined in this model."""
+        handles = []
+        for t in self._trim.select(prop=v.IN_MODEL, value=self.resource):
+            if self._trim.store.value_of(t.subject, v.TYPE) != v.CONNECTOR:
+                continue
+            handles.append(self._connector_from(t.subject))
+        return handles
+
+    def find_construct(self, name: str) -> Optional[ConstructHandle]:
+        """Look up a construct by name; ``None`` when absent."""
+        for handle in self.constructs():
+            if handle.name == name:
+                return handle
+        return None
+
+    def construct(self, name: str) -> ConstructHandle:
+        """Look up a construct by name; raise when absent."""
+        handle = self.find_construct(name)
+        if handle is None:
+            raise UnknownConstructError(
+                f"model {self.name!r} has no construct {name!r}")
+        return handle
+
+    def find_connector(self, name: str) -> Optional[ConnectorHandle]:
+        """Look up a connector by name; ``None`` when absent."""
+        for handle in self.connectors():
+            if handle.name == name:
+                return handle
+        return None
+
+    def connector(self, name: str) -> ConnectorHandle:
+        """Look up a connector by name; raise when absent."""
+        handle = self.find_connector(name)
+        if handle is None:
+            raise UnknownConstructError(
+                f"model {self.name!r} has no connector {name!r}")
+        return handle
+
+    def literal_type_of(self, construct: ConstructHandle) -> Optional[str]:
+        """The declared primitive type of a literal construct."""
+        value = self._trim.store.literal_of(construct.resource, v.LITERAL_TYPE)
+        return None if value is None else str(value)
+
+    def supers_of(self, construct: ConstructHandle) -> List[ConstructHandle]:
+        """Direct generalizations of *construct*."""
+        result = []
+        for node in self._trim.store.values_of(construct.resource, v.SPECIALIZES):
+            if isinstance(node, Resource):
+                result.append(self._construct_from(node))
+        return result
+
+    def all_supers_of(self, construct: ConstructHandle) -> List[ConstructHandle]:
+        """Transitive generalizations, nearest first."""
+        return [self._construct_from(r)
+                for r in self._ancestors(construct.resource)]
+
+    def is_kind_of(self, sub: ConstructHandle, super_: ConstructHandle) -> bool:
+        """True when *sub* is *super_* or (transitively) specializes it."""
+        if sub.resource == super_.resource:
+            return True
+        return super_.resource in self._ancestors(sub.resource)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _require_mine(self, handle) -> None:
+        if handle.model != self.resource:
+            raise ModelError(
+                f"{handle.name!r} belongs to a different model")
+
+    def _ancestors(self, resource: Resource) -> List[Resource]:
+        seen: List[Resource] = []
+        frontier = [resource]
+        while frontier:
+            current = frontier.pop(0)
+            for node in self._trim.store.values_of(current, v.SPECIALIZES):
+                if isinstance(node, Resource) and node not in seen:
+                    seen.append(node)
+                    frontier.append(node)
+        return seen
+
+    def _construct_from(self, resource: Resource) -> ConstructHandle:
+        kind = self._trim.store.value_of(resource, v.TYPE)
+        name = self._trim.store.literal_of(resource, v.NAME)
+        if kind is None or name is None:
+            raise UnknownConstructError(f"{resource} is not a construct")
+        return ConstructHandle(resource, self.resource, kind, str(name))
+
+    def _connector_from(self, resource: Resource) -> ConnectorHandle:
+        store = self._trim.store
+        name = store.literal_of(resource, v.NAME)
+        source = store.value_of(resource, v.SOURCE)
+        target = store.value_of(resource, v.TARGET)
+        min_card = store.literal_of(resource, v.MIN_CARD)
+        max_card = store.literal_of(resource, v.MAX_CARD)
+        if name is None or source is None or target is None:
+            raise ModelError(f"{resource} is not a well-formed connector")
+        return ConnectorHandle(resource, self.resource, str(name),
+                               source, target,
+                               int(min_card or 0),
+                               None if max_card is None else int(max_card))
+
+
+def list_models(trim: TrimManager) -> List[ModelDefinition]:
+    """Every model defined in *trim*'s store."""
+    result = []
+    for t in trim.select(prop=v.TYPE, value=v.MODEL):
+        result.append(ModelDefinition.attach(trim, t.subject))
+    return result

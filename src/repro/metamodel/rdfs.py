@@ -1,0 +1,63 @@
+"""Rendering the metamodel and model definitions as RDF Schema.
+
+Section 4.3: *"We represent the metamodel elements using RDF Schema."*
+This module emits the standard-vocabulary view of our triples:
+
+- the metamodel kinds themselves become ``rdfs:Class`` es, with
+  ``LiteralConstruct``/``MarkConstruct`` declared as subclasses of
+  ``Construct``;
+- each construct of a model becomes an ``rdfs:Class`` labelled with its
+  name;
+- each connector becomes an ``rdf:Property`` with ``rdfs:domain`` and
+  ``rdfs:range`` at its endpoint constructs;
+- each literal construct additionally becomes an ``rdf:Property`` whose
+  range is ``rdfs:Literal``;
+- generalizations become ``rdfs:subClassOf``.
+
+The output is an ordinary :class:`~repro.triples.store.TripleStore`, so it
+can be persisted with the same XML serialization — this is the
+serialization-based interoperability benefit the paper cites.
+"""
+
+from __future__ import annotations
+
+from repro.metamodel import vocabulary as v
+from repro.metamodel.model import ModelDefinition
+from repro.triples.store import TripleStore
+from repro.triples.triple import Triple, triple
+
+
+def metamodel_as_rdfs() -> TripleStore:
+    """The metamodel's own kinds rendered as an RDFS class hierarchy."""
+    store = TripleStore()
+    for kind in (v.CONSTRUCT, v.LITERAL_CONSTRUCT, v.MARK_CONSTRUCT,
+                 v.CONNECTOR, v.CONFORMANCE_CONNECTOR,
+                 v.GENERALIZATION_CONNECTOR, v.MODEL, v.SCHEMA, v.INSTANCE):
+        store.add(Triple(kind, v.TYPE, v.RDFS_CLASS))
+    # Specialized construct kinds are constructs.
+    store.add(Triple(v.LITERAL_CONSTRUCT, v.RDFS_SUBCLASS_OF, v.CONSTRUCT))
+    store.add(Triple(v.MARK_CONSTRUCT, v.RDFS_SUBCLASS_OF, v.CONSTRUCT))
+    # Specialized connector kinds are connectors.
+    store.add(Triple(v.CONFORMANCE_CONNECTOR, v.RDFS_SUBCLASS_OF, v.CONNECTOR))
+    store.add(Triple(v.GENERALIZATION_CONNECTOR, v.RDFS_SUBCLASS_OF, v.CONNECTOR))
+    return store
+
+
+def model_as_rdfs(model: ModelDefinition) -> TripleStore:
+    """One model's constructs/connectors rendered in RDFS vocabulary."""
+    store = metamodel_as_rdfs()
+    for construct in model.constructs():
+        store.add(Triple(construct.resource, v.TYPE, v.RDFS_CLASS))
+        store.add(triple(construct.resource, v.RDFS_LABEL, construct.name))
+        if construct.is_literal:
+            store.add(Triple(construct.resource, v.TYPE, v.RDF_PROPERTY))
+            store.add(Triple(construct.resource, v.RDFS_RANGE, v.RDFS_LITERAL))
+        for super_ in model.supers_of(construct):
+            store.add(Triple(construct.resource, v.RDFS_SUBCLASS_OF,
+                             super_.resource))
+    for connector in model.connectors():
+        store.add(Triple(connector.resource, v.TYPE, v.RDF_PROPERTY))
+        store.add(triple(connector.resource, v.RDFS_LABEL, connector.name))
+        store.add(Triple(connector.resource, v.RDFS_DOMAIN, connector.source))
+        store.add(Triple(connector.resource, v.RDFS_RANGE, connector.target))
+    return store

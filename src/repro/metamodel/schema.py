@@ -1,0 +1,136 @@
+"""Schema-level definitions: schemas conforming to superimposed models.
+
+A schema names the elements an application's data uses (e.g. a
+``PatientBundle``) and connects each element to the model construct it
+conforms to via a *conformance connector*.  Schemas can also be defined
+without a model and attached later — the paper's "flexible in which is
+defined first".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ModelError, UnknownConstructError
+from repro.metamodel import vocabulary as v
+from repro.metamodel.model import ConstructHandle, ModelDefinition
+from repro.triples.triple import Resource
+from repro.triples.trim import TrimManager
+
+
+@dataclass(frozen=True)
+class SchemaElement:
+    """An element of a schema, optionally conforming to a model construct."""
+
+    resource: Resource
+    schema: Resource
+    name: str
+    conforms_to: Optional[Resource]
+
+
+class SchemaDefinition:
+    """Create and inspect one schema inside a TRIM store."""
+
+    def __init__(self, trim: TrimManager, resource: Resource, name: str) -> None:
+        self._trim = trim
+        self.resource = resource
+        self.name = name
+
+    @classmethod
+    def define(cls, trim: TrimManager, name: str,
+               model: Optional[ModelDefinition] = None) -> "SchemaDefinition":
+        """Create a schema, optionally declaring the model it is against."""
+        resource = trim.new_resource("schema")
+        trim.create(resource, v.TYPE, v.SCHEMA)
+        trim.create(resource, v.NAME, name)
+        if model is not None:
+            trim.create(resource, v.OF_MODEL, model.resource)
+        return cls(trim, resource, name)
+
+    @classmethod
+    def attach(cls, trim: TrimManager, resource: Resource) -> "SchemaDefinition":
+        """Wrap an existing schema resource."""
+        name = trim.store.literal_of(resource, v.NAME)
+        if name is None or trim.store.value_of(resource, v.TYPE) != v.SCHEMA:
+            raise ModelError(f"{resource} is not a slim:Schema")
+        return cls(trim, resource, str(name))
+
+    # -- model linkage -----------------------------------------------------------
+
+    def model_resource(self) -> Optional[Resource]:
+        """The model this schema is declared against, if any."""
+        node = self._trim.store.value_of(self.resource, v.OF_MODEL)
+        return node if isinstance(node, Resource) else None
+
+    def set_model(self, model: ModelDefinition) -> None:
+        """Attach (schema-later) or re-point the schema's model."""
+        self._trim.store.remove_matching(subject=self.resource,
+                                         property=v.OF_MODEL)
+        self._trim.create(self.resource, v.OF_MODEL, model.resource)
+
+    # -- elements -----------------------------------------------------------------
+
+    def add_element(self, name: str,
+                    conforms_to: Optional[ConstructHandle] = None) -> SchemaElement:
+        """Define a schema element, optionally conforming to a construct.
+
+        Conformance may be declared later with :meth:`declare_conformance` —
+        "schema-later" applies within the schema level too.
+        """
+        if self.find_element(name) is not None:
+            raise ModelError(f"schema {self.name!r} already has element {name!r}")
+        resource = self._trim.new_resource("element")
+        self._trim.create(resource, v.IN_SCHEMA, self.resource)
+        self._trim.create(resource, v.NAME, name)
+        construct = None
+        if conforms_to is not None:
+            self._trim.create(resource, v.CONFORMS_TO, conforms_to.resource)
+            construct = conforms_to.resource
+        return SchemaElement(resource, self.resource, name, construct)
+
+    def declare_conformance(self, element: SchemaElement,
+                            construct: ConstructHandle) -> SchemaElement:
+        """Attach a conformance connector to an existing element."""
+        self._trim.store.remove_matching(subject=element.resource,
+                                         property=v.CONFORMS_TO)
+        self._trim.create(element.resource, v.CONFORMS_TO, construct.resource)
+        return SchemaElement(element.resource, self.resource,
+                             element.name, construct.resource)
+
+    def elements(self) -> List[SchemaElement]:
+        """Every element of this schema."""
+        result = []
+        for t in self._trim.select(prop=v.IN_SCHEMA, value=self.resource):
+            result.append(self._element_from(t.subject))
+        return result
+
+    def find_element(self, name: str) -> Optional[SchemaElement]:
+        """Look up an element by name; ``None`` when absent."""
+        for element in self.elements():
+            if element.name == name:
+                return element
+        return None
+
+    def element(self, name: str) -> SchemaElement:
+        """Look up an element by name; raise when absent."""
+        found = self.find_element(name)
+        if found is None:
+            raise UnknownConstructError(
+                f"schema {self.name!r} has no element {name!r}")
+        return found
+
+    def _element_from(self, resource: Resource) -> SchemaElement:
+        store = self._trim.store
+        name = store.literal_of(resource, v.NAME)
+        if name is None:
+            raise ModelError(f"{resource} is not a well-formed schema element")
+        conforms = store.value_of(resource, v.CONFORMS_TO)
+        return SchemaElement(resource, self.resource, str(name),
+                             conforms if isinstance(conforms, Resource) else None)
+
+
+def list_schemas(trim: TrimManager) -> List[SchemaDefinition]:
+    """Every schema defined in *trim*'s store."""
+    return [SchemaDefinition.attach(trim, t.subject)
+            for t in trim.select(prop=v.TYPE, value=v.SCHEMA)]

@@ -1,0 +1,226 @@
+"""Conformance checking of instances against schemas and models.
+
+The paper's systems check structure only when structure was declared —
+"schema-later" means absence of declarations is never an error.  The
+checker therefore validates exactly what *is* declared:
+
+- an instance's schema element must exist and belong to a schema;
+- literal values keyed by a literal construct must match its declared type;
+- links keyed by a connector must respect the connector's endpoints
+  (including generalization) and its cardinalities;
+- instances of a mark construct must carry a ``slim:markId``.
+
+``strict=True`` additionally flags ad-hoc properties (keys that are not
+defined in the governing model) — useful when an application wants
+schema-first discipline from the same store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConformanceError
+from repro.metamodel import vocabulary as v
+from repro.metamodel.instance import InstanceHandle, InstanceSpace
+from repro.metamodel.model import ConnectorHandle, ConstructHandle, ModelDefinition
+from repro.metamodel.schema import SchemaDefinition
+from repro.triples.triple import Literal, Resource
+from repro.triples.trim import TrimManager
+
+#: Properties the metamodel itself uses; never treated as ad-hoc data.
+_STRUCTURAL_PROPERTIES = {v.TYPE, v.CONFORMS_TO, v.NAME, v.MARK_ID}
+
+_PYTHON_TYPE_TAGS = {
+    "string": str,
+    "integer": int,
+    "float": float,
+    "boolean": bool,
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conformance failure."""
+
+    code: str          # e.g. 'literal-type', 'cardinality-max'
+    subject: Resource  # the offending instance
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.subject}: {self.message}"
+
+
+@dataclass
+class ConformanceReport:
+    """The outcome of a conformance check."""
+
+    violations: List[Violation]
+    checked_instances: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether the check found no violations."""
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`ConformanceError` listing every violation."""
+        if self.violations:
+            summary = "; ".join(str(violation) for violation in self.violations)
+            raise ConformanceError(
+                f"{len(self.violations)} conformance violation(s): {summary}")
+
+
+class ConformanceChecker:
+    """Validate the instances of one schema against its model."""
+
+    def __init__(self, trim: TrimManager, schema: SchemaDefinition,
+                 model: ModelDefinition, strict: bool = False) -> None:
+        self._trim = trim
+        self._schema = schema
+        self._model = model
+        self._strict = strict
+        self._space = InstanceSpace(trim)
+
+    def check(self) -> ConformanceReport:
+        """Check every instance conforming to an element of the schema."""
+        violations: List[Violation] = []
+        checked = 0
+        element_constructs = self._element_constructs()
+        connectors = self._model.connectors()
+        literal_constructs = {
+            c.resource: c for c in self._model.constructs() if c.is_literal}
+        construct_index = {c.resource: c for c in self._model.constructs()}
+
+        for element in self._schema.elements():
+            construct = element_constructs.get(element.resource)
+            for instance in self._space.instances_of(element):
+                checked += 1
+                if construct is None:
+                    violations.append(Violation(
+                        "dangling-conformance", instance.resource,
+                        f"element {element.name!r} conforms to no model construct"))
+                    continue
+                violations.extend(self._check_instance(
+                    instance, construct, connectors,
+                    literal_constructs, construct_index, element_constructs))
+        return ConformanceReport(violations, checked)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _element_constructs(self) -> Dict[Resource, Optional[ConstructHandle]]:
+        """Map schema-element resource -> conforming construct (or None)."""
+        index: Dict[Resource, Optional[ConstructHandle]] = {}
+        constructs = {c.resource: c for c in self._model.constructs()}
+        for element in self._schema.elements():
+            if element.conforms_to is None:
+                index[element.resource] = None
+            else:
+                index[element.resource] = constructs.get(element.conforms_to)
+        return index
+
+    def _check_instance(self, instance: InstanceHandle,
+                        construct: ConstructHandle,
+                        connectors: List[ConnectorHandle],
+                        literal_constructs: Dict[Resource, ConstructHandle],
+                        construct_index: Dict[Resource, ConstructHandle],
+                        element_constructs) -> List[Violation]:
+        violations: List[Violation] = []
+        store = self._trim.store
+        triples = store.select(subject=instance.resource)
+
+        # Mark constructs must carry a mark id.
+        if construct.is_mark and self._space.mark_id(instance) is None:
+            violations.append(Violation(
+                "missing-mark-id", instance.resource,
+                f"instance of mark construct {construct.name!r} has no markId"))
+
+        connector_index = {c.resource: c for c in connectors}
+        usage_counts: Dict[Resource, int] = {}
+
+        for triple_ in triples:
+            key = triple_.property
+            if key in _STRUCTURAL_PROPERTIES:
+                continue
+            if key in literal_constructs:
+                declared = self._model.literal_type_of(literal_constructs[key])
+                if declared is not None and isinstance(triple_.value, Literal):
+                    expected = _PYTHON_TYPE_TAGS[declared]
+                    actual = triple_.value.value
+                    # bool is an int subclass: demand exact type identity.
+                    if type(actual) is not expected:
+                        violations.append(Violation(
+                            "literal-type", instance.resource,
+                            f"{literal_constructs[key].name!r} expects "
+                            f"{declared}, got {type(actual).__name__}"))
+                if isinstance(triple_.value, Resource):
+                    violations.append(Violation(
+                        "literal-type", instance.resource,
+                        f"{literal_constructs[key].name!r} holds a resource"))
+                usage_counts[key] = usage_counts.get(key, 0) + 1
+            elif key in connector_index:
+                connector = connector_index[key]
+                usage_counts[key] = usage_counts.get(key, 0) + 1
+                violations.extend(self._check_link(
+                    instance, connector, triple_.value,
+                    construct, construct_index, element_constructs))
+            elif self._strict:
+                violations.append(Violation(
+                    "adhoc-property", instance.resource,
+                    f"undeclared property {key} used in strict mode"))
+
+        # Cardinalities: every connector whose source covers this construct.
+        for connector in connectors:
+            source_construct = construct_index.get(connector.source)
+            if source_construct is None:
+                continue
+            if not self._model.is_kind_of(construct, source_construct):
+                continue
+            count = usage_counts.get(connector.resource, 0)
+            if count < connector.min_card:
+                violations.append(Violation(
+                    "cardinality-min", instance.resource,
+                    f"connector {connector.name!r} needs >= {connector.min_card}"
+                    f" link(s), found {count}"))
+            if connector.max_card is not None and count > connector.max_card:
+                violations.append(Violation(
+                    "cardinality-max", instance.resource,
+                    f"connector {connector.name!r} allows <= {connector.max_card}"
+                    f" link(s), found {count}"))
+        return violations
+
+    def _check_link(self, instance: InstanceHandle,
+                    connector: ConnectorHandle, value,
+                    source_construct: ConstructHandle,
+                    construct_index: Dict[Resource, ConstructHandle],
+                    element_constructs) -> List[Violation]:
+        violations: List[Violation] = []
+        declared_source = construct_index.get(connector.source)
+        if declared_source is not None and not self._model.is_kind_of(
+                source_construct, declared_source):
+            violations.append(Violation(
+                "source-conformance", instance.resource,
+                f"{source_construct.name!r} cannot use connector "
+                f"{connector.name!r} (source is {declared_source.name!r})"))
+        if not isinstance(value, Resource):
+            violations.append(Violation(
+                "target-conformance", instance.resource,
+                f"connector {connector.name!r} must link to an instance"))
+            return violations
+        target_element = self._trim.store.value_of(value, v.CONFORMS_TO)
+        target_construct = None
+        if isinstance(target_element, Resource):
+            target_construct = element_constructs.get(target_element)
+        declared_target = construct_index.get(connector.target)
+        if target_construct is None:
+            violations.append(Violation(
+                "target-conformance", instance.resource,
+                f"link target {value} of {connector.name!r} has no "
+                f"(resolvable) conformance"))
+        elif declared_target is not None and not self._model.is_kind_of(
+                target_construct, declared_target):
+            violations.append(Violation(
+                "target-conformance", instance.resource,
+                f"{connector.name!r} expects {declared_target.name!r}, "
+                f"target conforms to {target_construct.name!r}"))
+        return violations

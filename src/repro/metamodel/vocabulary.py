@@ -1,0 +1,86 @@
+"""The metamodel vocabulary — resource names used at the model level.
+
+Section 4.3: *"Currently, the metamodel contains only a subset of
+primitives: constructs, which define a unit of structure; literal
+constructs for primitive type definitions; mark constructs for delineating
+marks; connectors, which describe basic relationships; conformance
+connectors for schema-instance relationships; and generalization
+connectors for specialization relationships."*
+
+Every name below is a :class:`~repro.triples.triple.Resource` in the
+``slim:`` namespace.  Model definitions, schemas and instances are all
+plain triples that use these names, so one TRIM store can hold any number
+of superimposed models side by side.
+"""
+
+from __future__ import annotations
+
+from repro.triples.namespaces import RDF, RDFS, SLIM
+
+# -- metamodel kinds (values of rdf:type at the model level) ------------------
+
+#: A unit of structure (e.g. Bundle, Scrap, Table, Class).
+CONSTRUCT = SLIM["Construct"]
+#: A primitive-typed attribute definition (e.g. bundleName : String).
+LITERAL_CONSTRUCT = SLIM["LiteralConstruct"]
+#: A construct whose instances delineate marks (e.g. MarkHandle).
+MARK_CONSTRUCT = SLIM["MarkConstruct"]
+#: A basic relationship between two constructs.
+CONNECTOR = SLIM["Connector"]
+#: The schema-instance relationship kind.
+CONFORMANCE_CONNECTOR = SLIM["ConformanceConnector"]
+#: The specialization relationship kind.
+GENERALIZATION_CONNECTOR = SLIM["GeneralizationConnector"]
+
+#: A superimposed model as a whole (the subject that owns constructs).
+MODEL = SLIM["Model"]
+#: A schema defined against some model.
+SCHEMA = SLIM["Schema"]
+#: An instance (data-level object).
+INSTANCE = SLIM["Instance"]
+
+# -- properties ----------------------------------------------------------------
+
+#: rdf:type — the kind of a resource.
+TYPE = RDF["type"]
+#: Human-readable name of a model element.
+NAME = SLIM["name"]
+#: Links a construct/connector to the model that defines it.
+IN_MODEL = SLIM["inModel"]
+#: Links a schema to the model it is defined against.
+OF_MODEL = SLIM["ofModel"]
+#: Links a schema element to the schema that owns it.
+IN_SCHEMA = SLIM["inSchema"]
+
+#: Connector endpoints and cardinalities.
+SOURCE = SLIM["source"]
+TARGET = SLIM["target"]
+MIN_CARD = SLIM["minCard"]
+MAX_CARD = SLIM["maxCard"]
+
+#: The declared primitive type of a literal construct
+#: (one of 'string' | 'integer' | 'float' | 'boolean').
+LITERAL_TYPE = SLIM["literalType"]
+
+#: The conformance connector property: schema element -> construct,
+#: and instance -> schema element.  ("schema-instance relationships")
+CONFORMS_TO = SLIM["conformsTo"]
+
+#: The generalization connector property: sub -> super.
+SPECIALIZES = SLIM["specializes"]
+
+#: The mark a mark-construct instance carries (value = mark id literal).
+MARK_ID = SLIM["markId"]
+
+# -- RDFS names used when rendering the metamodel (Section 4.3) -----------------
+
+RDFS_CLASS = RDFS["Class"]
+RDFS_SUBCLASS_OF = RDFS["subClassOf"]
+RDFS_DOMAIN = RDFS["domain"]
+RDFS_RANGE = RDFS["range"]
+RDFS_LITERAL = RDFS["Literal"]
+RDF_PROPERTY = RDF["Property"]
+RDFS_LABEL = RDFS["label"]
+
+#: Literal type tags a LiteralConstruct may declare.
+LITERAL_TYPES = ("string", "integer", "float", "boolean")

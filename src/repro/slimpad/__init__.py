@@ -1,0 +1,47 @@
+"""SLIMPad — the superimposed scratchpad application (paper Section 3).
+
+- :data:`BUNDLE_SCRAP_SPEC` / :data:`EXTENDED_BUNDLE_SCRAP_SPEC` — Fig. 3
+- :class:`SlimPadDMI` — the Fig. 10 hand-written DMI
+- :class:`SlimPadApplication` — the application controller
+- :class:`MarkClipboard` — the base-app-to-pad hand-off
+- :class:`BundleTemplate` — reusable bundle shapes (Section 6 extension)
+- :mod:`repro.slimpad.layout` / :mod:`repro.slimpad.render` — 2-D queries
+  and headless rendering
+"""
+
+from repro.slimpad.app import SlimPadApplication
+from repro.slimpad.clipboard import MarkClipboard
+from repro.slimpad.handoff import (HandoffItem, HandoffReport,
+                                   PatientHandoff, build_handoff)
+from repro.slimpad.dmi import SlimPadDMI
+from repro.slimpad.model import BUNDLE_SCRAP_SPEC, EXTENDED_BUNDLE_SCRAP_SPEC
+from repro.slimpad.render import describe_structure, render_svg, render_text
+from repro.slimpad.search import SearchHit, find_scraps_marking, search_pad
+from repro.slimpad.sharing import (ChangeRecord, SharedPadSession,
+                                   export_bundle, import_bundle)
+from repro.slimpad.templates import BundleTemplate, GraphicSlot, ScrapSlot
+
+__all__ = [
+    "SlimPadApplication",
+    "MarkClipboard",
+    "HandoffItem",
+    "HandoffReport",
+    "PatientHandoff",
+    "build_handoff",
+    "SlimPadDMI",
+    "BUNDLE_SCRAP_SPEC",
+    "EXTENDED_BUNDLE_SCRAP_SPEC",
+    "describe_structure",
+    "render_svg",
+    "render_text",
+    "SearchHit",
+    "find_scraps_marking",
+    "search_pad",
+    "ChangeRecord",
+    "SharedPadSession",
+    "export_bundle",
+    "import_bundle",
+    "BundleTemplate",
+    "GraphicSlot",
+    "ScrapSlot",
+]

@@ -1,0 +1,73 @@
+"""The mark clipboard: the hand-off between base apps and the pad.
+
+Section 3: *"Once the user has created a mark, it can be placed onto the
+SLIMPad, creating a scrap that can be named and moved around."*  The
+clipboard models that gap between *created* and *placed*: marks picked up
+from base applications wait here (in order) until the user drops each one
+onto a bundle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SlimPadError
+from repro.dmi.runtime import EntityObject
+from repro.marks.mark import Mark
+from repro.slimpad.app import SlimPadApplication
+from repro.util.coordinates import Coordinate
+
+
+class MarkClipboard:
+    """Marks created but not yet placed, oldest first."""
+
+    def __init__(self, slimpad: SlimPadApplication) -> None:
+        self._slimpad = slimpad
+        self._pending: List[Mark] = []
+
+    def pick_up_selection(self, base_app) -> Mark:
+        """Create a mark from the app's selection and hold it."""
+        mark = self._slimpad.marks.create_mark(base_app)
+        self._pending.append(mark)
+        return mark
+
+    def hold(self, mark: Mark) -> None:
+        """Hold an already created mark."""
+        self._pending.append(mark)
+
+    @property
+    def pending(self) -> List[Mark]:
+        """Marks waiting to be placed, oldest first."""
+        return list(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def place(self, pos: Coordinate, label: Optional[str] = None,
+              bundle: Optional[EntityObject] = None) -> EntityObject:
+        """Drop the oldest pending mark onto the pad as a scrap."""
+        if not self._pending:
+            raise SlimPadError("clipboard is empty; pick up a mark first")
+        mark = self._pending.pop(0)
+        return self._slimpad.create_scrap_from_mark(
+            mark, label=label, pos=pos, bundle=bundle)
+
+    def place_all(self, origin: Coordinate, dy: float = 26.0,
+                  bundle: Optional[EntityObject] = None) -> List[EntityObject]:
+        """Drop every pending mark as a vertical run of scraps."""
+        scraps = []
+        position = origin
+        while self._pending:
+            scraps.append(self.place(position, bundle=bundle))
+            position = position.translated(0, dy)
+        return scraps
+
+    def discard(self, mark: Mark) -> bool:
+        """Drop a pending mark without placing it (also forgets it from
+        the Mark Manager); returns whether it was pending."""
+        if mark in self._pending:
+            self._pending.remove(mark)
+            if mark.mark_id in self._slimpad.marks:
+                self._slimpad.marks.remove(mark.mark_id)
+            return True
+        return False

@@ -1,0 +1,141 @@
+"""The hand-off report: transferring "current situation" awareness.
+
+Section 6: *"Our current direction is to use SLIMPad as the basis for a
+task-specific tool prototype in the medical domain … A likely task area
+is supporting the transfer of 'current situation' awareness for hospital
+patients when one doctor is taking over rounds for another, such as on
+weekends."*
+
+:func:`build_handoff` walks a worksheet pad and produces a
+:class:`HandoffReport` for the incoming doctor: per patient bundle, the
+selected information (with *fresh* values re-read through each scrap's
+mark), the outgoing doctor's annotations, open to-dos, and any scraps
+whose marks no longer resolve (the base document changed or vanished —
+exactly what the incoming doctor must not trust silently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dmi.runtime import EntityObject
+from repro.errors import MarkError, MarkResolutionError
+from repro.marks.behaviors import extract_content
+from repro.slimpad.app import SlimPadApplication
+
+
+@dataclass
+class HandoffItem:
+    """One scrap, as the incoming doctor should read it."""
+
+    label: str
+    kind: str                      # 'linked' | 'note' | 'broken'
+    current_value: Optional[str]   # freshly re-read (linked), None otherwise
+    stale: bool                    # label no longer matches the base value
+    annotations: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PatientHandoff:
+    """One patient bundle's hand-off section."""
+
+    patient: str
+    items: List[HandoffItem] = field(default_factory=list)
+    todos: List[str] = field(default_factory=list)
+    broken: List[str] = field(default_factory=list)   # labels of broken scraps
+
+
+@dataclass
+class HandoffReport:
+    """The whole pad, prepared for the incoming doctor."""
+
+    pad_name: str
+    patients: List[PatientHandoff] = field(default_factory=list)
+
+    @property
+    def total_broken(self) -> int:
+        """How many scraps across the report no longer resolve."""
+        return sum(len(p.broken) for p in self.patients)
+
+    @property
+    def total_stale(self) -> int:
+        """How many labels quote values the base layer has moved past."""
+        return sum(1 for p in self.patients for i in p.items if i.stale)
+
+    def render(self) -> str:
+        """A plain-text report (what would be printed or paged over)."""
+        lines = [f"HANDOFF — pad {self.pad_name!r}"]
+        for patient in self.patients:
+            lines.append(f"\n{patient.patient}")
+            for item in patient.items:
+                flag = ""
+                if item.kind == "broken":
+                    flag = "  !! UNRESOLVABLE — verify at source"
+                elif item.stale:
+                    flag = f"  ** now: {item.current_value}"
+                lines.append(f"  - {item.label}{flag}")
+                for annotation in item.annotations:
+                    lines.append(f"      note: {annotation}")
+            for todo in patient.todos:
+                lines.append(f"  {todo}")
+        if self.total_broken:
+            lines.append(f"\n{self.total_broken} scrap(s) no longer resolve "
+                         f"— their base documents changed.")
+        return "\n".join(lines)
+
+
+def build_handoff(slimpad: SlimPadApplication) -> HandoffReport:
+    """Prepare a hand-off report from the current pad.
+
+    Patient sections are the root bundle's direct nested bundles (the
+    worksheet rows); everything under each row is gathered recursively.
+    """
+    report = HandoffReport(pad_name=slimpad.pad.padName or "")
+    for row in slimpad.root_bundle.nestedBundle:
+        section = PatientHandoff(patient=row.bundleName or "(unnamed)")
+        for scrap in slimpad.scraps_in(row, recursive=True):
+            item = _assess_scrap(slimpad, scrap)
+            label = scrap.scrapName or ""
+            if item.kind == "broken":
+                section.broken.append(label)
+            if label.startswith("[ ]"):
+                section.todos.append(label)
+                continue
+            section.items.append(item)
+        report.patients.append(section)
+    return report
+
+
+def _assess_scrap(slimpad: SlimPadApplication,
+                  scrap: EntityObject) -> HandoffItem:
+    label = scrap.scrapName or ""
+    annotations = [a.annotationText for a in scrap.scrapAnnotation]
+    handles = scrap.scrapMark
+    if not handles:
+        return HandoffItem(label, "note", None, stale=False,
+                           annotations=annotations)
+    try:
+        resolution = extract_content(slimpad.marks, handles[0].markId)
+    except (MarkResolutionError, MarkError):
+        return HandoffItem(label, "broken", None, stale=False,
+                           annotations=annotations)
+    current = resolution.content_text()
+    # A scrap is stale when its label quoted a value that has moved on.
+    stale = bool(current) and current not in label and \
+        _quoted_value(label) is not None and _quoted_value(label) != current
+    return HandoffItem(label, "linked", current, stale=stale,
+                       annotations=annotations)
+
+
+def _quoted_value(label: str) -> Optional[str]:
+    """The value portion of labels like ``'K 3.9'`` (test + value)."""
+    parts = label.split()
+    if len(parts) >= 2:
+        tail = parts[-1]
+        try:
+            float(tail)
+            return tail
+        except ValueError:
+            return None
+    return None

@@ -1,0 +1,146 @@
+"""Layout queries over a pad's freeform 2-D arrangement.
+
+Section 3: *"We allow flexibility for placement of information elements
+and bundles in two dimensions. The juxtaposition of scraps and bundles
+contains implicit semantic information that we neither want to constrain
+or lose."*  These helpers *recover* some of that implicit structure —
+hit-testing, neighbourhoods, and row/column (gridlet) inference — without
+ever constraining placement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dmi.runtime import EntityObject
+from repro.slimpad.dmi import SlimPadDMI
+from repro.util.coordinates import (Coordinate, Rect, bounding_box,
+                                    cluster_columns, cluster_rows)
+
+#: Nominal extent of a scrap's visual box (scraps are sticky-note sized).
+SCRAP_WIDTH = 90.0
+SCRAP_HEIGHT = 22.0
+
+
+def scrap_rect(scrap: EntityObject) -> Rect:
+    """The visual box of a scrap at its current position."""
+    pos = scrap.scrapPos or Coordinate(0, 0)
+    return Rect.at(pos, SCRAP_WIDTH, SCRAP_HEIGHT)
+
+
+def bundle_rect(bundle: EntityObject) -> Rect:
+    """The visual box of a bundle from its position and extent."""
+    pos = bundle.bundlePos or Coordinate(0, 0)
+    return Rect.at(pos, bundle.bundleWidth or 0.0, bundle.bundleHeight or 0.0)
+
+
+def hit_test(bundle: EntityObject, point: Coordinate) -> Optional[EntityObject]:
+    """The innermost element under *point*: a scrap, a nested bundle, or
+    *bundle* itself; ``None`` when the point is outside *bundle*.
+
+    Scraps win over bundles (they render on top); later siblings win over
+    earlier ones (they were placed more recently).
+    """
+    if not bundle_rect(bundle).contains_point(point):
+        return None
+    for nested in reversed(list(bundle.nestedBundle)):
+        inner = hit_test(nested, point)
+        if inner is not None and inner.entity_name == "Scrap":
+            return inner
+        if inner is not None:
+            return inner
+    for scrap in reversed(list(bundle.bundleContent)):
+        if scrap_rect(scrap).contains_point(point):
+            return scrap
+    return bundle
+
+
+def neighbors(scrap: EntityObject, bundle: EntityObject,
+              radius: float) -> List[EntityObject]:
+    """Scraps of *bundle* whose positions lie within *radius* of *scrap*,
+    nearest first (juxtaposition carries meaning — this surfaces it)."""
+    origin = scrap.scrapPos or Coordinate(0, 0)
+    found: List[Tuple[float, EntityObject]] = []
+    for other in bundle.bundleContent:
+        if other == scrap:
+            continue
+        distance = origin.distance_to(other.scrapPos or Coordinate(0, 0))
+        if distance <= radius:
+            found.append((distance, other))
+    found.sort(key=lambda pair: pair[0])
+    return [other for _, other in found]
+
+
+def infer_rows(bundle: EntityObject,
+               tolerance: float = SCRAP_HEIGHT / 2) -> List[List[EntityObject]]:
+    """Recover the row structure of a gridlet arrangement.
+
+    Scraps whose y positions lie within *tolerance* are one row; each row
+    is ordered left to right — e.g. the Electrolyte bundle of Fig. 4
+    yields the two familiar lab-grid rows.
+    """
+    scraps = list(bundle.bundleContent)
+    positions = [s.scrapPos or Coordinate(0, 0) for s in scraps]
+    by_position = {}
+    for scrap, pos in zip(scraps, positions):
+        by_position.setdefault(pos.as_tuple(), []).append(scrap)
+    rows = []
+    for row in cluster_rows(positions, tolerance):
+        ordered = []
+        for pos in row:
+            bucket = by_position[pos.as_tuple()]
+            ordered.append(bucket.pop(0))
+        rows.append(ordered)
+    return rows
+
+
+def infer_columns(bundle: EntityObject,
+                  tolerance: float = SCRAP_WIDTH / 2) -> List[List[EntityObject]]:
+    """Column-wise dual of :func:`infer_rows`."""
+    scraps = list(bundle.bundleContent)
+    positions = [s.scrapPos or Coordinate(0, 0) for s in scraps]
+    by_position = {}
+    for scrap, pos in zip(scraps, positions):
+        by_position.setdefault(pos.as_tuple(), []).append(scrap)
+    columns = []
+    for column in cluster_columns(positions, tolerance):
+        ordered = []
+        for pos in column:
+            bucket = by_position[pos.as_tuple()]
+            ordered.append(bucket.pop(0))
+        columns.append(ordered)
+    return columns
+
+
+def content_bounds(bundle: EntityObject) -> Optional[Rect]:
+    """The bounding box of a bundle's direct contents (scraps + bundles)."""
+    rects = [scrap_rect(s) for s in bundle.bundleContent]
+    rects.extend(bundle_rect(b) for b in bundle.nestedBundle)
+    return bounding_box(rects)
+
+
+def autosize(dmi: SlimPadDMI, bundle: EntityObject,
+             margin: float = 10.0) -> None:
+    """Grow a bundle to fit its contents (never shrinks below content)."""
+    bounds = content_bounds(bundle)
+    if bounds is None:
+        return
+    box = bounds.inflated(margin)
+    origin = bundle.bundlePos or Coordinate(0, 0)
+    width = max(bundle.bundleWidth or 0.0, box.right - origin.x)
+    height = max(bundle.bundleHeight or 0.0, box.bottom - origin.y)
+    dmi.Update_bundleWidth(bundle, width)
+    dmi.Update_bundleHeight(bundle, height)
+
+
+def overlapping_scraps(bundle: EntityObject) -> List[Tuple[EntityObject,
+                                                           EntityObject]]:
+    """Pairs of directly contained scraps whose boxes overlap."""
+    scraps = list(bundle.bundleContent)
+    pairs = []
+    for i, first in enumerate(scraps):
+        first_rect = scrap_rect(first)
+        for second in scraps[i + 1:]:
+            if first_rect.intersects(scrap_rect(second)):
+                pairs.append((first, second))
+    return pairs

@@ -1,0 +1,82 @@
+"""The Bundle-Scrap data model (Fig. 3), as DMI specifications.
+
+Two specs are provided:
+
+- :data:`BUNDLE_SCRAP_SPEC` — the exact Fig. 3 model: SlimPad, Bundle,
+  Scrap, MarkHandle with the figure's attributes and multiplicities.
+- :data:`EXTENDED_BUNDLE_SCRAP_SPEC` — the Section 6 extensions the paper
+  names as contemplated work: annotations on scraps, links among scraps,
+  and graphic elements (the "gridlet" of Fig. 4 *"is simply a graphic
+  element with scraps placed near it"*).
+
+One deliberate liberalization: Fig. 3 draws ``scrapMark`` as ``1..*``, but
+the paper's own bundles contain information *"not present in the
+underlying documents"* (to-do entries on the resident's worksheet), so the
+application spec allows mark-less note scraps (``0..*``).  Multiple marks
+per scrap — another Section 3 extension — comes along for free.
+"""
+
+from __future__ import annotations
+
+from repro.dmi.spec import AttrSpec, EntitySpec, ModelSpec, RefSpec
+
+#: The Fig. 3 model, transcribed.
+BUNDLE_SCRAP_SPEC = ModelSpec("BundleScrap", [
+    EntitySpec("SlimPad",
+               attributes=(AttrSpec("padName", "string"),),
+               references=(RefSpec("rootBundle", "Bundle", many=False,
+                                   containment=True),)),
+    EntitySpec("Bundle",
+               attributes=(AttrSpec("bundleName", "string"),
+                           AttrSpec("bundlePos", "coordinate"),
+                           AttrSpec("bundleHeight", "float"),
+                           AttrSpec("bundleWidth", "float")),
+               references=(RefSpec("bundleContent", "Scrap", many=True,
+                                   containment=True),
+                           RefSpec("nestedBundle", "Bundle", many=True,
+                                   containment=True))),
+    EntitySpec("Scrap",
+               attributes=(AttrSpec("scrapName", "string"),
+                           AttrSpec("scrapPos", "coordinate")),
+               references=(RefSpec("scrapMark", "MarkHandle", many=True,
+                                   containment=True),)),
+    EntitySpec("MarkHandle",
+               attributes=(AttrSpec("markId", "string", required=True),)),
+])
+
+#: Fig. 3 plus the Section 6 extensions (annotations, links, graphics).
+EXTENDED_BUNDLE_SCRAP_SPEC = ModelSpec("BundleScrap", [
+    EntitySpec("SlimPad",
+               attributes=(AttrSpec("padName", "string"),),
+               references=(RefSpec("rootBundle", "Bundle", many=False,
+                                   containment=True),)),
+    EntitySpec("Bundle",
+               attributes=(AttrSpec("bundleName", "string"),
+                           AttrSpec("bundlePos", "coordinate"),
+                           AttrSpec("bundleHeight", "float"),
+                           AttrSpec("bundleWidth", "float")),
+               references=(RefSpec("bundleContent", "Scrap", many=True,
+                                   containment=True),
+                           RefSpec("nestedBundle", "Bundle", many=True,
+                                   containment=True),
+                           RefSpec("bundleGraphic", "Graphic", many=True,
+                                   containment=True))),
+    EntitySpec("Scrap",
+               attributes=(AttrSpec("scrapName", "string"),
+                           AttrSpec("scrapPos", "coordinate")),
+               references=(RefSpec("scrapMark", "MarkHandle", many=True,
+                                   containment=True),
+                           RefSpec("scrapAnnotation", "Annotation", many=True,
+                                   containment=True),
+                           RefSpec("linkedTo", "Scrap", many=True))),
+    EntitySpec("MarkHandle",
+               attributes=(AttrSpec("markId", "string", required=True),)),
+    EntitySpec("Annotation",
+               attributes=(AttrSpec("annotationText", "string", required=True),
+                           AttrSpec("annotationAuthor", "string"))),
+    EntitySpec("Graphic",
+               attributes=(AttrSpec("graphicKind", "string", required=True),
+                           AttrSpec("graphicPos", "coordinate"),
+                           AttrSpec("graphicWidth", "float"),
+                           AttrSpec("graphicHeight", "float"))),
+])

@@ -1,0 +1,131 @@
+"""Headless rendering of pads (the Fig. 4 screen, without a GUI).
+
+Two renderers:
+
+- :func:`render_text` — an indented outline of the pad's structure,
+  useful in terminals, tests, and the examples;
+- :func:`render_svg` — an SVG drawing of the freeform 2-D layout
+  (bundles as boxes, scraps as sticky notes, graphics as grids), which is
+  as close to the Fig. 4 screenshot as a headless build gets.
+"""
+
+from __future__ import annotations
+
+import io
+from xml.sax.saxutils import escape
+
+from repro.dmi.runtime import EntityObject
+from repro.slimpad.layout import SCRAP_HEIGHT, SCRAP_WIDTH, bundle_rect, scrap_rect
+from repro.util.coordinates import Coordinate
+
+
+def render_text(pad: EntityObject) -> str:
+    """An indented outline of a pad: bundles, scraps, marks, annotations."""
+    out = io.StringIO()
+    out.write(f"SLIMPad: {pad.padName}\n")
+    root = pad.rootBundle
+    if root is not None:
+        _render_bundle_text(out, root, indent=1)
+    return out.getvalue().rstrip("\n")
+
+
+def _render_bundle_text(out: io.StringIO, bundle: EntityObject,
+                        indent: int) -> None:
+    pad_indent = "  " * indent
+    name = bundle.bundleName or "(unnamed bundle)"
+    pos = bundle.bundlePos or Coordinate(0, 0)
+    out.write(f"{pad_indent}[{name}] at ({pos.x:g}, {pos.y:g})\n")
+    for scrap in bundle.bundleContent:
+        label = scrap.scrapName or "(unnamed scrap)"
+        marks = [handle.markId for handle in scrap.scrapMark]
+        suffix = f" -> {', '.join(marks)}" if marks else " (note)"
+        out.write(f"{pad_indent}  * {label}{suffix}\n")
+        for annotation in scrap.scrapAnnotation:
+            out.write(f"{pad_indent}      ~ {annotation.annotationText}\n")
+    for graphic in bundle.bundleGraphic:
+        out.write(f"{pad_indent}  # graphic: {graphic.graphicKind}\n")
+    for nested in bundle.nestedBundle:
+        _render_bundle_text(out, nested, indent + 1)
+
+
+def render_svg(pad: EntityObject, width: int = 900, height: int = 650) -> str:
+    """The pad as an SVG document (bundles, scraps, gridlets, labels)."""
+    out = io.StringIO()
+    out.write(f'<svg xmlns="http://www.w3.org/2000/svg" '
+              f'width="{width}" height="{height}" '
+              f'viewBox="0 0 {width} {height}">\n')
+    out.write('  <rect width="100%" height="100%" fill="#f4f1ea"/>\n')
+    title = escape(pad.padName or "SLIMPad")
+    out.write(f'  <text x="12" y="20" font-size="16" '
+              f'font-family="sans-serif">{title}</text>\n')
+    root = pad.rootBundle
+    if root is not None:
+        _render_bundle_svg(out, root, offset=Coordinate(10, 30))
+    out.write("</svg>\n")
+    return out.getvalue()
+
+
+def _render_bundle_svg(out: io.StringIO, bundle: EntityObject,
+                       offset: Coordinate) -> None:
+    rect = bundle_rect(bundle).translated(offset.x, offset.y)
+    name = escape(bundle.bundleName or "")
+    out.write(f'  <rect x="{rect.x:g}" y="{rect.y:g}" width="{rect.width:g}" '
+              f'height="{rect.height:g}" fill="#fffef8" stroke="#888" '
+              f'rx="4"/>\n')
+    if name:
+        out.write(f'  <text x="{rect.x + 6:g}" y="{rect.y + 14:g}" '
+                  f'font-size="12" font-family="sans-serif" '
+                  f'fill="#444">{name}</text>\n')
+    for graphic in bundle.bundleGraphic:
+        g_pos = graphic.graphicPos or Coordinate(0, 0)
+        g_rect = (bundle_rect(bundle).position
+                  .translated(offset.x, offset.y)
+                  .translated(g_pos.x, g_pos.y))
+        g_width = graphic.graphicWidth or 0.0
+        g_height = graphic.graphicHeight or 0.0
+        out.write(f'  <g stroke="#bbb">\n')
+        out.write(f'    <line x1="{g_rect.x:g}" y1="{g_rect.y + g_height / 2:g}" '
+                  f'x2="{g_rect.x + g_width:g}" '
+                  f'y2="{g_rect.y + g_height / 2:g}"/>\n')
+        out.write(f'    <line x1="{g_rect.x + g_width / 2:g}" y1="{g_rect.y:g}" '
+                  f'x2="{g_rect.x + g_width / 2:g}" '
+                  f'y2="{g_rect.y + g_height:g}"/>\n')
+        out.write("  </g>\n")
+    for scrap in bundle.bundleContent:
+        s_rect = scrap_rect(scrap).translated(offset.x, offset.y)
+        label = escape(scrap.scrapName or "")
+        has_mark = bool(scrap.scrapMark)
+        fill = "#fff8c8" if has_mark else "#e8f0ff"
+        out.write(f'  <rect x="{s_rect.x:g}" y="{s_rect.y:g}" '
+                  f'width="{SCRAP_WIDTH:g}" height="{SCRAP_HEIGHT:g}" '
+                  f'fill="{fill}" stroke="#999"/>\n')
+        out.write(f'  <text x="{s_rect.x + 4:g}" y="{s_rect.y + 15:g}" '
+                  f'font-size="10" font-family="sans-serif">{label}</text>\n')
+    for nested in bundle.nestedBundle:
+        _render_bundle_svg(out, nested, offset)
+
+
+def describe_structure(pad: EntityObject) -> dict:
+    """Summary statistics of a pad (used by workload benches)."""
+    counts = {"bundles": 0, "scraps": 0, "marks": 0, "notes": 0,
+              "annotations": 0, "graphics": 0, "max_depth": 0}
+    root = pad.rootBundle
+    if root is None:
+        return counts
+
+    def walk(bundle: EntityObject, depth: int) -> None:
+        counts["bundles"] += 1
+        counts["max_depth"] = max(counts["max_depth"], depth)
+        counts["graphics"] += len(bundle.bundleGraphic)
+        for scrap in bundle.bundleContent:
+            counts["scraps"] += 1
+            handles = scrap.scrapMark
+            counts["marks"] += len(handles)
+            if not handles:
+                counts["notes"] += 1
+            counts["annotations"] += len(scrap.scrapAnnotation)
+        for nested in bundle.nestedBundle:
+            walk(nested, depth + 1)
+
+    walk(root, 1)
+    return counts

@@ -1,0 +1,114 @@
+"""Searching a pad: by label, by resolved content, by annotation.
+
+The paper's bundles get large (a worksheet row per patient, nested
+regions); finding "where did I put the potassium scrap" is a real task.
+Search runs over the superimposed layer (labels, annotations) and —
+optionally — through the marks into current base content, so the user
+finds scraps whose *underlying value* matches even when the label has
+drifted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dmi.runtime import EntityObject
+from repro.errors import MarkError, MarkResolutionError
+from repro.marks.behaviors import extract_content
+from repro.slimpad.app import SlimPadApplication
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result: the scrap, where it lives, and why it matched."""
+
+    scrap: EntityObject
+    bundle: EntityObject
+    matched_in: str      # 'label' | 'content' | 'annotation'
+    snippet: str
+
+    @property
+    def path(self) -> str:
+        """A breadcrumb like ``'John Smith > Labs'`` for display."""
+        return self.bundle.bundleName or "(unnamed bundle)"
+
+
+def search_pad(slimpad: SlimPadApplication, needle: str,
+               in_labels: bool = True,
+               in_annotations: bool = True,
+               in_content: bool = False,
+               case_sensitive: bool = False) -> List[SearchHit]:
+    """Find scraps matching *needle* anywhere under the root bundle.
+
+    ``in_content=True`` resolves each scrap's marks (extractor role) and
+    searches the *current* base content — slower, but finds values that
+    moved since the label was written.  Unresolvable marks are skipped
+    (search never fails because a base document vanished).
+    """
+    if not needle:
+        return []
+    probe = needle if case_sensitive else needle.lower()
+
+    def matches(text: Optional[str]) -> Optional[str]:
+        if not text:
+            return None
+        haystack = text if case_sensitive else text.lower()
+        return text if probe in haystack else None
+
+    hits: List[SearchHit] = []
+
+    def walk(bundle: EntityObject) -> None:
+        for scrap in bundle.bundleContent:
+            if in_labels:
+                snippet = matches(scrap.scrapName)
+                if snippet is not None:
+                    hits.append(SearchHit(scrap, bundle, "label", snippet))
+                    continue
+            if in_annotations:
+                annotation_hit = None
+                for annotation in scrap.scrapAnnotation:
+                    annotation_hit = matches(annotation.annotationText)
+                    if annotation_hit is not None:
+                        break
+                if annotation_hit is not None:
+                    hits.append(SearchHit(scrap, bundle, "annotation",
+                                          annotation_hit))
+                    continue
+            if in_content and scrap.scrapMark:
+                try:
+                    resolution = extract_content(slimpad.marks,
+                                                 scrap.scrapMark[0].markId)
+                except (MarkResolutionError, MarkError):
+                    continue
+                snippet = matches(resolution.content_text())
+                if snippet is not None:
+                    hits.append(SearchHit(scrap, bundle, "content",
+                                          snippet.replace("\n", " ")))
+        for nested in bundle.nestedBundle:
+            walk(nested)
+
+    walk(slimpad.root_bundle)
+    return hits
+
+
+def find_scraps_marking(slimpad: SlimPadApplication,
+                        document_name: str) -> List[EntityObject]:
+    """Every scrap whose (first) mark addresses *document_name*.
+
+    The reverse question of resolution: "what on my pad points into this
+    document?" — useful before a base document is archived or replaced.
+    """
+    result: List[EntityObject] = []
+    for scrap in slimpad.scraps_in(slimpad.root_bundle, recursive=True):
+        for handle in scrap.scrapMark:
+            try:
+                mark = slimpad.marks.get(handle.markId)
+            except MarkError:
+                continue
+            fields = mark.address_fields()
+            name = fields.get("file_name") or fields.get("url")
+            if name == document_name:
+                result.append(scrap)
+                break
+    return result

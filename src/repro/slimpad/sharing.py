@@ -1,0 +1,243 @@
+"""Shared bundles and cross-pad exchange.
+
+Section 2: *"We believe there is benefit in creating bundles …, in
+reusing bundles …, and in sharing bundles to establish collectively
+maintained, situated awareness."*
+
+Two capabilities:
+
+- :class:`SharedPadSession` — several named participants working on one
+  pad, every mutation attributed and logged, with per-author activity
+  queries (the "evidence to others of that awareness" of Section 3).
+- :func:`export_bundle` / :func:`import_bundle` — move a bundle (with its
+  marks) from one SLIMPad to another as a self-contained XML parcel; the
+  receiving side re-registers the marks, and they resolve as long as both
+  sides see the same base documents.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import PersistenceError, SlimPadError
+from repro.dmi.runtime import EntityObject
+from repro.slimpad.app import SlimPadApplication
+from repro.util.coordinates import Coordinate
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One attributed mutation of a shared pad."""
+
+    sequence: int
+    author: str
+    action: str       # 'create-scrap' | 'create-bundle' | 'move' | 'rename'
+                      # | 'annotate' | 'delete'
+    subject: str      # label of the affected element
+
+
+class SharedPadSession:
+    """Attributed, logged collaboration on one pad."""
+
+    def __init__(self, slimpad: SlimPadApplication,
+                 participants: List[str]) -> None:
+        if not participants:
+            raise SlimPadError("a shared session needs participants")
+        self.slimpad = slimpad
+        self.participants = list(participants)
+        self._log: List[ChangeRecord] = []
+
+    def _record(self, author: str, action: str, subject: str) -> None:
+        if author not in self.participants:
+            raise SlimPadError(f"{author!r} is not in this session")
+        self._log.append(ChangeRecord(len(self._log) + 1, author,
+                                      action, subject))
+
+    # -- attributed operations ----------------------------------------------------
+
+    def create_scrap_from_selection(self, author: str, base_app,
+                                    label: Optional[str] = None,
+                                    pos: Optional[Coordinate] = None,
+                                    bundle: Optional[EntityObject] = None
+                                    ) -> EntityObject:
+        """An attributed version of the pad's core operation."""
+        scrap = self.slimpad.create_scrap_from_selection(
+            base_app, label=label, pos=pos, bundle=bundle)
+        self._record(author, "create-scrap", scrap.scrapName or "")
+        return scrap
+
+    def create_note(self, author: str, text: str, pos: Coordinate,
+                    bundle: Optional[EntityObject] = None) -> EntityObject:
+        """Attributed note scrap."""
+        scrap = self.slimpad.create_note_scrap(text, pos, bundle=bundle)
+        self._record(author, "create-scrap", text)
+        return scrap
+
+    def create_bundle(self, author: str, name: str, pos: Coordinate,
+                      **kwargs) -> EntityObject:
+        """Attributed bundle creation."""
+        bundle = self.slimpad.create_bundle(name, pos, **kwargs)
+        self._record(author, "create-bundle", name)
+        return bundle
+
+    def move_scrap(self, author: str, scrap: EntityObject,
+                   pos: Coordinate) -> None:
+        """Attributed drag."""
+        self.slimpad.move_scrap(scrap, pos)
+        self._record(author, "move", scrap.scrapName or "")
+
+    def rename_scrap(self, author: str, scrap: EntityObject,
+                     name: str) -> None:
+        """Attributed rename."""
+        old = scrap.scrapName or ""
+        self.slimpad.rename_scrap(scrap, name)
+        self._record(author, "rename", f"{old} -> {name}")
+
+    def annotate(self, author: str, scrap: EntityObject,
+                 text: str) -> EntityObject:
+        """Attributed annotation (the author lands on the annotation too)."""
+        annotation = self.slimpad.dmi.Annotate_Scrap(scrap, text,
+                                                     author=author)
+        self._record(author, "annotate", scrap.scrapName or "")
+        return annotation
+
+    def delete_scrap(self, author: str, scrap: EntityObject) -> None:
+        """Attributed deletion."""
+        label = scrap.scrapName or ""
+        self.slimpad.delete_scrap(scrap)
+        self._record(author, "delete", label)
+
+    # -- awareness queries ----------------------------------------------------------
+
+    @property
+    def log(self) -> List[ChangeRecord]:
+        """Every change, oldest first."""
+        return list(self._log)
+
+    def changes_by(self, author: str) -> List[ChangeRecord]:
+        """One participant's activity."""
+        return [record for record in self._log if record.author == author]
+
+    def changes_since(self, sequence: int) -> List[ChangeRecord]:
+        """What happened after a sequence number (catch-up on return)."""
+        return [record for record in self._log if record.sequence > sequence]
+
+    def activity_summary(self) -> "dict[str, int]":
+        """Change counts per participant."""
+        summary = {name: 0 for name in self.participants}
+        for record in self._log:
+            summary[record.author] += 1
+        return summary
+
+
+# -- cross-pad bundle exchange ------------------------------------------------------
+
+
+def export_bundle(slimpad: SlimPadApplication,
+                  bundle: EntityObject) -> str:
+    """Serialize a bundle (structure + positions + its marks) to XML."""
+    root = ET.Element("bundle-parcel", {"version": "1"})
+    marks_el = ET.SubElement(root, "marks")
+    mark_ids: List[str] = []
+    _collect_mark_ids(bundle, mark_ids)
+    registry = slimpad.marks.registry
+    parcel_marks = [slimpad.marks.get(mark_id) for mark_id in mark_ids
+                    if mark_id in slimpad.marks]
+    marks_el.text = ""  # keep an element even when empty
+    marks_xml = registry.dumps(parcel_marks)
+    marks_el.append(ET.fromstring(marks_xml))
+    root.append(_bundle_to_element(bundle))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def import_bundle(slimpad: SlimPadApplication, parcel: str,
+                  parent: Optional[EntityObject] = None,
+                  at: Optional[Coordinate] = None) -> EntityObject:
+    """Re-create an exported bundle on this pad, adopting its marks."""
+    try:
+        root = ET.fromstring(parcel)
+    except ET.ParseError as exc:
+        raise PersistenceError(f"malformed bundle parcel: {exc}") from exc
+    if root.tag != "bundle-parcel":
+        raise PersistenceError(f"expected <bundle-parcel>, got <{root.tag}>")
+    marks_el = root.find("marks")
+    if marks_el is not None:
+        inner = marks_el.find("marks")
+        if inner is not None:
+            for mark in slimpad.marks.registry.loads(
+                    ET.tostring(inner, encoding="unicode")):
+                slimpad.marks.adopt(mark)
+    bundle_el = root.find("bundle")
+    if bundle_el is None:
+        raise PersistenceError("bundle parcel has no <bundle>")
+    target_parent = parent if parent is not None else slimpad.root_bundle
+    bundle = _bundle_from_element(slimpad, bundle_el, target_parent)
+    if at is not None:
+        slimpad.dmi.Update_bundlePos(bundle, at)
+    return bundle
+
+
+def _collect_mark_ids(bundle: EntityObject, out: List[str]) -> None:
+    for scrap in bundle.bundleContent:
+        out.extend(handle.markId for handle in scrap.scrapMark)
+    for nested in bundle.nestedBundle:
+        _collect_mark_ids(nested, out)
+
+
+def _bundle_to_element(bundle: EntityObject) -> ET.Element:
+    pos = bundle.bundlePos or Coordinate(0, 0)
+    element = ET.Element("bundle", {
+        "name": bundle.bundleName or "",
+        "x": str(pos.x), "y": str(pos.y),
+        "width": str(bundle.bundleWidth or 0.0),
+        "height": str(bundle.bundleHeight or 0.0)})
+    for scrap in bundle.bundleContent:
+        s_pos = scrap.scrapPos or Coordinate(0, 0)
+        scrap_el = ET.SubElement(element, "scrap", {
+            "name": scrap.scrapName or "",
+            "x": str(s_pos.x), "y": str(s_pos.y)})
+        for handle in scrap.scrapMark:
+            ET.SubElement(scrap_el, "mark-ref", {"id": handle.markId})
+        for annotation in scrap.scrapAnnotation:
+            note = ET.SubElement(scrap_el, "annotation",
+                                 {"author": annotation.annotationAuthor or ""})
+            note.text = annotation.annotationText
+    for nested in bundle.nestedBundle:
+        element.append(_bundle_to_element(nested))
+    return element
+
+
+def _bundle_from_element(slimpad: SlimPadApplication, element: ET.Element,
+                         parent: EntityObject) -> EntityObject:
+    try:
+        bundle = slimpad.create_bundle(
+            element.get("name", ""),
+            Coordinate(float(element.get("x", "0")),
+                       float(element.get("y", "0"))),
+            width=float(element.get("width", "200")),
+            height=float(element.get("height", "120")),
+            parent=parent)
+        for child in element:
+            if child.tag == "scrap":
+                scrap = slimpad.dmi.Create_Scrap(
+                    scrapName=child.get("name", ""),
+                    scrapPos=Coordinate(float(child.get("x", "0")),
+                                        float(child.get("y", "0"))))
+                slimpad.dmi.Add_bundleContent(bundle, scrap)
+                for sub in child:
+                    if sub.tag == "mark-ref":
+                        mark_id = sub.get("id", "")
+                        handle = slimpad.dmi.Create_MarkHandle(markId=mark_id)
+                        slimpad.dmi.Add_scrapMark(scrap, handle)
+                    elif sub.tag == "annotation":
+                        slimpad.dmi.Annotate_Scrap(
+                            scrap, sub.text or "",
+                            author=sub.get("author", ""))
+            elif child.tag == "bundle":
+                _bundle_from_element(slimpad, child, bundle)
+    except ValueError as exc:
+        raise PersistenceError(f"bad number in bundle parcel: {exc}") from exc
+    return bundle

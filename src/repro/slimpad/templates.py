@@ -1,0 +1,163 @@
+"""Bundle templates (a Section 6 contemplated extension).
+
+Clinicians reuse bundle *shapes*: every patient row on the resident's
+worksheet has the same four regions.  A :class:`BundleTemplate` captures
+a bundle's structure — nested bundles, scrap labels/positions, graphics —
+without its marks, and can be instantiated any number of times onto a pad.
+Templates are plain data, serializable to XML for sharing.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import PersistenceError
+from repro.dmi.runtime import EntityObject
+from repro.slimpad.dmi import SlimPadDMI
+from repro.util.coordinates import Coordinate
+
+
+@dataclass
+class ScrapSlot:
+    """A scrap placeholder: a label and a position, no mark."""
+
+    label: str
+    pos: Coordinate
+
+
+@dataclass
+class GraphicSlot:
+    """A graphic placeholder."""
+
+    kind: str
+    pos: Coordinate
+    width: float
+    height: float
+
+
+@dataclass
+class BundleTemplate:
+    """The reusable shape of one bundle (recursively)."""
+
+    name: str
+    pos: Coordinate = field(default_factory=lambda: Coordinate(0, 0))
+    width: float = 200.0
+    height: float = 120.0
+    scraps: List[ScrapSlot] = field(default_factory=list)
+    graphics: List[GraphicSlot] = field(default_factory=list)
+    nested: List["BundleTemplate"] = field(default_factory=list)
+
+    # -- capture -----------------------------------------------------------------
+
+    @classmethod
+    def capture(cls, bundle: EntityObject) -> "BundleTemplate":
+        """Capture the structure of an existing bundle (marks dropped)."""
+        template = cls(
+            name=bundle.bundleName or "",
+            pos=bundle.bundlePos or Coordinate(0, 0),
+            width=bundle.bundleWidth or 200.0,
+            height=bundle.bundleHeight or 120.0)
+        for scrap in bundle.bundleContent:
+            template.scraps.append(ScrapSlot(
+                scrap.scrapName or "", scrap.scrapPos or Coordinate(0, 0)))
+        for graphic in bundle.bundleGraphic:
+            template.graphics.append(GraphicSlot(
+                graphic.graphicKind, graphic.graphicPos or Coordinate(0, 0),
+                graphic.graphicWidth or 0.0, graphic.graphicHeight or 0.0))
+        for nested in bundle.nestedBundle:
+            template.nested.append(cls.capture(nested))
+        return template
+
+    # -- instantiation -------------------------------------------------------------
+
+    def instantiate(self, dmi: SlimPadDMI, parent: EntityObject,
+                    name: Optional[str] = None,
+                    at: Optional[Coordinate] = None) -> EntityObject:
+        """Create a fresh bundle from this template under *parent*."""
+        bundle = dmi.Create_Bundle(
+            bundleName=name if name is not None else self.name,
+            bundlePos=at if at is not None else self.pos,
+            bundleWidth=self.width, bundleHeight=self.height)
+        dmi.Add_nestedBundle(parent, bundle)
+        for slot in self.scraps:
+            scrap = dmi.Create_Scrap(scrapName=slot.label, scrapPos=slot.pos)
+            dmi.Add_bundleContent(bundle, scrap)
+        for slot in self.graphics:
+            dmi.Create_Graphic(bundle, slot.kind, slot.pos,
+                               slot.width, slot.height)
+        for child in self.nested:
+            child.instantiate(dmi, bundle)
+        return bundle
+
+    # -- serialization ----------------------------------------------------------------
+
+    def dumps(self) -> str:
+        """This template as an XML string."""
+        root = self._to_element()
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode")
+
+    def _to_element(self) -> ET.Element:
+        element = ET.Element("bundle-template", {
+            "name": self.name, "x": str(self.pos.x), "y": str(self.pos.y),
+            "width": str(self.width), "height": str(self.height)})
+        for slot in self.scraps:
+            ET.SubElement(element, "scrap", {
+                "label": slot.label,
+                "x": str(slot.pos.x), "y": str(slot.pos.y)})
+        for slot in self.graphics:
+            ET.SubElement(element, "graphic", {
+                "kind": slot.kind, "x": str(slot.pos.x), "y": str(slot.pos.y),
+                "width": str(slot.width), "height": str(slot.height)})
+        for child in self.nested:
+            element.append(child._to_element())
+        return element
+
+    @classmethod
+    def loads(cls, text: str) -> "BundleTemplate":
+        """Parse a template from :meth:`dumps` output."""
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise PersistenceError(f"malformed template XML: {exc}") from exc
+        if root.tag != "bundle-template":
+            raise PersistenceError(
+                f"expected <bundle-template>, got <{root.tag}>")
+        return cls._from_element(root)
+
+    @classmethod
+    def _from_element(cls, element: ET.Element) -> "BundleTemplate":
+        try:
+            template = cls(
+                name=element.get("name", ""),
+                pos=Coordinate(float(element.get("x", "0")),
+                               float(element.get("y", "0"))),
+                width=float(element.get("width", "200")),
+                height=float(element.get("height", "120")))
+            for child in element:
+                if child.tag == "scrap":
+                    template.scraps.append(ScrapSlot(
+                        child.get("label", ""),
+                        Coordinate(float(child.get("x", "0")),
+                                   float(child.get("y", "0")))))
+                elif child.tag == "graphic":
+                    template.graphics.append(GraphicSlot(
+                        child.get("kind", ""),
+                        Coordinate(float(child.get("x", "0")),
+                                   float(child.get("y", "0"))),
+                        float(child.get("width", "0")),
+                        float(child.get("height", "0"))))
+                elif child.tag == "bundle-template":
+                    template.nested.append(cls._from_element(child))
+                else:
+                    raise PersistenceError(
+                        f"unexpected element <{child.tag}> in template")
+        except ValueError as exc:
+            raise PersistenceError(f"bad number in template: {exc}") from exc
+        return template
+
+    def slot_count(self) -> int:
+        """Total scrap slots, recursively (for tests and stats)."""
+        return len(self.scraps) + sum(c.slot_count() for c in self.nested)

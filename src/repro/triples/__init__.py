@@ -1,0 +1,52 @@
+"""TRIM — the Triple Manager and its triple store (paper Section 4.4).
+
+Public surface:
+
+- :class:`Triple`, :class:`Resource`, :class:`Literal` — the data model
+- :class:`TripleStore` — indexed store with selection queries
+- :class:`TrimManager` — the façade DMIs program against
+- :class:`Query`, :class:`Pattern`, :class:`Var` — conjunctive queries
+- :class:`View` — reachability views
+- :mod:`repro.triples.persistence` — XML save/load
+- :class:`Batch`, :class:`UndoLog` — grouped changes and undo/redo
+"""
+
+from repro.triples.interned import InternedTripleStore
+from repro.triples.namespaces import (
+    RDF,
+    RDFS,
+    SLIM,
+    Namespace,
+    NamespaceRegistry,
+)
+from repro.triples.query import Pattern, Query, Var
+from repro.triples.store import TripleStore
+from repro.triples.transactions import Batch, Change, UndoLog
+from repro.triples.trim import TrimManager
+from repro.triples.triple import Literal, Node, Resource, Triple, triple
+from repro.triples.views import View, reachable_resources, reachable_triples
+
+__all__ = [
+    "InternedTripleStore",
+    "RDF",
+    "RDFS",
+    "SLIM",
+    "Namespace",
+    "NamespaceRegistry",
+    "Pattern",
+    "Query",
+    "Var",
+    "TripleStore",
+    "Batch",
+    "Change",
+    "UndoLog",
+    "TrimManager",
+    "Literal",
+    "Node",
+    "Resource",
+    "Triple",
+    "triple",
+    "View",
+    "reachable_resources",
+    "reachable_triples",
+]

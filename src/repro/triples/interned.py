@@ -1,0 +1,176 @@
+"""An interned (dictionary-encoded) triple store.
+
+Section 6: *"In applications of our SLIM Store technology beyond SLIMPad,
+some data sets are quite large and we are developing alternative
+implementation mechanisms."*  This is that alternative: node payloads are
+interned once into integer ids, statements are stored as id-triples, and
+the three field indexes map ids to statement sets.  Repeated URIs (the
+common case — every triple repeats property names, every instance repeats
+its subject) are stored once.
+
+:class:`InternedTripleStore` implements the same core surface as
+:class:`~repro.triples.store.TripleStore` (add/remove/match/select/len/
+contains/iter/estimated_bytes), so TRIM-level code and the ablation bench
+can swap it in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import TripleNotFoundError
+from repro.triples.triple import Node, Resource, Triple
+
+_Key = Tuple[int, int, int]
+
+
+class InternedTripleStore:
+    """Set of triples over an interning node table."""
+
+    def __init__(self) -> None:
+        self._node_ids: Dict[Node, int] = {}
+        self._nodes: List[Node] = []
+        self._statements: Dict[_Key, int] = {}    # key -> insertion seq
+        self._sequence = 0
+        self._by_subject: Dict[int, Set[_Key]] = {}
+        self._by_property: Dict[int, Set[_Key]] = {}
+        self._by_value: Dict[int, Set[_Key]] = {}
+
+    # -- interning ---------------------------------------------------------------
+
+    def _intern(self, node: Node) -> int:
+        node_id = self._node_ids.get(node)
+        if node_id is None:
+            node_id = len(self._nodes)
+            self._node_ids[node] = node_id
+            self._nodes.append(node)
+        return node_id
+
+    def _lookup(self, node: Node) -> Optional[int]:
+        return self._node_ids.get(node)
+
+    def _key_of(self, triple: Triple) -> _Key:
+        return (self._intern(triple.subject), self._intern(triple.property),
+                self._intern(triple.value))
+
+    def _triple_of(self, key: _Key) -> Triple:
+        subject = self._nodes[key[0]]
+        prop = self._nodes[key[1]]
+        value = self._nodes[key[2]]
+        assert isinstance(subject, Resource) and isinstance(prop, Resource)
+        return Triple(subject, prop, value)
+
+    # -- mutation ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert; returns whether the triple was new."""
+        key = self._key_of(triple)
+        if key in self._statements:
+            return False
+        self._statements[key] = self._sequence
+        self._sequence += 1
+        self._by_subject.setdefault(key[0], set()).add(key)
+        self._by_property.setdefault(key[1], set()).add(key)
+        self._by_value.setdefault(key[2], set()).add(key)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many; returns how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> None:
+        """Delete; raises :class:`TripleNotFoundError` when absent.
+
+        Interned nodes are retained (tombstone-free removal of statements;
+        node-table compaction is a rebuild, as in real dictionary-encoded
+        stores).
+        """
+        key = (self._lookup(triple.subject), self._lookup(triple.property),
+               self._lookup(triple.value))
+        if None in key or key not in self._statements:  # type: ignore[comparison-overlap]
+            raise TripleNotFoundError(f"triple not in store: {triple}")
+        del self._statements[key]  # type: ignore[arg-type]
+        for index, node_id in ((self._by_subject, key[0]),
+                               (self._by_property, key[1]),
+                               (self._by_value, key[2])):
+            bucket = index.get(node_id)
+            if bucket is not None:
+                bucket.discard(key)  # type: ignore[arg-type]
+                if not bucket:
+                    del index[node_id]
+
+    def discard(self, triple: Triple) -> bool:
+        """Delete if present; returns whether it was."""
+        try:
+            self.remove(triple)
+            return True
+        except TripleNotFoundError:
+            return False
+
+    # -- selection -------------------------------------------------------------------
+
+    def match(self, subject: Optional[Resource] = None,
+              property: Optional[Resource] = None,
+              value: Optional[Node] = None) -> Iterator[Triple]:
+        """Yield triples matching the fixed fields (``None`` = wildcard)."""
+        buckets: List[Set[_Key]] = []
+        for node, index in ((subject, self._by_subject),
+                            (property, self._by_property),
+                            (value, self._by_value)):
+            if node is None:
+                continue
+            node_id = self._lookup(node)
+            if node_id is None:
+                return
+            buckets.append(index.get(node_id, set()))
+        if not buckets:
+            candidates: Iterable[_Key] = list(self._statements)
+        else:
+            candidates = set.intersection(*buckets) if len(buckets) > 1 \
+                else buckets[0]
+        for key in candidates:
+            yield self._triple_of(key)
+
+    def select(self, subject: Optional[Resource] = None,
+               property: Optional[Resource] = None,
+               value: Optional[Node] = None) -> List[Triple]:
+        """Materialized :meth:`match`, in insertion order."""
+        keys = [self._key_of(t) for t in self.match(subject, property, value)]
+        keys.sort(key=self._statements.__getitem__)
+        return [self._triple_of(key) for key in keys]
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._statements)
+
+    def __contains__(self, triple: Triple) -> bool:
+        key = (self._lookup(triple.subject), self._lookup(triple.property),
+               self._lookup(triple.value))
+        return None not in key and key in self._statements  # type: ignore[comparison-overlap]
+
+    def __iter__(self) -> Iterator[Triple]:
+        return (self._triple_of(key) for key in self._statements)
+
+    def node_count(self) -> int:
+        """How many distinct nodes the intern table holds."""
+        return len(self._nodes)
+
+    def estimated_bytes(self) -> int:
+        """Footprint: each node's payload once + fixed per-statement cost.
+
+        Comparable with ``TripleStore.estimated_bytes`` (same payload
+        accounting, same per-entry overhead constants) so the ablation
+        bench can report the savings of interning.
+        """
+        total = 0
+        for node in self._nodes:
+            if isinstance(node, Resource):
+                total += len(node.uri)
+            else:
+                total += len(str(node.value))
+            total += 16  # intern-table slot
+        per_statement = 3 * 8 + 48   # three int ids + container slots
+        total += len(self._statements) * per_statement
+        total += 3 * len(self._statements) * 8  # index entries
+        return total

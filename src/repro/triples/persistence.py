@@ -1,0 +1,160 @@
+"""XML persistence for triple stores.
+
+Section 4.4: TRIM can *"persist (through XML files)"* the triple
+representation.  The format is a flat statement list — close in spirit to
+RDF/XML's striped form but simpler and loss-free for our typed literals::
+
+    <slim-store xmlns-slim="http://repro.example/slim#" ...>
+      <triple>
+        <subject>bundle-000001</subject>
+        <property>slim:bundleName</property>
+        <literal type="string">Electrolyte</literal>
+      </triple>
+      <triple>
+        <subject>bundle-000001</subject>
+        <property>slim:bundleContent</property>
+        <resource>scrap-000004</resource>
+      </triple>
+    </slim-store>
+
+Literal types (string/integer/float/boolean) are tagged so a save/load
+round trip preserves node identity exactly — a property-tested invariant.
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ET
+from typing import Optional, Union
+
+from repro.errors import PersistenceError
+from repro.triples.namespaces import NamespaceRegistry
+from repro.triples.store import TripleStore
+from repro.triples.triple import Literal, LiteralValue, Resource, Triple
+
+FORMAT_VERSION = "1"
+
+
+def dumps(store: TripleStore,
+          namespaces: Optional[NamespaceRegistry] = None) -> str:
+    """Serialize *store* to an XML string (UTF-8 text, one doc)."""
+    root = ET.Element("slim-store", {"version": FORMAT_VERSION})
+    if namespaces is not None:
+        for namespace in namespaces:
+            ET.SubElement(root, "namespace",
+                          {"prefix": namespace.prefix, "uri": namespace.uri})
+    for triple in store:
+        element = ET.SubElement(root, "triple")
+        ET.SubElement(element, "subject").text = triple.subject.uri
+        ET.SubElement(element, "property").text = triple.property.uri
+        if isinstance(triple.value, Resource):
+            ET.SubElement(element, "resource").text = triple.value.uri
+        else:
+            literal = ET.SubElement(element, "literal",
+                                    {"type": triple.value.type_name})
+            literal.text = _encode_literal(triple.value.value)
+    ET.indent(root)
+    buffer = io.BytesIO()
+    ET.ElementTree(root).write(buffer, encoding="utf-8", xml_declaration=True)
+    return buffer.getvalue().decode("utf-8")
+
+
+def loads(text: str,
+          namespaces: Optional[NamespaceRegistry] = None) -> TripleStore:
+    """Parse an XML string produced by :func:`dumps` into a fresh store."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise PersistenceError(f"malformed slim-store XML: {exc}") from exc
+    if root.tag != "slim-store":
+        raise PersistenceError(f"expected <slim-store> root, got <{root.tag}>")
+    store = TripleStore()
+    for child in root:
+        if child.tag == "namespace":
+            if namespaces is not None:
+                prefix = child.get("prefix")
+                uri = child.get("uri")
+                if not prefix or not uri:
+                    raise PersistenceError("namespace element missing prefix/uri")
+                namespaces.register(prefix, uri)
+            continue
+        if child.tag != "triple":
+            raise PersistenceError(f"unexpected element <{child.tag}>")
+        store.add(_parse_triple(child))
+    return store
+
+
+def save(store: TripleStore, path: str,
+         namespaces: Optional[NamespaceRegistry] = None) -> None:
+    """Write *store* to *path* as XML."""
+    text = dumps(store, namespaces)
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    except OSError as exc:
+        raise PersistenceError(f"cannot write {path}: {exc}") from exc
+
+
+def load(path: str,
+         namespaces: Optional[NamespaceRegistry] = None) -> TripleStore:
+    """Read a store previously written by :func:`save`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path}: {exc}") from exc
+    return loads(text, namespaces)
+
+
+def _parse_triple(element: ET.Element) -> Triple:
+    subject = _required_text(element, "subject")
+    prop = _required_text(element, "property")
+    resource = element.find("resource")
+    literal = element.find("literal")
+    if (resource is None) == (literal is None):
+        raise PersistenceError(
+            "triple must have exactly one of <resource> or <literal>")
+    value: Union[Resource, Literal]
+    if resource is not None:
+        if not resource.text:
+            raise PersistenceError("empty <resource> value")
+        value = Resource(resource.text)
+    else:
+        value = Literal(_decode_literal(literal.get("type", "string"),
+                                        literal.text or ""))
+    return Triple(Resource(subject), Resource(prop), value)
+
+
+def _required_text(element: ET.Element, tag: str) -> str:
+    child = element.find(tag)
+    if child is None or not child.text:
+        raise PersistenceError(f"triple missing <{tag}>")
+    return child.text
+
+
+def _encode_literal(value: LiteralValue) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _decode_literal(type_name: str, text: str) -> LiteralValue:
+    if type_name == "string":
+        return text
+    if type_name == "integer":
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise PersistenceError(f"bad integer literal: {text!r}") from exc
+    if type_name == "float":
+        try:
+            return float(text)
+        except ValueError as exc:
+            raise PersistenceError(f"bad float literal: {text!r}") from exc
+    if type_name == "boolean":
+        if text == "true":
+            return True
+        if text == "false":
+            return False
+        raise PersistenceError(f"bad boolean literal: {text!r}")
+    raise PersistenceError(f"unknown literal type: {type_name!r}")

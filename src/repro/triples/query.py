@@ -1,0 +1,150 @@
+"""Query over the triple store.
+
+TRIM's built-in query is single-pattern *selection* (fix any subset of the
+three fields); that lives on :class:`~repro.triples.store.TripleStore`
+itself.  Section 6 lists *"augmenting such interfaces with query
+capabilities, in addition to the current navigational access"* as current
+work — this module implements that extension: a small conjunctive query
+engine with named variables and hash-join-free nested-loop evaluation with
+binding propagation.
+
+::
+
+    q = Query([
+        Pattern(Var('b'), SLIM['bundleContent'], Var('s')),
+        Pattern(Var('s'), SLIM['scrapName'], Literal('K+ 3.9')),
+    ])
+    for binding in q.run(store):
+        binding['b']   # the bundle Resource containing that scrap
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import QueryError
+from repro.triples.store import TripleStore
+from repro.triples.triple import Literal, Node, Resource, Triple
+
+
+@dataclass(frozen=True)
+class Var:
+    """A named query variable.  Equal names denote the same variable."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A pattern term: a concrete node, a variable, or None (anonymous wildcard).
+Term = Union[Resource, Literal, Var, None]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One triple pattern of a conjunctive query."""
+
+    subject: Term
+    property: Term
+    value: Term
+
+    def __post_init__(self) -> None:
+        if isinstance(self.subject, Literal):
+            raise QueryError("pattern subject cannot be a literal")
+        if isinstance(self.property, Literal):
+            raise QueryError("pattern property cannot be a literal")
+
+    def variables(self) -> List[str]:
+        """Names of the variables this pattern mentions."""
+        return [t.name for t in (self.subject, self.property, self.value)
+                if isinstance(t, Var)]
+
+
+Binding = Dict[str, Node]
+
+
+class Query:
+    """A conjunction of :class:`Pattern` s evaluated against a store.
+
+    Evaluation is nested-loop with binding propagation: patterns run in the
+    given order; each solution for a prefix of patterns narrows the index
+    lookups for the rest.  Results are de-duplicated bindings of every
+    variable mentioned anywhere in the query.
+    """
+
+    def __init__(self, patterns: Sequence[Pattern]) -> None:
+        if not patterns:
+            raise QueryError("query needs at least one pattern")
+        self.patterns = list(patterns)
+        self._variables: List[str] = []
+        for pattern in self.patterns:
+            for name in pattern.variables():
+                if name not in self._variables:
+                    self._variables.append(name)
+
+    @property
+    def variables(self) -> List[str]:
+        """All variable names, in first-appearance order."""
+        return list(self._variables)
+
+    def run(self, store: TripleStore) -> Iterator[Binding]:
+        """Yield every distinct binding satisfying all patterns."""
+        seen = set()
+        for binding in self._solve(store, 0, {}):
+            key = tuple(sorted((name, node) for name, node in binding.items()))
+            if key not in seen:
+                seen.add(key)
+                yield binding
+
+    def run_all(self, store: TripleStore) -> List[Binding]:
+        """Materialized :meth:`run`."""
+        return list(self.run(store))
+
+    def _solve(self, store: TripleStore, index: int,
+               binding: Binding) -> Iterator[Binding]:
+        if index == len(self.patterns):
+            yield dict(binding)
+            return
+        pattern = self.patterns[index]
+        subj = _ground(pattern.subject, binding)
+        prop = _ground(pattern.property, binding)
+        val = _ground(pattern.value, binding)
+        # Grounded terms that turned out to be literals in subject/property
+        # positions can never match.
+        if isinstance(subj, Literal) or isinstance(prop, Literal):
+            return
+        for triple in store.match(subject=subj, property=prop, value=val):
+            extension = _extend(pattern, triple, binding)
+            if extension is not None:
+                yield from self._solve(store, index + 1, extension)
+
+
+def _ground(term: Term, binding: Binding) -> Optional[Node]:
+    """Resolve *term* under *binding*: bound vars become nodes, free ones None."""
+    if term is None:
+        return None
+    if isinstance(term, Var):
+        return binding.get(term.name)
+    return term
+
+
+def _extend(pattern: Pattern, triple: Triple,
+            binding: Binding) -> Optional[Binding]:
+    """Bind the pattern's free variables from *triple*; None on conflict."""
+    extended = dict(binding)
+    for term, node in ((pattern.subject, triple.subject),
+                       (pattern.property, triple.property),
+                       (pattern.value, triple.value)):
+        if isinstance(term, Var):
+            bound = extended.get(term.name)
+            if bound is None:
+                extended[term.name] = node
+            elif bound != node:
+                return None
+    return extended

@@ -1,0 +1,256 @@
+"""The indexed triple store at the core of TRIM.
+
+Section 4.4: *"Through TRIM, the DMI can create, remove, persist (through
+XML files), query, and create simple views over the underlying triples.
+Query is specified by selection, where one or more of the triple fields is
+fixed, and the result is a set of triples."*
+
+:class:`TripleStore` implements exactly that surface plus the plumbing a
+real store needs: three single-field hash indexes (subject / property /
+value) so every selection pattern is answered without a full scan, change
+listeners (used by the undo log), and a size estimator used by the space-
+overhead benchmark (claim C-1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import TripleNotFoundError
+from repro.triples.triple import Literal, Node, Resource, Triple
+
+#: Change listeners receive ('add' | 'remove', triple).
+ChangeListener = Callable[[str, Triple], None]
+
+
+class TripleStore:
+    """A set of triples with hash indexes on each field.
+
+    The store has *set semantics*: adding a triple twice is a no-op and
+    :meth:`add` reports whether the triple was new.  Iteration order is the
+    insertion order of currently present triples, which keeps persisted
+    files and test output deterministic.
+    """
+
+    def __init__(self) -> None:
+        # Membership map: triple -> insertion sequence number.  The dict
+        # keeps insertion order for iteration; the sequence numbers let
+        # selection results be order-restored in O(k log k) instead of
+        # re-scanning the whole store.
+        self._triples: Dict[Triple, int] = {}
+        self._sequence = 0
+        self._by_subject: Dict[Resource, Set[Triple]] = {}
+        self._by_property: Dict[Resource, Set[Triple]] = {}
+        self._by_value: Dict[Node, Set[Triple]] = {}
+        self._listeners: List[ChangeListener] = []
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert *triple*; return ``True`` if it was not already present."""
+        if triple in self._triples:
+            return False
+        self._triples[triple] = self._sequence
+        self._sequence += 1
+        self._by_subject.setdefault(triple.subject, set()).add(triple)
+        self._by_property.setdefault(triple.property, set()).add(triple)
+        self._by_value.setdefault(triple.value, set()).add(triple)
+        self._notify("add", triple)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; return how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> None:
+        """Delete *triple*; raise :class:`TripleNotFoundError` if absent."""
+        if triple not in self._triples:
+            raise TripleNotFoundError(f"triple not in store: {triple}")
+        del self._triples[triple]
+        self._index_discard(self._by_subject, triple.subject, triple)
+        self._index_discard(self._by_property, triple.property, triple)
+        self._index_discard(self._by_value, triple.value, triple)
+        self._notify("remove", triple)
+
+    def discard(self, triple: Triple) -> bool:
+        """Delete *triple* if present; return whether it was."""
+        if triple not in self._triples:
+            return False
+        self.remove(triple)
+        return True
+
+    def remove_matching(self, subject: Optional[Resource] = None,
+                        property: Optional[Resource] = None,
+                        value: Optional[Node] = None) -> int:
+        """Delete every triple matching the selection; return the count."""
+        victims = list(self.match(subject, property, value))
+        for triple in victims:
+            self.remove(triple)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Delete every triple (listeners see each removal)."""
+        for triple in list(self._triples):
+            self.remove(triple)
+
+    # -- selection query (the TRIM query operation) --------------------------
+
+    def match(self, subject: Optional[Resource] = None,
+              property: Optional[Resource] = None,
+              value: Optional[Node] = None) -> Iterator[Triple]:
+        """Yield triples matching the fixed fields (``None`` = wildcard).
+
+        The narrowest applicable index drives the iteration; remaining fixed
+        fields are checked per candidate.  With no field fixed this iterates
+        the whole store.
+        """
+        candidates = self._candidates(subject, property, value)
+        for triple in candidates:
+            if subject is not None and triple.subject != subject:
+                continue
+            if property is not None and triple.property != property:
+                continue
+            if value is not None and triple.value != value:
+                continue
+            yield triple
+
+    def select(self, subject: Optional[Resource] = None,
+               property: Optional[Resource] = None,
+               value: Optional[Node] = None) -> List[Triple]:
+        """Like :meth:`match` but materialized, in insertion order."""
+        hits = list(self.match(subject, property, value))
+        hits.sort(key=self._triples.__getitem__)
+        return hits
+
+    def one(self, subject: Optional[Resource] = None,
+            property: Optional[Resource] = None,
+            value: Optional[Node] = None) -> Optional[Triple]:
+        """Return the single matching triple, ``None`` if there is none.
+
+        Raises :class:`LookupError` when more than one triple matches —
+        use this for functional (single-valued) properties only.
+        """
+        found: Optional[Triple] = None
+        for triple in self.match(subject, property, value):
+            if found is not None:
+                raise LookupError(
+                    f"expected at most one triple for ({subject}, {property}, {value})")
+            found = triple
+        return found
+
+    def value_of(self, subject: Resource, property: Resource) -> Optional[Node]:
+        """The value of a single-valued property, or ``None``."""
+        hit = self.one(subject=subject, property=property)
+        return None if hit is None else hit.value
+
+    def literal_of(self, subject: Resource, property: Resource):
+        """The Python value of a single-valued literal property, or ``None``."""
+        node = self.value_of(subject, property)
+        if node is None:
+            return None
+        if not isinstance(node, Literal):
+            raise LookupError(f"{subject} {property} holds a resource, not a literal")
+        return node.value
+
+    def values_of(self, subject: Resource, property: Resource) -> List[Node]:
+        """All values of a property on *subject*, in insertion order."""
+        return [t.value for t in self.select(subject=subject, property=property)]
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def subjects(self) -> List[Resource]:
+        """Distinct subjects, in first-appearance order."""
+        seen: Dict[Resource, None] = {}
+        for triple in self._triples:
+            seen.setdefault(triple.subject, None)
+        return list(seen)
+
+    def properties(self) -> List[Resource]:
+        """Distinct properties, in first-appearance order."""
+        seen: Dict[Resource, None] = {}
+        for triple in self._triples:
+            seen.setdefault(triple.property, None)
+        return list(seen)
+
+    def resources(self) -> List[Resource]:
+        """Every resource mentioned in any position, first-appearance order."""
+        seen: Dict[Resource, None] = {}
+        for triple in self._triples:
+            seen.setdefault(triple.subject, None)
+            seen.setdefault(triple.property, None)
+            if isinstance(triple.value, Resource):
+                seen.setdefault(triple.value, None)
+        return list(seen)
+
+    def estimated_bytes(self) -> int:
+        """Rough in-memory footprint of the stored statements.
+
+        Counts the string payload of every field of every triple (URIs and
+        literal reprs) plus a fixed per-triple and per-index-entry overhead.
+        Used by the space-overhead benchmark (claim C-1); the absolute
+        number is indicative, the *ratio* against a native representation
+        is what the paper's trade-off discussion is about.
+        """
+        per_triple_overhead = 3 * 8 + 48   # three refs + container slots
+        total = 0
+        for triple in self._triples:
+            total += len(triple.subject.uri)
+            total += len(triple.property.uri)
+            if isinstance(triple.value, Resource):
+                total += len(triple.value.uri)
+            else:
+                total += len(str(triple.value.value))
+            total += per_triple_overhead
+        # Each triple appears in three index sets.
+        total += 3 * len(self._triples) * 8
+        return total
+
+    # -- listeners -----------------------------------------------------------
+
+    def add_listener(self, listener: ChangeListener) -> Callable[[], None]:
+        """Register a change listener; returns an unsubscribe callable."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    # -- internals -----------------------------------------------------------
+
+    def _candidates(self, subject: Optional[Resource],
+                    property: Optional[Resource],
+                    value: Optional[Node]) -> Iterable[Triple]:
+        """Pick the smallest index bucket covering the fixed fields."""
+        buckets: List[Set[Triple]] = []
+        if subject is not None:
+            buckets.append(self._by_subject.get(subject, set()))
+        if property is not None:
+            buckets.append(self._by_property.get(property, set()))
+        if value is not None:
+            buckets.append(self._by_value.get(value, set()))
+        if not buckets:
+            return list(self._triples)
+        return min(buckets, key=len)
+
+    @staticmethod
+    def _index_discard(index: Dict, key, triple: Triple) -> None:
+        bucket = index.get(key)
+        if bucket is not None:
+            bucket.discard(triple)
+            if not bucket:
+                del index[key]
+
+    def _notify(self, action: str, triple: Triple) -> None:
+        for listener in list(self._listeners):
+            listener(action, triple)

@@ -1,0 +1,161 @@
+"""Batches and undo/redo over a triple store.
+
+The paper's DMI exposes create/update/delete operations that each expand to
+several triple-level changes (an ``Update_bundlePos`` removes one triple
+and adds another).  A :class:`Batch` groups those changes so a failed DMI
+operation can roll back to a consistent state, and :class:`UndoLog` gives
+the superimposed application user-level undo — the digital counterpart of
+scribbling out an entry on a paper bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import TransactionError
+from repro.triples.store import TripleStore
+from repro.triples.triple import Triple
+
+
+@dataclass(frozen=True)
+class Change:
+    """One recorded store mutation: ``action`` is ``'add'`` or ``'remove'``."""
+
+    action: str
+    triple: Triple
+
+    def inverted(self) -> "Change":
+        """The change that undoes this one."""
+        return Change("remove" if self.action == "add" else "add", self.triple)
+
+
+def _apply(store: TripleStore, change: Change) -> None:
+    if change.action == "add":
+        store.add(change.triple)
+    else:
+        store.discard(change.triple)
+
+
+class Batch:
+    """Context manager grouping store changes with rollback on error.
+
+    ::
+
+        with Batch(store) as batch:
+            store.add(t1)
+            store.remove(t2)
+            # raising here rolls both back
+
+    On normal exit the batch commits (changes stay) and its change list is
+    available via :attr:`changes`.  Batches do not nest on one store.
+    """
+
+    def __init__(self, store: TripleStore) -> None:
+        self._store = store
+        self._changes: List[Change] = []
+        self._unsubscribe = None
+
+    def __enter__(self) -> "Batch":
+        if self._unsubscribe is not None:
+            raise TransactionError("batch already active")
+        self._unsubscribe = self._store.add_listener(self._record)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._unsubscribe is None:
+            raise TransactionError("batch exited without entering")
+        self._unsubscribe()
+        self._unsubscribe = None
+        if exc_type is not None:
+            self.rollback()
+        return False  # never swallow exceptions
+
+    def _record(self, action: str, triple: Triple) -> None:
+        self._changes.append(Change(action, triple))
+
+    @property
+    def changes(self) -> List[Change]:
+        """The mutations recorded so far, oldest first."""
+        return list(self._changes)
+
+    def rollback(self) -> None:
+        """Undo every recorded change (newest first), then forget them."""
+        for change in reversed(self._changes):
+            _apply(self._store, change.inverted())
+        self._changes.clear()
+
+
+class UndoLog:
+    """Linear undo/redo of grouped mutations on one store.
+
+    Attach the log, mutate the store (directly or through a DMI), and call
+    :meth:`checkpoint` after each user-level operation.  :meth:`undo`
+    reverts the most recent group; :meth:`redo` re-applies it.  A new
+    mutation after an undo discards the redo tail, as editors do.
+    """
+
+    def __init__(self, store: TripleStore) -> None:
+        self._store = store
+        self._pending: List[Change] = []
+        self._undo_stack: List[List[Change]] = []
+        self._redo_stack: List[List[Change]] = []
+        self._replaying = False
+        self._unsubscribe = store.add_listener(self._record)
+
+    def detach(self) -> None:
+        """Stop observing the store (pending changes are discarded)."""
+        self._unsubscribe()
+        self._pending.clear()
+
+    def _record(self, action: str, triple: Triple) -> None:
+        if self._replaying:
+            return
+        self._pending.append(Change(action, triple))
+        self._redo_stack.clear()
+
+    def checkpoint(self) -> bool:
+        """Close the current group; return False if nothing changed."""
+        if not self._pending:
+            return False
+        self._undo_stack.append(self._pending)
+        self._pending = []
+        return True
+
+    @property
+    def can_undo(self) -> bool:
+        """Whether a checkpointed group is available to undo."""
+        return bool(self._undo_stack)
+
+    @property
+    def can_redo(self) -> bool:
+        """Whether an undone group is available to redo."""
+        return bool(self._redo_stack)
+
+    def undo(self) -> None:
+        """Revert the latest checkpointed group."""
+        if self._pending:
+            raise TransactionError("checkpoint before undoing")
+        if not self._undo_stack:
+            raise TransactionError("nothing to undo")
+        group = self._undo_stack.pop()
+        self._replaying = True
+        try:
+            for change in reversed(group):
+                _apply(self._store, change.inverted())
+        finally:
+            self._replaying = False
+        self._redo_stack.append(group)
+
+    def redo(self) -> None:
+        """Re-apply the most recently undone group."""
+        if not self._redo_stack:
+            raise TransactionError("nothing to redo")
+        group = self._redo_stack.pop()
+        self._replaying = True
+        try:
+            for change in group:
+                _apply(self._store, change)
+        finally:
+            self._replaying = False
+        self._undo_stack.append(group)

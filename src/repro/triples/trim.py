@@ -1,0 +1,116 @@
+"""TRIM — the Triple Manager (Section 4.4, Fig. 9).
+
+The paper: *"To manage triples, we use the TRIM (Triple Manager)
+sub-component, which handles basic operations over the triple
+representation. Through TRIM, the DMI can create, remove, persist (through
+XML files), query, and create simple views over the underlying triples."*
+
+:class:`TrimManager` is the façade the DMIs program against.  It owns a
+:class:`~repro.triples.store.TripleStore`, a namespace registry, an id
+generator for minting resources, and an undo log; and it exposes exactly
+the five operation families the paper lists: create, remove, persist,
+query (selection), and views.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.triples import persistence
+from repro.triples.namespaces import NamespaceRegistry
+from repro.triples.query import Query
+from repro.triples.store import TripleStore
+from repro.triples.transactions import Batch, UndoLog
+from repro.triples.triple import (Literal, LiteralValue, Node, Resource,
+                                  Triple, triple)
+from repro.triples.views import View
+from repro.util.identifiers import IdGenerator
+
+
+class TrimManager:
+    """Façade bundling store + namespaces + ids + persistence + views."""
+
+    def __init__(self, namespaces: Optional[NamespaceRegistry] = None) -> None:
+        self.store = TripleStore()
+        self.namespaces = namespaces or NamespaceRegistry.with_defaults()
+        self.ids = IdGenerator()
+        self._undo: Optional[UndoLog] = None
+
+    # -- create / remove ------------------------------------------------------
+
+    def new_resource(self, prefix: str) -> Resource:
+        """Mint a fresh resource id like ``bundle-000004``."""
+        return Resource(self.ids.next(prefix))
+
+    def create(self, subject: Union[str, Resource], prop: Union[str, Resource],
+               value: Union[str, Resource, Literal, LiteralValue]) -> Triple:
+        """Create and store one triple (see :func:`repro.triples.triple.triple`)."""
+        statement = triple(subject, prop, value)
+        self.store.add(statement)
+        return statement
+
+    def remove(self, statement: Triple) -> None:
+        """Remove one triple; raises if absent."""
+        self.store.remove(statement)
+
+    def remove_about(self, subject: Resource) -> int:
+        """Remove every triple whose subject is *subject*; return count."""
+        return self.store.remove_matching(subject=subject)
+
+    def batch(self) -> Batch:
+        """A rollback-on-error batch over the store."""
+        return Batch(self.store)
+
+    # -- query ----------------------------------------------------------------
+
+    def select(self, subject: Optional[Resource] = None,
+               prop: Optional[Resource] = None,
+               value: Optional[Node] = None) -> List[Triple]:
+        """TRIM's selection query: fix any subset of fields."""
+        return self.store.select(subject=subject, property=prop, value=value)
+
+    def query(self, query: Query) -> List[dict]:
+        """Run a conjunctive :class:`~repro.triples.query.Query` (extension)."""
+        return query.run_all(self.store)
+
+    # -- views ----------------------------------------------------------------
+
+    def view(self, root: Resource, follow_properties=None,
+             max_depth: Optional[int] = None) -> View:
+        """A reachability view rooted at *root* (Section 4.4's "simple views")."""
+        return View(self.store, root, follow_properties, max_depth)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the store to an XML file."""
+        persistence.save(self.store, path, self.namespaces)
+
+    def load(self, path: str) -> None:
+        """Replace the store contents from an XML file.
+
+        Observed resource ids advance the id generator so subsequently
+        minted ids never collide with loaded ones.
+        """
+        loaded = persistence.load(path, self.namespaces)
+        self.store.clear()
+        self.store.add_all(loaded)
+        for resource in self.store.resources():
+            self.ids.observe(resource.uri)
+
+    def dumps(self) -> str:
+        """The store as an XML string."""
+        return persistence.dumps(self.store, self.namespaces)
+
+    # -- undo -----------------------------------------------------------------
+
+    def enable_undo(self) -> UndoLog:
+        """Attach (or return the existing) undo log."""
+        if self._undo is None:
+            self._undo = UndoLog(self.store)
+        return self._undo
+
+    @property
+    def undo_log(self) -> Optional[UndoLog]:
+        """The attached undo log, if enable_undo was called."""
+        return self._undo

@@ -1,0 +1,120 @@
+"""Reachability views over the triple store.
+
+Section 4.4: *"A view is specified by selecting a resource (such as a
+Bundle id), where all triples that can be reached from this resource are
+returned (e.g., all triples representing nested Bundles within the given
+Bundle along with their Scraps)."*
+
+:func:`reachable_triples` computes that closure.  :class:`View` wraps a
+root resource and re-materializes on demand, so a view stays current as the
+underlying store changes (the paper calls these "simple views").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Set
+
+from repro.triples.store import TripleStore
+from repro.triples.triple import Resource, Triple
+
+
+def reachable_triples(store: TripleStore, root: Resource,
+                      follow_properties: Optional[Iterable[Resource]] = None,
+                      max_depth: Optional[int] = None) -> List[Triple]:
+    """All triples reachable from *root* by following resource-valued triples.
+
+    Traversal is breadth-first from *root*: every triple whose subject is a
+    visited resource is in the view, and resource values of those triples
+    are visited in turn.  Cycles are handled (each resource expands once).
+
+    ``follow_properties`` restricts which properties are traversed *through*
+    (their triples are still included when the subject is reachable);
+    ``max_depth`` bounds how many hops from the root are expanded.
+    Results are in BFS discovery order, deterministic for a given store.
+    """
+    allowed = set(follow_properties) if follow_properties is not None else None
+    visited: Set[Resource] = {root}
+    queue = deque([(root, 0)])
+    result: List[Triple] = []
+    emitted: Set[Triple] = set()
+    while queue:
+        resource, depth = queue.popleft()
+        for triple in store.select(subject=resource):
+            if triple not in emitted:
+                emitted.add(triple)
+                result.append(triple)
+            value = triple.value
+            if not isinstance(value, Resource):
+                continue
+            if allowed is not None and triple.property not in allowed:
+                continue
+            if max_depth is not None and depth >= max_depth:
+                continue
+            if value not in visited:
+                visited.add(value)
+                queue.append((value, depth + 1))
+    return result
+
+
+def reachable_resources(store: TripleStore, root: Resource,
+                        follow_properties: Optional[Iterable[Resource]] = None,
+                        max_depth: Optional[int] = None) -> List[Resource]:
+    """The resources visited by :func:`reachable_triples`, root first."""
+    allowed = set(follow_properties) if follow_properties is not None else None
+    visited: Set[Resource] = {root}
+    order: List[Resource] = [root]
+    queue = deque([(root, 0)])
+    while queue:
+        resource, depth = queue.popleft()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for triple in store.select(subject=resource):
+            value = triple.value
+            if not isinstance(value, Resource):
+                continue
+            if allowed is not None and triple.property not in allowed:
+                continue
+            if value not in visited:
+                visited.add(value)
+                order.append(value)
+                queue.append((value, depth + 1))
+    return order
+
+
+class View:
+    """A named, re-evaluating reachability view rooted at one resource.
+
+    ::
+
+        view = View(store, bundle_resource)
+        view.triples()    # fresh closure each call
+        view.snapshot()   # a detached TripleStore holding the closure
+    """
+
+    def __init__(self, store: TripleStore, root: Resource,
+                 follow_properties: Optional[Iterable[Resource]] = None,
+                 max_depth: Optional[int] = None) -> None:
+        self._store = store
+        self.root = root
+        self._follow = list(follow_properties) if follow_properties is not None else None
+        self._max_depth = max_depth
+
+    def triples(self) -> List[Triple]:
+        """Evaluate the view against the current store contents."""
+        return reachable_triples(self._store, self.root,
+                                 self._follow, self._max_depth)
+
+    def resources(self) -> List[Resource]:
+        """Resources in the view, root first."""
+        return reachable_resources(self._store, self.root,
+                                   self._follow, self._max_depth)
+
+    def snapshot(self) -> TripleStore:
+        """Materialize the view into an independent store."""
+        snap = TripleStore()
+        snap.add_all(self.triples())
+        return snap
+
+    def __len__(self) -> int:
+        return len(self.triples())

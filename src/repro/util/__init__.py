@@ -1,0 +1,41 @@
+"""Shared utilities: identifiers, 2-D geometry, events, and text helpers."""
+
+from repro.util.coordinates import (
+    ORIGIN,
+    Coordinate,
+    Rect,
+    bounding_box,
+    cluster_columns,
+    cluster_rows,
+)
+from repro.util.events import Event, EventBus
+from repro.util.identifiers import IdGenerator, split_id
+from repro.util.text import (
+    Token,
+    excerpt,
+    line_col_to_offset,
+    line_spans,
+    offset_to_line_col,
+    shorten,
+    tokenize,
+)
+
+__all__ = [
+    "ORIGIN",
+    "Coordinate",
+    "Rect",
+    "bounding_box",
+    "cluster_columns",
+    "cluster_rows",
+    "Event",
+    "EventBus",
+    "IdGenerator",
+    "split_id",
+    "Token",
+    "excerpt",
+    "line_col_to_offset",
+    "line_spans",
+    "offset_to_line_col",
+    "shorten",
+    "tokenize",
+]

@@ -1,0 +1,165 @@
+"""2-D geometry for SLIMPad's freeform layout.
+
+SLIMPad lets the user place scraps and bundles anywhere in two dimensions;
+the juxtaposition of elements carries implicit meaning (Section 3 of the
+paper).  These small immutable value types carry positions and extents and
+support the geometric queries the layout engine needs (containment,
+intersection, distance, alignment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Coordinate:
+    """A point on the pad.  Matches ``Coordinate`` in the Fig. 3 model."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Coordinate":
+        """Return a copy shifted by (*dx*, *dy*)."""
+        return Coordinate(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Coordinate") -> float:
+        """Euclidean distance between two points."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+ORIGIN = Coordinate(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle: position plus width/height.
+
+    Bundles in Fig. 3 carry ``bundlePos``, ``bundleWidth`` and
+    ``bundleHeight``; a :class:`Rect` packages the three for geometry.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(f"negative extent: {self.width}x{self.height}")
+
+    @classmethod
+    def at(cls, pos: Coordinate, width: float, height: float) -> "Rect":
+        """Build a rect whose top-left corner is *pos*."""
+        return cls(pos.x, pos.y, width, height)
+
+    @property
+    def position(self) -> Coordinate:
+        """Top-left corner."""
+        return Coordinate(self.x, self.y)
+
+    @property
+    def right(self) -> float:
+        """The x coordinate of the right edge."""
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> float:
+        """The y coordinate of the bottom edge."""
+        return self.y + self.height
+
+    @property
+    def center(self) -> Coordinate:
+        """The midpoint of the rect."""
+        return Coordinate(self.x + self.width / 2, self.y + self.height / 2)
+
+    @property
+    def area(self) -> float:
+        """Width times height."""
+        return self.width * self.height
+
+    def contains_point(self, point: Coordinate) -> bool:
+        """True when *point* lies inside or on the boundary."""
+        return (self.x <= point.x <= self.right
+                and self.y <= point.y <= self.bottom)
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when *other* lies entirely inside this rect."""
+        return (self.x <= other.x and self.y <= other.y
+                and other.right <= self.right and other.bottom <= self.bottom)
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rects overlap (sharing an edge counts)."""
+        return not (other.x > self.right or other.right < self.x
+                    or other.y > self.bottom or other.bottom < self.y)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rect covering both."""
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        right = max(self.right, other.right)
+        bottom = max(self.bottom, other.bottom)
+        return Rect(x, y, right - x, bottom - y)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy shifted by (*dx*, *dy*)."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def inflated(self, margin: float) -> "Rect":
+        """Return a copy grown by *margin* on every side (clamped at 0)."""
+        width = max(0.0, self.width + 2 * margin)
+        height = max(0.0, self.height + 2 * margin)
+        return Rect(self.x - margin, self.y - margin, width, height)
+
+
+def bounding_box(rects: Iterable[Rect]) -> Optional[Rect]:
+    """Smallest rect covering all of *rects*; ``None`` for an empty input."""
+    box: Optional[Rect] = None
+    for rect in rects:
+        box = rect if box is None else box.union(rect)
+    return box
+
+
+def cluster_rows(points: List[Coordinate], tolerance: float) -> List[List[Coordinate]]:
+    """Group points whose y coordinates lie within *tolerance* of each other.
+
+    Used to recover the implicit row structure of a "gridlet" arrangement of
+    scraps (the Electrolyte bundle in Fig. 4): scraps the user lined up
+    horizontally are returned together, each row sorted left to right.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    rows: List[List[Coordinate]] = []
+    for point in sorted(points, key=lambda p: (p.y, p.x)):
+        if rows and abs(rows[-1][0].y - point.y) <= tolerance:
+            rows[-1].append(point)
+        else:
+            rows.append([point])
+    for row in rows:
+        row.sort(key=lambda p: p.x)
+    return rows
+
+
+def cluster_columns(points: List[Coordinate], tolerance: float) -> List[List[Coordinate]]:
+    """Group points whose x coordinates lie within *tolerance* of each other.
+
+    The column-wise dual of :func:`cluster_rows`; each column is sorted top
+    to bottom.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    columns: List[List[Coordinate]] = []
+    for point in sorted(points, key=lambda p: (p.x, p.y)):
+        if columns and abs(columns[-1][0].x - point.x) <= tolerance:
+            columns[-1].append(point)
+        else:
+            columns.append([point])
+    for column in columns:
+        column.sort(key=lambda p: p.y)
+    return columns

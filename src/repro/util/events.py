@@ -1,0 +1,79 @@
+"""A small synchronous event bus.
+
+The viewing-style coordinators (Fig. 6) and the simulated base applications
+communicate through events: "selection changed", "document opened",
+"element highlighted".  Keeping this decoupled mirrors the paper's concern
+that base applications are *outside the box* — the superimposed layer only
+observes the narrow signals an application chooses to emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping
+
+Handler = Callable[["Event"], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An occurrence published on the bus.
+
+    ``topic`` names the kind of event (dotted names by convention, e.g.
+    ``"base.selection"``); ``payload`` carries arbitrary read-only data.
+    """
+
+    topic: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Payload lookup with a default (dict.get semantics)."""
+        return self.payload.get(key, default)
+
+
+class EventBus:
+    """Synchronous publish/subscribe with exact-topic and wildcard handlers.
+
+    Subscribing to ``"*"`` receives every event.  Handlers run in
+    subscription order; a handler raising propagates to the publisher (no
+    silent swallowing — errors should never pass silently).
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[Handler]] = {}
+        self._history: List[Event] = []
+        self.record_history = False
+
+    def subscribe(self, topic: str, handler: Handler) -> Callable[[], None]:
+        """Register *handler* for *topic*; returns an unsubscribe callable."""
+        self._handlers.setdefault(topic, []).append(handler)
+
+        def unsubscribe() -> None:
+            handlers = self._handlers.get(topic, [])
+            if handler in handlers:
+                handlers.remove(handler)
+
+        return unsubscribe
+
+    def publish(self, topic: str, **payload: Any) -> Event:
+        """Publish an event, invoking matching handlers synchronously."""
+        event = Event(topic, dict(payload))
+        if self.record_history:
+            self._history.append(event)
+        for handler in list(self._handlers.get(topic, [])):
+            handler(event)
+        for handler in list(self._handlers.get("*", [])):
+            handler(event)
+        return event
+
+    @property
+    def history(self) -> List[Event]:
+        """Events published while ``record_history`` was on (for tests)."""
+        return list(self._history)
+
+    def clear_history(self) -> None:
+        """Forget all recorded events."""
+        self._history.clear()

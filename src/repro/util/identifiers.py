@@ -1,0 +1,77 @@
+"""Deterministic identifier generation.
+
+The paper's components (Mark Manager, TRIM, DMI) all mint identifiers for
+the objects they manage (``markId``, resource ids, entity ids).  For
+reproducibility we avoid wall-clock or random ids: every subsystem owns an
+:class:`IdGenerator` that produces ``prefix-000001``-style ids in creation
+order.  Two runs of the same program produce identical ids, which keeps
+persisted files diffable and makes tests exact.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator
+
+_ID_RE = re.compile(r"^(?P<prefix>[A-Za-z][A-Za-z0-9_.]*)-(?P<seq>\d+)$")
+
+
+class IdGenerator:
+    """Mint sequential ids per prefix, e.g. ``mark-000001``, ``mark-000002``.
+
+    A single generator tracks independent counters for each prefix, so one
+    generator instance can serve a whole subsystem::
+
+        ids = IdGenerator()
+        ids.next("mark")    # 'mark-000001'
+        ids.next("bundle")  # 'bundle-000001'
+        ids.next("mark")    # 'mark-000002'
+    """
+
+    def __init__(self, width: int = 6) -> None:
+        if width < 1:
+            raise ValueError("id width must be >= 1")
+        self._width = width
+        self._counters: Dict[str, int] = {}
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for *prefix*."""
+        if not prefix or not prefix[0].isalpha():
+            raise ValueError(f"invalid id prefix: {prefix!r}")
+        count = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = count
+        return f"{prefix}-{count:0{self._width}d}"
+
+    def stream(self, prefix: str) -> Iterator[str]:
+        """Yield ids for *prefix* forever."""
+        while True:
+            yield self.next(prefix)
+
+    def observe(self, identifier: str) -> None:
+        """Advance the counter past an externally supplied id.
+
+        Used when loading persisted data: after observing every stored id,
+        newly minted ids never collide with loaded ones.
+        """
+        parsed = _ID_RE.match(identifier)
+        if parsed is None:
+            return
+        prefix = parsed.group("prefix")
+        seq = int(parsed.group("seq"))
+        if seq > self._counters.get(prefix, 0):
+            self._counters[prefix] = seq
+
+    def peek(self, prefix: str) -> int:
+        """Return how many ids have been minted (or observed) for *prefix*."""
+        return self._counters.get(prefix, 0)
+
+
+def split_id(identifier: str) -> "tuple[str, int]":
+    """Split ``'mark-000042'`` into ``('mark', 42)``.
+
+    Raises :class:`ValueError` for ids not produced by :class:`IdGenerator`.
+    """
+    parsed = _ID_RE.match(identifier)
+    if parsed is None:
+        raise ValueError(f"not a generated id: {identifier!r}")
+    return parsed.group("prefix"), int(parsed.group("seq"))

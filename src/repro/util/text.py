@@ -1,0 +1,97 @@
+"""Text utilities shared by base-document models and the concordance workload.
+
+Sub-document addressing needs character offsets, line/column conversion, and
+word tokenization with positions.  All functions operate on plain strings and
+never mutate their input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+_WORD_RE = re.compile(r"[A-Za-z][A-Za-z'\-]*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A word with its character span ``[start, end)`` in the source text."""
+
+    text: str
+    start: int
+    end: int
+
+    def normalized(self) -> str:
+        """Lower-case form used for concordance keys."""
+        return self.text.lower()
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield word tokens (letters, apostrophes, hyphens) with their spans."""
+    for match in _WORD_RE.finditer(text):
+        yield Token(match.group(0), match.start(), match.end())
+
+
+def line_spans(text: str) -> List[Tuple[int, int]]:
+    """Return ``[start, end)`` character spans of each line (sans newline)."""
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for i, ch in enumerate(text):
+        if ch == "\n":
+            spans.append((start, i))
+            start = i + 1
+    spans.append((start, len(text)))
+    return spans
+
+
+def offset_to_line_col(text: str, offset: int) -> Tuple[int, int]:
+    """Convert a character offset into 0-based ``(line, column)``.
+
+    Raises :class:`ValueError` when *offset* falls outside ``[0, len(text)]``.
+    """
+    if offset < 0 or offset > len(text):
+        raise ValueError(f"offset {offset} outside text of length {len(text)}")
+    line = text.count("\n", 0, offset)
+    last_newline = text.rfind("\n", 0, offset)
+    column = offset - (last_newline + 1)
+    return line, column
+
+
+def line_col_to_offset(text: str, line: int, col: int) -> int:
+    """Convert 0-based ``(line, column)`` to a character offset.
+
+    Raises :class:`ValueError` when the position does not exist.
+    """
+    spans = line_spans(text)
+    if line < 0 or line >= len(spans):
+        raise ValueError(f"line {line} outside text with {len(spans)} lines")
+    start, end = spans[line]
+    if col < 0 or start + col > end:
+        raise ValueError(f"column {col} outside line {line}")
+    return start + col
+
+
+def excerpt(text: str, start: int, end: int, context: int = 20,
+            ellipsis: str = "…") -> str:
+    """Return ``text[start:end]`` with up to *context* chars either side.
+
+    Truncated sides are flagged with *ellipsis*.  Used when a scrap caches a
+    preview of the marked base content.
+    """
+    if start < 0 or end > len(text) or start > end:
+        raise ValueError(f"bad span [{start}, {end}) for text of length {len(text)}")
+    lo = max(0, start - context)
+    hi = min(len(text), end + context)
+    prefix = ellipsis if lo > 0 else ""
+    suffix = ellipsis if hi < len(text) else ""
+    return f"{prefix}{text[lo:hi]}{suffix}"
+
+
+def shorten(text: str, limit: int, ellipsis: str = "…") -> str:
+    """Clip *text* to at most *limit* characters, appending *ellipsis*."""
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+    if len(text) <= limit:
+        return text
+    return text[: max(1, limit - len(ellipsis))] + ellipsis

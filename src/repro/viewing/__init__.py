@@ -1,0 +1,15 @@
+"""The three viewing styles of Fig. 6, plus the window session."""
+
+from repro.viewing.session import WindowSession
+from repro.viewing.styles import (EnhancedBaseLayerViewing,
+                                  IndependentViewing, Overlay,
+                                  SimultaneousViewing, ViewOutcome)
+
+__all__ = [
+    "WindowSession",
+    "EnhancedBaseLayerViewing",
+    "IndependentViewing",
+    "Overlay",
+    "SimultaneousViewing",
+    "ViewOutcome",
+]

@@ -1,0 +1,114 @@
+"""A window session: z-order and focus over the simulated desktop.
+
+The viewing styles of Fig. 6 talk about windows — "two windows active on
+the computer screen", bringing the base window forward, hiding it.  The
+:class:`WindowSession` makes that desktop explicit: it tracks every
+window (the SLIMPad window plus one per base application), their z-order,
+and the focused window, and exposes the queries the style tests and
+benches assert on ("what does the user actually see right now?").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SlimPadError
+from repro.marks.manager import MarkManager
+from repro.slimpad.app import SlimPadApplication
+
+
+class WindowSession:
+    """Tracks visibility, z-order, and focus across every window."""
+
+    SLIMPAD = "slimpad"
+
+    def __init__(self, slimpad: SlimPadApplication) -> None:
+        self.slimpad = slimpad
+        self._z_order: List[str] = [self.SLIMPAD]   # back to front
+
+    # -- window handles ------------------------------------------------------------
+
+    def _window_names(self) -> List[str]:
+        names = [self.SLIMPAD]
+        manager: MarkManager = self.slimpad.marks
+        names.extend(sorted(manager._applications))
+        return names
+
+    def _is_visible(self, name: str) -> bool:
+        if name == self.SLIMPAD:
+            return self.slimpad.visible
+        return self.slimpad.marks.application(name).visible
+
+    # -- operations ------------------------------------------------------------------
+
+    def focus(self, name: str) -> None:
+        """Bring one window to the front (opening/surfacing it)."""
+        if name not in self._window_names():
+            raise SlimPadError(f"no window named {name!r}")
+        if name == self.SLIMPAD:
+            self.slimpad.visible = True
+            self.slimpad.in_front = True
+        else:
+            app = self.slimpad.marks.application(name)
+            app.visible = True
+            app.bring_to_front()
+            self.slimpad.in_front = False
+        if name in self._z_order:
+            self._z_order.remove(name)
+        self._z_order.append(name)
+        # Everything else yields the front.
+        for other in self._window_names():
+            if other == name:
+                continue
+            if other == self.SLIMPAD:
+                self.slimpad.in_front = False
+            else:
+                self.slimpad.marks.application(other).in_front = False
+        if name == self.SLIMPAD:
+            self.slimpad.in_front = True
+
+    def close(self, name: str) -> None:
+        """Hide one window entirely."""
+        if name == self.SLIMPAD:
+            self.slimpad.visible = False
+            self.slimpad.in_front = False
+        else:
+            self.slimpad.marks.application(name).hide()
+        if name in self._z_order:
+            self._z_order.remove(name)
+
+    def sync_from_apps(self) -> None:
+        """Adopt window state changed behind our back (e.g. a resolution
+        surfaced a base app): surfaced apps come to the front."""
+        for name in self._window_names():
+            if name == self.SLIMPAD:
+                continue
+            app = self.slimpad.marks.application(name)
+            if app.in_front and self.front() != name:
+                if name in self._z_order:
+                    self._z_order.remove(name)
+                self._z_order.append(name)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def visible_windows(self) -> List[str]:
+        """Visible windows, back to front."""
+        ordered = [name for name in self._z_order if self._is_visible(name)]
+        for name in self._window_names():
+            if self._is_visible(name) and name not in ordered:
+                ordered.insert(0, name)
+        return ordered
+
+    def front(self) -> Optional[str]:
+        """The frontmost visible window, if any."""
+        stack = self.visible_windows()
+        return stack[-1] if stack else None
+
+    def describe(self) -> str:
+        """One line: ``'[ xml | slimpad* ]'`` (``*`` marks the front)."""
+        stack = self.visible_windows()
+        if not stack:
+            return "[ ]"
+        labelled = [f"{name}*" if name == stack[-1] else name
+                    for name in stack]
+        return "[ " + " | ".join(labelled) + " ]"

@@ -1,0 +1,132 @@
+"""The three viewing styles for superimposed applications (Fig. 6).
+
+- **Simultaneous viewing** — user sees the superimposed app and the base
+  app side by side; de-referencing a scrap surfaces the base window with
+  the element highlighted.  SLIMPad's normal mode.
+- **Enhanced base-layer viewing** — the base application itself is
+  enhanced with superimposed functionality (Third Voice's in-browser
+  annotations); there is no separate superimposed window.
+- **Independent viewing** — the base application is hidden; the
+  superimposed app borrows its functionality to show marked content in
+  place.
+
+Each coordinator exposes ``show(...)`` returning a :class:`ViewOutcome`
+describing exactly what the user ends up seeing — which windows are up,
+and what content is presented where.  Benchmarks and tests assert on
+these observable differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dmi.runtime import EntityObject
+from repro.marks.behaviors import display_in_place
+from repro.marks.modules import ROLE_EXTRACTOR
+from repro.slimpad.app import SlimPadApplication
+
+
+@dataclass(frozen=True)
+class ViewOutcome:
+    """What the user sees after a viewing operation."""
+
+    style: str
+    content: object            # what was presented
+    presented_in: str          # 'base-window' | 'superimposed-window' | 'base-overlay'
+    windows_visible: "tuple[str, ...]"   # which windows are on screen
+    base_surfaced: bool        # did a base window come to the front?
+
+
+class SimultaneousViewing:
+    """Two windows; de-reference surfaces the base app next to the pad."""
+
+    style = "simultaneous"
+
+    def __init__(self, slimpad: SlimPadApplication) -> None:
+        self.slimpad = slimpad
+
+    def show(self, scrap: EntityObject) -> ViewOutcome:
+        """De-reference *scrap* in context; both windows stay visible."""
+        resolution = self.slimpad.double_click(scrap)
+        self.slimpad.visible = True
+        base_app = self.slimpad.marks.application(
+            self.slimpad.marks.module_for(resolution.mark.mark_type)
+            .application_kind)
+        windows = ["slimpad"]
+        if base_app.visible:
+            windows.append(base_app.kind)
+        return ViewOutcome(self.style, resolution.content, "base-window",
+                           tuple(windows), base_surfaced=base_app.in_front)
+
+
+class IndependentViewing:
+    """Base apps hidden; content is borrowed into the superimposed window."""
+
+    style = "independent"
+
+    def __init__(self, slimpad: SlimPadApplication) -> None:
+        self.slimpad = slimpad
+
+    def show(self, scrap: EntityObject, width: int = 60) -> ViewOutcome:
+        """Render the marked content in place on the pad."""
+        handles = scrap.scrapMark
+        if handles:
+            content: object = display_in_place(
+                self.slimpad.marks, handles[0].markId, width=width)
+            resolution = self.slimpad.marks.resolve(handles[0].markId,
+                                                    role=ROLE_EXTRACTOR)
+            base_kind = resolution.application_kind
+            base_app = self.slimpad.marks.application(base_kind)
+            base_app.send_to_back()
+        else:
+            content = scrap.scrapName or ""
+        return ViewOutcome(self.style, content, "superimposed-window",
+                           ("slimpad",), base_surfaced=False)
+
+
+@dataclass
+class Overlay:
+    """One annotation overlaid on a base document (Third Voice style)."""
+
+    address: object
+    text: str
+    author: str = ""
+
+
+class EnhancedBaseLayerViewing:
+    """A base application enhanced with superimposed functionality.
+
+    The user sees only the base window; annotations attach to addresses in
+    the open document and are presented *with* the document.  This wraps
+    any of our base applications without modifying them — the "added
+    superimposed functionality" box of Fig. 6.
+    """
+
+    style = "enhanced-base-layer"
+
+    def __init__(self, base_app) -> None:
+        self.base_app = base_app
+        self._overlays: Dict[str, List[Overlay]] = {}
+
+    def annotate_selection(self, text: str, author: str = "") -> Overlay:
+        """Attach an annotation to the current selection."""
+        address = self.base_app.current_selection_address()
+        document = self.base_app.require_document().name
+        overlay = Overlay(address, text, author)
+        self._overlays.setdefault(document, []).append(overlay)
+        return overlay
+
+    def overlays_for(self, document_name: str) -> List[Overlay]:
+        """Every annotation on one document, in creation order."""
+        return list(self._overlays.get(document_name, []))
+
+    def show(self, document_name: str) -> ViewOutcome:
+        """Open the document with its annotations overlaid."""
+        self.base_app.open_document(document_name)
+        self.base_app.bring_to_front()
+        overlays = self.overlays_for(document_name)
+        content = {"document": document_name,
+                   "annotations": [(str(o.address), o.text) for o in overlays]}
+        return ViewOutcome(self.style, content, "base-overlay",
+                           (self.base_app.kind,), base_surfaced=True)

@@ -1,0 +1,36 @@
+"""Workload generators: ICU census, rounds worksheets, concordances, scale."""
+
+from repro.workloads.concordance import (build_concordance, corpus_library,
+                                         play_titles)
+from repro.workloads.flowsheet import (FLOWSHEET_TESTS, Flowsheet,
+                                       build_flowsheet, generate_lab_series,
+                                       resolve_series, trend)
+from repro.workloads.generator import (build_pad_native, build_pad_via_dmi,
+                                       populate_store, random_triples)
+from repro.workloads.icu import IcuDataset, Patient, generate_icu
+from repro.workloads.rounds import (GRIDLET_TESTS, WorksheetRow,
+                                    build_patient_row,
+                                    build_rounds_worksheet)
+
+__all__ = [
+    "FLOWSHEET_TESTS",
+    "Flowsheet",
+    "build_flowsheet",
+    "generate_lab_series",
+    "resolve_series",
+    "trend",
+    "build_concordance",
+    "corpus_library",
+    "play_titles",
+    "build_pad_native",
+    "build_pad_via_dmi",
+    "populate_store",
+    "random_triples",
+    "IcuDataset",
+    "Patient",
+    "generate_icu",
+    "GRIDLET_TESTS",
+    "WorksheetRow",
+    "build_patient_row",
+    "build_rounds_worksheet",
+]

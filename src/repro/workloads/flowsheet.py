@@ -1,0 +1,142 @@
+"""The flowsheet: a structured bundle tracking status over time (Fig. 2).
+
+*"On the upper left we see … a more structured bundle called a flowsheet,
+where the status of an intensive-care patient is tracked over time."*
+
+A flowsheet is a grid: one row per tracked parameter, one column per
+observation time.  Here each cell is a *marked scrap* into the lab report
+of its time point, so the whole sheet stays live — re-resolving a cell
+reads the then-current base value, and trends can be computed from the
+resolved series.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.base.xmldoc.dom import XmlDocument
+from repro.marks.behaviors import extract_content
+from repro.slimpad.app import SlimPadApplication
+from repro.util.coordinates import Coordinate
+from repro.workloads.icu import IcuDataset, Patient
+
+#: The parameters a basic flowsheet tracks.
+FLOWSHEET_TESTS = ["Na", "K", "Cr", "WBC"]
+
+#: Cell pitch; horizontal pitch exceeds layout.SCRAP_WIDTH so neighbouring
+#: value scraps never overlap.
+_CELL_DX = 96.0
+_CELL_DY = 26.0
+
+
+def generate_lab_series(dataset: IcuDataset, patient: Patient,
+                        times: List[str], seed: int = 0) -> List[str]:
+    """Create one time-stamped lab report per entry of *times*.
+
+    Values random-walk from the patient's baseline labs, deterministically
+    from *seed*.  Returns the created document names
+    (``labs-NNN-tK.xml``).
+    """
+    rng = random.Random((seed, patient.number).__hash__())
+    names: List[str] = []
+    values = dict(patient.labs)
+    for index, time_label in enumerate(times):
+        if index > 0:
+            for test in values:
+                values[test] = round(values[test] *
+                                     (1.0 + rng.uniform(-0.08, 0.08)), 1)
+        parts = [f'<labReport patient="{patient.name}" '
+                 f'time="{time_label}">', '  <panel name="flowsheet">']
+        for test, value in values.items():
+            parts.append(f'    <result test="{test}">{value}</result>')
+        parts.append("  </panel>")
+        parts.append("</labReport>")
+        name = f"labs-{patient.number:03d}-t{index}.xml"
+        dataset.library.add(XmlDocument.parse(name, "\n".join(parts)))
+        names.append(name)
+    return names
+
+
+@dataclass
+class Flowsheet:
+    """Handles to a built flowsheet: the bundle and its cell grid."""
+
+    patient: Patient
+    bundle: object                      # the flowsheet bundle
+    times: List[str]
+    tests: List[str]
+    cells: Dict["tuple[str, int]", object]   # (test, time index) -> scrap
+
+    def cell(self, test: str, time_index: int):
+        """The scrap at one grid position."""
+        return self.cells[(test, time_index)]
+
+
+def build_flowsheet(slimpad: SlimPadApplication, dataset: IcuDataset,
+                    patient: Patient, times: List[str],
+                    tests: Optional[List[str]] = None,
+                    seed: int = 0,
+                    origin: Coordinate = Coordinate(16, 20)) -> Flowsheet:
+    """Build the flowsheet bundle for one patient.
+
+    Generates the time-stamped lab reports, then lays out a grid of
+    marked scraps: row = test, column = time.  Row and column headers are
+    note scraps (they exist only on the bundle).
+    """
+    tests = list(tests) if tests is not None else list(FLOWSHEET_TESTS)
+    report_names = generate_lab_series(dataset, patient, times, seed=seed)
+    bundle = slimpad.create_bundle(
+        f"Flowsheet {patient.name}", origin,
+        width=80.0 + _CELL_DX * (len(times) + 1),
+        height=40.0 + _CELL_DY * (len(tests) + 1))
+    slimpad.dmi.Create_Graphic(bundle, "grid", Coordinate(8, 26),
+                               _CELL_DX * (len(times) + 1),
+                               _CELL_DY * len(tests))
+    # Column headers: the observation times.
+    for column, time_label in enumerate(times):
+        slimpad.create_note_scrap(
+            time_label,
+            origin.translated(_CELL_DX * (column + 1) + 10, 28),
+            bundle=bundle)
+    xml = slimpad.marks.application("xml")
+    cells: Dict["tuple[str, int]", object] = {}
+    for row, test in enumerate(tests):
+        # Row header: the test name.
+        slimpad.create_note_scrap(
+            test, origin.translated(10, 28 + _CELL_DY * (row + 1)),
+            bundle=bundle)
+        for column, report_name in enumerate(report_names):
+            document = xml.open_document(report_name)
+            element = next(e for e in document.root.find_all("result")
+                           if e.attributes["test"] == test)
+            xml.select_element(element)
+            scrap = slimpad.create_scrap_from_selection(
+                xml, label=element.text,
+                pos=origin.translated(_CELL_DX * (column + 1) + 10,
+                                      28 + _CELL_DY * (row + 1)),
+                bundle=bundle)
+            cells[(test, column)] = scrap
+    return Flowsheet(patient, bundle, list(times), tests, cells)
+
+
+def resolve_series(slimpad: SlimPadApplication, sheet: Flowsheet,
+                   test: str) -> List[float]:
+    """Re-read one row's values through its marks (always current)."""
+    values = []
+    for column in range(len(sheet.times)):
+        scrap = sheet.cell(test, column)
+        resolution = extract_content(slimpad.marks,
+                                     scrap.scrapMark[0].markId)
+        values.append(float(resolution.content_text()))
+    return values
+
+
+def trend(slimpad: SlimPadApplication, sheet: Flowsheet,
+          test: str) -> str:
+    """'rising' / 'falling' / 'flat' over the resolved series."""
+    series = resolve_series(slimpad, sheet, test)
+    if len(series) < 2 or series[-1] == series[0]:
+        return "flat"
+    return "rising" if series[-1] > series[0] else "falling"

@@ -1,0 +1,86 @@
+"""Parameterized scale generators for the benchmarks.
+
+Benches need pads and stores of controlled size; these helpers build them
+deterministically from simple scale parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.baselines.schema_first import SchemaFirstStore
+from repro.slimpad.dmi import SlimPadDMI
+from repro.triples.store import TripleStore
+from repro.triples.triple import Resource, triple
+from repro.util.coordinates import Coordinate
+
+
+def build_pad_via_dmi(num_bundles: int, scraps_per_bundle: int,
+                      dmi: Optional[SlimPadDMI] = None) -> SlimPadDMI:
+    """A pad of *num_bundles* bundles × *scraps_per_bundle* marked scraps,
+    built through the triple-backed DMI (the flexible representation)."""
+    dmi = dmi or SlimPadDMI()
+    root = dmi.Create_Bundle(bundleName="root")
+    dmi.Create_SlimPad(padName="bench", rootBundle=root)
+    mark_seq = 0
+    for b in range(num_bundles):
+        bundle = dmi.Create_Bundle(bundleName=f"bundle {b}",
+                                   bundlePos=Coordinate(10.0 * b, 20.0),
+                                   bundleWidth=200.0, bundleHeight=120.0)
+        dmi.Add_nestedBundle(root, bundle)
+        for s in range(scraps_per_bundle):
+            mark_seq += 1
+            scrap = dmi.Create_Scrap(scrapName=f"scrap {b}.{s}",
+                                     scrapPos=Coordinate(5.0 * s, 8.0 * s))
+            handle = dmi.Create_MarkHandle(markId=f"mark-{mark_seq:06d}")
+            dmi.Add_scrapMark(scrap, handle)
+            dmi.Add_bundleContent(bundle, scrap)
+    return dmi
+
+
+def build_pad_native(num_bundles: int, scraps_per_bundle: int
+                     ) -> SchemaFirstStore:
+    """The same pad shape in the schema-first native store (the ablation
+    counterpart of :func:`build_pad_via_dmi`)."""
+    store = SchemaFirstStore()
+    pad = store.create_pad("bench")
+    root = store.create_bundle("root")
+    store.update(pad, "root", root)
+    mark_seq = 0
+    for b in range(num_bundles):
+        bundle = store.create_bundle(f"bundle {b}", Coordinate(10.0 * b, 20.0),
+                                     200.0, 120.0)
+        store.nest_bundle(root, bundle)
+        for s in range(scraps_per_bundle):
+            mark_seq += 1
+            scrap = store.create_scrap(f"scrap {b}.{s}",
+                                       Coordinate(5.0 * s, 8.0 * s))
+            handle = store.create_handle(f"mark-{mark_seq:06d}")
+            store.add_mark(scrap, handle)
+            store.add_scrap(bundle, scrap)
+    return store
+
+
+def random_triples(count: int, num_subjects: int = 100,
+                   num_properties: int = 12, seed: int = 7
+                   ) -> List:
+    """Deterministic random triples for store micro-benchmarks."""
+    rng = random.Random(seed)
+    items = []
+    for i in range(count):
+        subject = f"subject-{rng.randrange(num_subjects):04d}"
+        prop = f"slim:p{rng.randrange(num_properties)}"
+        if rng.random() < 0.5:
+            items.append(triple(subject, prop, f"value {i}"))
+        else:
+            items.append(triple(subject, prop,
+                                Resource(f"subject-{rng.randrange(num_subjects):04d}")))
+    return items
+
+
+def populate_store(count: int, **kwargs) -> TripleStore:
+    """A TripleStore holding :func:`random_triples`."""
+    store = TripleStore()
+    store.add_all(random_triples(count, **kwargs))
+    return store

@@ -1,0 +1,185 @@
+"""Synthetic ICU base-layer data (the Fig. 2 substitution).
+
+Real intensive-care traces are not available, so this generator produces
+the same *shapes* the paper's field observations describe: a census of
+patients, each with a medication list (a spreadsheet — the Fig. 4
+medication workbook), an XML lab report (electrolytes + CBC panels), an
+admission note (a Word document), a guideline page (HTML), a printed
+handbook (PDF), and a rounds deck (slides).
+
+Everything is seeded: the same seed yields byte-identical documents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.base.application import DocumentLibrary
+from repro.base.html.parser import HtmlPage
+from repro.base.pdf.document import PdfDocument, PdfPage
+from repro.base.slides.presentation import Presentation, Shape, Slide
+from repro.base.spreadsheet.workbook import Workbook
+from repro.base.worddoc.document import WordDocument
+from repro.base.xmldoc.dom import XmlDocument
+
+_FIRST_NAMES = ["John", "Mary", "Luis", "Aisha", "Chen", "Priya", "Olga",
+                "Kwame", "Elena", "Marcus", "Yuki", "Fatima"]
+_LAST_NAMES = ["Smith", "Jones", "Garcia", "Khan", "Wei", "Patel", "Ivanova",
+               "Mensah", "Rossi", "Brown", "Tanaka", "Hassan"]
+_PROBLEMS = ["CHF exacerbation", "septic shock", "ARDS", "GI bleed",
+             "DKA", "pneumonia", "acute renal failure", "hypokalemia",
+             "respiratory failure", "post-op day 1"]
+_DRUGS = [("Lasix", "40mg", "IV", "BID"), ("Captopril", "25mg", "PO", "TID"),
+          ("KCl", "20mEq", "IV", "PRN"), ("Heparin", "5000u", "SC", "BID"),
+          ("Ceftriaxone", "1g", "IV", "QD"), ("Insulin", "6u", "SC", "AC"),
+          ("Metoprolol", "25mg", "PO", "BID"), ("Morphine", "2mg", "IV", "PRN")]
+_LABS = [("Na", "mmol/L", 135, 148), ("K", "mmol/L", 3.0, 5.4),
+         ("Cl", "mmol/L", 96, 108), ("HCO3", "mmol/L", 20, 29),
+         ("BUN", "mg/dL", 8, 40), ("Cr", "mg/dL", 0.6, 2.4),
+         ("WBC", "K/uL", 4.0, 16.0), ("Hgb", "g/dL", 8.0, 16.0)]
+_TODOS = ["recheck lytes", "wean vent", "family meeting", "renal consult",
+          "echo today", "culture results", "adjust drips", "PT eval"]
+
+
+@dataclass
+class Patient:
+    """One synthetic patient and the names of their documents."""
+
+    number: int
+    name: str
+    bed: int
+    problems: List[str]
+    medications: List["tuple[str, str, str, str]"]
+    labs: Dict[str, float]
+    todos: List[str]
+
+    @property
+    def meds_file(self) -> str:
+        """The medication workbook's document name."""
+        return f"meds-{self.number:03d}.xls"
+
+    @property
+    def labs_file(self) -> str:
+        """The lab report's document name."""
+        return f"labs-{self.number:03d}.xml"
+
+    @property
+    def note_file(self) -> str:
+        """The admission note's document name."""
+        return f"note-{self.number:03d}.doc"
+
+
+@dataclass
+class IcuDataset:
+    """A generated census plus the base documents in a library."""
+
+    patients: List[Patient]
+    library: DocumentLibrary
+    guideline_url: str = "http://icu.example/protocol"
+    handbook_file: str = "handbook.pdf"
+    rounds_deck: str = "rounds.ppt"
+
+
+def generate_icu(num_patients: int = 8, seed: int = 2001,
+                 meds_per_patient: int = 4,
+                 problems_per_patient: int = 3) -> IcuDataset:
+    """Generate a deterministic ICU census and its base documents."""
+    if num_patients < 1:
+        raise ValueError("need at least one patient")
+    rng = random.Random(seed)
+    library = DocumentLibrary()
+    patients: List[Patient] = []
+
+    for number in range(1, num_patients + 1):
+        name = (f"{rng.choice(_FIRST_NAMES)} "
+                f"{rng.choice(_LAST_NAMES)}")
+        problems = rng.sample(_PROBLEMS,
+                              min(problems_per_patient, len(_PROBLEMS)))
+        medications = rng.sample(_DRUGS, min(meds_per_patient, len(_DRUGS)))
+        labs = {}
+        for test, _unit, low, high in _LABS:
+            value = round(rng.uniform(low, high), 1)
+            labs[test] = value
+        todos = rng.sample(_TODOS, min(3, len(_TODOS)))
+        patient = Patient(number, name, number, problems, medications,
+                          labs, todos)
+        patients.append(patient)
+
+        _build_meds_workbook(library, patient)
+        _build_lab_report(library, patient)
+        _build_note(library, patient)
+
+    _build_guideline(library)
+    _build_handbook(library)
+    _build_rounds_deck(library, patients)
+    return IcuDataset(patients, library)
+
+
+def _build_meds_workbook(library: DocumentLibrary, patient: Patient) -> None:
+    workbook = Workbook(patient.meds_file)
+    sheet = workbook.add_sheet("Current")
+    sheet.set_row(1, ["Drug", "Dose", "Route", "Schedule"])
+    for row, medication in enumerate(patient.medications, start=2):
+        sheet.set_row(row, list(medication))
+    library.add(workbook)
+
+
+def _build_lab_report(library: DocumentLibrary, patient: Patient) -> None:
+    results = []
+    for test, unit, _lo, _hi in _LABS:
+        panel = "electrolytes" if test in ("Na", "K", "Cl", "HCO3",
+                                           "BUN", "Cr") else "cbc"
+        results.append((panel, test, unit, patient.labs[test]))
+    parts = [f'<labReport patient="{patient.name}" bed="{patient.bed}">']
+    for panel_name in ("electrolytes", "cbc"):
+        parts.append(f'  <panel name="{panel_name}">')
+        for panel, test, unit, value in results:
+            if panel == panel_name:
+                parts.append(f'    <result test="{test}" unit="{unit}">'
+                             f"{value}</result>")
+        parts.append("  </panel>")
+    parts.append("</labReport>")
+    library.add(XmlDocument.parse(patient.labs_file, "\n".join(parts)))
+
+
+def _build_note(library: DocumentLibrary, patient: Patient) -> None:
+    paragraphs = [
+        f"Admission note for {patient.name} (bed {patient.bed}).",
+        "Problems: " + "; ".join(patient.problems) + ".",
+        "Plan: " + ", ".join(patient.todos) + ".",
+    ]
+    library.add(WordDocument(patient.note_file, paragraphs))
+
+
+def _build_guideline(library: DocumentLibrary) -> None:
+    html = ("<html><head><title>ICU Potassium Protocol</title></head><body>"
+            "<h1>Potassium replacement</h1>"
+            "<p>For serum K below 3.5 give 20 mEq KCl IV over one hour.</p>"
+            "<p>Recheck potassium two hours after each dose.</p>"
+            "<ul><li>Monitor for arrhythmia</li>"
+            "<li>Check renal function first</li></ul>"
+            "</body></html>")
+    library.add(HtmlPage.parse("http://icu.example/protocol", html))
+
+
+def _build_handbook(library: DocumentLibrary) -> None:
+    library.add(PdfDocument("handbook.pdf", [
+        PdfPage(1, ["ICU Handbook", "Chapter 3: Electrolytes",
+                    "Potassium should stay above 3.5 mmol/L."]),
+        PdfPage(2, ["Replacement protocol:",
+                    "Give 20 mEq KCl IV per hour of infusion.",
+                    "Never exceed 10 mEq per hour peripherally."]),
+    ]))
+
+
+def _build_rounds_deck(library: DocumentLibrary,
+                       patients: List[Patient]) -> None:
+    slides = [Slide(1, [Shape("Title", "Morning rounds")])]
+    for i, patient in enumerate(patients, start=2):
+        slides.append(Slide(i, [
+            Shape("Patient", f"{patient.name}, bed {patient.bed}"),
+            Shape("Problems", "; ".join(patient.problems)),
+        ]))
+    library.add(Presentation("rounds.ppt", slides))

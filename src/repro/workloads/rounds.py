@@ -1,0 +1,157 @@
+"""The resident's worksheet as digital bundles (Fig. 2, bottom row).
+
+*"The bottom of Figure 2 shows one row (corresponding to one patient) of
+a resident's worksheet … The first column identifies the patient, the
+second lists significant problems, the third contains selected lab
+results and vital signs, and the last is a to-do list. The multiple rows
+on the worksheet illustrate another observation: bundles can be grouped
+into larger bundles."*
+
+:func:`build_rounds_worksheet` reproduces exactly that: a worksheet pad
+whose root holds one bundle per patient; each patient bundle holds four
+region bundles (identity / problems / labs / to-dos); labs are marked
+scraps into the patient's XML report arranged as a gridlet, problems are
+marked scraps into the admission note, medications come from the Excel
+medication list, and to-dos are plain note scraps (information that
+exists only on the bundle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.base import standard_mark_manager
+from repro.marks.manager import MarkManager
+from repro.slimpad.app import SlimPadApplication
+from repro.util.coordinates import Coordinate
+from repro.workloads.icu import IcuDataset, Patient
+
+#: Layout constants for one worksheet row (a patient bundle).
+#: Regions are sized so a 3-wide gridlet of standard scrap boxes
+#: (layout.SCRAP_WIDTH = 90) fits without overlap.
+ROW_HEIGHT = 170.0
+ROW_WIDTH = 1280.0
+_REGION_WIDTH = 300.0
+_REGION_HEIGHT = 130.0
+_GRID_DX = 96.0
+_GRID_DY = 30.0
+
+#: The electrolyte gridlet shows these six tests in a 2x3 grid.
+GRIDLET_TESTS = ["Na", "K", "Cl", "HCO3", "BUN", "Cr"]
+
+
+@dataclass
+class WorksheetRow:
+    """Handles to the pieces of one patient's worksheet row."""
+
+    patient: Patient
+    bundle: object            # the patient bundle (EntityObject)
+    identity: object          # region bundles
+    problems: object
+    labs: object
+    todos: object
+
+
+def build_rounds_worksheet(dataset: IcuDataset,
+                           manager: Optional[MarkManager] = None,
+                           slimpad: Optional[SlimPadApplication] = None,
+                           meds_in_identity: bool = True
+                           ) -> "tuple[SlimPadApplication, List[WorksheetRow]]":
+    """Build the full worksheet pad for a census; returns (app, rows)."""
+    if manager is None:
+        manager = standard_mark_manager(dataset.library)
+    if slimpad is None:
+        slimpad = SlimPadApplication(manager)
+        slimpad.new_pad("Rounds")
+    rows = [build_patient_row(slimpad, dataset, patient, row_index)
+            for row_index, patient in enumerate(dataset.patients)]
+    if meds_in_identity:
+        pass  # medications are placed inside build_patient_row
+    return slimpad, rows
+
+
+def build_patient_row(slimpad: SlimPadApplication, dataset: IcuDataset,
+                      patient: Patient, row_index: int) -> WorksheetRow:
+    """One worksheet row: patient bundle + the four region bundles."""
+    top = 20.0 + row_index * (ROW_HEIGHT + 14.0)
+    bundle = slimpad.create_bundle(patient.name, Coordinate(16, top),
+                                   width=ROW_WIDTH, height=ROW_HEIGHT)
+
+    def region(name: str, column: int):
+        return slimpad.create_bundle(
+            name, Coordinate(24 + column * (_REGION_WIDTH + 12), top + 26),
+            width=_REGION_WIDTH, height=_REGION_HEIGHT, parent=bundle)
+
+    identity = region("Patient", 0)
+    problems = region("Problems", 1)
+    labs = region("Labs", 2)
+    todos = region("To do", 3)
+
+    _fill_identity(slimpad, dataset, patient, identity)
+    _fill_problems(slimpad, dataset, patient, problems)
+    _fill_labs(slimpad, dataset, patient, labs)
+    _fill_todos(slimpad, patient, todos)
+    return WorksheetRow(patient, bundle, identity, problems, labs, todos)
+
+
+def _fill_identity(slimpad: SlimPadApplication, dataset: IcuDataset,
+                   patient: Patient, bundle) -> None:
+    origin = bundle.bundlePos
+    slimpad.create_note_scrap(f"{patient.name} / bed {patient.bed}",
+                              origin.translated(8, 8), bundle=bundle)
+    # Selected medications from the Excel list (like Fig. 4's med scraps).
+    excel = slimpad.marks.application("spreadsheet")
+    excel.open_workbook(patient.meds_file)
+    for i, medication in enumerate(patient.medications[:2]):
+        excel.select_range(f"A{i + 2}:D{i + 2}")
+        slimpad.create_scrap_from_selection(
+            excel, label=f"{medication[0]} {medication[1]} {medication[2]}",
+            pos=origin.translated(8, 34 + i * 26), bundle=bundle)
+
+
+def _fill_problems(slimpad: SlimPadApplication, dataset: IcuDataset,
+                   patient: Patient, bundle) -> None:
+    origin = bundle.bundlePos
+    word = slimpad.marks.application("word")
+    word.open_document(patient.note_file)
+    problems_text = word.current_document.paragraph(2)
+    for i, problem in enumerate(patient.problems):
+        start = problems_text.find(problem)
+        if start < 0:
+            slimpad.create_note_scrap(problem, origin.translated(8, 8 + i * 26),
+                                      bundle=bundle)
+            continue
+        word.select_span(2, start, start + len(problem))
+        slimpad.create_scrap_from_selection(
+            word, label=problem, pos=origin.translated(8, 8 + i * 26),
+            bundle=bundle)
+
+
+def _fill_labs(slimpad: SlimPadApplication, dataset: IcuDataset,
+               patient: Patient, bundle) -> None:
+    """The electrolyte gridlet: 2x3 marked lab scraps plus the grid."""
+    origin = bundle.bundlePos
+    slimpad.dmi.Create_Graphic(bundle, "grid", Coordinate(6, 24),
+                               _REGION_WIDTH - 16, 70.0)
+    xml = slimpad.marks.application("xml")
+    document = xml.open_document(patient.labs_file)
+    results = {element.attributes["test"]: element
+               for element in document.root.find_all("result")}
+    for i, test in enumerate(GRIDLET_TESTS):
+        element = results[test]
+        row, col = divmod(i, 3)
+        xml.select_element(element)
+        slimpad.create_scrap_from_selection(
+            xml, label=f"{test} {element.text}",
+            pos=origin.translated(10 + col * _GRID_DX, 28 + row * _GRID_DY),
+            bundle=bundle)
+
+
+def _fill_todos(slimpad: SlimPadApplication, patient: Patient,
+                bundle) -> None:
+    origin = bundle.bundlePos
+    for i, todo in enumerate(patient.todos):
+        slimpad.create_note_scrap(f"[ ] {todo}",
+                                  origin.translated(8, 8 + i * 24),
+                                  bundle=bundle)

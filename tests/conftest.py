@@ -1,0 +1,96 @@
+"""Shared fixtures: a small base-layer world used across the test suite.
+
+The world mirrors Fig. 4's scenario: a medication list in a spreadsheet,
+an XML lab report, plus a PDF guideline, a web page, a Word note, and a
+slide deck — one document per base-application kind.
+"""
+
+import pytest
+
+from repro.base import DocumentLibrary, standard_mark_manager
+from repro.base.html.parser import HtmlPage
+from repro.base.pdf.document import PdfDocument, PdfPage
+from repro.base.slides.presentation import Presentation, Shape, Slide
+from repro.base.spreadsheet.workbook import Workbook
+from repro.base.worddoc.document import WordDocument
+from repro.base.xmldoc.dom import XmlDocument
+
+LAB_REPORT_XML = """
+<labReport patient="John Smith" date="2001-02-12">
+  <panel name="electrolytes">
+    <result test="Na" unit="mmol/L">140</result>
+    <result test="K" unit="mmol/L">3.9</result>
+    <result test="Cl" unit="mmol/L">103</result>
+    <result test="HCO3" unit="mmol/L">24</result>
+    <result test="BUN" unit="mg/dL">18</result>
+    <result test="Cr" unit="mg/dL">1.1</result>
+  </panel>
+  <panel name="cbc">
+    <result test="WBC" unit="K/uL">11.2</result>
+    <result test="Hgb" unit="g/dL">12.8</result>
+  </panel>
+</labReport>
+"""
+
+GUIDELINE_HTML = """
+<html><head><title>ICU Potassium Protocol</title></head>
+<body>
+<h1>Potassium replacement</h1>
+<p>For serum K below 3.5 give 20 mEq KCl IV over one hour.</p>
+<p>Recheck potassium two hours after each dose.</p>
+<ul><li>Monitor for arrhythmia</li><li>Check renal function first</li></ul>
+</body></html>
+"""
+
+
+def make_library() -> DocumentLibrary:
+    """Build the standard six-document test library."""
+    library = DocumentLibrary()
+
+    meds = Workbook("medications.xls")
+    sheet = meds.add_sheet("Current")
+    sheet.set_row(1, ["Drug", "Dose", "Route", "Schedule"])
+    sheet.set_row(2, ["Lasix", "40mg", "IV", "BID"])
+    sheet.set_row(3, ["Captopril", "25mg", "PO", "TID"])
+    sheet.set_row(4, ["KCl", "20mEq", "IV", "PRN"])
+    history = meds.add_sheet("History")
+    history.set_row(1, ["Drug", "Stopped"])
+    history.set_row(2, ["Aspirin", "2001-02-10"])
+    library.add(meds)
+
+    library.add(XmlDocument.parse("labs.xml", LAB_REPORT_XML))
+
+    library.add(PdfDocument("guideline.pdf", [
+        PdfPage(1, ["ICU Handbook", "Chapter 3: Electrolytes",
+                    "Potassium should stay above 3.5 mmol/L."]),
+        PdfPage(2, ["Replacement protocol:",
+                    "Give 20 mEq KCl IV per hour of infusion.",
+                    "Never exceed 10 mEq per hour peripherally."]),
+    ]))
+
+    library.add(HtmlPage.parse("http://icu.example/protocol", GUIDELINE_HTML))
+
+    library.add(WordDocument("note.doc", [
+        "Admission note for John Smith.",
+        "Patient admitted with CHF exacerbation and hypokalemia.",
+        "Plan: diurese, replace potassium, monitor electrolytes.",
+    ]))
+
+    deck = Presentation("rounds.ppt", [
+        Slide(1, [Shape("Title", "Morning rounds 2001-02-12")]),
+        Slide(2, [Shape("Patient", "John Smith, bed 4"),
+                  Shape("Problems", "CHF, hypokalemia")]),
+    ])
+    library.add(deck)
+    return library
+
+
+@pytest.fixture
+def library():
+    return make_library()
+
+
+@pytest.fixture
+def manager(library):
+    """A fully wired Mark Manager over the test library."""
+    return standard_mark_manager(library)

@@ -1,0 +1,91 @@
+"""Architectural layering rules, enforced as tests.
+
+The paper's transparency claim (Section 4.2): *"Mark management hides the
+details of the different kinds of base-layer information and base-layer
+applications from the superimposed application."*  That is a dependency
+rule, so we pin it: nothing in the superimposed stack (triples, metamodel,
+dmi, marks core, slimpad) may import base-layer internals; base-layer
+packages may not import the superimposed stack; mark modules are the only
+sanctioned bridge (they live inside ``repro.base.*``).
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Packages above the mark-management line: must not see the base layer.
+SUPERIMPOSED = ["triples", "metamodel", "dmi", "marks", "slimpad", "util"]
+#: Base-layer internals must not see the superimposed stack above marks.
+BASE_FORBIDDEN = ["repro.slimpad", "repro.dmi", "repro.metamodel",
+                  "repro.viewing", "repro.baselines", "repro.workloads"]
+
+
+def imports_of(path: pathlib.Path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            yield node.module
+
+
+class TestLayering:
+    @pytest.mark.parametrize("package", SUPERIMPOSED)
+    def test_superimposed_stack_never_imports_base(self, package):
+        """Triples/metamodel/DMI/marks/SLIMPad see marks, never base
+        applications — base variety stays behind the Mark Manager.
+
+        (``repro.base.__init__.standard_mark_manager`` wires concrete
+        modules, but it lives on the base side of the line.)
+        """
+        offenders = []
+        for path in (SRC / package).rglob("*.py"):
+            for module in imports_of(path):
+                if module.startswith("repro.base"):
+                    offenders.append(f"{path.relative_to(SRC)}: {module}")
+        assert offenders == []
+
+    def test_base_layer_never_imports_superimposed_stack(self):
+        """Base documents/applications are 'outside the box': they know
+        nothing of pads, DMIs, or models.  (Mark modules under
+        ``repro.base.*`` import ``repro.marks`` — the sanctioned bridge.)
+        """
+        offenders = []
+        for path in (SRC / "base").rglob("*.py"):
+            for module in imports_of(path):
+                if any(module.startswith(forbidden)
+                       for forbidden in BASE_FORBIDDEN):
+                    offenders.append(f"{path.relative_to(SRC)}: {module}")
+        assert offenders == []
+
+    def test_triples_is_the_bottom(self):
+        """TRIM depends only on util and errors — it is the foundation."""
+        offenders = []
+        for path in (SRC / "triples").rglob("*.py"):
+            for module in imports_of(path):
+                if module.startswith("repro") and not any(
+                        module.startswith(ok) for ok in
+                        ("repro.triples", "repro.util", "repro.errors")):
+                    offenders.append(f"{path.relative_to(SRC)}: {module}")
+        assert offenders == []
+
+    def test_marks_core_depends_only_on_util_and_errors(self):
+        """The Mark Manager core is generic: no triples, no DMI, no base.
+
+        (The optional ``triples_bridge`` module is the one sanctioned
+        exception — it exists precisely to connect the two.)
+        """
+        offenders = []
+        for path in (SRC / "marks").rglob("*.py"):
+            if path.name == "triples_bridge.py":
+                continue
+            for module in imports_of(path):
+                if module.startswith("repro") and not any(
+                        module.startswith(ok) for ok in
+                        ("repro.marks", "repro.util", "repro.errors")):
+                    offenders.append(f"{path.relative_to(SRC)}: {module}")
+        assert offenders == []

@@ -1,0 +1,95 @@
+"""Tests for base-application event emission and window state.
+
+The base layer is "outside the box": the superimposed layer can only
+observe the signals applications emit.  These tests pin the event
+protocol (opened / selection / highlight) and the window-state machine
+used by the viewing styles.
+"""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.base.spreadsheet.app import SpreadsheetApp
+from repro.base.xmldoc.app import XmlViewerApp
+from repro.util.events import EventBus
+
+from tests.conftest import make_library
+
+
+@pytest.fixture
+def bus():
+    bus = EventBus()
+    bus.record_history = True
+    return bus
+
+
+class TestEventEmission:
+    def test_open_emits(self, bus):
+        app = SpreadsheetApp(make_library(), bus)
+        app.open_workbook("medications.xls")
+        topics = [e.topic for e in bus.history]
+        assert topics == ["base.opened"]
+        assert bus.history[0]["app"] == "spreadsheet"
+        assert bus.history[0]["document"] == "medications.xls"
+
+    def test_selection_and_highlight_emit(self, bus):
+        app = SpreadsheetApp(make_library(), bus)
+        app.open_workbook("medications.xls")
+        app.select_range("A2:D2")
+        app.navigate_to(app.current_selection_address())
+        topics = [e.topic for e in bus.history]
+        assert "base.selection" in topics
+        assert "base.highlight" in topics
+        highlight = [e for e in bus.history if e.topic == "base.highlight"][-1]
+        assert highlight["address"].range == "A2:D2"
+
+    def test_mark_manager_wires_one_bus_to_all_apps(self, bus):
+        manager = standard_mark_manager(make_library(), bus)
+        xml = manager.application("xml")
+        doc = xml.open_document("labs.xml")
+        xml.select_element(doc.root.find_all("result")[0])
+        manager.resolve(manager.create_mark(xml).mark_id)
+        apps_seen = {e["app"] for e in bus.history}
+        assert apps_seen == {"xml"}
+        assert [e.topic for e in bus.history].count("base.highlight") == 1
+
+    def test_no_bus_is_fine(self):
+        app = XmlViewerApp(make_library())
+        doc = app.open_document("labs.xml")
+        app.select_element(doc.root.find_all("result")[0])  # no error
+
+
+class TestWindowState:
+    def test_open_makes_visible(self):
+        app = SpreadsheetApp(make_library())
+        assert not app.visible
+        app.open_workbook("medications.xls")
+        assert app.visible
+        assert not app.in_front
+
+    def test_front_back_hide(self):
+        app = SpreadsheetApp(make_library())
+        app.open_workbook("medications.xls")
+        app.bring_to_front()
+        assert app.in_front and app.visible
+        app.send_to_back()
+        assert not app.in_front and app.visible
+        app.hide()
+        assert not app.visible and not app.in_front
+
+    def test_open_clears_selection_and_highlight(self):
+        app = SpreadsheetApp(make_library())
+        app.open_workbook("medications.xls")
+        app.select_range("A2")
+        app.navigate_to(app.current_selection_address())
+        assert app.highlight is not None
+        app.open_workbook("medications.xls")  # re-open
+        assert app.selection is None
+        assert app.highlight is None
+
+    def test_clear_selection(self):
+        app = SpreadsheetApp(make_library())
+        app.open_workbook("medications.xls")
+        app.select_range("A2")
+        app.clear_selection()
+        assert app.selection is None

@@ -1,0 +1,149 @@
+"""Tests for spreadsheet formula evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.base.spreadsheet.app import SpreadsheetAddress, SpreadsheetApp
+from repro.base.spreadsheet.formulas import (evaluate_cell, evaluate_range,
+                                             is_formula)
+from repro.base.spreadsheet.workbook import Workbook, Worksheet
+
+
+@pytest.fixture
+def sheet():
+    s = Worksheet("S")
+    s.set_row(1, [10, 20, 30])
+    s.set_cell("A2", 2.5)
+    s.set_cell("B2", "text")
+    return s
+
+
+class TestBasics:
+    def test_is_formula(self):
+        assert is_formula("=A1")
+        assert not is_formula("A1")
+        assert not is_formula(42)
+
+    def test_plain_cells_pass_through(self, sheet):
+        assert evaluate_cell(sheet, "A1") == 10
+        assert evaluate_cell(sheet, "B2") == "text"
+        assert evaluate_cell(sheet, "Z9") is None
+
+    def test_cell_reference(self, sheet):
+        sheet.set_cell("D1", "=B1")
+        assert evaluate_cell(sheet, "D1") == 20.0
+
+    def test_arithmetic(self, sheet):
+        sheet.set_cell("D1", "=(A1+B1)*2-C1/3")
+        assert evaluate_cell(sheet, "D1") == pytest.approx(50.0)
+
+    def test_unary_minus_and_literals(self, sheet):
+        sheet.set_cell("D1", "=-A1+100.5")
+        assert evaluate_cell(sheet, "D1") == pytest.approx(90.5)
+
+    def test_empty_cells_are_zero(self, sheet):
+        sheet.set_cell("D1", "=A1+Z9")
+        assert evaluate_cell(sheet, "D1") == 10.0
+
+
+class TestFunctions:
+    def test_sum_over_range(self, sheet):
+        sheet.set_cell("D1", "=SUM(A1:C1)")
+        assert evaluate_cell(sheet, "D1") == 60.0
+
+    def test_avg_min_max_count(self, sheet):
+        sheet.set_cell("D1", "=AVG(A1:C1)")
+        sheet.set_cell("D2", "=MIN(A1:C1)")
+        sheet.set_cell("D3", "=MAX(A1:C1)")
+        sheet.set_cell("D4", "=COUNT(A1:C1)")
+        assert evaluate_cell(sheet, "D1") == 20.0
+        assert evaluate_cell(sheet, "D2") == 10.0
+        assert evaluate_cell(sheet, "D3") == 30.0
+        assert evaluate_cell(sheet, "D4") == 3.0
+
+    def test_functions_skip_non_numeric(self, sheet):
+        sheet.set_cell("D1", "=SUM(A2:C2)")  # 2.5, 'text', empty
+        assert evaluate_cell(sheet, "D1") == 2.5
+
+    def test_multiple_arguments(self, sheet):
+        sheet.set_cell("D1", "=SUM(A1:B1, 5, C1)")
+        assert evaluate_cell(sheet, "D1") == 65.0
+
+    def test_nested_formulas(self, sheet):
+        sheet.set_cell("D1", "=SUM(A1:C1)")
+        sheet.set_cell("E1", "=D1*2")
+        assert evaluate_cell(sheet, "E1") == 120.0
+
+    def test_case_insensitive_names(self, sheet):
+        sheet.set_cell("D1", "=sum(A1:C1)")
+        assert evaluate_cell(sheet, "D1") == 60.0
+
+
+class TestErrors:
+    def test_cycle_detected(self, sheet):
+        sheet.set_cell("D1", "=E1")
+        sheet.set_cell("E1", "=D1")
+        with pytest.raises(AddressError):
+            evaluate_cell(sheet, "D1")
+
+    def test_self_reference_detected(self, sheet):
+        sheet.set_cell("D1", "=D1+1")
+        with pytest.raises(AddressError):
+            evaluate_cell(sheet, "D1")
+
+    def test_division_by_zero(self, sheet):
+        sheet.set_cell("D1", "=A1/Z9")
+        with pytest.raises(AddressError):
+            evaluate_cell(sheet, "D1")
+
+    def test_text_in_arithmetic_rejected(self, sheet):
+        sheet.set_cell("D1", "=B2+1")
+        with pytest.raises(AddressError):
+            evaluate_cell(sheet, "D1")
+
+    def test_syntax_errors_rejected(self, sheet):
+        for bad in ("=", "=(A1", "=A1+", "=NOPE(A1:C1)", "=A1 A2", "=1..2"):
+            sheet.set_cell("D1", bad)
+            with pytest.raises(AddressError):
+                evaluate_cell(sheet, "D1")
+
+    def test_min_of_nothing_rejected(self, sheet):
+        sheet.set_cell("D1", "=MIN(A9:C9)")
+        with pytest.raises(AddressError):
+            evaluate_cell(sheet, "D1")
+
+
+class TestIntegrationWithMarks:
+    def test_marks_see_computed_values(self, library):
+        """A mark over a formula cell resolves to the current total —
+        and re-resolves after inputs change (C-6 with computation)."""
+        meds = library.get("medications.xls")
+        sheet = meds.sheet("Current")
+        sheet.set_cell("E2", 2.0)   # doses given today
+        sheet.set_cell("E3", 3.0)
+        sheet.set_cell("E5", "=SUM(E2:E4)")
+
+        app = SpreadsheetApp(library)
+        app.open_workbook("medications.xls")
+        app.select_range("E5")
+        assert app.selected_values() == [[5.0]]
+
+        sheet.set_cell("E4", 1.0)   # another dose lands
+        assert app.values_at(
+            SpreadsheetAddress("medications.xls", "Current", "E5")) == [[6.0]]
+
+    def test_evaluate_range_mixes_kinds(self, sheet):
+        sheet.set_cell("D1", "=SUM(A1:C1)")
+        values = evaluate_range(sheet, "A1:D1")
+        assert values == [[10, 20, 30, 60.0]]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=8))
+    def test_sum_property(self, numbers):
+        s = Worksheet("S")
+        s.set_row(1, numbers)
+        from repro.base.spreadsheet.workbook import format_cell_ref
+        last = format_cell_ref(1, len(numbers))
+        s.set_cell("A2", f"=SUM(A1:{last})")
+        assert evaluate_cell(s, "A2") == float(sum(numbers))

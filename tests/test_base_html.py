@@ -1,0 +1,134 @@
+"""Tests for the tag-soup HTML parser and the browser application."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.base.html.app import BrowserApp, HtmlAddress
+from repro.base.html.parser import HtmlPage, parse_html
+from repro.base.xmldoc.xpath import path_of, resolve_path
+
+
+class TestHtmlParser:
+    def test_well_formed_page(self):
+        root = parse_html("<html><body><p>hello</p></body></html>")
+        assert root.tag == "html"
+        body = root.children[0]
+        assert body.tag == "body"
+        assert body.children[0].text == "hello"
+
+    def test_synthetic_root_when_missing(self):
+        root = parse_html("<p>one</p><p>two</p>")
+        assert root.tag == "html"
+        assert [c.text for c in root.children] == ["one", "two"]
+
+    def test_void_elements_take_no_children(self):
+        root = parse_html("<div>a<br>b<img src='x.png'>c</div>")
+        div = root.children[0]
+        assert [c.tag for c in div.children] == ["br", "img"]
+        assert div.children[1].attributes["src"] == "x.png"
+
+    def test_p_and_li_auto_close(self):
+        root = parse_html("<body><p>one<p>two<ul><li>a<li>b</ul></body>")
+        body = root.children[0]
+        assert [c.tag for c in body.children] == ["p", "p", "ul"]
+        assert [c.text for c in body.children[:2]] == ["one", "two"]
+        ul = body.children[2]
+        assert [li.text for li in ul.children] == ["a", "b"]
+
+    def test_unclosed_tags_closed_at_eof(self):
+        root = parse_html("<div><span>text")
+        assert root.children[0].children[0].text == "text"
+
+    def test_stray_end_tags_ignored(self):
+        root = parse_html("<div></b>text</div>")
+        assert root.children[0].text == "text"
+
+    def test_case_folding(self):
+        root = parse_html("<DIV CLASS='x'>t</DIV>")
+        assert root.children[0].tag == "div"
+        assert root.children[0].attributes["class"] == "x"
+
+    def test_unquoted_and_boolean_attributes(self):
+        root = parse_html("<input type=text disabled>")
+        attrs = root.children[0].attributes
+        assert attrs["type"] == "text"
+        assert attrs["disabled"] == "disabled"
+
+    def test_comments_and_doctype_stripped(self):
+        root = parse_html("<!DOCTYPE html><!-- c --><p>x</p>")
+        assert root.children[0].text == "x"
+
+    def test_script_content_opaque(self):
+        root = parse_html("<script>if (a < b) { x(); }</script><p>after</p>")
+        script = root.children[0]
+        assert script.tag == "script"
+        assert "a < b" in script.text
+        assert root.children[1].text == "after"
+
+    def test_entities_decoded(self):
+        root = parse_html("<p>a &amp; b &lt;c&gt; &#65; &unknown;</p>")
+        assert root.children[0].text == "a & b <c> A &unknown;"
+
+    def test_lone_less_than_kept_as_text(self):
+        root = parse_html("<p>5 < 6</p>")
+        assert root.children[0].text == "5 < 6"
+
+    def test_html_attributes_adopted_once(self):
+        root = parse_html("<html lang='en'><body>x</body></html>")
+        assert root.attributes["lang"] == "en"
+        assert [c.tag for c in root.children] == ["body"]
+
+    def test_page_title(self, library):
+        page = library.get("http://icu.example/protocol")
+        assert page.title() == "ICU Potassium Protocol"
+
+    def test_paths_work_on_html_trees(self):
+        root = parse_html("<body><p>one</p><p>two</p></body>")
+        second = root.children[0].children[1]
+        path = path_of(second)
+        assert resolve_path(root, path) is second
+
+
+class TestBrowserApp:
+    def test_load_and_select_element(self, library):
+        app = BrowserApp(library)
+        page = app.load("http://icu.example/protocol")
+        paragraph = page.root.find_all("p")[0]
+        address = app.select_element(paragraph)
+        assert address.whole_element
+        assert "20 mEq KCl" in app.selected_text()
+
+    def test_select_text_span(self, library):
+        app = BrowserApp(library)
+        page = app.load("http://icu.example/protocol")
+        paragraph = page.root.find_all("p")[0]
+        path = path_of(paragraph)
+        text = paragraph.text
+        start = text.index("20 mEq KCl")
+        address = app.select_text(path, start, start + 10)
+        assert app.selected_text() == "20 mEq KCl"
+
+    def test_select_text_validates_span(self, library):
+        app = BrowserApp(library)
+        page = app.load("http://icu.example/protocol")
+        path = path_of(page.root.find_all("p")[0])
+        with pytest.raises(AddressError):
+            app.select_text(path, 0, 10_000)
+
+    def test_navigate_to_whole_element(self, library):
+        app = BrowserApp(library)
+        page = app.load("http://icu.example/protocol")
+        li = page.root.find_all("li")[0]
+        address = HtmlAddress("http://icu.example/protocol", path_of(li))
+        content = app.navigate_to(address)
+        assert content == "Monitor for arrhythmia"
+        assert app.highlight == address
+
+    def test_navigate_wrong_type(self, library):
+        app = BrowserApp(library)
+        with pytest.raises(AddressError):
+            app.navigate_to("http://icu.example/protocol")
+
+    def test_url_alias(self, library):
+        page = library.get("http://icu.example/protocol")
+        assert page.url == page.name

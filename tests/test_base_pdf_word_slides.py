@@ -1,0 +1,174 @@
+"""Tests for the PDF, Word, and slides base applications."""
+
+import pytest
+
+from repro.errors import AddressError, NoSelectionError
+from repro.base.pdf.app import PdfAddress, PdfViewerApp
+from repro.base.pdf.document import PdfDocument, PdfPage
+from repro.base.slides.app import SlideAddress, SlidesApp
+from repro.base.slides.presentation import Presentation, Shape, Slide
+from repro.base.worddoc.app import WordAddress, WordApp
+from repro.base.worddoc.document import WordComment, WordDocument
+
+
+class TestPdfDocument:
+    def test_pages_and_lines(self):
+        doc = PdfDocument("d.pdf", [PdfPage(1, ["one", "two"])])
+        assert doc.page_count == 1
+        assert doc.page(1).line(2) == "two"
+        with pytest.raises(AddressError):
+            doc.page(2)
+        with pytest.raises(AddressError):
+            doc.page(1).line(3)
+
+    def test_span_text_single_and_multi_line(self):
+        page = PdfPage(1, ["abcdef", "ghijkl", "mnopqr"])
+        assert page.span_text(1, 2, 1, 4) == "cd"
+        assert page.span_text(1, 4, 3, 2) == "ef\nghijkl\nmn"
+
+    def test_span_validation(self):
+        page = PdfPage(1, ["abc"])
+        with pytest.raises(AddressError):
+            page.span_text(1, 2, 1, 1)   # end before start
+        with pytest.raises(AddressError):
+            page.span_text(1, 0, 1, 9)   # end past line
+        with pytest.raises(AddressError):
+            page.span_text(2, 0, 2, 1)   # no such line
+
+    def test_from_text_paginates(self):
+        text = "\n".join(f"line {i}" for i in range(10))
+        doc = PdfDocument.from_text("d.pdf", text, lines_per_page=4)
+        assert doc.page_count == 3
+        assert doc.page(3).lines == ["line 8", "line 9"]
+
+    def test_page_numbering_validated(self):
+        with pytest.raises(AddressError):
+            PdfDocument("d.pdf", [PdfPage(2, []), PdfPage(1, [])])
+        with pytest.raises(AddressError):
+            PdfPage(0, [])
+
+
+class TestPdfViewerApp:
+    def test_open_goto_select(self, library):
+        app = PdfViewerApp(library)
+        app.open_pdf("guideline.pdf")
+        assert app.current_page == 1
+        app.goto_page(2)
+        address = app.select_span(2, 5, 2, 18)
+        assert app.selected_text() == "20 mEq KCl IV"
+
+    def test_selection_required(self, library):
+        app = PdfViewerApp(library)
+        app.open_pdf("guideline.pdf")
+        with pytest.raises(NoSelectionError):
+            app.current_selection_address()
+
+    def test_navigate_to(self, library):
+        app = PdfViewerApp(library)
+        address = PdfAddress("guideline.pdf", 1, 3, 0, 3, 38)
+        content = app.navigate_to(address)
+        assert content == "Potassium should stay above 3.5 mmol/L"
+        assert app.current_page == 1
+        assert app.highlight == address
+
+    def test_navigate_bad_page(self, library):
+        app = PdfViewerApp(library)
+        with pytest.raises(AddressError):
+            app.navigate_to(PdfAddress("guideline.pdf", 9, 1, 0, 1, 1))
+
+
+class TestWordDocument:
+    def test_paragraphs_and_spans(self):
+        doc = WordDocument("n.doc", ["first para", "second para"])
+        assert doc.paragraph(2) == "second para"
+        assert doc.span_text(1, 0, 5) == "first"
+        with pytest.raises(AddressError):
+            doc.paragraph(3)
+        with pytest.raises(AddressError):
+            doc.span_text(1, 5, 99)
+
+    def test_edits(self):
+        doc = WordDocument("n.doc", ["a", "b"])
+        doc.replace_paragraph(1, "A")
+        doc.insert_paragraph(2, "mid")
+        assert doc.paragraphs == ["A", "mid", "b"]
+        with pytest.raises(AddressError):
+            doc.insert_paragraph(9, "x")
+
+    def test_comments_ordered(self):
+        doc = WordDocument("n.doc", ["alpha beta", "gamma delta"])
+        doc.add_comment(WordComment(2, 0, 5, "late", "a"))
+        doc.add_comment(WordComment(1, 6, 10, "mid", "b"))
+        doc.add_comment(WordComment(1, 0, 5, "early", "c"))
+        assert [c.text for c in doc.comments_in_order()] == \
+            ["early", "mid", "late"]
+
+    def test_comment_span_validated(self):
+        doc = WordDocument("n.doc", ["short"])
+        with pytest.raises(AddressError):
+            doc.add_comment(WordComment(1, 0, 99, "x"))
+
+
+class TestWordApp:
+    def test_select_and_navigate(self, library):
+        app = WordApp(library)
+        app.open_document("note.doc")
+        address = app.select_span(2, 26, 38)
+        assert app.selected_text() == "exacerbation"
+        content = app.navigate_to(
+            WordAddress("note.doc", 3, 6, 13))
+        assert content == "diurese"
+        assert app.highlight == WordAddress("note.doc", 3, 6, 13)
+
+    def test_navigate_wrong_type(self, library):
+        app = WordApp(library)
+        with pytest.raises(AddressError):
+            app.navigate_to(("note.doc", 1))
+
+
+class TestPresentation:
+    def test_slides_and_shapes(self):
+        deck = Presentation("d.ppt", [Slide(1, [Shape("T", "title")])])
+        assert deck.slide(1).shape("T").text == "title"
+        with pytest.raises(AddressError):
+            deck.slide(2)
+        with pytest.raises(AddressError):
+            deck.slide(1).shape("ghost")
+
+    def test_add_slide_numbers_sequentially(self):
+        deck = Presentation("d.ppt")
+        assert deck.add_slide().number == 1
+        assert deck.add_slide().number == 2
+
+    def test_duplicate_shape_rejected(self):
+        slide = Slide(1)
+        slide.add_shape(Shape("A"))
+        with pytest.raises(AddressError):
+            slide.add_shape(Shape("A"))
+
+    def test_slide_numbering_validated(self):
+        with pytest.raises(AddressError):
+            Presentation("d.ppt", [Slide(2), Slide(1)])
+
+
+class TestSlidesApp:
+    def test_open_goto_select(self, library):
+        app = SlidesApp(library)
+        app.open_presentation("rounds.ppt")
+        assert app.current_slide == 1
+        app.goto_slide(2)
+        app.select_shape("Problems")
+        assert app.selected_shape().text == "CHF, hypokalemia"
+
+    def test_navigate_to(self, library):
+        app = SlidesApp(library)
+        address = SlideAddress("rounds.ppt", 2, "Patient")
+        content = app.navigate_to(address)
+        assert content == "John Smith, bed 4"
+        assert app.current_slide == 2
+        assert app.highlight == address
+
+    def test_navigate_missing_shape(self, library):
+        app = SlidesApp(library)
+        with pytest.raises(AddressError):
+            app.navigate_to(SlideAddress("rounds.ppt", 1, "Ghost"))

@@ -1,0 +1,204 @@
+"""Tests for the spreadsheet base application and A1 addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, NoSelectionError
+from repro.base.spreadsheet.app import SpreadsheetAddress, SpreadsheetApp
+from repro.base.spreadsheet.workbook import (CellRange, Workbook,
+                                             column_to_index, format_cell_ref,
+                                             index_to_column, parse_cell_ref)
+
+
+class TestA1References:
+    def test_column_round_trip_basics(self):
+        assert column_to_index("A") == 1
+        assert column_to_index("Z") == 26
+        assert column_to_index("AA") == 27
+        assert index_to_column(1) == "A"
+        assert index_to_column(27) == "AA"
+        assert index_to_column(702) == "ZZ"
+
+    def test_bad_columns_rejected(self):
+        with pytest.raises(AddressError):
+            column_to_index("")
+        with pytest.raises(AddressError):
+            column_to_index("A1")
+        with pytest.raises(AddressError):
+            index_to_column(0)
+
+    def test_cell_ref_round_trip(self):
+        assert parse_cell_ref("B3") == (3, 2)
+        assert format_cell_ref(3, 2) == "B3"
+        assert parse_cell_ref("aa10") == (10, 27)  # case-insensitive
+
+    def test_bad_cell_refs_rejected(self):
+        for bad in ("", "3B", "B0", "B-1", "B", "3"):
+            with pytest.raises(AddressError):
+                parse_cell_ref(bad)
+
+    @given(st.integers(1, 5000), st.integers(1, 1000))
+    def test_ref_round_trip_property(self, row, col):
+        assert parse_cell_ref(format_cell_ref(row, col)) == (row, col)
+
+    @given(st.integers(1, 20000))
+    def test_column_round_trip_property(self, index):
+        assert column_to_index(index_to_column(index)) == index
+
+
+class TestCellRange:
+    def test_parse_single_cell(self):
+        r = CellRange.parse("B2")
+        assert (r.top, r.left, r.bottom, r.right) == (2, 2, 2, 2)
+        assert r.is_single_cell
+        assert str(r) == "B2"
+
+    def test_parse_rectangle(self):
+        r = CellRange.parse("B2:C4")
+        assert (r.top, r.left, r.bottom, r.right) == (2, 2, 4, 3)
+        assert (r.height, r.width) == (3, 2)
+        assert str(r) == "B2:C4"
+
+    def test_parse_normalizes_reversed_corners(self):
+        assert str(CellRange.parse("C4:B2")) == "B2:C4"
+
+    def test_cells_iterates_row_major(self):
+        cells = list(CellRange.parse("A1:B2").cells())
+        assert cells == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_contains(self):
+        r = CellRange.parse("B2:C4")
+        assert r.contains(3, 2)
+        assert not r.contains(1, 2)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(AddressError):
+            CellRange.parse("B2:")
+        with pytest.raises(AddressError):
+            CellRange(0, 1, 2, 2)
+        with pytest.raises(AddressError):
+            CellRange(3, 1, 2, 2)
+
+
+class TestWorkbook:
+    def test_sheets_and_cells(self):
+        book = Workbook("x.xls")
+        sheet = book.add_sheet("S1")
+        sheet.set_cell("B2", "hello")
+        sheet.set_cell("C3", 42)
+        assert sheet.cell("B2") == "hello"
+        assert sheet.cell("A1") is None
+        assert book.sheet("S1") is sheet
+        assert book.sheet_names() == ["S1"]
+
+    def test_duplicate_sheet_rejected(self):
+        book = Workbook("x.xls")
+        book.add_sheet("S1")
+        with pytest.raises(AddressError):
+            book.add_sheet("S1")
+
+    def test_unknown_sheet_rejected(self):
+        with pytest.raises(AddressError):
+            Workbook("x.xls").sheet("ghost")
+
+    def test_remove_sheet(self):
+        book = Workbook("x.xls")
+        book.add_sheet("S1")
+        book.remove_sheet("S1")
+        assert book.sheet_names() == []
+        with pytest.raises(AddressError):
+            book.remove_sheet("S1")
+
+    def test_set_row_and_range_values(self):
+        book = Workbook("x.xls")
+        sheet = book.add_sheet("S")
+        sheet.set_row(1, ["a", "b", "c"])
+        sheet.set_row(2, [1, 2, 3])
+        values = sheet.range_values(CellRange.parse("A1:C2"))
+        assert values == [["a", "b", "c"], [1, 2, 3]]
+
+    def test_used_range(self):
+        book = Workbook("x.xls")
+        sheet = book.add_sheet("S")
+        assert sheet.used_range() is None
+        sheet.set_cell("B2", 1)
+        sheet.set_cell("D5", 2)
+        assert str(sheet.used_range()) == "B2:D5"
+
+    def test_find(self):
+        book = Workbook("x.xls")
+        sheet = book.add_sheet("S")
+        sheet.set_cell("A1", "x")
+        sheet.set_cell("C2", "x")
+        sheet.set_cell("B1", "y")
+        assert sheet.find("x") == ["A1", "C2"]
+
+    def test_clear_cell(self):
+        book = Workbook("x.xls")
+        sheet = book.add_sheet("S")
+        sheet.set_cell("A1", 1)
+        sheet.clear_cell("A1")
+        sheet.clear_cell("A1")  # idempotent
+        assert sheet.cell("A1") is None
+
+    def test_estimated_bytes_grows(self):
+        book = Workbook("x.xls")
+        sheet = book.add_sheet("S")
+        empty = book.estimated_bytes()
+        sheet.set_row(1, ["some", "content", "here"])
+        assert book.estimated_bytes() > empty
+
+
+class TestSpreadsheetApp:
+    def test_open_activates_first_sheet(self, library):
+        app = SpreadsheetApp(library)
+        app.open_workbook("medications.xls")
+        assert app.active_sheet == "Current"
+        assert app.visible
+
+    def test_select_range_sets_selection_address(self, library):
+        app = SpreadsheetApp(library)
+        app.open_workbook("medications.xls")
+        address = app.select_range("A2:D2")
+        assert address == SpreadsheetAddress("medications.xls", "Current", "A2:D2")
+        assert app.current_selection_address() == address
+        assert app.selected_values() == [["Lasix", "40mg", "IV", "BID"]]
+
+    def test_no_selection_raises(self, library):
+        app = SpreadsheetApp(library)
+        app.open_workbook("medications.xls")
+        with pytest.raises(NoSelectionError):
+            app.current_selection_address()
+
+    def test_activate_sheet_switches(self, library):
+        app = SpreadsheetApp(library)
+        app.open_workbook("medications.xls")
+        app.activate_sheet("History")
+        address = app.select_range("A2")
+        assert address.sheet_name == "History"
+
+    def test_navigate_to_follows_paper_sequence(self, library):
+        app = SpreadsheetApp(library)
+        address = SpreadsheetAddress("medications.xls", "Current", "A3:B3")
+        values = app.navigate_to(address)
+        assert values == [["Captopril", "25mg"]]
+        assert app.current_document.name == "medications.xls"
+        assert app.active_sheet == "Current"
+        assert app.highlight == address
+        assert app.current_selection_address() == address
+
+    def test_navigate_to_bad_sheet_raises(self, library):
+        app = SpreadsheetApp(library)
+        with pytest.raises(AddressError):
+            app.navigate_to(SpreadsheetAddress("medications.xls", "Ghost", "A1"))
+
+    def test_navigate_wrong_address_type_rejected(self, library):
+        app = SpreadsheetApp(library)
+        with pytest.raises(AddressError):
+            app.navigate_to("A1")
+
+    def test_cannot_open_wrong_kind(self, library):
+        app = SpreadsheetApp(library)
+        with pytest.raises(AddressError):
+            app.open_document("labs.xml")

@@ -1,0 +1,136 @@
+"""Tests for the XML document model, parser, path addressing, and viewer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, ParseError
+from repro.base.xmldoc.app import XmlAddress, XmlViewerApp
+from repro.base.xmldoc.dom import XmlDocument, XmlElement, parse_xml
+from repro.base.xmldoc.xpath import (format_path, parse_path, path_of,
+                                     resolve_path)
+
+
+class TestParser:
+    def test_simple_document(self):
+        root = parse_xml("<a><b>hi</b><c attr='v'/></a>")
+        assert root.tag == "a"
+        assert [c.tag for c in root.children] == ["b", "c"]
+        assert root.children[0].text == "hi"
+        assert root.children[1].attributes == {"attr": "v"}
+
+    def test_declaration_comments_doctype_skipped(self):
+        root = parse_xml("<?xml version='1.0'?><!DOCTYPE a>"
+                         "<!-- hello --><a><!-- inner -->x</a>")
+        assert root.tag == "a"
+        assert root.text == "x"
+
+    def test_entities_decoded(self):
+        root = parse_xml("<a x='&quot;q&quot;'>&lt;3 &amp; more &#65;&#x42;</a>")
+        assert root.text == "<3 & more AB"
+        assert root.attributes["x"] == '"q"'
+
+    def test_cdata(self):
+        root = parse_xml("<a><![CDATA[<raw> & stuff]]></a>")
+        assert root.text == "<raw> & stuff"
+
+    def test_nested_structure_and_parents(self):
+        root = parse_xml("<a><b><c/></b></a>")
+        c = root.children[0].children[0]
+        assert c.tag == "c"
+        assert c.parent.tag == "b"
+        assert c.parent.parent is root
+
+    def test_errors_carry_offsets(self):
+        for bad in ("<a>", "<a></b>", "<a", "text", "<a></a><b></b>",
+                    "<a x=unquoted></a>", "<a x='1' x='2'></a>",
+                    "<a>&nope;</a>"):
+            with pytest.raises(ParseError):
+                parse_xml(bad)
+
+    def test_full_text_walks_descendants(self):
+        root = parse_xml("<a>top<b>mid<c>deep</c></b></a>")
+        assert root.full_text() == "top mid deep"
+
+    def test_find_all_document_order(self):
+        root = parse_xml("<a><r>1</r><g><r>2</r></g><r>3</r></a>")
+        assert [r.text for r in root.find_all("r")] == ["1", "2", "3"]
+
+
+class TestPaths:
+    @pytest.fixture
+    def tree(self):
+        return parse_xml(
+            "<report><panel><result>1</result><result>2</result></panel>"
+            "<panel><result>3</result></panel></report>")
+
+    def test_parse_and_format(self):
+        steps = parse_path("/a/b[2]/c")
+        assert steps == [("a", 1), ("b", 2), ("c", 1)]
+        assert format_path(steps) == "/a[1]/b[2]/c[1]"
+
+    def test_bad_paths_rejected(self):
+        for bad in ("a/b", "/", "/a//b", "/a/b[0]", "/a/b[x]", "/a b"):
+            with pytest.raises(AddressError):
+                parse_path(bad)
+
+    def test_resolve_with_indices(self, tree):
+        assert resolve_path(tree, "/report/panel[2]/result").text == "3"
+        assert resolve_path(tree, "/report/panel[1]/result[2]").text == "2"
+
+    def test_resolve_missing_raises(self, tree):
+        with pytest.raises(AddressError):
+            resolve_path(tree, "/report/panel[3]")
+        with pytest.raises(AddressError):
+            resolve_path(tree, "/wrong/panel")
+
+    def test_path_of_inverts_resolve(self, tree):
+        for element in tree.iter():
+            assert resolve_path(tree, path_of(element)) is element
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_path_round_trip_generated_trees(self, width, depth):
+        # Build a regular tree and check path_of/resolve_path agree everywhere.
+        def build(level: int) -> XmlElement:
+            element = XmlElement(f"level{level}")
+            if level < depth:
+                for _ in range(width):
+                    element.append(build(level + 1))
+            return element
+
+        root = build(1)
+        for element in root.iter():
+            assert resolve_path(root, path_of(element)) is element
+
+
+class TestXmlViewerApp:
+    def test_select_element_and_path(self, library):
+        app = XmlViewerApp(library)
+        doc = app.open_document("labs.xml")
+        potassium = doc.root.find_all("result")[1]
+        address = app.select_element(potassium)
+        assert address.xml_path == "/labReport[1]/panel[1]/result[2]"
+        assert app.selected_element() is potassium
+
+    def test_select_path_validates(self, library):
+        app = XmlViewerApp(library)
+        app.open_document("labs.xml")
+        with pytest.raises(AddressError):
+            app.select_path("/labReport/panel[9]")
+
+    def test_navigate_to_highlights(self, library):
+        app = XmlViewerApp(library)
+        address = XmlAddress("labs.xml", "/labReport[1]/panel[1]/result[2]")
+        content = app.navigate_to(address)
+        assert content == "3.9"
+        assert app.highlight == address
+        assert app.current_document.name == "labs.xml"
+
+    def test_navigate_wrong_type_rejected(self, library):
+        app = XmlViewerApp(library)
+        with pytest.raises(AddressError):
+            app.navigate_to("/labReport")
+
+    def test_estimated_bytes(self, library):
+        doc = library.get("labs.xml")
+        assert doc.estimated_bytes() > 100

@@ -1,0 +1,76 @@
+"""Tests for the CLI and the concordance KWIC/frequency extras."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.concordance import kwic, term_frequencies
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "SLIMPad: Demo" in out
+        assert "Lasix" in out
+
+    def test_worksheet(self, capsys, tmp_path):
+        svg_path = str(tmp_path / "ws.svg")
+        assert main(["worksheet", "--patients", "2", "--seed", "5",
+                     "--svg", svg_path]) == 0
+        out = capsys.readouterr().out
+        assert "structure:" in out
+        with open(svg_path, encoding="utf-8") as handle:
+            assert handle.read().startswith("<svg")
+
+    def test_handoff(self, capsys):
+        assert main(["handoff", "--patients", "2", "--seed", "5"]) == 0
+        assert "HANDOFF" in capsys.readouterr().out
+
+    def test_concordance(self, capsys):
+        assert main(["concordance", "water"]) == 0
+        out = capsys.readouterr().out
+        assert "water: 4 use(s)" in out
+        assert "The Winter Tide" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("TopicMaps", "RDF", "XLink"):
+            assert name in out
+        assert "[1..1]" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_module_entry_point_exists(self):
+        import importlib.util
+        assert importlib.util.find_spec("repro.__main__") is not None
+
+
+class TestKwic:
+    def test_lines_carry_citation_and_context(self):
+        lines = kwic("crown")
+        assert len(lines) == 3
+        assert lines[0].startswith("The Winter Tide 1.1.4:")
+        assert "crown" in lines[0]
+
+    def test_context_width_respected(self):
+        wide = kwic("tide", context=30)
+        narrow = kwic("tide", context=4)
+        assert len(narrow[0]) < len(wide[0])
+
+    def test_missing_term_is_empty(self):
+        assert kwic("xylophone") == []
+
+
+class TestTermFrequencies:
+    def test_counts_are_case_folded(self):
+        counts = term_frequencies()
+        assert counts["the"] > 10
+        assert counts["fortune"] == 2  # 'Fortune' + 'fortune'
+
+    def test_every_kwic_hit_counted(self):
+        counts = term_frequencies()
+        for term in ("water", "crown", "stone", "motley"):
+            assert counts[term] == len(kwic(term))

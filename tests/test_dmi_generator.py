@@ -1,0 +1,138 @@
+"""Tests for automatic DMI generation (the paper's SLIM-ML direction)."""
+
+import pytest
+
+from repro.errors import DmiError
+from repro.dmi.generator import generate_dmi_class, render_source
+from repro.dmi.spec import AttrSpec, EntitySpec, ModelSpec, RefSpec
+from repro.util.coordinates import Coordinate
+
+from tests.test_dmi_spec import bundle_scrap_spec
+
+
+@pytest.fixture(scope="module")
+def dmi_class():
+    return generate_dmi_class(bundle_scrap_spec())
+
+
+class TestRenderSource:
+    def test_source_is_valid_python(self):
+        source = render_source(bundle_scrap_spec())
+        compile(source, "<test>", "exec")
+
+    def test_fig10_method_surface_present(self):
+        """The generated surface matches the Fig. 10 hand-written DMI."""
+        source = render_source(bundle_scrap_spec())
+        for method in ("Create_SlimPad", "Create_Bundle", "Create_Scrap",
+                       "Create_MarkHandle",
+                       "Update_padName", "Update_rootBundle",
+                       "Update_bundleName", "Update_bundlePos",
+                       "Add_nestedBundle", "Add_bundleContent",
+                       "Add_scrapMark", "Update_scrapName",
+                       "Delete_SlimPad", "Delete_Bundle",
+                       "def save", "def load"):
+            assert method in source, f"missing {method}"
+
+    def test_colliding_member_names_are_qualified(self):
+        spec = ModelSpec("M", [
+            EntitySpec("A", attributes=(AttrSpec("label"),)),
+            EntitySpec("B", attributes=(AttrSpec("label"),)),
+        ])
+        source = render_source(spec)
+        assert "Update_A_label" in source
+        assert "Update_B_label" in source
+        assert "def Update_label(" not in source
+
+    def test_docstrings_present(self):
+        source = render_source(bundle_scrap_spec())
+        assert '"""Create a Bundle' in source
+
+
+class TestGeneratedClass:
+    def test_class_name_and_introspection(self, dmi_class):
+        assert dmi_class.__name__ == "BundleScrapDMI"
+        assert "Create_Bundle" in dmi_class.__source__
+        assert dmi_class.__spec__.name == "BundleScrap"
+
+    def test_full_fig4_scenario(self, dmi_class):
+        """Drive the generated DMI through the Fig. 4 screen's structure."""
+        dmi = dmi_class()
+        pad = dmi.Create_SlimPad(padName="Rounds")
+        john = dmi.Create_Bundle(bundleName="John Smith",
+                                 bundlePos=Coordinate(20, 20),
+                                 bundleWidth=300.0, bundleHeight=200.0)
+        dmi.Update_rootBundle(pad, john)
+        lasix = dmi.Create_Scrap(scrapName="Lasix 40mg IV",
+                                 scrapPos=Coordinate(30, 40))
+        mark = dmi.Create_MarkHandle(markId="mark-000001")
+        dmi.Add_scrapMark(lasix, mark)
+        dmi.Add_bundleContent(john, lasix)
+        electrolyte = dmi.Create_Bundle(bundleName="Electrolyte")
+        dmi.Add_nestedBundle(john, electrolyte)
+
+        assert pad.rootBundle.bundleName == "John Smith"
+        assert [s.scrapName for s in john.bundleContent] == ["Lasix 40mg IV"]
+        assert [b.bundleName for b in john.nestedBundle] == ["Electrolyte"]
+        assert john.bundleContent[0].scrapMark[0].markId == "mark-000001"
+
+    def test_update_and_delete(self, dmi_class):
+        dmi = dmi_class()
+        bundle = dmi.Create_Bundle(bundleName="old")
+        dmi.Update_bundleName(bundle, "new")
+        assert bundle.bundleName == "new"
+        scrap = dmi.Create_Scrap()
+        dmi.Add_bundleContent(bundle, scrap)
+        assert dmi.Delete_Bundle(bundle) == 2  # cascades into the scrap
+        assert dmi.All_Bundle() == []
+        assert dmi.All_Scrap() == []
+
+    def test_remove_ref(self, dmi_class):
+        dmi = dmi_class()
+        bundle = dmi.Create_Bundle()
+        scrap = dmi.Create_Scrap()
+        dmi.Add_bundleContent(bundle, scrap)
+        assert dmi.Remove_bundleContent(bundle, scrap) is True
+        assert bundle.bundleContent == []
+
+    def test_get_and_all(self, dmi_class):
+        dmi = dmi_class()
+        created = dmi.Create_Scrap(scrapName="x")
+        assert dmi.Get_Scrap(created.id).scrapName == "x"
+        assert dmi.All_Scrap() == [created]
+
+    def test_type_errors_surface_as_dmi_errors(self, dmi_class):
+        dmi = dmi_class()
+        with pytest.raises(DmiError):
+            dmi.Create_Bundle(bundleWidth="wide")
+
+    def test_save_load_round_trip(self, dmi_class, tmp_path):
+        dmi = dmi_class()
+        pad = dmi.Create_SlimPad(padName="Rounds")
+        path = str(tmp_path / "generated.xml")
+        dmi.save(path)
+        fresh = dmi_class()
+        fresh.load(path)
+        assert fresh.All_SlimPad()[0].padName == "Rounds"
+
+    def test_instances_isolated_between_dmis(self, dmi_class):
+        first, second = dmi_class(), dmi_class()
+        first.Create_Bundle()
+        assert second.All_Bundle() == []
+
+
+class TestGeneratedEquivalence:
+    """The generated DMI must behave like hand-written runtime calls."""
+
+    def test_same_triples_for_same_operations(self, dmi_class):
+        from repro.dmi.runtime import DmiRuntime
+        generated = dmi_class()
+        g_bundle = generated.Create_Bundle(bundleName="Electrolyte")
+        g_scrap = generated.Create_Scrap(scrapName="K+ 3.9")
+        generated.Add_bundleContent(g_bundle, g_scrap)
+
+        manual = DmiRuntime(bundle_scrap_spec())
+        m_bundle = manual.create("Bundle", bundleName="Electrolyte")
+        m_scrap = manual.create("Scrap", scrapName="K+ 3.9")
+        manual.add_ref(m_bundle, "bundleContent", m_scrap)
+
+        assert set(generated.runtime.trim.store) == set(manual.trim.store)

@@ -1,0 +1,144 @@
+"""Tests for the DMI query extension and the hand-off tool prototype."""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.dmi.query import DmiQuery
+from repro.slimpad.app import SlimPadApplication
+from repro.slimpad.dmi import SlimPadDMI
+from repro.slimpad.handoff import build_handoff
+from repro.util.coordinates import Coordinate
+from repro.workloads.icu import generate_icu
+from repro.workloads.rounds import build_rounds_worksheet
+
+
+@pytest.fixture
+def dmi():
+    d = SlimPadDMI()
+    bundle = d.Create_Bundle(bundleName="Electrolyte",
+                             bundlePos=Coordinate(1, 2))
+    other = d.Create_Bundle(bundleName="Problems")
+    for name in ("Na 140", "K 3.9", "Cl 103"):
+        scrap = d.Create_Scrap(scrapName=name)
+        d.Add_bundleContent(bundle, scrap)
+    d.Add_bundleContent(other, d.Create_Scrap(scrapName="CHF"))
+    return d
+
+
+class TestDmiQuery:
+    def test_find_by_attribute(self, dmi):
+        query = DmiQuery(dmi.runtime)
+        hits = query.find("Scrap", "scrapName", "K 3.9")
+        assert len(hits) == 1
+        assert hits[0].scrapName == "K 3.9"
+
+    def test_find_by_coordinate(self, dmi):
+        query = DmiQuery(dmi.runtime)
+        hits = query.find("Bundle", "bundlePos", Coordinate(1, 2))
+        assert [b.bundleName for b in hits] == ["Electrolyte"]
+
+    def test_find_no_hits(self, dmi):
+        assert DmiQuery(dmi.runtime).find("Scrap", "scrapName", "zzz") == []
+
+    def test_first(self, dmi):
+        query = DmiQuery(dmi.runtime)
+        assert query.first("Scrap", "scrapName", "CHF").scrapName == "CHF"
+        assert query.first("Scrap", "scrapName", "zzz") is None
+
+    def test_find_where_predicate(self, dmi):
+        query = DmiQuery(dmi.runtime)
+        hits = query.find_where(
+            "Scrap", lambda s: (s.scrapName or "").startswith("K"))
+        assert [s.scrapName for s in hits] == ["K 3.9"]
+
+    def test_contained_in_join(self, dmi):
+        """Which bundles contain the scrap named 'K 3.9'?"""
+        query = DmiQuery(dmi.runtime)
+        bundles = query.contained_in("Bundle", "bundleContent",
+                                     "Scrap", "scrapName", "K 3.9")
+        assert [b.bundleName for b in bundles] == ["Electrolyte"]
+
+    def test_count(self, dmi):
+        query = DmiQuery(dmi.runtime)
+        assert query.count("Scrap") == 4
+        assert query.count("Bundle") == 2
+
+    def test_unknown_names_rejected(self, dmi):
+        from repro.errors import SpecError
+        query = DmiQuery(dmi.runtime)
+        with pytest.raises(SpecError):
+            query.find("Ghost", "x", 1)
+        with pytest.raises(SpecError):
+            query.find("Scrap", "ghost", 1)
+
+
+class TestHandoff:
+    @pytest.fixture
+    def worksheet(self):
+        dataset = generate_icu(num_patients=2, seed=21)
+        slimpad, rows = build_rounds_worksheet(dataset)
+        return dataset, slimpad, rows
+
+    def test_report_covers_every_patient(self, worksheet):
+        _dataset, slimpad, rows = worksheet
+        report = build_handoff(slimpad)
+        assert [p.patient for p in report.patients] == \
+            [r.bundle.bundleName for r in rows]
+        assert report.total_broken == 0
+        assert report.total_stale == 0
+
+    def test_todos_collected(self, worksheet):
+        dataset, slimpad, _rows = worksheet
+        report = build_handoff(slimpad)
+        assert len(report.patients[0].todos) == \
+            len(dataset.patients[0].todos)
+        assert all(todo.startswith("[ ]")
+                   for todo in report.patients[0].todos)
+
+    def test_stale_values_flagged_with_fresh_reading(self, worksheet):
+        dataset, slimpad, rows = worksheet
+        # A new potassium value lands in patient 0's lab report.
+        labs = dataset.library.get(dataset.patients[0].labs_file)
+        k_result = [e for e in labs.root.find_all("result")
+                    if e.attributes["test"] == "K"][0]
+        k_result.text = "9.9"
+        report = build_handoff(slimpad)
+        stale = [i for p in report.patients for i in p.items if i.stale]
+        assert len(stale) == 1
+        assert stale[0].current_value == "9.9"
+        assert "** now: 9.9" in report.render()
+
+    def test_broken_marks_flagged(self, worksheet):
+        dataset, slimpad, _rows = worksheet
+        dataset.library.remove(dataset.patients[1].labs_file)
+        report = build_handoff(slimpad)
+        assert report.total_broken == 6  # the whole gridlet of patient 1
+        assert report.patients[1].broken
+        assert "UNRESOLVABLE" in report.render()
+
+    def test_annotations_travel_with_items(self, worksheet):
+        _dataset, slimpad, rows = worksheet
+        k_scrap = rows[0].labs.bundleContent[1]
+        slimpad.dmi.Annotate_Scrap(k_scrap, "recheck after KCl", author="pg")
+        report = build_handoff(slimpad)
+        annotated = [i for p in report.patients for i in p.items
+                     if i.annotations]
+        assert annotated[0].annotations == ["recheck after KCl"]
+        assert "note: recheck after KCl" in report.render()
+
+    def test_render_mentions_pad_and_patients(self, worksheet):
+        dataset, slimpad, _rows = worksheet
+        text = build_handoff(slimpad).render()
+        assert "HANDOFF" in text
+        for patient in dataset.patients:
+            assert patient.name in text
+
+    def test_note_scraps_not_stale(self, worksheet):
+        """Plain notes have no mark and can never be flagged stale."""
+        _dataset, slimpad, rows = worksheet
+        slimpad.create_note_scrap("family meeting at 3",
+                                  Coordinate(5, 5), bundle=rows[0].bundle)
+        report = build_handoff(slimpad)
+        notes = [i for p in report.patients for i in p.items
+                 if i.kind == "note"]
+        assert all(not i.stale for i in notes)

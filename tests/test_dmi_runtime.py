@@ -1,0 +1,227 @@
+"""Tests for the DMI runtime: typed ops over triples, read-only proxies."""
+
+import pytest
+
+from repro.errors import DmiError, StaleObjectError, UnknownEntityError
+from repro.dmi.runtime import DmiRuntime
+from repro.util.coordinates import Coordinate
+
+from tests.test_dmi_spec import bundle_scrap_spec
+
+
+@pytest.fixture
+def runtime():
+    return DmiRuntime(bundle_scrap_spec())
+
+
+class TestCreate:
+    def test_create_with_attributes(self, runtime):
+        bundle = runtime.create("Bundle", bundleName="Electrolyte",
+                                bundlePos=Coordinate(10, 20),
+                                bundleWidth=120.0, bundleHeight=80.0)
+        assert bundle.bundleName == "Electrolyte"
+        assert bundle.bundlePos == Coordinate(10, 20)
+        assert bundle.bundleWidth == 120.0
+        assert bundle.id.startswith("bundle-")
+
+    def test_unknown_attribute_rejected(self, runtime):
+        with pytest.raises(DmiError):
+            runtime.create("Bundle", color="red")
+
+    def test_missing_required_attribute_rejected(self, runtime):
+        with pytest.raises(DmiError):
+            runtime.create("MarkHandle")
+
+    def test_wrong_type_rejected_and_rolled_back(self, runtime):
+        before = len(runtime.trim.store)
+        with pytest.raises(DmiError):
+            runtime.create("Bundle", bundleWidth="wide")
+        # The failed create leaves no partial triples behind.
+        assert len(runtime.trim.store) == before
+
+    def test_unset_attribute_reads_none(self, runtime):
+        bundle = runtime.create("Bundle")
+        assert bundle.bundleName is None
+
+
+class TestProxies:
+    def test_proxies_are_read_only(self, runtime):
+        bundle = runtime.create("Bundle", bundleName="x")
+        with pytest.raises(AttributeError):
+            bundle.bundleName = "y"
+
+    def test_unknown_member_raises(self, runtime):
+        bundle = runtime.create("Bundle")
+        with pytest.raises(AttributeError):
+            bundle.ghost
+
+    def test_equality_by_identity(self, runtime):
+        bundle = runtime.create("Bundle")
+        again = runtime.get("Bundle", bundle.id)
+        assert bundle == again
+        assert hash(bundle) == hash(again)
+
+    def test_proxy_reads_are_live(self, runtime):
+        bundle = runtime.create("Bundle", bundleName="before")
+        view = runtime.get("Bundle", bundle.id)
+        runtime.update(bundle, "bundleName", "after")
+        assert view.bundleName == "after"
+
+    def test_repr_mentions_entity_and_id(self, runtime):
+        bundle = runtime.create("Bundle")
+        assert "Bundle" in repr(bundle) and bundle.id in repr(bundle)
+
+
+class TestUpdate:
+    def test_update_replaces_value(self, runtime):
+        bundle = runtime.create("Bundle", bundleName="a")
+        runtime.update(bundle, "bundleName", "b")
+        assert bundle.bundleName == "b"
+        # Exactly one name triple remains.
+        prop = runtime.property_resource("Bundle", "bundleName")
+        assert len(runtime.trim.select(subject=None, prop=prop)) == 1
+
+    def test_update_type_checked(self, runtime):
+        bundle = runtime.create("Bundle")
+        with pytest.raises(DmiError):
+            runtime.update(bundle, "bundleWidth", 3)  # int, not float
+
+    def test_update_coordinate(self, runtime):
+        scrap = runtime.create("Scrap", scrapPos=Coordinate(0, 0))
+        runtime.update(scrap, "scrapPos", Coordinate(5, 7))
+        assert scrap.scrapPos == Coordinate(5, 7)
+
+
+class TestReferences:
+    def test_many_reference_appends_in_order(self, runtime):
+        bundle = runtime.create("Bundle")
+        scraps = [runtime.create("Scrap", scrapName=f"s{i}") for i in range(3)]
+        for scrap in scraps:
+            runtime.add_ref(bundle, "bundleContent", scrap)
+        assert [s.scrapName for s in bundle.bundleContent] == ["s0", "s1", "s2"]
+
+    def test_single_reference_via_proxy_and_set_ref(self, runtime):
+        pad = runtime.create("SlimPad", padName="Rounds")
+        root = runtime.create("Bundle", bundleName="root")
+        assert pad.rootBundle is None
+        runtime.set_ref(pad, "rootBundle", root)
+        assert pad.rootBundle.bundleName == "root"
+
+    def test_single_reference_rejects_second_add(self, runtime):
+        pad = runtime.create("SlimPad")
+        runtime.add_ref(pad, "rootBundle", runtime.create("Bundle"))
+        with pytest.raises(DmiError):
+            runtime.add_ref(pad, "rootBundle", runtime.create("Bundle"))
+
+    def test_set_ref_replaces_and_clears(self, runtime):
+        pad = runtime.create("SlimPad")
+        first, second = runtime.create("Bundle"), runtime.create("Bundle")
+        runtime.set_ref(pad, "rootBundle", first)
+        runtime.set_ref(pad, "rootBundle", second)
+        assert pad.rootBundle == second
+        runtime.set_ref(pad, "rootBundle", None)
+        assert pad.rootBundle is None
+
+    def test_wrong_target_entity_rejected(self, runtime):
+        bundle = runtime.create("Bundle")
+        other = runtime.create("Bundle")
+        with pytest.raises(DmiError):
+            runtime.add_ref(bundle, "bundleContent", other)  # expects Scrap
+
+    def test_remove_ref(self, runtime):
+        bundle = runtime.create("Bundle")
+        scrap = runtime.create("Scrap")
+        runtime.add_ref(bundle, "bundleContent", scrap)
+        assert runtime.remove_ref(bundle, "bundleContent", scrap) is True
+        assert runtime.remove_ref(bundle, "bundleContent", scrap) is False
+        assert bundle.bundleContent == []
+
+    def test_referrers_reverse_navigation(self, runtime):
+        bundle = runtime.create("Bundle")
+        scrap = runtime.create("Scrap")
+        runtime.add_ref(bundle, "bundleContent", scrap)
+        back = runtime.referrers(scrap, "Bundle", "bundleContent")
+        assert back == [bundle]
+
+
+class TestRetrieval:
+    def test_get_by_id(self, runtime):
+        bundle = runtime.create("Bundle", bundleName="x")
+        assert runtime.get("Bundle", bundle.id).bundleName == "x"
+
+    def test_get_wrong_entity_rejected(self, runtime):
+        scrap = runtime.create("Scrap")
+        with pytest.raises(UnknownEntityError):
+            runtime.get("Bundle", scrap.id)
+
+    def test_get_missing_rejected(self, runtime):
+        with pytest.raises(UnknownEntityError):
+            runtime.get("Bundle", "bundle-999999")
+
+    def test_all_in_creation_order(self, runtime):
+        created = [runtime.create("Scrap") for _ in range(3)]
+        assert runtime.all("Scrap") == created
+        assert runtime.all("Bundle") == []
+
+
+class TestDelete:
+    def test_delete_removes_instance_and_incoming_links(self, runtime):
+        bundle = runtime.create("Bundle")
+        scrap = runtime.create("Scrap")
+        runtime.add_ref(bundle, "bundleContent", scrap)
+        runtime.delete(scrap)
+        assert bundle.bundleContent == []
+        assert not runtime.exists(scrap)
+
+    def test_containment_cascades(self, runtime):
+        pad = runtime.create("SlimPad")
+        root = runtime.create("Bundle")
+        nested = runtime.create("Bundle")
+        scrap = runtime.create("Scrap")
+        handle = runtime.create("MarkHandle", markId="mark-000001")
+        runtime.set_ref(pad, "rootBundle", root)
+        runtime.add_ref(root, "nestedBundle", nested)
+        runtime.add_ref(nested, "bundleContent", scrap)
+        runtime.add_ref(scrap, "scrapMark", handle)
+        deleted = runtime.delete(pad)
+        assert deleted == 5
+        assert len(runtime.trim.store) == 0
+
+    def test_stale_proxy_rejected(self, runtime):
+        scrap = runtime.create("Scrap", scrapName="x")
+        runtime.delete(scrap)
+        with pytest.raises(StaleObjectError):
+            runtime.update(scrap, "scrapName", "y")
+        with pytest.raises(StaleObjectError):
+            runtime.value(scrap, "scrapName")
+
+    def test_shared_target_deleted_once(self, runtime):
+        # Two bundles contain the same scrap; deleting one cascade-deletes
+        # the scrap and cleans the other's link.
+        a, b = runtime.create("Bundle"), runtime.create("Bundle")
+        scrap = runtime.create("Scrap")
+        runtime.add_ref(a, "bundleContent", scrap)
+        runtime.add_ref(b, "bundleContent", scrap)
+        assert runtime.delete(a) == 2
+        assert runtime.exists(b)
+        assert b.bundleContent == []
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, runtime, tmp_path):
+        bundle = runtime.create("Bundle", bundleName="Electrolyte",
+                                bundlePos=Coordinate(1, 2))
+        scrap = runtime.create("Scrap", scrapName="K+ 3.9")
+        runtime.add_ref(bundle, "bundleContent", scrap)
+        path = str(tmp_path / "pad.xml")
+        runtime.save(path)
+
+        fresh = DmiRuntime(bundle_scrap_spec())
+        fresh.load(path)
+        loaded = fresh.all("Bundle")
+        assert len(loaded) == 1
+        assert loaded[0].bundleName == "Electrolyte"
+        assert loaded[0].bundlePos == Coordinate(1, 2)
+        assert [s.scrapName for s in loaded[0].bundleContent] == ["K+ 3.9"]
+        # Fresh ids don't collide with loaded ones.
+        assert fresh.create("Bundle").id != loaded[0].id

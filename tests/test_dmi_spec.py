@@ -1,0 +1,149 @@
+"""Tests for the DMI specification language and metamodel bridges."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.dmi.spec import ATTR_TYPES, AttrSpec, EntitySpec, ModelSpec, RefSpec
+from repro.triples.trim import TrimManager
+from repro.util.coordinates import Coordinate
+
+
+def bundle_scrap_spec() -> ModelSpec:
+    """The Fig. 3 Bundle-Scrap model as a spec (used across the test suite)."""
+    return ModelSpec("BundleScrap", [
+        EntitySpec("SlimPad",
+                   attributes=(AttrSpec("padName", "string"),),
+                   references=(RefSpec("rootBundle", "Bundle", many=False,
+                                       containment=True),)),
+        EntitySpec("Bundle",
+                   attributes=(AttrSpec("bundleName", "string"),
+                               AttrSpec("bundlePos", "coordinate"),
+                               AttrSpec("bundleHeight", "float"),
+                               AttrSpec("bundleWidth", "float")),
+                   references=(RefSpec("bundleContent", "Scrap", many=True,
+                                       containment=True),
+                               RefSpec("nestedBundle", "Bundle", many=True,
+                                       containment=True))),
+        EntitySpec("Scrap",
+                   attributes=(AttrSpec("scrapName", "string"),
+                               AttrSpec("scrapPos", "coordinate")),
+                   references=(RefSpec("scrapMark", "MarkHandle", many=True,
+                                       containment=True),)),
+        EntitySpec("MarkHandle",
+                   attributes=(AttrSpec("markId", "string", required=True),)),
+    ])
+
+
+class TestAttrSpec:
+    def test_valid_types(self):
+        for type_name in ATTR_TYPES:
+            AttrSpec("x", type_name)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SpecError):
+            AttrSpec("x", "datetime")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SpecError):
+            AttrSpec("not a name")
+
+    def test_coordinate_codec_round_trip(self):
+        codec = ATTR_TYPES["coordinate"]
+        encoded = codec.encode(Coordinate(1.5, -2.0))
+        assert encoded == "1.5,-2.0"
+        assert codec.decode(encoded) == Coordinate(1.5, -2.0)
+
+    def test_coordinate_codec_rejects_non_coordinate(self):
+        with pytest.raises(TypeError):
+            ATTR_TYPES["coordinate"].encode("1,2")
+
+    def test_plain_codecs_enforce_exact_type(self):
+        with pytest.raises(TypeError):
+            ATTR_TYPES["integer"].encode(True)
+        with pytest.raises(TypeError):
+            ATTR_TYPES["string"].encode(3)
+        with pytest.raises(TypeError):
+            ATTR_TYPES["float"].encode(3)
+
+
+class TestEntitySpec:
+    def test_member_lookup(self):
+        entity = EntitySpec("Scrap",
+                            attributes=(AttrSpec("scrapName"),),
+                            references=(RefSpec("scrapMark", "MarkHandle"),))
+        assert entity.attribute("scrapName").name == "scrapName"
+        assert entity.reference("scrapMark").target == "MarkHandle"
+        with pytest.raises(SpecError):
+            entity.attribute("ghost")
+        with pytest.raises(SpecError):
+            entity.reference("ghost")
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(SpecError):
+            EntitySpec("X", attributes=(AttrSpec("a"), AttrSpec("a")))
+        with pytest.raises(SpecError):
+            EntitySpec("X", attributes=(AttrSpec("a"),),
+                       references=(RefSpec("a", "X"),))
+
+    def test_bad_entity_name_rejected(self):
+        with pytest.raises(SpecError):
+            EntitySpec("Not Valid")
+
+
+class TestModelSpec:
+    def test_fig3_spec_is_valid(self):
+        spec = bundle_scrap_spec()
+        assert set(spec.entities) == {"SlimPad", "Bundle", "Scrap", "MarkHandle"}
+        assert spec.entity("Bundle").reference("nestedBundle").containment
+
+    def test_duplicate_entity_rejected(self):
+        with pytest.raises(SpecError):
+            ModelSpec("M", [EntitySpec("A"), EntitySpec("A")])
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(SpecError):
+            ModelSpec("M", [EntitySpec("A",
+                                       references=(RefSpec("r", "Ghost"),))])
+
+    def test_unknown_entity_lookup(self):
+        with pytest.raises(SpecError):
+            bundle_scrap_spec().entity("Ghost")
+
+    def test_bad_model_name_rejected(self):
+        with pytest.raises(SpecError):
+            ModelSpec("not valid", [])
+
+
+class TestMetamodelBridge:
+    def test_to_metamodel_creates_constructs_and_connectors(self):
+        trim = TrimManager()
+        model = bundle_scrap_spec().to_metamodel(trim)
+        names = {c.name for c in model.constructs() if not c.is_literal}
+        assert {"SlimPad", "Bundle", "Scrap", "MarkHandle"} <= names
+        connector = model.connector("Bundle.bundleContent")
+        assert connector.max_card is None
+        root = model.connector("SlimPad.rootBundle")
+        assert root.max_card == 1
+
+    def test_round_trip_spec_metamodel_spec(self):
+        trim = TrimManager()
+        original = bundle_scrap_spec()
+        model = original.to_metamodel(trim)
+        derived = ModelSpec.from_metamodel(model)
+        assert set(derived.entities) == set(original.entities)
+        for name, entity in original.entities.items():
+            mirrored = derived.entity(name)
+            assert {a.name for a in mirrored.attributes} == \
+                {a.name for a in entity.attributes}
+            assert {(r.name, r.target, r.many) for r in mirrored.references} == \
+                {(r.name, r.target, r.many) for r in entity.references}
+
+    def test_round_trip_preserves_types(self):
+        trim = TrimManager()
+        spec = ModelSpec("M", [EntitySpec("E", attributes=(
+            AttrSpec("s", "string"), AttrSpec("i", "integer"),
+            AttrSpec("f", "float"), AttrSpec("b", "boolean")))])
+        derived = ModelSpec.from_metamodel(spec.to_metamodel(TrimManager() or trim))
+        types = {a.name: a.type for a in derived.entity("E").attributes}
+        assert types == {"s": "string", "i": "integer",
+                         "f": "float", "b": "boolean"}

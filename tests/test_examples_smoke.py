@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are documentation that executes; these tests keep them honest.
+Each example is run in-process (runpy) with argv pinned, and its printed
+output spot-checked for the claims the example narrates.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv=None) -> str:
+    """Execute one example as __main__ and return its stdout."""
+    script = EXAMPLES_DIR / name
+    old_argv = sys.argv
+    sys.argv = [str(script)] + list(argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Double-click 'Lasix 40mg IV BID'" in out
+        assert "[['Lasix', '80mg', 'IV', 'BID']]" in out  # base edit seen
+
+    def test_icu_rounds(self, capsys):
+        out = run_example("icu_rounds.py", capsys)
+        assert "Electrolyte gridlet rows" in out
+        assert "all marks still resolvable: True" in out
+        assert "SVG rendering written" in out
+
+    def test_concordance_default_terms(self, capsys):
+        out = run_example("concordance.py", capsys)
+        assert "'water': 4 use(s)" in out
+        assert "the line, in context:" in out
+
+    def test_concordance_custom_term(self, capsys):
+        out = run_example("concordance.py", capsys, argv=["motley"])
+        assert "'motley': 3 use(s)" in out
+
+    def test_annotation_sharing(self, capsys):
+        out = run_example("annotation_sharing.py", capsys)
+        assert "SLIMPad, simultaneous viewing" in out
+        assert "virtual document refuses original content" in out
+
+    def test_model_mapping(self, capsys):
+        out = run_example("model_mapping.py", capsys)
+        assert "conformance after schema-later entry: ok=True" in out
+        assert "is now a Topic named: 'John'" in out
+        assert "Generated MemoDMI" in out
+
+    def test_extensibility(self, capsys):
+        out = run_example("extensibility.py", capsys)
+        assert "'chat'" in out
+        assert "renal: hold the lasix until K is above 3.5" in out
+        assert "all marks resolvable: True" in out
+
+    def test_weekend_handoff(self, capsys):
+        out = run_example("weekend_handoff.py", capsys)
+        assert "HANDOFF" in out
+        assert "1 stale value(s)" in out
+        assert "3 unresolvable scrap(s)" in out

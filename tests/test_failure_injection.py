@@ -1,0 +1,183 @@
+"""Failure-injection tests: the system degrades loudly, never silently.
+
+The base layer is outside the superimposed system's control — documents
+vanish, get replaced by different kinds, or change shape; persisted files
+get truncated or tampered with.  Every such case must surface as a typed
+error (or an explicit broken-mark report), never a wrong answer.
+"""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.base.html.parser import HtmlPage
+from repro.base.spreadsheet.workbook import Workbook
+from repro.errors import (AddressError, MarkResolutionError, PersistenceError,
+                          ReproError, UnknownMarkTypeError)
+from repro.slimpad.app import SlimPadApplication
+from repro.slimpad.dmi import SlimPadDMI
+from repro.triples import persistence
+from repro.util.coordinates import Coordinate
+
+from tests.conftest import make_library
+
+
+@pytest.fixture
+def stack():
+    library = make_library()
+    manager = standard_mark_manager(library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Rounds")
+    return library, manager, slimpad
+
+
+def make_excel_scrap(manager, slimpad):
+    excel = manager.application("spreadsheet")
+    excel.open_workbook("medications.xls")
+    excel.select_range("A2:D2")
+    return slimpad.create_scrap_from_selection(excel, label="Lasix",
+                                               pos=Coordinate(0, 0))
+
+
+class TestBaseLayerChaos:
+    def test_document_replaced_by_different_kind(self, stack):
+        """'medications.xls' becomes an HTML page of the same name —
+        resolution must fail typed, not return page text as cells."""
+        library, manager, slimpad = stack
+        scrap = make_excel_scrap(manager, slimpad)
+        library.add(HtmlPage.parse("medications.xls", "<p>not a workbook</p>"))
+        with pytest.raises(MarkResolutionError):
+            slimpad.double_click(scrap)
+
+    def test_sheet_removed_under_mark(self, stack):
+        library, manager, slimpad = stack
+        scrap = make_excel_scrap(manager, slimpad)
+        library.get("medications.xls").remove_sheet("Current")
+        with pytest.raises(MarkResolutionError):
+            slimpad.double_click(scrap)
+
+    def test_document_removed_then_restored(self, stack):
+        library, manager, slimpad = stack
+        scrap = make_excel_scrap(manager, slimpad)
+        workbook = library.remove("medications.xls")
+        assert not manager.resolvable(scrap.scrapMark[0].markId)
+        library.add(workbook)
+        assert slimpad.double_click(scrap).content == \
+            [["Lasix", "40mg", "IV", "BID"]]
+
+    def test_pdf_page_shrinks_under_span(self, stack):
+        library, manager, slimpad = stack
+        pdf = manager.application("pdf")
+        pdf.open_pdf("guideline.pdf")
+        pdf.goto_page(2)
+        pdf.select_span(3, 0, 3, 10)
+        mark = manager.create_mark(pdf)
+        library.get("guideline.pdf").page(2).lines.pop()  # line 3 gone
+        with pytest.raises(MarkResolutionError):
+            manager.resolve(mark.mark_id)
+
+    def test_word_paragraph_shortened_under_span(self, stack):
+        library, manager, slimpad = stack
+        word = manager.application("word")
+        word.open_document("note.doc")
+        word.select_span(2, 26, 38)
+        mark = manager.create_mark(word)
+        library.get("note.doc").replace_paragraph(2, "short")
+        with pytest.raises(MarkResolutionError):
+            manager.resolve(mark.mark_id)
+
+    def test_html_span_outlives_text_edit(self, stack):
+        library, manager, slimpad = stack
+        browser = manager.application("html")
+        page = browser.load("http://icu.example/protocol")
+        paragraph = page.root.find_all("p")[0]
+        from repro.base.xmldoc.xpath import path_of
+        browser.select_text(path_of(paragraph), 0, 10)
+        mark = manager.create_mark(browser)
+        paragraph.text = "tiny"
+        with pytest.raises(MarkResolutionError):
+            manager.resolve(mark.mark_id)
+
+
+class TestPersistenceChaos:
+    def test_truncated_store_file(self, tmp_path):
+        dmi = SlimPadDMI()
+        dmi.Create_SlimPad(padName="p")
+        path = str(tmp_path / "pad.xml")
+        dmi.save(path)
+        with open(path, "r+", encoding="utf-8") as handle:
+            content = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(content[: len(content) // 2])
+        with pytest.raises(PersistenceError):
+            SlimPadDMI().load(path)
+
+    def test_tampered_literal_type(self, tmp_path):
+        dmi = SlimPadDMI()
+        dmi.Create_Bundle(bundleName="b", bundleWidth=200.0)
+        path = str(tmp_path / "pad.xml")
+        dmi.save(path)
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content.replace('type="float"', 'type="banana"'))
+        with pytest.raises(PersistenceError):
+            SlimPadDMI().load(path)
+
+    def test_marks_file_with_unregistered_type(self, stack, tmp_path):
+        library, manager, slimpad = stack
+        make_excel_scrap(manager, slimpad)
+        path = str(tmp_path / "marks.xml")
+        manager.save(path)
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content.replace('type="excel"', 'type="martian"'))
+
+        fresh = standard_mark_manager(library)
+        with pytest.raises(UnknownMarkTypeError):
+            fresh.load(path)
+
+    def test_failed_load_leaves_manager_unchanged(self, stack, tmp_path):
+        _library, manager, slimpad = stack
+        make_excel_scrap(manager, slimpad)
+        before = len(manager)
+        path = str(tmp_path / "bad.xml")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("<not marks")
+        with pytest.raises(PersistenceError):
+            manager.load(path)
+        assert len(manager) == before
+
+    def test_store_loads_nothing_from_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.xml")
+        with open(path, "w", encoding="utf-8"):
+            pass
+        with pytest.raises(PersistenceError):
+            persistence.load(path)
+
+
+class TestErrorTyping:
+    def test_every_failure_is_a_repro_error(self, stack):
+        """Callers can catch one base class for anything we raise."""
+        library, manager, slimpad = stack
+        failures = 0
+        for trigger in (
+            lambda: manager.resolve("mark-999999"),
+            lambda: manager.application("fax"),
+            lambda: library.get("ghost.xyz"),
+            lambda: Workbook("w").sheet("nope"),
+            lambda: slimpad.dmi.Create_Bundle(bundleWidth="wide"),
+        ):
+            with pytest.raises(ReproError):
+                trigger()
+            failures += 1
+        assert failures == 5
+
+    def test_address_errors_carry_detail(self, stack):
+        library, _manager, _slimpad = stack
+        workbook = library.get("medications.xls")
+        with pytest.raises(AddressError) as excinfo:
+            workbook.sheet("Ghost")
+        assert "Ghost" in str(excinfo.value)
+        assert "medications.xls" in str(excinfo.value)

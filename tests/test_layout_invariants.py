@@ -1,0 +1,85 @@
+"""Layout invariants over generated worksheets.
+
+The worksheet builder promises a readable sheet: rows don't collide,
+every region sits inside its row, scraps hit-test to themselves, and the
+renderer agrees with the structure.  Checked across several seeds and
+census sizes (cheap generative testing without hypothesis, since the
+generator is already seeded).
+"""
+
+import pytest
+
+from repro.slimpad.layout import (bundle_rect, hit_test, overlapping_scraps,
+                                  scrap_rect)
+from repro.slimpad.render import describe_structure, render_svg, render_text
+from repro.workloads.icu import generate_icu
+from repro.workloads.rounds import build_rounds_worksheet
+
+
+@pytest.fixture(scope="module", params=[(2, 3), (4, 17), (6, 99)])
+def worksheet(request):
+    patients, seed = request.param
+    dataset = generate_icu(num_patients=patients, seed=seed)
+    slimpad, rows = build_rounds_worksheet(dataset)
+    return dataset, slimpad, rows
+
+
+class TestWorksheetLayout:
+    def test_rows_do_not_overlap(self, worksheet):
+        _dataset, _slimpad, rows = worksheet
+        rects = [bundle_rect(row.bundle) for row in rows]
+        for i, first in enumerate(rects):
+            for second in rects[i + 1:]:
+                assert not first.intersects(second)
+
+    def test_regions_inside_their_row(self, worksheet):
+        _dataset, _slimpad, rows = worksheet
+        for row in rows:
+            row_rect = bundle_rect(row.bundle)
+            for region in row.bundle.nestedBundle:
+                assert row_rect.contains_rect(bundle_rect(region))
+
+    def test_scrap_positions_inside_their_region(self, worksheet):
+        _dataset, _slimpad, rows = worksheet
+        for row in rows:
+            for region in row.bundle.nestedBundle:
+                region_rect = bundle_rect(region)
+                for scrap in region.bundleContent:
+                    assert region_rect.contains_point(scrap.scrapPos), \
+                        (region.bundleName, scrap.scrapName)
+
+    def test_hit_test_finds_each_scrap(self, worksheet):
+        _dataset, slimpad, rows = worksheet
+        for row in rows[:2]:
+            for region in row.bundle.nestedBundle:
+                for scrap in region.bundleContent:
+                    rect = scrap_rect(scrap)
+                    hit = hit_test(row.bundle, rect.center)
+                    # The centre of a scrap's box hits a scrap (possibly an
+                    # overlapping sibling drawn later, never a bundle).
+                    assert hit is not None
+                    assert hit.entity_name == "Scrap"
+
+    def test_lab_gridlets_have_no_overlaps(self, worksheet):
+        _dataset, _slimpad, rows = worksheet
+        for row in rows:
+            assert overlapping_scraps(row.labs) == []
+
+    def test_renderers_agree_with_structure(self, worksheet):
+        _dataset, slimpad, rows = worksheet
+        stats = describe_structure(slimpad.pad)
+        text = render_text(slimpad.pad)
+        # Every bundle name appears in the outline.
+        assert text.count("[Labs]") == len(rows)
+        svg = render_svg(slimpad.pad)
+        # One <rect> per bundle and scrap, plus the background.
+        assert svg.count("<rect") == 1 + stats["bundles"] + stats["scraps"]
+
+    def test_structure_counts_scale_with_census(self, worksheet):
+        dataset, slimpad, rows = worksheet
+        stats = describe_structure(slimpad.pad)
+        patients = len(dataset.patients)
+        assert stats["bundles"] == 1 + patients * 5
+        assert stats["graphics"] == patients
+        # identity note + >=1 meds + problems + 6 labs + todos per patient
+        assert stats["scraps"] >= patients * 10

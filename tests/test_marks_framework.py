@@ -1,0 +1,135 @@
+"""Tests for marks, the registry, and serialization."""
+
+import pytest
+
+from repro.errors import MarkError, PersistenceError, UnknownMarkTypeError
+from repro.base.html.marks import HTMLMark
+from repro.base.pdf.marks import PDFMark
+from repro.base.slides.marks import SlideMark
+from repro.base.spreadsheet.marks import ExcelMark
+from repro.base.worddoc.marks import WordMark
+from repro.base.xmldoc.marks import XMLMark
+from repro.marks.mark import Mark
+from repro.marks.registry import MarkTypeRegistry
+
+ALL_MARKS = [
+    ExcelMark("mark-000001", file_name="m.xls", sheet_name="S", range="B2:B4"),
+    XMLMark("mark-000002", file_name="l.xml", xml_path="/a[1]/b[2]"),
+    PDFMark("mark-000003", file_name="g.pdf", page=2,
+            start_line=1, start_col=0, end_line=1, end_col=5),
+    HTMLMark("mark-000004", url="http://x/", element_path="/html[1]/p[1]",
+             start=3, end=9, whole_element=False),
+    WordMark("mark-000005", file_name="n.doc", paragraph=2, start=1, end=4),
+    SlideMark("mark-000006", file_name="r.ppt", slide=2, shape="Title"),
+]
+
+
+def full_registry() -> MarkTypeRegistry:
+    registry = MarkTypeRegistry()
+    for mark in ALL_MARKS:
+        registry.register(type(mark))
+    return registry
+
+
+class TestMark:
+    def test_empty_id_rejected(self):
+        with pytest.raises(MarkError):
+            ExcelMark("", file_name="x", sheet_name="S", range="A1")
+
+    def test_address_fields_exclude_id(self):
+        mark = ALL_MARKS[0]
+        fields = mark.address_fields()
+        assert "mark_id" not in fields
+        assert fields == {"file_name": "m.xls", "sheet_name": "S",
+                          "range": "B2:B4"}
+
+    def test_fig8_excel_fields(self):
+        """Fig. 8: Excel marks carry markId, fileName, sheetName, range."""
+        assert set(ALL_MARKS[0].address_fields()) == \
+            {"file_name", "sheet_name", "range"}
+
+    def test_fig8_xml_fields(self):
+        """Fig. 8: XML marks carry markId, fileName, xmlPath."""
+        assert set(ALL_MARKS[1].address_fields()) == {"file_name", "xml_path"}
+
+    def test_describe_mentions_type_and_fields(self):
+        text = ALL_MARKS[0].describe()
+        assert "excel" in text and "m.xls" in text and "mark-000001" in text
+
+    def test_marks_are_hashable_value_objects(self):
+        a = ExcelMark("mark-1", file_name="f", sheet_name="S", range="A1")
+        b = ExcelMark("mark-1", file_name="f", sheet_name="S", range="A1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = full_registry()
+        assert registry.get("excel") is ExcelMark
+        assert "pdf" in registry
+        assert len(registry.types()) == 6
+
+    def test_reregister_same_class_noop(self):
+        registry = MarkTypeRegistry()
+        registry.register(ExcelMark)
+        registry.register(ExcelMark)
+        assert registry.types() == ["excel"]
+
+    def test_conflicting_tag_rejected(self):
+        registry = MarkTypeRegistry()
+        registry.register(ExcelMark)
+
+        class FakeExcelMark(Mark):
+            mark_type = "excel"
+
+        with pytest.raises(MarkError):
+            registry.register(FakeExcelMark)
+
+    def test_abstract_mark_rejected(self):
+        with pytest.raises(MarkError):
+            MarkTypeRegistry().register(Mark)
+
+    def test_unknown_type_lookup(self):
+        with pytest.raises(UnknownMarkTypeError):
+            MarkTypeRegistry().get("excel")
+
+    def test_to_dict_from_dict_round_trip(self):
+        registry = full_registry()
+        for mark in ALL_MARKS:
+            record = registry.to_dict(mark)
+            assert record["type"] == mark.mark_type
+            assert registry.from_dict(record) == mark
+
+    def test_from_dict_validates_fields(self):
+        registry = full_registry()
+        with pytest.raises(MarkError):
+            registry.from_dict({"mark_id": "m"})  # no type
+        with pytest.raises(MarkError):
+            registry.from_dict({"type": "excel", "mark_id": "m"})  # missing
+        with pytest.raises(MarkError):
+            registry.from_dict({"type": "excel", "mark_id": "m",
+                                "file_name": "f", "sheet_name": "s",
+                                "range": "A1", "extra": 1})
+
+    def test_xml_round_trip_all_types(self):
+        registry = full_registry()
+        text = registry.dumps(ALL_MARKS)
+        loaded = registry.loads(text)
+        assert loaded == ALL_MARKS
+
+    def test_xml_round_trip_preserves_field_types(self):
+        registry = full_registry()
+        loaded = registry.loads(registry.dumps([ALL_MARKS[3]]))
+        html = loaded[0]
+        assert html.start == 3 and isinstance(html.start, int)
+        assert html.whole_element is False
+
+    def test_malformed_xml_rejected(self):
+        registry = full_registry()
+        with pytest.raises(PersistenceError):
+            registry.loads("<broken")
+        with pytest.raises(PersistenceError):
+            registry.loads("<wrong/>")
+        with pytest.raises(PersistenceError):
+            registry.loads("<marks><other/></marks>")

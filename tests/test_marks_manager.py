@@ -1,0 +1,249 @@
+"""Tests for the Mark Manager: creation, resolution, roles, persistence.
+
+These exercise the Fig. 7 configuration — one manager, six base
+applications, viewer + extractor modules per type — over the shared
+test library (see conftest).
+"""
+
+import pytest
+
+from repro.errors import (MarkError, MarkNotFoundError, MarkResolutionError,
+                          NoSelectionError)
+from repro.base.html.app import BrowserApp
+from repro.base.pdf.app import PdfViewerApp
+from repro.base.slides.app import SlidesApp
+from repro.base.spreadsheet.app import SpreadsheetApp
+from repro.base.worddoc.app import WordApp
+from repro.base.xmldoc.app import XmlViewerApp
+from repro.base.xmldoc.xpath import path_of
+from repro.marks.behaviors import display_in_place, extract_content, preview
+from repro.marks.modules import ROLE_EXTRACTOR
+
+
+def select_something(manager, kind):
+    """Make a selection in the base app of *kind*; return the app."""
+    app = manager.application(kind)
+    if kind == "spreadsheet":
+        app.open_workbook("medications.xls")
+        app.select_range("A2:D2")
+    elif kind == "xml":
+        doc = app.open_document("labs.xml")
+        app.select_element(doc.root.find_all("result")[1])
+    elif kind == "pdf":
+        app.open_pdf("guideline.pdf")
+        app.goto_page(2)
+        app.select_span(2, 5, 2, 18)
+    elif kind == "html":
+        page = app.load("http://icu.example/protocol")
+        app.select_element(page.root.find_all("p")[0])
+    elif kind == "word":
+        app.open_document("note.doc")
+        app.select_span(2, 26, 38)
+    elif kind == "slides":
+        app.open_presentation("rounds.ppt")
+        app.goto_slide(2)
+        app.select_shape("Problems")
+    return app
+
+
+ALL_KINDS = ["spreadsheet", "xml", "pdf", "html", "word", "slides"]
+
+
+class TestCreation:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_create_mark_from_every_application(self, manager, kind):
+        app = select_something(manager, kind)
+        mark = manager.create_mark(app)
+        assert mark.mark_id in manager
+        assert manager.get(mark.mark_id) == mark
+
+    def test_ids_are_sequential(self, manager):
+        app = select_something(manager, "spreadsheet")
+        first = manager.create_mark(app)
+        second = manager.create_mark(app)
+        assert first.mark_id == "mark-000001"
+        assert second.mark_id == "mark-000002"
+
+    def test_creation_needs_selection(self, manager):
+        app = manager.application("spreadsheet")
+        app.open_workbook("medications.xls")
+        with pytest.raises(NoSelectionError):
+            manager.create_mark(app)
+
+    def test_unregistered_kind_rejected(self, manager):
+        class OddApp:
+            kind = "odd"
+
+        with pytest.raises(MarkError):
+            manager.create_mark(OddApp())
+
+
+class TestResolution:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_round_trip_every_kind(self, manager, kind):
+        """Create a mark, then resolve it: the base app must show exactly
+        the originally selected element (the paper's core loop)."""
+        app = select_something(manager, kind)
+        original = app.current_selection_address()
+        expected = {
+            "spreadsheet": [["Lasix", "40mg", "IV", "BID"]],
+            "xml": "3.9",
+            "pdf": "20 mEq KCl IV",
+            "html": "For serum K below 3.5 give 20 mEq KCl IV over one hour.",
+            "word": "exacerbation",
+            "slides": "CHF, hypokalemia",
+        }[kind]
+        mark = manager.create_mark(app)
+        app.clear_selection()
+        app.hide()
+
+        resolution = manager.resolve(mark.mark_id)
+        assert resolution.content == expected
+        assert resolution.surfaced
+        assert app.highlight == original
+        assert app.in_front  # simultaneous viewing surfaces the window
+
+    def test_resolve_by_mark_object(self, manager):
+        app = select_something(manager, "xml")
+        mark = manager.create_mark(app)
+        assert manager.resolve(mark).content == "3.9"
+
+    def test_resolution_is_uniform_across_types(self, manager):
+        """The superimposed layer sees one Resolution shape regardless of
+        base type — the transparency claim of Section 4.2."""
+        resolutions = []
+        for kind in ALL_KINDS:
+            app = select_something(manager, kind)
+            mark = manager.create_mark(app)
+            resolutions.append(manager.resolve(mark.mark_id))
+        for resolution in resolutions:
+            assert resolution.document_name
+            assert resolution.address
+            assert resolution.content_text()
+
+    def test_unknown_mark_id(self, manager):
+        with pytest.raises(MarkNotFoundError):
+            manager.resolve("mark-999999")
+
+    def test_deleted_document_fails_resolution(self, manager, library):
+        app = select_something(manager, "pdf")
+        mark = manager.create_mark(app)
+        library.remove("guideline.pdf")
+        with pytest.raises(MarkResolutionError):
+            manager.resolve(mark.mark_id)
+        assert manager.resolvable(mark.mark_id) is False
+
+    def test_deleted_element_fails_resolution(self, manager, library):
+        app = select_something(manager, "xml")
+        mark = manager.create_mark(app)
+        # Remove every panel: the path has nothing left to land on.
+        doc = library.get("labs.xml")
+        for panel in list(doc.root.children):
+            doc.root.remove(panel)
+        with pytest.raises(MarkResolutionError):
+            manager.resolve(mark.mark_id)
+
+    def test_child_index_paths_can_drift_to_siblings(self, manager, library):
+        """A documented limit of child-index addressing: deleting an
+        earlier same-tag sibling shifts the path onto its neighbour
+        (cf. the MVD structural-addressing discussion in Section 5)."""
+        app = select_something(manager, "xml")
+        mark = manager.create_mark(app)  # /labReport[1]/panel[1]/result[2] = K
+        doc = library.get("labs.xml")
+        electrolytes = doc.root.children[0]
+        electrolytes.remove(electrolytes.children[0])  # delete the Na result
+        drifted = manager.resolve(mark.mark_id)
+        assert drifted.content == "103"  # now lands on Cl
+
+    def test_edited_document_resolves_to_new_content(self, manager, library):
+        """Marks are addresses, not copies: base edits show through."""
+        app = select_something(manager, "spreadsheet")
+        mark = manager.create_mark(app)
+        library.get("medications.xls").sheet("Current").set_cell("B2", "80mg")
+        assert manager.resolve(mark.mark_id).content == \
+            [["Lasix", "80mg", "IV", "BID"]]
+
+
+class TestRoles:
+    def test_extractor_does_not_surface(self, manager):
+        app = select_something(manager, "spreadsheet")
+        mark = manager.create_mark(app)
+        app.hide()
+        resolution = manager.resolve(mark.mark_id, role=ROLE_EXTRACTOR)
+        assert resolution.surfaced is False
+        assert not app.in_front
+        assert resolution.content == [["Lasix", "40mg", "IV", "BID"]]
+
+    def test_two_modules_same_mark_type(self, manager):
+        """The Monikers contrast: one inert mark, two resolution ways."""
+        app = select_something(manager, "xml")
+        mark = manager.create_mark(app)
+        viewed = manager.resolve(mark.mark_id)
+        extracted = manager.resolve(mark.mark_id, role=ROLE_EXTRACTOR)
+        assert viewed.content == extracted.content
+        assert viewed.surfaced and not extracted.surfaced
+
+    def test_behavior_extract_content(self, manager):
+        app = select_something(manager, "word")
+        mark = manager.create_mark(app)
+        assert extract_content(manager, mark.mark_id).content == "exacerbation"
+
+    def test_behavior_display_in_place(self, manager):
+        app = select_something(manager, "spreadsheet")
+        mark = manager.create_mark(app)
+        block = display_in_place(manager, mark.mark_id)
+        assert "medications.xls" in block
+        assert "Lasix" in block
+
+    def test_behavior_preview(self, manager, library):
+        app = select_something(manager, "pdf")
+        mark = manager.create_mark(app)
+        assert preview(manager, mark.mark_id) == "20 mEq KCl IV"
+        library.remove("guideline.pdf")
+        assert preview(manager, mark.mark_id) is None
+
+
+class TestManagement:
+    def test_supported_types_lists_all(self, manager):
+        # Mark-type tags (the spreadsheet app's mark type is 'excel').
+        assert set(manager.supported_mark_types()) == \
+            {"excel", "xml", "pdf", "html", "word", "slides"}
+
+    def test_remove_mark(self, manager):
+        app = select_something(manager, "xml")
+        mark = manager.create_mark(app)
+        manager.remove(mark.mark_id)
+        assert mark.mark_id not in manager
+        with pytest.raises(MarkNotFoundError):
+            manager.remove(mark.mark_id)
+
+    def test_duplicate_application_rejected(self, manager, library):
+        with pytest.raises(MarkError):
+            manager.register_application(SpreadsheetApp(library))
+
+    def test_adopt_external_mark(self, manager):
+        from repro.base.spreadsheet.marks import ExcelMark
+        external = ExcelMark("mark-000500", file_name="medications.xls",
+                             sheet_name="Current", range="A3:D3")
+        manager.adopt(external)
+        assert manager.resolve("mark-000500").content == \
+            [["Captopril", "25mg", "PO", "TID"]]
+        # Ids observed: no collision with the adopted id range.
+        app = select_something(manager, "spreadsheet")
+        assert manager.create_mark(app).mark_id == "mark-000501"
+
+    def test_save_load_round_trip(self, manager, library, tmp_path):
+        for kind in ALL_KINDS:
+            manager.create_mark(select_something(manager, kind))
+        path = str(tmp_path / "marks.xml")
+        manager.save(path)
+
+        from repro.base import standard_mark_manager
+        fresh = standard_mark_manager(library)
+        count = fresh.load(path)
+        assert count == len(ALL_KINDS)
+        assert [m.mark_id for m in fresh.marks()] == \
+            [m.mark_id for m in manager.marks()]
+        # Every reloaded mark still resolves.
+        for mark in fresh.marks():
+            assert fresh.resolvable(mark.mark_id)

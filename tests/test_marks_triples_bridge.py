@@ -1,0 +1,89 @@
+"""Tests for storing marks in the superimposed layer as triples."""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.errors import MarkError
+from repro.marks.triples_bridge import (MARK_ID, mark_records,
+                                        marks_from_triples, marks_to_triples)
+from repro.triples.triple import Literal, Resource
+from repro.triples.trim import TrimManager
+
+from tests.test_marks_manager import ALL_KINDS, select_something
+
+
+@pytest.fixture
+def populated_manager(manager):
+    for kind in ALL_KINDS:
+        manager.create_mark(select_something(manager, kind))
+    return manager
+
+
+class TestBridge:
+    def test_round_trip_all_types(self, populated_manager, library):
+        trim = TrimManager()
+        written = marks_to_triples(populated_manager, trim)
+        assert written == len(ALL_KINDS)
+
+        from repro.base import standard_mark_manager
+        fresh = standard_mark_manager(library)
+        adopted = marks_from_triples(fresh, trim)
+        assert adopted == written
+        assert {m.mark_id for m in fresh.marks()} == \
+            {m.mark_id for m in populated_manager.marks()}
+        for mark in fresh.marks():
+            assert fresh.resolvable(mark.mark_id)
+
+    def test_field_types_preserved(self, populated_manager, library):
+        trim = TrimManager()
+        marks_to_triples(populated_manager, trim)
+        fresh = standard_mark_manager(library)
+        marks_from_triples(fresh, trim)
+        original = {m.mark_id: m for m in populated_manager.marks()}
+        for mark in fresh.marks():
+            assert mark == original[mark.mark_id]
+
+    def test_rewrite_replaces_old_records(self, populated_manager):
+        trim = TrimManager()
+        marks_to_triples(populated_manager, trim)
+        first_count = len(trim.store)
+        marks_to_triples(populated_manager, trim)  # again
+        assert len(mark_records(trim)) == len(ALL_KINDS)
+        assert len(trim.store) == first_count
+
+    def test_marks_and_pad_share_one_store(self, populated_manager, tmp_path,
+                                           library):
+        """One persisted store carries both the pad and its marks."""
+        from repro.slimpad.app import SlimPadApplication
+        slimpad = SlimPadApplication(populated_manager)
+        slimpad.new_pad("Rounds")
+        trim = slimpad.dmi.runtime.trim
+        marks_to_triples(populated_manager, trim)
+        path = str(tmp_path / "everything.xml")
+        trim.save(path)
+
+        fresh_trim = TrimManager()
+        fresh_trim.load(path)
+        fresh_manager = standard_mark_manager(library)
+        assert marks_from_triples(fresh_manager, fresh_trim) == len(ALL_KINDS)
+        # The pad data survived alongside.
+        assert fresh_trim.store.literal_of(
+            Resource(slimpad.pad.id),
+            Resource("slim:BundleScrap.SlimPad.padName")) == "Rounds"
+
+    def test_incomplete_record_rejected(self, library):
+        trim = TrimManager()
+        bad = trim.new_resource("markrec")
+        trim.create(bad, "rdf:type", Resource("slim:Mark"))
+        trim.create(bad, MARK_ID, "mark-000001")  # no markType
+        manager = standard_mark_manager(library)
+        with pytest.raises(MarkError):
+            marks_from_triples(manager, trim)
+
+    def test_queries_see_mark_records(self, populated_manager):
+        """TRIM selection works over mark records like any triples."""
+        trim = TrimManager()
+        marks_to_triples(populated_manager, trim)
+        excel_records = trim.select(prop=Resource("slim:markType"),
+                                    value=Literal("excel"))
+        assert len(excel_records) == 1

@@ -1,0 +1,172 @@
+"""Tests for model-level definitions (constructs, connectors, generalization)."""
+
+import pytest
+
+from repro.errors import ModelError, UnknownConstructError
+from repro.metamodel import vocabulary as v
+from repro.metamodel.model import ModelDefinition, list_models
+from repro.triples.trim import TrimManager
+
+
+@pytest.fixture
+def trim():
+    return TrimManager()
+
+
+@pytest.fixture
+def model(trim):
+    return ModelDefinition.define(trim, "BundleScrap")
+
+
+class TestModelDefinition:
+    def test_define_creates_typed_named_resource(self, trim, model):
+        assert trim.store.value_of(model.resource, v.TYPE) == v.MODEL
+        assert trim.store.literal_of(model.resource, v.NAME) == "BundleScrap"
+
+    def test_attach_round_trip(self, trim, model):
+        again = ModelDefinition.attach(trim, model.resource)
+        assert again.name == "BundleScrap"
+
+    def test_attach_rejects_non_model(self, trim):
+        r = trim.new_resource("x")
+        trim.create(r, v.NAME, "imposter")
+        with pytest.raises(ModelError):
+            ModelDefinition.attach(trim, r)
+
+    def test_list_models(self, trim, model):
+        ModelDefinition.define(trim, "Annotation")
+        assert sorted(m.name for m in list_models(trim)) == \
+            ["Annotation", "BundleScrap"]
+
+
+class TestConstructs:
+    def test_add_and_find_construct(self, model):
+        bundle = model.add_construct("Bundle")
+        assert bundle.name == "Bundle"
+        assert not bundle.is_literal and not bundle.is_mark
+        assert model.construct("Bundle") == bundle
+
+    def test_literal_construct_carries_type(self, model):
+        name = model.add_literal_construct("bundleName", "string")
+        assert name.is_literal
+        assert model.literal_type_of(name) == "string"
+
+    def test_literal_construct_default_type(self, model):
+        handle = model.add_literal_construct("label")
+        assert model.literal_type_of(handle) == "string"
+
+    def test_bad_literal_type_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_literal_construct("x", "date")
+
+    def test_mark_construct(self, model):
+        mh = model.add_mark_construct("MarkHandle")
+        assert mh.is_mark
+
+    def test_duplicate_construct_name_rejected(self, model):
+        model.add_construct("Bundle")
+        with pytest.raises(ModelError):
+            model.add_construct("Bundle")
+        with pytest.raises(ModelError):
+            model.add_literal_construct("Bundle")
+
+    def test_unknown_construct_lookup_raises(self, model):
+        assert model.find_construct("ghost") is None
+        with pytest.raises(UnknownConstructError):
+            model.construct("ghost")
+
+    def test_constructs_lists_all_kinds(self, model):
+        model.add_construct("Bundle")
+        model.add_literal_construct("bundleName")
+        model.add_mark_construct("MarkHandle")
+        kinds = {c.name: c.kind for c in model.constructs()}
+        assert kinds == {
+            "Bundle": v.CONSTRUCT,
+            "bundleName": v.LITERAL_CONSTRUCT,
+            "MarkHandle": v.MARK_CONSTRUCT,
+        }
+
+    def test_models_are_isolated(self, trim, model):
+        other = ModelDefinition.define(trim, "Other")
+        model.add_construct("Bundle")
+        assert other.constructs() == []
+
+
+class TestConnectors:
+    def test_add_and_inspect_connector(self, model):
+        bundle = model.add_construct("Bundle")
+        scrap = model.add_construct("Scrap")
+        contents = model.add_connector("bundleContent", bundle, scrap,
+                                       min_card=0, max_card=None)
+        assert contents.source == bundle.resource
+        assert contents.target == scrap.resource
+        assert contents.min_card == 0
+        assert contents.max_card is None
+        assert model.connector("bundleContent") == contents
+
+    def test_bounded_cardinality_round_trip(self, model):
+        a = model.add_construct("A")
+        conn = model.add_connector("self", a, a, min_card=1, max_card=1)
+        found = model.connector("self")
+        assert (found.min_card, found.max_card) == (1, 1)
+
+    def test_invalid_cardinalities_rejected(self, model):
+        a = model.add_construct("A")
+        with pytest.raises(ModelError):
+            model.add_connector("bad", a, a, min_card=-1)
+        with pytest.raises(ModelError):
+            model.add_connector("bad", a, a, min_card=2, max_card=1)
+
+    def test_cross_model_endpoints_rejected(self, trim, model):
+        other = ModelDefinition.define(trim, "Other")
+        mine = model.add_construct("A")
+        theirs = other.add_construct("B")
+        with pytest.raises(ModelError):
+            model.add_connector("bad", mine, theirs)
+
+    def test_unknown_connector_lookup(self, model):
+        assert model.find_connector("ghost") is None
+        with pytest.raises(UnknownConstructError):
+            model.connector("ghost")
+
+
+class TestGeneralization:
+    def test_supers_and_kind_of(self, model):
+        mark = model.add_mark_construct("Mark")
+        excel = model.add_mark_construct("ExcelMark")
+        xml = model.add_mark_construct("XMLMark")
+        model.add_generalization(excel, mark)
+        model.add_generalization(xml, mark)
+        assert model.supers_of(excel) == [mark]
+        assert model.is_kind_of(excel, mark)
+        assert model.is_kind_of(xml, mark)
+        assert not model.is_kind_of(mark, excel)
+        assert model.is_kind_of(mark, mark)
+
+    def test_transitive_supers(self, model):
+        a = model.add_construct("A")
+        b = model.add_construct("B")
+        c = model.add_construct("C")
+        model.add_generalization(a, b)
+        model.add_generalization(b, c)
+        assert [s.name for s in model.all_supers_of(a)] == ["B", "C"]
+        assert model.is_kind_of(a, c)
+
+    def test_self_specialization_rejected(self, model):
+        a = model.add_construct("A")
+        with pytest.raises(ModelError):
+            model.add_generalization(a, a)
+
+    def test_cycle_rejected(self, model):
+        a = model.add_construct("A")
+        b = model.add_construct("B")
+        model.add_generalization(a, b)
+        with pytest.raises(ModelError):
+            model.add_generalization(b, a)
+
+    def test_long_cycle_rejected(self, model):
+        a, b, c = (model.add_construct(n) for n in "ABC")
+        model.add_generalization(a, b)
+        model.add_generalization(b, c)
+        with pytest.raises(ModelError):
+            model.add_generalization(c, a)

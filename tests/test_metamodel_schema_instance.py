@@ -1,0 +1,176 @@
+"""Tests for schema and instance levels, including schema-later entry."""
+
+import pytest
+
+from repro.errors import ModelError, UnknownConstructError
+from repro.metamodel import vocabulary as v
+from repro.metamodel.instance import InstanceSpace
+from repro.metamodel.model import ModelDefinition
+from repro.metamodel.schema import SchemaDefinition, list_schemas
+from repro.triples.triple import Resource
+from repro.triples.trim import TrimManager
+
+
+@pytest.fixture
+def trim():
+    return TrimManager()
+
+
+@pytest.fixture
+def model(trim):
+    m = ModelDefinition.define(trim, "BundleScrap")
+    bundle = m.add_construct("Bundle")
+    scrap = m.add_construct("Scrap")
+    m.add_literal_construct("bundleName", "string")
+    m.add_connector("bundleContent", bundle, scrap)
+    return m
+
+
+@pytest.fixture
+def schema(trim, model):
+    s = SchemaDefinition.define(trim, "Rounds", model=model)
+    s.add_element("PatientBundle", conforms_to=model.construct("Bundle"))
+    s.add_element("LabScrap", conforms_to=model.construct("Scrap"))
+    return s
+
+
+class TestSchemaDefinition:
+    def test_define_with_model(self, trim, schema, model):
+        assert schema.model_resource() == model.resource
+        assert trim.store.literal_of(schema.resource, v.NAME) == "Rounds"
+
+    def test_define_without_model_then_attach(self, trim, model):
+        s = SchemaDefinition.define(trim, "Later")
+        assert s.model_resource() is None
+        s.set_model(model)
+        assert s.model_resource() == model.resource
+
+    def test_attach_round_trip(self, trim, schema):
+        again = SchemaDefinition.attach(trim, schema.resource)
+        assert again.name == "Rounds"
+
+    def test_attach_rejects_non_schema(self, trim):
+        r = trim.new_resource("x")
+        with pytest.raises(ModelError):
+            SchemaDefinition.attach(trim, r)
+
+    def test_list_schemas(self, trim, schema):
+        SchemaDefinition.define(trim, "Other")
+        assert sorted(s.name for s in list_schemas(trim)) == ["Other", "Rounds"]
+
+    def test_elements_and_lookup(self, schema):
+        names = {e.name for e in schema.elements()}
+        assert names == {"PatientBundle", "LabScrap"}
+        assert schema.element("LabScrap").name == "LabScrap"
+        assert schema.find_element("ghost") is None
+        with pytest.raises(UnknownConstructError):
+            schema.element("ghost")
+
+    def test_duplicate_element_rejected(self, schema):
+        with pytest.raises(ModelError):
+            schema.add_element("LabScrap")
+
+    def test_element_conformance_later(self, trim, model):
+        s = SchemaDefinition.define(trim, "Later")
+        element = s.add_element("Anything")
+        assert element.conforms_to is None
+        updated = s.declare_conformance(element, model.construct("Bundle"))
+        assert updated.conforms_to == model.construct("Bundle").resource
+        # And visible on a fresh read:
+        assert s.element("Anything").conforms_to == \
+            model.construct("Bundle").resource
+
+    def test_declare_conformance_replaces(self, trim, model, schema):
+        element = schema.element("LabScrap")
+        schema.declare_conformance(element, model.construct("Bundle"))
+        assert schema.element("LabScrap").conforms_to == \
+            model.construct("Bundle").resource
+        # Exactly one conformance triple remains.
+        assert len(trim.select(subject=element.resource,
+                               prop=v.CONFORMS_TO)) == 1
+
+
+class TestInstanceSpace:
+    def test_create_with_and_without_conformance(self, trim, schema):
+        space = InstanceSpace(trim)
+        bound = space.create(conforms_to=schema.element("PatientBundle"))
+        free = space.create()
+        assert space.conformance_of(bound) == \
+            schema.element("PatientBundle").resource
+        assert space.conformance_of(free) is None
+
+    def test_schema_later_conformance(self, trim, schema):
+        space = InstanceSpace(trim)
+        inst = space.create()
+        space.set_value(inst, Resource("slim:bundleName"), "John Smith")
+        # Data first, meaning later:
+        space.declare_conformance(inst, schema.element("PatientBundle"))
+        assert space.conformance_of(inst) == \
+            schema.element("PatientBundle").resource
+        assert space.value(inst, Resource("slim:bundleName")) == "John Smith"
+
+    def test_set_value_replaces(self, trim):
+        space = InstanceSpace(trim)
+        inst = space.create()
+        key = Resource("slim:bundleName")
+        space.set_value(inst, key, "a")
+        space.set_value(inst, key, "b")
+        assert space.values(inst, key) == ["b"]
+
+    def test_add_value_accumulates(self, trim):
+        space = InstanceSpace(trim)
+        inst = space.create()
+        key = Resource("slim:note")
+        space.add_value(inst, key, "one")
+        space.add_value(inst, key, "two")
+        assert space.values(inst, key) == ["one", "two"]
+
+    def test_link_unlink_and_reverse(self, trim):
+        space = InstanceSpace(trim)
+        a, b = space.create(), space.create()
+        key = Resource("slim:bundleContent")
+        space.link(a, key, b)
+        assert [h.id for h in space.linked(a, key)] == [b.id]
+        assert [h.id for h in space.linking(b, key)] == [a.id]
+        assert space.unlink(a, key, b) is True
+        assert space.unlink(a, key, b) is False
+        assert space.linked(a, key) == []
+
+    def test_delete_removes_own_and_incoming(self, trim):
+        space = InstanceSpace(trim)
+        a, b = space.create(), space.create()
+        key = Resource("slim:bundleContent")
+        space.link(a, key, b)
+        space.set_value(b, Resource("slim:scrapName"), "K+")
+        removed = space.delete(b)
+        assert removed >= 3  # type triple + value + incoming link
+        assert space.linked(a, key) == []
+        assert b.resource not in [h.resource for h in space.all_instances()]
+
+    def test_mark_id_round_trip(self, trim):
+        space = InstanceSpace(trim)
+        inst = space.create()
+        assert space.mark_id(inst) is None
+        space.set_mark_id(inst, "mark-000007")
+        assert space.mark_id(inst) == "mark-000007"
+        space.set_mark_id(inst, "mark-000008")  # replaces
+        assert space.mark_id(inst) == "mark-000008"
+
+    def test_empty_mark_id_rejected(self, trim):
+        space = InstanceSpace(trim)
+        inst = space.create()
+        with pytest.raises(ModelError):
+            space.set_mark_id(inst, "")
+
+    def test_instances_of_element(self, trim, schema):
+        space = InstanceSpace(trim)
+        element = schema.element("LabScrap")
+        created = [space.create(conforms_to=element) for _ in range(3)]
+        space.create()  # free instance, not counted
+        found = space.instances_of(element)
+        assert [h.id for h in found] == [h.id for h in created]
+
+    def test_all_instances_in_creation_order(self, trim):
+        space = InstanceSpace(trim)
+        created = [space.create() for _ in range(4)]
+        assert [h.id for h in space.all_instances()] == [h.id for h in created]

@@ -1,0 +1,309 @@
+"""Tests for conformance checking, mappings, and the RDFS rendering."""
+
+import pytest
+
+from repro.errors import ConformanceError, MappingError
+from repro.metamodel import vocabulary as v
+from repro.metamodel.instance import InstanceSpace
+from repro.metamodel.mapping import (ModelMapping, SchemaMapping,
+                                     SchemaToModelMapping)
+from repro.metamodel.model import ModelDefinition
+from repro.metamodel.rdfs import metamodel_as_rdfs, model_as_rdfs
+from repro.metamodel.schema import SchemaDefinition
+from repro.metamodel.validation import ConformanceChecker
+from repro.triples.store import TripleStore
+from repro.triples.triple import Resource
+from repro.triples.trim import TrimManager
+
+
+@pytest.fixture
+def trim():
+    return TrimManager()
+
+
+@pytest.fixture
+def world(trim):
+    """Model + schema + space for the Bundle-Scrap shape used throughout."""
+    model = ModelDefinition.define(trim, "BundleScrap")
+    bundle = model.add_construct("Bundle")
+    scrap = model.add_construct("Scrap")
+    mark = model.add_mark_construct("MarkHandle")
+    name = model.add_literal_construct("bundleName", "string")
+    width = model.add_literal_construct("bundleWidth", "float")
+    model.add_connector("bundleContent", bundle, scrap,
+                        min_card=0, max_card=None)
+    model.add_connector("scrapMark", scrap, mark, min_card=1, max_card=1)
+    schema = SchemaDefinition.define(trim, "Rounds", model=model)
+    schema.add_element("PatientBundle", conforms_to=bundle)
+    schema.add_element("LabScrap", conforms_to=scrap)
+    schema.add_element("LabMark", conforms_to=mark)
+    space = InstanceSpace(trim)
+    return model, schema, space
+
+
+def make_valid_scrap(trim, world):
+    model, schema, space = world
+    scrap = space.create(conforms_to=schema.element("LabScrap"))
+    handle = space.create(conforms_to=schema.element("LabMark"))
+    space.set_mark_id(handle, "mark-000001")
+    space.link(scrap, model.connector("scrapMark").resource, handle)
+    return scrap, handle
+
+
+class TestConformanceChecker:
+    def test_valid_world_passes(self, trim, world):
+        model, schema, space = world
+        bundle = space.create(conforms_to=schema.element("PatientBundle"))
+        space.set_value(bundle, model.construct("bundleName").resource, "John")
+        space.set_value(bundle, model.construct("bundleWidth").resource, 120.0)
+        scrap, _ = make_valid_scrap(trim, world)
+        space.link(bundle, model.connector("bundleContent").resource, scrap)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert report.ok, [str(x) for x in report.violations]
+        assert report.checked_instances == 3
+        report.raise_if_failed()  # no-op
+
+    def test_literal_type_violation(self, trim, world):
+        model, schema, space = world
+        bundle = space.create(conforms_to=schema.element("PatientBundle"))
+        space.set_value(bundle, model.construct("bundleName").resource, 42)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert any(x.code == "literal-type" for x in report.violations)
+        with pytest.raises(ConformanceError):
+            report.raise_if_failed()
+
+    def test_bool_is_not_integer(self, trim, world):
+        model, schema, space = world
+        intish = model.add_literal_construct("count", "integer")
+        schema_el = schema.element("PatientBundle")
+        bundle = space.create(conforms_to=schema_el)
+        space.set_value(bundle, intish.resource, True)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert any(x.code == "literal-type" for x in report.violations)
+
+    def test_literal_construct_holding_resource_flagged(self, trim, world):
+        model, schema, space = world
+        bundle = space.create(conforms_to=schema.element("PatientBundle"))
+        other = space.create(conforms_to=schema.element("LabScrap"))
+        space.link(bundle, model.construct("bundleName").resource, other)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert any(x.code == "literal-type" for x in report.violations)
+
+    def test_min_cardinality_violation(self, trim, world):
+        model, schema, space = world
+        # A scrap without its mandatory mark (scrapMark is 1..1).
+        space.create(conforms_to=schema.element("LabScrap"))
+        report = ConformanceChecker(trim, schema, model).check()
+        assert any(x.code == "cardinality-min" for x in report.violations)
+
+    def test_max_cardinality_violation(self, trim, world):
+        model, schema, space = world
+        scrap, handle = make_valid_scrap(trim, world)
+        extra = space.create(conforms_to=schema.element("LabMark"))
+        space.set_mark_id(extra, "mark-000002")
+        space.link(scrap, model.connector("scrapMark").resource, extra)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert any(x.code == "cardinality-max" for x in report.violations)
+
+    def test_target_conformance_violation(self, trim, world):
+        model, schema, space = world
+        bundle = space.create(conforms_to=schema.element("PatientBundle"))
+        not_a_scrap = space.create(conforms_to=schema.element("PatientBundle"))
+        space.link(bundle, model.connector("bundleContent").resource, not_a_scrap)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert any(x.code == "target-conformance" for x in report.violations)
+
+    def test_missing_mark_id_violation(self, trim, world):
+        model, schema, space = world
+        space.create(conforms_to=schema.element("LabMark"))
+        report = ConformanceChecker(trim, schema, model).check()
+        assert any(x.code == "missing-mark-id" for x in report.violations)
+
+    def test_schema_later_adhoc_properties_allowed_by_default(self, trim, world):
+        model, schema, space = world
+        bundle = space.create(conforms_to=schema.element("PatientBundle"))
+        space.set_value(bundle, Resource("adhoc:color"), "yellow")
+        report = ConformanceChecker(trim, schema, model).check()
+        assert report.ok
+
+    def test_strict_mode_flags_adhoc_properties(self, trim, world):
+        model, schema, space = world
+        bundle = space.create(conforms_to=schema.element("PatientBundle"))
+        space.set_value(bundle, Resource("adhoc:color"), "yellow")
+        report = ConformanceChecker(trim, schema, model, strict=True).check()
+        assert any(x.code == "adhoc-property" for x in report.violations)
+
+    def test_dangling_element_conformance(self, trim, world):
+        model, schema, space = world
+        orphan_element = schema.add_element("Orphan")  # conforms to nothing
+        space.create(conforms_to=orphan_element)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert any(x.code == "dangling-conformance" for x in report.violations)
+
+    def test_generalization_satisfies_endpoints(self, trim):
+        # sub-construct instances are accepted where the super is expected
+        model = ModelDefinition.define(trim, "G")
+        node = model.add_construct("Node")
+        special = model.add_construct("SpecialNode")
+        model.add_generalization(special, node)
+        model.add_connector("next", node, node)
+        schema = SchemaDefinition.define(trim, "S", model=model)
+        schema.add_element("N", conforms_to=node)
+        schema.add_element("SN", conforms_to=special)
+        space = InstanceSpace(trim)
+        a = space.create(conforms_to=schema.element("SN"))
+        b = space.create(conforms_to=schema.element("SN"))
+        space.link(a, model.connector("next").resource, b)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert report.ok, [str(x) for x in report.violations]
+
+
+class TestMappings:
+    def make_two_models(self, trim):
+        src = ModelDefinition.define(trim, "BundleScrap")
+        s_bundle = src.add_construct("Bundle")
+        s_scrap = src.add_construct("Scrap")
+        src.add_literal_construct("bundleName")
+        src.add_connector("bundleContent", s_bundle, s_scrap)
+        dst = ModelDefinition.define(trim, "TopicMap")
+        d_topic = dst.add_construct("Topic")
+        d_occ = dst.add_construct("Occurrence")
+        dst.add_literal_construct("topicName")
+        dst.add_connector("occurrenceOf", d_topic, d_occ)
+        return src, dst
+
+    def test_model_mapping_rules_and_coverage(self, trim):
+        src, dst = self.make_two_models(trim)
+        mapping = ModelMapping(trim, src, dst)
+        mapping.map_construct("Bundle", "Topic")
+        mapping.map_connector("bundleContent", "occurrenceOf")
+        assert mapping.translate(src.construct("Bundle").resource) == \
+            dst.construct("Topic").resource
+        assert "Scrap" in mapping.missing_constructs()
+        assert "Bundle" not in mapping.missing_constructs()
+
+    def test_conflicting_rule_rejected(self, trim):
+        src, dst = self.make_two_models(trim)
+        mapping = ModelMapping(trim, src, dst)
+        mapping.map_construct("Bundle", "Topic")
+        with pytest.raises(MappingError):
+            mapping.map_construct("Bundle", "Occurrence")
+
+    def test_idempotent_rule_ok(self, trim):
+        src, dst = self.make_two_models(trim)
+        mapping = ModelMapping(trim, src, dst)
+        mapping.map_construct("Bundle", "Topic")
+        mapping.map_construct("Bundle", "Topic")  # same again: fine
+
+    def test_schema_mapping_moves_instances(self, trim):
+        src, dst = self.make_two_models(trim)
+        src_schema = SchemaDefinition.define(trim, "SrcS", model=src)
+        src_schema.add_element("PatientBundle",
+                               conforms_to=src.construct("Bundle"))
+        src_schema.add_element("LabScrap", conforms_to=src.construct("Scrap"))
+        dst_schema = SchemaDefinition.define(trim, "DstS", model=dst)
+        dst_schema.add_element("PatientTopic",
+                               conforms_to=dst.construct("Topic"))
+        dst_schema.add_element("LabOccurrence",
+                               conforms_to=dst.construct("Occurrence"))
+
+        model_mapping = ModelMapping(trim, src, dst)
+        model_mapping.map_construct("Bundle", "Topic")
+        model_mapping.map_construct("Scrap", "Occurrence")
+        model_mapping.map_construct("bundleName", "topicName")
+        model_mapping.map_connector("bundleContent", "occurrenceOf")
+
+        mapping = SchemaMapping(trim, src_schema, dst_schema, model_mapping)
+        mapping.map_element("PatientBundle", "PatientTopic")
+        mapping.map_element("LabScrap", "LabOccurrence")
+
+        space = InstanceSpace(trim)
+        bundle = space.create(conforms_to=src_schema.element("PatientBundle"))
+        scrap = space.create(conforms_to=src_schema.element("LabScrap"))
+        space.set_value(bundle, src.construct("bundleName").resource, "John")
+        space.link(bundle, src.connector("bundleContent").resource, scrap)
+
+        target = TripleStore()
+        report = mapping.apply(target_store=target)
+        assert report.complete, report.unmapped
+        assert report.rewritten > 0
+        # The rewritten data speaks the target vocabulary:
+        assert target.value_of(bundle.resource, v.CONFORMS_TO) == \
+            dst_schema.element("PatientTopic").resource
+        assert target.literal_of(bundle.resource,
+                                 dst.construct("topicName").resource) == "John"
+        assert target.value_of(bundle.resource,
+                               dst.connector("occurrenceOf").resource) == \
+            scrap.resource
+        # Source data untouched:
+        assert trim.store.value_of(bundle.resource, v.CONFORMS_TO) == \
+            src_schema.element("PatientBundle").resource
+
+    def test_incomplete_mapping_reported_and_strict_raises(self, trim):
+        src, dst = self.make_two_models(trim)
+        src_schema = SchemaDefinition.define(trim, "SrcS", model=src)
+        src_schema.add_element("PatientBundle",
+                               conforms_to=src.construct("Bundle"))
+        dst_schema = SchemaDefinition.define(trim, "DstS", model=dst)
+        mapping = SchemaMapping(trim, src_schema, dst_schema)
+        space = InstanceSpace(trim)
+        bundle = space.create(conforms_to=src_schema.element("PatientBundle"))
+        space.set_value(bundle, src.construct("bundleName").resource, "x")
+
+        report = mapping.apply(target_store=TripleStore())
+        assert not report.complete
+        with pytest.raises(MappingError):
+            mapping.apply(target_store=TripleStore(), strict=True)
+
+    def test_schema_to_model_mapping(self, trim):
+        src, dst = self.make_two_models(trim)
+        src_schema = SchemaDefinition.define(trim, "SrcS", model=src)
+        src_schema.add_element("PatientBundle",
+                               conforms_to=src.construct("Bundle"))
+        mapping = SchemaToModelMapping(trim, src_schema, dst)
+        mapping.map_element_to_construct("PatientBundle", "Topic")
+        space = InstanceSpace(trim)
+        bundle = space.create(conforms_to=src_schema.element("PatientBundle"))
+        target = TripleStore()
+        mapping.apply(target_store=target)
+        # The instance is promoted to conform directly to the construct.
+        assert target.value_of(bundle.resource, v.CONFORMS_TO) == \
+            dst.construct("Topic").resource
+
+
+class TestRdfsRendering:
+    def test_metamodel_hierarchy(self):
+        store = metamodel_as_rdfs()
+        assert store.one(subject=v.LITERAL_CONSTRUCT,
+                         property=v.RDFS_SUBCLASS_OF, value=v.CONSTRUCT)
+        assert store.one(subject=v.CONFORMANCE_CONNECTOR,
+                         property=v.RDFS_SUBCLASS_OF, value=v.CONNECTOR)
+
+    def test_model_rendering(self, trim):
+        model = ModelDefinition.define(trim, "BundleScrap")
+        bundle = model.add_construct("Bundle")
+        scrap = model.add_construct("Scrap")
+        name = model.add_literal_construct("bundleName")
+        special = model.add_construct("SpecialBundle")
+        model.add_generalization(special, bundle)
+        contents = model.add_connector("bundleContent", bundle, scrap)
+
+        store = model_as_rdfs(model)
+        assert store.one(subject=bundle.resource, property=v.TYPE,
+                         value=v.RDFS_CLASS)
+        assert store.one(subject=name.resource, property=v.RDFS_RANGE,
+                         value=v.RDFS_LITERAL)
+        assert store.one(subject=contents.resource, property=v.RDFS_DOMAIN,
+                         value=bundle.resource)
+        assert store.one(subject=contents.resource, property=v.RDFS_RANGE,
+                         value=scrap.resource)
+        assert store.one(subject=special.resource,
+                         property=v.RDFS_SUBCLASS_OF, value=bundle.resource)
+
+    def test_rendering_is_serializable(self, trim):
+        from repro.triples import persistence
+        model = ModelDefinition.define(trim, "M")
+        model.add_construct("A")
+        store = model_as_rdfs(model)
+        loaded = persistence.loads(persistence.dumps(store))
+        assert set(loaded) == set(store)

@@ -1,0 +1,234 @@
+"""Property-based and fuzz tests across subsystem boundaries.
+
+These push arbitrary inputs through the parsers, serializers, and the DMI
+runtime, checking the invariants that hold for *any* input — the HTML
+parser never raises, serialization round trips are identity, the DMI's
+triple count tracks a shadow model exactly.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.base.html.parser import parse_html
+from repro.base.spreadsheet.workbook import (CellRange, Worksheet,
+                                             format_cell_ref)
+from repro.base.xmldoc.dom import parse_xml
+from repro.base.xmldoc.xpath import path_of, resolve_path
+from repro.dmi.runtime import DmiRuntime
+from repro.dmi.spec import AttrSpec, EntitySpec, ModelSpec, RefSpec
+from repro.errors import ParseError, ReproError
+from repro.marks.registry import MarkTypeRegistry
+from repro.base.html.marks import HTMLMark
+from repro.base.pdf.marks import PDFMark
+from repro.base.spreadsheet.marks import ExcelMark
+
+# -- HTML parser: total over arbitrary input -----------------------------------
+
+
+class TestHtmlParserTotality:
+    @given(st.text(max_size=300))
+    @settings(max_examples=200)
+    def test_never_raises_on_arbitrary_text(self, soup):
+        root = parse_html(soup)
+        assert root.tag == "html"
+
+    @given(st.text(alphabet="<>/ab c='\"&;!-", max_size=120))
+    @settings(max_examples=200)
+    def test_never_raises_on_markupish_soup(self, soup):
+        root = parse_html(soup)
+        # Every node reachable, every path resolvable.
+        for element in root.iter():
+            assert resolve_path(root, path_of(element)) is element
+
+    @given(st.lists(st.sampled_from(
+        ["<div>", "</div>", "<p>", "</p>", "<br>", "text",
+         "<li>", "</li>", "<ul>", "</ul>", "<span class='x'>", "</span>"]),
+        max_size=30))
+    def test_structured_soup_keeps_tree_invariants(self, pieces):
+        root = parse_html("".join(pieces))
+        for element in root.iter():
+            for child in element.children:
+                assert child.parent is element
+
+
+# -- XML parser: rejects garbage, round-trips what it accepts ---------------------
+
+_tag_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_texts = st.text(alphabet=string.ascii_letters + " ", max_size=12)
+
+
+@st.composite
+def xml_documents(draw, depth=0):
+    tag = draw(_tag_names)
+    if depth >= 3:
+        return f"<{tag}>{draw(_texts)}</{tag}>"
+    children = draw(st.lists(xml_documents(depth=depth + 1), max_size=3))
+    body = draw(_texts) + "".join(children)
+    return f"<{tag}>{body}</{tag}>"
+
+
+class TestXmlParserProperties:
+    @given(xml_documents())
+    @settings(max_examples=100)
+    def test_generated_documents_parse(self, source):
+        root = parse_xml(source)
+        for element in root.iter():
+            assert resolve_path(root, path_of(element)) is element
+
+    @given(st.text(max_size=60).filter(lambda s: not s.strip().startswith("<")))
+    def test_non_xml_rejected(self, garbage):
+        with pytest.raises(ParseError):
+            parse_xml(garbage)
+
+
+# -- Spreadsheet ranges -------------------------------------------------------------
+
+
+class TestRangeProperties:
+    @given(st.integers(1, 400), st.integers(1, 60),
+           st.integers(1, 400), st.integers(1, 60))
+    def test_parse_format_round_trip(self, r1, c1, r2, c2):
+        text = f"{format_cell_ref(r1, c1)}:{format_cell_ref(r2, c2)}"
+        parsed = CellRange.parse(text)
+        assert CellRange.parse(str(parsed)) == parsed
+        assert parsed.top <= parsed.bottom and parsed.left <= parsed.right
+
+    @given(st.integers(1, 30), st.integers(1, 30),
+           st.integers(1, 30), st.integers(1, 30))
+    def test_cells_count_matches_dimensions(self, r1, c1, r2, c2):
+        parsed = CellRange.parse(
+            f"{format_cell_ref(r1, c1)}:{format_cell_ref(r2, c2)}")
+        assert len(list(parsed.cells())) == parsed.height * parsed.width
+
+    @given(st.dictionaries(
+        st.tuples(st.integers(1, 20), st.integers(1, 20)),
+        st.integers(-99, 99), max_size=25))
+    def test_used_range_covers_every_cell(self, cells):
+        sheet = Worksheet("S")
+        for (row, col), value in cells.items():
+            sheet.set_cell(format_cell_ref(row, col), value)
+        used = sheet.used_range()
+        if not cells:
+            assert used is None
+        else:
+            for row, col in cells:
+                assert used.contains(row, col)
+
+
+# -- Mark serialization --------------------------------------------------------------
+
+_safe_names = st.text(alphabet=string.ascii_letters + string.digits + "._-/",
+                      min_size=1, max_size=20)
+
+
+class TestMarkSerializationProperties:
+    @given(_safe_names, _safe_names, st.integers(1, 99), st.integers(1, 99))
+    def test_excel_marks_round_trip(self, file_name, sheet, row, col):
+        registry = MarkTypeRegistry()
+        registry.register(ExcelMark)
+        mark = ExcelMark("mark-000001", file_name=file_name,
+                         sheet_name=sheet, range=format_cell_ref(row, col))
+        assert registry.loads(registry.dumps([mark])) == [mark]
+
+    @given(_safe_names, st.integers(1, 99), st.integers(1, 99),
+           st.integers(0, 99), st.integers(1, 99), st.integers(0, 99))
+    def test_pdf_marks_round_trip(self, name, page, l1, c1, l2, c2):
+        registry = MarkTypeRegistry()
+        registry.register(PDFMark)
+        mark = PDFMark("mark-000001", file_name=name, page=page,
+                       start_line=l1, start_col=c1, end_line=l2, end_col=c2)
+        assert registry.loads(registry.dumps([mark])) == [mark]
+
+    @given(st.text(max_size=30), st.booleans(),
+           st.integers(0, 500), st.integers(0, 500))
+    def test_html_marks_round_trip_including_text_payloads(
+            self, path_text, whole, start, end):
+        registry = MarkTypeRegistry()
+        registry.register(HTMLMark)
+        mark = HTMLMark("mark-000001", url="http://x/",
+                        element_path=path_text, start=start, end=end,
+                        whole_element=whole)
+        assert registry.loads(registry.dumps([mark])) == [mark]
+
+
+# -- DMI runtime vs shadow model -------------------------------------------------------
+
+_SPEC = ModelSpec("Shadow", [
+    EntitySpec("Node",
+               attributes=(AttrSpec("label", "string"),),
+               references=(RefSpec("child", "Node", many=True,
+                                   containment=False),)),
+])
+
+
+class TestDmiShadowModel:
+    @given(st.lists(st.tuples(st.sampled_from(["create", "update", "link",
+                                               "unlink", "delete"]),
+                              st.integers(0, 9), st.integers(0, 9)),
+                    max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_triple_count_tracks_shadow(self, ops):
+        """Replaying random op sequences: the triple store's contents are
+        exactly predicted by a plain-dict shadow model."""
+        runtime = DmiRuntime(_SPEC)
+        objects = []
+        shadow_labels = {}
+        shadow_links = set()
+
+        for op, i, j in ops:
+            if op == "create":
+                obj = runtime.create("Node", label=f"n{i}")
+                objects.append(obj)
+                shadow_labels[obj.id] = f"n{i}"
+            elif op == "update" and objects:
+                obj = objects[i % len(objects)]
+                runtime.update(obj, "label", f"u{j}")
+                shadow_labels[obj.id] = f"u{j}"
+            elif op == "link" and objects:
+                a = objects[i % len(objects)]
+                b = objects[j % len(objects)]
+                if (a.id, b.id) not in shadow_links:
+                    runtime.add_ref(a, "child", b)
+                    shadow_links.add((a.id, b.id))
+            elif op == "unlink" and objects:
+                a = objects[i % len(objects)]
+                b = objects[j % len(objects)]
+                removed = runtime.remove_ref(a, "child", b)
+                assert removed == ((a.id, b.id) in shadow_links)
+                shadow_links.discard((a.id, b.id))
+            elif op == "delete" and objects:
+                obj = objects.pop(i % len(objects))
+                runtime.delete(obj)
+                del shadow_labels[obj.id]
+                shadow_links = {(a, b) for a, b in shadow_links
+                                if a != obj.id and b != obj.id}
+
+        # type + label per live node, plus one triple per live link.
+        assert len(runtime.trim.store) == \
+            2 * len(shadow_labels) + len(shadow_links)
+        for obj in objects:
+            assert obj.label == shadow_labels[obj.id]
+
+
+# -- the public API surface -------------------------------------------------------------
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_every_error_is_a_repro_error(self):
+        from repro import errors
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not Exception:
+                assert issubclass(obj, ReproError), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"

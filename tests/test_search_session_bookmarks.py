@@ -1,0 +1,177 @@
+"""Tests for pad search, the window session, and PowerBookmarks."""
+
+import pytest
+
+from repro.errors import BaseLayerError, SlimPadError
+from repro.baselines.powerbookmarks import PowerBookmarksSystem
+from repro.base.html.parser import HtmlPage
+from repro.slimpad.app import SlimPadApplication
+from repro.slimpad.search import find_scraps_marking, search_pad
+from repro.util.coordinates import Coordinate
+from repro.viewing.session import WindowSession
+from repro.viewing.styles import SimultaneousViewing
+
+
+@pytest.fixture
+def slimpad(manager):
+    app = SlimPadApplication(manager)
+    app.new_pad("Rounds")
+    return app
+
+
+@pytest.fixture
+def populated(slimpad, manager):
+    bundle = slimpad.create_bundle("John Smith", Coordinate(10, 10))
+    xml = manager.application("xml")
+    doc = xml.open_document("labs.xml")
+    xml.select_element(doc.root.find_all("result")[1])
+    k_scrap = slimpad.create_scrap_from_selection(
+        xml, label="K 3.9", pos=Coordinate(15, 30), bundle=bundle)
+    slimpad.dmi.Annotate_Scrap(k_scrap, "replace potassium stat")
+    excel = manager.application("spreadsheet")
+    excel.open_workbook("medications.xls")
+    excel.select_range("A2:D2")
+    slimpad.create_scrap_from_selection(
+        excel, label="diuretic", pos=Coordinate(15, 60), bundle=bundle)
+    slimpad.create_note_scrap("call family", Coordinate(15, 90),
+                              bundle=bundle)
+    return slimpad, bundle, k_scrap
+
+
+class TestSearchPad:
+    def test_label_search_default(self, populated):
+        slimpad, bundle, k_scrap = populated
+        hits = search_pad(slimpad, "K 3.9")
+        assert len(hits) == 1
+        assert hits[0].scrap == k_scrap
+        assert hits[0].matched_in == "label"
+        assert hits[0].path == "John Smith"
+
+    def test_case_insensitive_by_default(self, populated):
+        slimpad, _bundle, _k = populated
+        assert search_pad(slimpad, "CALL FAMILY")
+        assert not search_pad(slimpad, "CALL FAMILY", case_sensitive=True)
+
+    def test_annotation_search(self, populated):
+        slimpad, _bundle, k_scrap = populated
+        hits = search_pad(slimpad, "potassium")
+        assert [h.matched_in for h in hits] == ["annotation"]
+        assert hits[0].scrap == k_scrap
+
+    def test_content_search_reaches_base_layer(self, populated):
+        """'Lasix' appears nowhere on the pad — only behind the
+        'diuretic' scrap's mark."""
+        slimpad, _bundle, _k = populated
+        assert search_pad(slimpad, "Lasix") == []
+        hits = search_pad(slimpad, "Lasix", in_content=True)
+        assert len(hits) == 1
+        assert hits[0].matched_in == "content"
+        assert hits[0].scrap.scrapName == "diuretic"
+
+    def test_content_search_skips_broken_marks(self, populated, library):
+        slimpad, _bundle, _k = populated
+        library.remove("medications.xls")
+        hits = search_pad(slimpad, "Lasix", in_content=True)
+        assert hits == []  # no crash, no hit
+
+    def test_empty_needle(self, populated):
+        slimpad, _bundle, _k = populated
+        assert search_pad(slimpad, "") == []
+
+    def test_find_scraps_marking(self, populated):
+        slimpad, _bundle, k_scrap = populated
+        into_labs = find_scraps_marking(slimpad, "labs.xml")
+        assert into_labs == [k_scrap]
+        into_meds = find_scraps_marking(slimpad, "medications.xls")
+        assert [s.scrapName for s in into_meds] == ["diuretic"]
+        assert find_scraps_marking(slimpad, "ghost.doc") == []
+
+
+class TestWindowSession:
+    def test_initial_state(self, slimpad):
+        session = WindowSession(slimpad)
+        assert session.visible_windows() == ["slimpad"]
+        assert session.front() == "slimpad"
+
+    def test_focus_base_window(self, slimpad, manager):
+        session = WindowSession(slimpad)
+        manager.application("xml").open_document("labs.xml")
+        session.focus("xml")
+        assert session.front() == "xml"
+        assert not slimpad.in_front
+        assert session.describe() == "[ slimpad | xml* ]"
+
+    def test_focus_back_to_slimpad(self, slimpad, manager):
+        session = WindowSession(slimpad)
+        manager.application("xml").open_document("labs.xml")
+        session.focus("xml")
+        session.focus("slimpad")
+        assert session.front() == "slimpad"
+        assert not manager.application("xml").in_front
+
+    def test_unknown_window_rejected(self, slimpad):
+        with pytest.raises(SlimPadError):
+            WindowSession(slimpad).focus("fax")
+
+    def test_close(self, slimpad, manager):
+        session = WindowSession(slimpad)
+        manager.application("xml").open_document("labs.xml")
+        session.focus("xml")
+        session.close("xml")
+        assert session.visible_windows() == ["slimpad"]
+
+    def test_sync_after_resolution(self, populated):
+        """A double-click surfaces the base window behind the session's
+        back; sync_from_apps catches up."""
+        slimpad, _bundle, k_scrap = populated
+        session = WindowSession(slimpad)
+        SimultaneousViewing(slimpad).show(k_scrap)
+        session.sync_from_apps()
+        assert session.front() == "xml"
+
+
+class TestPowerBookmarks:
+    @pytest.fixture
+    def system(self, library):
+        library.add(HtmlPage.parse(
+            "http://icu.example/sepsis",
+            "<html><head><title>Sepsis bundle</title></head><body>"
+            "<p>Give antibiotics within the first hour of sepsis.</p>"
+            "</body></html>"))
+        system = PowerBookmarksSystem(library)
+        system.add_folder_rule("Electrolytes", ["potassium"])
+        system.add_folder_rule("Infection", ["sepsis", "antibiotics"])
+        return system
+
+    def test_bookmark_extracts_metadata_and_classifies(self, system):
+        bookmark = system.bookmark("http://icu.example/protocol", "pg")
+        assert bookmark.title == "ICU Potassium Protocol"
+        assert "potassium" in bookmark.keywords
+        assert bookmark.folder == "Electrolytes"
+
+    def test_classification_routes_by_rules(self, system):
+        system.bookmark("http://icu.example/protocol", "pg")
+        system.bookmark("http://icu.example/sepsis", "ja")
+        assert [b.title for b in system.in_folder("Infection")] == \
+            ["Sepsis bundle"]
+        assert system.folders() == ["Electrolytes", "Infection"]
+
+    def test_sharing_by_owner(self, system):
+        system.bookmark("http://icu.example/protocol", "pg")
+        system.bookmark("http://icu.example/sepsis", "ja")
+        assert len(system.by_owner("pg")) == 1
+        assert len(system.by_owner("ja")) == 1
+        assert len(system) == 2
+
+    def test_keyword_search(self, system):
+        system.bookmark("http://icu.example/protocol", "pg")
+        assert system.search("potassium")          # extracted keyword
+        assert system.search("Potassium Protocol")  # title substring
+        # Body phrases are NOT searchable — only extracted metadata
+        # (the contrast with SLIMPad's content search).
+        assert system.search("20 mEq KCl IV over one hour") == []
+
+    def test_web_only_limitation(self, system):
+        """The documented contrast: page-level, web-only addressing."""
+        with pytest.raises(BaseLayerError):
+            system.bookmark("medications.xls", "pg")

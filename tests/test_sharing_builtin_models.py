@@ -1,0 +1,228 @@
+"""Tests for shared pad sessions, bundle exchange, and built-in models."""
+
+import pytest
+
+from repro.errors import PersistenceError, SlimPadError
+from repro.base import standard_mark_manager
+from repro.metamodel.builtin_models import (define_all, define_rdf_model,
+                                            define_topic_map_model,
+                                            define_xlink_model)
+from repro.metamodel.instance import InstanceSpace
+from repro.metamodel.model import list_models
+from repro.metamodel.schema import SchemaDefinition
+from repro.metamodel.validation import ConformanceChecker
+from repro.slimpad.app import SlimPadApplication
+from repro.slimpad.sharing import (SharedPadSession, export_bundle,
+                                   import_bundle)
+from repro.triples.trim import TrimManager
+from repro.util.coordinates import Coordinate
+
+
+@pytest.fixture
+def slimpad(manager):
+    app = SlimPadApplication(manager)
+    app.new_pad("Shared")
+    return app
+
+
+class TestSharedPadSession:
+    def test_attributed_operations_logged_in_order(self, slimpad):
+        session = SharedPadSession(slimpad, ["pg", "ja"])
+        bundle = session.create_bundle("pg", "John Smith", Coordinate(10, 10))
+        note = session.create_note("ja", "check K+", Coordinate(20, 20),
+                                   bundle=bundle)
+        session.move_scrap("pg", note, Coordinate(30, 30))
+        session.rename_scrap("ja", note, "check K+ at 18:00")
+        session.annotate("pg", note, "done at 18:05")
+
+        actions = [(r.author, r.action) for r in session.log]
+        assert actions == [("pg", "create-bundle"), ("ja", "create-scrap"),
+                           ("pg", "move"), ("ja", "rename"),
+                           ("pg", "annotate")]
+        assert [r.sequence for r in session.log] == [1, 2, 3, 4, 5]
+
+    def test_unknown_author_rejected(self, slimpad):
+        session = SharedPadSession(slimpad, ["pg"])
+        with pytest.raises(SlimPadError):
+            session.create_note("intruder", "x", Coordinate(0, 0))
+
+    def test_empty_participants_rejected(self, slimpad):
+        with pytest.raises(SlimPadError):
+            SharedPadSession(slimpad, [])
+
+    def test_awareness_queries(self, slimpad):
+        session = SharedPadSession(slimpad, ["pg", "ja"])
+        session.create_note("pg", "a", Coordinate(0, 0))
+        checkpoint = session.log[-1].sequence
+        session.create_note("ja", "b", Coordinate(0, 20))
+        session.create_note("pg", "c", Coordinate(0, 40))
+
+        assert [r.subject for r in session.changes_by("pg")] == ["a", "c"]
+        assert [r.subject for r in session.changes_since(checkpoint)] == \
+            ["b", "c"]
+        assert session.activity_summary() == {"pg": 2, "ja": 1}
+
+    def test_annotation_carries_author(self, slimpad):
+        session = SharedPadSession(slimpad, ["pg"])
+        note = session.create_note("pg", "K+ 3.9", Coordinate(0, 0))
+        annotation = session.annotate("pg", note, "recheck")
+        assert annotation.annotationAuthor == "pg"
+
+    def test_attributed_scrap_from_selection(self, slimpad, manager):
+        session = SharedPadSession(slimpad, ["pg"])
+        excel = manager.application("spreadsheet")
+        excel.open_workbook("medications.xls")
+        excel.select_range("A2:D2")
+        scrap = session.create_scrap_from_selection("pg", excel,
+                                                    label="Lasix")
+        assert session.log[-1].action == "create-scrap"
+        assert slimpad.double_click(scrap).content
+
+    def test_attributed_delete(self, slimpad):
+        session = SharedPadSession(slimpad, ["pg"])
+        note = session.create_note("pg", "temp", Coordinate(0, 0))
+        session.delete_scrap("pg", note)
+        assert session.log[-1] .action == "delete"
+        assert slimpad.find_scrap("temp") is None
+
+
+class TestBundleExchange:
+    def build_source_bundle(self, slimpad, manager):
+        bundle = slimpad.create_bundle("John Smith", Coordinate(10, 10))
+        excel = manager.application("spreadsheet")
+        excel.open_workbook("medications.xls")
+        excel.select_range("A2:D2")
+        scrap = slimpad.create_scrap_from_selection(
+            excel, label="Lasix 40mg", pos=Coordinate(15, 30), bundle=bundle)
+        slimpad.dmi.Annotate_Scrap(scrap, "hold if K low", author="pg")
+        nested = slimpad.create_bundle("Labs", Coordinate(20, 60),
+                                       parent=bundle)
+        slimpad.create_note_scrap("pending", Coordinate(25, 70),
+                                  bundle=nested)
+        return bundle
+
+    def test_round_trip_to_second_pad(self, slimpad, manager, library):
+        source_bundle = self.build_source_bundle(slimpad, manager)
+        parcel = export_bundle(slimpad, source_bundle)
+
+        receiver_manager = standard_mark_manager(library)
+        receiver = SlimPadApplication(receiver_manager)
+        receiver.new_pad("Receiver")
+        imported = import_bundle(receiver, parcel, at=Coordinate(50, 50))
+
+        assert imported.bundleName == "John Smith"
+        assert imported.bundlePos == Coordinate(50, 50)
+        lasix = receiver.find_scrap("Lasix 40mg")
+        assert lasix is not None
+        assert [a.annotationText for a in lasix.scrapAnnotation] == \
+            ["hold if K low"]
+        assert receiver.find_bundle("Labs") is not None
+        assert receiver.find_scrap("pending") is not None
+        # The mark travelled and resolves on the receiving side.
+        assert receiver.double_click(lasix).content == \
+            [["Lasix", "40mg", "IV", "BID"]]
+
+    def test_parcel_is_self_contained_xml(self, slimpad, manager):
+        parcel = export_bundle(slimpad,
+                               self.build_source_bundle(slimpad, manager))
+        assert parcel.startswith("<bundle-parcel")
+        assert "mark-ref" in parcel
+        assert "Lasix" in parcel
+
+    def test_import_into_specific_parent(self, slimpad, manager, library):
+        parcel = export_bundle(slimpad,
+                               self.build_source_bundle(slimpad, manager))
+        receiver = SlimPadApplication(standard_mark_manager(library))
+        receiver.new_pad("R")
+        shelf = receiver.create_bundle("Shelf", Coordinate(0, 0))
+        imported = import_bundle(receiver, parcel, parent=shelf)
+        assert imported in shelf.nestedBundle
+
+    def test_malformed_parcels_rejected(self, slimpad):
+        with pytest.raises(PersistenceError):
+            import_bundle(slimpad, "<broken")
+        with pytest.raises(PersistenceError):
+            import_bundle(slimpad, "<wrong/>")
+        with pytest.raises(PersistenceError):
+            import_bundle(slimpad, "<bundle-parcel><marks/></bundle-parcel>")
+
+
+class TestBuiltinModels:
+    def test_all_three_defined(self):
+        trim = TrimManager()
+        define_all(trim)
+        assert {m.name for m in list_models(trim)} == \
+            {"TopicMaps", "RDF", "XLink"}
+
+    def test_topic_map_instances_validate(self):
+        trim = TrimManager()
+        model = define_topic_map_model(trim)
+        schema = SchemaDefinition.define(trim, "S", model=model)
+        topic_el = schema.add_element("T", conforms_to=model.construct("Topic"))
+        occ_el = schema.add_element("O",
+                                    conforms_to=model.construct("Occurrence"))
+        ref_el = schema.add_element("R",
+                                    conforms_to=model.construct("ResourceRef"))
+        space = InstanceSpace(trim)
+        topic = space.create(conforms_to=topic_el)
+        occurrence = space.create(conforms_to=occ_el)
+        ref = space.create(conforms_to=ref_el)
+        space.set_mark_id(ref, "mark-000001")
+        space.link(topic, model.connector("hasOccurrence").resource,
+                   occurrence)
+        space.link(occurrence, model.connector("occurrenceResource").resource,
+                   ref)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_topic_map_occurrence_needs_resource(self):
+        trim = TrimManager()
+        model = define_topic_map_model(trim)
+        schema = SchemaDefinition.define(trim, "S", model=model)
+        occ_el = schema.add_element("O",
+                                    conforms_to=model.construct("Occurrence"))
+        space = InstanceSpace(trim)
+        space.create(conforms_to=occ_el)  # no occurrenceResource: 1..1
+        report = ConformanceChecker(trim, schema, model).check()
+        assert any(v.code == "cardinality-min" for v in report.violations)
+
+    def test_rdf_property_is_a_resource(self):
+        trim = TrimManager()
+        model = define_rdf_model(trim)
+        prop = model.construct("Property")
+        resource = model.construct("RdfResource")
+        assert model.is_kind_of(prop, resource)
+
+    def test_rdf_statement_validates(self):
+        trim = TrimManager()
+        model = define_rdf_model(trim)
+        schema = SchemaDefinition.define(trim, "S", model=model)
+        stmt_el = schema.add_element("St",
+                                     conforms_to=model.construct("Statement"))
+        res_el = schema.add_element("Rs",
+                                    conforms_to=model.construct("RdfResource"))
+        prop_el = schema.add_element("Pr",
+                                     conforms_to=model.construct("Property"))
+        space = InstanceSpace(trim)
+        statement = space.create(conforms_to=stmt_el)
+        subject = space.create(conforms_to=res_el)
+        predicate = space.create(conforms_to=prop_el)
+        obj = space.create(conforms_to=res_el)
+        space.link(statement, model.connector("subject").resource, subject)
+        space.link(statement, model.connector("predicate").resource, predicate)
+        space.link(statement, model.connector("object").resource, obj)
+        report = ConformanceChecker(trim, schema, model).check()
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_xlink_simple_specializes_extended(self):
+        trim = TrimManager()
+        model = define_xlink_model(trim)
+        assert model.is_kind_of(model.construct("SimpleLink"),
+                                model.construct("ExtendedLink"))
+
+    def test_builtin_models_coexist_with_bundle_scrap(self):
+        from repro.slimpad.model import BUNDLE_SCRAP_SPEC
+        trim = TrimManager()
+        define_all(trim)
+        BUNDLE_SCRAP_SPEC.to_metamodel(trim)
+        assert len(list_models(trim)) == 4

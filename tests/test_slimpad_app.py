@@ -1,0 +1,334 @@
+"""Tests for the SLIMPad application controller, clipboard, layout, render.
+
+The central scenario rebuilds the Fig. 4 screen: a 'Rounds' pad with a
+'John Smith' bundle holding two medication scraps (Excel marks) and an
+'Electrolyte' bundle of lab scraps (XML marks) arranged as a gridlet.
+"""
+
+import pytest
+
+from repro.errors import SlimPadError
+from repro.slimpad.app import SlimPadApplication
+from repro.slimpad.clipboard import MarkClipboard
+from repro.slimpad.layout import (autosize, bundle_rect, content_bounds,
+                                  hit_test, infer_columns, infer_rows,
+                                  neighbors, overlapping_scraps, scrap_rect)
+from repro.slimpad.render import describe_structure, render_svg, render_text
+from repro.slimpad.templates import BundleTemplate
+from repro.util.coordinates import Coordinate
+
+
+@pytest.fixture
+def slimpad(manager):
+    app = SlimPadApplication(manager)
+    app.new_pad("Rounds")
+    return app
+
+
+def build_fig4_pad(slimpad):
+    """Reconstruct the Fig. 4 screen's structure; returns key objects."""
+    manager = slimpad.marks
+    john = slimpad.create_bundle("John Smith", Coordinate(20, 30),
+                                 width=360.0, height=260.0)
+
+    excel = manager.application("spreadsheet")
+    excel.open_workbook("medications.xls")
+    excel.select_range("A2:D2")
+    lasix = slimpad.create_scrap_from_selection(
+        excel, label="Lasix 40mg IV BID", pos=Coordinate(30, 50), bundle=john)
+    excel.select_range("A3:D3")
+    captopril = slimpad.create_scrap_from_selection(
+        excel, label="Captopril 25mg PO", pos=Coordinate(30, 80), bundle=john)
+
+    electrolyte = slimpad.create_bundle("Electrolyte", Coordinate(40, 120),
+                                        width=280.0, height=120.0,
+                                        parent=john)
+    slimpad.dmi.Create_Graphic(electrolyte, "grid", Coordinate(10, 15),
+                               200.0, 60.0)
+    xml = manager.application("xml")
+    labs = ["Na", "K", "Cl", "HCO3", "BUN", "Cr"]
+    doc = xml.open_document("labs.xml")
+    results = doc.root.find_all("result")
+    for i, test in enumerate(labs):
+        xml.select_element(results[i])
+        row, col = divmod(i, 3)
+        slimpad.create_scrap_from_selection(
+            xml, label=f"{test} {results[i].text}",
+            pos=Coordinate(50 + col * 70, 135 + row * 30),
+            bundle=electrolyte)
+    return john, electrolyte, lasix, captopril
+
+
+class TestPadLifecycle:
+    def test_new_pad_has_root_bundle(self, slimpad):
+        assert slimpad.pad.padName == "Rounds"
+        assert slimpad.root_bundle is not None
+
+    def test_pad_required(self, manager):
+        app = SlimPadApplication(manager)
+        with pytest.raises(SlimPadError):
+            app.pad
+
+    def test_save_open_round_trip(self, slimpad, tmp_path, manager):
+        build_fig4_pad(slimpad)
+        pad_path = str(tmp_path / "rounds.pad.xml")
+        marks_path = str(tmp_path / "rounds.marks.xml")
+        slimpad.save_pad(pad_path)
+        manager.save(marks_path)
+
+        from repro.base import standard_mark_manager
+        fresh_manager = standard_mark_manager(manager.application("xml").library)
+        fresh_manager.load(marks_path)
+        fresh = SlimPadApplication(fresh_manager)
+        pad = fresh.open_pad(pad_path)
+        assert pad.padName == "Rounds"
+        scrap = fresh.find_scrap("Lasix 40mg IV BID")
+        assert scrap is not None
+        # The reloaded pad still de-references into the base layer.
+        assert fresh.double_click(scrap).content == \
+            [["Lasix", "40mg", "IV", "BID"]]
+
+
+class TestFig4Scenario:
+    def test_structure_matches_figure(self, slimpad):
+        john, electrolyte, lasix, captopril = build_fig4_pad(slimpad)
+        stats = describe_structure(slimpad.pad)
+        assert stats["bundles"] == 3          # root, John Smith, Electrolyte
+        assert stats["scraps"] == 8           # 2 meds + 6 labs
+        assert stats["marks"] == 8
+        assert stats["graphics"] == 1
+        assert stats["max_depth"] == 3
+
+    def test_double_click_excel_scrap(self, slimpad):
+        """Clicking a medication scrap opens the medication list with the
+        right row highlighted (the paper's Fig. 4 narration)."""
+        _, _, lasix, _ = build_fig4_pad(slimpad)
+        resolution = slimpad.double_click(lasix)
+        assert resolution.content == [["Lasix", "40mg", "IV", "BID"]]
+        excel = slimpad.marks.application("spreadsheet")
+        assert excel.in_front
+        assert excel.highlight is not None
+        assert excel.highlight.range == "A2:D2"
+
+    def test_double_click_xml_scrap(self, slimpad):
+        john, electrolyte, _, _ = build_fig4_pad(slimpad)
+        k_scrap = slimpad.find_scrap("K 3.9")
+        resolution = slimpad.double_click(k_scrap)
+        assert resolution.content == "3.9"
+        assert slimpad.marks.application("xml").highlight is not None
+
+    def test_scrap_label_differs_from_mark_content(self, slimpad):
+        """'Note that a scrap's label and its mark's content may differ.'"""
+        _, _, lasix, _ = build_fig4_pad(slimpad)
+        slimpad.rename_scrap(lasix, "diuretic (check dose)")
+        resolution = slimpad.double_click(lasix)
+        assert resolution.content == [["Lasix", "40mg", "IV", "BID"]]
+
+    def test_note_scrap_has_no_mark(self, slimpad):
+        note = slimpad.create_note_scrap("call family re: goals",
+                                         Coordinate(10, 10))
+        assert note.scrapMark == []
+        with pytest.raises(SlimPadError):
+            slimpad.double_click(note)
+
+    def test_default_label_is_content_preview(self, slimpad):
+        excel = slimpad.marks.application("spreadsheet")
+        excel.open_workbook("medications.xls")
+        excel.select_range("A2")
+        scrap = slimpad.create_scrap_from_selection(excel)
+        assert scrap.scrapName == "Lasix"
+
+    def test_show_in_place(self, slimpad):
+        _, _, lasix, _ = build_fig4_pad(slimpad)
+        block = slimpad.show_in_place(lasix)
+        assert "Lasix" in block
+        # Independent viewing never surfaced the base window.
+        note = slimpad.create_note_scrap("plain", Coordinate(0, 0))
+        assert slimpad.show_in_place(note) == "plain"
+
+    def test_delete_scrap_drops_marks(self, slimpad):
+        _, _, lasix, _ = build_fig4_pad(slimpad)
+        mark_id = lasix.scrapMark[0].markId
+        slimpad.delete_scrap(lasix)
+        assert mark_id not in slimpad.marks
+        assert slimpad.find_scrap("Lasix 40mg IV BID") is None
+
+    def test_superimposed_bytes_positive(self, slimpad):
+        build_fig4_pad(slimpad)
+        assert slimpad.superimposed_bytes() > 0
+
+
+class TestQueries:
+    def test_scraps_in_recursive(self, slimpad):
+        john, electrolyte, _, _ = build_fig4_pad(slimpad)
+        assert len(slimpad.scraps_in(john)) == 2
+        assert len(slimpad.scraps_in(john, recursive=True)) == 8
+
+    def test_bundles_in_recursive(self, slimpad):
+        build_fig4_pad(slimpad)
+        root = slimpad.root_bundle
+        assert [b.bundleName for b in slimpad.bundles_in(root)] == \
+            ["John Smith"]
+        assert {b.bundleName for b in slimpad.bundles_in(root, recursive=True)} \
+            == {"John Smith", "Electrolyte"}
+
+    def test_find_bundle(self, slimpad):
+        build_fig4_pad(slimpad)
+        assert slimpad.find_bundle("Electrolyte") is not None
+        assert slimpad.find_bundle("Ghost") is None
+
+
+class TestClipboard:
+    def test_pick_up_and_place(self, slimpad):
+        clipboard = MarkClipboard(slimpad)
+        excel = slimpad.marks.application("spreadsheet")
+        excel.open_workbook("medications.xls")
+        excel.select_range("A2")
+        clipboard.pick_up_selection(excel)
+        excel.select_range("A3")
+        clipboard.pick_up_selection(excel)
+        assert len(clipboard) == 2
+
+        first = clipboard.place(Coordinate(5, 5))
+        assert first.scrapName == "Lasix"
+        rest = clipboard.place_all(Coordinate(5, 40))
+        assert len(rest) == 1
+        assert len(clipboard) == 0
+
+    def test_place_empty_rejected(self, slimpad):
+        with pytest.raises(SlimPadError):
+            MarkClipboard(slimpad).place(Coordinate(0, 0))
+
+    def test_discard(self, slimpad):
+        clipboard = MarkClipboard(slimpad)
+        excel = slimpad.marks.application("spreadsheet")
+        excel.open_workbook("medications.xls")
+        excel.select_range("A2")
+        mark = clipboard.pick_up_selection(excel)
+        assert clipboard.discard(mark) is True
+        assert clipboard.discard(mark) is False
+        assert mark.mark_id not in slimpad.marks
+
+
+class TestLayout:
+    def test_hit_test_scrap_over_bundle(self, slimpad):
+        john, electrolyte, lasix, _ = build_fig4_pad(slimpad)
+        assert hit_test(john, Coordinate(35, 55)) == lasix
+        # A point in John Smith's empty area hits the bundle itself.
+        assert hit_test(john, Coordinate(350, 40)) == john
+        # Outside everything:
+        assert hit_test(john, Coordinate(1000, 1000)) is None
+
+    def test_hit_test_nested(self, slimpad):
+        john, electrolyte, _, _ = build_fig4_pad(slimpad)
+        k_scrap = slimpad.find_scrap("K 3.9")
+        pos = k_scrap.scrapPos
+        assert hit_test(john, Coordinate(pos.x + 2, pos.y + 2)) == k_scrap
+
+    def test_neighbors_orders_by_distance(self, slimpad):
+        john, electrolyte, _, _ = build_fig4_pad(slimpad)
+        na = slimpad.find_scrap("Na 140")
+        nearby = neighbors(na, electrolyte, radius=80)
+        # Grid spacing: rows 30 apart, columns 70 apart — the scrap
+        # directly below (HCO3) is nearer than the one to the right (K).
+        assert [s.scrapName for s in nearby] == ["HCO3 24", "K 3.9", "BUN 18"]
+
+    def test_gridlet_rows_and_columns(self, slimpad):
+        """The Electrolyte gridlet reads back as a 2x3 lab grid — the
+        'specific meaning deduced from arrangement' of Section 3."""
+        john, electrolyte, _, _ = build_fig4_pad(slimpad)
+        rows = infer_rows(electrolyte)
+        assert [[s.scrapName for s in row] for row in rows] == [
+            ["Na 140", "K 3.9", "Cl 103"],
+            ["HCO3 24", "BUN 18", "Cr 1.1"],
+        ]
+        columns = infer_columns(electrolyte)
+        assert [[s.scrapName for s in col] for col in columns] == [
+            ["Na 140", "HCO3 24"], ["K 3.9", "BUN 18"], ["Cl 103", "Cr 1.1"]]
+
+    def test_content_bounds_and_autosize(self, slimpad):
+        john, electrolyte, _, _ = build_fig4_pad(slimpad)
+        bounds = content_bounds(electrolyte)
+        assert bounds is not None
+        small = slimpad.create_bundle("tiny", Coordinate(0, 0),
+                                      width=10.0, height=10.0)
+        slimpad.create_note_scrap("far", Coordinate(300, 300), bundle=small)
+        autosize(slimpad.dmi, small)
+        assert bundle_rect(small).contains_rect(scrap_rect(
+            small.bundleContent[0]))
+
+    def test_overlapping_scraps(self, slimpad):
+        bundle = slimpad.create_bundle("b", Coordinate(0, 0))
+        slimpad.create_note_scrap("a", Coordinate(10, 10), bundle=bundle)
+        slimpad.create_note_scrap("b", Coordinate(15, 12), bundle=bundle)
+        slimpad.create_note_scrap("c", Coordinate(500, 500), bundle=bundle)
+        pairs = overlapping_scraps(bundle)
+        assert len(pairs) == 1
+        assert {pairs[0][0].scrapName, pairs[0][1].scrapName} == {"a", "b"}
+
+
+class TestRendering:
+    def test_render_text_outline(self, slimpad):
+        build_fig4_pad(slimpad)
+        text = render_text(slimpad.pad)
+        assert "SLIMPad: Rounds" in text
+        assert "[John Smith]" in text
+        assert "* Lasix 40mg IV BID -> mark-000001" in text
+        assert "# graphic: grid" in text
+
+    def test_render_text_marks_notes(self, slimpad):
+        slimpad.create_note_scrap("todo: call family", Coordinate(0, 0))
+        assert "todo: call family (note)" in render_text(slimpad.pad)
+
+    def test_render_text_shows_annotations(self, slimpad):
+        scrap = slimpad.create_note_scrap("K+ 3.9", Coordinate(0, 0))
+        slimpad.dmi.Annotate_Scrap(scrap, "recheck at 6pm")
+        assert "~ recheck at 6pm" in render_text(slimpad.pad)
+
+    def test_render_svg_structure(self, slimpad):
+        build_fig4_pad(slimpad)
+        svg = render_svg(slimpad.pad)
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") >= 11  # background + 3 bundles + 8 scraps
+        assert "John Smith" in svg
+        assert "Na 140" in svg
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_svg_escapes_labels(self, slimpad):
+        slimpad.create_note_scrap("a < b & c", Coordinate(0, 0))
+        svg = render_svg(slimpad.pad)
+        assert "a &lt; b &amp; c" in svg
+
+
+class TestTemplates:
+    def test_capture_and_instantiate(self, slimpad):
+        john, electrolyte, _, _ = build_fig4_pad(slimpad)
+        template = BundleTemplate.capture(john)
+        assert template.name == "John Smith"
+        assert template.slot_count() == 8
+        assert len(template.nested) == 1
+
+        copy = template.instantiate(slimpad.dmi, slimpad.root_bundle,
+                                    name="Mary Jones",
+                                    at=Coordinate(20, 320))
+        assert copy.bundleName == "Mary Jones"
+        assert len(slimpad.scraps_in(copy, recursive=True)) == 8
+        # Template scraps carry no marks (shape only).
+        assert all(not s.scrapMark
+                   for s in slimpad.scraps_in(copy, recursive=True))
+
+    def test_template_xml_round_trip(self, slimpad):
+        john, _, _, _ = build_fig4_pad(slimpad)
+        template = BundleTemplate.capture(john)
+        loaded = BundleTemplate.loads(template.dumps())
+        assert loaded.name == template.name
+        assert loaded.slot_count() == template.slot_count()
+        assert len(loaded.graphics) == 0
+        assert len(loaded.nested[0].graphics) == 1
+
+    def test_template_bad_xml(self):
+        from repro.errors import PersistenceError
+        with pytest.raises(PersistenceError):
+            BundleTemplate.loads("<broken")
+        with pytest.raises(PersistenceError):
+            BundleTemplate.loads("<wrong/>")

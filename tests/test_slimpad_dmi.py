@@ -1,0 +1,204 @@
+"""Tests for the hand-written SLIMPad DMI (Fig. 10) and its extensions."""
+
+import pytest
+
+from repro.errors import DmiError, SlimPadError
+from repro.slimpad.dmi import SlimPadDMI
+from repro.slimpad.model import BUNDLE_SCRAP_SPEC, EXTENDED_BUNDLE_SCRAP_SPEC
+from repro.util.coordinates import Coordinate
+
+
+@pytest.fixture
+def dmi():
+    return SlimPadDMI()
+
+
+class TestCreateUpdate:
+    def test_create_pad_with_root(self, dmi):
+        root = dmi.Create_Bundle(bundleName="root")
+        pad = dmi.Create_SlimPad(padName="Rounds", rootBundle=root)
+        assert pad.padName == "Rounds"
+        assert pad.rootBundle == root
+
+    def test_bundle_defaults(self, dmi):
+        bundle = dmi.Create_Bundle(bundleName="b")
+        assert bundle.bundlePos == Coordinate(0, 0)
+        assert bundle.bundleWidth == 200.0
+        assert bundle.bundleHeight == 120.0
+
+    def test_updates(self, dmi):
+        pad = dmi.Create_SlimPad(padName="old")
+        dmi.Update_padName(pad, "new")
+        assert pad.padName == "new"
+        bundle = dmi.Create_Bundle(bundleName="b")
+        dmi.Update_bundleName(bundle, "B")
+        dmi.Update_bundlePos(bundle, Coordinate(5, 6))
+        dmi.Update_bundleWidth(bundle, 300.0)
+        dmi.Update_bundleHeight(bundle, 150.0)
+        assert (bundle.bundleName, bundle.bundlePos) == ("B", Coordinate(5, 6))
+        assert (bundle.bundleWidth, bundle.bundleHeight) == (300.0, 150.0)
+        scrap = dmi.Create_Scrap(scrapName="s")
+        dmi.Update_scrapName(scrap, "S")
+        dmi.Update_scrapPos(scrap, Coordinate(1, 2))
+        assert (scrap.scrapName, scrap.scrapPos) == ("S", Coordinate(1, 2))
+
+    def test_update_root_bundle(self, dmi):
+        pad = dmi.Create_SlimPad(padName="p")
+        first = dmi.Create_Bundle(bundleName="first")
+        second = dmi.Create_Bundle(bundleName="second")
+        dmi.Update_rootBundle(pad, first)
+        dmi.Update_rootBundle(pad, second)
+        assert pad.rootBundle == second
+        dmi.Update_rootBundle(pad, None)
+        assert pad.rootBundle is None
+
+    def test_mark_handle_requires_id(self, dmi):
+        with pytest.raises(DmiError):
+            dmi.Create_MarkHandle(markId=None)  # type: ignore[arg-type]
+
+
+class TestNesting:
+    def test_nested_bundles_and_contents(self, dmi):
+        parent = dmi.Create_Bundle(bundleName="John Smith")
+        child = dmi.Create_Bundle(bundleName="Electrolyte")
+        dmi.Add_nestedBundle(parent, child)
+        scrap = dmi.Create_Scrap(scrapName="K+ 3.9")
+        dmi.Add_bundleContent(child, scrap)
+        assert parent.nestedBundle == [child]
+        assert child.bundleContent == [scrap]
+
+    def test_self_nesting_rejected(self, dmi):
+        bundle = dmi.Create_Bundle(bundleName="b")
+        with pytest.raises(SlimPadError):
+            dmi.Add_nestedBundle(bundle, bundle)
+
+    def test_nesting_cycle_rejected(self, dmi):
+        a = dmi.Create_Bundle(bundleName="a")
+        b = dmi.Create_Bundle(bundleName="b")
+        c = dmi.Create_Bundle(bundleName="c")
+        dmi.Add_nestedBundle(a, b)
+        dmi.Add_nestedBundle(b, c)
+        with pytest.raises(SlimPadError):
+            dmi.Add_nestedBundle(c, a)
+
+    def test_remove_without_delete(self, dmi):
+        parent = dmi.Create_Bundle(bundleName="p")
+        child = dmi.Create_Bundle(bundleName="c")
+        dmi.Add_nestedBundle(parent, child)
+        assert dmi.Remove_nestedBundle(parent, child) is True
+        assert parent.nestedBundle == []
+        assert dmi.runtime.exists(child)  # removed, not deleted
+
+
+class TestDelete:
+    def test_delete_bundle_cascades(self, dmi):
+        bundle = dmi.Create_Bundle(bundleName="b")
+        nested = dmi.Create_Bundle(bundleName="n")
+        scrap = dmi.Create_Scrap(scrapName="s")
+        handle = dmi.Create_MarkHandle(markId="mark-000001")
+        dmi.Add_nestedBundle(bundle, nested)
+        dmi.Add_bundleContent(nested, scrap)
+        dmi.Add_scrapMark(scrap, handle)
+        assert dmi.Delete_Bundle(bundle) == 4
+        assert dmi.runtime.all("Scrap") == []
+        assert dmi.runtime.all("MarkHandle") == []
+
+    def test_delete_pad_total(self, dmi):
+        root = dmi.Create_Bundle(bundleName="r")
+        pad = dmi.Create_SlimPad(padName="p", rootBundle=root)
+        assert dmi.Delete_SlimPad(pad) == 2
+        assert len(dmi.runtime.trim.store) == 0
+
+
+class TestPersistence:
+    def test_save_load(self, dmi, tmp_path):
+        root = dmi.Create_Bundle(bundleName="root")
+        dmi.Create_SlimPad(padName="Rounds", rootBundle=root)
+        scrap = dmi.Create_Scrap(scrapName="K+ 3.9",
+                                 scrapPos=Coordinate(12, 34))
+        dmi.Add_bundleContent(root, scrap)
+        path = str(tmp_path / "pad.xml")
+        dmi.save(path)
+
+        fresh = SlimPadDMI()
+        pad = fresh.load(path)
+        assert pad.padName == "Rounds"
+        assert pad.rootBundle.bundleContent[0].scrapPos == Coordinate(12, 34)
+
+    def test_load_empty_rejected(self, dmi, tmp_path):
+        path = str(tmp_path / "empty.xml")
+        dmi.save(path)  # empty store
+        with pytest.raises(SlimPadError):
+            SlimPadDMI().load(path)
+
+
+class TestExtensions:
+    def test_annotations(self, dmi):
+        scrap = dmi.Create_Scrap(scrapName="K+ 3.9")
+        note = dmi.Annotate_Scrap(scrap, "recheck after KCl", author="pg")
+        assert [a.annotationText for a in scrap.scrapAnnotation] == \
+            ["recheck after KCl"]
+        assert note.annotationAuthor == "pg"
+        dmi.Remove_Annotation(scrap, note)
+        assert scrap.scrapAnnotation == []
+        assert not dmi.runtime.exists(note)
+
+    def test_links_between_scraps(self, dmi):
+        a = dmi.Create_Scrap(scrapName="K+ 3.9")
+        b = dmi.Create_Scrap(scrapName="KCl 20mEq")
+        dmi.Link_Scraps(a, b)
+        assert a.linkedTo == [b]
+        assert dmi.Unlink_Scraps(a, b) is True
+        assert a.linkedTo == []
+
+    def test_links_are_not_containment(self, dmi):
+        a = dmi.Create_Scrap(scrapName="a")
+        b = dmi.Create_Scrap(scrapName="b")
+        dmi.Link_Scraps(a, b)
+        dmi.Delete_Scrap(a)
+        assert dmi.runtime.exists(b)
+
+    def test_graphics(self, dmi):
+        bundle = dmi.Create_Bundle(bundleName="Electrolyte")
+        grid = dmi.Create_Graphic(bundle, "grid", Coordinate(10, 20),
+                                  120.0, 40.0)
+        assert bundle.bundleGraphic == [grid]
+        assert grid.graphicKind == "grid"
+
+
+class TestGeneratedEquivalence:
+    def test_handwritten_matches_generated_dmi(self):
+        """Fig. 10's manual DMI and the SLIM-ML generated one must write
+        identical triples for the same operation sequence."""
+        from repro.dmi.generator import generate_dmi_class
+        generated_class = generate_dmi_class(EXTENDED_BUNDLE_SCRAP_SPEC)
+
+        manual = SlimPadDMI()
+        m_root = manual.Create_Bundle(bundleName="root",
+                                      bundlePos=Coordinate(1, 2),
+                                      bundleWidth=300.0, bundleHeight=200.0)
+        m_pad = manual.Create_SlimPad(padName="Rounds", rootBundle=m_root)
+        m_scrap = manual.Create_Scrap(scrapName="K+", scrapPos=Coordinate(3, 4))
+        manual.Add_bundleContent(m_root, m_scrap)
+
+        generated = generated_class()
+        g_root = generated.Create_Bundle(bundleName="root",
+                                         bundlePos=Coordinate(1, 2),
+                                         bundleWidth=300.0, bundleHeight=200.0)
+        g_pad = generated.Create_SlimPad(padName="Rounds")
+        generated.Update_rootBundle(g_pad, g_root)
+        g_scrap = generated.Create_Scrap(scrapName="K+", scrapPos=Coordinate(3, 4))
+        generated.Add_bundleContent(g_root, g_scrap)
+
+        assert set(manual.runtime.trim.store) == \
+            set(generated.runtime.trim.store)
+
+    def test_fig3_spec_is_subset_of_extended(self):
+        """Every Fig. 3 entity/attribute exists unchanged in the extended
+        spec (the extensions only add)."""
+        for name, entity in BUNDLE_SCRAP_SPEC.entities.items():
+            extended = EXTENDED_BUNDLE_SCRAP_SPEC.entity(name)
+            assert {a.name for a in entity.attributes} <= \
+                {a.name for a in extended.attributes}
+            assert {r.name for r in entity.references} <= \
+                {r.name for r in extended.references}

@@ -1,0 +1,133 @@
+"""Tests for the interned triple store (the Section-6 alternative
+implementation) — including equivalence with the reference store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TripleNotFoundError
+from repro.triples.interned import InternedTripleStore
+from repro.triples.store import TripleStore
+from repro.triples.triple import Literal, Resource, Triple, triple
+
+uris = st.text(alphabet="abc:/-", min_size=1, max_size=6)
+resources = st.builds(Resource, uris)
+literals = st.builds(Literal, st.one_of(st.text(max_size=6),
+                                        st.integers(-9, 9), st.booleans()))
+triples_st = st.builds(Triple, resources, resources,
+                       st.one_of(resources, literals))
+
+
+class TestBasics:
+    def test_add_is_set_semantics(self):
+        store = InternedTripleStore()
+        t = triple("a", "p", "v")
+        assert store.add(t) is True
+        assert store.add(t) is False
+        assert len(store) == 1
+        assert t in store
+
+    def test_remove(self):
+        store = InternedTripleStore()
+        t = triple("a", "p", "v")
+        store.add(t)
+        store.remove(t)
+        assert t not in store
+        with pytest.raises(TripleNotFoundError):
+            store.remove(t)
+
+    def test_remove_unseen_nodes(self):
+        store = InternedTripleStore()
+        store.add(triple("a", "p", 1))
+        with pytest.raises(TripleNotFoundError):
+            store.remove(triple("never", "interned", 2))
+
+    def test_discard(self):
+        store = InternedTripleStore()
+        t = triple("a", "p", "v")
+        store.add(t)
+        assert store.discard(t) is True
+        assert store.discard(t) is False
+
+    def test_match_each_field(self):
+        store = InternedTripleStore()
+        store.add(triple("b1", "slim:name", "x"))
+        store.add(triple("b1", "slim:content", Resource("s1")))
+        store.add(triple("s1", "slim:name", "y"))
+        assert len(list(store.match(subject=Resource("b1")))) == 2
+        assert len(list(store.match(property=Resource("slim:name")))) == 2
+        assert len(list(store.match(value=Literal("y")))) == 1
+        assert len(list(store.match(subject=Resource("b1"),
+                                    property=Resource("slim:name")))) == 1
+
+    def test_match_unseen_node_is_empty(self):
+        store = InternedTripleStore()
+        store.add(triple("a", "p", 1))
+        assert list(store.match(subject=Resource("ghost"))) == []
+
+    def test_select_preserves_insertion_order(self):
+        store = InternedTripleStore()
+        items = [triple("s", "p", i) for i in range(5)]
+        store.add_all(items)
+        assert store.select(subject=Resource("s")) == items
+
+    def test_interning_shares_nodes(self):
+        store = InternedTripleStore()
+        for i in range(100):
+            store.add(triple("subject", "slim:property", i))
+        # 2 shared nodes + 100 distinct literals.
+        assert store.node_count() == 102
+
+    def test_interned_is_smaller_for_repetitive_data(self):
+        plain, interned = TripleStore(), InternedTripleStore()
+        items = [triple(f"subject-{i % 10:04d}",
+                        "slim:a-rather-long-property-name", f"v{i}")
+                 for i in range(500)]
+        plain.add_all(items)
+        interned.add_all(items)
+        assert interned.estimated_bytes() < plain.estimated_bytes()
+
+
+class TestEquivalence:
+    """The two implementations agree on every observable behaviour."""
+
+    @given(st.lists(triples_st, max_size=40))
+    def test_same_membership_and_size(self, items):
+        plain, interned = TripleStore(), InternedTripleStore()
+        plain.add_all(items)
+        interned.add_all(items)
+        assert len(plain) == len(interned)
+        assert set(plain) == set(interned)
+
+    @given(st.lists(triples_st, max_size=40))
+    def test_same_matches(self, items):
+        plain, interned = TripleStore(), InternedTripleStore()
+        plain.add_all(items)
+        interned.add_all(items)
+        for t in set(items):
+            assert set(plain.match(subject=t.subject)) == \
+                set(interned.match(subject=t.subject))
+            assert set(plain.match(property=t.property)) == \
+                set(interned.match(property=t.property))
+            assert set(plain.match(value=t.value)) == \
+                set(interned.match(value=t.value))
+
+    @given(st.lists(triples_st, min_size=1, max_size=30))
+    def test_same_after_removals(self, items):
+        plain, interned = TripleStore(), InternedTripleStore()
+        plain.add_all(items)
+        interned.add_all(items)
+        for t in list(set(items))[::2]:
+            plain.remove(t)
+            interned.remove(t)
+        assert set(plain) == set(interned)
+        assert len(plain) == len(interned)
+
+    @given(st.lists(triples_st, max_size=30))
+    def test_select_same_order(self, items):
+        plain, interned = TripleStore(), InternedTripleStore()
+        plain.add_all(items)
+        interned.add_all(items)
+        for t in set(items):
+            assert plain.select(subject=t.subject) == \
+                interned.select(subject=t.subject)

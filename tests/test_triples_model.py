@@ -1,0 +1,141 @@
+"""Tests for the triple data model and namespaces."""
+
+import pytest
+
+from repro.errors import InvalidTripleError, NamespaceError
+from repro.triples.namespaces import (RDF_URI, SLIM, SLIM_URI, Namespace,
+                                      NamespaceRegistry)
+from repro.triples.triple import Literal, Resource, Triple, triple
+
+
+class TestResource:
+    def test_equality_and_hash(self):
+        assert Resource("a") == Resource("a")
+        assert hash(Resource("a")) == hash(Resource("a"))
+        assert Resource("a") != Resource("b")
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(InvalidTripleError):
+            Resource("")
+
+    def test_local_name(self):
+        assert Resource("slim:Bundle").local_name == "Bundle"
+        assert Resource("http://x/y#Z").local_name == "Z"
+        assert Resource("http://x/y").local_name == "y"
+        assert Resource("plain").local_name == "plain"
+
+    def test_str(self):
+        assert str(Resource("slim:Bundle")) == "slim:Bundle"
+
+
+class TestLiteral:
+    def test_types_are_part_of_identity(self):
+        assert Literal(3) != Literal(3.0)
+        assert Literal("3") != Literal(3)
+        assert Literal(True) != Literal(1)
+
+    def test_type_names(self):
+        assert Literal("x").type_name == "string"
+        assert Literal(1).type_name == "integer"
+        assert Literal(1.5).type_name == "float"
+        assert Literal(False).type_name == "boolean"
+
+    def test_unsupported_value_rejected(self):
+        with pytest.raises(InvalidTripleError):
+            Literal([1, 2])  # type: ignore[arg-type]
+        with pytest.raises(InvalidTripleError):
+            Literal(None)  # type: ignore[arg-type]
+
+
+class TestTriple:
+    def test_construction_and_accessors(self):
+        t = Triple(Resource("s"), Resource("p"), Literal("v"))
+        assert t.as_tuple() == (Resource("s"), Resource("p"), Literal("v"))
+        assert "s" in str(t) and "p" in str(t)
+
+    def test_subject_must_be_resource(self):
+        with pytest.raises(InvalidTripleError):
+            Triple("s", Resource("p"), Literal(1))  # type: ignore[arg-type]
+
+    def test_property_must_be_resource(self):
+        with pytest.raises(InvalidTripleError):
+            Triple(Resource("s"), Literal("p"), Literal(1))  # type: ignore[arg-type]
+
+    def test_value_must_be_node(self):
+        with pytest.raises(InvalidTripleError):
+            Triple(Resource("s"), Resource("p"), "raw")  # type: ignore[arg-type]
+
+    def test_helper_coerces_strings(self):
+        t = triple("s", "p", "hello")
+        assert t.subject == Resource("s")
+        assert t.property == Resource("p")
+        assert t.value == Literal("hello")
+
+    def test_helper_preserves_explicit_nodes(self):
+        t = triple("s", "p", Resource("o"))
+        assert t.value == Resource("o")
+
+    def test_helper_wraps_numbers_and_bools(self):
+        assert triple("s", "p", 3).value == Literal(3)
+        assert triple("s", "p", True).value == Literal(True)
+
+
+class TestNamespace:
+    def test_indexing_yields_qnames(self):
+        assert SLIM["Bundle"] == Resource("slim:Bundle")
+
+    def test_expand(self):
+        assert SLIM.expand("Bundle") == SLIM_URI + "Bundle"
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(NamespaceError):
+            Namespace("9bad", "http://x/")
+        with pytest.raises(NamespaceError):
+            Namespace("", "http://x/")
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(NamespaceError):
+            Namespace("ok", "")
+
+    def test_empty_local_rejected(self):
+        with pytest.raises(NamespaceError):
+            SLIM[""]
+
+
+class TestNamespaceRegistry:
+    def test_defaults_include_standard_prefixes(self):
+        registry = NamespaceRegistry.with_defaults()
+        assert "rdf" in registry
+        assert "rdfs" in registry
+        assert "slim" in registry
+        assert registry.get("rdf").uri == RDF_URI
+
+    def test_reregistering_same_binding_is_noop(self):
+        registry = NamespaceRegistry()
+        registry.register("x", "http://x/")
+        registry.register("x", "http://x/")
+
+    def test_conflicting_rebinding_rejected(self):
+        registry = NamespaceRegistry()
+        registry.register("x", "http://x/")
+        with pytest.raises(NamespaceError):
+            registry.register("x", "http://y/")
+
+    def test_unknown_prefix_lookup_raises(self):
+        with pytest.raises(NamespaceError):
+            NamespaceRegistry().get("nope")
+
+    def test_expand_and_compact_round_trip(self):
+        registry = NamespaceRegistry.with_defaults()
+        full = registry.expand("slim:Bundle")
+        assert full == SLIM_URI + "Bundle"
+        assert registry.compact(full) == "slim:Bundle"
+
+    def test_expand_passes_through_plain_ids(self):
+        registry = NamespaceRegistry.with_defaults()
+        assert registry.expand("bundle-000001") == "bundle-000001"
+        assert registry.expand("http://other/x") == "http://other/x"
+
+    def test_compact_leaves_foreign_uris(self):
+        registry = NamespaceRegistry.with_defaults()
+        assert registry.compact("http://foreign/x") == "http://foreign/x"

@@ -1,0 +1,265 @@
+"""Tests for XML persistence, batches/undo, and the TrimManager façade."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PersistenceError, TransactionError
+from repro.triples import persistence
+from repro.triples.namespaces import NamespaceRegistry
+from repro.triples.query import Pattern, Query, Var
+from repro.triples.store import TripleStore
+from repro.triples.transactions import Batch, UndoLog
+from repro.triples.trim import TrimManager
+from repro.triples.triple import Literal, Resource, Triple, triple
+
+uris = st.text(alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+               min_size=1, max_size=12)
+resources = st.builds(Resource, uris)
+literals = st.builds(Literal, st.one_of(
+    st.text(max_size=12,
+            alphabet=st.characters(blacklist_categories=("Cs", "Cc"))),
+    st.integers(-10**9, 10**9),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False)))
+triples_st = st.builds(Triple, resources, resources,
+                       st.one_of(resources, literals))
+
+
+class TestPersistence:
+    def test_round_trip_simple(self, tmp_path):
+        s = TripleStore()
+        s.add(triple("b1", "slim:bundleName", "Electrolyte"))
+        s.add(triple("b1", "slim:bundleContent", Resource("s1")))
+        path = str(tmp_path / "pad.xml")
+        persistence.save(s, path)
+        loaded = persistence.load(path)
+        assert set(loaded) == set(s)
+
+    def test_round_trip_preserves_literal_types(self):
+        s = TripleStore()
+        s.add(triple("a", "p", "3"))
+        s.add(triple("a", "q", 3))
+        s.add(triple("a", "r", 3.0))
+        s.add(triple("a", "s", True))
+        loaded = persistence.loads(persistence.dumps(s))
+        assert set(loaded) == set(s)
+
+    def test_namespaces_serialized_and_restored(self):
+        s = TripleStore()
+        s.add(triple("a", "slim:p", 1))
+        registry = NamespaceRegistry.with_defaults()
+        text = persistence.dumps(s, registry)
+        fresh = NamespaceRegistry()
+        persistence.loads(text, fresh)
+        assert "slim" in fresh
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(PersistenceError):
+            persistence.loads("<not closed")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(PersistenceError):
+            persistence.loads("<other/>")
+
+    def test_triple_missing_fields_rejected(self):
+        with pytest.raises(PersistenceError):
+            persistence.loads(
+                "<slim-store><triple><subject>s</subject></triple></slim-store>")
+
+    def test_triple_with_both_value_kinds_rejected(self):
+        text = ("<slim-store><triple><subject>s</subject>"
+                "<property>p</property><resource>r</resource>"
+                "<literal type='string'>x</literal></triple></slim-store>")
+        with pytest.raises(PersistenceError):
+            persistence.loads(text)
+
+    def test_bad_literal_payloads_rejected(self):
+        for fragment in ("<literal type='integer'>x</literal>",
+                         "<literal type='boolean'>maybe</literal>",
+                         "<literal type='float'>x</literal>",
+                         "<literal type='mystery'>x</literal>"):
+            text = ("<slim-store><triple><subject>s</subject>"
+                    f"<property>p</property>{fragment}</triple></slim-store>")
+            with pytest.raises(PersistenceError):
+                persistence.loads(text)
+
+    def test_unreadable_path_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            persistence.load(str(tmp_path / "missing.xml"))
+
+    def test_empty_string_literal_round_trips(self):
+        s = TripleStore()
+        s.add(triple("a", "p", ""))
+        loaded = persistence.loads(persistence.dumps(s))
+        assert triple("a", "p", "") in loaded
+
+    @given(st.lists(triples_st, max_size=25))
+    def test_round_trip_is_identity(self, items):
+        s = TripleStore()
+        s.add_all(items)
+        loaded = persistence.loads(persistence.dumps(s))
+        assert set(loaded) == set(s)
+
+
+class TestBatch:
+    def test_commit_keeps_changes(self):
+        s = TripleStore()
+        with Batch(s) as batch:
+            s.add(triple("a", "p", 1))
+        assert len(s) == 1
+        assert len(batch.changes) == 1
+
+    def test_exception_rolls_back(self):
+        s = TripleStore()
+        s.add(triple("keep", "p", 1))
+        with pytest.raises(RuntimeError):
+            with Batch(s):
+                s.add(triple("a", "p", 1))
+                s.remove(triple("keep", "p", 1))
+                raise RuntimeError("boom")
+        assert triple("keep", "p", 1) in s
+        assert triple("a", "p", 1) not in s
+        assert len(s) == 1
+
+    def test_reentering_active_batch_rejected(self):
+        s = TripleStore()
+        batch = Batch(s)
+        with batch:
+            with pytest.raises(TransactionError):
+                batch.__enter__()
+
+    def test_exit_without_enter_rejected(self):
+        with pytest.raises(TransactionError):
+            Batch(TripleStore()).__exit__(None, None, None)
+
+
+class TestUndoLog:
+    def test_undo_redo_round_trip(self):
+        s = TripleStore()
+        log = UndoLog(s)
+        s.add(triple("a", "p", 1))
+        log.checkpoint()
+        s.add(triple("b", "p", 2))
+        s.remove(triple("a", "p", 1))
+        log.checkpoint()
+        log.undo()
+        assert triple("a", "p", 1) in s and triple("b", "p", 2) not in s
+        log.redo()
+        assert triple("a", "p", 1) not in s and triple("b", "p", 2) in s
+
+    def test_checkpoint_empty_returns_false(self):
+        log = UndoLog(TripleStore())
+        assert log.checkpoint() is False
+
+    def test_new_edit_clears_redo(self):
+        s = TripleStore()
+        log = UndoLog(s)
+        s.add(triple("a", "p", 1))
+        log.checkpoint()
+        log.undo()
+        assert log.can_redo
+        s.add(triple("c", "p", 3))
+        assert not log.can_redo
+        log.checkpoint()
+
+    def test_undo_without_checkpoint_rejected(self):
+        s = TripleStore()
+        log = UndoLog(s)
+        s.add(triple("a", "p", 1))
+        with pytest.raises(TransactionError):
+            log.undo()
+
+    def test_undo_empty_rejected(self):
+        with pytest.raises(TransactionError):
+            UndoLog(TripleStore()).undo()
+
+    def test_redo_empty_rejected(self):
+        with pytest.raises(TransactionError):
+            UndoLog(TripleStore()).redo()
+
+    def test_detach_stops_recording(self):
+        s = TripleStore()
+        log = UndoLog(s)
+        log.detach()
+        s.add(triple("a", "p", 1))
+        assert log.checkpoint() is False
+
+    @given(st.lists(triples_st, min_size=1, max_size=15, unique=True))
+    def test_undo_restores_exact_prior_state(self, items):
+        s = TripleStore()
+        log = UndoLog(s)
+        s.add_all(items[: len(items) // 2])
+        log.checkpoint()
+        before = set(s)
+        s.add_all(items[len(items) // 2:])
+        for t in list(s)[:2]:
+            s.remove(t)
+        if log.checkpoint():
+            log.undo()
+        assert set(s) == before
+
+
+class TestTrimManager:
+    def test_create_select_remove(self):
+        trim = TrimManager()
+        bundle = trim.new_resource("bundle")
+        assert bundle.uri == "bundle-000001"
+        t = trim.create(bundle, "slim:bundleName", "Rounds")
+        assert trim.select(subject=bundle) == [t]
+        trim.remove(t)
+        assert trim.select(subject=bundle) == []
+
+    def test_remove_about_wipes_subject(self):
+        trim = TrimManager()
+        r = trim.new_resource("x")
+        trim.create(r, "p", 1)
+        trim.create(r, "q", 2)
+        assert trim.remove_about(r) == 2
+
+    def test_save_load_round_trip_and_id_safety(self, tmp_path):
+        trim = TrimManager()
+        bundle = trim.new_resource("bundle")
+        trim.create(bundle, "slim:bundleName", "Rounds")
+        path = str(tmp_path / "store.xml")
+        trim.save(path)
+
+        fresh = TrimManager()
+        fresh.load(path)
+        assert len(fresh.store) == 1
+        # Loaded ids are observed: next minted id does not collide.
+        assert fresh.new_resource("bundle").uri == "bundle-000002"
+
+    def test_query_facade(self):
+        trim = TrimManager()
+        b = trim.new_resource("bundle")
+        trim.create(b, "slim:bundleName", "Rounds")
+        results = trim.query(Query([
+            Pattern(Var("b"), Resource("slim:bundleName"), Var("n"))]))
+        assert results[0]["n"] == Literal("Rounds")
+
+    def test_view_facade(self):
+        trim = TrimManager()
+        b, s = trim.new_resource("bundle"), trim.new_resource("scrap")
+        trim.create(b, "slim:bundleContent", s)
+        trim.create(s, "slim:scrapName", "K+")
+        assert len(trim.view(b)) == 2
+
+    def test_batch_facade_rolls_back(self):
+        trim = TrimManager()
+        with pytest.raises(ValueError):
+            with trim.batch():
+                trim.create("a", "p", 1)
+                raise ValueError("abort")
+        assert len(trim.store) == 0
+
+    def test_enable_undo_idempotent(self):
+        trim = TrimManager()
+        log = trim.enable_undo()
+        assert trim.enable_undo() is log
+        assert trim.undo_log is log
+
+    def test_dumps_produces_xml(self):
+        trim = TrimManager()
+        trim.create("a", "p", 1)
+        assert trim.dumps().startswith("<?xml")

@@ -1,0 +1,223 @@
+"""Tests for the indexed TripleStore: mutation, selection, inspection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TripleNotFoundError
+from repro.triples.store import TripleStore
+from repro.triples.triple import Literal, Resource, Triple, triple
+
+# -- hypothesis strategies ----------------------------------------------------
+
+uris = st.text(alphabet="abcdefg:/-", min_size=1, max_size=8).filter(bool)
+resources = st.builds(Resource, uris)
+literals = st.builds(Literal, st.one_of(
+    st.text(max_size=8), st.integers(-99, 99), st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32)))
+nodes = st.one_of(resources, literals)
+triples_st = st.builds(Triple, resources, resources, nodes)
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add(triple("b1", "slim:bundleName", "Electrolyte"))
+    s.add(triple("b1", "slim:bundleContent", Resource("s1")))
+    s.add(triple("b1", "slim:bundleContent", Resource("s2")))
+    s.add(triple("s1", "slim:scrapName", "K+ 3.9"))
+    s.add(triple("s2", "slim:scrapName", "Na 140"))
+    return s
+
+
+class TestMutation:
+    def test_add_reports_novelty(self):
+        s = TripleStore()
+        t = triple("a", "p", "v")
+        assert s.add(t) is True
+        assert s.add(t) is False
+        assert len(s) == 1
+
+    def test_add_all_counts_new_only(self):
+        s = TripleStore()
+        t1, t2 = triple("a", "p", 1), triple("a", "p", 2)
+        assert s.add_all([t1, t2, t1]) == 2
+
+    def test_remove_present(self, store):
+        t = triple("s1", "slim:scrapName", "K+ 3.9")
+        store.remove(t)
+        assert t not in store
+        assert len(store) == 4
+
+    def test_remove_absent_raises(self, store):
+        with pytest.raises(TripleNotFoundError):
+            store.remove(triple("nope", "p", "v"))
+
+    def test_discard_reports_presence(self, store):
+        t = triple("s1", "slim:scrapName", "K+ 3.9")
+        assert store.discard(t) is True
+        assert store.discard(t) is False
+
+    def test_remove_matching_by_subject(self, store):
+        removed = store.remove_matching(subject=Resource("b1"))
+        assert removed == 3
+        assert store.select(subject=Resource("b1")) == []
+
+    def test_clear(self, store):
+        store.clear()
+        assert len(store) == 0
+        assert store.subjects() == []
+
+    def test_readd_after_remove(self, store):
+        t = triple("s1", "slim:scrapName", "K+ 3.9")
+        store.remove(t)
+        assert store.add(t) is True
+        assert t in store
+
+
+class TestSelection:
+    def test_match_by_subject(self, store):
+        hits = list(store.match(subject=Resource("b1")))
+        assert len(hits) == 3
+
+    def test_match_by_property(self, store):
+        hits = list(store.match(property=Resource("slim:scrapName")))
+        assert {t.subject.uri for t in hits} == {"s1", "s2"}
+
+    def test_match_by_value(self, store):
+        hits = list(store.match(value=Resource("s1")))
+        assert len(hits) == 1
+        assert hits[0].subject == Resource("b1")
+
+    def test_match_by_literal_value(self, store):
+        hits = list(store.match(value=Literal("Na 140")))
+        assert [t.subject.uri for t in hits] == ["s2"]
+
+    def test_match_combined_fields(self, store):
+        hits = list(store.match(subject=Resource("b1"),
+                                property=Resource("slim:bundleName")))
+        assert len(hits) == 1
+
+    def test_match_all_wildcards(self, store):
+        assert len(list(store.match())) == 5
+
+    def test_match_no_hits(self, store):
+        assert list(store.match(subject=Resource("ghost"))) == []
+
+    def test_select_preserves_insertion_order(self, store):
+        hits = store.select(subject=Resource("b1"))
+        assert [str(t.value) for t in hits] == ["'Electrolyte'", "s1", "s2"]
+
+    def test_one_single_match(self, store):
+        t = store.one(subject=Resource("b1"), property=Resource("slim:bundleName"))
+        assert t is not None and t.value == Literal("Electrolyte")
+
+    def test_one_no_match_is_none(self, store):
+        assert store.one(subject=Resource("ghost")) is None
+
+    def test_one_multiple_matches_raises(self, store):
+        with pytest.raises(LookupError):
+            store.one(subject=Resource("b1"), property=Resource("slim:bundleContent"))
+
+    def test_value_of_and_literal_of(self, store):
+        assert store.literal_of(Resource("b1"), Resource("slim:bundleName")) == "Electrolyte"
+        assert store.value_of(Resource("ghost"), Resource("p")) is None
+
+    def test_literal_of_rejects_resource_value(self):
+        s = TripleStore()
+        s.add(triple("pad", "slim:rootBundle", Resource("b0")))
+        with pytest.raises(LookupError):
+            s.literal_of(Resource("pad"), Resource("slim:rootBundle"))
+
+    def test_values_of_lists_all(self, store):
+        values = store.values_of(Resource("b1"), Resource("slim:bundleContent"))
+        assert values == [Resource("s1"), Resource("s2")]
+
+
+class TestInspection:
+    def test_len_contains_iter(self, store):
+        assert len(store) == 5
+        assert triple("s2", "slim:scrapName", "Na 140") in store
+        assert len(list(iter(store))) == 5
+
+    def test_subjects_distinct_in_order(self, store):
+        assert [r.uri for r in store.subjects()] == ["b1", "s1", "s2"]
+
+    def test_properties_distinct(self, store):
+        assert [r.uri for r in store.properties()] == [
+            "slim:bundleName", "slim:bundleContent", "slim:scrapName"]
+
+    def test_resources_include_values(self, store):
+        uris = [r.uri for r in store.resources()]
+        assert "s1" in uris and "s2" in uris and "b1" in uris
+
+    def test_estimated_bytes_grows_with_content(self):
+        small, big = TripleStore(), TripleStore()
+        small.add(triple("a", "p", "x"))
+        for i in range(100):
+            big.add(triple(f"subject-{i}", "property", "value" * 10))
+        assert big.estimated_bytes() > small.estimated_bytes() > 0
+
+    def test_estimated_bytes_empty_store(self):
+        assert TripleStore().estimated_bytes() == 0
+
+
+class TestListeners:
+    def test_listener_sees_adds_and_removes(self, store):
+        log = []
+        store.add_listener(lambda action, t: log.append((action, t.subject.uri)))
+        t = triple("x", "p", 1)
+        store.add(t)
+        store.remove(t)
+        assert log == [("add", "x"), ("remove", "x")]
+
+    def test_duplicate_add_not_notified(self, store):
+        log = []
+        store.add_listener(lambda action, t: log.append(action))
+        store.add(triple("b1", "slim:bundleName", "Electrolyte"))
+        assert log == []
+
+    def test_unsubscribe(self, store):
+        log = []
+        unsubscribe = store.add_listener(lambda a, t: log.append(a))
+        unsubscribe()
+        store.add(triple("x", "p", 1))
+        assert log == []
+
+
+class TestStoreProperties:
+    """Property-based invariants of the indexed store."""
+
+    @given(st.lists(triples_st, max_size=40))
+    def test_add_is_idempotent_set_semantics(self, items):
+        s = TripleStore()
+        s.add_all(items)
+        s.add_all(items)
+        assert len(s) == len(set(items))
+
+    @given(st.lists(triples_st, max_size=40))
+    def test_match_by_each_field_agrees_with_scan(self, items):
+        s = TripleStore()
+        s.add_all(items)
+        for t in set(items):
+            assert t in set(s.match(subject=t.subject))
+            assert t in set(s.match(property=t.property))
+            assert t in set(s.match(value=t.value))
+            assert t in set(s.match(t.subject, t.property, t.value))
+
+    @given(st.lists(triples_st, max_size=40), st.lists(triples_st, max_size=10))
+    def test_remove_then_absent_everywhere(self, items, extra):
+        s = TripleStore()
+        s.add_all(items)
+        for t in set(items):
+            s.remove(t)
+            assert t not in s
+            assert t not in set(s.match(subject=t.subject))
+            assert t not in set(s.match(value=t.value))
+        assert len(s) == 0
+
+    @given(st.lists(triples_st, max_size=40))
+    def test_iteration_matches_membership(self, items):
+        s = TripleStore()
+        s.add_all(items)
+        assert set(iter(s)) == set(items)

@@ -1,0 +1,138 @@
+"""Tests for 2-D geometry used by SLIMPad layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.coordinates import (Coordinate, Rect, bounding_box,
+                                    cluster_columns, cluster_rows)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+sizes = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+coords = st.builds(Coordinate, finite, finite)
+rects = st.builds(Rect, finite, finite, sizes, sizes)
+
+
+class TestCoordinate:
+    def test_translated(self):
+        assert Coordinate(1, 2).translated(3, -1) == Coordinate(4, 1)
+
+    def test_distance(self):
+        assert Coordinate(0, 0).distance_to(Coordinate(3, 4)) == 5.0
+
+    def test_as_tuple(self):
+        assert Coordinate(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    @given(coords, coords)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(coords)
+    def test_distance_to_self_is_zero(self, a):
+        assert a.distance_to(a) == 0.0
+
+
+class TestRect:
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+
+    def test_at_builds_from_position(self):
+        rect = Rect.at(Coordinate(2, 3), 4, 5)
+        assert (rect.x, rect.y, rect.width, rect.height) == (2, 3, 4, 5)
+
+    def test_derived_edges(self):
+        rect = Rect(1, 2, 10, 20)
+        assert rect.right == 11
+        assert rect.bottom == 22
+        assert rect.center == Coordinate(6, 12)
+        assert rect.area == 200
+
+    def test_contains_point_includes_boundary(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.contains_point(Coordinate(0, 0))
+        assert rect.contains_point(Coordinate(10, 10))
+        assert not rect.contains_point(Coordinate(10.1, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 3, 3))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(8, 8, 5, 5))
+
+    def test_intersects_detects_overlap_and_touch(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersects(Rect(5, 5, 10, 10))
+        assert a.intersects(Rect(10, 0, 5, 5))  # shared edge
+        assert not a.intersects(Rect(11, 11, 2, 2))
+
+    def test_union_covers_both(self):
+        a, b = Rect(0, 0, 2, 2), Rect(5, 5, 1, 1)
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+        assert u == Rect(0, 0, 6, 6)
+
+    def test_inflated_clamps_at_zero(self):
+        assert Rect(0, 0, 2, 2).inflated(-5) == Rect(5, 5, 0, 0)
+
+    @given(rects, rects)
+    def test_union_is_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(rects, rects)
+    def test_intersects_is_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects, rects)
+    def test_union_contains_operands(self, a, b):
+        # Inflate by a whisker: union recomputes edges as y + (bottom - y),
+        # which can round an edge inward by one ulp.
+        u = a.union(b).inflated(1e-6)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+
+class TestBoundingBox:
+    def test_empty_is_none(self):
+        assert bounding_box([]) is None
+
+    def test_single(self):
+        rect = Rect(1, 1, 2, 2)
+        assert bounding_box([rect]) == rect
+
+    def test_many(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(4, 4, 1, 1), Rect(2, -1, 1, 1)])
+        assert box == Rect(0, -1, 5, 6)
+
+
+class TestClustering:
+    def test_rows_grouped_by_y(self):
+        points = [Coordinate(10, 0), Coordinate(0, 1), Coordinate(5, 20)]
+        rows = cluster_rows(points, tolerance=2)
+        assert [[p.x for p in row] for row in rows] == [[0, 10], [5]]
+
+    def test_columns_grouped_by_x(self):
+        points = [Coordinate(0, 10), Coordinate(1, 0), Coordinate(20, 5)]
+        cols = cluster_columns(points, tolerance=2)
+        assert [[p.y for p in col] for col in cols] == [[0, 10], [5]]
+
+    def test_gridlet_recovers_matrix_shape(self):
+        # A 2x3 "Electrolyte gridlet" arrangement like Fig. 4.
+        points = [Coordinate(x * 30, y * 15) for y in range(2) for x in range(3)]
+        rows = cluster_rows(points, tolerance=1)
+        assert [len(row) for row in rows] == [3, 3]
+        cols = cluster_columns(points, tolerance=1)
+        assert [len(col) for col in cols] == [2, 2, 2]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_rows([], tolerance=-1)
+        with pytest.raises(ValueError):
+            cluster_columns([], tolerance=-0.5)
+
+    @given(st.lists(coords, max_size=30), st.floats(min_value=0, max_value=100))
+    def test_rows_partition_all_points(self, points, tolerance):
+        rows = cluster_rows(points, tolerance)
+        flattened = [p for row in rows for p in row]
+        assert sorted(flattened, key=lambda p: (p.x, p.y)) == \
+            sorted(points, key=lambda p: (p.x, p.y))

@@ -1,0 +1,155 @@
+"""Tests for the event bus and text helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.events import EventBus
+from repro.util.text import (excerpt, line_col_to_offset, line_spans,
+                             offset_to_line_col, shorten, tokenize)
+
+
+class TestEventBus:
+    def test_publish_reaches_exact_subscribers(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("base.selection", lambda e: seen.append(e["app"]))
+        bus.publish("base.selection", app="excel")
+        bus.publish("other.topic", app="word")
+        assert seen == ["excel"]
+
+    def test_wildcard_subscriber_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", lambda e: seen.append(e.topic))
+        bus.publish("a")
+        bus.publish("b", x=1)
+        assert seen == ["a", "b"]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe("t", lambda e: seen.append(1))
+        bus.publish("t")
+        unsubscribe()
+        bus.publish("t")
+        assert seen == [1]
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        unsubscribe = bus.subscribe("t", lambda e: None)
+        unsubscribe()
+        unsubscribe()  # should not raise
+
+    def test_handlers_run_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("t", lambda e: order.append("first"))
+        bus.subscribe("t", lambda e: order.append("second"))
+        bus.publish("t")
+        assert order == ["first", "second"]
+
+    def test_event_payload_access(self):
+        bus = EventBus()
+        event = bus.publish("t", a=1)
+        assert event["a"] == 1
+        assert event.get("missing", 9) == 9
+        with pytest.raises(KeyError):
+            event["missing"]
+
+    def test_history_recording_is_opt_in(self):
+        bus = EventBus()
+        bus.publish("ignored")
+        bus.record_history = True
+        bus.publish("kept")
+        assert [e.topic for e in bus.history] == ["kept"]
+        bus.clear_history()
+        assert bus.history == []
+
+    def test_handler_errors_propagate(self):
+        bus = EventBus()
+
+        def boom(event):
+            raise RuntimeError("handler failed")
+
+        bus.subscribe("t", boom)
+        with pytest.raises(RuntimeError):
+            bus.publish("t")
+
+
+class TestTokenize:
+    def test_words_with_spans(self):
+        tokens = list(tokenize("To be, or not"))
+        assert [t.text for t in tokens] == ["To", "be", "or", "not"]
+        first = tokens[0]
+        assert (first.start, first.end) == (0, 2)
+        assert first.normalized() == "to"
+
+    def test_apostrophes_and_hyphens_stay_in_words(self):
+        tokens = [t.text for t in tokenize("o'er the ice-cold sea")]
+        assert tokens == ["o'er", "the", "ice-cold", "sea"]
+
+    def test_numbers_are_not_words(self):
+        assert [t.text for t in tokenize("Na 140 K 3.9")] == ["Na", "K"]
+
+    @given(st.text(max_size=200))
+    def test_spans_index_back_to_text(self, text):
+        for token in tokenize(text):
+            assert text[token.start:token.end] == token.text
+
+
+class TestLinePositions:
+    def test_line_spans_cover_text(self):
+        text = "ab\ncd\n\nef"
+        assert line_spans(text) == [(0, 2), (3, 5), (6, 6), (7, 9)]
+
+    def test_offset_round_trip(self):
+        text = "one\ntwo\nthree"
+        for offset in range(len(text) + 1):
+            line, col = offset_to_line_col(text, offset)
+            # Offsets addressing a newline itself map to end-of-line.
+            assert line_col_to_offset(text, line, col) == offset
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(ValueError):
+            offset_to_line_col("abc", 4)
+        with pytest.raises(ValueError):
+            offset_to_line_col("abc", -1)
+
+    def test_line_col_out_of_range(self):
+        with pytest.raises(ValueError):
+            line_col_to_offset("ab\ncd", 5, 0)
+        with pytest.raises(ValueError):
+            line_col_to_offset("ab\ncd", 0, 3)
+
+
+class TestExcerpt:
+    def test_exact_span_without_context(self):
+        assert excerpt("hello world", 6, 11, context=0) == "…world"
+
+    def test_context_and_ellipses(self):
+        text = "the quick brown fox jumps"
+        result = excerpt(text, 10, 15, context=4)
+        assert result == "…ick brown fox…"
+
+    def test_no_ellipsis_at_text_edges(self):
+        assert excerpt("abc", 0, 3, context=5) == "abc"
+
+    def test_bad_span_rejected(self):
+        with pytest.raises(ValueError):
+            excerpt("abc", 2, 1)
+        with pytest.raises(ValueError):
+            excerpt("abc", 0, 4)
+
+
+class TestShorten:
+    def test_short_text_unchanged(self):
+        assert shorten("abc", 10) == "abc"
+
+    def test_long_text_clipped(self):
+        assert shorten("abcdefgh", 5) == "abcd…"
+        assert len(shorten("abcdefgh", 5)) == 5
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            shorten("abc", 0)

@@ -1,0 +1,75 @@
+"""Tests for deterministic id generation."""
+
+import pytest
+
+from repro.util.identifiers import IdGenerator, split_id
+
+
+class TestIdGenerator:
+    def test_ids_are_sequential_per_prefix(self):
+        ids = IdGenerator()
+        assert ids.next("mark") == "mark-000001"
+        assert ids.next("mark") == "mark-000002"
+        assert ids.next("bundle") == "bundle-000001"
+        assert ids.next("mark") == "mark-000003"
+
+    def test_width_controls_padding(self):
+        ids = IdGenerator(width=3)
+        assert ids.next("x") == "x-001"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IdGenerator(width=0)
+
+    def test_invalid_prefix_rejected(self):
+        ids = IdGenerator()
+        with pytest.raises(ValueError):
+            ids.next("")
+        with pytest.raises(ValueError):
+            ids.next("9lives")
+
+    def test_stream_yields_successive_ids(self):
+        ids = IdGenerator()
+        stream = ids.stream("s")
+        assert next(stream) == "s-000001"
+        assert next(stream) == "s-000002"
+
+    def test_observe_advances_counter(self):
+        ids = IdGenerator()
+        ids.observe("mark-000041")
+        assert ids.next("mark") == "mark-000042"
+
+    def test_observe_never_regresses(self):
+        ids = IdGenerator()
+        ids.observe("mark-000050")
+        ids.observe("mark-000010")
+        assert ids.next("mark") == "mark-000051"
+
+    def test_observe_ignores_foreign_ids(self):
+        ids = IdGenerator()
+        ids.observe("not an id")
+        ids.observe("slim:Bundle")
+        assert ids.next("mark") == "mark-000001"
+
+    def test_peek_reports_minted_count(self):
+        ids = IdGenerator()
+        assert ids.peek("mark") == 0
+        ids.next("mark")
+        ids.next("mark")
+        assert ids.peek("mark") == 2
+
+    def test_two_generators_are_independent(self):
+        a, b = IdGenerator(), IdGenerator()
+        a.next("mark")
+        assert b.next("mark") == "mark-000001"
+
+
+class TestSplitId:
+    def test_round_trip(self):
+        assert split_id("mark-000042") == ("mark", 42)
+
+    def test_rejects_non_generated(self):
+        with pytest.raises(ValueError):
+            split_id("slim:Bundle")
+        with pytest.raises(ValueError):
+            split_id("mark-")

@@ -1,0 +1,99 @@
+"""Tests for the three viewing styles (Fig. 6)."""
+
+import pytest
+
+from repro.slimpad.app import SlimPadApplication
+from repro.util.coordinates import Coordinate
+from repro.viewing.styles import (EnhancedBaseLayerViewing,
+                                  IndependentViewing, SimultaneousViewing)
+
+
+@pytest.fixture
+def slimpad(manager):
+    app = SlimPadApplication(manager)
+    app.new_pad("Rounds")
+    return app
+
+
+@pytest.fixture
+def lasix_scrap(slimpad):
+    excel = slimpad.marks.application("spreadsheet")
+    excel.open_workbook("medications.xls")
+    excel.select_range("A2:D2")
+    return slimpad.create_scrap_from_selection(excel, label="Lasix",
+                                               pos=Coordinate(10, 10))
+
+
+class TestSimultaneousViewing:
+    def test_both_windows_visible_base_surfaced(self, slimpad, lasix_scrap):
+        excel = slimpad.marks.application("spreadsheet")
+        excel.hide()
+        outcome = SimultaneousViewing(slimpad).show(lasix_scrap)
+        assert outcome.style == "simultaneous"
+        assert outcome.base_surfaced
+        assert outcome.presented_in == "base-window"
+        assert set(outcome.windows_visible) == {"slimpad", "spreadsheet"}
+        assert outcome.content == [["Lasix", "40mg", "IV", "BID"]]
+        assert excel.in_front and slimpad.visible
+
+    def test_highlight_lands_in_base_window(self, slimpad, lasix_scrap):
+        SimultaneousViewing(slimpad).show(lasix_scrap)
+        excel = slimpad.marks.application("spreadsheet")
+        assert excel.highlight.range == "A2:D2"
+
+
+class TestIndependentViewing:
+    def test_base_stays_hidden(self, slimpad, lasix_scrap):
+        excel = slimpad.marks.application("spreadsheet")
+        excel.hide()
+        outcome = IndependentViewing(slimpad).show(lasix_scrap)
+        assert outcome.style == "independent"
+        assert not outcome.base_surfaced
+        assert outcome.presented_in == "superimposed-window"
+        assert outcome.windows_visible == ("slimpad",)
+        assert "Lasix" in outcome.content
+        assert not excel.in_front
+
+    def test_note_scrap_shows_its_text(self, slimpad):
+        note = slimpad.create_note_scrap("call family", Coordinate(0, 0))
+        outcome = IndependentViewing(slimpad).show(note)
+        assert outcome.content == "call family"
+
+
+class TestEnhancedBaseLayerViewing:
+    def test_annotations_overlay_in_base_window(self, manager):
+        browser = manager.application("html")
+        page = browser.load("http://icu.example/protocol")
+        enhanced = EnhancedBaseLayerViewing(browser)
+        browser.select_element(page.root.find_all("p")[0])
+        enhanced.annotate_selection("we follow this dosing", author="pg")
+        browser.select_element(page.root.find_all("li")[0])
+        enhanced.annotate_selection("telemetry required", author="ja")
+
+        outcome = enhanced.show("http://icu.example/protocol")
+        assert outcome.style == "enhanced-base-layer"
+        assert outcome.presented_in == "base-overlay"
+        assert outcome.windows_visible == ("html",)
+        assert outcome.base_surfaced
+        notes = [text for _addr, text in outcome.content["annotations"]]
+        assert notes == ["we follow this dosing", "telemetry required"]
+
+    def test_overlays_scoped_per_document(self, manager, library):
+        browser = manager.application("html")
+        page = browser.load("http://icu.example/protocol")
+        enhanced = EnhancedBaseLayerViewing(browser)
+        browser.select_element(page.root.find_all("p")[0])
+        enhanced.annotate_selection("note")
+        assert enhanced.overlays_for("http://other.example/") == []
+        assert len(enhanced.overlays_for("http://icu.example/protocol")) == 1
+
+    def test_wraps_any_base_application(self, manager):
+        """Enhanced viewing is not browser-specific (unlike Third Voice)."""
+        word = manager.application("word")
+        word.open_document("note.doc")
+        enhanced = EnhancedBaseLayerViewing(word)
+        word.select_span(2, 26, 38)
+        overlay = enhanced.annotate_selection("confirmed by echo")
+        assert overlay.address.paragraph == 2
+        outcome = enhanced.show("note.doc")
+        assert outcome.windows_visible == ("word",)

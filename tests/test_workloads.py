@@ -1,0 +1,175 @@
+"""Tests for the workload generators: ICU census, rounds worksheet,
+concordance, and the scaling helpers."""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.slimpad.render import describe_structure, render_text
+from repro.workloads.concordance import (build_concordance, corpus_library,
+                                         play_titles)
+from repro.workloads.generator import (build_pad_native, build_pad_via_dmi,
+                                       populate_store, random_triples)
+from repro.workloads.icu import generate_icu
+from repro.workloads.rounds import GRIDLET_TESTS, build_rounds_worksheet
+
+
+class TestIcuGenerator:
+    def test_census_shape(self):
+        dataset = generate_icu(num_patients=5, seed=1)
+        assert len(dataset.patients) == 5
+        patient = dataset.patients[0]
+        assert patient.meds_file in dataset.library
+        assert patient.labs_file in dataset.library
+        assert patient.note_file in dataset.library
+        assert dataset.guideline_url in dataset.library
+        assert dataset.handbook_file in dataset.library
+        assert dataset.rounds_deck in dataset.library
+
+    def test_determinism(self):
+        first = generate_icu(num_patients=4, seed=42)
+        second = generate_icu(num_patients=4, seed=42)
+        assert [p.name for p in first.patients] == \
+            [p.name for p in second.patients]
+        assert [p.labs for p in first.patients] == \
+            [p.labs for p in second.patients]
+
+    def test_seeds_differ(self):
+        a = generate_icu(num_patients=6, seed=1)
+        b = generate_icu(num_patients=6, seed=2)
+        assert [p.name for p in a.patients] != [p.name for p in b.patients]
+
+    def test_documents_are_consistent_with_census(self):
+        dataset = generate_icu(num_patients=3, seed=7)
+        patient = dataset.patients[1]
+        workbook = dataset.library.get(patient.meds_file)
+        sheet = workbook.sheet("Current")
+        assert sheet.cell("A2") == patient.medications[0][0]
+        labs = dataset.library.get(patient.labs_file)
+        potassium = [e for e in labs.root.find_all("result")
+                     if e.attributes["test"] == "K"][0]
+        assert float(potassium.text) == patient.labs["K"]
+
+    def test_at_least_one_patient_required(self):
+        with pytest.raises(ValueError):
+            generate_icu(num_patients=0)
+
+
+class TestRoundsWorksheet:
+    @pytest.fixture(scope="class")
+    def worksheet(self):
+        dataset = generate_icu(num_patients=3, seed=11)
+        slimpad, rows = build_rounds_worksheet(dataset)
+        return dataset, slimpad, rows
+
+    def test_one_row_per_patient(self, worksheet):
+        dataset, slimpad, rows = worksheet
+        assert len(rows) == 3
+        names = [row.bundle.bundleName for row in rows]
+        assert names == [p.name for p in dataset.patients]
+
+    def test_four_regions_per_row(self, worksheet):
+        _dataset, slimpad, rows = worksheet
+        for row in rows:
+            regions = [b.bundleName for b in row.bundle.nestedBundle]
+            assert regions == ["Patient", "Problems", "Labs", "To do"]
+
+    def test_labs_are_marked_scraps_with_gridlet(self, worksheet):
+        dataset, slimpad, rows = worksheet
+        labs = rows[0].labs
+        scraps = labs.bundleContent
+        assert len(scraps) == len(GRIDLET_TESTS)
+        assert all(s.scrapMark for s in scraps)
+        assert [g.graphicKind for g in labs.bundleGraphic] == ["grid"]
+        # Each scrap resolves into the patient's own lab report.
+        resolution = slimpad.double_click(scraps[1])  # K
+        assert resolution.document_name == dataset.patients[0].labs_file
+        assert float(resolution.content) == dataset.patients[0].labs["K"]
+
+    def test_todos_are_plain_notes(self, worksheet):
+        _dataset, _slimpad, rows = worksheet
+        todo_scraps = rows[0].todos.bundleContent
+        assert todo_scraps
+        assert all(not s.scrapMark for s in todo_scraps)
+        assert all(s.scrapName.startswith("[ ]") for s in todo_scraps)
+
+    def test_problem_scraps_resolve_into_note(self, worksheet):
+        dataset, slimpad, rows = worksheet
+        problems = rows[2].problems.bundleContent
+        resolution = slimpad.double_click(problems[0])
+        assert resolution.document_name == dataset.patients[2].note_file
+        assert resolution.content == dataset.patients[2].problems[0]
+
+    def test_structure_stats(self, worksheet):
+        _dataset, slimpad, rows = worksheet
+        stats = describe_structure(slimpad.pad)
+        # root + 3 patient bundles + 4 regions each
+        assert stats["bundles"] == 1 + 3 * 5
+        assert stats["max_depth"] == 3
+        assert stats["graphics"] == 3
+        assert stats["notes"] >= 3 * 4  # identity note + 3 todos per patient
+
+    def test_renderable(self, worksheet):
+        _dataset, slimpad, _rows = worksheet
+        text = render_text(slimpad.pad)
+        assert "Rounds" in text and "[Labs]" in text
+
+
+class TestConcordance:
+    def test_corpus_is_structured(self):
+        library = corpus_library()
+        assert len(play_titles()) == 2
+        for title in play_titles():
+            file_name = title.lower().replace(" ", "-") + ".xml"
+            play = library.get(file_name)
+            assert play.root.tag == "play"
+            assert play.root.find_all("line")
+
+    def test_concordance_finds_every_use(self):
+        slimpad, citations = build_concordance(["water", "crown"])
+        # 'water' appears in The Winter Tide (1.1, 1.2 twice) and
+        # A Fool of Fortune (2.2).
+        assert len(citations["water"]) == 4
+        assert len(citations["crown"]) == 3
+        water_bundle = slimpad.find_bundle("water")
+        assert len(water_bundle.bundleContent) == 4
+
+    def test_citations_use_play_act_scene_line_addressing(self):
+        _slimpad, citations = build_concordance(["motley"])
+        assert citations["motley"] == ["A Fool of Fortune 2.1.2",
+                                       "A Fool of Fortune 2.2.3",
+                                       "A Fool of Fortune 2.2.4"]
+
+    def test_scraps_reestablish_context(self):
+        """Unlike a print concordance, each entry navigates to its line."""
+        slimpad, citations = build_concordance(["stone"])
+        scrap = slimpad.find_bundle("stone").bundleContent[0]
+        resolution = slimpad.double_click(scrap)
+        assert "stone" in resolution.content.lower()
+        assert resolution.mark.mark_type == "xml"
+
+    def test_case_insensitive_matching(self):
+        _slimpad, citations = build_concordance(["Fortune"])
+        # 'Fortune' (1.1.1) and 'fortune' (2.2.2) both counted.
+        assert citations["fortune"] == ["A Fool of Fortune 1.1.1",
+                                        "A Fool of Fortune 2.2.2"]
+
+
+class TestScaleGenerators:
+    def test_dmi_and_native_shapes_match(self):
+        dmi = build_pad_via_dmi(3, 4)
+        native = build_pad_native(3, 4)
+        runtime = dmi.runtime
+        assert len(runtime.all("Bundle")) == 4  # root + 3
+        assert len(runtime.all("Scrap")) == 12
+        counts = native.counts()
+        assert counts["bundles"] == 4
+        assert counts["scraps"] == 12
+        assert counts["handles"] == 12
+
+    def test_random_triples_deterministic(self):
+        assert random_triples(50, seed=3) == random_triples(50, seed=3)
+        assert random_triples(50, seed=3) != random_triples(50, seed=4)
+
+    def test_populate_store(self):
+        store = populate_store(200)
+        assert len(store) > 150  # duplicates possible, most survive

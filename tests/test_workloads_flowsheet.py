@@ -1,0 +1,109 @@
+"""Tests for the flowsheet workload (Fig. 2's time-tracking bundle)."""
+
+import pytest
+
+from repro.base import standard_mark_manager
+from repro.slimpad.app import SlimPadApplication
+from repro.slimpad.layout import infer_columns, infer_rows
+from repro.workloads.flowsheet import (FLOWSHEET_TESTS, build_flowsheet,
+                                       generate_lab_series, resolve_series,
+                                       trend)
+from repro.workloads.icu import generate_icu
+
+TIMES = ["06:00", "12:00", "18:00"]
+
+
+@pytest.fixture
+def world():
+    dataset = generate_icu(num_patients=2, seed=13)
+    manager = standard_mark_manager(dataset.library)
+    slimpad = SlimPadApplication(manager)
+    slimpad.new_pad("Flowsheets")
+    return dataset, manager, slimpad
+
+
+class TestLabSeries:
+    def test_one_report_per_time(self, world):
+        dataset, _manager, _slimpad = world
+        names = generate_lab_series(dataset, dataset.patients[0], TIMES)
+        assert names == ["labs-001-t0.xml", "labs-001-t1.xml",
+                         "labs-001-t2.xml"]
+        for name in names:
+            assert name in dataset.library
+
+    def test_first_point_is_baseline(self, world):
+        dataset, _manager, _slimpad = world
+        patient = dataset.patients[0]
+        names = generate_lab_series(dataset, patient, TIMES)
+        report = dataset.library.get(names[0])
+        k_value = next(e for e in report.root.find_all("result")
+                       if e.attributes["test"] == "K")
+        assert float(k_value.text) == patient.labs["K"]
+
+    def test_series_deterministic_per_seed(self, world):
+        dataset, _manager, _slimpad = world
+        patient = dataset.patients[0]
+        first = generate_lab_series(dataset, patient, TIMES, seed=4)
+        first_texts = [dataset.library.get(n).root.full_text() for n in first]
+        second = generate_lab_series(dataset, patient, TIMES, seed=4)
+        second_texts = [dataset.library.get(n).root.full_text()
+                        for n in second]
+        assert first_texts == second_texts
+
+
+class TestFlowsheet:
+    def test_grid_shape(self, world):
+        dataset, _manager, slimpad = world
+        sheet = build_flowsheet(slimpad, dataset, dataset.patients[0], TIMES)
+        assert len(sheet.cells) == len(FLOWSHEET_TESTS) * len(TIMES)
+        # Header notes + value scraps all present.
+        scraps = slimpad.scraps_in(sheet.bundle)
+        assert len(scraps) == len(sheet.cells) + len(TIMES) + \
+            len(FLOWSHEET_TESTS)
+
+    def test_cells_resolve_to_their_time_point(self, world):
+        dataset, manager, slimpad = world
+        sheet = build_flowsheet(slimpad, dataset, dataset.patients[0], TIMES)
+        cell = sheet.cell("K", 2)
+        resolution = slimpad.double_click(cell)
+        assert resolution.document_name == "labs-001-t2.xml"
+        assert resolution.content == cell.scrapName
+
+    def test_layout_recovers_grid(self, world):
+        dataset, _manager, slimpad = world
+        sheet = build_flowsheet(slimpad, dataset, dataset.patients[0], TIMES)
+        rows = infer_rows(sheet.bundle, tolerance=5)
+        # header row + one row per test
+        assert len(rows) == 1 + len(FLOWSHEET_TESTS)
+        columns = infer_columns(sheet.bundle, tolerance=5)
+        # header column + one column per time
+        assert len(columns) == 1 + len(TIMES)
+
+    def test_resolve_series_and_trend(self, world):
+        dataset, _manager, slimpad = world
+        sheet = build_flowsheet(slimpad, dataset, dataset.patients[0], TIMES)
+        series = resolve_series(slimpad, sheet, "K")
+        assert len(series) == len(TIMES)
+        assert all(isinstance(v, float) for v in series)
+        assert trend(slimpad, sheet, "K") in ("rising", "falling", "flat")
+
+    def test_series_is_live(self, world):
+        """Edit a time point in the base layer: the series re-reads it."""
+        dataset, _manager, slimpad = world
+        sheet = build_flowsheet(slimpad, dataset, dataset.patients[0], TIMES)
+        report = dataset.library.get("labs-001-t1.xml")
+        k_element = next(e for e in report.root.find_all("result")
+                         if e.attributes["test"] == "K")
+        k_element.text = "9.9"
+        series = resolve_series(slimpad, sheet, "K")
+        assert series[1] == 9.9
+
+    def test_two_patients_two_sheets(self, world):
+        dataset, _manager, slimpad = world
+        from repro.util.coordinates import Coordinate
+        first = build_flowsheet(slimpad, dataset, dataset.patients[0], TIMES)
+        second = build_flowsheet(slimpad, dataset, dataset.patients[1],
+                                 TIMES, origin=Coordinate(16, 300))
+        assert first.bundle != second.bundle
+        assert slimpad.double_click(
+            second.cell("Na", 0)).document_name == "labs-002-t0.xml"
