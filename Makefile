@@ -1,0 +1,19 @@
+# Developer entry points. Everything runs from the source tree (no install
+# needed) by pointing PYTHONPATH at src/.
+
+PY := PYTHONPATH=src python -m
+
+.PHONY: test bench bench-smoke
+
+test:            ## tier-1: the full unit/integration/property suite
+	$(PY) pytest -x -q
+
+bench:           ## full benchmark harness (figures + claims), prints tables
+	$(PY) pytest benchmarks/ --benchmark-only -q -s
+
+# CI guard for the bench harness itself: the whole benchmarks/ tree on the
+# small fixture (BENCH_SMOKE shrinks the query-planning workload and keeps
+# the checked-in BENCH_trim_query.json untouched), so planner/bench code
+# can't silently rot without anyone running the full harness.
+bench-smoke:     ## quick benchmark pass on the small fixture
+	BENCH_SMOKE=1 $(PY) pytest benchmarks/ --benchmark-only -q

@@ -171,8 +171,8 @@ class DmiRuntime:
         ref = obj._entity.reference(ref_name)
         self._check_target(ref, target)
         prop = self.property_resource(obj._entity.name, ref_name)
-        existing = self.trim.store.values_of(obj._resource, prop)
-        if not ref.many and existing:
+        if not ref.many and \
+                self.trim.count(subject=obj._resource, prop=prop) > 0:
             raise DmiError(
                 f"{obj._entity.name}.{ref_name} is single-valued; "
                 f"use set_ref to replace")
@@ -234,8 +234,10 @@ class DmiRuntime:
         """Fetch one instance by id; raises when absent or wrong entity."""
         entity = self.spec.entity(entity_name)
         resource = Resource(instance_id)
-        if self.trim.store.value_of(resource, _TYPE) != \
-                self.type_resource(entity_name):
+        # Exact-membership probe on the (s, p, v) fast path — no triple
+        # materialization just to compare the type value.
+        if self.trim.count(subject=resource, prop=_TYPE,
+                           value=self.type_resource(entity_name)) == 0:
             raise UnknownEntityError(
                 f"no {entity_name} with id {instance_id!r}")
         return EntityObject(self, resource, entity)
@@ -248,8 +250,13 @@ class DmiRuntime:
                                           value=self.type_resource(entity_name))]
 
     def exists(self, obj: EntityObject) -> bool:
-        """Whether the instance behind *obj* is still stored."""
-        return self.trim.store.value_of(obj._resource, _TYPE) is not None
+        """Whether the instance behind *obj* is still stored.
+
+        A bucket-size read on the ``(subject, property)`` compound index —
+        this runs inside every DMI operation (via liveness checks), so it
+        must not materialize triples.
+        """
+        return self.trim.count(subject=obj._resource, prop=_TYPE) > 0
 
     # -- deletion --------------------------------------------------------------------------
 

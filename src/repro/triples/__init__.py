@@ -19,7 +19,7 @@ from repro.triples.namespaces import (
     Namespace,
     NamespaceRegistry,
 )
-from repro.triples.query import Pattern, Query, Var
+from repro.triples.query import Pattern, PlanStep, Query, Var
 from repro.triples.store import TripleStore
 from repro.triples.transactions import Batch, Change, UndoLog
 from repro.triples.trim import TrimManager
@@ -34,6 +34,7 @@ __all__ = [
     "Namespace",
     "NamespaceRegistry",
     "Pattern",
+    "PlanStep",
     "Query",
     "Var",
     "TripleStore",

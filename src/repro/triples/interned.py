@@ -4,14 +4,16 @@ Section 6: *"In applications of our SLIM Store technology beyond SLIMPad,
 some data sets are quite large and we are developing alternative
 implementation mechanisms."*  This is that alternative: node payloads are
 interned once into integer ids, statements are stored as id-triples, and
-the three field indexes map ids to statement sets.  Repeated URIs (the
-common case — every triple repeats property names, every instance repeats
-its subject) are stored once.
+the field indexes map ids to statement sets.  Repeated URIs (the common
+case — every triple repeats property names, every instance repeats its
+subject) are stored once.
 
 :class:`InternedTripleStore` implements the same core surface as
-:class:`~repro.triples.store.TripleStore` (add/remove/match/select/len/
-contains/iter/estimated_bytes), so TRIM-level code and the ablation bench
-can swap it in.
+:class:`~repro.triples.store.TripleStore` (add/remove/match/select/one/
+value_of/values_of/count/clear/len/contains/iter/estimated_bytes, plus the
+:attr:`generation` counter), so TRIM-level code, the query planner, cached
+views, and the ablation bench can swap it in.  The shared contract is
+pinned by ``tests/test_triples_store_parity.py``.
 """
 
 from __future__ import annotations
@@ -19,9 +21,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import TripleNotFoundError
-from repro.triples.triple import Node, Resource, Triple
+from repro.triples.triple import Literal, Node, Resource, Triple
 
 _Key = Tuple[int, int, int]
+
+_EMPTY: "frozenset[_Key]" = frozenset()
 
 
 class InternedTripleStore:
@@ -32,9 +36,13 @@ class InternedTripleStore:
         self._nodes: List[Node] = []
         self._statements: Dict[_Key, int] = {}    # key -> insertion seq
         self._sequence = 0
+        self._generation = 0
         self._by_subject: Dict[int, Set[_Key]] = {}
         self._by_property: Dict[int, Set[_Key]] = {}
         self._by_value: Dict[int, Set[_Key]] = {}
+        # Compound indexes over id pairs, mirroring TripleStore's.
+        self._by_subject_property: Dict[Tuple[int, int], Set[_Key]] = {}
+        self._by_property_value: Dict[Tuple[int, int], Set[_Key]] = {}
 
     # -- interning ---------------------------------------------------------------
 
@@ -67,16 +75,31 @@ class InternedTripleStore:
         key = self._key_of(triple)
         if key in self._statements:
             return False
+        self._insert_key(key)
+        return True
+
+    def _insert_key(self, key: _Key) -> None:
         self._statements[key] = self._sequence
         self._sequence += 1
+        self._generation += 1
         self._by_subject.setdefault(key[0], set()).add(key)
         self._by_property.setdefault(key[1], set()).add(key)
         self._by_value.setdefault(key[2], set()).add(key)
-        return True
+        self._by_subject_property.setdefault((key[0], key[1]), set()).add(key)
+        self._by_property_value.setdefault((key[1], key[2]), set()).add(key)
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Insert many; returns how many were new."""
-        return sum(1 for t in triples if self.add(t))
+        """Insert many; returns how many were new (batch fast path)."""
+        statements = self._statements
+        key_of = self._key_of
+        added = 0
+        for t in triples:
+            key = key_of(t)
+            if key in statements:
+                continue
+            self._insert_key(key)
+            added += 1
+        return added
 
     def remove(self, triple: Triple) -> None:
         """Delete; raises :class:`TripleNotFoundError` when absent.
@@ -90,14 +113,17 @@ class InternedTripleStore:
         if None in key or key not in self._statements:  # type: ignore[comparison-overlap]
             raise TripleNotFoundError(f"triple not in store: {triple}")
         del self._statements[key]  # type: ignore[arg-type]
-        for index, node_id in ((self._by_subject, key[0]),
-                               (self._by_property, key[1]),
-                               (self._by_value, key[2])):
-            bucket = index.get(node_id)
+        self._generation += 1
+        for index, index_key in ((self._by_subject, key[0]),
+                                 (self._by_property, key[1]),
+                                 (self._by_value, key[2]),
+                                 (self._by_subject_property, (key[0], key[1])),
+                                 (self._by_property_value, (key[1], key[2]))):
+            bucket = index.get(index_key)
             if bucket is not None:
                 bucket.discard(key)  # type: ignore[arg-type]
                 if not bucket:
-                    del index[node_id]
+                    del index[index_key]
 
     def discard(self, triple: Triple) -> bool:
         """Delete if present; returns whether it was."""
@@ -107,27 +133,70 @@ class InternedTripleStore:
         except TripleNotFoundError:
             return False
 
+    def remove_matching(self, subject: Optional[Resource] = None,
+                        property: Optional[Resource] = None,
+                        value: Optional[Node] = None) -> int:
+        """Delete every triple matching the selection; return the count."""
+        # Snapshot before mutating — match() iterates live buckets.
+        victims = list(self.match(subject, property, value))
+        for triple in victims:
+            self.remove(triple)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Delete every statement in one pass (intern table retained)."""
+        count = len(self._statements)
+        if not count:
+            return
+        self._statements = {}
+        self._by_subject = {}
+        self._by_property = {}
+        self._by_value = {}
+        self._by_subject_property = {}
+        self._by_property_value = {}
+        self._generation += count
+
     # -- selection -------------------------------------------------------------------
 
     def match(self, subject: Optional[Resource] = None,
               property: Optional[Resource] = None,
               value: Optional[Node] = None) -> Iterator[Triple]:
         """Yield triples matching the fixed fields (``None`` = wildcard)."""
-        buckets: List[Set[_Key]] = []
-        for node, index in ((subject, self._by_subject),
-                            (property, self._by_property),
-                            (value, self._by_value)):
+        ids = []
+        for node in (subject, property, value):
             if node is None:
+                ids.append(None)
                 continue
             node_id = self._lookup(node)
             if node_id is None:
                 return
-            buckets.append(index.get(node_id, set()))
-        if not buckets:
-            candidates: Iterable[_Key] = list(self._statements)
+            ids.append(node_id)
+        sid, pid, vid = ids
+        if sid is not None and pid is not None and vid is not None:
+            key = (sid, pid, vid)
+            if key in self._statements:
+                yield self._triple_of(key)
+            return
+        if sid is not None and pid is not None:
+            candidates: Iterable[_Key] = \
+                self._by_subject_property.get((sid, pid), _EMPTY)
+        elif pid is not None and vid is not None:
+            candidates = self._by_property_value.get((pid, vid), _EMPTY)
+        elif sid is not None and vid is not None:
+            subj_bucket = self._by_subject.get(sid, _EMPTY)
+            val_bucket = self._by_value.get(vid, _EMPTY)
+            small, big = ((subj_bucket, val_bucket)
+                          if len(subj_bucket) <= len(val_bucket)
+                          else (val_bucket, subj_bucket))
+            candidates = (k for k in small if k in big)
+        elif sid is not None:
+            candidates = self._by_subject.get(sid, _EMPTY)
+        elif pid is not None:
+            candidates = self._by_property.get(pid, _EMPTY)
+        elif vid is not None:
+            candidates = self._by_value.get(vid, _EMPTY)
         else:
-            candidates = set.intersection(*buckets) if len(buckets) > 1 \
-                else buckets[0]
+            candidates = self._statements.keys()
         for key in candidates:
             yield self._triple_of(key)
 
@@ -138,6 +207,79 @@ class InternedTripleStore:
         keys = [self._key_of(t) for t in self.match(subject, property, value)]
         keys.sort(key=self._statements.__getitem__)
         return [self._triple_of(key) for key in keys]
+
+    def one(self, subject: Optional[Resource] = None,
+            property: Optional[Resource] = None,
+            value: Optional[Node] = None) -> Optional[Triple]:
+        """The single matching triple, ``None`` if none, LookupError if many."""
+        found: Optional[Triple] = None
+        for triple in self.match(subject, property, value):
+            if found is not None:
+                raise LookupError(
+                    f"expected at most one triple for ({subject}, {property}, {value})")
+            found = triple
+        return found
+
+    def value_of(self, subject: Resource, property: Resource) -> Optional[Node]:
+        """The value of a single-valued property, or ``None``."""
+        hit = self.one(subject=subject, property=property)
+        return None if hit is None else hit.value
+
+    def literal_of(self, subject: Resource, property: Resource):
+        """The Python value of a single-valued literal property, or ``None``."""
+        node = self.value_of(subject, property)
+        if node is None:
+            return None
+        if not isinstance(node, Literal):
+            raise LookupError(f"{subject} {property} holds a resource, not a literal")
+        return node.value
+
+    def values_of(self, subject: Resource, property: Resource) -> List[Node]:
+        """All values of a property on *subject*, in insertion order."""
+        return [t.value for t in self.select(subject=subject, property=property)]
+
+    # -- statistics (read by the query planner) ----------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter: bumps on every add and remove."""
+        return self._generation
+
+    def count(self, subject: Optional[Resource] = None,
+              property: Optional[Resource] = None,
+              value: Optional[Node] = None) -> int:
+        """Matching-triple count from index bucket sizes, without scanning.
+
+        Same contract as :meth:`TripleStore.count`: exact for every indexed
+        combination, an upper-bound estimate (smaller single-field bucket)
+        for the uncovered ``(subject, value)`` pair.
+        """
+        ids = []
+        for node in (subject, property, value):
+            if node is None:
+                ids.append(None)
+                continue
+            node_id = self._lookup(node)
+            if node_id is None:
+                return 0
+            ids.append(node_id)
+        sid, pid, vid = ids
+        if sid is not None and pid is not None and vid is not None:
+            return 1 if (sid, pid, vid) in self._statements else 0
+        if sid is not None and pid is not None:
+            return len(self._by_subject_property.get((sid, pid), _EMPTY))
+        if pid is not None and vid is not None:
+            return len(self._by_property_value.get((pid, vid), _EMPTY))
+        if sid is not None and vid is not None:
+            return min(len(self._by_subject.get(sid, _EMPTY)),
+                       len(self._by_value.get(vid, _EMPTY)))
+        if sid is not None:
+            return len(self._by_subject.get(sid, _EMPTY))
+        if pid is not None:
+            return len(self._by_property.get(pid, _EMPTY))
+        if vid is not None:
+            return len(self._by_value.get(vid, _EMPTY))
+        return len(self._statements)
 
     # -- inspection ----------------------------------------------------------------------
 
@@ -152,6 +294,20 @@ class InternedTripleStore:
     def __iter__(self) -> Iterator[Triple]:
         return (self._triple_of(key) for key in self._statements)
 
+    def subjects(self) -> List[Resource]:
+        """Distinct subjects, in first-appearance order."""
+        seen: Dict[int, None] = {}
+        for key in self._statements:
+            seen.setdefault(key[0], None)
+        return [self._nodes[node_id] for node_id in seen]  # type: ignore[misc]
+
+    def properties(self) -> List[Resource]:
+        """Distinct properties, in first-appearance order."""
+        seen: Dict[int, None] = {}
+        for key in self._statements:
+            seen.setdefault(key[1], None)
+        return [self._nodes[node_id] for node_id in seen]  # type: ignore[misc]
+
     def node_count(self) -> int:
         """How many distinct nodes the intern table holds."""
         return len(self._nodes)
@@ -160,8 +316,9 @@ class InternedTripleStore:
         """Footprint: each node's payload once + fixed per-statement cost.
 
         Comparable with ``TripleStore.estimated_bytes`` (same payload
-        accounting, same per-entry overhead constants) so the ablation
-        bench can report the savings of interning.
+        accounting, same per-entry overhead constants, same five index
+        entries per statement) so the ablation bench can report the savings
+        of interning.
         """
         total = 0
         for node in self._nodes:
@@ -172,5 +329,5 @@ class InternedTripleStore:
             total += 16  # intern-table slot
         per_statement = 3 * 8 + 48   # three int ids + container slots
         total += len(self._statements) * per_statement
-        total += 3 * len(self._statements) * 8  # index entries
+        total += 5 * len(self._statements) * 8  # index entries (3 single + 2 compound)
         return total

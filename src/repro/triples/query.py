@@ -5,8 +5,18 @@ three fields); that lives on :class:`~repro.triples.store.TripleStore`
 itself.  Section 6 lists *"augmenting such interfaces with query
 capabilities, in addition to the current navigational access"* as current
 work — this module implements that extension: a small conjunctive query
-engine with named variables and hash-join-free nested-loop evaluation with
-binding propagation.
+engine with named variables and nested-loop evaluation with binding
+propagation, behind a selectivity-based planner.
+
+Evaluation order is chosen by the planner, not by the order the caller
+wrote the patterns in: before each run the patterns are greedily reordered
+by estimated result cardinality (read from the store's index statistics
+via :meth:`~repro.triples.store.TripleStore.count`), preferring patterns
+whose variables are already bound by chosen predecessors.  The written
+order therefore no longer determines asymptotics; :meth:`Query.explain`
+returns the chosen plan for tests and debugging, and ``planner=False``
+forces the written order (used by the equivalence tests and the planner
+benchmark).
 
 ::
 
@@ -16,12 +26,13 @@ binding propagation.
     ])
     for binding in q.run(store):
         binding['b']   # the bundle Resource containing that scrap
+    q.explain(store)   # the plan the run above used
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import QueryError
 from repro.triples.store import TripleStore
@@ -68,36 +79,79 @@ class Pattern:
 
 Binding = Dict[str, Node]
 
+#: Assumed filtering power of a field held by an already-bound variable.
+#: At plan time the variable's runtime value is unknown, so its bucket size
+#: cannot be read from the statistics — but each such field joins against a
+#: concrete node at run time, so the estimate is divided by this factor per
+#: bound field.  The exact constant matters little; it only has to prefer
+#: joined patterns over cartesian ones.
+_BOUND_VAR_SELECTIVITY = 8
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One planner decision: evaluate *pattern* next, at *estimate* rows.
+
+    ``position`` is the pattern's index in the written query;
+    ``bound_before`` names the variables already bound when this step runs.
+    """
+
+    position: int
+    pattern: Pattern
+    estimate: int
+    bound_before: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        terms = " ".join(str(t) if t is not None else "_"
+                         for t in (self.pattern.subject, self.pattern.property,
+                                   self.pattern.value))
+        return f"#{self.position} ({terms}) ~{self.estimate}"
+
 
 class Query:
     """A conjunction of :class:`Pattern` s evaluated against a store.
 
-    Evaluation is nested-loop with binding propagation: patterns run in the
-    given order; each solution for a prefix of patterns narrows the index
-    lookups for the rest.  Results are de-duplicated bindings of every
-    variable mentioned anywhere in the query.
+    Evaluation is nested-loop with binding propagation: each solution for a
+    prefix of patterns narrows the index lookups for the rest.  The prefix
+    order is chosen by the selectivity planner (see module docstring)
+    unless ``planner=False``.  Results are de-duplicated bindings of every
+    variable mentioned anywhere in the query, identical (order-insensitive)
+    with the planner on and off.
     """
 
-    def __init__(self, patterns: Sequence[Pattern]) -> None:
+    def __init__(self, patterns: Sequence[Pattern], *,
+                 planner: bool = True) -> None:
         if not patterns:
             raise QueryError("query needs at least one pattern")
         self.patterns = list(patterns)
+        self.planner = planner
         self._variables: List[str] = []
         for pattern in self.patterns:
             for name in pattern.variables():
                 if name not in self._variables:
                     self._variables.append(name)
+        # Canonical variable order for the dedup key, fixed once per query
+        # instead of re-sorting every solution's items in run().
+        self._canonical: Tuple[str, ...] = tuple(sorted(self._variables))
 
     @property
     def variables(self) -> List[str]:
         """All variable names, in first-appearance order."""
         return list(self._variables)
 
+    def explain(self, store: TripleStore) -> List[PlanStep]:
+        """The evaluation order :meth:`run` would use on *store*, as
+        :class:`PlanStep` s (written order when the planner is off or the
+        store exposes no statistics)."""
+        return self._plan(store)
+
     def run(self, store: TripleStore) -> Iterator[Binding]:
         """Yield every distinct binding satisfying all patterns."""
+        plan = [step.pattern for step in self._plan(store)]
+        canonical = self._canonical
         seen = set()
-        for binding in self._solve(store, 0, {}):
-            key = tuple(sorted((name, node) for name, node in binding.items()))
+        for binding in self._solve(store, plan, 0, {}):
+            key = tuple(binding[name] for name in canonical)
             if key not in seen:
                 seen.add(key)
                 yield binding
@@ -106,12 +160,57 @@ class Query:
         """Materialized :meth:`run`."""
         return list(self.run(store))
 
-    def _solve(self, store: TripleStore, index: int,
+    # -- planning -------------------------------------------------------------
+
+    def _plan(self, store: TripleStore) -> List[PlanStep]:
+        counter = getattr(store, "count", None)
+        if not self.planner or counter is None:
+            # Written order, annotated where statistics exist.
+            steps = []
+            bound: List[str] = []
+            for position, pattern in enumerate(self.patterns):
+                estimate = (_estimate(counter, pattern, frozenset(bound))
+                            if counter is not None else -1)
+                steps.append(PlanStep(position, pattern, estimate,
+                                      tuple(bound)))
+                for name in pattern.variables():
+                    if name not in bound:
+                        bound.append(name)
+            return steps
+        remaining = list(enumerate(self.patterns))
+        bound_order: List[str] = []
+        bound = set()
+        steps: List[PlanStep] = []
+        while remaining:
+            best = None
+            best_key = None
+            for position, pattern in remaining:
+                estimate = _estimate(counter, pattern, bound)
+                # Greedy choice: cheapest estimated pattern next; ties fall
+                # back to the written order for determinism.
+                key = (estimate, position)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (position, pattern, estimate)
+            assert best is not None
+            position, pattern, estimate = best
+            steps.append(PlanStep(position, pattern, estimate,
+                                  tuple(bound_order)))
+            remaining = [(i, p) for i, p in remaining if i != position]
+            for name in pattern.variables():
+                if name not in bound:
+                    bound.add(name)
+                    bound_order.append(name)
+        return steps
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _solve(self, store: TripleStore, plan: List[Pattern], index: int,
                binding: Binding) -> Iterator[Binding]:
-        if index == len(self.patterns):
+        if index == len(plan):
             yield dict(binding)
             return
-        pattern = self.patterns[index]
+        pattern = plan[index]
         subj = _ground(pattern.subject, binding)
         prop = _ground(pattern.property, binding)
         val = _ground(pattern.value, binding)
@@ -122,7 +221,36 @@ class Query:
         for triple in store.match(subject=subj, property=prop, value=val):
             extension = _extend(pattern, triple, binding)
             if extension is not None:
-                yield from self._solve(store, index + 1, extension)
+                yield from self._solve(store, plan, index + 1, extension)
+
+
+def _estimate(counter, pattern: Pattern, bound) -> int:
+    """Estimated result rows for *pattern* given already-bound variables.
+
+    Concrete terms are pushed into the store's :meth:`count` statistics
+    (exact bucket sizes); fields held by a bound variable divide the
+    estimate by ``_BOUND_VAR_SELECTIVITY`` each, since they will join
+    against a concrete node at run time.
+    """
+    concrete = []
+    bound_fields = 0
+    for term in (pattern.subject, pattern.property, pattern.value):
+        if term is None:
+            concrete.append(None)
+        elif isinstance(term, Var):
+            concrete.append(None)
+            if term.name in bound:
+                bound_fields += 1
+        else:
+            concrete.append(term)
+    subj, prop, val = concrete
+    # count() expects subject/property to be Resources; a concrete Literal
+    # in those slots is rejected by Pattern already.
+    estimate = counter(subject=subj, property=prop, value=val)
+    for _ in range(bound_fields):
+        estimate = (estimate + _BOUND_VAR_SELECTIVITY - 1) \
+            // _BOUND_VAR_SELECTIVITY
+    return estimate
 
 
 def _ground(term: Term, binding: Binding) -> Optional[Node]:

@@ -7,14 +7,19 @@ fixed, and the result is a set of triples."*
 
 :class:`TripleStore` implements exactly that surface plus the plumbing a
 real store needs: three single-field hash indexes (subject / property /
-value) so every selection pattern is answered without a full scan, change
-listeners (used by the undo log), and a size estimator used by the space-
-overhead benchmark (claim C-1).
+value) and two compound indexes — ``(subject, property)`` and
+``(property, value)`` — covering the two-field selections that dominate
+DMI traffic (``value_of``/``values_of`` and type-extent scans), change
+listeners (used by the undo log), a :meth:`count` statistics method that
+the query planner reads bucket sizes from, a monotonically increasing
+:attr:`generation` counter that views key their caches on, and a size
+estimator used by the space-overhead benchmark (claim C-1).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional, Set,
+                    Tuple)
 
 from repro.errors import TripleNotFoundError
 from repro.triples.triple import Literal, Node, Resource, Triple
@@ -22,14 +27,22 @@ from repro.triples.triple import Literal, Node, Resource, Triple
 #: Change listeners receive ('add' | 'remove', triple).
 ChangeListener = Callable[[str, Triple], None]
 
+#: Shared immutable empty bucket — ``_candidates`` must never allocate a
+#: fresh container just to say "no hits".
+_EMPTY: "frozenset[Triple]" = frozenset()
+
 
 class TripleStore:
-    """A set of triples with hash indexes on each field.
+    """A set of triples with hash indexes on each field and field pair.
 
     The store has *set semantics*: adding a triple twice is a no-op and
     :meth:`add` reports whether the triple was new.  Iteration order is the
     insertion order of currently present triples, which keeps persisted
     files and test output deterministic.
+
+    Every mutation bumps :attr:`generation`, so readers (notably
+    :class:`~repro.triples.views.View`) can cache derived results and
+    invalidate them with a single integer comparison.
     """
 
     def __init__(self) -> None:
@@ -39,9 +52,15 @@ class TripleStore:
         # re-scanning the whole store.
         self._triples: Dict[Triple, int] = {}
         self._sequence = 0
+        self._generation = 0
         self._by_subject: Dict[Resource, Set[Triple]] = {}
         self._by_property: Dict[Resource, Set[Triple]] = {}
         self._by_value: Dict[Node, Set[Triple]] = {}
+        # Compound indexes: the two pairs that real traffic fixes together.
+        # (subject, value) without property is rare enough to stay on the
+        # single-field indexes.
+        self._by_subject_property: Dict[Tuple[Resource, Resource], Set[Triple]] = {}
+        self._by_property_value: Dict[Tuple[Resource, Node], Set[Triple]] = {}
         self._listeners: List[ChangeListener] = []
 
     # -- mutation -----------------------------------------------------------
@@ -52,24 +71,62 @@ class TripleStore:
             return False
         self._triples[triple] = self._sequence
         self._sequence += 1
+        self._generation += 1
         self._by_subject.setdefault(triple.subject, set()).add(triple)
         self._by_property.setdefault(triple.property, set()).add(triple)
         self._by_value.setdefault(triple.value, set()).add(triple)
+        self._by_subject_property.setdefault(
+            (triple.subject, triple.property), set()).add(triple)
+        self._by_property_value.setdefault(
+            (triple.property, triple.value), set()).add(triple)
         self._notify("add", triple)
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Insert many triples; return how many were new."""
-        return sum(1 for t in triples if self.add(t))
+        """Insert many triples; return how many were new.
+
+        Batch fast path: indexes and locals are bound once, each new triple
+        costs one membership probe plus five bucket inserts, and the
+        listener fan-out is skipped entirely when nobody is subscribed.
+        Listeners (when present) still see every insertion individually, so
+        undo logs and batches observe the same events as N ``add`` calls.
+        """
+        members = self._triples
+        by_s, by_p, by_v = self._by_subject, self._by_property, self._by_value
+        by_sp, by_pv = self._by_subject_property, self._by_property_value
+        notify = self._notify if self._listeners else None
+        added = 0
+        for t in triples:
+            if t in members:
+                continue
+            members[t] = self._sequence
+            self._sequence += 1
+            by_s.setdefault(t.subject, set()).add(t)
+            by_p.setdefault(t.property, set()).add(t)
+            by_v.setdefault(t.value, set()).add(t)
+            by_sp.setdefault((t.subject, t.property), set()).add(t)
+            by_pv.setdefault((t.property, t.value), set()).add(t)
+            added += 1
+            if notify is not None:
+                self._generation += 1
+                notify("add", t)
+        if notify is None:
+            self._generation += added
+        return added
 
     def remove(self, triple: Triple) -> None:
         """Delete *triple*; raise :class:`TripleNotFoundError` if absent."""
         if triple not in self._triples:
             raise TripleNotFoundError(f"triple not in store: {triple}")
         del self._triples[triple]
+        self._generation += 1
         self._index_discard(self._by_subject, triple.subject, triple)
         self._index_discard(self._by_property, triple.property, triple)
         self._index_discard(self._by_value, triple.value, triple)
+        self._index_discard(self._by_subject_property,
+                            (triple.subject, triple.property), triple)
+        self._index_discard(self._by_property_value,
+                            (triple.property, triple.value), triple)
         self._notify("remove", triple)
 
     def discard(self, triple: Triple) -> bool:
@@ -83,15 +140,33 @@ class TripleStore:
                         property: Optional[Resource] = None,
                         value: Optional[Node] = None) -> int:
         """Delete every triple matching the selection; return the count."""
+        # Explicit snapshot: match() iterates live index buckets, so the
+        # victims must be materialized before the first removal mutates them.
         victims = list(self.match(subject, property, value))
         for triple in victims:
             self.remove(triple)
         return len(victims)
 
     def clear(self) -> None:
-        """Delete every triple (listeners see each removal)."""
-        for triple in list(self._triples):
-            self.remove(triple)
+        """Delete every triple (listeners see each removal).
+
+        One-pass reset: the membership map and all five indexes are dropped
+        wholesale instead of N ``remove`` calls doing per-bucket cleanup.
+        Listeners are still notified once per removed triple (in insertion
+        order), so undo logs can restore the contents.
+        """
+        victims = list(self._triples)
+        if not victims:
+            return
+        self._triples = {}
+        self._by_subject = {}
+        self._by_property = {}
+        self._by_value = {}
+        self._by_subject_property = {}
+        self._by_property_value = {}
+        self._generation += len(victims)
+        for triple in victims:
+            self._notify("remove", triple)
 
     # -- selection query (the TRIM query operation) --------------------------
 
@@ -100,10 +175,24 @@ class TripleStore:
               value: Optional[Node] = None) -> Iterator[Triple]:
         """Yield triples matching the fixed fields (``None`` = wildcard).
 
-        The narrowest applicable index drives the iteration; remaining fixed
-        fields are checked per candidate.  With no field fixed this iterates
-        the whole store.
+        The narrowest applicable index drives the iteration — an exact
+        compound bucket when ``(subject, property)`` or
+        ``(property, value)`` are fixed together, a membership probe when
+        all three are fixed — and any remaining fixed field is checked per
+        candidate.  With no field fixed this iterates the whole store.
         """
+        if subject is not None and property is not None and value is not None:
+            probe = Triple(subject, property, value)
+            if probe in self._triples:
+                yield probe
+            return
+        if subject is not None and property is not None:
+            # Exact bucket: no residual checks needed.
+            yield from self._by_subject_property.get((subject, property), _EMPTY)
+            return
+        if property is not None and value is not None:
+            yield from self._by_property_value.get((property, value), _EMPTY)
+            return
         candidates = self._candidates(subject, property, value)
         for triple in candidates:
             if subject is not None and triple.subject != subject:
@@ -156,6 +245,47 @@ class TripleStore:
         """All values of a property on *subject*, in insertion order."""
         return [t.value for t in self.select(subject=subject, property=property)]
 
+    # -- statistics (read by the query planner) -------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter: bumps on every add and remove.
+
+        Equal generations guarantee identical contents, so any derived
+        result (view closures, plans, materialized selections) can be
+        cached against this number.
+        """
+        return self._generation
+
+    def count(self, subject: Optional[Resource] = None,
+              property: Optional[Resource] = None,
+              value: Optional[Node] = None) -> int:
+        """How many triples match the selection, without materializing it.
+
+        Exact and O(1) for every combination an index covers: no fields
+        (store size), any single field, ``(subject, property)``,
+        ``(property, value)``, and all three (membership probe).  The one
+        uncovered combination, ``(subject, value)``, returns the smaller
+        single-field bucket size — an upper bound, which is the right
+        direction for a planner estimate.
+        """
+        if subject is not None and property is not None and value is not None:
+            return 1 if Triple(subject, property, value) in self._triples else 0
+        if subject is not None and property is not None:
+            return len(self._by_subject_property.get((subject, property), _EMPTY))
+        if property is not None and value is not None:
+            return len(self._by_property_value.get((property, value), _EMPTY))
+        if subject is not None and value is not None:
+            return min(len(self._by_subject.get(subject, _EMPTY)),
+                       len(self._by_value.get(value, _EMPTY)))
+        if subject is not None:
+            return len(self._by_subject.get(subject, _EMPTY))
+        if property is not None:
+            return len(self._by_property.get(property, _EMPTY))
+        if value is not None:
+            return len(self._by_value.get(value, _EMPTY))
+        return len(self._triples)
+
     # -- inspection ----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -195,7 +325,8 @@ class TripleStore:
         """Rough in-memory footprint of the stored statements.
 
         Counts the string payload of every field of every triple (URIs and
-        literal reprs) plus a fixed per-triple and per-index-entry overhead.
+        literal reprs) plus a fixed per-triple and per-index-entry overhead
+        — five index entries per triple (three single-field, two compound).
         Used by the space-overhead benchmark (claim C-1); the absolute
         number is indicative, the *ratio* against a native representation
         is what the paper's trade-off discussion is about.
@@ -210,8 +341,8 @@ class TripleStore:
             else:
                 total += len(str(triple.value.value))
             total += per_triple_overhead
-        # Each triple appears in three index sets.
-        total += 3 * len(self._triples) * 8
+        # Each triple appears in five index sets (3 single + 2 compound).
+        total += 5 * len(self._triples) * 8
         return total
 
     # -- listeners -----------------------------------------------------------
@@ -231,16 +362,21 @@ class TripleStore:
     def _candidates(self, subject: Optional[Resource],
                     property: Optional[Resource],
                     value: Optional[Node]) -> Iterable[Triple]:
-        """Pick the smallest index bucket covering the fixed fields."""
-        buckets: List[Set[Triple]] = []
+        """Pick the smallest index bucket covering the fixed fields.
+
+        With no field fixed this returns the live dict view (no copy);
+        callers that mutate while consuming must snapshot first, as
+        :meth:`remove_matching` does.
+        """
+        buckets: List[Iterable[Triple]] = []
         if subject is not None:
-            buckets.append(self._by_subject.get(subject, set()))
+            buckets.append(self._by_subject.get(subject, _EMPTY))
         if property is not None:
-            buckets.append(self._by_property.get(property, set()))
+            buckets.append(self._by_property.get(property, _EMPTY))
         if value is not None:
-            buckets.append(self._by_value.get(value, set()))
+            buckets.append(self._by_value.get(value, _EMPTY))
         if not buckets:
-            return list(self._triples)
+            return self._triples.keys()
         return min(buckets, key=len)
 
     @staticmethod

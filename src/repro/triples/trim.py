@@ -69,9 +69,21 @@ class TrimManager:
         """TRIM's selection query: fix any subset of fields."""
         return self.store.select(subject=subject, property=prop, value=value)
 
+    def count(self, subject: Optional[Resource] = None,
+              prop: Optional[Resource] = None,
+              value: Optional[Node] = None) -> int:
+        """How many triples a selection would return, from index statistics
+        alone — the counted fast path for existence and cardinality checks."""
+        return self.store.count(subject=subject, property=prop, value=value)
+
     def query(self, query: Query) -> List[dict]:
         """Run a conjunctive :class:`~repro.triples.query.Query` (extension)."""
         return query.run_all(self.store)
+
+    def explain(self, query: Query):
+        """The plan :meth:`query` would evaluate, as
+        :class:`~repro.triples.query.PlanStep` s."""
+        return query.explain(self.store)
 
     # -- views ----------------------------------------------------------------
 

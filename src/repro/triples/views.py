@@ -7,13 +7,17 @@ Bundle along with their Scraps)."*
 
 :func:`reachable_triples` computes that closure.  :class:`View` wraps a
 root resource and re-materializes on demand, so a view stays current as the
-underlying store changes (the paper calls these "simple views").
+underlying store changes (the paper calls these "simple views").  The
+materialized closure is memoized against the store's
+:attr:`~repro.triples.store.TripleStore.generation` counter: repeated
+reads of an unchanged store are cache hits, and any add/remove bumps the
+generation and invalidates the cache on the next read.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.triples.store import TripleStore
 from repro.triples.triple import Resource, Triple
@@ -88,8 +92,15 @@ class View:
     ::
 
         view = View(store, bundle_resource)
-        view.triples()    # fresh closure each call
+        view.triples()    # closure vs the current contents (cached while
+                          # the store generation is unchanged)
         view.snapshot()   # a detached TripleStore holding the closure
+
+    The root and traversal options are fixed per instance, so the cache is
+    keyed on the store's generation alone; a store without a ``generation``
+    attribute (any duck-typed stand-in) simply recomputes every call.
+    Cached lists are returned as copies — mutating a result never corrupts
+    later reads.
     """
 
     def __init__(self, store: TripleStore, root: Resource,
@@ -99,16 +110,30 @@ class View:
         self.root = root
         self._follow = list(follow_properties) if follow_properties is not None else None
         self._max_depth = max_depth
+        self._cached_triples: Optional[Tuple[int, List[Triple]]] = None
+        self._cached_resources: Optional[Tuple[int, List[Resource]]] = None
 
     def triples(self) -> List[Triple]:
         """Evaluate the view against the current store contents."""
-        return reachable_triples(self._store, self.root,
-                                 self._follow, self._max_depth)
+        generation = getattr(self._store, "generation", None)
+        if generation is None:
+            return reachable_triples(self._store, self.root,
+                                     self._follow, self._max_depth)
+        if self._cached_triples is None or self._cached_triples[0] != generation:
+            self._cached_triples = (generation, reachable_triples(
+                self._store, self.root, self._follow, self._max_depth))
+        return list(self._cached_triples[1])
 
     def resources(self) -> List[Resource]:
         """Resources in the view, root first."""
-        return reachable_resources(self._store, self.root,
-                                   self._follow, self._max_depth)
+        generation = getattr(self._store, "generation", None)
+        if generation is None:
+            return reachable_resources(self._store, self.root,
+                                       self._follow, self._max_depth)
+        if self._cached_resources is None or self._cached_resources[0] != generation:
+            self._cached_resources = (generation, reachable_resources(
+                self._store, self.root, self._follow, self._max_depth))
+        return list(self._cached_resources[1])
 
     def snapshot(self) -> TripleStore:
         """Materialize the view into an independent store."""
@@ -117,4 +142,9 @@ class View:
         return snap
 
     def __len__(self) -> int:
+        """Size of the closure (cache-hitting on an unchanged store)."""
+        generation = getattr(self._store, "generation", None)
+        if generation is not None and self._cached_triples is not None \
+                and self._cached_triples[0] == generation:
+            return len(self._cached_triples[1])
         return len(self.triples())

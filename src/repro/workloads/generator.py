@@ -84,3 +84,40 @@ def populate_store(count: int, **kwargs) -> TripleStore:
     store = TripleStore()
     store.add_all(random_triples(count, **kwargs))
     return store
+
+
+#: The rare scrap name planted once by :func:`build_planner_store` — the
+#: selective end of the adversarially-ordered conjunctive query.
+PLANNER_NEEDLE = "needle K+ 3.9"
+
+
+def build_planner_store(num_bundles: int = 1500, scraps_per_bundle: int = 8,
+                        store: Optional[TripleStore] = None) -> TripleStore:
+    """A pad-shaped store sized for the query-planning benchmark.
+
+    One root bundle (``wl-root``) nests *num_bundles* bundles, each holding
+    *scraps_per_bundle* named scraps; exactly one scrap (the last) is named
+    :data:`PLANNER_NEEDLE`.  The shape deliberately exhibits both planner
+    pain points: a hub subject (the root's bucket holds every nesting edge,
+    so two-field reads on it degrade without a compound index) and a
+    high-cardinality ``slim:bundleContent`` property against a
+    one-hit ``slim:scrapName`` value, so pattern order decides whether the
+    conjunctive query touches every scrap or just one.  Everything is
+    reachable from the root, which makes the same store the repeated-view-
+    read workload.
+    """
+    store = store if store is not None else TripleStore()
+    items = [triple("wl-root", "slim:bundleName", "workload root")]
+    for b in range(num_bundles):
+        bundle = f"wl-bundle-{b:05d}"
+        items.append(triple("wl-root", "slim:nestedBundle", Resource(bundle)))
+        items.append(triple(bundle, "slim:bundleName", f"bundle {b}"))
+        for s in range(scraps_per_bundle):
+            scrap = f"wl-scrap-{b:05d}-{s:03d}"
+            items.append(triple(bundle, "slim:bundleContent", Resource(scrap)))
+            if b == num_bundles - 1 and s == scraps_per_bundle - 1:
+                items.append(triple(scrap, "slim:scrapName", PLANNER_NEEDLE))
+            else:
+                items.append(triple(scrap, "slim:scrapName", f"scrap {b}.{s}"))
+    store.add_all(items)
+    return store

@@ -1,0 +1,269 @@
+"""Store-parity suite: the shared contract of both store implementations.
+
+Every test here runs against :class:`TripleStore` *and*
+:class:`InternedTripleStore` via one parametrized fixture — the coverage
+the ablation bench (``benchmarks/test_ablation_store_impls.py``) relies on
+but never pinned.  Anything TRIM-level code may call on "a store" belongs
+here: mutation, selection, single-value reads, iteration order, statistics
+(:meth:`count` / :attr:`generation`), and ``estimated_bytes`` sanity.
+"""
+
+import pytest
+
+from repro.errors import TripleNotFoundError
+from repro.triples.interned import InternedTripleStore
+from repro.triples.store import TripleStore
+from repro.triples.triple import Literal, Resource, Triple, triple
+
+STORE_CLASSES = [TripleStore, InternedTripleStore]
+
+
+@pytest.fixture(params=STORE_CLASSES, ids=lambda cls: cls.__name__)
+def store(request):
+    s = request.param()
+    s.add(triple("b1", "slim:bundleName", "Electrolyte"))
+    s.add(triple("b1", "slim:bundleContent", Resource("s1")))
+    s.add(triple("b1", "slim:bundleContent", Resource("s2")))
+    s.add(triple("s1", "slim:scrapName", "K+ 3.9"))
+    s.add(triple("s2", "slim:scrapName", "Na 140"))
+    return s
+
+
+@pytest.fixture(params=STORE_CLASSES, ids=lambda cls: cls.__name__)
+def empty_store(request):
+    return request.param()
+
+
+class TestMutationParity:
+    def test_add_reports_novelty(self, empty_store):
+        t = triple("a", "p", "v")
+        assert empty_store.add(t) is True
+        assert empty_store.add(t) is False
+        assert len(empty_store) == 1
+
+    def test_add_all_counts_new_only(self, empty_store):
+        t1, t2 = triple("a", "p", 1), triple("a", "p", 2)
+        assert empty_store.add_all([t1, t2, t1]) == 2
+        assert empty_store.add_all([t1]) == 0
+
+    def test_remove_present(self, store):
+        t = triple("s1", "slim:scrapName", "K+ 3.9")
+        store.remove(t)
+        assert t not in store
+        assert len(store) == 4
+
+    def test_remove_absent_raises(self, store):
+        with pytest.raises(TripleNotFoundError):
+            store.remove(triple("nope", "p", "v"))
+
+    def test_discard_reports_presence(self, store):
+        t = triple("s1", "slim:scrapName", "K+ 3.9")
+        assert store.discard(t) is True
+        assert store.discard(t) is False
+
+    def test_remove_matching_by_subject(self, store):
+        assert store.remove_matching(subject=Resource("b1")) == 3
+        assert store.select(subject=Resource("b1")) == []
+        assert len(store) == 2
+
+    def test_remove_matching_two_fields(self, store):
+        removed = store.remove_matching(subject=Resource("b1"),
+                                        property=Resource("slim:bundleContent"))
+        assert removed == 2
+        assert len(store) == 3
+
+    def test_clear(self, store):
+        store.clear()
+        assert len(store) == 0
+        assert list(store) == []
+        assert store.select() == []
+
+    def test_clear_empty_is_noop(self, empty_store):
+        empty_store.clear()
+        assert len(empty_store) == 0
+
+    def test_readd_after_remove(self, store):
+        t = triple("s1", "slim:scrapName", "K+ 3.9")
+        store.remove(t)
+        assert store.add(t) is True
+        assert t in store
+
+    def test_readd_after_clear(self, store):
+        t = triple("s1", "slim:scrapName", "K+ 3.9")
+        store.clear()
+        assert store.add(t) is True
+        assert list(store.match(subject=Resource("s1"))) == [t]
+
+
+class TestSelectionParity:
+    def test_match_by_each_single_field(self, store):
+        assert len(list(store.match(subject=Resource("b1")))) == 3
+        assert {t.subject.uri
+                for t in store.match(property=Resource("slim:scrapName"))} \
+            == {"s1", "s2"}
+        assert [t.subject.uri for t in store.match(value=Resource("s1"))] \
+            == ["b1"]
+        assert [t.subject.uri for t in store.match(value=Literal("Na 140"))] \
+            == ["s2"]
+
+    def test_match_subject_property(self, store):
+        hits = list(store.match(subject=Resource("b1"),
+                                property=Resource("slim:bundleContent")))
+        assert {t.value for t in hits} == {Resource("s1"), Resource("s2")}
+
+    def test_match_property_value(self, store):
+        hits = list(store.match(property=Resource("slim:scrapName"),
+                                value=Literal("K+ 3.9")))
+        assert [t.subject.uri for t in hits] == ["s1"]
+
+    def test_match_subject_value(self, store):
+        hits = list(store.match(subject=Resource("b1"),
+                                value=Resource("s2")))
+        assert len(hits) == 1
+        assert hits[0].property == Resource("slim:bundleContent")
+
+    def test_match_fully_ground(self, store):
+        t = triple("s2", "slim:scrapName", "Na 140")
+        assert list(store.match(t.subject, t.property, t.value)) == [t]
+        assert list(store.match(t.subject, t.property, Literal("absent"))) == []
+
+    def test_match_all_wildcards(self, store):
+        assert len(list(store.match())) == 5
+
+    def test_match_no_hits_unknown_nodes(self, store):
+        assert list(store.match(subject=Resource("ghost"))) == []
+        assert list(store.match(property=Resource("ghost"))) == []
+        assert list(store.match(value=Literal(42))) == []
+
+    def test_select_preserves_insertion_order(self, store):
+        hits = store.select(subject=Resource("b1"))
+        assert [str(t.value) for t in hits] == ["'Electrolyte'", "s1", "s2"]
+
+    def test_select_order_survives_remove_and_readd(self, store):
+        first = triple("b1", "slim:bundleName", "Electrolyte")
+        store.remove(first)
+        store.add(first)   # now newest
+        hits = store.select(subject=Resource("b1"))
+        assert [str(t.value) for t in hits] == ["s1", "s2", "'Electrolyte'"]
+
+    def test_one_and_value_of(self, store):
+        t = store.one(subject=Resource("b1"),
+                      property=Resource("slim:bundleName"))
+        assert t is not None and t.value == Literal("Electrolyte")
+        assert store.one(subject=Resource("ghost")) is None
+        with pytest.raises(LookupError):
+            store.one(subject=Resource("b1"),
+                      property=Resource("slim:bundleContent"))
+        assert store.value_of(Resource("ghost"), Resource("p")) is None
+
+    def test_literal_of(self, store):
+        assert store.literal_of(Resource("b1"),
+                                Resource("slim:bundleName")) == "Electrolyte"
+        with pytest.raises(LookupError):
+            store.literal_of(Resource("b1"), Resource("slim:bundleContent"))
+
+    def test_values_of_lists_all_in_order(self, store):
+        values = store.values_of(Resource("b1"), Resource("slim:bundleContent"))
+        assert values == [Resource("s1"), Resource("s2")]
+
+
+class TestInspectionParity:
+    def test_len_contains_iter(self, store):
+        assert len(store) == 5
+        assert triple("s2", "slim:scrapName", "Na 140") in store
+        assert triple("s2", "slim:scrapName", "ghost") not in store
+        assert set(iter(store)) == set(store.select())
+
+    def test_iteration_is_insertion_order(self, store):
+        assert list(store) == store.select()
+
+    def test_subjects_properties_distinct_in_order(self, store):
+        assert [r.uri for r in store.subjects()] == ["b1", "s1", "s2"]
+        assert [r.uri for r in store.properties()] == [
+            "slim:bundleName", "slim:bundleContent", "slim:scrapName"]
+
+    def test_estimated_bytes_sanity(self, empty_store):
+        assert empty_store.estimated_bytes() == 0
+        empty_store.add(triple("a", "p", "x"))
+        small = empty_store.estimated_bytes()
+        for i in range(100):
+            empty_store.add(triple(f"subject-{i}", "property", "value" * 10))
+        assert empty_store.estimated_bytes() > small > 0
+
+
+class TestStatisticsParity:
+    def test_count_matches_select_everywhere(self, store):
+        s, p, v = (Resource("b1"), Resource("slim:bundleContent"),
+                   Resource("s1"))
+        cases = [
+            {},
+            {"subject": s},
+            {"property": p},
+            {"value": v},
+            {"subject": s, "property": p},
+            {"property": p, "value": v},
+            {"subject": s, "property": p, "value": v},
+            {"subject": Resource("ghost")},
+            {"property": Resource("slim:scrapName"), "value": Literal("Na 140")},
+        ]
+        for kwargs in cases:
+            assert store.count(**kwargs) == len(store.select(**kwargs)), kwargs
+
+    def test_count_subject_value_is_upper_bound(self, store):
+        estimate = store.count(subject=Resource("b1"), value=Resource("s1"))
+        exact = len(store.select(subject=Resource("b1"),
+                                 value=Resource("s1")))
+        assert estimate >= exact
+
+    def test_generation_bumps_on_every_mutation(self, empty_store):
+        g0 = empty_store.generation
+        t = triple("a", "p", "v")
+        empty_store.add(t)
+        g1 = empty_store.generation
+        assert g1 > g0
+        empty_store.add(t)              # duplicate: no mutation
+        assert empty_store.generation == g1
+        empty_store.remove(t)
+        assert empty_store.generation > g1
+
+    def test_generation_bumps_through_add_all_and_clear(self, empty_store):
+        g0 = empty_store.generation
+        empty_store.add_all([triple("a", "p", i) for i in range(5)])
+        g1 = empty_store.generation
+        assert g1 >= g0 + 5
+        empty_store.clear()
+        assert empty_store.generation > g1
+
+
+class TestCrossImplementationAgreement:
+    """Both stores give identical answers on a generated workload."""
+
+    def test_same_answers_on_random_workload(self):
+        from repro.workloads.generator import random_triples
+        items = random_triples(400, num_subjects=40, num_properties=6)
+        plain, interned = TripleStore(), InternedTripleStore()
+        plain.add_all(items)
+        interned.add_all(items)
+        assert len(plain) == len(interned)
+        for t in items[::7]:
+            for kwargs in ({"subject": t.subject},
+                           {"property": t.property},
+                           {"value": t.value},
+                           {"subject": t.subject, "property": t.property},
+                           {"property": t.property, "value": t.value}):
+                assert plain.select(**kwargs) == interned.select(**kwargs)
+                assert plain.count(**kwargs) == interned.count(**kwargs)
+
+    def test_same_answers_after_interleaved_removals(self):
+        from repro.workloads.generator import random_triples
+        items = random_triples(200, num_subjects=20, num_properties=4)
+        plain, interned = TripleStore(), InternedTripleStore()
+        plain.add_all(items)
+        interned.add_all(items)
+        for t in list(dict.fromkeys(items))[::3]:
+            plain.remove(t)
+            interned.remove(t)
+        assert list(plain) == list(interned)
+        for t in items[::11]:
+            assert plain.count(subject=t.subject, property=t.property) == \
+                interned.count(subject=t.subject, property=t.property)
