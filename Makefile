@@ -3,17 +3,26 @@
 
 PY := PYTHONPATH=src python -m
 
-.PHONY: test bench bench-smoke
+.PHONY: test verify bench bench-smoke
 
 test:            ## tier-1: the full unit/integration/property suite
 	$(PY) pytest -x -q
+
+# Tier-1 plus a deeper crash-recovery sweep: the crash-injection harness
+# (tests/test_triples_wal.py) re-runs with many more randomized kill
+# points than the default suite uses, so a durability regression that
+# only bites at rare byte offsets still gets caught before shipping.
+verify:          ## tier-1 + elevated crash-injection sweep
+	$(PY) pytest -x -q
+	CRASH_POINTS=400 $(PY) pytest -x -q tests/test_triples_wal.py
 
 bench:           ## full benchmark harness (figures + claims), prints tables
 	$(PY) pytest benchmarks/ --benchmark-only -q -s
 
 # CI guard for the bench harness itself: the whole benchmarks/ tree on the
-# small fixture (BENCH_SMOKE shrinks the query-planning workload and keeps
-# the checked-in BENCH_trim_query.json untouched), so planner/bench code
-# can't silently rot without anyone running the full harness.
+# small fixture (BENCH_SMOKE shrinks the query-planning and durability
+# workloads and keeps the checked-in BENCH_*.json files untouched), so
+# planner/bench code can't silently rot without anyone running the full
+# harness.
 bench-smoke:     ## quick benchmark pass on the small fixture
 	BENCH_SMOKE=1 $(PY) pytest benchmarks/ --benchmark-only -q

@@ -2,7 +2,8 @@
 
 Commands:
 
-- ``demo`` — the quickstart round trip, printed.
+- ``demo [--durable DIR]`` — the quickstart round trip, printed; with
+  ``--durable`` the pad's triples are logged crash-safely under DIR.
 - ``worksheet [--patients N] [--seed S] [--svg PATH]`` — build a rounds
   worksheet over a synthetic census; print the outline; optionally write
   the SVG rendering.
@@ -11,6 +12,9 @@ Commands:
 - ``concordance TERM [TERM ...]`` — concordance + KWIC over the built-in
   corpus.
 - ``models`` — define the built-in superimposed models and list them.
+- ``recover DIR [--out PATH]`` — rebuild the durable store under DIR
+  (snapshot + WAL tail) and print recovery statistics; optionally export
+  the recovered triples to a plain XML file.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ import sys
 from typing import List, Optional
 
 
-def _cmd_demo(_args: argparse.Namespace) -> int:
+def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import (DocumentLibrary, SlimPadApplication,
                        standard_mark_manager)
     from repro.base.spreadsheet import Workbook
@@ -34,16 +38,46 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     sheet.set_row(2, ["Lasix", "40mg", "IV", "BID"])
     manager = standard_mark_manager(library)
     pad = SlimPadApplication(manager)
+    durable = getattr(args, "durable", None)
+    if durable:
+        pad.enable_durability(durable)
     pad.new_pad("Demo")
+    pad.commit()
     excel = manager.application("spreadsheet")
     excel.open_workbook("meds.xls")
     excel.select_range("A2:D2")
     scrap = pad.create_scrap_from_selection(excel, label="Lasix 40mg",
                                             pos=Coordinate(10, 10))
+    pad.commit()
     print(render_text(pad.pad))
     resolution = pad.double_click(scrap)
     print(f"\nde-referenced -> {resolution.address}")
     print(f"content: {resolution.content}")
+    if durable:
+        durability = pad.dmi.runtime.trim.durability
+        print(f"\ndurable state in {durable}: "
+              f"{len(pad.dmi.runtime.trim.store)} triples, "
+              f"group {durability.group} committed "
+              f"(recover with: python -m repro recover {durable})")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.triples import persistence
+    from repro.triples.wal import recover
+
+    result = recover(args.directory)
+    print(f"recovered {len(result.store)} triple(s) from {args.directory}")
+    print(f"  snapshot: {result.snapshot_triples} triple(s) "
+          f"(through group {result.snapshot_group})")
+    print(f"  WAL tail: {result.groups_replayed} group(s), "
+          f"{result.changes_replayed} change(s) replayed")
+    if result.discarded_bytes:
+        print(f"  discarded {result.discarded_bytes} corrupt/torn "
+              f"byte(s) past the last complete group")
+    if args.out:
+        persistence.save(result.store, args.out)
+        print(f"recovered store written to {args.out}")
     return 0
 
 
@@ -109,8 +143,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Bundles in Captivity (ICDE 2001) reproduction")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("demo", help="the quickstart round trip") \
-        .set_defaults(handler=_cmd_demo)
+    demo = commands.add_parser("demo", help="the quickstart round trip")
+    demo.add_argument("--durable", default=None, metavar="DIR",
+                      help="log the pad crash-safely under this directory")
+    demo.set_defaults(handler=_cmd_demo)
 
     worksheet = commands.add_parser("worksheet",
                                     help="build a rounds worksheet")
@@ -133,6 +169,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("models", help="list the built-in models") \
         .set_defaults(handler=_cmd_models)
+
+    recover = commands.add_parser(
+        "recover", help="rebuild a durable store (snapshot + WAL tail)")
+    recover.add_argument("directory",
+                         help="durable directory (snapshot.slim + wal.log)")
+    recover.add_argument("--out", default=None,
+                         help="also export the recovered store to this XML file")
+    recover.set_defaults(handler=_cmd_recover)
     return parser
 
 

@@ -65,12 +65,47 @@ class SlimPadApplication:
         return root
 
     def save_pad(self, file_name: str) -> None:
-        """Persist the pad structure (marks are saved by the Mark Manager)."""
+        """Persist the pad structure (marks are saved by the Mark Manager).
+
+        The write is atomic (temp + fsync + rename), so a crash mid-save
+        never destroys an existing pad file.
+        """
         self.dmi.save(file_name)
 
     def open_pad(self, file_name: str) -> EntityObject:
         """Load a pad file and make its first pad current."""
         self._pad = self.dmi.load(file_name)
+        return self._pad
+
+    def enable_durability(self, directory: str, compact_every: int = 64):
+        """Crash-safe persistence for this pad's triples (WAL + snapshots).
+
+        Call before building the pad (the store must be empty when
+        *directory* holds previous state); prior state is recovered and
+        every subsequent pad edit is logged.  Returns the
+        :class:`~repro.triples.wal.Durability` handle.  Pair with
+        :meth:`commit` at user-operation boundaries.
+        """
+        return self.dmi.runtime.trim.enable_durability(
+            directory, compact_every=compact_every)
+
+    def commit(self) -> bool:
+        """Close a durable group boundary; no-op when durability is off."""
+        return self.dmi.runtime.trim.commit()
+
+    def open_durable(self, directory: str,
+                     compact_every: int = 64) -> EntityObject:
+        """Recover a durably-persisted pad and make it current.
+
+        The durable directory's snapshot + WAL tail are replayed into the
+        store (see :func:`repro.triples.wal.recover`); the first recovered
+        pad becomes current, and further edits keep being logged.
+        """
+        self.enable_durability(directory, compact_every=compact_every)
+        pads = self.dmi.All_SlimPad()
+        if not pads:
+            raise SlimPadError(f"{directory!r} holds no durable SlimPad")
+        self._pad = pads[0]
         return self._pad
 
     # -- building bundles ---------------------------------------------------------

@@ -7,8 +7,10 @@ Public surface:
 - :class:`TrimManager` — the façade DMIs program against
 - :class:`Query`, :class:`Pattern`, :class:`Var` — conjunctive queries
 - :class:`View` — reachability views
-- :mod:`repro.triples.persistence` — XML save/load
+- :mod:`repro.triples.persistence` — XML save/load, atomic snapshots
 - :class:`Batch`, :class:`UndoLog` — grouped changes and undo/redo
+- :class:`WriteAheadLog`, :class:`Durability`, :func:`recover` —
+  crash-safe persistence (:mod:`repro.triples.wal`)
 """
 
 from repro.triples.interned import InternedTripleStore
@@ -25,6 +27,8 @@ from repro.triples.transactions import Batch, Change, UndoLog
 from repro.triples.trim import TrimManager
 from repro.triples.triple import Literal, Node, Resource, Triple, triple
 from repro.triples.views import View, reachable_resources, reachable_triples
+from repro.triples.wal import (Durability, RecoveryResult, WriteAheadLog,
+                               recover)
 
 __all__ = [
     "InternedTripleStore",
@@ -50,4 +54,8 @@ __all__ = [
     "View",
     "reachable_resources",
     "reachable_triples",
+    "Durability",
+    "RecoveryResult",
+    "WriteAheadLog",
+    "recover",
 ]

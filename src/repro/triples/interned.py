@@ -9,18 +9,21 @@ case — every triple repeats property names, every instance repeats its
 subject) are stored once.
 
 :class:`InternedTripleStore` implements the same core surface as
-:class:`~repro.triples.store.TripleStore` (add/remove/match/select/one/
-value_of/values_of/count/clear/len/contains/iter/estimated_bytes, plus the
-:attr:`generation` counter), so TRIM-level code, the query planner, cached
-views, and the ablation bench can swap it in.  The shared contract is
-pinned by ``tests/test_triples_store_parity.py``.
+:class:`~repro.triples.store.TripleStore` (add/restore/remove/match/select/
+one/value_of/values_of/count/clear/len/contains/iter/estimated_bytes, the
+:attr:`generation` counter, and per-mutation change listeners with
+sequence numbers), so TRIM-level code, the query planner, cached views,
+the undo log, the write-ahead log, and the ablation bench can swap it in.
+The shared contract is pinned by ``tests/test_triples_store_parity.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional, Set,
+                    Tuple)
 
 from repro.errors import TripleNotFoundError
+from repro.triples.store import ChangeListener
 from repro.triples.triple import Literal, Node, Resource, Triple
 
 _Key = Tuple[int, int, int]
@@ -43,6 +46,7 @@ class InternedTripleStore:
         # Compound indexes over id pairs, mirroring TripleStore's.
         self._by_subject_property: Dict[Tuple[int, int], Set[_Key]] = {}
         self._by_property_value: Dict[Tuple[int, int], Set[_Key]] = {}
+        self._listeners: List[ChangeListener] = []
 
     # -- interning ---------------------------------------------------------------
 
@@ -75,30 +79,68 @@ class InternedTripleStore:
         key = self._key_of(triple)
         if key in self._statements:
             return False
-        self._insert_key(key)
+        sequence = self._insert_key(key)
+        self._notify("add", triple, sequence)
         return True
 
-    def _insert_key(self, key: _Key) -> None:
-        self._statements[key] = self._sequence
-        self._sequence += 1
+    def restore(self, triple: Triple, sequence: int) -> bool:
+        """Insert at a specific insertion-sequence position.
+
+        Same contract as :meth:`TripleStore.restore`: re-adds the triple
+        with its original sequence number so ordering survives undo/redo
+        and WAL replay; a no-op when already present.
+        """
+        key = self._key_of(triple)
+        if key in self._statements:
+            return False
+        out_of_order = bool(self._statements) and \
+            sequence < next(reversed(self._statements.values()))
+        self._insert_key(key, sequence)
+        if out_of_order:
+            self._statements = dict(
+                sorted(self._statements.items(), key=lambda item: item[1]))
+        self._notify("add", triple, sequence)
+        return True
+
+    def sequence_of(self, triple: Triple) -> int:
+        """The insertion-sequence number of a present triple (else raises)."""
+        key = (self._lookup(triple.subject), self._lookup(triple.property),
+               self._lookup(triple.value))
+        if None in key or key not in self._statements:  # type: ignore[comparison-overlap]
+            raise TripleNotFoundError(f"triple not in store: {triple}")
+        return self._statements[key]  # type: ignore[index]
+
+    def _insert_key(self, key: _Key, sequence: Optional[int] = None) -> int:
+        if sequence is None:
+            sequence = self._sequence
+        self._statements[key] = sequence
+        self._sequence = max(self._sequence, sequence + 1)
         self._generation += 1
         self._by_subject.setdefault(key[0], set()).add(key)
         self._by_property.setdefault(key[1], set()).add(key)
         self._by_value.setdefault(key[2], set()).add(key)
         self._by_subject_property.setdefault((key[0], key[1]), set()).add(key)
         self._by_property_value.setdefault((key[1], key[2]), set()).add(key)
+        return sequence
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Insert many; returns how many were new (batch fast path)."""
+        """Insert many; returns how many were new (batch fast path).
+
+        Listeners (when present) see every insertion individually and in
+        order, exactly as N :meth:`add` calls would notify them.
+        """
         statements = self._statements
         key_of = self._key_of
+        notify = self._notify if self._listeners else None
         added = 0
         for t in triples:
             key = key_of(t)
             if key in statements:
                 continue
-            self._insert_key(key)
+            sequence = self._insert_key(key)
             added += 1
+            if notify is not None:
+                notify("add", t, sequence)
         return added
 
     def remove(self, triple: Triple) -> None:
@@ -112,7 +154,7 @@ class InternedTripleStore:
                self._lookup(triple.value))
         if None in key or key not in self._statements:  # type: ignore[comparison-overlap]
             raise TripleNotFoundError(f"triple not in store: {triple}")
-        del self._statements[key]  # type: ignore[arg-type]
+        sequence = self._statements.pop(key)  # type: ignore[arg-type]
         self._generation += 1
         for index, index_key in ((self._by_subject, key[0]),
                                  (self._by_property, key[1]),
@@ -124,6 +166,7 @@ class InternedTripleStore:
                 bucket.discard(key)  # type: ignore[arg-type]
                 if not bucket:
                     del index[index_key]
+        self._notify("remove", triple, sequence)
 
     def discard(self, triple: Triple) -> bool:
         """Delete if present; returns whether it was."""
@@ -144,10 +187,17 @@ class InternedTripleStore:
         return len(victims)
 
     def clear(self) -> None:
-        """Delete every statement in one pass (intern table retained)."""
+        """Delete every statement in one pass (intern table retained).
+
+        Listeners are notified once per removed triple in insertion order,
+        matching :meth:`TripleStore.clear`.
+        """
         count = len(self._statements)
         if not count:
             return
+        victims = ([(self._triple_of(key), seq)
+                    for key, seq in self._statements.items()]
+                   if self._listeners else None)
         self._statements = {}
         self._by_subject = {}
         self._by_property = {}
@@ -155,6 +205,9 @@ class InternedTripleStore:
         self._by_subject_property = {}
         self._by_property_value = {}
         self._generation += count
+        if victims is not None:
+            for triple, sequence in victims:
+                self._notify("remove", triple, sequence)
 
     # -- selection -------------------------------------------------------------------
 
@@ -331,3 +384,23 @@ class InternedTripleStore:
         total += len(self._statements) * per_statement
         total += 5 * len(self._statements) * 8  # index entries (3 single + 2 compound)
         return total
+
+    # -- listeners ----------------------------------------------------------------
+
+    def add_listener(self, listener: ChangeListener) -> Callable[[], None]:
+        """Register a change listener; returns an unsubscribe callable.
+
+        Same contract as :meth:`TripleStore.add_listener`: called after
+        each mutation as ``listener(action, triple, sequence)``.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def _notify(self, action: str, triple: Triple, sequence: int) -> None:
+        for listener in list(self._listeners):
+            listener(action, triple, sequence)

@@ -4,7 +4,9 @@ Section 4.4: TRIM can *"persist (through XML files)"* the triple
 representation.  The format is a flat statement list — close in spirit to
 RDF/XML's striped form but simpler and loss-free for our typed literals::
 
-    <slim-store xmlns-slim="http://repro.example/slim#" ...>
+    <?xml version='1.0' encoding='utf-8'?>
+    <slim-store version="2">
+      <namespace prefix="slim" uri="http://repro.example/slim#" />
       <triple>
         <subject>bundle-000001</subject>
         <property>slim:bundleName</property>
@@ -19,96 +21,286 @@ RDF/XML's striped form but simpler and loss-free for our typed literals::
 
 Literal types (string/integer/float/boolean) are tagged so a save/load
 round trip preserves node identity exactly — a property-tested invariant.
+
+Format version 2 additionally escapes characters XML cannot carry
+losslessly: C0 control characters are rejected by parsers outright, and a
+compliant parser normalizes ``\\r`` / ``\\r\\n`` to ``\\n`` on load.  Both
+would silently break the loss-free round trip, so every text field is
+escaped on dump (``\\`` → ``\\\\``, unsafe characters → ``\\uXXXX``) and
+unescaped on load.  Version-1 files (no escaping) still load unchanged.
+
+:func:`save` is crash-safe: the document is written to a temporary file,
+fsynced, and atomically renamed over the target, so a crash mid-save
+leaves either the old file or the new one — never a torn mix.
+:func:`save_snapshot` / :func:`load_snapshot` add a checksummed header on
+top of that for the durability subsystem (:mod:`repro.triples.wal`).
 """
 
 from __future__ import annotations
 
 import io
+import os
+import re
 import xml.etree.ElementTree as ET
-from typing import Optional, Union
+import zlib
+from typing import NamedTuple, Optional, Union
 
 from repro.errors import PersistenceError
 from repro.triples.namespaces import NamespaceRegistry
 from repro.triples.store import TripleStore
 from repro.triples.triple import Literal, LiteralValue, Resource, Triple
 
-FORMAT_VERSION = "1"
+FORMAT_VERSION = "2"
+
+#: First line of a snapshot file (see :func:`save_snapshot`).
+SNAPSHOT_MAGIC = "#slim-snapshot"
+
+# Characters XML 1.0 cannot round-trip in element content: the C0 controls
+# (minus tab and newline, which survive verbatim), carriage return (parsers
+# normalize CR and CRLF to LF), and our own escape character.
+_UNSAFE_RE = re.compile(r"[\\\x00-\x08\x0b\x0c\x0e-\x1f\r]")
+_ESCAPED_RE = re.compile(r"\\\\|\\u([0-9a-fA-F]{4})")
+
+
+def _escape_text(text: str) -> str:
+    """Escape backslashes and non-XML-safe characters (format v2)."""
+    return _UNSAFE_RE.sub(
+        lambda m: "\\\\" if m.group() == "\\" else "\\u%04x" % ord(m.group()),
+        text)
+
+
+def _unescape_text(text: str) -> str:
+    """Invert :func:`_escape_text`."""
+    def replace(match: "re.Match[str]") -> str:
+        if match.group() == "\\\\":
+            return "\\"
+        return chr(int(match.group(1), 16))
+    return _ESCAPED_RE.sub(replace, text)
+
+
+class Document(NamedTuple):
+    """A parsed persistence document: the store plus its metadata."""
+
+    store: TripleStore
+    namespaces: NamespaceRegistry
+    version: int
 
 
 def dumps(store: TripleStore,
-          namespaces: Optional[NamespaceRegistry] = None) -> str:
-    """Serialize *store* to an XML string (UTF-8 text, one doc)."""
+          namespaces: Optional[NamespaceRegistry] = None, *,
+          with_sequences: bool = False) -> str:
+    """Serialize *store* to an XML string (UTF-8 text, one doc).
+
+    With ``with_sequences=True`` each ``<triple>`` carries a ``seq``
+    attribute recording its insertion-sequence number, so a reload
+    reproduces the exact ordering state — the durability snapshots need
+    this to mesh with sequence numbers replayed from the write-ahead log.
+    """
     root = ET.Element("slim-store", {"version": FORMAT_VERSION})
     if namespaces is not None:
         for namespace in namespaces:
             ET.SubElement(root, "namespace",
                           {"prefix": namespace.prefix, "uri": namespace.uri})
     for triple in store:
-        element = ET.SubElement(root, "triple")
-        ET.SubElement(element, "subject").text = triple.subject.uri
-        ET.SubElement(element, "property").text = triple.property.uri
+        attrs = ({"seq": str(store.sequence_of(triple))}
+                 if with_sequences else {})
+        element = ET.SubElement(root, "triple", attrs)
+        ET.SubElement(element, "subject").text = _escape_text(triple.subject.uri)
+        ET.SubElement(element, "property").text = \
+            _escape_text(triple.property.uri)
         if isinstance(triple.value, Resource):
-            ET.SubElement(element, "resource").text = triple.value.uri
+            ET.SubElement(element, "resource").text = \
+                _escape_text(triple.value.uri)
         else:
             literal = ET.SubElement(element, "literal",
                                     {"type": triple.value.type_name})
-            literal.text = _encode_literal(triple.value.value)
+            literal.text = _escape_text(_encode_literal(triple.value.value))
     ET.indent(root)
     buffer = io.BytesIO()
     ET.ElementTree(root).write(buffer, encoding="utf-8", xml_declaration=True)
     return buffer.getvalue().decode("utf-8")
 
 
-def loads(text: str,
-          namespaces: Optional[NamespaceRegistry] = None) -> TripleStore:
-    """Parse an XML string produced by :func:`dumps` into a fresh store."""
+def loads_document(text: str,
+                   namespaces: Optional[NamespaceRegistry] = None) -> Document:
+    """Parse an XML string produced by :func:`dumps`.
+
+    Namespace declarations always round-trip: they are registered into
+    *namespaces* when given, else into a fresh registry; either way the
+    populated registry is returned alongside the store.
+    """
     try:
         root = ET.fromstring(text)
     except ET.ParseError as exc:
         raise PersistenceError(f"malformed slim-store XML: {exc}") from exc
     if root.tag != "slim-store":
         raise PersistenceError(f"expected <slim-store> root, got <{root.tag}>")
+    try:
+        version = int(root.get("version", "1"))
+    except ValueError as exc:
+        raise PersistenceError(
+            f"bad slim-store version: {root.get('version')!r}") from exc
+    registry = namespaces if namespaces is not None else NamespaceRegistry()
+    escaped = version >= 2
     store = TripleStore()
     for child in root:
         if child.tag == "namespace":
-            if namespaces is not None:
-                prefix = child.get("prefix")
-                uri = child.get("uri")
-                if not prefix or not uri:
-                    raise PersistenceError("namespace element missing prefix/uri")
-                namespaces.register(prefix, uri)
+            prefix = child.get("prefix")
+            uri = child.get("uri")
+            if not prefix or not uri:
+                raise PersistenceError("namespace element missing prefix/uri")
+            registry.register(prefix, uri)
             continue
         if child.tag != "triple":
             raise PersistenceError(f"unexpected element <{child.tag}>")
-        store.add(_parse_triple(child))
-    return store
+        statement = _parse_triple(child, escaped)
+        seq = child.get("seq")
+        if seq is None:
+            store.add(statement)
+        else:
+            try:
+                store.restore(statement, int(seq))
+            except ValueError as exc:
+                raise PersistenceError(f"bad seq attribute: {seq!r}") from exc
+    return Document(store, registry, version)
+
+
+def loads(text: str,
+          namespaces: Optional[NamespaceRegistry] = None) -> TripleStore:
+    """Parse an XML string produced by :func:`dumps` into a fresh store.
+
+    The document's namespace declarations are registered into *namespaces*
+    when given; otherwise they are collected into a fresh registry that is
+    re-attached to the returned store as ``store.namespaces`` — either
+    way, nothing is dropped.  Use :func:`loads_document` for the explicit
+    ``(store, namespaces, version)`` result.
+    """
+    document = loads_document(text, namespaces)
+    if namespaces is None:
+        document.store.namespaces = document.namespaces  # type: ignore[attr-defined]
+    return document.store
 
 
 def save(store: TripleStore, path: str,
          namespaces: Optional[NamespaceRegistry] = None) -> None:
-    """Write *store* to *path* as XML."""
+    """Write *store* to *path* as XML, atomically (temp + fsync + rename)."""
     text = dumps(store, namespaces)
-    try:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(text)
-    except OSError as exc:
-        raise PersistenceError(f"cannot write {path}: {exc}") from exc
+    _atomic_write(path, text.encode("utf-8"))
 
 
 def load(path: str,
          namespaces: Optional[NamespaceRegistry] = None) -> TripleStore:
     """Read a store previously written by :func:`save`."""
+    return loads(_read_bytes(path).decode("utf-8"), namespaces)
+
+
+def load_document(path: str,
+                  namespaces: Optional[NamespaceRegistry] = None) -> Document:
+    """Read a :class:`Document` previously written by :func:`save`."""
+    return loads_document(_read_bytes(path).decode("utf-8"), namespaces)
+
+
+# -- checksummed snapshots (durability subsystem) ----------------------------
+
+def save_snapshot(store: TripleStore, path: str,
+                  namespaces: Optional[NamespaceRegistry] = None,
+                  group: int = 0) -> None:
+    """Atomically write a checksummed snapshot of *store* to *path*.
+
+    The file is the :func:`dumps` XML (with sequence numbers) prefixed by
+    a one-line header recording the format version, the WAL group the
+    snapshot covers, the payload length, and a CRC-32 of the payload::
+
+        #slim-snapshot v2 group=17 bytes=4093 crc32=9f3c21aa
+
+    :func:`load_snapshot` verifies all of it, so a recovery never trusts
+    a corrupt snapshot silently.
+    """
+    payload = dumps(store, namespaces, with_sequences=True).encode("utf-8")
+    header = (f"{SNAPSHOT_MAGIC} v{FORMAT_VERSION} group={group} "
+              f"bytes={len(payload)} crc32={zlib.crc32(payload):08x}\n")
+    _atomic_write(path, header.encode("ascii") + payload)
+
+
+class Snapshot(NamedTuple):
+    """A verified snapshot: the document plus the WAL group it covers."""
+
+    document: Document
+    group: int
+
+
+def load_snapshot(path: str,
+                  namespaces: Optional[NamespaceRegistry] = None) -> Snapshot:
+    """Read and verify a snapshot written by :func:`save_snapshot`.
+
+    Raises :class:`PersistenceError` on a missing/garbled header, a
+    length mismatch, or a checksum mismatch.
+    """
+    data = _read_bytes(path)
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise PersistenceError(f"{path}: not a slim-snapshot (no header)")
+    header, payload = data[:newline].decode("ascii", "replace"), data[newline + 1:]
+    fields = header.split()
+    if len(fields) != 5 or fields[0] != SNAPSHOT_MAGIC:
+        raise PersistenceError(f"{path}: not a slim-snapshot header: {header!r}")
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
+        group = int(fields[2].removeprefix("group="))
+        length = int(fields[3].removeprefix("bytes="))
+        crc = int(fields[4].removeprefix("crc32="), 16)
+    except ValueError as exc:
+        raise PersistenceError(f"{path}: garbled snapshot header: {header!r}") \
+            from exc
+    if len(payload) != length:
+        raise PersistenceError(
+            f"{path}: snapshot payload truncated ({len(payload)} of {length} bytes)")
+    if zlib.crc32(payload) != crc:
+        raise PersistenceError(f"{path}: snapshot checksum mismatch")
+    return Snapshot(loads_document(payload.decode("utf-8"), namespaces), group)
+
+
+# -- internals ---------------------------------------------------------------
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write *data* to *path* via temp file + fsync + atomic rename."""
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise PersistenceError(f"cannot write {path}: {exc}") from exc
+    _fsync_directory(os.path.dirname(os.path.abspath(path)))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory entry (rename durability); best-effort."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _read_bytes(path: str) -> bytes:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
     except OSError as exc:
         raise PersistenceError(f"cannot read {path}: {exc}") from exc
-    return loads(text, namespaces)
 
 
-def _parse_triple(element: ET.Element) -> Triple:
-    subject = _required_text(element, "subject")
-    prop = _required_text(element, "property")
+def _parse_triple(element: ET.Element, escaped: bool) -> Triple:
+    unescape = _unescape_text if escaped else (lambda text: text)
+    subject = unescape(_required_text(element, "subject"))
+    prop = unescape(_required_text(element, "property"))
     resource = element.find("resource")
     literal = element.find("literal")
     if (resource is None) == (literal is None):
@@ -118,10 +310,10 @@ def _parse_triple(element: ET.Element) -> Triple:
     if resource is not None:
         if not resource.text:
             raise PersistenceError("empty <resource> value")
-        value = Resource(resource.text)
+        value = Resource(unescape(resource.text))
     else:
         value = Literal(_decode_literal(literal.get("type", "string"),
-                                        literal.text or ""))
+                                        unescape(literal.text or "")))
     return Triple(Resource(subject), Resource(prop), value)
 
 

@@ -24,8 +24,11 @@ from typing import (Callable, Dict, Iterable, Iterator, List, Optional, Set,
 from repro.errors import TripleNotFoundError
 from repro.triples.triple import Literal, Node, Resource, Triple
 
-#: Change listeners receive ('add' | 'remove', triple).
-ChangeListener = Callable[[str, Triple], None]
+#: Change listeners receive ('add' | 'remove', triple, sequence), where
+#: *sequence* is the insertion-sequence number the triple holds (for adds)
+#: or held (for removes).  The sequence lets undo logs and the write-ahead
+#: log restore a triple to its exact original position later.
+ChangeListener = Callable[[str, Triple, int], None]
 
 #: Shared immutable empty bucket — ``_candidates`` must never allocate a
 #: fresh container just to say "no hits".
@@ -69,18 +72,50 @@ class TripleStore:
         """Insert *triple*; return ``True`` if it was not already present."""
         if triple in self._triples:
             return False
-        self._triples[triple] = self._sequence
+        sequence = self._sequence
+        self._triples[triple] = sequence
         self._sequence += 1
         self._generation += 1
-        self._by_subject.setdefault(triple.subject, set()).add(triple)
-        self._by_property.setdefault(triple.property, set()).add(triple)
-        self._by_value.setdefault(triple.value, set()).add(triple)
-        self._by_subject_property.setdefault(
-            (triple.subject, triple.property), set()).add(triple)
-        self._by_property_value.setdefault(
-            (triple.property, triple.value), set()).add(triple)
-        self._notify("add", triple)
+        self._index_insert(triple)
+        self._notify("add", triple, sequence)
         return True
+
+    def restore(self, triple: Triple, sequence: int) -> bool:
+        """Insert *triple* at a specific insertion-sequence position.
+
+        The inverse of :meth:`remove` for undo/redo and WAL replay: the
+        triple re-enters the store with the *original* sequence number, so
+        :meth:`select` order, iteration order, and persisted files match
+        the pre-removal state exactly.  A no-op (returning ``False``) when
+        the triple is already present.  Restoring below the current tail
+        rebuilds the ordered membership map — O(n log n), acceptable on
+        the undo/recovery paths this exists for.
+        """
+        if triple in self._triples:
+            return False
+        out_of_order = bool(self._triples) and \
+            sequence < next(reversed(self._triples.values()))
+        self._triples[triple] = sequence
+        if out_of_order:
+            self._triples = dict(
+                sorted(self._triples.items(), key=lambda item: item[1]))
+        self._sequence = max(self._sequence, sequence + 1)
+        self._generation += 1
+        self._index_insert(triple)
+        self._notify("add", triple, sequence)
+        return True
+
+    def sequence_of(self, triple: Triple) -> int:
+        """The insertion-sequence number of a present triple.
+
+        Raises :class:`TripleNotFoundError` when absent.  Snapshots use
+        this to persist exact ordering (see
+        :func:`repro.triples.persistence.dumps` with sequences).
+        """
+        try:
+            return self._triples[triple]
+        except KeyError:
+            raise TripleNotFoundError(f"triple not in store: {triple}") from None
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; return how many were new.
@@ -99,7 +134,8 @@ class TripleStore:
         for t in triples:
             if t in members:
                 continue
-            members[t] = self._sequence
+            sequence = self._sequence
+            members[t] = sequence
             self._sequence += 1
             by_s.setdefault(t.subject, set()).add(t)
             by_p.setdefault(t.property, set()).add(t)
@@ -109,7 +145,7 @@ class TripleStore:
             added += 1
             if notify is not None:
                 self._generation += 1
-                notify("add", t)
+                notify("add", t, sequence)
         if notify is None:
             self._generation += added
         return added
@@ -118,7 +154,7 @@ class TripleStore:
         """Delete *triple*; raise :class:`TripleNotFoundError` if absent."""
         if triple not in self._triples:
             raise TripleNotFoundError(f"triple not in store: {triple}")
-        del self._triples[triple]
+        sequence = self._triples.pop(triple)
         self._generation += 1
         self._index_discard(self._by_subject, triple.subject, triple)
         self._index_discard(self._by_property, triple.property, triple)
@@ -127,7 +163,7 @@ class TripleStore:
                             (triple.subject, triple.property), triple)
         self._index_discard(self._by_property_value,
                             (triple.property, triple.value), triple)
-        self._notify("remove", triple)
+        self._notify("remove", triple, sequence)
 
     def discard(self, triple: Triple) -> bool:
         """Delete *triple* if present; return whether it was."""
@@ -155,7 +191,7 @@ class TripleStore:
         Listeners are still notified once per removed triple (in insertion
         order), so undo logs can restore the contents.
         """
-        victims = list(self._triples)
+        victims = list(self._triples.items())
         if not victims:
             return
         self._triples = {}
@@ -165,8 +201,8 @@ class TripleStore:
         self._by_subject_property = {}
         self._by_property_value = {}
         self._generation += len(victims)
-        for triple in victims:
-            self._notify("remove", triple)
+        for triple, sequence in victims:
+            self._notify("remove", triple, sequence)
 
     # -- selection query (the TRIM query operation) --------------------------
 
@@ -348,7 +384,14 @@ class TripleStore:
     # -- listeners -----------------------------------------------------------
 
     def add_listener(self, listener: ChangeListener) -> Callable[[], None]:
-        """Register a change listener; returns an unsubscribe callable."""
+        """Register a change listener; returns an unsubscribe callable.
+
+        Listeners are called *after* each mutation as
+        ``listener(action, triple, sequence)`` with ``action`` one of
+        ``'add'``/``'remove'`` and ``sequence`` the triple's insertion
+        number (see :data:`ChangeListener`).  Both store implementations
+        honour the same contract — pinned by the parity suite.
+        """
         self._listeners.append(listener)
 
         def unsubscribe() -> None:
@@ -379,6 +422,15 @@ class TripleStore:
             return self._triples.keys()
         return min(buckets, key=len)
 
+    def _index_insert(self, triple: Triple) -> None:
+        self._by_subject.setdefault(triple.subject, set()).add(triple)
+        self._by_property.setdefault(triple.property, set()).add(triple)
+        self._by_value.setdefault(triple.value, set()).add(triple)
+        self._by_subject_property.setdefault(
+            (triple.subject, triple.property), set()).add(triple)
+        self._by_property_value.setdefault(
+            (triple.property, triple.value), set()).add(triple)
+
     @staticmethod
     def _index_discard(index: Dict, key, triple: Triple) -> None:
         bucket = index.get(key)
@@ -387,6 +439,6 @@ class TripleStore:
             if not bucket:
                 del index[key]
 
-    def _notify(self, action: str, triple: Triple) -> None:
+    def _notify(self, action: str, triple: Triple, sequence: int) -> None:
         for listener in list(self._listeners):
-            listener(action, triple)
+            listener(action, triple, sequence)

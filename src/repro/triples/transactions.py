@@ -20,19 +20,30 @@ from repro.triples.triple import Triple
 
 @dataclass(frozen=True)
 class Change:
-    """One recorded store mutation: ``action`` is ``'add'`` or ``'remove'``."""
+    """One recorded store mutation: ``action`` is ``'add'`` or ``'remove'``.
+
+    ``sequence`` is the insertion-sequence number the triple held when the
+    change was recorded, so inverting a removal puts the triple back at
+    its *original* position — ``select()`` order and persisted files match
+    the pre-change state exactly after an undo/rollback/redo cycle.
+    """
 
     action: str
     triple: Triple
+    sequence: int = -1
 
     def inverted(self) -> "Change":
         """The change that undoes this one."""
-        return Change("remove" if self.action == "add" else "add", self.triple)
+        return Change("remove" if self.action == "add" else "add",
+                      self.triple, self.sequence)
 
 
 def _apply(store: TripleStore, change: Change) -> None:
     if change.action == "add":
-        store.add(change.triple)
+        if change.sequence >= 0:
+            store.restore(change.triple, change.sequence)
+        else:
+            store.add(change.triple)
     else:
         store.discard(change.triple)
 
@@ -71,8 +82,8 @@ class Batch:
             self.rollback()
         return False  # never swallow exceptions
 
-    def _record(self, action: str, triple: Triple) -> None:
-        self._changes.append(Change(action, triple))
+    def _record(self, action: str, triple: Triple, sequence: int) -> None:
+        self._changes.append(Change(action, triple, sequence))
 
     @property
     def changes(self) -> List[Change]:
@@ -108,10 +119,10 @@ class UndoLog:
         self._unsubscribe()
         self._pending.clear()
 
-    def _record(self, action: str, triple: Triple) -> None:
+    def _record(self, action: str, triple: Triple, sequence: int) -> None:
         if self._replaying:
             return
-        self._pending.append(Change(action, triple))
+        self._pending.append(Change(action, triple, sequence))
         self._redo_stack.clear()
 
     def checkpoint(self) -> bool:

@@ -10,6 +10,12 @@ XML files), query, and create simple views over the underlying triples."*
 generator for minting resources, and an undo log; and it exposes exactly
 the five operation families the paper lists: create, remove, persist,
 query (selection), and views.
+
+Persistence comes in two strengths.  :meth:`save`/:meth:`load` are the
+paper's explicit whole-store XML dump (now written atomically).  The
+opt-in ``durable=`` mode attaches a write-ahead log plus snapshot
+compaction (:mod:`repro.triples.wal`), so every mutation is logged and a
+crash at any point recovers to the last :meth:`commit` boundary.
 """
 
 from __future__ import annotations
@@ -24,17 +30,29 @@ from repro.triples.transactions import Batch, UndoLog
 from repro.triples.triple import (Literal, LiteralValue, Node, Resource,
                                   Triple, triple)
 from repro.triples.views import View
+from repro.triples.wal import Durability
 from repro.util.identifiers import IdGenerator
 
 
 class TrimManager:
-    """Façade bundling store + namespaces + ids + persistence + views."""
+    """Façade bundling store + namespaces + ids + persistence + views.
 
-    def __init__(self, namespaces: Optional[NamespaceRegistry] = None) -> None:
+    Pass ``durable=<directory>`` (or call :meth:`enable_durability`) for
+    crash-safe persistence: existing state under the directory is
+    recovered into the store, every subsequent mutation is logged, and
+    :meth:`commit` marks atomic group boundaries.
+    """
+
+    def __init__(self, namespaces: Optional[NamespaceRegistry] = None,
+                 durable: Optional[str] = None,
+                 compact_every: int = 64) -> None:
         self.store = TripleStore()
         self.namespaces = namespaces or NamespaceRegistry.with_defaults()
         self.ids = IdGenerator()
         self._undo: Optional[UndoLog] = None
+        self._durability: Optional[Durability] = None
+        if durable is not None:
+            self.enable_durability(durable, compact_every=compact_every)
 
     # -- create / remove ------------------------------------------------------
 
@@ -95,14 +113,15 @@ class TrimManager:
     # -- persistence ----------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Persist the store to an XML file."""
+        """Persist the store to an XML file (atomic temp+fsync+rename)."""
         persistence.save(self.store, path, self.namespaces)
 
     def load(self, path: str) -> None:
         """Replace the store contents from an XML file.
 
         Observed resource ids advance the id generator so subsequently
-        minted ids never collide with loaded ones.
+        minted ids never collide with loaded ones.  Under durable mode
+        the clear and reload are logged like any other mutations.
         """
         loaded = persistence.load(path, self.namespaces)
         self.store.clear()
@@ -113,6 +132,49 @@ class TrimManager:
     def dumps(self) -> str:
         """The store as an XML string."""
         return persistence.dumps(self.store, self.namespaces)
+
+    # -- durability (WAL + snapshots) ------------------------------------------
+
+    def enable_durability(self, directory: str, compact_every: int = 64,
+                          fsync: bool = True) -> Durability:
+        """Attach crash-safe persistence rooted at *directory*.
+
+        Recovers any existing snapshot + WAL state into the store (which
+        must then be empty), then logs every mutation.  Recovered resource
+        ids advance the id generator, like :meth:`load`.  Idempotent:
+        returns the existing handle when already enabled.
+        """
+        if self._durability is not None:
+            return self._durability
+        self._durability = Durability(self.store, directory,
+                                      namespaces=self.namespaces,
+                                      compact_every=compact_every,
+                                      fsync=fsync)
+        for resource in self.store.resources():
+            self.ids.observe(resource.uri)
+        return self._durability
+
+    @property
+    def durability(self) -> Optional[Durability]:
+        """The attached durability handle, if durable mode is on."""
+        return self._durability
+
+    def commit(self) -> bool:
+        """Close a durable group (fsync boundary); no-op when not durable.
+
+        Call at user-level operation boundaries — everything since the
+        previous commit becomes one atomic, crash-recoverable group.
+        Returns whether anything was committed.
+        """
+        if self._durability is None:
+            return False
+        return self._durability.commit()
+
+    def close(self) -> None:
+        """Detach durability, if enabled (uncommitted changes are dropped)."""
+        if self._durability is not None:
+            self._durability.close()
+            self._durability = None
 
     # -- undo -----------------------------------------------------------------
 

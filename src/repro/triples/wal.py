@@ -1,0 +1,504 @@
+"""Write-ahead logging and crash-safe durability for TRIM stores.
+
+The paper's TRIM must "persist (through XML files)" the superimposed
+layer, but a full-file dump on every mutation is neither affordable at
+scale nor crash-safe.  This module adds the classic durability pair:
+
+- :class:`WriteAheadLog` — an append-only binary log.  It subscribes to a
+  store's change listeners and appends every add/remove as a checksummed,
+  length-prefixed record carrying the triple, its insertion-sequence
+  number, and the action.  :meth:`WriteAheadLog.commit` closes a *group*
+  (the WAL's unit of atomicity, aligned with user-level operations) by
+  appending a commit record and fsyncing.
+- :class:`Durability` — the orchestrator wired through
+  :class:`~repro.triples.trim.TrimManager`'s ``durable=`` mode: recovery
+  on attach, logging while attached, and snapshot compaction (an atomic
+  checksummed snapshot via :func:`repro.triples.persistence.save_snapshot`,
+  then a log reset) every *compact_every* groups.
+- :func:`recover` — load the latest valid snapshot and replay the WAL
+  tail.  Replay stops at the first corrupt or torn record (everything
+  before it is kept, everything after discarded) and only *complete*
+  groups are applied, so a crash at any byte offset yields exactly the
+  state of the last committed group — the property the crash-injection
+  suite (``tests/test_triples_wal.py``) asserts for randomized kill
+  points.
+
+Record framing::
+
+    file   := MAGIC record*
+    record := u32 payload-length | u32 crc32(payload) | payload
+    payload:= 'A'|'R' u64 sequence  str subject  str property  value
+            | 'C' u64 group-number
+    value  := 'r' str uri | 's'|'i'|'f'|'b' str encoded-literal
+    str    := u32 length | utf-8 bytes
+
+Group numbers are monotonic and survive compaction: the snapshot header
+records the group it covers, and replay skips any logged group at or
+below it — so a crash *between* snapshot rename and log reset cannot
+double-apply changes.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import IO, List, NamedTuple, Optional, Tuple
+
+from repro.errors import PersistenceError
+from repro.triples import persistence
+from repro.triples.namespaces import NamespaceRegistry
+from repro.triples.store import TripleStore
+from repro.triples.transactions import Change
+from repro.triples.triple import Literal, Resource, Triple
+
+MAGIC = b"SLIMWAL1"
+
+SNAPSHOT_FILE = "snapshot.slim"
+WAL_FILE = "wal.log"
+
+_FRAME = struct.Struct(">II")   # payload length, crc32
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+
+_LITERAL_TAGS = {"string": b"s", "integer": b"i", "float": b"f",
+                 "boolean": b"b"}
+_TAG_TYPES = {tag: name for name, tag in _LITERAL_TAGS.items()}
+
+
+# -- record encoding ---------------------------------------------------------
+
+def _pack_str(text: str) -> bytes:
+    data = text.encode("utf-8")
+    return _U32.pack(len(data)) + data
+
+
+def _unpack_str(payload: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    end = offset + length
+    if end > len(payload):
+        raise PersistenceError("WAL string field overruns record")
+    return payload[offset:end].decode("utf-8"), end
+
+
+def encode_change(change: Change) -> bytes:
+    """Serialize one add/remove as a WAL record payload."""
+    kind = b"A" if change.action == "add" else b"R"
+    triple = change.triple
+    parts = [kind, _U64.pack(change.sequence),
+             _pack_str(triple.subject.uri), _pack_str(triple.property.uri)]
+    if isinstance(triple.value, Resource):
+        parts.append(b"r" + _pack_str(triple.value.uri))
+    else:
+        tag = _LITERAL_TAGS[triple.value.type_name]
+        parts.append(tag + _pack_str(
+            persistence._encode_literal(triple.value.value)))
+    return b"".join(parts)
+
+
+def encode_commit(group: int) -> bytes:
+    """Serialize a group-boundary (commit) record payload."""
+    return b"C" + _U64.pack(group)
+
+
+class WalRecord(NamedTuple):
+    """One decoded WAL record: a change or a group boundary."""
+
+    kind: str                      #: ``'change'`` or ``'commit'``
+    change: Optional[Change]       #: set for change records
+    group: Optional[int]           #: set for commit records
+
+
+def decode_record(payload: bytes) -> WalRecord:
+    """Decode a record payload; raises :class:`PersistenceError` if garbled."""
+    try:
+        return _decode_record(payload)
+    except PersistenceError:
+        raise
+    except (struct.error, UnicodeDecodeError, ValueError, KeyError) as exc:
+        # Short fields, bad UTF-8, unparseable literals: all just "garbled".
+        raise PersistenceError(f"garbled WAL record: {exc}") from exc
+
+
+def _decode_record(payload: bytes) -> WalRecord:
+    if not payload:
+        raise PersistenceError("empty WAL record")
+    kind = payload[:1]
+    if kind == b"C":
+        if len(payload) != 1 + _U64.size:
+            raise PersistenceError("bad WAL commit record length")
+        (group,) = _U64.unpack_from(payload, 1)
+        return WalRecord("commit", None, group)
+    if kind not in (b"A", b"R"):
+        raise PersistenceError(f"unknown WAL record kind: {kind!r}")
+    (sequence,) = _U64.unpack_from(payload, 1)
+    offset = 1 + _U64.size
+    subject, offset = _unpack_str(payload, offset)
+    prop, offset = _unpack_str(payload, offset)
+    if offset >= len(payload):
+        raise PersistenceError("WAL record missing value field")
+    tag = payload[offset:offset + 1]
+    text, offset = _unpack_str(payload, offset + 1)
+    if offset != len(payload):
+        raise PersistenceError("trailing bytes in WAL record")
+    if tag == b"r":
+        value = Resource(text)
+    elif tag in _TAG_TYPES:
+        value = Literal(persistence._decode_literal(_TAG_TYPES[tag], text))
+    else:
+        raise PersistenceError(f"unknown WAL value tag: {tag!r}")
+    action = "add" if kind == b"A" else "remove"
+    return WalRecord("change", Change(action, Triple(
+        Resource(subject), Resource(prop), value), sequence), None)
+
+
+# -- scanning ----------------------------------------------------------------
+
+class WalScan(NamedTuple):
+    """Result of reading a WAL file up to its last valid record."""
+
+    groups: List[Tuple[int, List[Change]]]  #: complete (committed) groups
+    pending: List[Change]       #: changes after the last commit (discarded)
+    valid_end: int              #: byte offset of the last valid record's end
+    total_bytes: int            #: file size as found on disk
+    last_group: int             #: highest committed group number (0 if none)
+
+
+def scan_wal(path: str) -> WalScan:
+    """Read a WAL file, truncating (logically) at the first corrupt record.
+
+    Torn frames, short payloads, checksum mismatches, and garbled record
+    bodies all end the scan at the last fully valid record instead of
+    raising — recovery keeps every complete group before the damage.
+    A missing file or a damaged magic header scans as empty.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return WalScan([], [], 0, 0, 0)
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path}: {exc}") from exc
+    total = len(data)
+    if data[:len(MAGIC)] != MAGIC:
+        return WalScan([], [], 0, total, 0)
+    groups: List[Tuple[int, List[Change]]] = []
+    pending: List[Change] = []
+    offset = len(MAGIC)
+    valid_end = offset
+    last_group = 0
+    while offset + _FRAME.size <= total:
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > total:
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            record = decode_record(payload)
+        except PersistenceError:
+            break
+        if record.kind == "commit":
+            groups.append((record.group, pending))
+            pending = []
+            last_group = record.group
+        else:
+            pending.append(record.change)
+        offset = end
+        valid_end = end
+    return WalScan(groups, pending, valid_end, total, last_group)
+
+
+# -- the log -----------------------------------------------------------------
+
+class WriteAheadLog:
+    """Append-only checksummed change log with group boundaries.
+
+    Opens (or creates) the file at *path*, discarding any corrupt tail
+    left by a previous crash so appends continue from the last valid
+    record.  ``fsync=False`` trades durability for speed in benchmarks
+    and tests; real durability keeps the default.
+    """
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = path
+        self._fsync = fsync
+        scan = scan_wal(path)
+        self._group = scan.last_group
+        self._dirty = 0
+        self._file: Optional[IO[bytes]] = None
+        try:
+            if scan.valid_end == 0:
+                self._file = open(path, "wb")
+                self._file.write(MAGIC)
+                self._flush()
+            else:
+                self._file = open(path, "r+b")
+                self._file.truncate(scan.valid_end)
+                self._file.seek(scan.valid_end)
+        except OSError as exc:
+            raise PersistenceError(f"cannot open WAL {path}: {exc}") from exc
+
+    @property
+    def group(self) -> int:
+        """The highest group number committed to this log."""
+        return self._group
+
+    @property
+    def dirty(self) -> int:
+        """How many changes have been appended since the last commit."""
+        return self._dirty
+
+    def append(self, change: Change) -> None:
+        """Append one add/remove record (buffered until :meth:`commit`)."""
+        self._write(encode_change(change))
+        self._dirty += 1
+
+    def commit(self) -> int:
+        """Close the current group: boundary record, flush, fsync.
+
+        Returns the group number just committed.  Changes appended after
+        the previous commit only become recoverable now — a crash before
+        the boundary record hits disk discards the whole partial group.
+        """
+        self._group += 1
+        self._write(encode_commit(self._group))
+        self._flush()
+        self._dirty = 0
+        return self._group
+
+    def reset(self, group: Optional[int] = None) -> None:
+        """Truncate the log back to its header (after a snapshot).
+
+        The group counter is *not* reset — group numbers stay monotonic
+        across compactions so replay can skip groups a snapshot already
+        covers.  *group* (when given) fast-forwards the counter, used
+        when recovery found a snapshot newer than the log.
+        """
+        file = self._require_open()
+        try:
+            file.seek(len(MAGIC))
+            file.truncate(len(MAGIC))
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot reset WAL {self.path}: {exc}") from exc
+        self._flush()
+        if group is not None:
+            self._group = max(self._group, group)
+        self._dirty = 0
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._file is None:
+            return
+        self._flush()
+        self._file.close()
+        self._file = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _require_open(self) -> IO[bytes]:
+        if self._file is None:
+            raise PersistenceError(f"WAL {self.path} is closed")
+        return self._file
+
+    def _write(self, payload: bytes) -> None:
+        file = self._require_open()
+        try:
+            file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+            file.write(payload)
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot append to WAL {self.path}: {exc}") from exc
+
+    def _flush(self) -> None:
+        file = self._require_open()
+        try:
+            file.flush()
+            if self._fsync:
+                os.fsync(file.fileno())
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot flush WAL {self.path}: {exc}") from exc
+
+
+# -- recovery ----------------------------------------------------------------
+
+class RecoveryResult(NamedTuple):
+    """What :func:`recover` reconstructed and how."""
+
+    store: TripleStore          #: the recovered store
+    snapshot_group: int         #: group covered by the snapshot (0 if none)
+    snapshot_triples: int       #: triples loaded from the snapshot
+    groups_replayed: int        #: complete WAL groups applied on top
+    changes_replayed: int       #: individual changes applied from the WAL
+    last_group: int             #: highest group number in the final state
+    discarded_bytes: int        #: corrupt/torn WAL tail bytes ignored
+
+
+def recover(directory: str,
+            store: Optional[TripleStore] = None,
+            namespaces: Optional[NamespaceRegistry] = None) -> RecoveryResult:
+    """Rebuild the durable state under *directory*.
+
+    Loads the latest valid snapshot (if any), then replays every complete
+    WAL group with a number above the snapshot's, stopping at the first
+    corrupt record.  Adds replay through
+    :meth:`~repro.triples.store.TripleStore.restore` with their logged
+    sequence numbers, so the recovered store matches the crashed store's
+    iteration and ``select()`` order exactly, not just its set of triples.
+
+    *store* (default: a fresh :class:`TripleStore`) must be empty; the
+    recovered triples are loaded into it.
+    """
+    store = store if store is not None else TripleStore()
+    if len(store):
+        raise PersistenceError("recovery target store must be empty")
+    snapshot_path = os.path.join(directory, SNAPSHOT_FILE)
+    snapshot_group = 0
+    snapshot_triples = 0
+    if os.path.exists(snapshot_path):
+        snapshot = persistence.load_snapshot(snapshot_path, namespaces)
+        snapshot_group = snapshot.group
+        loaded = snapshot.document.store
+        snapshot_triples = len(loaded)
+        for statement in loaded:
+            store.restore(statement, loaded.sequence_of(statement))
+    scan = scan_wal(os.path.join(directory, WAL_FILE))
+    groups_replayed = 0
+    changes_replayed = 0
+    last_group = snapshot_group
+    for group, changes in scan.groups:
+        if group <= snapshot_group:
+            continue  # already in the snapshot (crash between rename and reset)
+        for change in changes:
+            if change.action == "add":
+                store.restore(change.triple, change.sequence)
+            else:
+                store.discard(change.triple)
+        groups_replayed += 1
+        changes_replayed += len(changes)
+        last_group = max(last_group, group)
+    last_group = max(last_group, scan.last_group)
+    return RecoveryResult(store, snapshot_group, snapshot_triples,
+                          groups_replayed, changes_replayed, last_group,
+                          scan.total_bytes - scan.valid_end)
+
+
+# -- the durability orchestrator ---------------------------------------------
+
+class Durability:
+    """Crash-safe persistence for one store: recovery, WAL, compaction.
+
+    Attaching to a *directory* that already holds durable state recovers
+    it into *store* (which must then be empty) before subscribing to the
+    store's change listeners.  Attaching a *non-empty* store to a fresh
+    directory writes a baseline snapshot immediately, so pre-existing
+    triples are never invisible to recovery.
+
+    Call :meth:`commit` at user-level operation boundaries; after
+    *compact_every* committed groups the log is folded into a new atomic
+    snapshot.  All writes go through the checksummed formats in
+    :mod:`repro.triples.persistence` and this module, so a crash at any
+    point leaves a recoverable directory.
+    """
+
+    def __init__(self, store: TripleStore, directory: str,
+                 namespaces: Optional[NamespaceRegistry] = None,
+                 compact_every: int = 64, fsync: bool = True) -> None:
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self.directory = directory
+        self.namespaces = namespaces
+        self.compact_every = compact_every
+        self._store = store
+        os.makedirs(directory, exist_ok=True)
+        self._snapshot_path = os.path.join(directory, SNAPSHOT_FILE)
+        wal_path = os.path.join(directory, WAL_FILE)
+        had_state = (os.path.exists(self._snapshot_path)
+                     or os.path.exists(wal_path))
+        self.recovered: Optional[RecoveryResult] = None
+        if had_state:
+            self.recovered = recover(directory, store, namespaces)
+        self._wal = WriteAheadLog(wal_path, fsync=fsync)
+        if self.recovered is not None \
+                and self.recovered.snapshot_group > self._wal.group:
+            # Crash between snapshot rename and log reset: every logged
+            # group is covered by the snapshot.  Finish the interrupted
+            # reset and fast-forward the counter past the snapshot, so
+            # fresh commits get numbers replay will not skip.
+            self._wal.reset(group=self.recovered.last_group)
+        self._groups_since_snapshot = (self.recovered.groups_replayed
+                                       if self.recovered is not None else 0)
+        self._unsubscribe = store.add_listener(self._on_change)
+        self._closed = False
+        if not had_state and len(store):
+            self.compact()
+
+    @property
+    def group(self) -> int:
+        """The highest committed group number."""
+        return self._wal.group
+
+    @property
+    def pending_changes(self) -> int:
+        """Changes logged since the last :meth:`commit` (not yet durable)."""
+        return self._wal.dirty
+
+    @property
+    def groups_since_snapshot(self) -> int:
+        """Committed groups accumulated since the last compaction."""
+        return self._groups_since_snapshot
+
+    def commit(self) -> bool:
+        """Close the current group; ``False`` when nothing changed.
+
+        Fsyncs the WAL, making every change since the previous commit
+        durable as one atomic group; triggers compaction after
+        ``compact_every`` groups.
+        """
+        if self._closed:
+            raise PersistenceError("durability handle is closed")
+        if self._wal.dirty == 0:
+            return False
+        self._wal.commit()
+        self._groups_since_snapshot += 1
+        if self._groups_since_snapshot >= self.compact_every:
+            self.compact()
+        return True
+
+    def compact(self) -> None:
+        """Fold the log into a fresh atomic snapshot and reset the WAL.
+
+        Ordering is crash-safe: the snapshot (recording the covered group
+        number) is fsynced and renamed into place *before* the log is
+        truncated.  A crash in between leaves groups in the log that the
+        snapshot already covers; replay skips them by group number.
+        """
+        if self._closed:
+            raise PersistenceError("durability handle is closed")
+        persistence.save_snapshot(self._store, self._snapshot_path,
+                                  self.namespaces, group=self._wal.group)
+        self._wal.reset()
+        self._groups_since_snapshot = 0
+
+    def close(self) -> None:
+        """Detach from the store and close the log (idempotent).
+
+        Uncommitted changes remain in the WAL file but are not fsynced
+        and, lacking a boundary record, will be discarded by recovery —
+        commit first if they should survive.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._unsubscribe()
+        self._wal.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _on_change(self, action: str, triple: Triple, sequence: int) -> None:
+        self._wal.append(Change(action, triple, sequence))

@@ -25,6 +25,17 @@ literals = st.builds(Literal, st.one_of(
 triples_st = st.builds(Triple, resources, resources,
                        st.one_of(resources, literals))
 
+# Hostile text for the escaping round trip (format v2): control characters,
+# carriage returns, backslashes, whitespace-only strings — everything XML
+# itself cannot carry.  Only surrogates stay out (not encodable to UTF-8).
+hostile_text = st.text(alphabet=st.characters(blacklist_categories=("Cs",)),
+                       max_size=12)
+hostile_uris = hostile_text.filter(bool)
+hostile_triples_st = st.builds(
+    Triple, st.builds(Resource, hostile_uris), st.builds(Resource, hostile_uris),
+    st.one_of(st.builds(Resource, hostile_uris),
+              st.builds(Literal, hostile_text)))
+
 
 class TestPersistence:
     def test_round_trip_simple(self, tmp_path):
@@ -100,6 +111,147 @@ class TestPersistence:
         s.add_all(items)
         loaded = persistence.loads(persistence.dumps(s))
         assert set(loaded) == set(s)
+
+
+class TestEscapingRoundTrip:
+    """Format v2 rejects nothing and loses nothing: characters XML cannot
+    carry (C0 controls, ``\\r``) are escaped on dump, unescaped on load."""
+
+    @pytest.mark.parametrize("text", [
+        "line\rreturn", "crlf\r\nmix", "\r", "\x00", "\x1b[0m", "\x07bell",
+        "tab\tand\nnewline", "   ", "\n", " leading and trailing ",
+        "back\\slash", "looks\\u0041escaped", "\\", "\x7f",
+    ])
+    def test_string_literal_round_trips_exactly(self, text):
+        s = TripleStore()
+        s.add(triple("a", "p", text))
+        loaded = persistence.loads(persistence.dumps(s))
+        assert [t.value for t in loaded] == [Literal(text)]
+
+    def test_control_chars_in_uris_round_trip(self):
+        s = TripleStore()
+        s.add(Triple(Resource("subject\rwith cr"), Resource("prop\x01"),
+                     Resource("value\x1funit sep")))
+        loaded = persistence.loads(persistence.dumps(s))
+        assert set(loaded) == set(s)
+
+    def test_dumped_xml_contains_no_raw_control_chars(self):
+        s = TripleStore()
+        s.add(triple("a", "p", "cr\rnul\x00"))
+        text = persistence.dumps(s)
+        assert "\r" not in text
+        assert "\x00" not in text
+        assert "\\u000d" in text and "\\u0000" in text
+
+    def test_version_1_documents_load_unescaped(self):
+        # Pre-escaping files carry backslashes verbatim; loading must not
+        # misinterpret them as v2 escape sequences.
+        text = ("<slim-store version='1'><triple><subject>s</subject>"
+                "<property>p</property>"
+                "<literal type='string'>raw\\u0041backslash\\\\</literal>"
+                "</triple></slim-store>")
+        loaded = persistence.loads(text)
+        assert [t.value for t in loaded] == [Literal("raw\\u0041backslash\\\\")]
+
+    def test_versionless_documents_default_to_v1(self):
+        text = ("<slim-store><triple><subject>s</subject>"
+                "<property>p</property>"
+                "<literal type='string'>a\\u0042c</literal>"
+                "</triple></slim-store>")
+        loaded = persistence.loads(text)
+        assert [t.value for t in loaded] == [Literal("a\\u0042c")]
+
+    @given(st.lists(hostile_triples_st, max_size=20))
+    def test_hostile_round_trip_is_identity(self, items):
+        s = TripleStore()
+        s.add_all(items)
+        loaded = persistence.loads(persistence.dumps(s))
+        assert set(loaded) == set(s)
+
+    @given(hostile_text)
+    def test_escape_unescape_is_identity(self, text):
+        escaped = persistence._escape_text(text)
+        assert persistence._unescape_text(escaped) == text
+
+
+class TestNamespaceRoundTrip:
+    def test_loads_attaches_namespaces_by_default(self):
+        s = TripleStore()
+        s.add(triple("a", "slim:p", 1))
+        registry = NamespaceRegistry.with_defaults()
+        registry.register("pad", "http://example.org/pad#")
+        loaded = persistence.loads(persistence.dumps(s, registry))
+        assert "pad" in loaded.namespaces
+        assert loaded.namespaces.expand("pad:x") == "http://example.org/pad#x"
+
+    def test_loads_document_reports_version_and_registry(self):
+        s = TripleStore()
+        s.add(triple("a", "p", 1))
+        registry = NamespaceRegistry.with_defaults()
+        document = persistence.loads_document(persistence.dumps(s, registry))
+        assert document.version == 2
+        assert "slim" in document.namespaces
+        assert set(document.store) == set(s)
+
+
+class TestSnapshots:
+    def test_snapshot_round_trips_contents_and_order(self, tmp_path):
+        s = TripleStore()
+        items = [triple(f"s{i}", "p", i) for i in range(5)]
+        for t in items:
+            s.add(t)
+        s.remove(items[2])
+        s.restore(items[2], 2)   # non-trivial sequence state
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path, group=9)
+        snapshot = persistence.load_snapshot(path)
+        assert snapshot.group == 9
+        assert list(snapshot.document.store) == items
+        assert [snapshot.document.store.sequence_of(t) for t in items] == \
+            [s.sequence_of(t) for t in items]
+
+    def test_snapshot_header_is_human_readable(self, tmp_path):
+        s = TripleStore()
+        s.add(triple("a", "p", 1))
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path, group=3)
+        first_line = open(path, "rb").readline().decode("ascii")
+        assert first_line.startswith("#slim-snapshot v2 group=3 ")
+
+    def test_truncated_snapshot_rejected(self, tmp_path):
+        s = TripleStore()
+        s.add(triple("a", "p", 1))
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-10])
+        with pytest.raises(PersistenceError):
+            persistence.load_snapshot(path)
+
+    def test_non_snapshot_file_rejected(self, tmp_path):
+        path = str(tmp_path / "plain.xml")
+        open(path, "w").write("<slim-store version='2'/>")
+        with pytest.raises(PersistenceError):
+            persistence.load_snapshot(path)
+
+
+class TestAtomicSave:
+    def test_save_replaces_existing_file_atomically(self, tmp_path):
+        path = str(tmp_path / "pad.xml")
+        first = TripleStore()
+        first.add(triple("a", "p", 1))
+        persistence.save(first, path)
+        second = TripleStore()
+        second.add(triple("b", "p", 2))
+        persistence.save(second, path)
+        assert set(persistence.load(path)) == set(second)
+        assert not (tmp_path / "pad.xml.tmp").exists()
+
+    def test_failed_save_leaves_no_temp_file(self, tmp_path):
+        store = TripleStore()
+        store.add(triple("a", "p", 1))
+        with pytest.raises(PersistenceError):
+            persistence.save(store, str(tmp_path / "no-such-dir" / "pad.xml"))
 
 
 class TestBatch:
@@ -198,6 +350,74 @@ class TestUndoLog:
         if log.checkpoint():
             log.undo()
         assert set(s) == before
+
+
+class TestSequenceRestoration:
+    """Undoing a removal puts the triple back at its *original* position —
+    ``select()`` order and persisted files match the pre-change state
+    exactly, not just as a set."""
+
+    def test_undo_reinserts_removed_triple_in_place(self):
+        s = TripleStore()
+        log = UndoLog(s)
+        items = [triple(f"s{i}", "p", i) for i in range(4)]
+        for t in items:
+            s.add(t)
+        log.checkpoint()
+        s.remove(items[1])
+        log.checkpoint()
+        log.undo()
+        assert list(s) == items
+        assert s.select() == items
+
+    def test_undo_redo_cycle_preserves_persisted_bytes(self):
+        s = TripleStore()
+        log = UndoLog(s)
+        items = [triple(f"s{i}", "p", i) for i in range(5)]
+        for t in items:
+            s.add(t)
+        log.checkpoint()
+        before = persistence.dumps(s)
+        s.remove(items[0])
+        s.remove(items[3])
+        log.checkpoint()
+        log.undo()
+        assert persistence.dumps(s) == before
+        log.redo()
+        log.undo()
+        assert persistence.dumps(s) == before
+
+    def test_rollback_reinserts_removed_triples_in_place(self):
+        s = TripleStore()
+        items = [triple(f"s{i}", "p", i) for i in range(4)]
+        for t in items:
+            s.add(t)
+        with pytest.raises(RuntimeError):
+            with Batch(s):
+                s.remove(items[0])
+                s.remove(items[2])
+                s.add(triple("new", "p", 99))
+                raise RuntimeError("boom")
+        assert list(s) == items
+        assert s.select() == items
+
+    @given(st.lists(triples_st, min_size=2, max_size=15, unique=True),
+           st.data())
+    def test_undo_restores_exact_prior_order(self, items, data):
+        s = TripleStore()
+        log = UndoLog(s)
+        for t in items:
+            s.add(t)
+        log.checkpoint()
+        before = list(s)
+        victims = data.draw(st.lists(st.sampled_from(items), min_size=1,
+                                     unique=True))
+        for t in victims:
+            s.remove(t)
+        log.checkpoint()
+        log.undo()
+        assert list(s) == before
+        assert s.select() == before
 
 
 class TestTrimManager:

@@ -165,7 +165,8 @@ class TestInspection:
 class TestListeners:
     def test_listener_sees_adds_and_removes(self, store):
         log = []
-        store.add_listener(lambda action, t: log.append((action, t.subject.uri)))
+        store.add_listener(
+            lambda action, t, seq: log.append((action, t.subject.uri)))
         t = triple("x", "p", 1)
         store.add(t)
         store.remove(t)
@@ -173,13 +174,13 @@ class TestListeners:
 
     def test_duplicate_add_not_notified(self, store):
         log = []
-        store.add_listener(lambda action, t: log.append(action))
+        store.add_listener(lambda action, t, seq: log.append(action))
         store.add(triple("b1", "slim:bundleName", "Electrolyte"))
         assert log == []
 
     def test_unsubscribe(self, store):
         log = []
-        unsubscribe = store.add_listener(lambda a, t: log.append(a))
+        unsubscribe = store.add_listener(lambda a, t, seq: log.append(a))
         unsubscribe()
         store.add(triple("x", "p", 1))
         assert log == []

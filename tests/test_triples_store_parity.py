@@ -235,6 +235,123 @@ class TestStatisticsParity:
         assert empty_store.generation > g1
 
 
+class TestListenerParity:
+    """The change-listener contract: ``listener(action, triple, sequence)``
+    after every mutation, identically on both stores.  The WAL and the
+    undo log both build on exactly these events."""
+
+    def test_add_notifies_with_sequence(self, empty_store):
+        log = []
+        empty_store.add_listener(lambda a, t, seq: log.append((a, t, seq)))
+        t1, t2 = triple("a", "p", 1), triple("b", "p", 2)
+        empty_store.add(t1)
+        empty_store.add(t2)
+        assert log == [("add", t1, 0), ("add", t2, 1)]
+
+    def test_duplicate_add_not_notified(self, empty_store):
+        log = []
+        t = triple("a", "p", 1)
+        empty_store.add(t)
+        empty_store.add_listener(lambda a, t, seq: log.append(a))
+        empty_store.add(t)
+        assert log == []
+
+    def test_add_all_notifies_each_new_triple_in_order(self, empty_store):
+        log = []
+        empty_store.add_listener(lambda a, t, seq: log.append((t, seq)))
+        t1, t2 = triple("a", "p", 1), triple("b", "p", 2)
+        empty_store.add_all([t1, t2, t1])
+        assert log == [(t1, 0), (t2, 1)]
+
+    def test_remove_reports_the_sequence_the_triple_held(self, empty_store):
+        log = []
+        t1, t2 = triple("a", "p", 1), triple("b", "p", 2)
+        empty_store.add_all([t1, t2])
+        empty_store.add_listener(lambda a, t, seq: log.append((a, t, seq)))
+        empty_store.remove(t2)
+        empty_store.remove(t1)
+        assert log == [("remove", t2, 1), ("remove", t1, 0)]
+
+    def test_clear_notifies_removals_in_insertion_order(self, empty_store):
+        log = []
+        items = [triple(f"s{i}", "p", i) for i in range(4)]
+        empty_store.add_all(items)
+        empty_store.add_listener(lambda a, t, seq: log.append((a, t, seq)))
+        empty_store.clear()
+        assert log == [("remove", t, i) for i, t in enumerate(items)]
+
+    def test_unsubscribe_stops_notifications(self, empty_store):
+        log = []
+        unsubscribe = empty_store.add_listener(
+            lambda a, t, seq: log.append(a))
+        unsubscribe()
+        unsubscribe()   # idempotent
+        empty_store.add(triple("a", "p", 1))
+        assert log == []
+
+    def test_listeners_fire_after_the_mutation_landed(self, empty_store):
+        seen = []
+        empty_store.add_listener(
+            lambda a, t, seq: seen.append((a, t in empty_store)))
+        t = triple("a", "p", 1)
+        empty_store.add(t)
+        empty_store.remove(t)
+        assert seen == [("add", True), ("remove", False)]
+
+
+class TestRestoreParity:
+    """``restore`` / ``sequence_of``: position-exact reinsertion, as used
+    by undo and WAL replay."""
+
+    def test_sequence_of_present_and_absent(self, empty_store):
+        t = triple("a", "p", 1)
+        empty_store.add(t)
+        assert empty_store.sequence_of(t) == 0
+        with pytest.raises(TripleNotFoundError):
+            empty_store.sequence_of(triple("ghost", "p", 1))
+
+    def test_restore_reinserts_at_original_position(self, store):
+        first = triple("b1", "slim:bundleName", "Electrolyte")
+        sequence = store.sequence_of(first)
+        store.remove(first)
+        assert store.restore(first, sequence) is True
+        hits = store.select(subject=Resource("b1"))
+        assert [str(t.value) for t in hits] == ["'Electrolyte'", "s1", "s2"]
+        assert store.sequence_of(first) == sequence
+
+    def test_restore_present_is_noop(self, store):
+        t = triple("s1", "slim:scrapName", "K+ 3.9")
+        generation = store.generation
+        assert store.restore(t, store.sequence_of(t)) is False
+        assert store.generation == generation
+
+    def test_restore_keeps_iteration_and_select_aligned(self, empty_store):
+        items = [triple(f"s{i}", "p", i) for i in range(5)]
+        for t in items:
+            empty_store.add(t)
+        empty_store.remove(items[1])
+        empty_store.remove(items[3])
+        empty_store.restore(items[3], 3)
+        empty_store.restore(items[1], 1)
+        assert list(empty_store) == items
+        assert empty_store.select() == items
+
+    def test_restore_notifies_listeners(self, empty_store):
+        t = triple("a", "p", 1)
+        empty_store.add(t)
+        empty_store.remove(t)
+        log = []
+        empty_store.add_listener(lambda a, tr, seq: log.append((a, tr, seq)))
+        empty_store.restore(t, 0)
+        assert log == [("add", t, 0)]
+
+    def test_restore_past_the_tail_advances_the_sequence(self, empty_store):
+        empty_store.restore(triple("a", "p", 1), 10)
+        empty_store.add(triple("b", "p", 2))
+        assert empty_store.sequence_of(triple("b", "p", 2)) == 11
+        assert list(empty_store) == empty_store.select()
+
+
 class TestCrossImplementationAgreement:
     """Both stores give identical answers on a generated workload."""
 

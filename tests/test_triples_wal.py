@@ -1,0 +1,406 @@
+"""The durability subsystem: WAL records, recovery, and crash injection.
+
+The central property (ISSUE 2's acceptance bar): for a kill at *any* byte
+offset during logged writes, :func:`repro.triples.wal.recover` yields
+exactly the triples — and the exact ordering — of the last complete
+group.  No partial group ever becomes visible, and no valid tail is ever
+dropped.  The crash-injection harness below builds a scripted WAL,
+records the expected store state at every commit boundary, then replays
+truncations (and corruptions) at randomized offsets and checks the
+recovered state against the boundary map.
+
+Set ``CRASH_POINTS`` to raise the number of randomized kill points (the
+``make verify`` target does).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.triples import persistence
+from repro.triples.transactions import Change
+from repro.triples.trim import TrimManager
+from repro.triples.store import TripleStore
+from repro.triples.triple import Literal, Resource, triple
+from repro.triples.wal import (MAGIC, SNAPSHOT_FILE, WAL_FILE, Durability,
+                               WriteAheadLog, decode_record, encode_change,
+                               encode_commit, recover, scan_wal)
+
+CRASH_POINTS = int(os.environ.get("CRASH_POINTS", "40"))
+
+
+class TestRecordCodec:
+    def test_change_round_trip_resource_value(self):
+        change = Change("add", triple("b1", "slim:bundleContent",
+                                      Resource("s1")), 17)
+        decoded = decode_record(encode_change(change))
+        assert decoded.kind == "change"
+        assert decoded.change == change
+
+    @pytest.mark.parametrize("value", ["text", "", "with \r\n and \x00", 3,
+                                       -2**40, 3.5, True, False])
+    def test_change_round_trip_literal_values(self, value):
+        change = Change("remove", triple("s", "p", value), 2**33)
+        assert decode_record(encode_change(change)).change == change
+
+    def test_commit_round_trip(self):
+        decoded = decode_record(encode_commit(41))
+        assert decoded.kind == "commit"
+        assert decoded.group == 41
+
+    def test_garbled_payloads_rejected(self):
+        for payload in (b"", b"Zjunk", b"C\x00", b"A\x00\x00"):
+            with pytest.raises(PersistenceError):
+                decode_record(payload)
+
+
+class TestWriteAheadLog:
+    def test_append_commit_scan(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        c1 = Change("add", triple("a", "p", 1), 0)
+        c2 = Change("add", triple("b", "p", 2), 1)
+        wal.append(c1)
+        wal.append(c2)
+        assert wal.dirty == 2
+        assert wal.commit() == 1
+        wal.append(Change("remove", triple("a", "p", 1), 0))
+        wal.commit()
+        wal.close()
+        scan = scan_wal(path)
+        assert [g for g, _ in scan.groups] == [1, 2]
+        assert scan.groups[0][1] == [c1, c2]
+        assert scan.pending == []
+        assert scan.last_group == 2
+
+    def test_pending_tail_not_in_groups(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(Change("add", triple("a", "p", 1), 0))
+        wal.commit()
+        wal.append(Change("add", triple("b", "p", 2), 1))
+        wal.close()  # no boundary for b
+        scan = scan_wal(path)
+        assert len(scan.groups) == 1
+        assert len(scan.pending) == 1
+
+    def test_reopen_truncates_corrupt_tail_and_appends(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(Change("add", triple("a", "p", 1), 0))
+        wal.commit()
+        wal.close()
+        good_size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x01garbage tail")
+        wal = WriteAheadLog(path)
+        assert os.path.getsize(path) == good_size
+        assert wal.group == 1
+        wal.append(Change("add", triple("b", "p", 2), 1))
+        wal.commit()
+        wal.close()
+        assert [g for g, _ in scan_wal(path).groups] == [1, 2]
+
+    def test_missing_and_headerless_files_scan_empty(self, tmp_path):
+        assert scan_wal(str(tmp_path / "absent.log")).groups == []
+        bad = tmp_path / "bad.log"
+        bad.write_bytes(b"NOTAWAL!rest")
+        scan = scan_wal(str(bad))
+        assert scan.groups == [] and scan.valid_end == 0
+
+    def test_reset_keeps_group_counter(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(Change("add", triple("a", "p", 1), 0))
+        wal.commit()
+        wal.reset()
+        assert os.path.getsize(path) == len(MAGIC)
+        wal.append(Change("add", triple("b", "p", 2), 1))
+        assert wal.commit() == 2  # monotonic across resets
+        wal.close()
+
+
+def _scripted_run(directory, compact_every=10_000):
+    """Drive a durable TrimManager through a deterministic mutation script.
+
+    Returns ``(wal_bytes, boundaries)`` where *boundaries* maps each
+    commit point to ``(wal_size_after_commit, expected_triples_in_order)``.
+    The script mixes adds, removes, undo (sequence-restoring), and
+    literal payloads that need v2 escaping.
+    """
+    trim = TrimManager(durable=directory, compact_every=compact_every)
+    log = trim.enable_undo()
+    wal_path = os.path.join(directory, WAL_FILE)
+    boundaries = [(os.path.getsize(wal_path), [])]
+
+    def checkpoint():
+        log.checkpoint()
+        trim.commit()
+        boundaries.append((os.path.getsize(wal_path), list(trim.store)))
+
+    trim.create("b1", "slim:bundleName", "Electrolyte")
+    trim.create("b1", "slim:bundleContent", Resource("s1"))
+    trim.create("s1", "slim:scrapName", "K+ 3.9")
+    checkpoint()
+    trim.create("s2", "slim:scrapName", "CR\rLF\nNUL\x00")
+    trim.create("b1", "slim:bundleContent", Resource("s2"))
+    checkpoint()
+    trim.remove(triple("s1", "slim:scrapName", "K+ 3.9"))
+    trim.create("s1", "slim:scrapName", "K+ 4.1")
+    checkpoint()
+    log.undo()   # restore K+ 3.9 at its original position
+    checkpoint()
+    trim.create("b2", "slim:bundleName", Literal(True))
+    trim.create("b2", "slim:bundleWeight", 70.5)
+    trim.create("b2", "slim:bundleSize", -12)
+    checkpoint()
+    trim.store.remove_matching(subject=Resource("b2"))
+    checkpoint()
+    # A logged-but-uncommitted tail: must never be recovered.
+    trim.create("ghost", "p", "never committed")
+    trim.close()
+    with open(wal_path, "rb") as handle:
+        wal_bytes = handle.read()
+    return wal_bytes, boundaries
+
+
+def _expected_at(boundaries, size):
+    """The store contents of the last commit boundary at or before *size*."""
+    expected = boundaries[0][1]
+    for boundary_size, triples in boundaries:
+        if boundary_size <= size:
+            expected = triples
+    return expected
+
+
+class TestCrashInjection:
+    """Kill the writer at randomized byte offsets; recovery must land on
+    the last complete group — exactly, including order."""
+
+    @pytest.fixture(scope="class")
+    def script(self, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("scripted"))
+        return _scripted_run(directory)
+
+    def _offsets(self, wal_bytes, seed):
+        rng = random.Random(seed)
+        offsets = {0, len(MAGIC), len(wal_bytes) - 1, len(wal_bytes)}
+        offsets.update(rng.randrange(len(wal_bytes) + 1)
+                       for _ in range(CRASH_POINTS))
+        return sorted(offsets)
+
+    def test_truncation_at_randomized_offsets(self, script, tmp_path):
+        wal_bytes, boundaries = script
+        for i, offset in enumerate(self._offsets(wal_bytes, seed=2001)):
+            crash_dir = tmp_path / f"t{i}"
+            crash_dir.mkdir()
+            (crash_dir / WAL_FILE).write_bytes(wal_bytes[:offset])
+            result = recover(str(crash_dir))
+            expected = _expected_at(boundaries, offset)
+            assert list(result.store) == expected, f"truncate@{offset}"
+            # Only the torn suffix past the last *valid record* may be
+            # discarded (complete-but-uncommitted records scan fine; they
+            # are just never applied).
+            assert 0 <= result.discarded_bytes <= offset, f"truncate@{offset}"
+
+    def test_corruption_at_randomized_offsets(self, script, tmp_path):
+        wal_bytes, boundaries = script
+        for i, offset in enumerate(self._offsets(wal_bytes, seed=77)):
+            if offset >= len(wal_bytes):
+                continue
+            damaged = bytearray(wal_bytes)
+            damaged[offset] ^= 0xFF
+            crash_dir = tmp_path / f"c{i}"
+            crash_dir.mkdir()
+            (crash_dir / WAL_FILE).write_bytes(bytes(damaged))
+            result = recover(str(crash_dir))
+            # A flipped byte invalidates the record containing it and
+            # everything after; all complete groups before it survive.
+            assert list(result.store) == _expected_at(boundaries, offset), \
+                f"corrupt@{offset}"
+
+    def test_truncation_with_snapshot_in_play(self, tmp_path):
+        """Same property when recovery stacks WAL tail on a snapshot."""
+        directory = str(tmp_path / "snap")
+        trim = TrimManager(durable=directory, compact_every=3)
+        wal_path = os.path.join(directory, WAL_FILE)
+        snapshot_state = []     # what the latest snapshot covers
+        boundaries = []         # (wal size, state) since that snapshot
+        for i in range(8):      # compaction fires after commits 3 and 6
+            trim.create(f"r{i}", "p", i)
+            trim.commit()
+            if trim.durability.groups_since_snapshot == 0:  # just compacted
+                snapshot_state = list(trim.store)
+                boundaries = []
+            else:
+                boundaries.append((os.path.getsize(wal_path),
+                                   list(trim.store)))
+        trim.create("tail", "p", "uncommitted")
+        trim.close()
+        wal_bytes = open(wal_path, "rb").read()
+        snapshot_bytes = open(os.path.join(directory, SNAPSHOT_FILE),
+                              "rb").read()
+        assert boundaries, "script must leave a WAL tail past the snapshot"
+        for i, offset in enumerate(range(0, len(wal_bytes) + 1, 5)):
+            crash_dir = tmp_path / f"s{i}"
+            crash_dir.mkdir()
+            (crash_dir / SNAPSHOT_FILE).write_bytes(snapshot_bytes)
+            (crash_dir / WAL_FILE).write_bytes(wal_bytes[:offset])
+            result = recover(str(crash_dir))
+            # A damaged/short WAL never loses the snapshot's groups.
+            expected = snapshot_state
+            for size, triples in boundaries:
+                if size <= offset:
+                    expected = triples
+            assert list(result.store) == expected, f"snap-truncate@{offset}"
+
+
+class TestSnapshotSafety:
+    def test_leftover_tmp_file_is_ignored(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory)
+        trim.create("a", "p", 1)
+        trim.commit()
+        trim.durability.compact()
+        trim.close()
+        # A crash mid-compaction leaves a torn temp file; the atomic
+        # rename protocol means the real snapshot is still the old one.
+        with open(os.path.join(directory, SNAPSHOT_FILE + ".tmp"), "wb") as f:
+            f.write(b"torn garbage")
+        result = recover(directory)
+        assert list(result.store) == [triple("a", "p", 1)]
+
+    def test_corrupt_snapshot_is_rejected_loudly(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory)
+        trim.create("a", "p", 1)
+        trim.commit()
+        trim.durability.compact()
+        trim.close()
+        path = os.path.join(directory, SNAPSHOT_FILE)
+        data = bytearray(open(path, "rb").read())
+        data[-3] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(PersistenceError):
+            recover(directory)
+
+    def test_crash_between_snapshot_and_wal_reset(self, tmp_path):
+        """Snapshot ahead of the log: replay must not double-apply."""
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory, compact_every=10_000)
+        trim.create("a", "p", 1)
+        trim.commit()
+        trim.remove(triple("a", "p", 1))
+        trim.create("a", "p", 2)
+        trim.commit()
+        # Simulate the crash window: snapshot covering group 2 written,
+        # but the WAL still holds groups 1-2.
+        persistence.save_snapshot(trim.store,
+                                  os.path.join(directory, SNAPSHOT_FILE),
+                                  trim.namespaces, group=trim.durability.group)
+        trim.close()
+        result = recover(directory)
+        assert list(result.store) == [triple("a", "p", 2)]
+        assert result.groups_replayed == 0  # all skipped by group number
+        # Reopening must fast-forward the group counter past the snapshot.
+        trim = TrimManager(durable=directory)
+        trim.create("b", "p", 3)
+        trim.commit()
+        assert trim.durability.group > 2
+        trim.close()
+        assert set(recover(directory).store) == {triple("a", "p", 2),
+                                                 triple("b", "p", 3)}
+
+
+class TestDurabilityLifecycle:
+    def test_recovery_preserves_exact_order_and_sequences(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory)
+        log = trim.enable_undo()
+        for i in range(6):
+            trim.create(f"r{i}", "p", i)
+        log.checkpoint()
+        trim.remove(triple("r2", "p", 2))
+        log.checkpoint()
+        trim.commit()
+        log.undo()        # r2 returns to position 2, not the end
+        trim.commit()
+        expected = list(trim.store)
+        trim.close()
+        recovered = recover(directory).store
+        assert list(recovered) == expected
+        assert recovered.select() == expected
+        assert [recovered.sequence_of(t) for t in recovered] == \
+            [trim.store.sequence_of(t) for t in expected]
+
+    def test_attaching_nonempty_store_writes_baseline_snapshot(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager()
+        trim.create("pre", "p", "existing")
+        trim.enable_durability(directory)
+        trim.close()
+        assert list(recover(directory).store) == [
+            triple("pre", "p", "existing")]
+
+    def test_attaching_nonempty_store_to_existing_state_rejected(self, tmp_path):
+        directory = str(tmp_path)
+        first = TrimManager(durable=directory)
+        first.create("a", "p", 1)
+        first.commit()
+        first.close()
+        second = TrimManager()
+        second.create("b", "p", 2)
+        with pytest.raises(PersistenceError):
+            second.enable_durability(directory)
+
+    def test_compaction_counts_resume_after_reopen(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory, compact_every=3)
+        trim.create("a", "p", 1)
+        trim.commit()
+        trim.close()
+        trim = TrimManager(durable=directory, compact_every=3)
+        assert trim.durability.groups_since_snapshot == 1
+        trim.create("b", "p", 2)
+        trim.commit()
+        trim.create("c", "p", 3)
+        trim.commit()   # third group since snapshot -> compaction
+        assert trim.durability.groups_since_snapshot == 0
+        assert os.path.exists(os.path.join(directory, SNAPSHOT_FILE))
+        assert os.path.getsize(os.path.join(directory, WAL_FILE)) == len(MAGIC)
+        trim.close()
+        assert len(recover(directory).store) == 3
+
+    def test_empty_commit_is_a_noop(self, tmp_path):
+        trim = TrimManager(durable=str(tmp_path))
+        assert trim.commit() is False
+        trim.create("a", "p", 1)
+        assert trim.commit() is True
+        assert trim.commit() is False
+        trim.close()
+
+    def test_commit_without_durability_is_noop(self):
+        assert TrimManager().commit() is False
+
+    def test_recover_requires_empty_target(self, tmp_path):
+        occupied = TripleStore()
+        occupied.add(triple("a", "p", 1))
+        with pytest.raises(PersistenceError):
+            recover(str(tmp_path), store=occupied)
+
+    def test_load_replaces_durable_contents(self, tmp_path):
+        plain = TrimManager()
+        plain.create("x", "p", "from file")
+        xml_path = str(tmp_path / "pad.xml")
+        plain.save(xml_path)
+        directory = str(tmp_path / "dur")
+        trim = TrimManager(durable=directory)
+        trim.create("old", "p", "doomed")
+        trim.commit()
+        trim.load(xml_path)
+        trim.commit()
+        trim.close()
+        assert list(recover(directory).store) == [
+            triple("x", "p", "from file")]
