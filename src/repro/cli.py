@@ -76,7 +76,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         print(f"  discarded {result.discarded_bytes} corrupt/torn "
               f"byte(s) past the last complete group")
     if args.out:
-        persistence.save(result.store, args.out)
+        persistence.save(result.store, args.out, result.namespaces)
         print(f"recovered store written to {args.out}")
     return 0
 

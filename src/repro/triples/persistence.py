@@ -23,8 +23,9 @@ Literal types (string/integer/float/boolean) are tagged so a save/load
 round trip preserves node identity exactly — a property-tested invariant.
 
 Format version 2 additionally escapes characters XML cannot carry
-losslessly: C0 control characters are rejected by parsers outright, and a
-compliant parser normalizes ``\\r`` / ``\\r\\n`` to ``\\n`` on load.  Both
+losslessly: C0 control characters, unpaired surrogates, and the
+U+FFFE/U+FFFF noncharacters are rejected by parsers outright, and a
+compliant parser normalizes ``\\r`` / ``\\r\\n`` to ``\\n`` on load.  All
 would silently break the loss-free round trip, so every text field is
 escaped on dump (``\\`` → ``\\\\``, unsafe characters → ``\\uXXXX``) and
 unescaped on load.  Version-1 files (no escaping) still load unchanged.
@@ -41,6 +42,7 @@ from __future__ import annotations
 import io
 import os
 import re
+import tempfile
 import xml.etree.ElementTree as ET
 import zlib
 from typing import NamedTuple, Optional, Union
@@ -57,8 +59,11 @@ SNAPSHOT_MAGIC = "#slim-snapshot"
 
 # Characters XML 1.0 cannot round-trip in element content: the C0 controls
 # (minus tab and newline, which survive verbatim), carriage return (parsers
-# normalize CR and CRLF to LF), and our own escape character.
-_UNSAFE_RE = re.compile(r"[\\\x00-\x08\x0b\x0c\x0e-\x1f\r]")
+# normalize CR and CRLF to LF), unpaired surrogates and the U+FFFE/U+FFFF
+# noncharacters (not XML Chars at all — expat rejects them on load), and
+# our own escape character.
+_UNSAFE_RE = re.compile(
+    r"[\\\x00-\x08\x0b\x0c\x0e-\x1f\r\ud800-\udfff\ufffe\uffff]")
 _ESCAPED_RE = re.compile(r"\\\\|\\u([0-9a-fA-F]{4})")
 
 
@@ -262,17 +267,32 @@ def load_snapshot(path: str,
 # -- internals ---------------------------------------------------------------
 
 def _atomic_write(path: str, data: bytes) -> None:
-    """Write *data* to *path* via temp file + fsync + atomic rename."""
-    tmp_path = path + ".tmp"
+    """Write *data* to *path* via a unique temp file + fsync + atomic rename.
+
+    The temp name comes from :func:`tempfile.mkstemp` (in the target's
+    directory, so the rename stays atomic), not a fixed ``path + '.tmp'``
+    — concurrent savers must never clobber each other's partial data or
+    rename someone else's torn file into place.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
     try:
-        with open(tmp_path, "wb") as handle:
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    except OSError as exc:
+        raise PersistenceError(f"cannot write {path}: {exc}") from exc
+    try:
+        with os.fdopen(fd, "wb") as handle:
             handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
     except OSError as exc:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
         raise PersistenceError(f"cannot write {path}: {exc}") from exc
-    _fsync_directory(os.path.dirname(os.path.abspath(path)))
+    _fsync_directory(directory)
 
 
 def _fsync_directory(directory: str) -> None:

@@ -69,7 +69,9 @@ _TAG_TYPES = {tag: name for name, tag in _LITERAL_TAGS.items()}
 # -- record encoding ---------------------------------------------------------
 
 def _pack_str(text: str) -> bytes:
-    data = text.encode("utf-8")
+    # surrogatepass: persistence v2 round-trips lone surrogates in literals,
+    # so the log must be able to carry them too (plain UTF-8 would raise).
+    data = text.encode("utf-8", "surrogatepass")
     return _U32.pack(len(data)) + data
 
 
@@ -79,7 +81,7 @@ def _unpack_str(payload: bytes, offset: int) -> Tuple[str, int]:
     end = offset + length
     if end > len(payload):
         raise PersistenceError("WAL string field overruns record")
-    return payload[offset:end].decode("utf-8"), end
+    return payload[offset:end].decode("utf-8", "surrogatepass"), end
 
 
 def encode_change(change: Change) -> bytes:
@@ -163,6 +165,7 @@ class WalScan(NamedTuple):
     valid_end: int              #: byte offset of the last valid record's end
     total_bytes: int            #: file size as found on disk
     last_group: int             #: highest committed group number (0 if none)
+    committed_end: int          #: byte offset of the last commit record's end
 
 
 def scan_wal(path: str) -> WalScan:
@@ -177,16 +180,17 @@ def scan_wal(path: str) -> WalScan:
         with open(path, "rb") as handle:
             data = handle.read()
     except FileNotFoundError:
-        return WalScan([], [], 0, 0, 0)
+        return WalScan([], [], 0, 0, 0, 0)
     except OSError as exc:
         raise PersistenceError(f"cannot read {path}: {exc}") from exc
     total = len(data)
     if data[:len(MAGIC)] != MAGIC:
-        return WalScan([], [], 0, total, 0)
+        return WalScan([], [], 0, total, 0, 0)
     groups: List[Tuple[int, List[Change]]] = []
     pending: List[Change] = []
     offset = len(MAGIC)
     valid_end = offset
+    committed_end = offset
     last_group = 0
     while offset + _FRAME.size <= total:
         length, crc = _FRAME.unpack_from(data, offset)
@@ -205,11 +209,13 @@ def scan_wal(path: str) -> WalScan:
             groups.append((record.group, pending))
             pending = []
             last_group = record.group
+            committed_end = end
         else:
             pending.append(record.change)
         offset = end
         valid_end = end
-    return WalScan(groups, pending, valid_end, total, last_group)
+    return WalScan(groups, pending, valid_end, total, last_group,
+                   committed_end)
 
 
 # -- the log -----------------------------------------------------------------
@@ -217,10 +223,14 @@ def scan_wal(path: str) -> WalScan:
 class WriteAheadLog:
     """Append-only checksummed change log with group boundaries.
 
-    Opens (or creates) the file at *path*, discarding any corrupt tail
-    left by a previous crash so appends continue from the last valid
-    record.  ``fsync=False`` trades durability for speed in benchmarks
-    and tests; real durability keeps the default.
+    Opens (or creates) the file at *path*, truncating it back to the end
+    of its last commit record.  That discards both the corrupt tail a
+    crash may have torn *and* any valid-but-uncommitted change records a
+    crashed session left behind — recovery ignores those, so keeping
+    them would let the next commit's boundary record fence a dead
+    session's changes into a committed group.  ``fsync=False`` trades
+    durability for speed in benchmarks and tests; real durability keeps
+    the default.
     """
 
     def __init__(self, path: str, fsync: bool = True) -> None:
@@ -231,14 +241,14 @@ class WriteAheadLog:
         self._dirty = 0
         self._file: Optional[IO[bytes]] = None
         try:
-            if scan.valid_end == 0:
+            if scan.committed_end == 0:
                 self._file = open(path, "wb")
                 self._file.write(MAGIC)
-                self._flush()
             else:
                 self._file = open(path, "r+b")
-                self._file.truncate(scan.valid_end)
-                self._file.seek(scan.valid_end)
+                self._file.truncate(scan.committed_end)
+                self._file.seek(scan.committed_end)
+            self._flush()
         except OSError as exc:
             raise PersistenceError(f"cannot open WAL {path}: {exc}") from exc
 
@@ -337,6 +347,7 @@ class RecoveryResult(NamedTuple):
     changes_replayed: int       #: individual changes applied from the WAL
     last_group: int             #: highest group number in the final state
     discarded_bytes: int        #: corrupt/torn WAL tail bytes ignored
+    namespaces: NamespaceRegistry  #: registry with the snapshot's declarations
 
 
 def recover(directory: str,
@@ -352,16 +363,20 @@ def recover(directory: str,
     iteration and ``select()`` order exactly, not just its set of triples.
 
     *store* (default: a fresh :class:`TripleStore`) must be empty; the
-    recovered triples are loaded into it.
+    recovered triples are loaded into it.  The snapshot's namespace
+    declarations are registered into *namespaces* when given, else into a
+    fresh registry; either way the populated registry is returned in the
+    result, so nothing recovered is dropped.
     """
     store = store if store is not None else TripleStore()
     if len(store):
         raise PersistenceError("recovery target store must be empty")
+    registry = namespaces if namespaces is not None else NamespaceRegistry()
     snapshot_path = os.path.join(directory, SNAPSHOT_FILE)
     snapshot_group = 0
     snapshot_triples = 0
     if os.path.exists(snapshot_path):
-        snapshot = persistence.load_snapshot(snapshot_path, namespaces)
+        snapshot = persistence.load_snapshot(snapshot_path, registry)
         snapshot_group = snapshot.group
         loaded = snapshot.document.store
         snapshot_triples = len(loaded)
@@ -385,7 +400,7 @@ def recover(directory: str,
     last_group = max(last_group, scan.last_group)
     return RecoveryResult(store, snapshot_group, snapshot_triples,
                           groups_replayed, changes_replayed, last_group,
-                          scan.total_bytes - scan.valid_end)
+                          scan.total_bytes - scan.valid_end, registry)
 
 
 # -- the durability orchestrator ---------------------------------------------

@@ -15,6 +15,8 @@ from repro import DocumentLibrary, SlimPadApplication, standard_mark_manager
 from repro.base.spreadsheet import Workbook
 from repro.cli import main
 from repro.errors import SlimPadError
+from repro.triples import persistence
+from repro.triples.namespaces import NamespaceRegistry
 from repro.triples.trim import TrimManager
 from repro.triples.triple import Resource, triple
 from repro.triples.wal import SNAPSHOT_FILE, WAL_FILE, recover
@@ -144,6 +146,21 @@ class TestCli:
         trim.load(exported)
         assert trim.store.count(
             property=Resource("slim:BundleScrap.SlimPad.padName")) == 1
+
+    def test_recover_out_preserves_namespaces(self, tmp_path, capsys):
+        directory = str(tmp_path / "state")
+        trim = TrimManager(durable=directory)
+        trim.namespaces.register("pad", "http://example.org/pad#")
+        trim.create("a", "pad:title", "T")
+        trim.commit()
+        trim.durability.compact()   # declarations live in the snapshot
+        trim.close()
+        exported = str(tmp_path / "out.xml")
+        assert main(["recover", directory, "--out", exported]) == 0
+        capsys.readouterr()
+        fresh = NamespaceRegistry()
+        persistence.load(exported, fresh)
+        assert fresh.expand("pad:x") == "http://example.org/pad#x"
 
     def test_recover_after_compaction_reports_snapshot(self, tmp_path, capsys):
         directory = str(tmp_path)

@@ -26,10 +26,12 @@ triples_st = st.builds(Triple, resources, resources,
                        st.one_of(resources, literals))
 
 # Hostile text for the escaping round trip (format v2): control characters,
-# carriage returns, backslashes, whitespace-only strings — everything XML
-# itself cannot carry.  Only surrogates stay out (not encodable to UTF-8).
-hostile_text = st.text(alphabet=st.characters(blacklist_categories=("Cs",)),
-                       max_size=12)
+# carriage returns, backslashes, whitespace-only strings, lone surrogates,
+# and the U+FFFE/U+FFFF noncharacters — everything XML itself cannot carry.
+hostile_text = st.text(
+    alphabet=st.one_of(st.characters(),
+                       st.sampled_from("\ud800\udfff\ufffe\uffff")),
+    max_size=12)
 hostile_uris = hostile_text.filter(bool)
 hostile_triples_st = st.builds(
     Triple, st.builds(Resource, hostile_uris), st.builds(Resource, hostile_uris),
@@ -115,12 +117,15 @@ class TestPersistence:
 
 class TestEscapingRoundTrip:
     """Format v2 rejects nothing and loses nothing: characters XML cannot
-    carry (C0 controls, ``\\r``) are escaped on dump, unescaped on load."""
+    carry (C0 controls, ``\\r``, lone surrogates, U+FFFE/U+FFFF) are
+    escaped on dump, unescaped on load."""
 
     @pytest.mark.parametrize("text", [
         "line\rreturn", "crlf\r\nmix", "\r", "\x00", "\x1b[0m", "\x07bell",
         "tab\tand\nnewline", "   ", "\n", " leading and trailing ",
         "back\\slash", "looks\\u0041escaped", "\\", "\x7f",
+        "\ufffe", "\uffff", "non\uffffchar", "\ud800", "\udfff",
+        "lone\ud800surrogate",
     ])
     def test_string_literal_round_trips_exactly(self, text):
         s = TripleStore()
@@ -142,6 +147,18 @@ class TestEscapingRoundTrip:
         assert "\r" not in text
         assert "\x00" not in text
         assert "\\u000d" in text and "\\u0000" in text
+
+    def test_dumped_xml_contains_no_raw_noncharacters(self):
+        # expat rejects these outright on load, so they must never reach
+        # the XML layer raw — and a durable snapshot containing one must
+        # stay recoverable.
+        s = TripleStore()
+        s.add(triple("a", "p", "non\uffffchar\ufffe\ud800"))
+        text = persistence.dumps(s)
+        assert "\uffff" not in text and "\ufffe" not in text
+        assert "\\uffff" in text and "\\ufffe" in text and "\\ud800" in text
+        loaded = persistence.loads(text)
+        assert [t.value for t in loaded] == [Literal("non\uffffchar\ufffe\ud800")]
 
     def test_version_1_documents_load_unescaped(self):
         # Pre-escaping files carry backslashes verbatim; loading must not

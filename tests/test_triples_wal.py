@@ -103,6 +103,27 @@ class TestWriteAheadLog:
         wal.close()
         assert [g for g, _ in scan_wal(path).groups] == [1, 2]
 
+    def test_reopen_discards_uncommitted_tail(self, tmp_path):
+        # Valid-but-uncommitted records from a crashed session must be
+        # physically truncated on reopen; otherwise the next commit's
+        # boundary record would fence them into a committed group that
+        # recovery replays but the live session never applied.
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(Change("add", triple("a", "p", 1), 0))
+        wal.commit()
+        committed_size = os.path.getsize(path)
+        wal.append(Change("add", triple("ghost", "p", 2), 1))
+        wal.close()   # crash: a complete record past the last boundary
+        assert os.path.getsize(path) > committed_size
+        wal = WriteAheadLog(path)
+        assert os.path.getsize(path) == committed_size
+        wal.append(Change("add", triple("b", "p", 3), 1))
+        wal.commit()
+        wal.close()
+        committed = [c for _, group in scan_wal(path).groups for c in group]
+        assert [c.triple.subject.uri for c in committed] == ["a", "b"]
+
     def test_missing_and_headerless_files_scan_empty(self, tmp_path):
         assert scan_wal(str(tmp_path / "absent.log")).groups == []
         bad = tmp_path / "bad.log"
@@ -334,6 +355,25 @@ class TestDurabilityLifecycle:
         assert recovered.select() == expected
         assert [recovered.sequence_of(t) for t in recovered] == \
             [trim.store.sequence_of(t) for t in expected]
+
+    def test_crashed_sessions_pending_changes_never_fenced_in(self, tmp_path):
+        # The review scenario end to end: session 1 crashes with an
+        # uncommitted add in the log; session 2 recovers (without the
+        # ghost), commits its own work, and a final recovery must still
+        # not resurrect the dead session's change.
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory)
+        trim.create("a", "p", 1)
+        trim.commit()
+        trim.create("ghost", "p", "uncommitted")
+        trim.close()   # the add is in the log but has no boundary record
+        again = TrimManager(durable=directory)
+        assert list(again.store) == [triple("a", "p", 1)]
+        again.create("b", "p", 2)
+        again.commit()
+        again.close()
+        assert list(recover(directory).store) == [triple("a", "p", 1),
+                                                  triple("b", "p", 2)]
 
     def test_attaching_nonempty_store_writes_baseline_snapshot(self, tmp_path):
         directory = str(tmp_path)
