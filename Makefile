@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python -m
 
-.PHONY: test verify bench bench-smoke
+.PHONY: test verify bench bench-smoke bench-ingest
 
 test:            ## tier-1: the full unit/integration/property suite
 	$(PY) pytest -x -q
@@ -26,3 +26,9 @@ bench:           ## full benchmark harness (figures + claims), prints tables
 # harness.
 bench-smoke:     ## quick benchmark pass on the small fixture
 	BENCH_SMOKE=1 $(PY) pytest benchmarks/ --benchmark-only -q
+
+# Regenerates BENCH_trim_ingest.json at full scale: durable ingest
+# throughput (naive per-op commits vs bulk_ingest) and snapshot-load
+# scratch memory (DOM reference vs the streaming pull parser).
+bench-ingest:    ## full-scale bulk-ingest benchmark, rewrites its JSON
+	$(PY) pytest benchmarks/test_claim_ingest.py --benchmark-only -q -s

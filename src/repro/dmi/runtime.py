@@ -14,7 +14,8 @@ every access, so application data and triples cannot diverge.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import contextlib
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.errors import DmiError, StaleObjectError, UnknownEntityError
 from repro.dmi.spec import ATTR_TYPES, EntitySpec, ModelSpec, RefSpec
@@ -105,9 +106,39 @@ class DmiRuntime:
         """Create an instance, setting any named attributes.
 
         Required attributes must be supplied; unknown names are rejected.
-        All triples for the create are written in one rollback batch.
+        All triples for the create are written in one rollback batch
+        (or under the enclosing batch/bulk session, when one is active).
         """
         entity = self.spec.entity(entity_name)
+        self._check_attrs(entity_name, entity, attrs)
+        with self._op_batch():
+            return self._create_one(entity_name, entity, attrs)
+
+    def batch_create(self, entity_name: str,
+                     items: Iterable[Mapping[str, object]]
+                     ) -> List[EntityObject]:
+        """Create many instances of one entity as a single batch session.
+
+        Every item is validated up front; the triples for all of them
+        are then written through the store's bulk path inside one
+        rollback batch and committed as *one* WAL group under durable
+        mode — N creates cost one index-maintenance pass and one fsync
+        instead of N.  An error anywhere (validation or write) creates
+        nothing.  Returns the proxies in item order.
+        """
+        entity = self.spec.entity(entity_name)
+        specs: List[Dict[str, object]] = [dict(item) for item in items]
+        for attrs in specs:
+            self._check_attrs(entity_name, entity, attrs)
+        with self._op_batch():
+            created = [self._create_one(entity_name, entity, attrs)
+                       for attrs in specs]
+        if not self.trim.store.in_bulk:
+            self.trim.commit()
+        return created
+
+    def _check_attrs(self, entity_name: str, entity: EntitySpec,
+                     attrs: Mapping[str, object]) -> None:
         known = {a.name for a in entity.attributes}
         unknown = set(attrs) - known
         if unknown:
@@ -118,13 +149,26 @@ class DmiRuntime:
         if missing:
             raise DmiError(
                 f"missing required attribute(s) for {entity_name}: {missing}")
-        with self.trim.batch():
-            resource = self.trim.new_resource(entity_name.lower())
-            self.trim.create(resource, _TYPE, self.type_resource(entity_name))
-            proxy = EntityObject(self, resource, entity)
-            for name, value in attrs.items():
-                self._write_attr(resource, entity, name, value)
-        return proxy
+
+    def _create_one(self, entity_name: str, entity: EntitySpec,
+                    attrs: Mapping[str, object]) -> EntityObject:
+        resource = self.trim.new_resource(entity_name.lower())
+        self.trim.create(resource, _TYPE, self.type_resource(entity_name))
+        for name, value in attrs.items():
+            self._write_attr(resource, entity, name, value)
+        return EntityObject(self, resource, entity)
+
+    def _op_batch(self):
+        """The rollback unit for one DMI operation.
+
+        Normally a fresh :meth:`TrimManager.batch`; when an enclosing
+        bulk/batch session is already active on the store, that session
+        owns rollback (batches do not nest), so this degrades to a
+        no-op context.
+        """
+        if self.trim.store.in_bulk:
+            return contextlib.nullcontext()
+        return self.trim.batch()
 
     # -- attributes ----------------------------------------------------------------
 
@@ -268,7 +312,7 @@ class DmiRuntime:
         deleted (including cascaded ones).
         """
         self._require_live(obj)
-        with self.trim.batch():
+        with self._op_batch():
             return self._delete_recursive(obj, seen=set())
 
     def _delete_recursive(self, obj: EntityObject, seen: set) -> int:

@@ -13,9 +13,9 @@ graphics) live at the bottom, clearly separated.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Mapping, Optional
 
-from repro.errors import DmiError, SlimPadError
+from repro.errors import DmiError, SlimPadError, StaleObjectError
 from repro.dmi.runtime import DmiRuntime, EntityObject
 from repro.slimpad.model import EXTENDED_BUNDLE_SCRAP_SPEC
 from repro.triples.trim import TrimManager
@@ -71,6 +71,44 @@ class SlimPadDMI:
     def Create_MarkHandle(self, markId: str) -> EntityObject:
         """Create a MarkHandle referencing a Mark Manager mark by id."""
         return self._runtime.create("MarkHandle", markId=markId)
+
+    def Create_Scraps(self, bundle: EntityObject,
+                      scraps: Iterable[Mapping[str, object]]
+                      ) -> List[EntityObject]:
+        """Create many Scraps and place them all into *bundle* at once.
+
+        The batched counterpart of ``Create_Scrap`` + ``Add_bundleContent``
+        per scrap: every scrap's triples and its containment link are
+        written in one batch session through the store's bulk path and,
+        under durable mode, committed as a single WAL group.  Each spec
+        mapping may carry ``scrapName`` and ``scrapPos`` (both optional).
+        An error anywhere creates nothing.
+        """
+        if bundle.entity_name != "Bundle":
+            raise DmiError(
+                f"Create_Scraps targets a Bundle, got {bundle.entity_name}")
+        if not self._runtime.exists(bundle):
+            raise StaleObjectError(f"Bundle {bundle.id} was deleted")
+        specs = [dict(spec) for spec in scraps]
+        for spec in specs:
+            spec.setdefault("scrapName", "")
+            spec.setdefault("scrapPos", Coordinate(0, 0))
+        runtime = self._runtime
+        content = runtime.property_resource("Bundle", "bundleContent")
+        created: List[EntityObject] = []
+        with runtime.trim.batch():
+            # Each scrap was created in this very batch, so the per-link
+            # liveness probes of add_ref (which would flush the bulk
+            # path once per scrap) are provably redundant — link the
+            # containment triples directly, in the same triple order the
+            # per-op Create_Scrap + Add_bundleContent sequence produces.
+            for spec in specs:
+                scrap = runtime.create("Scrap", **spec)
+                runtime.trim.create(bundle._resource, content,
+                                    scrap._resource)
+                created.append(scrap)
+        runtime.trim.commit()
+        return created
 
     # -- Update_* -----------------------------------------------------------------
 

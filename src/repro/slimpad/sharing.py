@@ -174,9 +174,16 @@ def import_bundle(slimpad: SlimPadApplication, parcel: str,
     if bundle_el is None:
         raise PersistenceError("bundle parcel has no <bundle>")
     target_parent = parent if parent is not None else slimpad.root_bundle
-    bundle = _bundle_from_element(slimpad, bundle_el, target_parent)
-    if at is not None:
-        slimpad.dmi.Update_bundlePos(bundle, at)
+    trim = slimpad.dmi.runtime.trim
+    # One batch session for the whole parcel: the re-created triples go
+    # through the store's bulk path, a bad parcel rolls back instead of
+    # leaving a half-imported bundle, and under durable mode the import
+    # commits as a single WAL group (one fsync per parcel).
+    with trim.batch():
+        bundle = _bundle_from_element(slimpad, bundle_el, target_parent)
+        if at is not None:
+            slimpad.dmi.Update_bundlePos(bundle, at)
+    trim.commit()
     return bundle
 
 

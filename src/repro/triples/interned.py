@@ -22,8 +22,8 @@ from __future__ import annotations
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional, Set,
                     Tuple)
 
-from repro.errors import TripleNotFoundError
-from repro.triples.store import ChangeListener
+from repro.errors import TransactionError, TripleNotFoundError
+from repro.triples.store import BulkLoad, ChangeListener
 from repro.triples.triple import Literal, Node, Resource, Triple
 
 _Key = Tuple[int, int, int]
@@ -47,6 +47,63 @@ class InternedTripleStore:
         self._by_subject_property: Dict[Tuple[int, int], Set[_Key]] = {}
         self._by_property_value: Dict[Tuple[int, int], Set[_Key]] = {}
         self._listeners: List[ChangeListener] = []
+        # Bulk-load state, mirroring TripleStore's (see BulkLoad): pending
+        # entries carry the original Triple so flush-time listener fan-out
+        # never re-materializes nodes.
+        self._pending: Optional[List[Tuple[_Key, Triple, int]]] = None
+        self._bulk_seq_mark = 0
+
+    # -- bulk loading ------------------------------------------------------------
+
+    def bulk(self) -> BulkLoad:
+        """A deferred-indexing ingest context (see
+        :class:`~repro.triples.store.BulkLoad`); same contract as
+        :meth:`TripleStore.bulk`, pinned by the parity suite."""
+        return BulkLoad(self)
+
+    @property
+    def in_bulk(self) -> bool:
+        """Whether a :meth:`bulk` load is currently active."""
+        return self._pending is not None
+
+    def _begin_bulk(self) -> None:
+        if self._pending is not None:
+            raise TransactionError("bulk load already active on this store")
+        self._pending = []
+        self._bulk_seq_mark = self._sequence
+
+    def _end_bulk(self) -> None:
+        self._flush_bulk()
+        self._pending = None
+
+    def _abort_bulk(self) -> None:
+        pending, self._pending = self._pending, None
+        for key, _, _ in pending:
+            del self._statements[key]
+        # Aborted inserts keep their interned nodes — same tombstone-free
+        # policy as remove(); the sequence counter rolls straight back.
+        self._sequence = self._bulk_seq_mark
+
+    def _flush_bulk(self) -> None:
+        """Index and announce every pending insert, in insertion order."""
+        pending = self._pending
+        if not pending:
+            self._bulk_seq_mark = self._sequence
+            return
+        self._pending = []
+        by_s, by_p, by_v = self._by_subject, self._by_property, self._by_value
+        by_sp, by_pv = self._by_subject_property, self._by_property_value
+        for key, _, _ in pending:
+            by_s.setdefault(key[0], set()).add(key)
+            by_p.setdefault(key[1], set()).add(key)
+            by_v.setdefault(key[2], set()).add(key)
+            by_sp.setdefault((key[0], key[1]), set()).add(key)
+            by_pv.setdefault((key[1], key[2]), set()).add(key)
+        self._generation += len(pending)
+        self._bulk_seq_mark = self._sequence
+        if self._listeners:
+            for _, t, sequence in pending:
+                self._notify("add", t, sequence)
 
     # -- interning ---------------------------------------------------------------
 
@@ -79,6 +136,12 @@ class InternedTripleStore:
         key = self._key_of(triple)
         if key in self._statements:
             return False
+        if self._pending is not None:
+            sequence = self._sequence
+            self._statements[key] = sequence
+            self._sequence += 1
+            self._pending.append((key, triple, sequence))
+            return True
         sequence = self._insert_key(key)
         self._notify("add", triple, sequence)
         return True
@@ -95,10 +158,17 @@ class InternedTripleStore:
             return False
         out_of_order = bool(self._statements) and \
             sequence < next(reversed(self._statements.values()))
-        self._insert_key(key, sequence)
+        if self._pending is not None:
+            self._statements[key] = sequence
+            self._sequence = max(self._sequence, sequence + 1)
+            self._pending.append((key, triple, sequence))
+        else:
+            self._insert_key(key, sequence)
         if out_of_order:
             self._statements = dict(
                 sorted(self._statements.items(), key=lambda item: item[1]))
+        if self._pending is not None:
+            return True
         self._notify("add", triple, sequence)
         return True
 
@@ -131,6 +201,18 @@ class InternedTripleStore:
         """
         statements = self._statements
         key_of = self._key_of
+        if self._pending is not None:
+            pending = self._pending
+            added = 0
+            for t in triples:
+                key = key_of(t)
+                if key in statements:
+                    continue
+                statements[key] = self._sequence
+                pending.append((key, t, self._sequence))
+                self._sequence += 1
+                added += 1
+            return added
         notify = self._notify if self._listeners else None
         added = 0
         for t in triples:
@@ -150,6 +232,8 @@ class InternedTripleStore:
         node-table compaction is a rebuild, as in real dictionary-encoded
         stores).
         """
+        if self._pending:
+            self._flush_bulk()
         key = (self._lookup(triple.subject), self._lookup(triple.property),
                self._lookup(triple.value))
         if None in key or key not in self._statements:  # type: ignore[comparison-overlap]
@@ -179,11 +263,37 @@ class InternedTripleStore:
     def remove_matching(self, subject: Optional[Resource] = None,
                         property: Optional[Resource] = None,
                         value: Optional[Node] = None) -> int:
-        """Delete every triple matching the selection; return the count."""
-        # Snapshot before mutating — match() iterates live buckets.
-        victims = list(self.match(subject, property, value))
-        for triple in victims:
-            self.remove(triple)
+        """Delete every triple matching the selection; return the count.
+
+        Batched removal fast path, mirroring
+        :meth:`TripleStore.remove_matching`: victim keys are snapshotted
+        once (match iterates live buckets), then dropped with bound
+        locals.  Listeners still see every removal individually.
+        """
+        if self._pending:
+            self._flush_bulk()
+        victims = list(self._match_keys(subject, property, value))
+        if not victims:
+            return 0
+        statements = self._statements
+        notify = self._notify if self._listeners else None
+        for key in victims:
+            sequence = statements.pop(key)
+            for index, index_key in ((self._by_subject, key[0]),
+                                     (self._by_property, key[1]),
+                                     (self._by_value, key[2]),
+                                     (self._by_subject_property,
+                                      (key[0], key[1])),
+                                     (self._by_property_value,
+                                      (key[1], key[2]))):
+                bucket = index.get(index_key)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del index[index_key]
+            self._generation += 1
+            if notify is not None:
+                notify("remove", self._triple_of(key), sequence)
         return len(victims)
 
     def clear(self) -> None:
@@ -192,6 +302,8 @@ class InternedTripleStore:
         Listeners are notified once per removed triple in insertion order,
         matching :meth:`TripleStore.clear`.
         """
+        if self._pending:
+            self._flush_bulk()
         count = len(self._statements)
         if not count:
             return
@@ -214,7 +326,20 @@ class InternedTripleStore:
     def match(self, subject: Optional[Resource] = None,
               property: Optional[Resource] = None,
               value: Optional[Node] = None) -> Iterator[Triple]:
-        """Yield triples matching the fixed fields (``None`` = wildcard)."""
+        """Yield triples matching the fixed fields (``None`` = wildcard).
+
+        During a :meth:`bulk` load any pending inserts are flushed first,
+        so selections never observe stale indexes.
+        """
+        if self._pending:
+            self._flush_bulk()
+        for key in self._match_keys(subject, property, value):
+            yield self._triple_of(key)
+
+    def _match_keys(self, subject: Optional[Resource],
+                    property: Optional[Resource],
+                    value: Optional[Node]) -> Iterator[_Key]:
+        """Yield the statement keys matching the fixed fields."""
         ids = []
         for node in (subject, property, value):
             if node is None:
@@ -228,7 +353,7 @@ class InternedTripleStore:
         if sid is not None and pid is not None and vid is not None:
             key = (sid, pid, vid)
             if key in self._statements:
-                yield self._triple_of(key)
+                yield key
             return
         if sid is not None and pid is not None:
             candidates: Iterable[_Key] = \
@@ -250,8 +375,7 @@ class InternedTripleStore:
             candidates = self._by_value.get(vid, _EMPTY)
         else:
             candidates = self._statements.keys()
-        for key in candidates:
-            yield self._triple_of(key)
+        yield from candidates
 
     def select(self, subject: Optional[Resource] = None,
                property: Optional[Resource] = None,
@@ -307,6 +431,8 @@ class InternedTripleStore:
         combination, an upper-bound estimate (smaller single-field bucket)
         for the uncovered ``(subject, value)`` pair.
         """
+        if self._pending:
+            self._flush_bulk()
         ids = []
         for node in (subject, property, value):
             if node is None:
@@ -391,8 +517,11 @@ class InternedTripleStore:
         """Register a change listener; returns an unsubscribe callable.
 
         Same contract as :meth:`TripleStore.add_listener`: called after
-        each mutation as ``listener(action, triple, sequence)``.
+        each mutation as ``listener(action, triple, sequence)``; pending
+        bulk inserts are flushed before the listener attaches.
         """
+        if self._pending:
+            self._flush_bulk()
         self._listeners.append(listener)
 
         def unsubscribe() -> None:

@@ -35,6 +35,16 @@ fsynced, and atomically renamed over the target, so a crash mid-save
 leaves either the old file or the new one — never a torn mix.
 :func:`save_snapshot` / :func:`load_snapshot` add a checksummed header on
 top of that for the durability subsystem (:mod:`repro.triples.wal`).
+
+Loading is *streaming*: the readers feed the file through a pull parser
+(:class:`xml.etree.ElementTree.XMLPullParser`) and clear each completed
+``<triple>`` element immediately, so parse memory stays O(1) in document
+size instead of materializing a full DOM — recovery of a multi-million
+triple snapshot needs chunk-sized buffers, not snapshot-sized ones.
+Triples are ingested through the store's bulk path
+(:meth:`~repro.triples.store.TripleStore.bulk`), which also makes every
+loader transactional: a parse or checksum error rolls the target store
+back instead of leaving it half-populated.
 """
 
 from __future__ import annotations
@@ -45,7 +55,7 @@ import re
 import tempfile
 import xml.etree.ElementTree as ET
 import zlib
-from typing import NamedTuple, Optional, Union
+from typing import IO, Iterable, Iterator, NamedTuple, Optional, Union
 
 from repro.errors import PersistenceError
 from repro.triples.namespaces import NamespaceRegistry
@@ -127,47 +137,22 @@ def dumps(store: TripleStore,
 
 
 def loads_document(text: str,
-                   namespaces: Optional[NamespaceRegistry] = None) -> Document:
+                   namespaces: Optional[NamespaceRegistry] = None,
+                   store: Optional[TripleStore] = None) -> Document:
     """Parse an XML string produced by :func:`dumps`.
 
     Namespace declarations always round-trip: they are registered into
     *namespaces* when given, else into a fresh registry; either way the
-    populated registry is returned alongside the store.
+    populated registry is returned alongside the store.  *store* (which
+    must be empty) receives the triples when given — through its bulk
+    path, so a parse error rolls it back — else a fresh
+    :class:`TripleStore` is built.
     """
-    try:
-        root = ET.fromstring(text)
-    except ET.ParseError as exc:
-        raise PersistenceError(f"malformed slim-store XML: {exc}") from exc
-    if root.tag != "slim-store":
-        raise PersistenceError(f"expected <slim-store> root, got <{root.tag}>")
-    try:
-        version = int(root.get("version", "1"))
-    except ValueError as exc:
-        raise PersistenceError(
-            f"bad slim-store version: {root.get('version')!r}") from exc
     registry = namespaces if namespaces is not None else NamespaceRegistry()
-    escaped = version >= 2
-    store = TripleStore()
-    for child in root:
-        if child.tag == "namespace":
-            prefix = child.get("prefix")
-            uri = child.get("uri")
-            if not prefix or not uri:
-                raise PersistenceError("namespace element missing prefix/uri")
-            registry.register(prefix, uri)
-            continue
-        if child.tag != "triple":
-            raise PersistenceError(f"unexpected element <{child.tag}>")
-        statement = _parse_triple(child, escaped)
-        seq = child.get("seq")
-        if seq is None:
-            store.add(statement)
-        else:
-            try:
-                store.restore(statement, int(seq))
-            except ValueError as exc:
-                raise PersistenceError(f"bad seq attribute: {seq!r}") from exc
-    return Document(store, registry, version)
+    target = _load_target(store)
+    with target.bulk():
+        version = _parse_stream([text], registry, target)
+    return Document(target, registry, version)
 
 
 def loads(text: str,
@@ -194,15 +179,31 @@ def save(store: TripleStore, path: str,
 
 
 def load(path: str,
-         namespaces: Optional[NamespaceRegistry] = None) -> TripleStore:
-    """Read a store previously written by :func:`save`."""
-    return loads(_read_bytes(path).decode("utf-8"), namespaces)
+         namespaces: Optional[NamespaceRegistry] = None,
+         store: Optional[TripleStore] = None) -> TripleStore:
+    """Read a store previously written by :func:`save`.
+
+    Streams the file in fixed-size chunks — peak memory is independent
+    of file size.  *store* and *namespaces* behave as in
+    :func:`loads_document`.
+    """
+    document = load_document(path, namespaces, store)
+    if namespaces is None:
+        document.store.namespaces = document.namespaces  # type: ignore[attr-defined]
+    return document.store
 
 
 def load_document(path: str,
-                  namespaces: Optional[NamespaceRegistry] = None) -> Document:
+                  namespaces: Optional[NamespaceRegistry] = None,
+                  store: Optional[TripleStore] = None) -> Document:
     """Read a :class:`Document` previously written by :func:`save`."""
-    return loads_document(_read_bytes(path).decode("utf-8"), namespaces)
+    registry = namespaces if namespaces is not None else NamespaceRegistry()
+    target = _load_target(store)
+    with _open_read(path) as handle:
+        with target.bulk():
+            version = _parse_stream(_file_chunks(handle, path),
+                                    registry, target)
+    return Document(target, registry, version)
 
 
 # -- checksummed snapshots (durability subsystem) ----------------------------
@@ -235,36 +236,167 @@ class Snapshot(NamedTuple):
 
 
 def load_snapshot(path: str,
-                  namespaces: Optional[NamespaceRegistry] = None) -> Snapshot:
+                  namespaces: Optional[NamespaceRegistry] = None,
+                  store: Optional[TripleStore] = None) -> Snapshot:
     """Read and verify a snapshot written by :func:`save_snapshot`.
 
     Raises :class:`PersistenceError` on a missing/garbled header, a
     length mismatch, or a checksum mismatch.
+
+    The payload is streamed: chunks are checksummed and fed to the pull
+    parser as they are read, so verifying and loading a snapshot never
+    materializes it in memory.  Length and CRC are checked at end of
+    stream, *inside* the target store's bulk load — a mismatch aborts
+    the bulk and rolls the store back, so a corrupt-but-well-formed
+    payload can never leave triples behind.  *store* behaves as in
+    :func:`loads_document`.
     """
-    data = _read_bytes(path)
-    newline = data.find(b"\n")
-    if newline < 0:
-        raise PersistenceError(f"{path}: not a slim-snapshot (no header)")
-    header, payload = data[:newline].decode("ascii", "replace"), data[newline + 1:]
-    fields = header.split()
-    if len(fields) != 5 or fields[0] != SNAPSHOT_MAGIC:
-        raise PersistenceError(f"{path}: not a slim-snapshot header: {header!r}")
-    try:
-        group = int(fields[2].removeprefix("group="))
-        length = int(fields[3].removeprefix("bytes="))
-        crc = int(fields[4].removeprefix("crc32="), 16)
-    except ValueError as exc:
-        raise PersistenceError(f"{path}: garbled snapshot header: {header!r}") \
-            from exc
-    if len(payload) != length:
+    registry = namespaces if namespaces is not None else NamespaceRegistry()
+    target = _load_target(store)
+    with _open_read(path) as handle:
+        header_bytes = handle.readline(_MAX_HEADER)
+        if not header_bytes.endswith(b"\n"):
+            raise PersistenceError(f"{path}: not a slim-snapshot (no header)")
+        header = header_bytes[:-1].decode("ascii", "replace")
+        fields = header.split()
+        if len(fields) != 5 or fields[0] != SNAPSHOT_MAGIC:
+            raise PersistenceError(
+                f"{path}: not a slim-snapshot header: {header!r}")
+        try:
+            group = int(fields[2].removeprefix("group="))
+            length = int(fields[3].removeprefix("bytes="))
+            crc = int(fields[4].removeprefix("crc32="), 16)
+        except ValueError as exc:
+            raise PersistenceError(
+                f"{path}: garbled snapshot header: {header!r}") from exc
+        with target.bulk():
+            version = _parse_stream(
+                _verified_chunks(handle, path, length, crc),
+                registry, target)
+    return Snapshot(Document(target, registry, version), group)
+
+
+def _verified_chunks(handle: IO[bytes], path: str, length: int,
+                     crc: int) -> Iterator[bytes]:
+    """Yield payload chunks, verifying byte count and CRC-32 at EOF."""
+    seen = 0
+    running = 0
+    for chunk in _file_chunks(handle, path):
+        seen += len(chunk)
+        running = zlib.crc32(chunk, running)
+        yield chunk
+    if seen != length:
         raise PersistenceError(
-            f"{path}: snapshot payload truncated ({len(payload)} of {length} bytes)")
-    if zlib.crc32(payload) != crc:
+            f"{path}: snapshot payload truncated ({seen} of {length} bytes)")
+    if running != crc:
         raise PersistenceError(f"{path}: snapshot checksum mismatch")
-    return Snapshot(loads_document(payload.decode("utf-8"), namespaces), group)
 
 
 # -- internals ---------------------------------------------------------------
+
+#: Streaming read granularity; also bounds parse memory for the loaders.
+_CHUNK = 64 * 1024
+#: Upper bound on a plausible snapshot header line.
+_MAX_HEADER = 256
+
+
+def _load_target(store: Optional[TripleStore]) -> TripleStore:
+    if store is None:
+        return TripleStore()
+    if len(store):
+        raise PersistenceError("load target store must be empty")
+    return store
+
+
+def _open_read(path: str) -> IO[bytes]:
+    try:
+        return open(path, "rb")
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path}: {exc}") from exc
+
+
+def _file_chunks(handle: IO[bytes], path: str) -> Iterator[bytes]:
+    while True:
+        try:
+            chunk = handle.read(_CHUNK)
+        except OSError as exc:
+            raise PersistenceError(f"cannot read {path}: {exc}") from exc
+        if not chunk:
+            return
+        yield chunk
+
+
+def _parse_stream(chunks: Iterable[Union[str, bytes]],
+                  registry: NamespaceRegistry, store: TripleStore) -> int:
+    """Pull-parse a slim-store document into *store*; returns its version.
+
+    Each completed direct child of the root is handled (namespace
+    registered, triple added/restored) and then cleared from the
+    in-progress tree, so memory stays bounded by one element plus one
+    chunk no matter how large the document is.
+    """
+    parser = ET.XMLPullParser(events=("start", "end"))
+    root: Optional[ET.Element] = None
+    version = 1
+    escaped = False
+    depth = 0
+
+    def drain() -> None:
+        nonlocal root, version, escaped, depth
+        for event, element in parser.read_events():
+            if event == "start":
+                if depth == 0:
+                    if element.tag != "slim-store":
+                        raise PersistenceError(
+                            f"expected <slim-store> root, got <{element.tag}>")
+                    try:
+                        version = int(element.get("version", "1"))
+                    except ValueError as exc:
+                        raise PersistenceError(
+                            "bad slim-store version: "
+                            f"{element.get('version')!r}") from exc
+                    escaped = version >= 2
+                    root = element
+                depth += 1
+                continue
+            depth -= 1
+            if depth != 1:
+                continue
+            if element.tag == "namespace":
+                prefix = element.get("prefix")
+                uri = element.get("uri")
+                if not prefix or not uri:
+                    raise PersistenceError(
+                        "namespace element missing prefix/uri")
+                registry.register(prefix, uri)
+            elif element.tag == "triple":
+                statement = _parse_triple(element, escaped)
+                seq = element.get("seq")
+                if seq is None:
+                    store.add(statement)
+                else:
+                    try:
+                        store.restore(statement, int(seq))
+                    except ValueError as exc:
+                        raise PersistenceError(
+                            f"bad seq attribute: {seq!r}") from exc
+            else:
+                raise PersistenceError(
+                    f"unexpected element <{element.tag}>")
+            assert root is not None
+            root.clear()  # drop the processed child: O(1) parse memory
+    try:
+        for chunk in chunks:
+            parser.feed(chunk)
+            drain()
+        parser.close()
+    except ET.ParseError as exc:
+        raise PersistenceError(f"malformed slim-store XML: {exc}") from exc
+    drain()
+    if root is None:
+        raise PersistenceError("malformed slim-store XML: empty document")
+    return version
+
 
 def _atomic_write(path: str, data: bytes) -> None:
     """Write *data* to *path* via a unique temp file + fsync + atomic rename.
@@ -307,14 +439,6 @@ def _fsync_directory(directory: str) -> None:
         pass
     finally:
         os.close(fd)
-
-
-def _read_bytes(path: str) -> bytes:
-    try:
-        with open(path, "rb") as handle:
-            return handle.read()
-    except OSError as exc:
-        raise PersistenceError(f"cannot read {path}: {exc}") from exc
 
 
 def _parse_triple(element: ET.Element, escaped: bool) -> Triple:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional, Set,
                     Tuple)
 
-from repro.errors import TripleNotFoundError
+from repro.errors import TransactionError, TripleNotFoundError
 from repro.triples.triple import Literal, Node, Resource, Triple
 
 #: Change listeners receive ('add' | 'remove', triple, sequence), where
@@ -33,6 +33,44 @@ ChangeListener = Callable[[str, Triple, int], None]
 #: Shared immutable empty bucket — ``_candidates`` must never allocate a
 #: fresh container just to say "no hits".
 _EMPTY: "frozenset[Triple]" = frozenset()
+
+
+class BulkLoad:
+    """Context manager for a deferred-indexing ingest (``store.bulk()``).
+
+    While active, inserts (``add``/``add_all``/``restore``) append to the
+    membership map only; index maintenance, the generation bump, and
+    listener fan-out are deferred and performed in one bound-locals pass
+    when the batch *flushes*.  A flush happens on normal exit, and early
+    whenever an operation needs consistent indexes or ordered events: any
+    selection (``match``/``select``/``count`` and friends), any removal,
+    and ``add_listener``.  Membership reads (``in``, ``len``, iteration,
+    ``sequence_of``) are always accurate — pending triples live in the
+    membership map from the moment they are inserted.
+
+    Exiting on an exception *aborts* instead: every insert still pending
+    (that is, since the last flush) is rolled back silently — listeners
+    never hear about it, so a failed ingest leaves no half-announced
+    state.  Used by :class:`~repro.triples.transactions.Batch`,
+    :meth:`~repro.triples.trim.TrimManager.bulk_ingest`, the streaming
+    snapshot loader, and WAL recovery replay.  Bulk loads do not nest.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store) -> None:
+        self._store = store
+
+    def __enter__(self):
+        self._store._begin_bulk()
+        return self._store
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._store._end_bulk()
+        else:
+            self._store._abort_bulk()
+        return False
 
 
 class TripleStore:
@@ -65,6 +103,60 @@ class TripleStore:
         self._by_subject_property: Dict[Tuple[Resource, Resource], Set[Triple]] = {}
         self._by_property_value: Dict[Tuple[Resource, Node], Set[Triple]] = {}
         self._listeners: List[ChangeListener] = []
+        # Bulk-load state: None = normal mode; a list = deferred inserts
+        # awaiting their index/listener flush (see BulkLoad).
+        self._pending: Optional[List[Tuple[Triple, int]]] = None
+        self._bulk_seq_mark = 0
+
+    # -- bulk loading --------------------------------------------------------
+
+    def bulk(self) -> BulkLoad:
+        """A deferred-indexing ingest context (see :class:`BulkLoad`)."""
+        return BulkLoad(self)
+
+    @property
+    def in_bulk(self) -> bool:
+        """Whether a :meth:`bulk` load is currently active."""
+        return self._pending is not None
+
+    def _begin_bulk(self) -> None:
+        if self._pending is not None:
+            raise TransactionError("bulk load already active on this store")
+        self._pending = []
+        self._bulk_seq_mark = self._sequence
+
+    def _end_bulk(self) -> None:
+        self._flush_bulk()
+        self._pending = None
+
+    def _abort_bulk(self) -> None:
+        pending, self._pending = self._pending, None
+        for t, _ in pending:
+            del self._triples[t]
+        # Sequences handed out since the last flush all belong to the
+        # aborted inserts, so the counter rolls straight back.
+        self._sequence = self._bulk_seq_mark
+
+    def _flush_bulk(self) -> None:
+        """Index and announce every pending insert, in insertion order."""
+        pending = self._pending
+        if not pending:
+            self._bulk_seq_mark = self._sequence
+            return
+        self._pending = []
+        by_s, by_p, by_v = self._by_subject, self._by_property, self._by_value
+        by_sp, by_pv = self._by_subject_property, self._by_property_value
+        for t, _ in pending:
+            by_s.setdefault(t.subject, set()).add(t)
+            by_p.setdefault(t.property, set()).add(t)
+            by_v.setdefault(t.value, set()).add(t)
+            by_sp.setdefault((t.subject, t.property), set()).add(t)
+            by_pv.setdefault((t.property, t.value), set()).add(t)
+        self._generation += len(pending)
+        self._bulk_seq_mark = self._sequence
+        if self._listeners:
+            for t, sequence in pending:
+                self._notify("add", t, sequence)
 
     # -- mutation -----------------------------------------------------------
 
@@ -75,6 +167,9 @@ class TripleStore:
         sequence = self._sequence
         self._triples[triple] = sequence
         self._sequence += 1
+        if self._pending is not None:
+            self._pending.append((triple, sequence))
+            return True
         self._generation += 1
         self._index_insert(triple)
         self._notify("add", triple, sequence)
@@ -100,6 +195,9 @@ class TripleStore:
             self._triples = dict(
                 sorted(self._triples.items(), key=lambda item: item[1]))
         self._sequence = max(self._sequence, sequence + 1)
+        if self._pending is not None:
+            self._pending.append((triple, sequence))
+            return True
         self._generation += 1
         self._index_insert(triple)
         self._notify("add", triple, sequence)
@@ -127,6 +225,19 @@ class TripleStore:
         undo logs and batches observe the same events as N ``add`` calls.
         """
         members = self._triples
+        if self._pending is not None:
+            # Bulk mode: membership append only; indexes and listener
+            # fan-out land in one pass at the flush.
+            pending = self._pending
+            added = 0
+            for t in triples:
+                if t in members:
+                    continue
+                members[t] = self._sequence
+                pending.append((t, self._sequence))
+                self._sequence += 1
+                added += 1
+            return added
         by_s, by_p, by_v = self._by_subject, self._by_property, self._by_value
         by_sp, by_pv = self._by_subject_property, self._by_property_value
         notify = self._notify if self._listeners else None
@@ -152,6 +263,8 @@ class TripleStore:
 
     def remove(self, triple: Triple) -> None:
         """Delete *triple*; raise :class:`TripleNotFoundError` if absent."""
+        if self._pending:
+            self._flush_bulk()
         if triple not in self._triples:
             raise TripleNotFoundError(f"triple not in store: {triple}")
         sequence = self._triples.pop(triple)
@@ -175,12 +288,33 @@ class TripleStore:
     def remove_matching(self, subject: Optional[Resource] = None,
                         property: Optional[Resource] = None,
                         value: Optional[Node] = None) -> int:
-        """Delete every triple matching the selection; return the count."""
-        # Explicit snapshot: match() iterates live index buckets, so the
-        # victims must be materialized before the first removal mutates them.
+        """Delete every triple matching the selection; return the count.
+
+        Batched removal fast path: the victims are materialized once
+        (match() iterates live index buckets, so this must happen before
+        the first removal mutates them), then dropped with bound locals —
+        one membership pop plus five bucket discards each, instead of a
+        full :meth:`remove` call per triple.  Listeners still see every
+        removal individually, in match order.
+        """
         victims = list(self.match(subject, property, value))
-        for triple in victims:
-            self.remove(triple)
+        if not victims:
+            return 0
+        members = self._triples
+        by_s, by_p, by_v = self._by_subject, self._by_property, self._by_value
+        by_sp, by_pv = self._by_subject_property, self._by_property_value
+        discard = self._index_discard
+        notify = self._notify if self._listeners else None
+        for t in victims:
+            sequence = members.pop(t)
+            discard(by_s, t.subject, t)
+            discard(by_p, t.property, t)
+            discard(by_v, t.value, t)
+            discard(by_sp, (t.subject, t.property), t)
+            discard(by_pv, (t.property, t.value), t)
+            self._generation += 1
+            if notify is not None:
+                notify("remove", t, sequence)
         return len(victims)
 
     def clear(self) -> None:
@@ -191,6 +325,8 @@ class TripleStore:
         Listeners are still notified once per removed triple (in insertion
         order), so undo logs can restore the contents.
         """
+        if self._pending:
+            self._flush_bulk()
         victims = list(self._triples.items())
         if not victims:
             return
@@ -216,7 +352,12 @@ class TripleStore:
         ``(property, value)`` are fixed together, a membership probe when
         all three are fixed — and any remaining fixed field is checked per
         candidate.  With no field fixed this iterates the whole store.
+
+        During a :meth:`bulk` load any pending inserts are flushed first,
+        so selections never observe stale indexes.
         """
+        if self._pending:
+            self._flush_bulk()
         if subject is not None and property is not None and value is not None:
             probe = Triple(subject, property, value)
             if probe in self._triples:
@@ -305,6 +446,8 @@ class TripleStore:
         single-field bucket size — an upper bound, which is the right
         direction for a planner estimate.
         """
+        if self._pending:
+            self._flush_bulk()
         if subject is not None and property is not None and value is not None:
             return 1 if Triple(subject, property, value) in self._triples else 0
         if subject is not None and property is not None:
@@ -391,7 +534,13 @@ class TripleStore:
         ``'add'``/``'remove'`` and ``sequence`` the triple's insertion
         number (see :data:`ChangeListener`).  Both store implementations
         honour the same contract — pinned by the parity suite.
+
+        Subscribing during a :meth:`bulk` load flushes pending inserts
+        first, so a new listener never receives events for mutations that
+        happened before it attached.
         """
+        if self._pending:
+            self._flush_bulk()
         self._listeners.append(listener)
 
         def unsubscribe() -> None:

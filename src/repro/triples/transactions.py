@@ -60,22 +60,45 @@ class Batch:
 
     On normal exit the batch commits (changes stay) and its change list is
     available via :attr:`changes`.  Batches do not nest on one store.
+
+    The batch rides the store's bulk-ingest fast path when the store
+    offers one (``store.bulk()``): adds made inside the batch defer index
+    maintenance and listener fan-out until the batch's first selection,
+    removal, or exit.  The rollback contract is unchanged — on a normal
+    exit the deferred inserts flush (and are recorded as changes) before
+    ``__exit__`` returns; on an exception, still-pending inserts are
+    rolled back by the bulk abort and everything already flushed is
+    inverted by :meth:`rollback`.  A batch cannot open while a bulk load
+    someone else owns is active on the store.
     """
 
-    def __init__(self, store: TripleStore) -> None:
+    def __init__(self, store: TripleStore, bulk: bool = True) -> None:
         self._store = store
         self._changes: List[Change] = []
         self._unsubscribe = None
+        self._use_bulk = bulk and hasattr(store, "bulk")
+        self._bulk = None
 
     def __enter__(self) -> "Batch":
         if self._unsubscribe is not None:
             raise TransactionError("batch already active")
+        if getattr(self._store, "in_bulk", False):
+            raise TransactionError(
+                "batch cannot open inside an active bulk load")
         self._unsubscribe = self._store.add_listener(self._record)
+        if self._use_bulk:
+            self._bulk = self._store.bulk()
+            self._bulk.__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self._unsubscribe is None:
             raise TransactionError("batch exited without entering")
+        if self._bulk is not None:
+            # Flushes deferred inserts (success) — recording them via the
+            # listener — or silently rolls them back (error).
+            self._bulk.__exit__(exc_type, exc, tb)
+            self._bulk = None
         self._unsubscribe()
         self._unsubscribe = None
         if exc_type is not None:

@@ -20,7 +20,7 @@ crash at any point recovers to the last :meth:`commit` boundary.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.triples import persistence
 from repro.triples.namespaces import NamespaceRegistry
@@ -34,6 +34,33 @@ from repro.triples.wal import Durability
 from repro.util.identifiers import IdGenerator
 
 
+class IngestSession:
+    """Context manager for a high-throughput ingest through a TRIM.
+
+    Entering opens the store's bulk load (deferred index maintenance and
+    listener fan-out); a clean exit flushes it and, under durable mode,
+    commits everything as *one* WAL group — one fsync for the whole
+    session.  An exception aborts still-pending inserts and commits
+    nothing.  Obtained from :meth:`TrimManager.bulk_ingest`.
+    """
+
+    def __init__(self, trim: "TrimManager") -> None:
+        self._trim = trim
+        self._bulk = None
+
+    def __enter__(self) -> "TrimManager":
+        self._bulk = self._trim.store.bulk()
+        self._bulk.__enter__()
+        return self._trim
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        bulk, self._bulk = self._bulk, None
+        bulk.__exit__(exc_type, exc, tb)
+        if exc_type is None:
+            self._trim.commit()
+        return False
+
+
 class TrimManager:
     """Façade bundling store + namespaces + ids + persistence + views.
 
@@ -45,14 +72,16 @@ class TrimManager:
 
     def __init__(self, namespaces: Optional[NamespaceRegistry] = None,
                  durable: Optional[str] = None,
-                 compact_every: int = 64) -> None:
+                 compact_every: int = 64,
+                 commit_every: Optional[int] = None) -> None:
         self.store = TripleStore()
         self.namespaces = namespaces or NamespaceRegistry.with_defaults()
         self.ids = IdGenerator()
         self._undo: Optional[UndoLog] = None
         self._durability: Optional[Durability] = None
         if durable is not None:
-            self.enable_durability(durable, compact_every=compact_every)
+            self.enable_durability(durable, compact_every=compact_every,
+                                   commit_every=commit_every)
 
     # -- create / remove ------------------------------------------------------
 
@@ -76,8 +105,41 @@ class TrimManager:
         return self.store.remove_matching(subject=subject)
 
     def batch(self) -> Batch:
-        """A rollback-on-error batch over the store."""
+        """A rollback-on-error batch over the store.
+
+        Batches ride the store's bulk-ingest path: adds inside the batch
+        defer index maintenance until the batch's first query, removal,
+        or exit (see :class:`~repro.triples.transactions.Batch`).
+        """
         return Batch(self.store)
+
+    def bulk_ingest(self, triples: Optional[Iterable[Triple]] = None
+                    ) -> Union[int, IngestSession]:
+        """High-throughput ingest: deferred indexing + one commit group.
+
+        With *triples*, adds them all through the store's bulk path,
+        commits once (one fsync under durable mode), and returns how
+        many were new::
+
+            trim.bulk_ingest(statements)
+
+        Without arguments, returns a session context manager for ingests
+        that go through richer APIs (DMI creates, :meth:`create`)::
+
+            with trim.bulk_ingest():
+                for spec in specs:
+                    trim.create(spec.subject, spec.prop, spec.value)
+
+        Either way the whole ingest lands as a single WAL group, and an
+        exception mid-ingest rolls back everything still pending without
+        committing.
+        """
+        if triples is None:
+            return IngestSession(self)
+        with self.store.bulk():
+            added = self.store.add_all(triples)
+        self.commit()
+        return added
 
     # -- query ----------------------------------------------------------------
 
@@ -121,11 +183,14 @@ class TrimManager:
 
         Observed resource ids advance the id generator so subsequently
         minted ids never collide with loaded ones.  Under durable mode
-        the clear and reload are logged like any other mutations.
+        the clear and reload are logged like any other mutations.  The
+        reload runs through the store's bulk path, so indexes are
+        rebuilt in one pass rather than per triple.
         """
         loaded = persistence.load(path, self.namespaces)
         self.store.clear()
-        self.store.add_all(loaded)
+        with self.store.bulk():
+            self.store.add_all(loaded)
         for resource in self.store.resources():
             self.ids.observe(resource.uri)
 
@@ -136,20 +201,23 @@ class TrimManager:
     # -- durability (WAL + snapshots) ------------------------------------------
 
     def enable_durability(self, directory: str, compact_every: int = 64,
-                          fsync: bool = True) -> Durability:
+                          fsync: bool = True,
+                          commit_every: Optional[int] = None) -> Durability:
         """Attach crash-safe persistence rooted at *directory*.
 
         Recovers any existing snapshot + WAL state into the store (which
         must then be empty), then logs every mutation.  Recovered resource
-        ids advance the id generator, like :meth:`load`.  Idempotent:
-        returns the existing handle when already enabled.
+        ids advance the id generator, like :meth:`load`.  *commit_every*
+        turns on auto-grouping (see :class:`~repro.triples.wal.Durability`).
+        Idempotent: returns the existing handle when already enabled.
         """
         if self._durability is not None:
             return self._durability
         self._durability = Durability(self.store, directory,
                                       namespaces=self.namespaces,
                                       compact_every=compact_every,
-                                      fsync=fsync)
+                                      fsync=fsync,
+                                      commit_every=commit_every)
         for resource in self.store.resources():
             self.ids.observe(resource.uri)
         return self._durability

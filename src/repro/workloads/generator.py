@@ -19,23 +19,28 @@ from repro.util.coordinates import Coordinate
 def build_pad_via_dmi(num_bundles: int, scraps_per_bundle: int,
                       dmi: Optional[SlimPadDMI] = None) -> SlimPadDMI:
     """A pad of *num_bundles* bundles × *scraps_per_bundle* marked scraps,
-    built through the triple-backed DMI (the flexible representation)."""
+    built through the triple-backed DMI (the flexible representation).
+
+    The build runs as one ingest session (``trim.bulk_ingest()``): the
+    whole pad lands through the store's bulk path and, when the DMI's
+    TRIM is durable, commits as a single WAL group."""
     dmi = dmi or SlimPadDMI()
-    root = dmi.Create_Bundle(bundleName="root")
-    dmi.Create_SlimPad(padName="bench", rootBundle=root)
-    mark_seq = 0
-    for b in range(num_bundles):
-        bundle = dmi.Create_Bundle(bundleName=f"bundle {b}",
-                                   bundlePos=Coordinate(10.0 * b, 20.0),
-                                   bundleWidth=200.0, bundleHeight=120.0)
-        dmi.Add_nestedBundle(root, bundle)
-        for s in range(scraps_per_bundle):
-            mark_seq += 1
-            scrap = dmi.Create_Scrap(scrapName=f"scrap {b}.{s}",
-                                     scrapPos=Coordinate(5.0 * s, 8.0 * s))
-            handle = dmi.Create_MarkHandle(markId=f"mark-{mark_seq:06d}")
-            dmi.Add_scrapMark(scrap, handle)
-            dmi.Add_bundleContent(bundle, scrap)
+    with dmi.runtime.trim.bulk_ingest():
+        root = dmi.Create_Bundle(bundleName="root")
+        dmi.Create_SlimPad(padName="bench", rootBundle=root)
+        mark_seq = 0
+        for b in range(num_bundles):
+            bundle = dmi.Create_Bundle(bundleName=f"bundle {b}",
+                                       bundlePos=Coordinate(10.0 * b, 20.0),
+                                       bundleWidth=200.0, bundleHeight=120.0)
+            dmi.Add_nestedBundle(root, bundle)
+            for s in range(scraps_per_bundle):
+                mark_seq += 1
+                scrap = dmi.Create_Scrap(scrapName=f"scrap {b}.{s}",
+                                         scrapPos=Coordinate(5.0 * s, 8.0 * s))
+                handle = dmi.Create_MarkHandle(markId=f"mark-{mark_seq:06d}")
+                dmi.Add_scrapMark(scrap, handle)
+                dmi.Add_bundleContent(bundle, scrap)
     return dmi
 
 
@@ -119,5 +124,6 @@ def build_planner_store(num_bundles: int = 1500, scraps_per_bundle: int = 8,
                 items.append(triple(scrap, "slim:scrapName", PLANNER_NEEDLE))
             else:
                 items.append(triple(scrap, "slim:scrapName", f"scrap {b}.{s}"))
-    store.add_all(items)
+    with store.bulk():
+        store.add_all(items)
     return store

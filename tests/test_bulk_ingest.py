@@ -1,0 +1,203 @@
+"""The batched write path above the store: TRIM ingest sessions, DMI
+batch creates, and the SLIMPad bulk surfaces built on them.
+
+The store-level bulk contract is pinned by ``test_triples_store_parity``
+and the WAL group semantics by ``test_triples_wal``; this module covers
+the layers in between — that a TRIM/DMI/SLIMPad batch operation lands as
+one WAL group, rolls back atomically, and produces triples identical to
+its per-operation equivalent.
+"""
+
+import os
+
+import pytest
+
+from repro.dmi.runtime import DmiRuntime
+from repro.errors import DmiError, SlimPadError, StaleObjectError
+from repro.slimpad.dmi import SlimPadDMI
+from repro.slimpad.model import EXTENDED_BUNDLE_SCRAP_SPEC
+from repro.triples.trim import TrimManager
+from repro.triples.triple import Resource, triple
+from repro.triples.wal import WAL_FILE, recover, scan_wal
+from repro.util.coordinates import Coordinate
+
+
+class TestTrimBulkIngest:
+    def test_direct_form_matches_add_all(self):
+        items = [triple(f"s{i}", "slim:p", i) for i in range(20)]
+        bulk, per_op = TrimManager(), TrimManager()
+        assert bulk.bulk_ingest(items + items[:5]) == 20
+        for t in items:
+            per_op.create(t.subject, t.property, t.value)
+        assert list(bulk.store) == list(per_op.store)
+        assert bulk.count(prop=Resource("slim:p")) == 20
+
+    def test_direct_form_commits_one_group(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory)
+        trim.bulk_ingest([triple(f"s{i}", "p", i) for i in range(15)])
+        trim.close()
+        scan = scan_wal(os.path.join(directory, WAL_FILE))
+        assert [len(changes) for _, changes in scan.groups] == [15]
+        assert len(recover(directory).store) == 15
+
+    def test_session_form_commits_one_group(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory)
+        with trim.bulk_ingest():
+            for i in range(8):
+                trim.create(f"s{i}", "slim:name", f"scrap {i}")
+        trim.close()
+        scan = scan_wal(os.path.join(directory, WAL_FILE))
+        assert [len(changes) for _, changes in scan.groups] == [8]
+
+    def test_session_rolls_back_and_commits_nothing_on_error(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory)
+        trim.create("keep", "p", 1)
+        trim.commit()
+        with pytest.raises(RuntimeError):
+            with trim.bulk_ingest():
+                trim.create("doomed", "p", 2)
+                raise RuntimeError("die mid-session")
+        assert list(trim.store) == [triple("keep", "p", 1)]
+        trim.close()
+        assert list(recover(directory).store) == [triple("keep", "p", 1)]
+
+    def test_queries_inside_session_are_exact(self):
+        trim = TrimManager()
+        with trim.bulk_ingest():
+            trim.create("b1", "slim:content", Resource("s1"))
+            trim.create("s1", "slim:name", "needle")
+            assert trim.count(subject=Resource("s1")) == 1
+            assert trim.select(prop=Resource("slim:name")) == [
+                triple("s1", "slim:name", "needle")]
+
+
+class TestDmiBatchCreate:
+    @pytest.fixture
+    def runtime(self):
+        return DmiRuntime(EXTENDED_BUNDLE_SCRAP_SPEC)
+
+    def test_creates_match_per_op_creates(self, runtime):
+        specs = [{"scrapName": f"scrap {i}",
+                  "scrapPos": Coordinate(float(i), 2.0)} for i in range(10)]
+        batch = runtime.batch_create("Scrap", specs)
+        per_op_runtime = DmiRuntime(EXTENDED_BUNDLE_SCRAP_SPEC)
+        per_op = [per_op_runtime.create("Scrap", **spec) for spec in specs]
+        assert [obj.id for obj in batch] == [obj.id for obj in per_op]
+        assert list(runtime.trim.store) == list(per_op_runtime.trim.store)
+        assert [obj.scrapName for obj in batch] == \
+            [f"scrap {i}" for i in range(10)]
+        assert runtime.all("Scrap") == batch
+
+    def test_single_wal_group_when_durable(self, tmp_path):
+        directory = str(tmp_path)
+        runtime = DmiRuntime(EXTENDED_BUNDLE_SCRAP_SPEC,
+                             TrimManager(durable=directory))
+        runtime.batch_create("Scrap", [{"scrapName": f"s{i}"}
+                                       for i in range(12)])
+        runtime.trim.close()
+        scan = scan_wal(os.path.join(directory, WAL_FILE))
+        # 12 instances x (rdf:type + scrapName) = 24 changes, one group.
+        assert [len(changes) for _, changes in scan.groups] == [24]
+
+    def test_validation_error_creates_nothing(self, runtime):
+        with pytest.raises(DmiError):
+            runtime.batch_create("Scrap", [{"scrapName": "ok"},
+                                           {"bogusAttr": 1}])
+        assert len(runtime.trim.store) == 0
+        assert runtime.all("Scrap") == []
+
+    def test_write_error_rolls_back_everything(self, runtime):
+        # The second item passes name validation but fails to encode —
+        # by then the first item's triples are already written, so this
+        # exercises the rollback, not just the up-front checks.
+        with pytest.raises(DmiError):
+            runtime.batch_create("Scrap", [
+                {"scrapName": "written first"},
+                {"scrapPos": object()},       # not a Coordinate
+            ])
+        assert len(runtime.trim.store) == 0
+
+    def test_composes_with_enclosing_ingest_session(self, tmp_path):
+        directory = str(tmp_path)
+        runtime = DmiRuntime(EXTENDED_BUNDLE_SCRAP_SPEC,
+                             TrimManager(durable=directory))
+        with runtime.trim.bulk_ingest():
+            runtime.batch_create("Scrap", [{"scrapName": "a"}])
+            runtime.batch_create("Scrap", [{"scrapName": "b"}])
+        runtime.trim.close()
+        # The session owns the commit: one group for both batch creates.
+        scan = scan_wal(os.path.join(directory, WAL_FILE))
+        assert len(scan.groups) == 1
+
+    def test_create_and_delete_still_work_inside_session(self):
+        runtime = DmiRuntime(EXTENDED_BUNDLE_SCRAP_SPEC)
+        with runtime.trim.bulk_ingest():
+            scrap = runtime.create("Scrap", scrapName="transient")
+            assert runtime.exists(scrap)
+            runtime.delete(scrap)
+            assert not runtime.exists(scrap)
+            kept = runtime.create("Scrap", scrapName="kept")
+        assert runtime.all("Scrap") == [kept]
+
+
+class TestSlimPadCreateScraps:
+    @pytest.fixture
+    def dmi(self):
+        return SlimPadDMI()
+
+    def test_matches_per_op_create_and_add(self, dmi):
+        bundle = dmi.Create_Bundle(bundleName="batched")
+        created = dmi.Create_Scraps(bundle, [
+            {"scrapName": f"s{i}", "scrapPos": Coordinate(float(i), 0.0)}
+            for i in range(5)])
+        reference = SlimPadDMI()
+        ref_bundle = reference.Create_Bundle(bundleName="batched")
+        for i in range(5):
+            scrap = reference.Create_Scrap(scrapName=f"s{i}",
+                                           scrapPos=Coordinate(float(i), 0.0))
+            reference.Add_bundleContent(ref_bundle, scrap)
+        assert list(dmi.runtime.trim.store) == \
+            list(reference.runtime.trim.store)
+        assert bundle.bundleContent == created
+
+    def test_defaults_applied(self, dmi):
+        bundle = dmi.Create_Bundle(bundleName="b")
+        (scrap,) = dmi.Create_Scraps(bundle, [{}])
+        assert scrap.scrapName == ""
+        assert scrap.scrapPos == Coordinate(0, 0)
+
+    def test_rejects_non_bundle_target(self, dmi):
+        scrap = dmi.Create_Scrap(scrapName="not a bundle")
+        with pytest.raises(DmiError):
+            dmi.Create_Scraps(scrap, [{"scrapName": "x"}])
+
+    def test_rejects_deleted_bundle(self, dmi):
+        bundle = dmi.Create_Bundle(bundleName="gone")
+        dmi.Delete_Bundle(bundle)
+        with pytest.raises(StaleObjectError):
+            dmi.Create_Scraps(bundle, [{"scrapName": "x"}])
+
+    def test_bad_spec_creates_nothing(self, dmi):
+        bundle = dmi.Create_Bundle(bundleName="b")
+        before = list(dmi.runtime.trim.store)
+        with pytest.raises(DmiError):
+            dmi.Create_Scraps(bundle, [{"scrapName": "ok"},
+                                       {"nope": True}])
+        assert list(dmi.runtime.trim.store) == before
+
+    def test_single_wal_group_when_durable(self, tmp_path):
+        directory = str(tmp_path)
+        dmi = SlimPadDMI(TrimManager(durable=directory))
+        bundle = dmi.Create_Bundle(bundleName="b")
+        dmi.runtime.trim.commit()
+        groups_before = len(scan_wal(
+            os.path.join(directory, WAL_FILE)).groups)
+        dmi.Create_Scraps(bundle, [{"scrapName": f"s{i}"} for i in range(7)])
+        dmi.runtime.trim.close()
+        scan = scan_wal(os.path.join(directory, WAL_FILE))
+        assert len(scan.groups) == groups_before + 1
+        # 7 x (rdf:type + scrapName + scrapPos) + 7 containment links.
+        assert len(scan.groups[-1][1]) == 7 * 3 + 7

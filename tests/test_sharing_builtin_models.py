@@ -146,6 +146,19 @@ class TestBundleExchange:
         with pytest.raises(PersistenceError):
             import_bundle(slimpad, "<bundle-parcel><marks/></bundle-parcel>")
 
+    def test_failed_import_rolls_back(self, slimpad):
+        bundle = slimpad.create_bundle("Labs", Coordinate(5, 5))
+        slimpad.create_note_scrap("K+ 3.9", Coordinate(1, 1), bundle=bundle)
+        parcel = export_bundle(slimpad, bundle)
+        # The scrap's position fails to parse only *after* the imported
+        # bundle was already created — the batch must undo it.
+        tampered = parcel.replace('x="1.0"', 'x="bogus"')
+        assert tampered != parcel
+        before = list(slimpad.dmi.runtime.trim.store)
+        with pytest.raises(PersistenceError):
+            import_bundle(slimpad, tampered)
+        assert list(slimpad.dmi.runtime.trim.store) == before
+
 
 class TestBuiltinModels:
     def test_all_three_defined(self):

@@ -437,6 +437,85 @@ class TestSequenceRestoration:
         assert s.select() == before
 
 
+class TestStreamingLoad:
+    """The pull-parser loaders: provided-store targets, chunked feeding,
+    and transactional rollback on any parse or verification error."""
+
+    def _sample_store(self):
+        s = TripleStore()
+        s.add(triple("b1", "slim:bundleName", "Electrolyte"))
+        s.add(triple("b1", "slim:bundleContent", Resource("s1")))
+        s.add(triple("s1", "slim:scrapName", "K+ \r 3.9 \\ done"))
+        s.add(triple("s2", "slim:size", -12))
+        s.add(triple("s2", "slim:ratio", 2.5))
+        s.add(triple("s2", "slim:flag", True))
+        return s
+
+    def test_loads_document_into_provided_store(self):
+        original = self._sample_store()
+        target = TripleStore()
+        document = persistence.loads_document(persistence.dumps(original),
+                                              store=target)
+        assert document.store is target
+        assert list(target) == list(original)
+
+    def test_load_target_must_be_empty(self):
+        occupied = TripleStore()
+        occupied.add(triple("a", "p", 1))
+        with pytest.raises(PersistenceError):
+            persistence.loads_document("<slim-store version='2'/>",
+                                       store=occupied)
+
+    def test_parse_error_rolls_back_target_store(self):
+        text = persistence.dumps(self._sample_store())
+        torn = text[: len(text) * 2 // 3]
+        target = TripleStore()
+        with pytest.raises(PersistenceError):
+            persistence.loads_document(torn, store=target)
+        # Transactional: the triples parsed before the tear are gone.
+        assert len(target) == 0
+        target.add(triple("fresh", "p", 1))
+        assert target.sequence_of(triple("fresh", "p", 1)) == 0
+
+    def test_load_streams_in_small_chunks(self, tmp_path, monkeypatch):
+        # Force pathological chunking (7-byte reads) so chunk boundaries
+        # fall inside tags, escapes, and multi-byte UTF-8 sequences.
+        original = self._sample_store()
+        original.add(triple("s3", "slim:unicode", "héllo — 測試"))
+        path = str(tmp_path / "pad.xml")
+        persistence.save(original, path)
+        monkeypatch.setattr(persistence, "_CHUNK", 7)
+        loaded = persistence.load(path)
+        assert list(loaded) == list(original)
+
+    def test_load_snapshot_into_provided_store(self, tmp_path):
+        original = self._sample_store()
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(original, path, group=4)
+        target = TripleStore()
+        snapshot = persistence.load_snapshot(path, store=target)
+        assert snapshot.group == 4
+        assert snapshot.document.store is target
+        assert list(target) == list(original)
+        assert [target.sequence_of(t) for t in target] == \
+            [original.sequence_of(t) for t in original]
+
+    def test_snapshot_checksum_error_rolls_back_target(self, tmp_path):
+        original = self._sample_store()
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(original, path)
+        data = bytearray(open(path, "rb").read())
+        # Flip a byte inside a literal's text so the payload stays
+        # well-formed XML: only the CRC check can catch this.
+        offset = data.find(b"Electrolyte")
+        data[offset] ^= 0x01
+        open(path, "wb").write(bytes(data))
+        target = TripleStore()
+        with pytest.raises(PersistenceError):
+            persistence.load_snapshot(path, store=target)
+        assert len(target) == 0
+
+
 class TestTrimManager:
     def test_create_select_remove(self):
         trim = TrimManager()

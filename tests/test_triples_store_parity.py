@@ -10,9 +10,10 @@ here: mutation, selection, single-value reads, iteration order, statistics
 
 import pytest
 
-from repro.errors import TripleNotFoundError
+from repro.errors import TransactionError, TripleNotFoundError
 from repro.triples.interned import InternedTripleStore
 from repro.triples.store import TripleStore
+from repro.triples.transactions import Batch, UndoLog
 from repro.triples.triple import Literal, Resource, Triple, triple
 
 STORE_CLASSES = [TripleStore, InternedTripleStore]
@@ -350,6 +351,200 @@ class TestRestoreParity:
         empty_store.add(triple("b", "p", 2))
         assert empty_store.sequence_of(triple("b", "p", 2)) == 11
         assert list(empty_store) == empty_store.select()
+
+
+class TestBulkLoadParity:
+    """The bulk-ingest contract, identical on both store implementations:
+    deferred indexing that is *never observable* — membership reads stay
+    exact, and any selection, removal, or listener attach flushes first."""
+
+    def test_bulk_result_identical_to_per_op(self, empty_store):
+        items = [triple(f"s{i % 5}", f"slim:p{i % 3}", i) for i in range(30)]
+        reference = type(empty_store)()
+        for t in items:
+            reference.add(t)
+        with empty_store.bulk():
+            for t in items:
+                empty_store.add(t)
+        assert list(empty_store) == list(reference)
+        for t in items[::4]:
+            assert empty_store.select(subject=t.subject) == \
+                reference.select(subject=t.subject)
+            assert empty_store.count(property=t.property, value=t.value) == \
+                reference.count(property=t.property, value=t.value)
+            assert empty_store.sequence_of(t) == reference.sequence_of(t)
+
+    def test_membership_is_live_inside_bulk(self, empty_store):
+        t = triple("a", "p", 1)
+        with empty_store.bulk():
+            assert empty_store.in_bulk
+            empty_store.add(t)
+            assert t in empty_store
+            assert len(empty_store) == 1
+            assert empty_store.add(t) is False   # dup detected while pending
+        assert not empty_store.in_bulk
+
+    def test_queries_inside_bulk_see_pending_triples(self, empty_store):
+        with empty_store.bulk():
+            empty_store.add(triple("a", "p", 1))
+            empty_store.add(triple("a", "q", 2))
+            # Selections flush the pending tail first — indexes are never
+            # stale from a reader's point of view.
+            assert len(empty_store.select(subject=Resource("a"))) == 2
+            assert empty_store.count(subject=Resource("a"),
+                                     property=Resource("q")) == 1
+            empty_store.add(triple("b", "p", 3))
+            assert empty_store.count(subject=Resource("b")) == 1
+
+    def test_removal_inside_bulk_flushes_first(self, empty_store):
+        t1, t2 = triple("a", "p", 1), triple("a", "p", 2)
+        with empty_store.bulk():
+            empty_store.add(t1)
+            empty_store.add(t2)
+            empty_store.remove(t1)
+        assert list(empty_store) == [t2]
+        assert empty_store.count(subject=Resource("a")) == 1
+
+    def test_abort_rolls_back_pending(self, empty_store):
+        empty_store.add(triple("keep", "p", 1))
+        with pytest.raises(RuntimeError):
+            with empty_store.bulk():
+                empty_store.add(triple("doomed", "p", 2))
+                empty_store.add(triple("doomed", "p", 3))
+                raise RuntimeError("die mid-bulk")
+        assert list(empty_store) == [triple("keep", "p", 1)]
+        assert empty_store.count(subject=Resource("doomed")) == 0
+        # The sequence counter rewound too: the next insert reuses the
+        # aborted numbers instead of leaving holes.
+        empty_store.add(triple("next", "p", 4))
+        assert empty_store.sequence_of(triple("next", "p", 4)) == 1
+
+    def test_abort_keeps_flushed_prefix(self, empty_store):
+        with pytest.raises(RuntimeError):
+            with empty_store.bulk():
+                empty_store.add(triple("flushed", "p", 1))
+                empty_store.select(subject=Resource("flushed"))  # flushes
+                empty_store.add(triple("pending", "p", 2))
+                raise RuntimeError("die mid-bulk")
+        # Only the still-pending tail rolled back.
+        assert list(empty_store) == [triple("flushed", "p", 1)]
+
+    def test_listeners_fire_in_order_at_flush(self, empty_store):
+        events = []
+        empty_store.add_listener(
+            lambda action, t, seq: events.append((action, t, seq)))
+        items = [triple(f"s{i}", "p", i) for i in range(4)]
+        with empty_store.bulk():
+            for t in items:
+                empty_store.add(t)
+            assert events == []     # nothing flushed yet
+        assert events == [("add", t, i) for i, t in enumerate(items)]
+
+    def test_add_listener_inside_bulk_flushes_pending(self, empty_store):
+        events = []
+        with empty_store.bulk():
+            empty_store.add(triple("early", "p", 1))
+            empty_store.add_listener(
+                lambda action, t, seq: events.append(t.subject.uri))
+            empty_store.add(triple("late", "p", 2))
+        # The new listener must not receive events for triples added
+        # before it subscribed.
+        assert events == ["late"]
+
+    def test_bulk_does_not_nest(self, empty_store):
+        with empty_store.bulk():
+            with pytest.raises(TransactionError):
+                with empty_store.bulk():
+                    pass
+
+    def test_restore_inside_bulk_keeps_positions(self, empty_store):
+        items = [triple(f"s{i}", "p", i) for i in range(5)]
+        for t in items:
+            empty_store.add(t)
+        empty_store.remove(items[2])
+        with empty_store.bulk():
+            empty_store.restore(items[2], 2)
+        assert list(empty_store) == items
+        assert empty_store.sequence_of(items[2]) == 2
+
+    def test_add_all_routes_through_pending(self, empty_store):
+        items = [triple(f"s{i}", "p", i) for i in range(10)]
+        with empty_store.bulk():
+            assert empty_store.add_all(items + items[:3]) == 10
+            assert len(empty_store) == 10
+        assert empty_store.select() == items
+
+    def test_cross_implementation_bulk_agreement(self):
+        from repro.workloads.generator import random_triples
+        items = random_triples(300, num_subjects=30, num_properties=5)
+        plain, interned = TripleStore(), InternedTripleStore()
+        with plain.bulk():
+            plain.add_all(items)
+        with interned.bulk():
+            interned.add_all(items)
+        assert list(plain) == list(interned)
+        for t in items[::13]:
+            kwargs = {"subject": t.subject, "property": t.property}
+            assert plain.select(**kwargs) == interned.select(**kwargs)
+            assert plain.count(**kwargs) == interned.count(**kwargs)
+
+
+class TestBatchBulkParity:
+    """Batches ride the bulk path; undo/restore behavior must be byte-for-
+    byte identical to per-op ingest (the satellite parity requirement)."""
+
+    def _run_script(self, store, bulk):
+        log = UndoLog(store)
+        items = [triple(f"s{i}", "slim:p", i) for i in range(6)]
+        with Batch(store, bulk=bulk) as batch:
+            for t in items:
+                store.add(t)
+            store.remove(items[3])
+        log.checkpoint()
+        store.add(triple("late", "p", 99))
+        log.checkpoint()
+        return log, batch.changes
+
+    @pytest.mark.parametrize("store_cls", STORE_CLASSES,
+                             ids=lambda cls: cls.__name__)
+    def test_undo_restore_sequences_identical(self, store_cls):
+        bulk_store, per_op_store = store_cls(), store_cls()
+        bulk_log, bulk_changes = self._run_script(bulk_store, bulk=True)
+        per_op_log, per_op_changes = self._run_script(per_op_store, bulk=False)
+        assert bulk_changes == per_op_changes
+        assert list(bulk_store) == list(per_op_store)
+        bulk_log.undo()
+        per_op_log.undo()
+        bulk_log.undo()
+        per_op_log.undo()
+        assert list(bulk_store) == list(per_op_store) == []
+        bulk_log.redo()
+        per_op_log.redo()
+        assert list(bulk_store) == list(per_op_store)
+        assert [bulk_store.sequence_of(t) for t in bulk_store] == \
+            [per_op_store.sequence_of(t) for t in per_op_store]
+
+    @pytest.mark.parametrize("store_cls", STORE_CLASSES,
+                             ids=lambda cls: cls.__name__)
+    def test_batch_rollback_identical_under_bulk(self, store_cls):
+        for bulk in (True, False):
+            store = store_cls()
+            store.add(triple("keep", "p", 0))
+            with pytest.raises(RuntimeError):
+                with Batch(store, bulk=bulk):
+                    store.add(triple("new", "p", 1))
+                    store.remove(triple("keep", "p", 0))
+                    raise RuntimeError("die mid-batch")
+            assert list(store) == [triple("keep", "p", 0)], f"bulk={bulk}"
+            assert store.sequence_of(triple("keep", "p", 0)) == 0
+
+    @pytest.mark.parametrize("store_cls", STORE_CLASSES,
+                             ids=lambda cls: cls.__name__)
+    def test_batch_refuses_to_open_inside_bulk(self, store_cls):
+        store = store_cls()
+        with store.bulk():
+            with pytest.raises(TransactionError):
+                Batch(store).__enter__()
 
 
 class TestCrossImplementationAgreement:

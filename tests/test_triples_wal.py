@@ -20,6 +20,7 @@ import pytest
 
 from repro.errors import PersistenceError
 from repro.triples import persistence
+from repro.triples.query import Pattern, Query, Var
 from repro.triples.transactions import Change
 from repro.triples.trim import TrimManager
 from repro.triples.store import TripleStore
@@ -141,6 +142,147 @@ class TestWriteAheadLog:
         wal.append(Change("add", triple("b", "p", 2), 1))
         assert wal.commit() == 2  # monotonic across resets
         wal.close()
+
+
+class _BrokenFile:
+    """Delegates to a real file object but fails selected operations."""
+
+    def __init__(self, inner, fail_ops):
+        self._inner = inner
+        self._fail = set(fail_ops)
+
+    def __getattr__(self, name):
+        if name in self._fail:
+            def boom(*args, **kwargs):
+                raise OSError(f"injected {name} failure")
+            return boom
+        return getattr(self._inner, name)
+
+
+class TestGroupCommitBuffering:
+    def test_append_buffers_until_commit(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append(Change("add", triple("a", "p", 1), 0))
+        wal.append(Change("add", triple("b", "p", 2), 1))
+        # Nothing but the header on disk yet: records are buffered.
+        assert os.path.getsize(path) == len(MAGIC)
+        assert wal.dirty == 2
+        wal.commit()
+        wal.close()
+        scan = scan_wal(path)
+        assert [g for g, _ in scan.groups] == [1]
+        assert [c.triple.subject.uri for c in scan.groups[0][1]] == ["a", "b"]
+
+    def test_close_writes_buffered_tail_without_boundary(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append(Change("add", triple("a", "p", 1), 0))
+        wal.commit()
+        wal.append(Change("add", triple("b", "p", 2), 1))
+        wal.close()
+        scan = scan_wal(path)
+        assert len(scan.groups) == 1
+        assert [c.triple.subject.uri for c in scan.pending] == ["b"]
+
+    def test_reset_discards_buffered_records(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append(Change("add", triple("doomed", "p", 1), 0))
+        wal.reset()
+        assert wal.dirty == 0
+        wal.append(Change("add", triple("kept", "p", 2), 1))
+        wal.commit()
+        wal.close()
+        committed = [c for _, group in scan_wal(path).groups for c in group]
+        assert [c.triple.subject.uri for c in committed] == ["kept"]
+
+    def test_commit_fsync_failure_keeps_buffer_for_retry(self, tmp_path,
+                                                         monkeypatch):
+        import repro.triples.wal as wal_module
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=True)
+        wal.append(Change("add", triple("a", "p", 1), 0))
+        wal.append(Change("add", triple("b", "p", 2), 1))
+
+        def failing_fsync(fd):
+            raise OSError("injected fsync failure")
+        monkeypatch.setattr(wal_module.os, "fsync", failing_fsync)
+        with pytest.raises(PersistenceError):
+            wal.commit()
+        # Nothing moved: same buffer, same accounting, same group counter.
+        assert wal.dirty == 2
+        assert wal.group == 0
+        monkeypatch.undo()
+        # The identical commit retries cleanly — and the rewind means the
+        # log holds exactly one copy of the group, not a duplicate.
+        assert wal.commit() == 1
+        wal.close()
+        scan = scan_wal(path)
+        assert [g for g, _ in scan.groups] == [1]
+        assert [c.triple.subject.uri for c in scan.groups[0][1]] == ["a", "b"]
+        assert scan.total_bytes == scan.committed_end
+
+    def test_commit_flush_failure_is_retryable(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append(Change("add", triple("a", "p", 1), 0))
+        real_file = wal._file
+        wal._file = _BrokenFile(real_file, {"flush"})
+        with pytest.raises(PersistenceError):
+            wal.commit()
+        assert wal.dirty == 1 and wal.group == 0
+        wal._file = real_file
+        assert wal.commit() == 1
+        wal.close()
+        scan = scan_wal(path)
+        assert [g for g, _ in scan.groups] == [1]
+        assert len(scan.groups[0][1]) == 1
+
+    def test_unrecoverable_commit_failure_fails_closed(self, tmp_path):
+        # When the post-failure rewind cannot restore the on-disk tail,
+        # the log must refuse all further writes: a later boundary record
+        # could otherwise fence half-written frames into a committed group.
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append(Change("add", triple("a", "p", 1), 0))
+        wal._file = _BrokenFile(wal._file, {"flush", "seek"})
+        with pytest.raises(PersistenceError):
+            wal.commit()
+        with pytest.raises(PersistenceError):
+            wal.append(Change("add", triple("b", "p", 2), 1))
+        with pytest.raises(PersistenceError):
+            wal.commit()
+
+
+class TestAutoGroupCommit:
+    def test_commit_every_coalesces_changes_into_groups(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory, commit_every=10)
+        for i in range(25):
+            trim.create(f"r{i}", "p", i)
+        assert trim.durability.group == 2          # two full auto-groups
+        assert trim.durability.pending_changes == 5
+        trim.commit()                              # flush the remainder
+        trim.close()
+        scan = scan_wal(os.path.join(directory, WAL_FILE))
+        assert [len(changes) for _, changes in scan.groups] == [10, 10, 5]
+        assert len(recover(directory).store) == 25
+
+    def test_explicit_commit_resets_the_running_count(self, tmp_path):
+        trim = TrimManager(durable=str(tmp_path), commit_every=5)
+        for i in range(3):
+            trim.create(f"r{i}", "p", i)
+        trim.commit()
+        for i in range(4):
+            trim.create(f"s{i}", "p", i)
+        # 3 + 4 = 7 > 5, but the explicit commit reset the count.
+        assert trim.durability.pending_changes == 4
+        trim.close()
+
+    def test_bad_commit_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Durability(TripleStore(), str(tmp_path), commit_every=0)
 
 
 def _scripted_run(directory, compact_every=10_000):
@@ -276,6 +418,107 @@ class TestCrashInjection:
                 if size <= offset:
                     expected = triples
             assert list(result.store) == expected, f"snap-truncate@{offset}"
+
+
+class TestBulkIngestCrashInjection:
+    """The crash property must survive the bulk path: a kill mid-group
+    during a bulk ingest recovers to the last *committed* group, with
+    indexes (counts, plans) indistinguishable from a freshly built store."""
+
+    @pytest.fixture(scope="class")
+    def script(self, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("bulk-scripted"))
+        trim = TrimManager(durable=directory, compact_every=10_000)
+        wal_path = os.path.join(directory, WAL_FILE)
+        boundaries = [(os.path.getsize(wal_path), [])]
+
+        def mark():
+            boundaries.append((os.path.getsize(wal_path), list(trim.store)))
+
+        # One group per ingest: direct triple form ...
+        trim.bulk_ingest([triple(f"a{i}", "slim:size", i) for i in range(40)])
+        mark()
+        # ... the session form, driving the TRIM create API ...
+        with trim.bulk_ingest():
+            for i in range(30):
+                trim.create(f"b{i}", "slim:scrapName", f"scrap {i}")
+                trim.create(f"b{i}", "slim:member", Resource(f"a{i % 40}"))
+        mark()
+        # ... and a mixed group with removals after a bulk load.
+        trim.bulk_ingest([triple(f"c{i}", "slim:size", i) for i in range(20)])
+        mark()
+        trim.store.remove_matching(subject=Resource("c3"))
+        trim.remove(triple("a1", "slim:size", 1))
+        trim.commit()
+        mark()
+        # An ingest that dies mid-session must commit nothing.
+        try:
+            with trim.bulk_ingest():
+                trim.create("doomed", "p", 1)
+                raise RuntimeError("die mid-ingest")
+        except RuntimeError:
+            pass
+        trim.close()
+        with open(wal_path, "rb") as handle:
+            wal_bytes = handle.read()
+        return wal_bytes, boundaries
+
+    def test_each_ingest_is_one_group(self, script, tmp_path):
+        wal_bytes, _ = script
+        path = tmp_path / WAL_FILE
+        path.write_bytes(wal_bytes)
+        scan = scan_wal(str(path))
+        # One WAL group per ingest (40, then 30 creates x 2 triples, then
+        # 20), one for the mixed removals — and nothing at all from the
+        # session that died mid-ingest.
+        assert [len(changes) for _, changes in scan.groups] == [40, 60, 20, 2]
+        assert scan.pending == []
+
+    def test_kill_mid_group_recovers_last_committed_group(self, script,
+                                                          tmp_path):
+        wal_bytes, boundaries = script
+        rng = random.Random(4242)
+        offsets = {0, len(MAGIC), len(wal_bytes) - 1, len(wal_bytes)}
+        offsets.update(rng.randrange(len(wal_bytes) + 1)
+                       for _ in range(CRASH_POINTS))
+        for i, offset in enumerate(sorted(offsets)):
+            crash_dir = tmp_path / f"b{i}"
+            crash_dir.mkdir()
+            (crash_dir / WAL_FILE).write_bytes(wal_bytes[:offset])
+            result = recover(str(crash_dir))
+            expected = _expected_at(boundaries, offset)
+            assert list(result.store) == expected, f"bulk-truncate@{offset}"
+
+    def test_post_recovery_indexes_agree_with_fresh_store(self, script,
+                                                          tmp_path):
+        wal_bytes, boundaries = script
+        # Recover from the complete log, then compare counts and query
+        # plans against a store built from scratch: stale or torn indexes
+        # would disagree even where the triple sets match.
+        (tmp_path / WAL_FILE).write_bytes(wal_bytes)
+        recovered = recover(str(tmp_path)).store
+        fresh = TripleStore()
+        fresh.add_all(boundaries[-1][1])
+        assert list(recovered) == list(fresh)
+        probes = [
+            dict(),
+            dict(subject=Resource("a3")),
+            dict(property=Resource("slim:size")),
+            dict(subject=Resource("b7"), property=Resource("slim:scrapName")),
+            dict(property=Resource("slim:member"), value=Resource("a1")),
+            dict(subject=Resource("c3")),          # removed mid-script
+            dict(subject=Resource("doomed")),      # aborted mid-ingest
+        ]
+        for kwargs in probes:
+            assert recovered.count(**kwargs) == fresh.count(**kwargs) \
+                == len(fresh.select(**kwargs)), kwargs
+        query = Query([
+            Pattern(Var("b"), Resource("slim:member"), Var("a")),
+            Pattern(Var("a"), Resource("slim:size"), Literal(2)),
+        ])
+        assert [(s.position, s.estimate) for s in query.explain(recovered)] \
+            == [(s.position, s.estimate) for s in query.explain(fresh)]
+        assert query.run_all(recovered) == query.run_all(fresh)
 
 
 class TestSnapshotSafety:
