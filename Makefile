@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python -m
 
-.PHONY: test verify bench bench-smoke bench-ingest
+.PHONY: test verify bench bench-smoke bench-ingest bench-concurrency
 
 test:            ## tier-1: the full unit/integration/property suite
 	$(PY) pytest -x -q
@@ -32,3 +32,10 @@ bench-smoke:     ## quick benchmark pass on the small fixture
 # scratch memory (DOM reference vs the streaming pull parser).
 bench-ingest:    ## full-scale bulk-ingest benchmark, rewrites its JSON
 	$(PY) pytest benchmarks/test_claim_ingest.py --benchmark-only -q -s
+
+# Regenerates BENCH_trim_concurrency.json at full scale: reader
+# throughput during bulk ingest vs an idle store (snapshot-isolation
+# read path), and fsyncs per committed group with racing committers on
+# the group-commit flusher.
+bench-concurrency: ## full-scale concurrency benchmark, rewrites its JSON
+	$(PY) pytest benchmarks/test_trim_concurrency.py --benchmark-only -q -s

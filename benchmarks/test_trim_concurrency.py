@@ -1,0 +1,245 @@
+"""Concurrent-access benchmarks: snapshot reads and group commit (ISSUE 4).
+
+Two questions the concurrency work answers:
+
+1. **Reader throughput during ingest** — reader threads running
+   selection + count workloads while another thread bulk-ingests must
+   sustain >= 50% of their idle-store throughput, and must trigger zero
+   deferred-index flushes (the ingest's ``_flush_bulk`` stays on the
+   writer thread).  Before this change any reader query forced the
+   flush, serializing readers behind the ingest.
+2. **Group-commit coalescing** — with racing committers under
+   ``sync='group'``, the background flusher must issue *fewer* fsyncs
+   than commits (one batched fsync acks every committer whose changes
+   it covers), where ``sync='inline'`` pays one fsync per commit.
+
+Results print via ``print_table`` (run with ``-s``) and aggregate into
+``BENCH_trim_concurrency.json`` at the repo root.  ``BENCH_SMOKE=1``
+shrinks the workload and redirects the JSON to a temp path.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.triples.store import TripleStore
+from repro.triples.triple import Resource, triple
+from repro.triples.wal import Durability, recover
+
+from benchmarks.conftest import print_table, run_once
+
+_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+#: Idle-store seed size and per-reader operation count.
+BASE_TRIPLES = 500 if _SMOKE else 2000
+READER_OPS = 500 if _SMOKE else 3000
+NUM_READERS = 2
+#: Group-commit racing: threads x commits each.
+NUM_COMMITTERS = 4
+COMMITS_EACH = 50
+_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_trim_concurrency.json"
+
+#: Sections accumulated by the tests below; the last test writes the file.
+_RESULTS = {}
+
+
+def _seeded_store():
+    store = TripleStore(concurrent=True)
+    for i in range(BASE_TRIPLES):
+        store.add(triple(f"s{i % 100}", f"p{i % 8}", i))
+    return store
+
+
+def _reader_pass(store, ops):
+    """One reader's workload: indexed selects + counted existence checks,
+    each pair cross-checked for consistency."""
+    subjects = [Resource(f"s{i}") for i in range(100)]
+    start = time.perf_counter()
+    for i in range(ops):
+        subject = subjects[i % 100]
+        selected = store.select(subject=subject)
+        counted = store.count(subject=subject)
+        assert len(selected) == counted, "reader saw a torn bucket"
+    return time.perf_counter() - start
+
+
+def _run_readers(store):
+    """NUM_READERS concurrent reader passes; aggregate ops/second."""
+    threads = [threading.Thread(target=_reader_pass,
+                                args=(store, READER_OPS))
+               for _ in range(NUM_READERS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    return NUM_READERS * READER_OPS / wall
+
+
+def test_reader_throughput_during_ingest(benchmark):
+    """Readers mid-bulk_ingest: zero flushes, >= 50% of idle throughput."""
+    store = _seeded_store()
+    flush_threads = []
+    original_flush = store._flush_bulk
+
+    def spy_flush(*args, **kwargs):
+        flush_threads.append(threading.get_ident())
+        return original_flush(*args, **kwargs)
+
+    store._flush_bulk = spy_flush
+
+    idle_tps = _run_readers(store)
+
+    done = threading.Event()
+    chunks = [0]
+
+    def writer():
+        while not done.is_set():
+            subject = f"chunk{chunks[0]}"
+            with store.bulk():
+                for i in range(200):
+                    store.add(triple(subject, "p", i))
+            chunks[0] += 1
+
+    writer_thread = threading.Thread(target=writer)
+    writer_thread.start()
+    try:
+        busy_tps = run_once(benchmark, lambda: _run_readers(store))
+    finally:
+        done.set()
+        writer_thread.join()
+
+    # Tentpole acceptance: reader queries never forced the ingest flush.
+    reader_flushes = [t for t in flush_threads
+                      if t != writer_thread.ident]
+    assert reader_flushes == [], \
+        f"{len(reader_flushes)} flushes ran on reader threads"
+    assert chunks[0] > 0, "the writer never got a chunk in"
+
+    ratio = busy_tps / idle_tps
+    if not _SMOKE:   # smoke workloads are too small for a stable ratio
+        assert ratio >= 0.5, \
+            f"readers sank to {ratio:.0%} of idle throughput (need >= 50%)"
+
+    _RESULTS["reader_throughput"] = {
+        "base_triples": BASE_TRIPLES,
+        "reader_threads": NUM_READERS,
+        "reader_ops_each": READER_OPS,
+        "ingested_chunks": chunks[0],
+        "idle_ops_per_s": int(idle_tps),
+        "during_ingest_ops_per_s": int(busy_tps),
+        "throughput_ratio": round(ratio, 3),
+        "reader_thread_flushes": len(reader_flushes),
+    }
+    print_table(
+        f"Reader throughput ({NUM_READERS} threads x {READER_OPS} ops)",
+        ["condition", "ops/s", "vs idle"],
+        [("idle store", int(idle_tps), "1.00x"),
+         ("during bulk ingest", int(busy_tps), f"{ratio:.2f}x")])
+
+
+def _racing_commits(tmp_path, label, sync):
+    """NUM_COMMITTERS threads committing COMMITS_EACH times under *sync*."""
+    store = TripleStore(concurrent=True)
+    directory = str(tmp_path / label)
+    durability = Durability(store, directory, sync=sync,
+                            compact_every=10 ** 6)
+    errors = []
+
+    def committer(worker):
+        try:
+            for i in range(COMMITS_EACH):
+                store.add(triple(f"w{worker}", "p", i))
+                durability.commit()
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    group_before = durability.group
+    syncs_before = durability.fsync_count
+    threads = [threading.Thread(target=committer, args=(w,))
+               for w in range(NUM_COMMITTERS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    assert not errors, errors[0]
+    stats = {
+        "commits": durability.commits_requested,
+        "groups": durability.group - group_before,
+        "fsyncs": durability.fsync_count - syncs_before,
+        "seconds": round(wall, 6),
+    }
+    durability.close()
+    recovered = TripleStore()
+    recover(directory, recovered)
+    assert len(recovered) == NUM_COMMITTERS * COMMITS_EACH, \
+        f"{label}: acked commits missing after recovery"
+    return stats
+
+
+def test_group_commit_coalescing(benchmark, tmp_path):
+    """Racing committers: the flusher fsyncs less often than they commit."""
+    inline = _racing_commits(tmp_path, "inline", "inline")
+    group = run_once(benchmark,
+                     lambda: _racing_commits(tmp_path, "group", "group"))
+
+    total = NUM_COMMITTERS * COMMITS_EACH
+    assert inline["commits"] == total
+    assert inline["fsyncs"] == total  # one fsync per commit, by design
+    assert group["commits"] == total
+    # The coalescing acceptance bar: strictly fewer fsyncs than commits,
+    # every commit still durably acked (checked via recovery above).
+    assert group["fsyncs"] < total, "group commit never coalesced"
+    assert group["groups"] == group["fsyncs"]
+
+    _RESULTS["group_commit"] = {
+        "committer_threads": NUM_COMMITTERS,
+        "commits_each": COMMITS_EACH,
+        "inline": inline,
+        "group": group,
+        "fsyncs_saved": total - group["fsyncs"],
+        "coalescing_x": round(total / max(group["fsyncs"], 1), 2),
+    }
+    print_table(
+        f"{NUM_COMMITTERS} committers x {COMMITS_EACH} commits",
+        ["sync mode", "commits", "fsyncs", "seconds"],
+        [("inline", inline["commits"], inline["fsyncs"],
+          f"{inline['seconds']:.4f}"),
+         ("group", group["commits"], group["fsyncs"],
+          f"{group['seconds']:.4f}")])
+
+
+def test_writes_trajectory_json(benchmark, tmp_path):
+    """Aggregate the sections above into BENCH_trim_concurrency.json.
+
+    Smoke runs write to a temp path instead, so the checked-in trajectory
+    file always holds full-scale numbers.
+    """
+    assert set(_RESULTS) == {"reader_throughput", "group_commit"}, \
+        "earlier bench tests must run first"
+    json_path = ((tmp_path / "BENCH_trim_concurrency.json")
+                 if _SMOKE else _JSON_PATH)
+    payload = {
+        "bench": "trim_concurrency",
+        "smoke": _SMOKE,
+        "workload": {
+            "base_triples": BASE_TRIPLES,
+            "reader_threads": NUM_READERS,
+            "reader_ops_each": READER_OPS,
+            "committer_threads": NUM_COMMITTERS,
+            "commits_each": COMMITS_EACH,
+        },
+        **_RESULTS,
+    }
+
+    def write():
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        return json_path
+
+    path = run_once(benchmark, write)
+    assert path.exists()
+    assert json.loads(path.read_text())["bench"] == "trim_concurrency"

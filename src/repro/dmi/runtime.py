@@ -10,6 +10,12 @@ operations (create/update/link/delete) into triples in a TRIM store and
 hands the application read-only :class:`EntityObject` proxies — the
 "application data interfaces" of Fig. 10.  Proxies read from the store on
 every access, so application data and triples cannot diverge.
+
+Concurrency: a DMI running inside its own ``bulk_session`` still reads
+its uncommitted creates (store reads flush pending inserts for the thread
+that owns the bulk scope), while *other* threads' proxy reads and queries
+see the last-flushed snapshot — the DMI's consistency guarantee holds
+per-thread without readers blocking the ingest.
 """
 
 from __future__ import annotations

@@ -77,31 +77,35 @@ class SlimPadApplication:
         self._pad = self.dmi.load(file_name)
         return self._pad
 
-    def enable_durability(self, directory: str, compact_every: int = 64):
+    def enable_durability(self, directory: str, compact_every: int = 64,
+                          sync: str = "inline"):
         """Crash-safe persistence for this pad's triples (WAL + snapshots).
 
         Call before building the pad (the store must be empty when
         *directory* holds previous state); prior state is recovered and
         every subsequent pad edit is logged.  Returns the
         :class:`~repro.triples.wal.Durability` handle.  Pair with
-        :meth:`commit` at user-operation boundaries.
+        :meth:`commit` at user-operation boundaries.  ``sync='group'`` or
+        ``'async'`` batches commit fsyncs on a background flusher (see
+        :class:`~repro.triples.wal.Durability`).
         """
         return self.dmi.runtime.trim.enable_durability(
-            directory, compact_every=compact_every)
+            directory, compact_every=compact_every, sync=sync)
 
     def commit(self) -> bool:
         """Close a durable group boundary; no-op when durability is off."""
         return self.dmi.runtime.trim.commit()
 
-    def open_durable(self, directory: str,
-                     compact_every: int = 64) -> EntityObject:
+    def open_durable(self, directory: str, compact_every: int = 64,
+                     sync: str = "inline") -> EntityObject:
         """Recover a durably-persisted pad and make it current.
 
         The durable directory's snapshot + WAL tail are replayed into the
         store (see :func:`repro.triples.wal.recover`); the first recovered
         pad becomes current, and further edits keep being logged.
         """
-        self.enable_durability(directory, compact_every=compact_every)
+        self.enable_durability(directory, compact_every=compact_every,
+                               sync=sync)
         pads = self.dmi.All_SlimPad()
         if not pads:
             raise SlimPadError(f"{directory!r} holds no durable SlimPad")

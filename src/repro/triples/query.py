@@ -18,6 +18,12 @@ returns the chosen plan for tests and debugging, and ``planner=False``
 forces the written order (used by the equivalence tests and the planner
 benchmark).
 
+Concurrency: both the planner's :meth:`count` probes and the evaluation's
+:meth:`select` calls are *reads* — on a reader thread during another
+thread's bulk ingest they see the store's last-flushed snapshot and never
+force an index flush, so a whole query evaluates against one consistent
+state (the store generation is pinned between flushes).
+
 ::
 
     q = Query([

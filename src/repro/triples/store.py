@@ -14,10 +14,23 @@ listeners (used by the undo log), a :meth:`count` statistics method that
 the query planner reads bucket sizes from, a monotonically increasing
 :attr:`generation` counter that views key their caches on, and a size
 estimator used by the space-overhead benchmark (claim C-1).
+
+Concurrency model (DESIGN.md §10): every mutation runs under one
+re-entrant store lock; reads take no lock at all.  During a :meth:`bulk`
+load only the *owner thread* (the one that entered the bulk) flushes
+pending inserts before its reads — read-your-writes.  Every other thread
+reads the snapshot as of the last flush: the membership map, the indexes,
+and :attr:`generation` all describe the same consistent state because
+pending inserts touch none of them until the flush publishes everything
+together.  Constructing the store with ``concurrent=True`` additionally
+makes index maintenance copy-on-write — published buckets are never
+mutated in place, so lock-free readers may iterate them lazily while
+writers race — at the cost of rebuilding a bucket per touched key.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional, Set,
                     Tuple)
 
@@ -30,6 +43,10 @@ from repro.triples.triple import Literal, Node, Resource, Triple
 #: log restore a triple to its exact original position later.
 ChangeListener = Callable[[str, Triple, int], None]
 
+#: Atomic-scope listeners take no arguments; they fire once when the
+#: outermost atomic scope (bulk load or Batch) on the store closes.
+AtomicListener = Callable[[], None]
+
 #: Shared immutable empty bucket — ``_candidates`` must never allocate a
 #: fresh container just to say "no hits".
 _EMPTY: "frozenset[Triple]" = frozenset()
@@ -38,15 +55,18 @@ _EMPTY: "frozenset[Triple]" = frozenset()
 class BulkLoad:
     """Context manager for a deferred-indexing ingest (``store.bulk()``).
 
-    While active, inserts (``add``/``add_all``/``restore``) append to the
-    membership map only; index maintenance, the generation bump, and
-    listener fan-out are deferred and performed in one bound-locals pass
-    when the batch *flushes*.  A flush happens on normal exit, and early
-    whenever an operation needs consistent indexes or ordered events: any
-    selection (``match``/``select``/``count`` and friends), any removal,
-    and ``add_listener``.  Membership reads (``in``, ``len``, iteration,
-    ``sequence_of``) are always accurate — pending triples live in the
-    membership map from the moment they are inserted.
+    While active, inserts (``add``/``add_all``/``restore``) append to a
+    pending buffer only; membership, index maintenance, the generation
+    bump, and listener fan-out are all deferred and performed in one
+    bound-locals pass when the batch *flushes*.  A flush happens on
+    normal exit, and early whenever an operation needs consistent indexes
+    or ordered events: any selection or membership read *from the thread
+    that entered the bulk* (``match``/``select``/``count``, iteration),
+    any removal, and ``add_listener``.  Threads other than the owner
+    never trigger a flush — they read the snapshot as of the last flush
+    instead (see the module docstring).  Owner-thread membership reads
+    (``in``, ``len``, ``sequence_of``) consult the pending buffer
+    directly and stay exact without flushing.
 
     Exiting on an exception *aborts* instead: every insert still pending
     (that is, since the last flush) is rolled back silently — listeners
@@ -84,9 +104,16 @@ class TripleStore:
     Every mutation bumps :attr:`generation`, so readers (notably
     :class:`~repro.triples.views.View`) can cache derived results and
     invalidate them with a single integer comparison.
+
+    Mutations are serialized by an internal re-entrant lock (exposed as
+    :attr:`lock` for callers that need a consistent multi-step read, e.g.
+    snapshot writers).  Plain reads take no lock.  Pass
+    ``concurrent=True`` when reader threads will overlap with writers:
+    index buckets then become copy-on-write so a reader holding a bucket
+    never observes it mid-mutation.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, concurrent: bool = False) -> None:
         # Membership map: triple -> insertion sequence number.  The dict
         # keeps insertion order for iteration; the sequence numbers let
         # selection results be order-restored in O(k log k) instead of
@@ -103,10 +130,75 @@ class TripleStore:
         self._by_subject_property: Dict[Tuple[Resource, Resource], Set[Triple]] = {}
         self._by_property_value: Dict[Tuple[Resource, Node], Set[Triple]] = {}
         self._listeners: List[ChangeListener] = []
+        self.concurrent = concurrent
+        self._lock = threading.RLock()
         # Bulk-load state: None = normal mode; a list = deferred inserts
-        # awaiting their index/listener flush (see BulkLoad).
+        # awaiting their index/listener flush (see BulkLoad).  The map
+        # mirrors the list for O(1) owner-thread membership and dedup.
         self._pending: Optional[List[Tuple[Triple, int]]] = None
+        self._pending_map: Dict[Triple, int] = {}
+        self._bulk_owner: Optional[int] = None
         self._bulk_seq_mark = 0
+        # Atomic-scope state: bulk loads and Batches both count as atomic
+        # scopes; listeners fire when the outermost one closes (see
+        # add_atomic_listener).  Durability uses this to defer auto-commits
+        # past user-level operation boundaries.
+        self._atomic_depth = 0
+        self._atomic_listeners: List[AtomicListener] = []
+
+    # -- locking / atomic scopes ---------------------------------------------
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The store's mutation lock (re-entrant).
+
+        Mutators take it internally; hold it explicitly only for
+        multi-step reads that must not interleave with writers (the
+        snapshot writer does).  Lock order across the stack is
+        store lock -> Durability meta lock -> WAL lock, never reversed.
+        """
+        return self._lock
+
+    @property
+    def in_atomic(self) -> bool:
+        """Whether an atomic scope (bulk load or Batch) is open."""
+        return self._atomic_depth > 0
+
+    def begin_atomic(self) -> None:
+        """Open an atomic scope.  Scopes nest; see :meth:`end_atomic`."""
+        with self._lock:
+            self._atomic_depth += 1
+
+    def end_atomic(self) -> None:
+        """Close one atomic scope; fire atomic listeners at depth zero."""
+        with self._lock:
+            if self._atomic_depth <= 0:
+                raise TransactionError("no atomic scope to end")
+            self._atomic_depth -= 1
+            fire = self._atomic_depth == 0
+        if fire:
+            self._fire_atomic_end()
+
+    def add_atomic_listener(self, listener: AtomicListener) -> Callable[[], None]:
+        """Register a callback for outermost atomic-scope exit.
+
+        Fires after the scope fully closed (flush or rollback included),
+        outside the store lock, whether the scope succeeded or aborted.
+        Returns an unsubscribe callable.
+        """
+        with self._lock:
+            self._atomic_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if listener in self._atomic_listeners:
+                    self._atomic_listeners.remove(listener)
+
+        return unsubscribe
+
+    def _fire_atomic_end(self) -> None:
+        for listener in list(self._atomic_listeners):
+            listener()
 
     # -- bulk loading --------------------------------------------------------
 
@@ -120,60 +212,143 @@ class TripleStore:
         return self._pending is not None
 
     def _begin_bulk(self) -> None:
-        if self._pending is not None:
-            raise TransactionError("bulk load already active on this store")
-        self._pending = []
-        self._bulk_seq_mark = self._sequence
+        with self._lock:
+            if self._pending is not None:
+                raise TransactionError("bulk load already active on this store")
+            self._pending = []
+            self._pending_map = {}
+            self._bulk_owner = threading.get_ident()
+            self._bulk_seq_mark = self._sequence
+            self._atomic_depth += 1
 
     def _end_bulk(self) -> None:
-        self._flush_bulk()
-        self._pending = None
+        with self._lock:
+            self._flush_bulk()
+            self._pending = None
+            self._bulk_owner = None
+            self._atomic_depth -= 1
+            fire = self._atomic_depth == 0
+        if fire:
+            self._fire_atomic_end()
 
     def _abort_bulk(self) -> None:
-        pending, self._pending = self._pending, None
-        for t, _ in pending:
-            del self._triples[t]
-        # Sequences handed out since the last flush all belong to the
-        # aborted inserts, so the counter rolls straight back.
-        self._sequence = self._bulk_seq_mark
+        with self._lock:
+            # Pending inserts never reached the membership map or the
+            # indexes, so aborting is pure bookkeeping.
+            self._pending = None
+            self._pending_map = {}
+            self._bulk_owner = None
+            # Sequences handed out since the last flush all belong to the
+            # aborted inserts, so the counter rolls straight back.
+            self._sequence = self._bulk_seq_mark
+            self._atomic_depth -= 1
+            fire = self._atomic_depth == 0
+        if fire:
+            self._fire_atomic_end()
+
+    def _is_bulk_owner(self) -> bool:
+        return self._bulk_owner == threading.get_ident()
+
+    def _read_barrier(self) -> None:
+        """Owner-thread reads flush pending inserts first (read-your-
+        writes); reads from any other thread return the last-flush
+        snapshot untouched and never force a flush."""
+        if self._pending and self._is_bulk_owner():
+            with self._lock:
+                self._flush_bulk()
 
     def _flush_bulk(self) -> None:
-        """Index and announce every pending insert, in insertion order."""
+        """Publish every pending insert: membership first, then indexes,
+        then the generation bump, then listener fan-out — in insertion
+        order.  Callers hold the store lock.
+
+        The ordering matters for concurrent snapshot readers: a triple
+        becomes a member before it appears in any bucket, so a reader that
+        picked it out of a bucket can always resolve its sequence number.
+        """
         pending = self._pending
         if not pending:
             self._bulk_seq_mark = self._sequence
             return
         self._pending = []
-        by_s, by_p, by_v = self._by_subject, self._by_property, self._by_value
-        by_sp, by_pv = self._by_subject_property, self._by_property_value
-        for t, _ in pending:
-            by_s.setdefault(t.subject, set()).add(t)
-            by_p.setdefault(t.property, set()).add(t)
-            by_v.setdefault(t.value, set()).add(t)
-            by_sp.setdefault((t.subject, t.property), set()).add(t)
-            by_pv.setdefault((t.property, t.value), set()).add(t)
+        self._pending_map = {}
+        members = self._triples
+        tail = next(reversed(members.values())) if members else -1
+        need_sort = False
+        for t, sequence in pending:
+            members[t] = sequence
+            if sequence < tail:
+                need_sort = True
+            else:
+                tail = sequence
+        if need_sort:
+            # Out-of-order restore(s) in the batch: rebuild the ordered
+            # membership map once and publish it with an atomic rebind.
+            self._triples = dict(
+                sorted(members.items(), key=lambda item: item[1]))
+        if self.concurrent:
+            self._publish_indexed(pending)
+        else:
+            by_s, by_p, by_v = (self._by_subject, self._by_property,
+                                self._by_value)
+            by_sp, by_pv = self._by_subject_property, self._by_property_value
+            for t, _ in pending:
+                by_s.setdefault(t.subject, set()).add(t)
+                by_p.setdefault(t.property, set()).add(t)
+                by_v.setdefault(t.value, set()).add(t)
+                by_sp.setdefault((t.subject, t.property), set()).add(t)
+                by_pv.setdefault((t.property, t.value), set()).add(t)
         self._generation += len(pending)
         self._bulk_seq_mark = self._sequence
         if self._listeners:
             for t, sequence in pending:
                 self._notify("add", t, sequence)
 
+    def _publish_indexed(self, pending: List[Tuple[Triple, int]]) -> None:
+        """Copy-on-write index maintenance for ``concurrent=True``.
+
+        Additions are grouped per bucket key, then each touched bucket is
+        rebuilt once and published with a single dict assignment, so a
+        reader that grabbed the old bucket keeps iterating an immutable
+        set while the new one becomes visible atomically.
+        """
+        for index, key_of in (
+                (self._by_subject, lambda t: t.subject),
+                (self._by_property, lambda t: t.property),
+                (self._by_value, lambda t: t.value),
+                (self._by_subject_property,
+                 lambda t: (t.subject, t.property)),
+                (self._by_property_value,
+                 lambda t: (t.property, t.value))):
+            additions: Dict = {}
+            for t, _ in pending:
+                additions.setdefault(key_of(t), []).append(t)
+            for key, ts in additions.items():
+                old = index.get(key)
+                index[key] = set(ts) if old is None else old.union(ts)
+
     # -- mutation -----------------------------------------------------------
 
     def add(self, triple: Triple) -> bool:
         """Insert *triple*; return ``True`` if it was not already present."""
-        if triple in self._triples:
-            return False
-        sequence = self._sequence
-        self._triples[triple] = sequence
-        self._sequence += 1
-        if self._pending is not None:
-            self._pending.append((triple, sequence))
+        with self._lock:
+            if triple in self._triples:
+                return False
+            if self._pending is not None:
+                if triple in self._pending_map:
+                    return False
+                sequence = self._sequence
+                self._sequence += 1
+                self._pending_map[triple] = sequence
+                self._pending.append((triple, sequence))
+                return True
+            sequence = self._sequence
+            self._triples[triple] = sequence
+            self._sequence += 1
+            self._generation += 1
+            self._index_insert(triple)
+            self._notify("add", triple, sequence)
             return True
-        self._generation += 1
-        self._index_insert(triple)
-        self._notify("add", triple, sequence)
-        return True
 
     def restore(self, triple: Triple, sequence: int) -> bool:
         """Insert *triple* at a specific insertion-sequence position.
@@ -186,34 +361,45 @@ class TripleStore:
         rebuilds the ordered membership map — O(n log n), acceptable on
         the undo/recovery paths this exists for.
         """
-        if triple in self._triples:
-            return False
-        out_of_order = bool(self._triples) and \
-            sequence < next(reversed(self._triples.values()))
-        self._triples[triple] = sequence
-        if out_of_order:
-            self._triples = dict(
-                sorted(self._triples.items(), key=lambda item: item[1]))
-        self._sequence = max(self._sequence, sequence + 1)
-        if self._pending is not None:
-            self._pending.append((triple, sequence))
+        with self._lock:
+            if triple in self._triples:
+                return False
+            if self._pending is not None:
+                if triple in self._pending_map:
+                    return False
+                self._pending_map[triple] = sequence
+                self._pending.append((triple, sequence))
+                self._sequence = max(self._sequence, sequence + 1)
+                return True
+            out_of_order = bool(self._triples) and \
+                sequence < next(reversed(self._triples.values()))
+            self._triples[triple] = sequence
+            if out_of_order:
+                self._triples = dict(
+                    sorted(self._triples.items(), key=lambda item: item[1]))
+            self._sequence = max(self._sequence, sequence + 1)
+            self._generation += 1
+            self._index_insert(triple)
+            self._notify("add", triple, sequence)
             return True
-        self._generation += 1
-        self._index_insert(triple)
-        self._notify("add", triple, sequence)
-        return True
 
     def sequence_of(self, triple: Triple) -> int:
         """The insertion-sequence number of a present triple.
 
         Raises :class:`TripleNotFoundError` when absent.  Snapshots use
         this to persist exact ordering (see
-        :func:`repro.triples.persistence.dumps` with sequences).
+        :func:`repro.triples.persistence.dumps` with sequences).  On the
+        bulk-owner thread, pending (unflushed) inserts resolve too.
         """
         try:
             return self._triples[triple]
         except KeyError:
-            raise TripleNotFoundError(f"triple not in store: {triple}") from None
+            pass
+        if self._pending is not None and self._is_bulk_owner():
+            sequence = self._pending_map.get(triple)
+            if sequence is not None:
+                return sequence
+        raise TripleNotFoundError(f"triple not in store: {triple}")
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; return how many were new.
@@ -224,66 +410,92 @@ class TripleStore:
         Listeners (when present) still see every insertion individually, so
         undo logs and batches observe the same events as N ``add`` calls.
         """
-        members = self._triples
-        if self._pending is not None:
-            # Bulk mode: membership append only; indexes and listener
-            # fan-out land in one pass at the flush.
-            pending = self._pending
+        with self._lock:
+            members = self._triples
+            if self._pending is not None:
+                # Bulk mode: pending-buffer append only; membership,
+                # indexes, and listener fan-out land in one flush pass.
+                pending = self._pending
+                pending_map = self._pending_map
+                added = 0
+                for t in triples:
+                    if t in members or t in pending_map:
+                        continue
+                    sequence = self._sequence
+                    pending_map[t] = sequence
+                    pending.append((t, sequence))
+                    self._sequence += 1
+                    added += 1
+                return added
+            if self.concurrent:
+                accepted: List[Tuple[Triple, int]] = []
+                for t in triples:
+                    if t in members:
+                        continue
+                    sequence = self._sequence
+                    members[t] = sequence
+                    self._sequence += 1
+                    accepted.append((t, sequence))
+                if not accepted:
+                    return 0
+                self._publish_indexed(accepted)
+                self._generation += len(accepted)
+                if self._listeners:
+                    for t, sequence in accepted:
+                        self._notify("add", t, sequence)
+                return len(accepted)
+            by_s, by_p, by_v = (self._by_subject, self._by_property,
+                                self._by_value)
+            by_sp, by_pv = self._by_subject_property, self._by_property_value
+            notify = self._notify if self._listeners else None
             added = 0
             for t in triples:
                 if t in members:
                     continue
-                members[t] = self._sequence
-                pending.append((t, self._sequence))
+                sequence = self._sequence
+                members[t] = sequence
                 self._sequence += 1
+                by_s.setdefault(t.subject, set()).add(t)
+                by_p.setdefault(t.property, set()).add(t)
+                by_v.setdefault(t.value, set()).add(t)
+                by_sp.setdefault((t.subject, t.property), set()).add(t)
+                by_pv.setdefault((t.property, t.value), set()).add(t)
                 added += 1
+                if notify is not None:
+                    self._generation += 1
+                    notify("add", t, sequence)
+            if notify is None:
+                self._generation += added
             return added
-        by_s, by_p, by_v = self._by_subject, self._by_property, self._by_value
-        by_sp, by_pv = self._by_subject_property, self._by_property_value
-        notify = self._notify if self._listeners else None
-        added = 0
-        for t in triples:
-            if t in members:
-                continue
-            sequence = self._sequence
-            members[t] = sequence
-            self._sequence += 1
-            by_s.setdefault(t.subject, set()).add(t)
-            by_p.setdefault(t.property, set()).add(t)
-            by_v.setdefault(t.value, set()).add(t)
-            by_sp.setdefault((t.subject, t.property), set()).add(t)
-            by_pv.setdefault((t.property, t.value), set()).add(t)
-            added += 1
-            if notify is not None:
-                self._generation += 1
-                notify("add", t, sequence)
-        if notify is None:
-            self._generation += added
-        return added
 
     def remove(self, triple: Triple) -> None:
         """Delete *triple*; raise :class:`TripleNotFoundError` if absent."""
-        if self._pending:
-            self._flush_bulk()
-        if triple not in self._triples:
-            raise TripleNotFoundError(f"triple not in store: {triple}")
-        sequence = self._triples.pop(triple)
-        self._generation += 1
-        self._index_discard(self._by_subject, triple.subject, triple)
-        self._index_discard(self._by_property, triple.property, triple)
-        self._index_discard(self._by_value, triple.value, triple)
-        self._index_discard(self._by_subject_property,
-                            (triple.subject, triple.property), triple)
-        self._index_discard(self._by_property_value,
-                            (triple.property, triple.value), triple)
-        self._notify("remove", triple, sequence)
+        with self._lock:
+            if self._pending:
+                self._flush_bulk()
+            if triple not in self._triples:
+                raise TripleNotFoundError(f"triple not in store: {triple}")
+            sequence = self._triples.pop(triple)
+            self._generation += 1
+            discard = (self._index_discard_cow if self.concurrent
+                       else self._index_discard)
+            discard(self._by_subject, triple.subject, triple)
+            discard(self._by_property, triple.property, triple)
+            discard(self._by_value, triple.value, triple)
+            discard(self._by_subject_property,
+                    (triple.subject, triple.property), triple)
+            discard(self._by_property_value,
+                    (triple.property, triple.value), triple)
+            self._notify("remove", triple, sequence)
 
     def discard(self, triple: Triple) -> bool:
         """Delete *triple* if present; return whether it was."""
-        if triple not in self._triples:
-            return False
-        self.remove(triple)
-        return True
+        with self._lock:
+            if triple not in self._triples and not (
+                    self._pending and triple in self._pending_map):
+                return False
+            self.remove(triple)
+            return True
 
     def remove_matching(self, subject: Optional[Resource] = None,
                         property: Optional[Resource] = None,
@@ -297,25 +509,30 @@ class TripleStore:
         full :meth:`remove` call per triple.  Listeners still see every
         removal individually, in match order.
         """
-        victims = list(self.match(subject, property, value))
-        if not victims:
-            return 0
-        members = self._triples
-        by_s, by_p, by_v = self._by_subject, self._by_property, self._by_value
-        by_sp, by_pv = self._by_subject_property, self._by_property_value
-        discard = self._index_discard
-        notify = self._notify if self._listeners else None
-        for t in victims:
-            sequence = members.pop(t)
-            discard(by_s, t.subject, t)
-            discard(by_p, t.property, t)
-            discard(by_v, t.value, t)
-            discard(by_sp, (t.subject, t.property), t)
-            discard(by_pv, (t.property, t.value), t)
-            self._generation += 1
-            if notify is not None:
-                notify("remove", t, sequence)
-        return len(victims)
+        with self._lock:
+            if self._pending:
+                self._flush_bulk()
+            victims = list(self.match(subject, property, value))
+            if not victims:
+                return 0
+            members = self._triples
+            by_s, by_p, by_v = (self._by_subject, self._by_property,
+                                self._by_value)
+            by_sp, by_pv = self._by_subject_property, self._by_property_value
+            discard = (self._index_discard_cow if self.concurrent
+                       else self._index_discard)
+            notify = self._notify if self._listeners else None
+            for t in victims:
+                sequence = members.pop(t)
+                discard(by_s, t.subject, t)
+                discard(by_p, t.property, t)
+                discard(by_v, t.value, t)
+                discard(by_sp, (t.subject, t.property), t)
+                discard(by_pv, (t.property, t.value), t)
+                self._generation += 1
+                if notify is not None:
+                    notify("remove", t, sequence)
+            return len(victims)
 
     def clear(self) -> None:
         """Delete every triple (listeners see each removal).
@@ -325,20 +542,21 @@ class TripleStore:
         Listeners are still notified once per removed triple (in insertion
         order), so undo logs can restore the contents.
         """
-        if self._pending:
-            self._flush_bulk()
-        victims = list(self._triples.items())
-        if not victims:
-            return
-        self._triples = {}
-        self._by_subject = {}
-        self._by_property = {}
-        self._by_value = {}
-        self._by_subject_property = {}
-        self._by_property_value = {}
-        self._generation += len(victims)
-        for triple, sequence in victims:
-            self._notify("remove", triple, sequence)
+        with self._lock:
+            if self._pending:
+                self._flush_bulk()
+            victims = list(self._triples.items())
+            if not victims:
+                return
+            self._triples = {}
+            self._by_subject = {}
+            self._by_property = {}
+            self._by_value = {}
+            self._by_subject_property = {}
+            self._by_property_value = {}
+            self._generation += len(victims)
+            for triple, sequence in victims:
+                self._notify("remove", triple, sequence)
 
     # -- selection query (the TRIM query operation) --------------------------
 
@@ -353,11 +571,11 @@ class TripleStore:
         all three are fixed — and any remaining fixed field is checked per
         candidate.  With no field fixed this iterates the whole store.
 
-        During a :meth:`bulk` load any pending inserts are flushed first,
-        so selections never observe stale indexes.
+        During a :meth:`bulk` load the owner thread flushes pending
+        inserts first, so its selections never observe stale indexes;
+        other threads read the last-flush snapshot without flushing.
         """
-        if self._pending:
-            self._flush_bulk()
+        self._read_barrier()
         if subject is not None and property is not None and value is not None:
             probe = Triple(subject, property, value)
             if probe in self._triples:
@@ -385,7 +603,13 @@ class TripleStore:
                value: Optional[Node] = None) -> List[Triple]:
         """Like :meth:`match` but materialized, in insertion order."""
         hits = list(self.match(subject, property, value))
-        hits.sort(key=self._triples.__getitem__)
+        members = self._triples
+        if self.concurrent:
+            # A racing removal may have dropped a hit's sequence between
+            # the match and the sort; order it first rather than raise.
+            hits.sort(key=lambda t: members.get(t, -1))
+        else:
+            hits.sort(key=members.__getitem__)
         return hits
 
     def one(self, subject: Optional[Resource] = None,
@@ -430,7 +654,8 @@ class TripleStore:
 
         Equal generations guarantee identical contents, so any derived
         result (view closures, plans, materialized selections) can be
-        cached against this number.
+        cached against this number.  During a bulk load the counter is
+        pinned until the flush, matching what snapshot readers see.
         """
         return self._generation
 
@@ -446,8 +671,7 @@ class TripleStore:
         single-field bucket size — an upper bound, which is the right
         direction for a planner estimate.
         """
-        if self._pending:
-            self._flush_bulk()
+        self._read_barrier()
         if subject is not None and property is not None and value is not None:
             return 1 if Triple(subject, property, value) in self._triples else 0
         if subject is not None and property is not None:
@@ -468,32 +692,50 @@ class TripleStore:
     # -- inspection ----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._triples)
+        n = len(self._triples)
+        if self._pending is not None and self._is_bulk_owner():
+            n += len(self._pending_map)
+        return n
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple in self._triples
+        if triple in self._triples:
+            return True
+        return (self._pending is not None and self._is_bulk_owner()
+                and triple in self._pending_map)
 
     def __iter__(self) -> Iterator[Triple]:
+        self._read_barrier()
+        if self.concurrent or self._pending is not None:
+            # list(dict) is a single C-level operation, so the snapshot is
+            # consistent even while a writer races.
+            return iter(list(self._triples))
         return iter(self._triples)
+
+    def _scan_source(self) -> Iterable[Triple]:
+        """The membership map, snapshotted when a writer may race."""
+        self._read_barrier()
+        if self.concurrent or self._pending is not None:
+            return list(self._triples)
+        return self._triples
 
     def subjects(self) -> List[Resource]:
         """Distinct subjects, in first-appearance order."""
         seen: Dict[Resource, None] = {}
-        for triple in self._triples:
+        for triple in self._scan_source():
             seen.setdefault(triple.subject, None)
         return list(seen)
 
     def properties(self) -> List[Resource]:
         """Distinct properties, in first-appearance order."""
         seen: Dict[Resource, None] = {}
-        for triple in self._triples:
+        for triple in self._scan_source():
             seen.setdefault(triple.property, None)
         return list(seen)
 
     def resources(self) -> List[Resource]:
         """Every resource mentioned in any position, first-appearance order."""
         seen: Dict[Resource, None] = {}
-        for triple in self._triples:
+        for triple in self._scan_source():
             seen.setdefault(triple.subject, None)
             seen.setdefault(triple.property, None)
             if isinstance(triple.value, Resource):
@@ -511,8 +753,9 @@ class TripleStore:
         is what the paper's trade-off discussion is about.
         """
         per_triple_overhead = 3 * 8 + 48   # three refs + container slots
+        count = 0
         total = 0
-        for triple in self._triples:
+        for triple in self._scan_source():
             total += len(triple.subject.uri)
             total += len(triple.property.uri)
             if isinstance(triple.value, Resource):
@@ -520,8 +763,9 @@ class TripleStore:
             else:
                 total += len(str(triple.value.value))
             total += per_triple_overhead
+            count += 1
         # Each triple appears in five index sets (3 single + 2 compound).
-        total += 5 * len(self._triples) * 8
+        total += 5 * count * 8
         return total
 
     # -- listeners -----------------------------------------------------------
@@ -539,13 +783,15 @@ class TripleStore:
         first, so a new listener never receives events for mutations that
         happened before it attached.
         """
-        if self._pending:
-            self._flush_bulk()
-        self._listeners.append(listener)
+        with self._lock:
+            if self._pending:
+                self._flush_bulk()
+            self._listeners.append(listener)
 
         def unsubscribe() -> None:
-            if listener in self._listeners:
-                self._listeners.remove(listener)
+            with self._lock:
+                if listener in self._listeners:
+                    self._listeners.remove(listener)
 
         return unsubscribe
 
@@ -556,9 +802,10 @@ class TripleStore:
                     value: Optional[Node]) -> Iterable[Triple]:
         """Pick the smallest index bucket covering the fixed fields.
 
-        With no field fixed this returns the live dict view (no copy);
-        callers that mutate while consuming must snapshot first, as
-        :meth:`remove_matching` does.
+        With no field fixed this returns the live dict view (no copy)
+        in single-threaded mode, or an atomic list snapshot when a bulk
+        writer or concurrent mode is in play; callers that mutate while
+        consuming must snapshot first, as :meth:`remove_matching` does.
         """
         buckets: List[Iterable[Triple]] = []
         if subject is not None:
@@ -568,10 +815,24 @@ class TripleStore:
         if value is not None:
             buckets.append(self._by_value.get(value, _EMPTY))
         if not buckets:
+            if self.concurrent or self._pending is not None:
+                return list(self._triples)
             return self._triples.keys()
         return min(buckets, key=len)
 
     def _index_insert(self, triple: Triple) -> None:
+        if self.concurrent:
+            for index, key in (
+                    (self._by_subject, triple.subject),
+                    (self._by_property, triple.property),
+                    (self._by_value, triple.value),
+                    (self._by_subject_property,
+                     (triple.subject, triple.property)),
+                    (self._by_property_value,
+                     (triple.property, triple.value))):
+                old = index.get(key)
+                index[key] = {triple} if old is None else old | {triple}
+            return
         self._by_subject.setdefault(triple.subject, set()).add(triple)
         self._by_property.setdefault(triple.property, set()).add(triple)
         self._by_value.setdefault(triple.value, set()).add(triple)
@@ -587,6 +848,18 @@ class TripleStore:
             bucket.discard(triple)
             if not bucket:
                 del index[key]
+
+    @staticmethod
+    def _index_discard_cow(index: Dict, key, triple: Triple) -> None:
+        """Copy-on-write bucket removal: publish a rebuilt bucket (or drop
+        the key) atomically instead of mutating the old set in place."""
+        bucket = index.get(key)
+        if bucket is None or triple not in bucket:
+            return
+        if len(bucket) == 1:
+            del index[key]
+        else:
+            index[key] = bucket - {triple}
 
     def _notify(self, action: str, triple: Triple, sequence: int) -> None:
         for listener in list(self._listeners):

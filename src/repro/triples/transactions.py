@@ -70,6 +70,12 @@ class Batch:
     rolled back by the bulk abort and everything already flushed is
     inverted by :meth:`rollback`.  A batch cannot open while a bulk load
     someone else owns is active on the store.
+
+    A batch is an *atomic scope* on stores that track one
+    (``begin_atomic``/``end_atomic``): durability layers suppress
+    mid-batch auto-commits and group-commit at scope exit instead, so a
+    crash can never recover a half-applied batch — the rollback
+    inversions land in the same WAL group as the changes they revert.
     """
 
     def __init__(self, store: TripleStore, bulk: bool = True) -> None:
@@ -78,6 +84,7 @@ class Batch:
         self._unsubscribe = None
         self._use_bulk = bulk and hasattr(store, "bulk")
         self._bulk = None
+        self._atomic = False
 
     def __enter__(self) -> "Batch":
         if self._unsubscribe is not None:
@@ -85,6 +92,10 @@ class Batch:
         if getattr(self._store, "in_bulk", False):
             raise TransactionError(
                 "batch cannot open inside an active bulk load")
+        begin_atomic = getattr(self._store, "begin_atomic", None)
+        if begin_atomic is not None:
+            begin_atomic()
+            self._atomic = True
         self._unsubscribe = self._store.add_listener(self._record)
         if self._use_bulk:
             self._bulk = self._store.bulk()
@@ -94,15 +105,20 @@ class Batch:
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self._unsubscribe is None:
             raise TransactionError("batch exited without entering")
-        if self._bulk is not None:
-            # Flushes deferred inserts (success) — recording them via the
-            # listener — or silently rolls them back (error).
-            self._bulk.__exit__(exc_type, exc, tb)
-            self._bulk = None
-        self._unsubscribe()
-        self._unsubscribe = None
-        if exc_type is not None:
-            self.rollback()
+        try:
+            if self._bulk is not None:
+                # Flushes deferred inserts (success) — recording them via
+                # the listener — or silently rolls them back (error).
+                self._bulk.__exit__(exc_type, exc, tb)
+                self._bulk = None
+            self._unsubscribe()
+            self._unsubscribe = None
+            if exc_type is not None:
+                self.rollback()
+        finally:
+            if self._atomic:
+                self._atomic = False
+                self._store.end_atomic()
         return False  # never swallow exceptions
 
     def _record(self, action: str, triple: Triple, sequence: int) -> None:

@@ -68,20 +68,29 @@ class TrimManager:
     crash-safe persistence: existing state under the directory is
     recovered into the store, every subsequent mutation is logged, and
     :meth:`commit` marks atomic group boundaries.
+
+    Pass ``concurrent=True`` when reader threads query while another
+    thread ingests: reads (:meth:`select`, :meth:`count`, :meth:`query`,
+    views) then run lock-free against the last-flushed snapshot and never
+    force a mid-ingest index flush; index buckets publish copy-on-write.
+    ``sync='group'``/``'async'`` moves commit fsyncs to a background
+    flusher shared by all committing threads.
     """
 
     def __init__(self, namespaces: Optional[NamespaceRegistry] = None,
                  durable: Optional[str] = None,
                  compact_every: int = 64,
-                 commit_every: Optional[int] = None) -> None:
-        self.store = TripleStore()
+                 commit_every: Optional[int] = None,
+                 sync: str = "inline",
+                 concurrent: bool = False) -> None:
+        self.store = TripleStore(concurrent=concurrent)
         self.namespaces = namespaces or NamespaceRegistry.with_defaults()
         self.ids = IdGenerator()
         self._undo: Optional[UndoLog] = None
         self._durability: Optional[Durability] = None
         if durable is not None:
             self.enable_durability(durable, compact_every=compact_every,
-                                   commit_every=commit_every)
+                                   commit_every=commit_every, sync=sync)
 
     # -- create / remove ------------------------------------------------------
 
@@ -202,13 +211,17 @@ class TrimManager:
 
     def enable_durability(self, directory: str, compact_every: int = 64,
                           fsync: bool = True,
-                          commit_every: Optional[int] = None) -> Durability:
+                          commit_every: Optional[int] = None,
+                          sync: str = "inline") -> Durability:
         """Attach crash-safe persistence rooted at *directory*.
 
         Recovers any existing snapshot + WAL state into the store (which
         must then be empty), then logs every mutation.  Recovered resource
         ids advance the id generator, like :meth:`load`.  *commit_every*
-        turns on auto-grouping (see :class:`~repro.triples.wal.Durability`).
+        turns on auto-grouping and *sync* selects the commit path —
+        ``'inline'`` fsyncs on the caller's thread, ``'group'``/``'async'``
+        batch fsyncs on a background flusher (see
+        :class:`~repro.triples.wal.Durability`).
         Idempotent: returns the existing handle when already enabled.
         """
         if self._durability is not None:
@@ -217,7 +230,8 @@ class TrimManager:
                                       namespaces=self.namespaces,
                                       compact_every=compact_every,
                                       fsync=fsync,
-                                      commit_every=commit_every)
+                                      commit_every=commit_every,
+                                      sync=sync)
         for resource in self.store.resources():
             self.ids.observe(resource.uri)
         return self._durability

@@ -101,6 +101,14 @@ class View:
     attribute (any duck-typed stand-in) simply recomputes every call.
     Cached lists are returned as copies — mutating a result never corrupts
     later reads.
+
+    Thread-safety: the cache slot is a single tuple published with one
+    assignment, and a result is cached only when the store generation is
+    *unchanged after* the traversal — a closure computed while a writer
+    raced (which may mix states) is returned to its caller but never
+    pinned to a generation it does not represent.  During a bulk load the
+    generation is itself pinned to the last flush on reader threads, so
+    mid-ingest view reads are consistent snapshots and cache normally.
     """
 
     def __init__(self, store: TripleStore, root: Resource,
@@ -119,10 +127,14 @@ class View:
         if generation is None:
             return reachable_triples(self._store, self.root,
                                      self._follow, self._max_depth)
-        if self._cached_triples is None or self._cached_triples[0] != generation:
-            self._cached_triples = (generation, reachable_triples(
-                self._store, self.root, self._follow, self._max_depth))
-        return list(self._cached_triples[1])
+        cached = self._cached_triples
+        if cached is not None and cached[0] == generation:
+            return list(cached[1])
+        result = reachable_triples(self._store, self.root,
+                                   self._follow, self._max_depth)
+        if getattr(self._store, "generation", None) == generation:
+            self._cached_triples = (generation, result)
+        return list(result)
 
     def resources(self) -> List[Resource]:
         """Resources in the view, root first."""
@@ -130,10 +142,14 @@ class View:
         if generation is None:
             return reachable_resources(self._store, self.root,
                                        self._follow, self._max_depth)
-        if self._cached_resources is None or self._cached_resources[0] != generation:
-            self._cached_resources = (generation, reachable_resources(
-                self._store, self.root, self._follow, self._max_depth))
-        return list(self._cached_resources[1])
+        cached = self._cached_resources
+        if cached is not None and cached[0] == generation:
+            return list(cached[1])
+        result = reachable_resources(self._store, self.root,
+                                     self._follow, self._max_depth)
+        if getattr(self._store, "generation", None) == generation:
+            self._cached_resources = (generation, result)
+        return list(result)
 
     def snapshot(self) -> TripleStore:
         """Materialize the view into an independent store."""
@@ -144,7 +160,8 @@ class View:
     def __len__(self) -> int:
         """Size of the closure (cache-hitting on an unchanged store)."""
         generation = getattr(self._store, "generation", None)
-        if generation is not None and self._cached_triples is not None \
-                and self._cached_triples[0] == generation:
-            return len(self._cached_triples[1])
+        cached = self._cached_triples
+        if generation is not None and cached is not None \
+                and cached[0] == generation:
+            return len(cached[1])
         return len(self.triples())

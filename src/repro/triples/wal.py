@@ -36,12 +36,22 @@ Group numbers are monotonic and survive compaction: the snapshot header
 records the group it covers, and replay skips any logged group at or
 below it — so a crash *between* snapshot rename and log reset cannot
 double-apply changes.
+
+Concurrency (DESIGN.md §10): the log's buffer/offset state is guarded by
+an internal lock, so concurrent appenders and committers serialize
+correctly.  :class:`Durability` can additionally run a background
+*group-commit flusher* (``sync='group'`` or ``'async'``): committers
+enqueue a flush request and either wait for the batched fsync that
+covers them (durable ack) or return immediately; racing committers
+coalesce into far fewer fsyncs than commits.  Lock ordering across the
+stack is store lock -> Durability meta lock -> WAL lock, never reversed.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from typing import IO, List, NamedTuple, Optional, Tuple
 
@@ -247,11 +257,18 @@ class WriteAheadLog:
     retry; if even the rewind fails the log closes itself rather than
     risk a later boundary record fencing half-written frames into a
     committed group.
+
+    All buffer/offset state is guarded by an internal re-entrant lock:
+    appenders and committers on different threads serialize, and an
+    append can never land between a commit's buffer snapshot and its
+    buffer clear.
     """
 
     def __init__(self, path: str, fsync: bool = True) -> None:
         self.path = path
         self._fsync = fsync
+        self._lock = threading.RLock()
+        self._sync_count = 0
         scan = scan_wal(path)
         self._group = scan.last_group
         self._dirty = 0
@@ -281,40 +298,60 @@ class WriteAheadLog:
         """How many changes have been appended since the last commit."""
         return self._dirty
 
+    @property
+    def sync_count(self) -> int:
+        """How many group-commit fsyncs this log has issued (0 when
+        ``fsync=False``; housekeeping syncs on open/reset are not counted).
+
+        The concurrency benchmark reads this to show group-commit
+        coalescing: with racing committers, fsyncs stay well below the
+        number of commit requests.
+        """
+        return self._sync_count
+
     def append(self, change: Change) -> None:
         """Buffer one add/remove record (written by :meth:`commit`)."""
-        self._require_open()
-        self._buffer.append(_frame(encode_change(change)))
-        self._dirty += 1
+        with self._lock:
+            self._require_open()
+            self._buffer.append(_frame(encode_change(change)))
+            self._dirty += 1
 
     def commit(self) -> int:
         """Close the current group: one write + flush + fsync for all of it.
 
-        Returns the group number just committed.  Changes appended after
-        the previous commit only become recoverable now — a crash before
-        the boundary record hits disk discards the whole partial group.
+        Returns the group number of the last committed group.  Changes
+        appended after the previous commit only become recoverable now —
+        a crash before the boundary record hits disk discards the whole
+        partial group.  With an *empty* buffer this is a no-op (no
+        boundary record, no group bump, no fsync): there is nothing to
+        make durable, and the background flusher relies on being able to
+        call this unconditionally without burning a syscall per no-op.
 
         On an I/O error nothing moves: the buffer, ``dirty`` count, and
         group counter keep their pre-commit values, the file is rewound
         to the last durable group, and the same commit can be retried.
         """
-        file = self._require_open()
-        group = self._group + 1
-        data = b"".join(self._buffer) + _frame(encode_commit(group))
-        try:
-            file.write(data)
-            file.flush()
-            if self._fsync:
-                os.fsync(file.fileno())
-        except OSError as exc:
-            self._rewind()
-            raise PersistenceError(
-                f"cannot commit WAL group to {self.path}: {exc}") from exc
-        self._good_end += len(data)
-        self._group = group
-        self._buffer.clear()
-        self._dirty = 0
-        return group
+        with self._lock:
+            file = self._require_open()
+            if not self._buffer:
+                return self._group
+            group = self._group + 1
+            data = b"".join(self._buffer) + _frame(encode_commit(group))
+            try:
+                file.write(data)
+                file.flush()
+                if self._fsync:
+                    os.fsync(file.fileno())
+                    self._sync_count += 1
+            except OSError as exc:
+                self._rewind()
+                raise PersistenceError(
+                    f"cannot commit WAL group to {self.path}: {exc}") from exc
+            self._good_end += len(data)
+            self._group = group
+            self._buffer.clear()
+            self._dirty = 0
+            return group
 
     def reset(self, group: Optional[int] = None) -> None:
         """Truncate the log back to its header (after a snapshot).
@@ -325,19 +362,20 @@ class WriteAheadLog:
         snapshot already covers.  *group* (when given) fast-forwards the
         counter, used when recovery found a snapshot newer than the log.
         """
-        file = self._require_open()
-        try:
-            file.seek(len(MAGIC))
-            file.truncate(len(MAGIC))
-        except OSError as exc:
-            raise PersistenceError(
-                f"cannot reset WAL {self.path}: {exc}") from exc
-        self._flush()
-        self._good_end = len(MAGIC)
-        if group is not None:
-            self._group = max(self._group, group)
-        self._buffer.clear()
-        self._dirty = 0
+        with self._lock:
+            file = self._require_open()
+            try:
+                file.seek(len(MAGIC))
+                file.truncate(len(MAGIC))
+            except OSError as exc:
+                raise PersistenceError(
+                    f"cannot reset WAL {self.path}: {exc}") from exc
+            self._flush()
+            self._good_end = len(MAGIC)
+            if group is not None:
+                self._group = max(self._group, group)
+            self._buffer.clear()
+            self._dirty = 0
 
     def close(self) -> None:
         """Write any buffered records, flush, and close (idempotent).
@@ -347,22 +385,23 @@ class WriteAheadLog:
         as ``pending`` — the same on-disk shape per-append writes left
         behind before group commit.
         """
-        if self._file is None:
-            return
-        try:
-            if self._buffer:
-                data = b"".join(self._buffer)
-                self._buffer.clear()
-                try:
-                    self._file.write(data)
-                except OSError as exc:
-                    raise PersistenceError(
-                        f"cannot append to WAL {self.path}: {exc}") from exc
-            self._flush()
-        finally:
-            if self._file is not None:
-                self._file.close()
-                self._file = None
+        with self._lock:
+            if self._file is None:
+                return
+            try:
+                if self._buffer:
+                    data = b"".join(self._buffer)
+                    self._buffer.clear()
+                    try:
+                        self._file.write(data)
+                    except OSError as exc:
+                        raise PersistenceError(
+                            f"cannot append to WAL {self.path}: {exc}") from exc
+                self._flush()
+            finally:
+                if self._file is not None:
+                    self._file.close()
+                    self._file = None
 
     # -- internals -----------------------------------------------------------
 
@@ -475,6 +514,116 @@ def recover(directory: str,
                           scan.total_bytes - scan.valid_end, registry)
 
 
+# -- the group-commit flusher -------------------------------------------------
+
+class _GroupCommitFlusher:
+    """Daemon thread that batches WAL fsyncs across concurrent committers.
+
+    Committers call :meth:`request`; the thread wakes, runs one
+    ``Durability._flush_group()`` (one WAL write + fsync), and acks every
+    request that arrived before it started — so N committers racing on
+    the same window share a single fsync instead of paying N.  A ticket
+    scheme (monotonic ``requested``/``served`` counters under one
+    condition variable) decides which requests each flush covers: a
+    request with ticket T is durable once ``served >= T``, because the
+    flush that bumped ``served`` past T started after T's changes were
+    already appended to the WAL buffer.
+
+    With ``ack=True`` (Durability's ``sync='group'``), :meth:`request`
+    blocks until its ticket is served and re-raises the flush error that
+    covered its window, if any.  With ``ack=False`` (``sync='async'``)
+    it returns immediately; a failed background flush is stashed and
+    raised on the *next* request or on :meth:`close`, so errors surface
+    rather than vanish.
+
+    After a successful flush the thread runs compaction housekeeping
+    (``Durability._maybe_compact``) *outside* the condition variable and
+    after acking waiters — a committer holding the store lock while it
+    waits for its ack must never deadlock against a compaction that
+    needs that same lock.
+    """
+
+    def __init__(self, durability: "Durability", ack: bool) -> None:
+        self._durability = durability
+        self._ack = ack
+        self._cond = threading.Condition()
+        self._requested = 0
+        self._served = 0
+        #: (low, high, error): flushes that failed, covering tickets
+        #: low < t <= high.  Only populated in ack mode.
+        self._failures: List[Tuple[int, int, BaseException]] = []
+        self._async_error: Optional[BaseException] = None
+        self._closed = False
+        self._thread = threading.Thread(target=self._run,
+                                        name="slim-wal-flusher", daemon=True)
+        self._thread.start()
+
+    @property
+    def requested(self) -> int:
+        """How many commit requests have been enqueued so far."""
+        return self._requested
+
+    def request(self, wait: bool) -> None:
+        """Enqueue a flush; block for the covering fsync iff *wait*."""
+        with self._cond:
+            if self._closed:
+                raise PersistenceError("group-commit flusher is closed")
+            if self._async_error is not None:
+                error, self._async_error = self._async_error, None
+                raise error
+            self._requested += 1
+            ticket = self._requested
+            self._cond.notify_all()
+            if not wait:
+                return
+            while self._served < ticket:
+                self._cond.wait()
+            for low, high, error in self._failures:
+                if low < ticket <= high:
+                    raise error
+
+    def close(self) -> None:
+        """Drain outstanding requests, stop the thread, surface errors."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join()
+        if self._async_error is not None:
+            error, self._async_error = self._async_error, None
+            raise error
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while self._requested == self._served and not self._closed:
+                    self._cond.wait()
+                if self._requested == self._served:
+                    return  # closed and drained
+                low = self._served
+                take = self._requested
+            error: Optional[BaseException] = None
+            try:
+                self._durability._flush_group()
+            except BaseException as exc:
+                error = exc
+            with self._cond:
+                self._served = take
+                if error is not None:
+                    if self._ack:
+                        self._failures.append((low, take, error))
+                    else:
+                        self._async_error = error
+                self._cond.notify_all()
+            if error is None:
+                try:
+                    self._durability._maybe_compact()
+                except BaseException as exc:
+                    with self._cond:
+                        self._async_error = exc
+
+
 # -- the durability orchestrator ---------------------------------------------
 
 class Durability:
@@ -497,23 +646,50 @@ class Durability:
     commits the group automatically.  Large ingests then coalesce into
     ``N / commit_every`` fsyncs with no caller-side bookkeeping, at the
     cost of group boundaries that no longer align with user-level
-    operations.  Explicit :meth:`commit` calls still work and reset the
-    running count.
+    operations.  Auto-commits are *suppressed* while an atomic scope
+    (a ``Batch`` or bulk load) is open on the store and fire at scope
+    exit instead — a crash can therefore never recover a half-applied
+    user-level operation.  Explicit :meth:`commit` calls still work and
+    reset the running count.
+
+    *sync* selects the commit path:
+
+    - ``'inline'`` (default): :meth:`commit` writes and fsyncs on the
+      caller's thread, exactly as before.
+    - ``'group'``: a background flusher thread batches fsyncs across
+      concurrent committers; :meth:`commit` enqueues and *waits* for the
+      batched fsync that covers its changes (durable ack).  N racing
+      committers share one fsync per batching window.
+    - ``'async'``: same flusher, but :meth:`commit` returns immediately
+      after enqueuing — durability is eventual (the fsync lands moments
+      later); a background flush failure is raised on the next commit or
+      on :meth:`close`.
     """
+
+    _SYNC_MODES = ("inline", "group", "async")
 
     def __init__(self, store: TripleStore, directory: str,
                  namespaces: Optional[NamespaceRegistry] = None,
                  compact_every: int = 64, fsync: bool = True,
-                 commit_every: Optional[int] = None) -> None:
+                 commit_every: Optional[int] = None,
+                 sync: str = "inline") -> None:
         if compact_every < 1:
             raise ValueError("compact_every must be >= 1")
         if commit_every is not None and commit_every < 1:
             raise ValueError("commit_every must be >= 1 or None")
+        if sync not in self._SYNC_MODES:
+            raise ValueError(f"sync must be one of {self._SYNC_MODES}")
         self.directory = directory
         self.namespaces = namespaces
         self.compact_every = compact_every
         self.commit_every = commit_every
+        self.sync = sync
         self._store = store
+        # Guards the commit/compaction metadata (_groups_since_snapshot)
+        # and serializes flush-vs-compact decisions.  Lock order:
+        # store lock -> this meta lock -> WAL lock, never reversed.
+        self._meta_lock = threading.Lock()
+        self._inline_commits = 0
         os.makedirs(directory, exist_ok=True)
         self._snapshot_path = os.path.join(directory, SNAPSHOT_FILE)
         wal_path = os.path.join(directory, WAL_FILE)
@@ -532,10 +708,27 @@ class Durability:
             self._wal.reset(group=self.recovered.last_group)
         self._groups_since_snapshot = (self.recovered.groups_replayed
                                        if self.recovered is not None else 0)
-        self._unsubscribe = store.add_listener(self._on_change)
         self._closed = False
-        if not had_state and len(store):
-            self.compact()
+        self._flusher: Optional[_GroupCommitFlusher] = None
+        self._unsubscribe = store.add_listener(self._on_change)
+        add_atomic = getattr(store, "add_atomic_listener", None)
+        self._unsubscribe_atomic = (add_atomic(self._on_atomic_end)
+                                    if add_atomic is not None
+                                    else (lambda: None))
+        try:
+            if not had_state and len(store):
+                self.compact()
+            if sync != "inline":
+                self._flusher = _GroupCommitFlusher(self,
+                                                    ack=(sync == "group"))
+        except BaseException:
+            # Construction failed after the listeners attached: detach
+            # them so later store mutations don't feed a half-built,
+            # closed-over handle, and release the WAL file.
+            self._unsubscribe()
+            self._unsubscribe_atomic()
+            self._wal.close()
+            raise
 
     @property
     def group(self) -> int:
@@ -552,21 +745,47 @@ class Durability:
         """Committed groups accumulated since the last compaction."""
         return self._groups_since_snapshot
 
-    def commit(self) -> bool:
+    @property
+    def commits_requested(self) -> int:
+        """How many :meth:`commit` calls reached the WAL (any sync mode).
+
+        Compare with :attr:`fsync_count` to see group-commit coalescing.
+        """
+        flusher = self._flusher
+        return self._inline_commits + (flusher.requested if flusher else 0)
+
+    @property
+    def fsync_count(self) -> int:
+        """Group-commit fsyncs issued by the underlying WAL."""
+        return self._wal.sync_count
+
+    def commit(self, wait: Optional[bool] = None) -> bool:
         """Close the current group; ``False`` when nothing changed.
 
-        Fsyncs the WAL, making every change since the previous commit
-        durable as one atomic group; triggers compaction after
-        ``compact_every`` groups.
+        Makes every change since the previous commit durable as one
+        atomic group; triggers compaction after ``compact_every`` groups.
+        In ``sync='inline'`` mode the WAL write + fsync run on this
+        thread.  With the background flusher (``'group'``/``'async'``)
+        the commit is enqueued; *wait* overrides the mode's ack default
+        (wait for the covering fsync vs return immediately).
         """
         if self._closed:
             raise PersistenceError("durability handle is closed")
+        if self._flusher is None:
+            changed = self._flush_group()
+            if changed:
+                with self._meta_lock:
+                    self._inline_commits += 1
+                self._maybe_compact()
+            return changed
         if self._wal.dirty == 0:
+            # Everything already covered by a served or in-flight flush
+            # (appends and commits serialize on the WAL lock, so a zero
+            # dirty count means this thread's changes are durable).
             return False
-        self._wal.commit()
-        self._groups_since_snapshot += 1
-        if self._groups_since_snapshot >= self.compact_every:
-            self.compact()
+        if wait is None:
+            wait = self.sync == "group"
+        self._flusher.request(wait=wait)
         return True
 
     def compact(self) -> None:
@@ -576,31 +795,106 @@ class Durability:
         number) is fsynced and renamed into place *before* the log is
         truncated.  A crash in between leaves groups in the log that the
         snapshot already covers; replay skips them by group number.
+
+        Runs under the store lock (when the store has one) so the
+        snapshot writer never iterates a store mid-mutation, then the
+        meta lock — consistent with the global lock order.
         """
         if self._closed:
             raise PersistenceError("durability handle is closed")
-        persistence.save_snapshot(self._store, self._snapshot_path,
-                                  self.namespaces, group=self._wal.group)
-        self._wal.reset()
-        self._groups_since_snapshot = 0
+        lock = getattr(self._store, "lock", None)
+        if lock is not None:
+            with lock:
+                self._compact_locked()
+        else:
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        with self._meta_lock:
+            persistence.save_snapshot(self._store, self._snapshot_path,
+                                      self.namespaces, group=self._wal.group)
+            self._wal.reset()
+            self._groups_since_snapshot = 0
 
     def close(self) -> None:
         """Detach from the store and close the log (idempotent).
 
-        Uncommitted changes remain in the WAL file but are not fsynced
-        and, lacking a boundary record, will be discarded by recovery —
-        commit first if they should survive.
+        With a background flusher, outstanding commit requests are
+        drained (flushed and fsynced) first, and any stashed background
+        flush error is raised here.  Uncommitted changes remain in the
+        WAL file but are not fsynced and, lacking a boundary record,
+        will be discarded by recovery — commit first if they should
+        survive.
         """
         if self._closed:
             return
         self._closed = True
         self._unsubscribe()
-        self._wal.close()
+        self._unsubscribe_atomic()
+        try:
+            if self._flusher is not None:
+                self._flusher.close()
+        finally:
+            self._wal.close()
 
     # -- internals -----------------------------------------------------------
+
+    def _flush_group(self) -> bool:
+        """One WAL group commit (write + fsync); ``True`` if anything
+        was dirty.  Takes the meta lock so a flusher-thread flush and a
+        user-thread :meth:`compact` never interleave their dirty-check /
+        commit / counter-bump steps.
+        """
+        with self._meta_lock:
+            if self._wal.dirty == 0:
+                return False
+            self._wal.commit()
+            self._groups_since_snapshot += 1
+            return True
+
+    def _maybe_compact(self) -> None:
+        """Compact when due — without ever *blocking* on the store lock.
+
+        The flusher thread must not block here: a committer may hold the
+        store lock while waiting for its durable ack (auto-commits fire
+        inside listener fan-out, under the store lock), so a blocking
+        acquire could deadlock.  When the store is busy the compaction
+        is simply deferred to the next flush.
+        """
+        with self._meta_lock:
+            due = self._groups_since_snapshot >= self.compact_every
+        if not due:
+            return
+        lock = getattr(self._store, "lock", None)
+        if lock is None:
+            self.compact()
+            return
+        if not lock.acquire(blocking=False):
+            return
+        try:
+            self._compact_locked()
+        finally:
+            lock.release()
 
     def _on_change(self, action: str, triple: Triple, sequence: int) -> None:
         self._wal.append(Change(action, triple, sequence))
         if self.commit_every is not None \
-                and self._wal.dirty >= self.commit_every:
-            self.commit()
+                and self._wal.dirty >= self.commit_every \
+                and not getattr(self._store, "in_atomic", False):
+            # Auto-commits never wait for the ack: this runs inside
+            # listener fan-out (under the store lock), and blocking there
+            # would stall every other store user on the fsync.
+            self.commit(wait=False)
+
+    def _on_atomic_end(self) -> None:
+        """Deferred auto-commit: fires when a Batch/bulk scope closes.
+
+        Commits the whole operation (including any rollback inversions)
+        as one group, preserving the commit_every contract without ever
+        splitting a user-level operation across a group boundary.
+        """
+        if self._closed or self.commit_every is None:
+            return
+        if self._wal.dirty >= self.commit_every \
+                and not getattr(self._store, "in_atomic", False):
+            self.commit(wait=False)

@@ -1,0 +1,628 @@
+"""Concurrent reads during ingest, the group-commit flusher, and the
+durability edge cases that ride along.
+
+The tentpole contract: reader threads querying a store mid-``bulk``
+see the *last-flushed snapshot* — consistent membership, indexes, and
+generation — and never force the ingest's deferred index flush
+(``_flush_bulk`` runs only on the bulk-owner thread).  On top of that,
+``Durability(sync='group'|'async')`` moves commit fsyncs to a background
+flusher that coalesces racing committers into shared fsyncs, with
+durable-ack (``group``) or fire-and-forget (``async``) semantics.
+
+Regression coverage for the three durability edge cases shipped with
+this change lives in :class:`TestDurabilityEdgeCases`:
+
+1. a failing baseline snapshot in ``Durability.__init__`` used to leave
+   the change listener attached to the store;
+2. ``commit_every`` auto-commits used to fire mid-``Batch``, making a
+   half-applied user operation recoverable after a crash;
+3. ``WriteAheadLog.commit()`` on an empty buffer used to write a
+   boundary record and fsync for nothing.
+"""
+
+import os
+import shutil
+import threading
+import time
+
+import pytest
+
+from repro.errors import PersistenceError, TransactionError
+from repro.triples import persistence
+from repro.triples.interned import InternedTripleStore
+from repro.triples.query import Pattern, Query, Var
+from repro.triples.store import TripleStore
+from repro.triples.transactions import Batch
+from repro.triples.trim import TrimManager
+from repro.triples.triple import Resource, triple
+from repro.triples.views import View
+from repro.triples.wal import (WAL_FILE, Durability, WriteAheadLog, recover)
+
+STORE_CLASSES = [TripleStore, InternedTripleStore]
+
+
+def _in_thread(fn):
+    """Run *fn* on a fresh thread, join, re-raise, return its result."""
+    box = {}
+
+    def runner():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # pragma: no cover - failure path
+            box["error"] = exc
+
+    t = threading.Thread(target=runner)
+    t.start()
+    t.join(timeout=30)
+    assert not t.is_alive(), "worker thread hung"
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def _spy_flushes(store):
+    """Wrap ``store._flush_bulk`` to record which threads flushed."""
+    calls = []
+    original = store._flush_bulk
+
+    def spy(*args, **kwargs):
+        calls.append(threading.get_ident())
+        return original(*args, **kwargs)
+
+    store._flush_bulk = spy
+    return calls
+
+
+@pytest.fixture(params=STORE_CLASSES, ids=lambda cls: cls.__name__)
+def store_cls(request):
+    return request.param
+
+
+class TestSnapshotReadsDuringBulk:
+    """Reader threads see the last flush; only the owner ever flushes."""
+
+    def test_reader_sees_last_flush_not_pending(self, store_cls):
+        store = store_cls()
+        flushed = [triple(f"s{i}", "p", i) for i in range(3)]
+        store.add_all(flushed)
+        generation = store.generation
+        bulk = store.bulk()
+        bulk.__enter__()
+        try:
+            for i in range(5):
+                store.add(triple(f"bulk{i}", "p", i))
+            # Owner: read-your-writes (8 visible, pending counted).
+            assert len(store) == 8
+
+            def read():
+                return (len(store), store.select(), list(store),
+                        store.count(property=Resource("p")), store.generation)
+
+            length, selected, iterated, counted, gen = _in_thread(read)
+            # The reader's whole world is the last flush: 3 triples,
+            # pinned generation, no trace of the 5 pending inserts.
+            assert length == 3
+            assert selected == flushed
+            assert iterated == flushed
+            assert counted == 3
+            assert gen == generation
+        finally:
+            bulk.__exit__(None, None, None)
+        assert len(store) == 8
+        assert _in_thread(lambda: len(store)) == 8  # flush published
+
+    def test_reader_never_triggers_flush(self, store_cls):
+        store = store_cls(concurrent=True)
+        store.add_all(triple(f"s{i}", "p", i) for i in range(4))
+        calls = _spy_flushes(store)
+        with store.bulk():
+            for i in range(6):
+                store.add(triple(f"bulk{i}", "p", i))
+
+            def read():
+                assert len(store.select(property=Resource("p"))) == 4
+                assert store.count(property=Resource("p")) == 4
+                assert len(store) == 4
+                assert list(store) == [triple(f"s{i}", "p", i)
+                                       for i in range(4)]
+                assert store.generation == 4
+                assert triple("bulk0", "p", 0) not in store
+
+            _in_thread(read)
+            reader_flushes = list(calls)
+            assert reader_flushes == []  # zero flushes from any reader
+        assert len(store) == 10
+        assert calls  # the owner's exit flushed
+
+    def test_planned_query_runs_against_snapshot(self, store_cls):
+        store = store_cls(concurrent=True)
+        store.add(triple("b1", "slim:bundleContent", Resource("s1")))
+        store.add(triple("s1", "slim:scrapName", "K+ 3.9"))
+        query = Query([
+            Pattern(Var("b"), Resource("slim:bundleContent"), Var("s")),
+            Pattern(Var("s"), Resource("slim:scrapName"), Var("n")),
+        ])
+        calls = _spy_flushes(store)
+        with store.bulk():
+            store.add(triple("b1", "slim:bundleContent", Resource("s2")))
+            store.add(triple("s2", "slim:scrapName", "Na 140"))
+
+            rows = _in_thread(lambda: query.run_all(store))
+            assert [str(row["n"].value) for row in rows] == ["K+ 3.9"]
+            assert calls == []
+        rows = query.run_all(store)
+        assert {str(row["n"].value) for row in rows} == {"K+ 3.9", "Na 140"}
+
+    def test_view_closure_is_pinned_mid_bulk(self, store_cls):
+        store = store_cls(concurrent=True)
+        root = Resource("root")
+        store.add(triple(root, "slim:bundleContent", Resource("a")))
+        store.add(triple("a", "slim:scrapName", "one"))
+        view = View(store, root)
+        with store.bulk():
+            store.add(triple(root, "slim:bundleContent", Resource("b")))
+            store.add(triple("b", "slim:scrapName", "two"))
+
+            closure = _in_thread(view.triples)
+            assert len(closure) == 2  # only the flushed subgraph
+            # Generation was stable across the traversal, so it cached.
+            assert view._cached_triples is not None
+        assert len(view.triples()) == 4  # recomputed after the flush
+
+    def test_concurrent_flag_preserves_results(self, store_cls):
+        plain, cow = store_cls(), store_cls(concurrent=True)
+        statements = [triple(f"s{i % 7}", f"p{i % 3}", i) for i in range(40)]
+        for s in (plain, cow):
+            s.add_all(statements[:25])
+            s.remove(statements[3])
+            with s.bulk():
+                s.add_all(statements[25:])
+            s.remove_matching(subject=Resource("s5"))
+        assert plain.select() == cow.select()
+        assert plain.select(subject=Resource("s1")) == \
+            cow.select(subject=Resource("s1"))
+        assert plain.count(property=Resource("p2")) == \
+            cow.count(property=Resource("p2"))
+        assert len(plain) == len(cow)
+
+
+class TestAtomicScopes:
+    """begin/end_atomic bracket user operations; listeners fire once."""
+
+    def test_listener_fires_at_outermost_exit_only(self, store_cls):
+        store = store_cls()
+        fired = []
+        store.add_atomic_listener(lambda: fired.append(store.in_atomic))
+        store.begin_atomic()
+        store.begin_atomic()
+        store.end_atomic()
+        assert fired == []
+        store.end_atomic()
+        assert fired == [False]  # fired once, after the scope closed
+
+    def test_end_without_begin_raises(self, store_cls):
+        with pytest.raises(TransactionError):
+            store_cls().end_atomic()
+
+    def test_bulk_counts_as_atomic_scope(self, store_cls):
+        store = store_cls()
+        fired = []
+        store.add_atomic_listener(lambda: fired.append("end"))
+        with store.bulk():
+            assert store.in_atomic
+            store.add(triple("s", "p", 1))
+        assert not store.in_atomic
+        assert fired == ["end"]
+
+    def test_batch_is_one_atomic_scope_even_on_rollback(self, store_cls):
+        store = store_cls()
+        fired = []
+        store.add_atomic_listener(lambda: fired.append(len(store)))
+        with pytest.raises(RuntimeError):
+            with Batch(store):
+                store.add(triple("s", "p", 1))
+                raise RuntimeError("boom")
+        # Fired once, after the rollback completed (store empty again).
+        assert fired == [0]
+
+    def test_unsubscribe_detaches(self, store_cls):
+        store = store_cls()
+        fired = []
+        unsubscribe = store.add_atomic_listener(lambda: fired.append(1))
+        unsubscribe()
+        with store.bulk():
+            store.add(triple("s", "p", 1))
+        assert fired == []
+
+
+class TestConcurrentStress:
+    """Readers race a real bulk ingest; every observation is consistent."""
+
+    CHUNKS = 30
+    CHUNK_SIZE = 20
+
+    def test_readers_race_bulk_ingest(self, store_cls):
+        store = store_cls(concurrent=True)
+        root = Resource("root")
+        store.add(triple(root, "slim:bundleContent", Resource("seed")))
+        store.add(triple("seed", "slim:scrapName", "seed"))
+        flush_threads = _spy_flushes(store)
+        view = View(store, root)
+        done = threading.Event()
+        published = []          # chunk ids whose bulk scope has exited
+        errors = []
+
+        def writer():
+            try:
+                for chunk in range(self.CHUNKS):
+                    subject = Resource(f"chunk{chunk}")
+                    with store.bulk():
+                        for i in range(self.CHUNK_SIZE):
+                            store.add(triple(subject, "p", chunk * 1000 + i))
+                    published.append(chunk)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    safe = len(published)
+                    for chunk in range(self.CHUNKS):
+                        n = store.count(subject=Resource(f"chunk{chunk}"))
+                        # A chunk is all-or-nothing: its triples publish
+                        # in one flush, never partially.
+                        assert n in (0, self.CHUNK_SIZE), \
+                            f"torn chunk {chunk}: saw {n}"
+                        if chunk < safe:
+                            assert n == self.CHUNK_SIZE
+                        selected = store.select(
+                            subject=Resource(f"chunk{chunk}"))
+                        assert len(selected) in (0, self.CHUNK_SIZE)
+                    assert len(view.triples()) == 2  # untouched subgraph
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+                done.set()
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [threading.Thread(target=reader) for _ in range(2)]
+        reader_idents = set()
+        for t in reader_threads:
+            t.start()
+            reader_idents.add(t.ident)
+        writer_thread.start()
+        writer_thread.join(timeout=60)
+        for t in reader_threads:
+            t.join(timeout=60)
+        assert not errors, errors[0]
+        assert len(store) == 2 + self.CHUNKS * self.CHUNK_SIZE
+        # The acceptance bar: not one flush ran on a reader thread.
+        assert not (set(flush_threads) & reader_idents)
+        assert set(flush_threads) == {writer_thread.ident}
+
+
+class TestGroupCommitFlusher:
+    """sync='group'/'async': batched fsyncs with durable-ack semantics."""
+
+    def _durable_store(self, tmp_path, sync, **kwargs):
+        store = TripleStore(concurrent=True)
+        durability = Durability(store, str(tmp_path), sync=sync, **kwargs)
+        return store, durability
+
+    def test_invalid_sync_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Durability(TripleStore(), str(tmp_path), sync="bogus")
+
+    def test_group_mode_round_trip(self, tmp_path):
+        store, durability = self._durable_store(tmp_path, "group")
+        store.add(triple("s", "p", 1))
+        assert durability.commit() is True
+        assert durability.commit() is False  # already durable
+        durability.close()
+        recovered = TripleStore()
+        assert recover(str(tmp_path), recovered).last_group == 1
+        assert recovered.select() == [triple("s", "p", 1)]
+
+    def test_async_mode_drains_on_close(self, tmp_path):
+        store, durability = self._durable_store(tmp_path, "async")
+        for i in range(5):
+            store.add(triple(f"s{i}", "p", i))
+            durability.commit()
+        durability.close()  # drains every outstanding flush
+        recovered = TripleStore()
+        recover(str(tmp_path), recovered)
+        assert len(recovered) == 5
+
+    def test_flusher_coalesces_commits_into_one_group(self, tmp_path):
+        """Four commits gated behind one blocked flush land as ONE group."""
+        store, durability = self._durable_store(tmp_path, "async")
+        gate = threading.Event()
+        real_commit = durability._wal.commit
+
+        def gated_commit():
+            assert gate.wait(timeout=10)
+            return real_commit()
+
+        durability._wal.commit = gated_commit
+        group_before = durability.group
+        syncs_before = durability.fsync_count
+        for i in range(4):
+            store.add(triple(f"s{i}", "p", i))
+            durability.commit()
+        gate.set()
+        flusher = durability._flusher
+        deadline = time.monotonic() + 10
+        while flusher._served < flusher.requested:
+            assert time.monotonic() < deadline, "flusher did not drain"
+            time.sleep(0.001)
+        durability._wal.commit = real_commit
+        assert durability.commits_requested == 4
+        # One WAL group, one fsync, covering all four commits: the
+        # later flush passes found a clean buffer and did nothing.
+        assert durability.group == group_before + 1
+        assert durability.fsync_count == syncs_before + 1
+        durability.close()
+        recovered = TripleStore()
+        recover(str(tmp_path), recovered)
+        assert len(recovered) == 4
+
+    def test_racing_committers_share_fsyncs(self, tmp_path):
+        """4 threads x 5 durable-ack commits coalesce below 20 groups."""
+        store, durability = self._durable_store(tmp_path, "group",
+                                                compact_every=10_000)
+        real_commit = durability._wal.commit
+
+        def slow_commit():
+            time.sleep(0.005)  # widen the batching window
+            return real_commit()
+
+        durability._wal.commit = slow_commit
+        group_before = durability.group
+        errors = []
+
+        def committer(worker):
+            try:
+                for i in range(5):
+                    store.add(triple(f"w{worker}", "p", i))
+                    durability.commit()  # durable ack
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=committer, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        durability._wal.commit = real_commit
+        assert not errors, errors[0]
+        groups = durability.group - group_before
+        assert durability.commits_requested == 20
+        assert groups < 20, "no coalescing happened"
+        assert groups >= 1
+        durability.close()
+        recovered = TripleStore()
+        recover(str(tmp_path), recovered)
+        assert len(recovered) == 20  # every acked commit is durable
+
+    def test_group_mode_ack_is_durable_at_kill_point(self, tmp_path):
+        """Copy the WAL mid-race: acked commits are in the copy."""
+        wal_dir = tmp_path / "live"
+        store, durability = self._durable_store(wal_dir, "group",
+                                                compact_every=10_000)
+        acked = set()
+        acked_lock = threading.Lock()
+        errors = []
+        done = threading.Event()
+
+        def committer(worker):
+            try:
+                for i in range(8):
+                    t = triple(f"w{worker}", "p", i)
+                    store.add(t)
+                    durability.commit()
+                    with acked_lock:
+                        acked.add(t)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=committer, args=(w,))
+                   for w in range(3)]
+        for t in threads:
+            t.start()
+        # "Kill": snapshot the durable file while commits race.
+        while True:
+            with acked_lock:
+                acked_at_copy = set(acked)
+            if len(acked_at_copy) >= 4:
+                break
+            time.sleep(0.001)
+        kill_dir = tmp_path / "killed"
+        os.makedirs(kill_dir)
+        shutil.copy(wal_dir / WAL_FILE, kill_dir / WAL_FILE)
+        for t in threads:
+            t.join(timeout=60)
+        done.set()
+        assert not errors, errors[0]
+        durability.close()
+        recovered = TripleStore()
+        recover(str(kill_dir), recovered)
+        survivors = set(recovered.select())
+        everything = {triple(f"w{w}", "p", i)
+                      for w in range(3) for i in range(8)}
+        # Durable-ack contract: every commit acked before the copy is in
+        # the copy; nothing outside the real write set ever appears.
+        assert acked_at_copy <= survivors <= everything
+
+    def test_group_mode_flush_failure_reaches_the_waiter(self, tmp_path):
+        store, durability = self._durable_store(tmp_path, "group")
+        real_commit = durability._wal.commit
+
+        def broken_commit():
+            raise OSError("disk full")
+
+        durability._wal.commit = broken_commit
+        store.add(triple("s", "p", 1))
+        with pytest.raises(OSError, match="disk full"):
+            durability.commit()
+        # Retryable: restore the device and the same changes commit.
+        durability._wal.commit = real_commit
+        assert durability.commit() is True
+        durability.close()
+        recovered = TripleStore()
+        recover(str(tmp_path), recovered)
+        assert len(recovered) == 1
+
+    def test_async_flush_failure_surfaces_on_next_commit(self, tmp_path):
+        store, durability = self._durable_store(tmp_path, "async")
+        real_commit = durability._wal.commit
+
+        def broken_commit():
+            raise OSError("disk full")
+
+        durability._wal.commit = broken_commit
+        store.add(triple("s", "p", 1))
+        durability.commit()  # enqueues; failure lands in the background
+        flusher = durability._flusher
+        deadline = time.monotonic() + 10
+        while flusher._async_error is None:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        durability._wal.commit = real_commit
+        store.add(triple("s", "p", 2))
+        with pytest.raises(OSError, match="disk full"):
+            durability.commit()
+        durability.close()
+
+    def test_flusher_compacts_in_background(self, tmp_path):
+        store, durability = self._durable_store(tmp_path, "group",
+                                                compact_every=2)
+        for i in range(6):
+            store.add(triple(f"s{i}", "p", i))
+            durability.commit()
+        deadline = time.monotonic() + 10
+        while durability.groups_since_snapshot >= 2:
+            assert time.monotonic() < deadline, "compaction never ran"
+            time.sleep(0.001)
+        durability.close()
+        recovered = TripleStore()
+        result = recover(str(tmp_path), recovered)
+        assert result.snapshot_group >= 2  # a snapshot was folded
+        assert len(recovered) == 6
+
+    def test_trim_facade_passes_sync_through(self, tmp_path):
+        trim = TrimManager(durable=str(tmp_path), sync="group",
+                           concurrent=True)
+        assert trim.durability.sync == "group"
+        assert trim.store.concurrent is True
+        scrap = trim.new_resource("scrap")
+        trim.create(scrap, "slim:scrapName", "first")
+        assert trim.commit() is True
+        trim.close()
+        reopened = TrimManager(durable=str(tmp_path))
+        assert reopened.select(prop=Resource("slim:scrapName"))
+        reopened.close()
+
+
+class TestDurabilityEdgeCases:
+    """Regression tests for the three shipped edge-case fixes."""
+
+    # -- #1: baseline-compaction failure must detach the listener ----------
+
+    def test_failed_baseline_snapshot_detaches_listener(self, tmp_path,
+                                                        monkeypatch):
+        store = TripleStore()
+        store.add(triple("s", "p", 1))  # non-empty: triggers baseline
+
+        def broken_save(*args, **kwargs):
+            raise OSError("snapshot device gone")
+
+        monkeypatch.setattr(persistence, "save_snapshot", broken_save)
+        with pytest.raises(OSError, match="snapshot device gone"):
+            Durability(store, str(tmp_path))
+        # The half-built handle left nothing behind: later mutations
+        # notify no stale listener and no atomic hook.
+        assert store._listeners == []
+        assert store._atomic_listeners == []
+        store.add(triple("s", "p", 2))  # would explode on a stale handle
+
+    # -- #2: auto-commits must not tear a Batch --------------------------
+
+    def test_auto_commit_waits_for_batch_exit(self, tmp_path):
+        store = TripleStore()
+        durability = Durability(store, str(tmp_path), commit_every=1)
+        group_before = durability.group
+        with Batch(store, bulk=False):
+            store.add(triple("s", "p", 1))
+            store.add(triple("s", "p", 2))
+            # commit_every=1 is long exceeded, but the batch is open:
+            # nothing may hit a group boundary yet.
+            assert durability.group == group_before
+            assert durability.pending_changes == 2
+            # A crash here recovers NONE of the batch.
+            torn_dir = tmp_path / "torn"
+            os.makedirs(torn_dir)
+            shutil.copy(tmp_path / WAL_FILE, torn_dir / WAL_FILE)
+            mid_crash = TripleStore()
+            recover(str(torn_dir), mid_crash)
+            assert len(mid_crash) == 0
+        # Scope exit commits the whole operation as one group.
+        assert durability.group == group_before + 1
+        assert durability.pending_changes == 0
+        durability.close()
+        recovered = TripleStore()
+        assert recover(str(tmp_path), recovered).groups_replayed == 1
+        assert len(recovered) == 2
+
+    def test_rolled_back_batch_commits_as_one_clean_group(self, tmp_path):
+        store = TripleStore()
+        durability = Durability(store, str(tmp_path), commit_every=1)
+        with pytest.raises(RuntimeError):
+            with Batch(store, bulk=False):
+                store.add(triple("s", "p", 1))
+                raise RuntimeError("boom")
+        # The add and its rollback inversion landed in the same group —
+        # recovery can never resurrect half of the aborted operation.
+        durability.close()
+        recovered = TripleStore()
+        recover(str(tmp_path), recovered)
+        assert len(recovered) == 0
+
+    def test_auto_commit_waits_for_bulk_ingest_exit(self, tmp_path):
+        trim = TrimManager(durable=str(tmp_path), commit_every=2)
+        group_before = trim.durability.group
+        with trim.bulk_ingest():
+            for i in range(10):
+                trim.create(f"s{i}", "p", i)
+            assert trim.durability.group == group_before
+        assert trim.durability.group == group_before + 1  # one group
+        trim.close()
+
+    # -- #3: empty WAL commit is a no-op ---------------------------------
+
+    def test_empty_wal_commit_writes_nothing(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        from repro.triples.transactions import Change
+        wal.append(Change("add", triple("s", "p", 1), 0))
+        assert wal.commit() == 1
+        size_after = os.path.getsize(path)
+        syncs_after = wal.sync_count
+        # Empty-buffer commits: same group, zero bytes, zero fsyncs.
+        assert wal.commit() == 1
+        assert wal.commit() == 1
+        assert os.path.getsize(path) == size_after
+        assert wal.sync_count == syncs_after
+        assert wal.group == 1
+        wal.close()
+
+    def test_durability_commit_reports_false_when_clean(self, tmp_path):
+        store = TripleStore()
+        durability = Durability(store, str(tmp_path))
+        assert durability.commit() is False
+        store.add(triple("s", "p", 1))
+        assert durability.commit() is True
+        assert durability.commit() is False
+        assert durability.group == 1
+        durability.close()
