@@ -3,7 +3,8 @@
 
 PY := PYTHONPATH=src python -m
 
-.PHONY: test verify bench bench-smoke bench-ingest bench-concurrency
+.PHONY: test verify bench bench-smoke bench-ingest bench-concurrency \
+        bench-sharding bench-all
 
 test:            ## tier-1: the full unit/integration/property suite
 	$(PY) pytest -x -q
@@ -39,3 +40,17 @@ bench-ingest:    ## full-scale bulk-ingest benchmark, rewrites its JSON
 # the group-commit flusher.
 bench-concurrency: ## full-scale concurrency benchmark, rewrites its JSON
 	$(PY) pytest benchmarks/test_trim_concurrency.py --benchmark-only -q -s
+
+# Regenerates BENCH_trim_sharding.json at full scale: durable ingest
+# throughput at 4 shards vs 1 under snapshot-isolation reads, and
+# subject-routed query latency vs the unsharded store.
+bench-sharding:  ## full-scale sharding benchmark, rewrites its JSON
+	$(PY) pytest benchmarks/test_trim_sharding.py --benchmark-only -q -s
+
+# Re-runs every TRIM benchmark module (benchmarks/test_trim_*.py) at
+# full scale — each rewrites its own BENCH_trim_*.json trajectory file —
+# then folds all trajectory files found into BENCH_summary.json
+# (one headline block per bench; see benchmarks/aggregate.py).
+bench-all:       ## all TRIM benches at full scale + BENCH_summary.json
+	$(PY) pytest $(wildcard benchmarks/test_trim_*.py) --benchmark-only -q -s
+	PYTHONPATH=src python benchmarks/aggregate.py

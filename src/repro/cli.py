@@ -2,8 +2,10 @@
 
 Commands:
 
-- ``demo [--durable DIR]`` — the quickstart round trip, printed; with
-  ``--durable`` the pad's triples are logged crash-safely under DIR.
+- ``demo [--durable DIR] [--shards N]`` — the quickstart round trip,
+  printed; with ``--durable`` the pad's triples are logged crash-safely
+  under DIR; with ``--shards`` the pool is hash-partitioned across N
+  stores (each with its own WAL under DIR).
 - ``worksheet [--patients N] [--seed S] [--svg PATH]`` — build a rounds
   worksheet over a synthetic census; print the outline; optionally write
   the SVG rendering.
@@ -13,8 +15,9 @@ Commands:
   corpus.
 - ``models`` — define the built-in superimposed models and list them.
 - ``recover DIR [--out PATH]`` — rebuild the durable store under DIR
-  (snapshot + WAL tail) and print recovery statistics; optionally export
-  the recovered triples to a plain XML file.
+  (snapshot + WAL tail; sharded layouts are detected and every shard
+  recovered, finishing any in-doubt two-phase commit) and print recovery
+  statistics; optionally export the recovered triples to a plain XML file.
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     sheet.set_row(1, ["Drug", "Dose", "Route", "Schedule"])
     sheet.set_row(2, ["Lasix", "40mg", "IV", "BID"])
     manager = standard_mark_manager(library)
-    pad = SlimPadApplication(manager)
+    pad = SlimPadApplication(manager, shards=getattr(args, "shards", 1))
     durable = getattr(args, "durable", None)
     if durable:
         pad.enable_durability(durable)
@@ -54,29 +57,45 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"\nde-referenced -> {resolution.address}")
     print(f"content: {resolution.content}")
     if durable:
-        durability = pad.dmi.runtime.trim.durability
+        trim = pad.dmi.runtime.trim
+        sharded = f" across {trim.shards} shards" if trim.shards > 1 else ""
         print(f"\ndurable state in {durable}: "
-              f"{len(pad.dmi.runtime.trim.store)} triples, "
-              f"group {durability.group} committed "
+              f"{len(trim.store)} triples{sharded}, "
+              f"group {trim.durability.group} committed "
               f"(recover with: python -m repro recover {durable})")
     return 0
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.triples import persistence
+    from repro.triples.sharded import is_sharded_directory, recover_sharded
     from repro.triples.wal import recover
 
-    result = recover(args.directory)
-    print(f"recovered {len(result.store)} triple(s) from {args.directory}")
-    print(f"  snapshot: {result.snapshot_triples} triple(s) "
-          f"(through group {result.snapshot_group})")
-    print(f"  WAL tail: {result.groups_replayed} group(s), "
-          f"{result.changes_replayed} change(s) replayed")
-    if result.discarded_bytes:
-        print(f"  discarded {result.discarded_bytes} corrupt/torn "
-              f"byte(s) past the last complete group")
+    if is_sharded_directory(args.directory):
+        sharded = recover_sharded(args.directory)
+        store, namespaces = sharded.store, sharded.namespaces
+        print(f"recovered {len(store)} triple(s) from {args.directory} "
+              f"({store.shard_count} shards, epoch {sharded.epoch})")
+        if sharded.repaired:
+            print(f"  finished the fence of {sharded.repaired} "
+                  f"prepared group(s) whose commit was decided")
+        for i, result in enumerate(sharded.shards):
+            print(f"  shard {i}: {len(result.store)} triple(s) "
+                  f"({result.snapshot_triples} snapshot, "
+                  f"{result.groups_replayed} WAL group(s) replayed)")
+    else:
+        result = recover(args.directory)
+        store, namespaces = result.store, result.namespaces
+        print(f"recovered {len(store)} triple(s) from {args.directory}")
+        print(f"  snapshot: {result.snapshot_triples} triple(s) "
+              f"(through group {result.snapshot_group})")
+        print(f"  WAL tail: {result.groups_replayed} group(s), "
+              f"{result.changes_replayed} change(s) replayed")
+        if result.discarded_bytes:
+            print(f"  discarded {result.discarded_bytes} corrupt/torn "
+                  f"byte(s) past the last complete group")
     if args.out:
-        persistence.save(result.store, args.out, result.namespaces)
+        persistence.save(store, args.out, namespaces)
         print(f"recovered store written to {args.out}")
     return 0
 
@@ -146,6 +165,8 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="the quickstart round trip")
     demo.add_argument("--durable", default=None, metavar="DIR",
                       help="log the pad crash-safely under this directory")
+    demo.add_argument("--shards", type=int, default=1, metavar="N",
+                      help="hash-partition the triple pool across N stores")
     demo.set_defaults(handler=_cmd_demo)
 
     worksheet = commands.add_parser("worksheet",

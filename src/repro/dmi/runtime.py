@@ -92,9 +92,12 @@ class DmiRuntime:
     """Create/update/delete entity instances stored as triples."""
 
     def __init__(self, spec: ModelSpec,
-                 trim: Optional[TrimManager] = None) -> None:
+                 trim: Optional[TrimManager] = None,
+                 shards: int = 1) -> None:
         self.spec = spec
-        self.trim = trim or TrimManager()
+        # shards > 1 partitions the backing pool by subject hash (see
+        # repro.triples.sharded); ignored when a TrimManager is supplied.
+        self.trim = trim or TrimManager(shards=shards)
 
     # -- naming ---------------------------------------------------------------
 

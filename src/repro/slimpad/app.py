@@ -30,9 +30,12 @@ class SlimPadApplication:
 
     def __init__(self, mark_manager: MarkManager,
                  dmi: Optional[SlimPadDMI] = None,
-                 bus: Optional[EventBus] = None) -> None:
+                 bus: Optional[EventBus] = None,
+                 shards: int = 1) -> None:
         self.marks = mark_manager
-        self.dmi = dmi or SlimPadDMI()
+        # shards > 1 hash-partitions the pad's triple pool (ignored when
+        # a ready-made DMI is supplied).
+        self.dmi = dmi or SlimPadDMI(shards=shards)
         self.bus = bus
         self._pad: Optional[EntityObject] = None
         self.visible = True

@@ -597,6 +597,12 @@ class InternedTripleStore:
         """Monotonic mutation counter: bumps on every add and remove."""
         return self._generation
 
+    @property
+    def sequence_ceiling(self) -> int:
+        """The next insertion-sequence number this store would hand out
+        (see :attr:`TripleStore.sequence_ceiling`)."""
+        return self._sequence
+
     def count(self, subject: Optional[Resource] = None,
               property: Optional[Resource] = None,
               value: Optional[Node] = None) -> int:

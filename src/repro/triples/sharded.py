@@ -1,0 +1,1312 @@
+"""Sharded triple stores: hash-partitioned ingest and scatter-gather query.
+
+The paper's SLIM store keeps all superimposed information in one TRIM
+triple pool, which caps both ingest and query throughput at a single
+core (and a single WAL fsync stream) no matter how many users annotate
+base documents.  This module partitions the pool by *subject hash*
+across N independent store instances:
+
+- :class:`ShardedTripleStore` — presents the whole
+  :class:`~repro.triples.store.TripleStore` surface (``add`` / ``remove``
+  / ``select`` / ``match`` / ``count`` / ``bulk`` / ``add_listener`` /
+  views / persistence iteration) over N shards.  Subject-bound
+  operations route to exactly one shard; everything else scatter-gathers
+  and merges by global insertion sequence.  A shared thread pool fans
+  large ingests out per shard.
+- :class:`ShardedDurability` — one
+  :class:`~repro.triples.wal.Durability` orchestrator (own WAL directory
+  + snapshot) per shard, plus a coordinator *meta-WAL* that makes
+  multi-shard commit groups atomic through two-phase commit.
+- :func:`recover_sharded` — rebuild a sharded durable directory,
+  finishing or rolling back any transaction a crash left in doubt.
+
+Routing
+-------
+
+A triple lives on shard ``crc32(subject.uri) % N``.  CRC-32 is stable
+across processes and Python versions (unlike the salted builtin
+``hash``), so a directory written by one process routes identically in
+the next.  Subject-bound probes — the DMI's dominant traffic
+(``value_of``, liveness checks, entity reads) — therefore touch exactly
+one shard and stay flat-latency as N grows.
+
+Global ordering
+---------------
+
+The sharded store allocates insertion-sequence numbers from one global
+counter and inserts into shards via
+:meth:`~repro.triples.store.TripleStore.restore`, so each shard's
+sequence numbers are *globally* meaningful.  Cross-shard ``select()`` /
+iteration merge per-shard results by sequence, reproducing exactly the
+insertion order an unsharded store would report — the parity suite
+(``tests/test_sharding.py``) pins this against a plain store over
+randomized op sequences.
+
+Query planning
+--------------
+
+The PR 1 selectivity planner needs no fork: it reads statistics through
+``store.count()``, and the sharded ``count()`` returns the *sum* of the
+per-shard index bucket sizes — a global selectivity estimate.  Pattern
+evaluation grounds subjects as bindings propagate, so a plan's
+subject-bound probes route to single shards while unbound patterns
+scatter-gather; ``Query.run`` dedups merged bindings canonically, same
+as before.
+
+Two-phase commit (DESIGN.md §11)
+--------------------------------
+
+A commit group touching one shard is that shard's ordinary WAL group
+commit — no coordination, one fsync.  A group touching k > 1 shards
+runs 2PC:
+
+1. **Prepare** — each participant's WAL durably stages the group's
+   changes behind a ``'P'`` record carrying (txn, participant count,
+   epoch); no ``'C'`` boundary yet, so a crash here recovers to
+   rollback everywhere.
+2. **Decide** — the coordinator appends a commit decision for txn to
+   the meta-WAL and fsyncs it.  This single record is the commit point.
+3. **Fence** — each participant's WAL gets its normal ``'C'`` boundary.
+   A crash between decide and fence is repaired at recovery: the
+   meta-WAL says *commit*, so the prepared group is fenced then.
+
+Recovery therefore always lands on an all-shards-consistent state equal
+to either the full commit or the full rollback of every in-flight
+transaction — the crash matrix in ``tests/test_sharding.py`` sweeps
+every window.  The *epoch* in the prepare record is the store
+incarnation: a fresh meta-WAL picks an epoch above any found in stale
+prepare records, so leftovers from a discarded meta-WAL can never be
+mistaken for a current transaction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import re
+import struct
+import threading
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import (Callable, Dict, Iterable, Iterator, List, NamedTuple,
+                    Optional, Set, Tuple)
+
+from repro.errors import PersistenceError, TransactionError, TripleNotFoundError
+from repro.triples.namespaces import NamespaceRegistry
+from repro.triples.persistence import _atomic_write
+from repro.triples.store import AtomicListener, ChangeListener, TripleStore
+from repro.triples.triple import Literal, Node, Resource, Triple
+from repro.triples.wal import (WAL_FILE, Durability, PrepareInfo,
+                               RecoveryResult, _frame, _GroupCommitFlusher,
+                               encode_commit, recover, scan_wal)
+
+META_FILE = "meta.wal"
+META_MAGIC = b"SLIMMETA"
+SHARD_DIR_FMT = "shard-%03d"
+_SHARD_DIR_RE = re.compile(r"^shard-(\d{3})$")
+
+_FRAME = struct.Struct(">II")
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+
+#: Below this many triples, a sharded ``add_all`` applies per-shard groups
+#: inline — pool dispatch overhead would outweigh any fsync/CPU overlap.
+_PARALLEL_MIN = 512
+
+
+def shard_of(uri: str, shard_count: int) -> int:
+    """The shard index owning subject *uri*: ``crc32(uri) % shard_count``.
+
+    CRC-32 (not the salted builtin ``hash``) keeps routing stable across
+    processes, so a durable directory reopens onto the same layout.
+    """
+    return zlib.crc32(uri.encode("utf-8", "surrogatepass")) % shard_count
+
+
+class SimulatedCrash(BaseException):
+    """Raised by test crash hooks to kill a 2PC mid-protocol.
+
+    Derives from :class:`BaseException` so the coordinator's abort
+    handling (which catches ``Exception``-level failures and rolls
+    prepared shards back) does not treat a simulated kill as a live
+    failure — a real crash gets no cleanup either.
+    """
+
+
+class ShardedBulkLoad:
+    """Context manager bracketing a bulk load across every shard.
+
+    Entering opens each shard's deferred-indexing bulk; a clean exit
+    flushes them all (and fires the sharded store's atomic listeners at
+    depth zero); an exception aborts every shard's still-pending inserts.
+    Same contract as :class:`~repro.triples.store.BulkLoad`, shard-wide.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "ShardedTripleStore") -> None:
+        self._store = store
+
+    def __enter__(self) -> "ShardedTripleStore":
+        self._store._begin_bulk()
+        return self._store
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._store._end_bulk()
+        else:
+            self._store._abort_bulk()
+        return False
+
+
+class ShardedTripleStore:
+    """N hash-partitioned stores behind the single-store API.
+
+    *shards* fixes the partition count (it also fixes the on-disk layout
+    under :class:`ShardedDurability` — reopening a directory with a
+    different count is rejected).  *store_factory* picks the per-shard
+    implementation (:class:`~repro.triples.store.TripleStore` or
+    :class:`~repro.triples.interned.InternedTripleStore` — both honour
+    the contract the parity suite pins).  *concurrent* is forwarded to
+    every shard.
+
+    Mutations route by subject; reads either route (subject bound) or
+    scatter-gather with a sequence-merge.  Change listeners subscribe at
+    the sharded level and receive the union of every shard's events with
+    their global sequence numbers.  The store-level lock only guards the
+    global sequence counter and listener bookkeeping — per-shard locks
+    serialize actual index mutation, which is what lets ingest fan out.
+    """
+
+    def __init__(self, shards: int = 4, concurrent: bool = False,
+                 store_factory: Callable[..., TripleStore] = TripleStore,
+                 max_workers: Optional[int] = None) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._shards: List[TripleStore] = [
+            store_factory(concurrent=concurrent) for _ in range(shards)]
+        self.concurrent = concurrent
+        self._lock = threading.RLock()
+        self._sequence = 0
+        self._listeners: List[ChangeListener] = []
+        self._forwarding = False
+        self._atomic_depth = 0
+        self._atomic_listeners: List[AtomicListener] = []
+        self._in_bulk = False
+        self._bulk_owner: Optional[int] = None
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # -- topology -------------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[TripleStore, ...]:
+        """The per-shard stores, in shard-index order."""
+        return tuple(self._shards)
+
+    @property
+    def shard_count(self) -> int:
+        """How many shards partition this store."""
+        return len(self._shards)
+
+    def shard_index(self, subject: Resource) -> int:
+        """Which shard owns triples with this subject."""
+        return shard_of(subject.uri, len(self._shards))
+
+    def shard_for(self, subject: Resource) -> TripleStore:
+        """The shard store owning triples with this subject."""
+        return self._shards[self.shard_index(subject)]
+
+    def route(self, subject: Optional[Resource] = None,
+              property: Optional[Resource] = None,
+              value: Optional[Node] = None) -> Tuple[str, int]:
+        """How a selection would be executed: ``('single', shard_index)``
+        for subject-bound probes, ``('scatter', shard_count)`` otherwise.
+        Surfaced for tests, ``explain`` output, and the routing docs."""
+        if subject is not None:
+            return ("single", self.shard_index(subject))
+        return ("scatter", len(self._shards))
+
+    # -- thread pool (ingest fan-out) ----------------------------------------
+
+    def _get_pool(self) -> Optional[ThreadPoolExecutor]:
+        if len(self._shards) == 1:
+            return None
+        with self._pool_lock:
+            if self._pool is None:
+                workers = self._max_workers or len(self._shards)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="slim-shard")
+            return self._pool
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the ingest fan-out pool down (idempotent).
+
+        The shards themselves hold no OS resources; durability handles
+        are closed by their owners (:class:`ShardedDurability`).
+        ``wait=False`` skips joining the worker threads — finalizers must
+        use it, because a join inside ``__del__`` can deadlock when GC
+        fires on a thread that is mid-bootstrap and already holds
+        CPython's ``_shutdown_locks_lock``, which ``Thread._stop``
+        (reached via the join) then re-acquires.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __del__(self) -> None:
+        try:
+            self.close(wait=False)
+        except BaseException:
+            pass
+
+    # -- locking / atomic scopes ---------------------------------------------
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The store-level lock (sequence counter + listener bookkeeping).
+
+        This does **not** freeze the shards; multi-step consistent reads
+        against one shard should hold that shard's own ``lock``.
+        """
+        return self._lock
+
+    @property
+    def in_atomic(self) -> bool:
+        """Whether an atomic scope (bulk load or Batch) is open."""
+        return self._atomic_depth > 0
+
+    def begin_atomic(self) -> None:
+        """Open an atomic scope on the sharded store (scopes nest)."""
+        with self._lock:
+            self._atomic_depth += 1
+
+    def end_atomic(self) -> None:
+        """Close one atomic scope; fire atomic listeners at depth zero."""
+        with self._lock:
+            if self._atomic_depth <= 0:
+                raise TransactionError("no atomic scope to end")
+            self._atomic_depth -= 1
+            fire = self._atomic_depth == 0
+        if fire:
+            for listener in list(self._atomic_listeners):
+                listener()
+
+    def add_atomic_listener(self, listener: AtomicListener) -> Callable[[], None]:
+        """Register a callback for outermost atomic-scope exit
+        (same contract as the single store's)."""
+        with self._lock:
+            self._atomic_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if listener in self._atomic_listeners:
+                    self._atomic_listeners.remove(listener)
+
+        return unsubscribe
+
+    # -- bulk loading ---------------------------------------------------------
+
+    def bulk(self) -> ShardedBulkLoad:
+        """A deferred-indexing ingest across all shards."""
+        return ShardedBulkLoad(self)
+
+    @property
+    def in_bulk(self) -> bool:
+        """Whether a sharded bulk load is currently active."""
+        return self._in_bulk
+
+    def _begin_bulk(self) -> None:
+        with self._lock:
+            if self._in_bulk:
+                raise TransactionError("bulk load already active on this store")
+            self._in_bulk = True
+            self._bulk_owner = threading.get_ident()
+            self._atomic_depth += 1
+        entered: List[TripleStore] = []
+        try:
+            for shard in self._shards:
+                shard._begin_bulk()
+                entered.append(shard)
+        except BaseException:
+            for shard in entered:
+                shard._abort_bulk()
+            with self._lock:
+                self._in_bulk = False
+                self._bulk_owner = None
+                self._atomic_depth -= 1
+            raise
+
+    def _end_bulk(self) -> None:
+        for shard in self._shards:
+            shard._end_bulk()
+        self._finish_bulk()
+
+    def _abort_bulk(self) -> None:
+        for shard in self._shards:
+            shard._abort_bulk()
+        self._finish_bulk()
+
+    def _finish_bulk(self) -> None:
+        with self._lock:
+            self._in_bulk = False
+            self._bulk_owner = None
+            self._atomic_depth -= 1
+            fire = self._atomic_depth == 0
+        if fire:
+            for listener in list(self._atomic_listeners):
+                listener()
+
+    # -- mutation -------------------------------------------------------------
+
+    def _next_sequence(self) -> int:
+        with self._lock:
+            sequence = self._sequence
+            self._sequence += 1
+            return sequence
+
+    def add(self, triple: Triple) -> bool:
+        """Insert *triple* on its subject's shard; ``True`` when new.
+
+        The triple enters the shard with a globally allocated sequence
+        number, so cross-shard ordering stays total.  A duplicate insert
+        leaves an unused sequence behind — harmless, ordering only needs
+        monotonicity, never density.
+
+        The sequence is allocated *under the shard's lock* (an RLock, so
+        the nested :meth:`TripleStore.restore` re-enters it) — racing
+        writers on one shard then hand their sequences over in allocation
+        order, keeping every shard's tail append-only.  Allocating first
+        and inserting second would let a later sequence land before an
+        earlier one and trip restore's below-tail O(n log n) rebuild on
+        every race.
+        """
+        shard = self.shard_for(triple.subject)
+        with shard._lock:
+            sequence = self._next_sequence()
+            return shard.restore(triple, sequence)
+
+    def restore(self, triple: Triple, sequence: int) -> bool:
+        """Insert *triple* at an explicit global sequence position
+        (undo/rollback/WAL replay; see :meth:`TripleStore.restore`)."""
+        with self._lock:
+            self._sequence = max(self._sequence, sequence + 1)
+        return self.shard_for(triple.subject).restore(triple, sequence)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; return how many were new.
+
+        Routing happens in one pass that also allocates the global
+        sequence block; the per-shard groups are then applied through
+        each shard's own fast path.  Large batches fan the per-shard
+        groups out across the ingest thread pool, so one shard's WAL and
+        index work overlaps another's — inside a :meth:`bulk` load each
+        group is a pending-buffer append riding the deferred-index path.
+        """
+        count = len(self._shards)
+        groups: List[List[Tuple[Triple, int]]] = [[] for _ in range(count)]
+        total = 0
+        with self._lock:
+            sequence = self._sequence
+            for t in triples:
+                groups[shard_of(t.subject.uri, count)].append((t, sequence))
+                sequence += 1
+                total += 1
+            self._sequence = sequence
+        busy = [(self._shards[i], group)
+                for i, group in enumerate(groups) if group]
+        pool = self._get_pool() if total >= _PARALLEL_MIN else None
+        if pool is None or len(busy) < 2:
+            return sum(self._apply_group(shard, group)
+                       for shard, group in busy)
+        futures = [pool.submit(self._apply_group, shard, group)
+                   for shard, group in busy]
+        return sum(f.result() for f in futures)
+
+    @staticmethod
+    def _apply_group(shard: TripleStore, group: List[Tuple[Triple, int]]) -> int:
+        added = 0
+        for t, sequence in group:
+            if shard.restore(t, sequence):
+                added += 1
+        return added
+
+    def remove(self, triple: Triple) -> None:
+        """Delete *triple*; raise :class:`TripleNotFoundError` if absent."""
+        self.shard_for(triple.subject).remove(triple)
+
+    def discard(self, triple: Triple) -> bool:
+        """Delete *triple* if present; return whether it was."""
+        return self.shard_for(triple.subject).discard(triple)
+
+    def remove_matching(self, subject: Optional[Resource] = None,
+                        property: Optional[Resource] = None,
+                        value: Optional[Node] = None) -> int:
+        """Delete every matching triple; subject-bound removals touch one
+        shard, the rest sweep all shards.  Returns the total count."""
+        if subject is not None:
+            return self.shard_for(subject).remove_matching(
+                subject, property, value)
+        return sum(shard.remove_matching(subject, property, value)
+                   for shard in self._shards)
+
+    def clear(self) -> None:
+        """Delete every triple on every shard (listeners see each removal)."""
+        for shard in self._shards:
+            shard.clear()
+
+    # -- selection ------------------------------------------------------------
+
+    def match(self, subject: Optional[Resource] = None,
+              property: Optional[Resource] = None,
+              value: Optional[Node] = None) -> Iterator[Triple]:
+        """Yield matching triples: routed to one shard when the subject is
+        fixed, scatter-gathered (shard-index order) otherwise."""
+        if subject is not None:
+            yield from self.shard_for(subject).match(subject, property, value)
+            return
+        for shard in self._shards:
+            yield from shard.match(subject, property, value)
+
+    def select(self, subject: Optional[Resource] = None,
+               property: Optional[Resource] = None,
+               value: Optional[Node] = None) -> List[Triple]:
+        """Matching triples in global insertion order.
+
+        Subject-bound selections are a single shard's (already globally
+        ordered) result; scatter-gather merges the per-shard sorted runs
+        by sequence number — k sorted runs, O(n log k), no full re-sort.
+        """
+        if subject is not None:
+            return self.shard_for(subject).select(subject, property, value)
+        runs: List[List[Tuple[int, Triple]]] = []
+        for shard in self._shards:
+            hits = shard.select(subject, property, value)
+            if hits:
+                runs.append([(self._sequence_or(shard, t), t) for t in hits])
+        if not runs:
+            return []
+        if len(runs) == 1:
+            return [t for _, t in runs[0]]
+        return [t for _, t in heapq.merge(*runs)]
+
+    @staticmethod
+    def _sequence_or(shard: TripleStore, triple: Triple) -> int:
+        # A racing removal can drop a hit between the shard's select and
+        # this lookup (concurrent mode); order it first, as the plain
+        # store's concurrent select does, rather than raise.
+        try:
+            return shard.sequence_of(triple)
+        except TripleNotFoundError:
+            return -1
+
+    def one(self, subject: Optional[Resource] = None,
+            property: Optional[Resource] = None,
+            value: Optional[Node] = None) -> Optional[Triple]:
+        """The single matching triple, ``None`` if none; raises
+        :class:`LookupError` when more than one matches."""
+        found: Optional[Triple] = None
+        for triple in self.match(subject, property, value):
+            if found is not None:
+                raise LookupError(
+                    f"expected at most one triple for "
+                    f"({subject}, {property}, {value})")
+            found = triple
+        return found
+
+    def value_of(self, subject: Resource, property: Resource) -> Optional[Node]:
+        """The value of a single-valued property, or ``None``."""
+        hit = self.one(subject=subject, property=property)
+        return None if hit is None else hit.value
+
+    def literal_of(self, subject: Resource, property: Resource):
+        """The Python value of a single-valued literal property, or ``None``."""
+        node = self.value_of(subject, property)
+        if node is None:
+            return None
+        if not isinstance(node, Literal):
+            raise LookupError(
+                f"{subject} {property} holds a resource, not a literal")
+        return node.value
+
+    def values_of(self, subject: Resource, property: Resource) -> List[Node]:
+        """All values of a property on *subject*, in insertion order."""
+        return [t.value for t in self.select(subject=subject,
+                                             property=property)]
+
+    # -- statistics (read by the query planner) -------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Sum of the shard generations: bumps on every mutation anywhere,
+        so view caches keyed on it stay exactly as safe as before."""
+        return sum(shard.generation for shard in self._shards)
+
+    @property
+    def sequence_ceiling(self) -> int:
+        """The next global insertion-sequence number."""
+        return self._sequence
+
+    def count(self, subject: Optional[Resource] = None,
+              property: Optional[Resource] = None,
+              value: Optional[Node] = None) -> int:
+        """Matching-triple count: one shard's exact bucket size when the
+        subject is bound, the sum over shards otherwise — which is what
+        makes per-shard statistics feed a *global* selectivity estimate
+        for the planner without any planner changes."""
+        if subject is not None:
+            return self.shard_for(subject).count(subject, property, value)
+        return sum(shard.count(subject, property, value)
+                   for shard in self._shards)
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self.shard_for(triple.subject)
+
+    def _merged_items(self) -> Iterator[Tuple[int, Triple]]:
+        runs = []
+        for shard in self._shards:
+            items = [(self._sequence_or(shard, t), t) for t in shard]
+            if items:
+                runs.append(items)
+        return heapq.merge(*runs)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return (t for _, t in self._merged_items())
+
+    def sequence_of(self, triple: Triple) -> int:
+        """The global insertion-sequence number of a present triple."""
+        return self.shard_for(triple.subject).sequence_of(triple)
+
+    def subjects(self) -> List[Resource]:
+        """Distinct subjects, in first-appearance (global) order."""
+        seen: Dict[Resource, None] = {}
+        for triple in self:
+            seen.setdefault(triple.subject, None)
+        return list(seen)
+
+    def properties(self) -> List[Resource]:
+        """Distinct properties, in first-appearance (global) order."""
+        seen: Dict[Resource, None] = {}
+        for triple in self:
+            seen.setdefault(triple.property, None)
+        return list(seen)
+
+    def resources(self) -> List[Resource]:
+        """Every resource mentioned anywhere, first-appearance order."""
+        seen: Dict[Resource, None] = {}
+        for triple in self:
+            seen.setdefault(triple.subject, None)
+            seen.setdefault(triple.property, None)
+            if isinstance(triple.value, Resource):
+                seen.setdefault(triple.value, None)
+        return list(seen)
+
+    def estimated_bytes(self) -> int:
+        """Rough in-memory footprint: sum of the shard estimates."""
+        return sum(shard.estimated_bytes() for shard in self._shards)
+
+    # -- listeners ------------------------------------------------------------
+
+    def add_listener(self, listener: ChangeListener) -> Callable[[], None]:
+        """Register a change listener for events from *every* shard.
+
+        Forwarding taps onto the shard stores attach lazily on the first
+        subscription, so an unobserved sharded store pays no per-mutation
+        fan-out cost.  Sequence numbers in events are global.
+        """
+        with self._lock:
+            if not self._forwarding:
+                self._forwarding = True
+                for shard in self._shards:
+                    shard.add_listener(self._forward)
+            self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if listener in self._listeners:
+                    self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def _forward(self, action: str, triple: Triple, sequence: int) -> None:
+        for listener in list(self._listeners):
+            listener(action, triple, sequence)
+
+    # -- recovery support -----------------------------------------------------
+
+    def _resync_sequence(self) -> None:
+        """Advance the global counter past every shard's ceiling —
+        required after recovery loads shards with logged sequences."""
+        with self._lock:
+            ceiling = max((shard.sequence_ceiling for shard in self._shards),
+                          default=0)
+            self._sequence = max(self._sequence, ceiling)
+
+
+# -- the coordinator meta-WAL -------------------------------------------------
+
+class MetaScan(NamedTuple):
+    """Decoded state of a coordinator meta-WAL."""
+
+    epoch: int                  #: store incarnation (0 = no epoch record)
+    shard_count: int            #: layout the epoch record pinned
+    decisions: Dict[int, bool]  #: txn -> committed?
+    finished: Set[int]          #: txns whose every participant is fenced
+    txn_floor: int              #: highest txn number ever issued
+    valid_end: int              #: offset past the last valid record
+    total_bytes: int            #: file size on disk
+
+
+def _scan_meta(path: str) -> MetaScan:
+    """Read a meta-WAL, stopping (like :func:`scan_wal`) at the first
+    torn or corrupt record.  A missing file scans as empty."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return MetaScan(0, 0, {}, set(), 0, 0, 0)
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path}: {exc}") from exc
+    total = len(data)
+    if data[:len(META_MAGIC)] != META_MAGIC:
+        return MetaScan(0, 0, {}, set(), 0, 0, total)
+    epoch = 0
+    shard_count = 0
+    decisions: Dict[int, bool] = {}
+    finished: Set[int] = set()
+    txn_floor = 0
+    offset = len(META_MAGIC)
+    valid_end = offset
+    while offset + _FRAME.size <= total:
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > total:
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        kind = payload[:1]
+        try:
+            if kind == b"E" and len(payload) == 1 + 8 + 4 + 8:
+                (epoch,) = _U64.unpack_from(payload, 1)
+                (shard_count,) = _U32.unpack_from(payload, 9)
+                (floor,) = _U64.unpack_from(payload, 13)
+                txn_floor = max(txn_floor, floor)
+            elif kind == b"T" and len(payload) == 1 + 8 + 1:
+                (txn,) = _U64.unpack_from(payload, 1)
+                decisions[txn] = payload[9] == 1
+                txn_floor = max(txn_floor, txn)
+            elif kind == b"F" and len(payload) == 1 + 8:
+                (txn,) = _U64.unpack_from(payload, 1)
+                finished.add(txn)
+            else:
+                break
+        except struct.error:
+            break
+        offset = end
+        valid_end = end
+    return MetaScan(epoch, shard_count, decisions, finished, txn_floor,
+                    valid_end, total)
+
+
+def _meta_header(epoch: int, shard_count: int, txn_floor: int) -> bytes:
+    record = (b"E" + _U64.pack(epoch) + _U32.pack(shard_count)
+              + _U64.pack(txn_floor))
+    return META_MAGIC + _frame(record)
+
+
+class _MetaLog:
+    """The coordinator's decision log for multi-shard transactions.
+
+    Appends checksummed frames in the WAL's framing: an epoch record
+    pinning (epoch, shard layout, txn floor), per-transaction decision
+    records (the 2PC commit point — fsynced), and advisory *finished*
+    records (not fsynced; they only let compaction know a decision can
+    be dropped).  Compaction atomically rewrites the file down to a
+    fresh epoch record carrying the current txn floor, and only runs
+    when every decided transaction is finished — so no decision that a
+    shard repair might still need can ever be lost.
+    """
+
+    #: Compact once this many decisions have accumulated (all finished).
+    COMPACT_DECISIONS = 64
+
+    def __init__(self, path: str, shard_count: int, fsync: bool = True,
+                 epoch_floor: int = 0) -> None:
+        self.path = path
+        self._fsync = fsync
+        self._lock = threading.RLock()
+        self.sync_count = 0
+        scan = _scan_meta(path)
+        if scan.epoch == 0:
+            # Fresh (or unreadable) meta-WAL: start an incarnation above
+            # both anything the old file pinned and any epoch found in
+            # stale shard prepare records, so leftovers can never match.
+            self.epoch = max(scan.epoch, epoch_floor) + 1
+            self.shard_count = shard_count
+            self._txn = scan.txn_floor
+            _atomic_write(path, _meta_header(self.epoch, shard_count,
+                                             self._txn))
+            self.decisions: Dict[int, bool] = {}
+            self.finished: Set[int] = set()
+            valid_end = len(_meta_header(self.epoch, shard_count, self._txn))
+        else:
+            self.epoch = scan.epoch
+            self.shard_count = scan.shard_count
+            self._txn = scan.txn_floor
+            self.decisions = dict(scan.decisions)
+            self.finished = set(scan.finished)
+            valid_end = scan.valid_end
+            if shard_count != scan.shard_count:
+                raise PersistenceError(
+                    f"{path}: layout has {scan.shard_count} shard(s), "
+                    f"store was opened with {shard_count} — resharding an "
+                    f"existing directory is not supported")
+        try:
+            self._file = open(path, "r+b")
+            self._file.truncate(valid_end)
+            self._file.seek(valid_end)
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot open meta-WAL {path}: {exc}") from exc
+
+    def next_txn(self) -> int:
+        """Allocate the next coordinator transaction number."""
+        with self._lock:
+            self._txn += 1
+            return self._txn
+
+    def decide(self, txn: int, commit: bool) -> None:
+        """Durably record the commit/abort decision — the 2PC commit point."""
+        payload = b"T" + _U64.pack(txn) + (b"\x01" if commit else b"\x00")
+        self._append(payload, durable=True)
+        with self._lock:
+            self.decisions[txn] = commit
+
+    def finish(self, txn: int) -> None:
+        """Record that every participant is fenced (advisory, no fsync)."""
+        self._append(b"F" + _U64.pack(txn), durable=False)
+        with self._lock:
+            self.finished.add(txn)
+
+    def maybe_compact(self) -> None:
+        """Drop fully-finished decisions by rewriting the log atomically."""
+        with self._lock:
+            if self._file is None:
+                return
+            if len(self.decisions) < self.COMPACT_DECISIONS:
+                return
+            if any(txn not in self.finished for txn in self.decisions):
+                return
+            header = _meta_header(self.epoch, self.shard_count, self._txn)
+            _atomic_write(self.path, header)
+            self._file.close()
+            try:
+                self._file = open(self.path, "r+b")
+                self._file.seek(len(header))
+            except OSError as exc:
+                self._file = None
+                raise PersistenceError(
+                    f"cannot reopen meta-WAL {self.path}: {exc}") from exc
+            self.decisions.clear()
+            self.finished.clear()
+
+    def close(self) -> None:
+        """Flush and close (idempotent)."""
+        with self._lock:
+            file, self._file = self._file, None
+        if file is not None:
+            try:
+                file.flush()
+            finally:
+                file.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except BaseException:
+            pass
+
+    def _append(self, payload: bytes, durable: bool) -> None:
+        with self._lock:
+            if self._file is None:
+                raise PersistenceError(f"meta-WAL {self.path} is closed")
+            try:
+                self._file.write(_frame(payload))
+                self._file.flush()
+                if durable and self._fsync:
+                    os.fsync(self._file.fileno())
+                    self.sync_count += 1
+            except OSError as exc:
+                raise PersistenceError(
+                    f"cannot append to meta-WAL {self.path}: {exc}") from exc
+
+
+# -- recovery -----------------------------------------------------------------
+
+def _repair_shard_wal(path: str, decisions: Dict[int, bool],
+                      epoch: int) -> bool:
+    """Resolve a prepared-but-unfenced tail group in one shard WAL.
+
+    When the coordinator decided *commit* for the prepared transaction
+    (and the prepare's epoch matches the live incarnation), the fence is
+    finished here: the boundary record is appended so ordinary recovery
+    replays the group.  Every other case — no decision, abort decision,
+    stale epoch — is left alone; plain recovery discards unfenced tails,
+    which *is* the rollback.  Returns whether a fence was written.
+    Idempotent: a repaired WAL has no prepared tail on the next scan.
+    """
+    scan = scan_wal(path)
+    prepared = scan.prepared
+    if prepared is None:
+        return False
+    info = prepared.info
+    if info.epoch != epoch or not decisions.get(info.txn, False):
+        return False
+    group = scan.last_group + 1
+    try:
+        with open(path, "r+b") as handle:
+            handle.truncate(prepared.end_offset)
+            handle.seek(prepared.end_offset)
+            handle.write(_frame(encode_commit(group)))
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as exc:
+        raise PersistenceError(f"cannot repair WAL {path}: {exc}") from exc
+    return True
+
+
+class ShardedRecoveryResult(NamedTuple):
+    """What :func:`recover_sharded` reconstructed and how."""
+
+    store: ShardedTripleStore        #: the recovered sharded store
+    shards: List[RecoveryResult]     #: per-shard recovery detail
+    repaired: int                    #: prepared groups fenced from meta-WAL
+    epoch: int                       #: coordinator epoch found (0 if none)
+    namespaces: NamespaceRegistry    #: registry with every declaration
+
+
+def shard_directories(directory: str) -> List[str]:
+    """The ``shard-NNN`` subdirectories under a sharded durable root,
+    in shard-index order.  Empty when *directory* is not sharded."""
+    try:
+        entries = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    matches = sorted(e for e in entries if _SHARD_DIR_RE.match(e))
+    return [os.path.join(directory, e) for e in matches]
+
+
+def is_sharded_directory(directory: str) -> bool:
+    """Whether *directory* holds a sharded durable layout."""
+    return bool(shard_directories(directory)) or \
+        os.path.exists(os.path.join(directory, META_FILE))
+
+
+def recover_sharded(directory: str,
+                    namespaces: Optional[NamespaceRegistry] = None,
+                    concurrent: bool = False,
+                    store_factory: Callable[..., TripleStore] = TripleStore
+                    ) -> ShardedRecoveryResult:
+    """Rebuild the sharded durable state under *directory*.
+
+    Reads the coordinator meta-WAL, finishes the fence of every prepared
+    group whose transaction was decided *commit* (and leaves every other
+    in-doubt group for ordinary recovery to discard — the rollback),
+    then recovers each shard directory into a fresh
+    :class:`ShardedTripleStore`.  The resulting store is consistent:
+    every in-flight multi-shard transaction is either fully applied or
+    fully absent, on all shards alike.
+    """
+    dirs = shard_directories(directory)
+    if not dirs:
+        raise PersistenceError(
+            f"{directory!r} holds no shard directories (not a sharded "
+            f"durable root)")
+    meta = _scan_meta(os.path.join(directory, META_FILE))
+    store = ShardedTripleStore(len(dirs), concurrent=concurrent,
+                               store_factory=store_factory)
+    registry = namespaces if namespaces is not None else NamespaceRegistry()
+    repaired = 0
+    results: List[RecoveryResult] = []
+    for shard, shard_dir in zip(store.shards, dirs):
+        if meta.epoch:
+            if _repair_shard_wal(os.path.join(shard_dir, WAL_FILE),
+                                 meta.decisions, meta.epoch):
+                repaired += 1
+        results.append(recover(shard_dir, store=shard, namespaces=registry))
+    store._resync_sequence()
+    return ShardedRecoveryResult(store, results, repaired, meta.epoch,
+                                 registry)
+
+
+# -- the sharded durability orchestrator --------------------------------------
+
+class ShardedDurability:
+    """Crash-safe persistence for a :class:`ShardedTripleStore`.
+
+    Layout under *directory*::
+
+        meta.wal        coordinator epoch + 2PC decision records
+        shard-000/      snapshot.slim + wal.log   (one Durability each)
+        shard-001/      ...
+
+    Attaching recovers existing state (finishing or rolling back any
+    in-doubt transaction first), then logs every mutation through the
+    owning shard's WAL.  :meth:`commit` closes a durable group: one
+    ordinary WAL group commit when a single shard is dirty, two-phase
+    commit across the participants otherwise.  :meth:`commit_for` is the
+    partitioned fast path — it durably commits only the shard owning one
+    subject, so independent writers on different shards overlap their
+    fsyncs instead of serializing on one log.
+
+    *sync* and *commit_every* carry the
+    :class:`~repro.triples.wal.Durability` semantics to the coordinator:
+    ``'group'``/``'async'`` run commits on a background flusher shared
+    by all committers, and *commit_every* auto-commits outside atomic
+    scopes.  Compaction is per shard, at each shard's own cadence.
+    """
+
+    _SYNC_MODES = ("inline", "group", "async")
+
+    def __init__(self, store: ShardedTripleStore, directory: str,
+                 namespaces: Optional[NamespaceRegistry] = None,
+                 compact_every: int = 64, fsync: bool = True,
+                 commit_every: Optional[int] = None,
+                 sync: str = "inline") -> None:
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        if commit_every is not None and commit_every < 1:
+            raise ValueError("commit_every must be >= 1 or None")
+        if sync not in self._SYNC_MODES:
+            raise ValueError(f"sync must be one of {self._SYNC_MODES}")
+        self.directory = directory
+        self.namespaces = namespaces
+        self.compact_every = compact_every
+        self.commit_every = commit_every
+        self.sync = sync
+        self._store = store
+        count = store.shard_count
+        existing = shard_directories(directory)
+        if existing and len(existing) != count:
+            raise PersistenceError(
+                f"{directory!r} holds {len(existing)} shard(s), store was "
+                f"opened with {count} — resharding is not supported")
+        os.makedirs(directory, exist_ok=True)
+        shard_dirs = [os.path.join(directory, SHARD_DIR_FMT % i)
+                      for i in range(count)]
+        # A fresh meta-WAL must pick an epoch above any stale prepare
+        # record a discarded incarnation left in the shard WALs.
+        epoch_floor = 0
+        for shard_dir in shard_dirs:
+            scan = scan_wal(os.path.join(shard_dir, WAL_FILE))
+            if scan.prepared is not None:
+                epoch_floor = max(epoch_floor, scan.prepared.info.epoch)
+        self._meta = _MetaLog(os.path.join(directory, META_FILE),
+                              shard_count=count, fsync=fsync,
+                              epoch_floor=epoch_floor)
+        #: How many in-doubt groups recovery fenced to completion.
+        self.repaired = 0
+        for shard_dir in shard_dirs:
+            os.makedirs(shard_dir, exist_ok=True)
+            if _repair_shard_wal(os.path.join(shard_dir, WAL_FILE),
+                                 self._meta.decisions, self._meta.epoch):
+                self.repaired += 1
+        self._durs: List[Durability] = []
+        try:
+            for shard, shard_dir in zip(store.shards, shard_dirs):
+                # Per-shard orchestrators recover their shard and log its
+                # changes; the coordinator owns all commit decisions, so
+                # auto-grouping and background sync stay disabled here.
+                self._durs.append(Durability(
+                    shard, shard_dir, namespaces=namespaces,
+                    compact_every=compact_every, fsync=fsync,
+                    commit_every=None, sync="inline"))
+        except BaseException:
+            for dur in self._durs:
+                dur.close()
+            self._meta.close()
+            raise
+        store._resync_sequence()
+        self._meta_lock = threading.Lock()
+        self._shard_locks = [threading.Lock() for _ in range(count)]
+        self._inline_commits = 0
+        self._closed = False
+        self._flusher: Optional[_GroupCommitFlusher] = None
+        #: Test instrumentation: called as ``hook(stage, txn, index)`` at
+        #: each 2PC protocol step; raising :class:`SimulatedCrash` kills
+        #: the coordinator mid-protocol with no cleanup, like a real
+        #: crash.  ``None`` outside the crash-injection suite.
+        self.crash_hook: Optional[Callable[[str, int, Optional[int]], None]] = None
+        self._unsubscribe = store.add_listener(self._on_change)
+        self._unsubscribe_atomic = store.add_atomic_listener(
+            self._on_atomic_end)
+        try:
+            self._meta.maybe_compact()
+            if sync != "inline":
+                self._flusher = _GroupCommitFlusher(self,
+                                                    ack=(sync == "group"))
+        except BaseException:
+            self._unsubscribe()
+            self._unsubscribe_atomic()
+            for dur in self._durs:
+                dur.close()
+            self._meta.close()
+            raise
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def shard_durabilities(self) -> Tuple[Durability, ...]:
+        """The per-shard orchestrators, in shard-index order."""
+        return tuple(self._durs)
+
+    @property
+    def recovered(self) -> List[Optional[RecoveryResult]]:
+        """Per-shard recovery results (``None`` for fresh shards)."""
+        return [dur.recovered for dur in self._durs]
+
+    @property
+    def epoch(self) -> int:
+        """The coordinator epoch (store incarnation)."""
+        return self._meta.epoch
+
+    @property
+    def group(self) -> int:
+        """Total committed WAL groups across every shard."""
+        return sum(dur.group for dur in self._durs)
+
+    @property
+    def pending_changes(self) -> int:
+        """Changes logged since the last commit, across every shard."""
+        return sum(dur.pending_changes for dur in self._durs)
+
+    @property
+    def commits_requested(self) -> int:
+        """Commit calls that reached a WAL (any sync mode)."""
+        flusher = self._flusher
+        coordinator = self._inline_commits + (flusher.requested
+                                              if flusher else 0)
+        return coordinator + sum(dur.commits_requested for dur in self._durs)
+
+    @property
+    def fsync_count(self) -> int:
+        """Group-commit fsyncs across every shard WAL plus the meta-WAL."""
+        return (sum(dur.fsync_count for dur in self._durs)
+                + self._meta.sync_count)
+
+    # -- committing -----------------------------------------------------------
+
+    def commit(self, wait: Optional[bool] = None) -> bool:
+        """Close the current group; ``False`` when nothing changed.
+
+        Groups whose changes live on one shard commit as that shard's
+        ordinary WAL group.  Multi-shard groups run two-phase commit:
+        prepare every participant, fsync the decision into the meta-WAL,
+        fence every participant.  *wait* follows
+        :meth:`Durability.commit` under ``sync='group'``/``'async'``.
+        """
+        if self._closed:
+            raise PersistenceError("sharded durability handle is closed")
+        if self._flusher is None:
+            changed = self._flush_group()
+            if changed:
+                with self._meta_lock:
+                    self._inline_commits += 1
+                self._maybe_compact()
+            return changed
+        if self.pending_changes == 0:
+            return False
+        if wait is None:
+            wait = self.sync == "group"
+        self._flusher.request(wait=wait)
+        return True
+
+    def commit_for(self, subject: Resource) -> bool:
+        """Durably commit only the shard owning *subject*.
+
+        The partitioned fast path: a writer whose batch touched one
+        subject's shard pays one WAL group commit there, concurrently
+        with other writers committing other shards — no coordinator
+        serialization, which is where the multi-writer ingest speedup
+        comes from (``benchmarks/test_trim_sharding.py``).  Changes other
+        writers put on the *same* shard since its last commit join the
+        group, exactly like racing committers on a single WAL.
+        """
+        if self._closed:
+            raise PersistenceError("sharded durability handle is closed")
+        index = self._store.shard_index(subject)
+        with self._shard_locks[index]:
+            return self._durs[index].commit()
+
+    def compact(self) -> None:
+        """Fold every shard's log into a fresh snapshot."""
+        if self._closed:
+            raise PersistenceError("sharded durability handle is closed")
+        for lock, dur in zip(self._shard_locks, self._durs):
+            with lock:
+                dur.compact()
+        with self._meta._lock:
+            self._meta.maybe_compact()
+
+    def close(self) -> None:
+        """Detach from the store and close every log (idempotent).
+
+        Safe to call from finalizers; a background flusher is drained
+        first and its stashed error (if any) re-raised after all
+        resources are released.
+        """
+        self._close(join=True)
+
+    def _close(self, join: bool) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._unsubscribe()
+        self._unsubscribe_atomic()
+        errors: List[BaseException] = []
+        if self._flusher is not None:
+            try:
+                self._flusher.close(join=join)
+            except BaseException as exc:
+                errors.append(exc)
+        for dur in self._durs:
+            try:
+                dur._close(join=join)
+            except BaseException as exc:
+                errors.append(exc)
+        try:
+            self._meta.close()
+        except BaseException as exc:
+            errors.append(exc)
+        if errors:
+            raise errors[0]
+
+    def __del__(self) -> None:
+        # Never join threads from a finalizer (see TripleStore pool and
+        # _GroupCommitFlusher close docstrings for the GC deadlock).
+        try:
+            self._close(join=False)
+        except BaseException:
+            pass
+
+    # -- internals ------------------------------------------------------------
+
+    def _crash(self, stage: str, txn: int, index: Optional[int] = None) -> None:
+        hook = self.crash_hook
+        if hook is not None:
+            hook(stage, txn, index)
+
+    def _flush_group(self) -> bool:
+        """One coordinated group commit; ``True`` if anything was dirty.
+
+        Takes the coordinator lock, then every shard lock in index order
+        (excluding concurrent :meth:`commit_for` calls), then runs either
+        the single-shard fast path or the 2PC protocol.
+        """
+        with self._meta_lock:
+            for lock in self._shard_locks:
+                lock.acquire()
+            try:
+                participants = [dur for dur in self._durs
+                                if dur.pending_changes > 0]
+                if not participants:
+                    return False
+                if len(participants) == 1:
+                    return participants[0]._flush_group()
+                self._two_phase_commit(participants)
+                return True
+            finally:
+                for lock in reversed(self._shard_locks):
+                    lock.release()
+
+    def _two_phase_commit(self, participants: List[Durability]) -> None:
+        txn = self._meta.next_txn()
+        info = PrepareInfo(txn, len(participants), self._meta.epoch)
+        prepared: List[Durability] = []
+        try:
+            if self.crash_hook is None and len(participants) > 1:
+                pool = self._store._get_pool()
+            else:
+                # Crash-injection runs serially so every inter-step
+                # window is a deterministic kill point.
+                pool = None
+            if pool is None:
+                for i, dur in enumerate(participants):
+                    dur._wal.prepare(info)
+                    prepared.append(dur)
+                    self._crash("prepare", txn, i)
+            else:
+                futures = [pool.submit(dur._wal.prepare, info)
+                           for dur in participants]
+                prepared = list(participants)
+                for future in futures:
+                    future.result()
+        except SimulatedCrash:
+            raise
+        except BaseException:
+            # Phase-1 failure: record the abort (so a concurrent crash
+            # still resolves to rollback), then roll every prepared WAL
+            # back; their buffers stay intact for a retry.
+            try:
+                self._meta.decide(txn, commit=False)
+            finally:
+                for dur in prepared:
+                    try:
+                        dur._wal.abort_prepared()
+                    except PersistenceError:
+                        pass  # that WAL failed closed; recovery discards
+            raise
+        self._crash("decide", txn)
+        self._meta.decide(txn, commit=True)   # <- the commit point
+        self._crash("decided", txn)
+        pool = (self._store._get_pool()
+                if self.crash_hook is None and len(participants) > 1 else None)
+        if pool is None:
+            for i, dur in enumerate(participants):
+                dur._wal.fence()
+                with dur._meta_lock:
+                    dur._groups_since_snapshot += 1
+                self._crash("fence", txn, i)
+        else:
+            futures = [pool.submit(dur._wal.fence) for dur in participants]
+            for future in futures:
+                future.result()
+            for dur in participants:
+                with dur._meta_lock:
+                    dur._groups_since_snapshot += 1
+        self._meta.finish(txn)
+        self._crash("finish", txn)
+        self._meta.maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Per-shard compaction at each shard's own cadence; never blocks
+        on a busy shard (same contract as :meth:`Durability._maybe_compact`)."""
+        for lock, dur in zip(self._shard_locks, self._durs):
+            if not lock.acquire(blocking=False):
+                continue
+            try:
+                dur._maybe_compact()
+            finally:
+                lock.release()
+
+    def _on_change(self, action: str, triple: Triple, sequence: int) -> None:
+        if self.commit_every is not None \
+                and not self._store.in_atomic \
+                and self.pending_changes >= self.commit_every:
+            self.commit(wait=False)
+
+    def _on_atomic_end(self) -> None:
+        if self._closed or self.commit_every is None:
+            return
+        if self.pending_changes >= self.commit_every \
+                and not self._store.in_atomic:
+            self.commit(wait=False)

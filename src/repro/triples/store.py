@@ -659,6 +659,16 @@ class TripleStore:
         """
         return self._generation
 
+    @property
+    def sequence_ceiling(self) -> int:
+        """The next insertion-sequence number this store would hand out.
+
+        Strictly greater than the sequence of every triple ever inserted
+        (including pending bulk inserts).  A sharded store reads this per
+        shard after recovery to resynchronize its global sequence counter.
+        """
+        return self._sequence
+
     def count(self, subject: Optional[Resource] = None,
               property: Optional[Resource] = None,
               value: Optional[Node] = None) -> int:

@@ -25,6 +25,7 @@ from typing import Iterable, List, Optional, Union
 from repro.triples import persistence
 from repro.triples.namespaces import NamespaceRegistry
 from repro.triples.query import Query
+from repro.triples.sharded import ShardedDurability, ShardedTripleStore
 from repro.triples.store import TripleStore
 from repro.triples.transactions import Batch, UndoLog
 from repro.triples.triple import (Literal, LiteralValue, Node, Resource,
@@ -75,6 +76,13 @@ class TrimManager:
     force a mid-ingest index flush; index buckets publish copy-on-write.
     ``sync='group'``/``'async'`` moves commit fsyncs to a background
     flusher shared by all committing threads.
+
+    Pass ``shards=N`` (N > 1) to hash-partition the pool by subject
+    across N store instances (:mod:`repro.triples.sharded`): ingest fans
+    out per shard, subject-bound queries route to one shard, and durable
+    mode gives each shard its own WAL with two-phase commit across
+    multi-shard groups.  ``commit(subject=...)`` then durably commits
+    just that subject's shard, letting concurrent writers overlap fsyncs.
     """
 
     def __init__(self, namespaces: Optional[NamespaceRegistry] = None,
@@ -82,12 +90,19 @@ class TrimManager:
                  compact_every: int = 64,
                  commit_every: Optional[int] = None,
                  sync: str = "inline",
-                 concurrent: bool = False) -> None:
-        self.store = TripleStore(concurrent=concurrent)
+                 concurrent: bool = False,
+                 shards: int = 1) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards > 1:
+            self.store: TripleStore = ShardedTripleStore(
+                shards, concurrent=concurrent)
+        else:
+            self.store = TripleStore(concurrent=concurrent)
         self.namespaces = namespaces or NamespaceRegistry.with_defaults()
         self.ids = IdGenerator()
         self._undo: Optional[UndoLog] = None
-        self._durability: Optional[Durability] = None
+        self._durability: Optional[Union[Durability, ShardedDurability]] = None
         if durable is not None:
             self.enable_durability(durable, compact_every=compact_every,
                                    commit_every=commit_every, sync=sync)
@@ -223,40 +238,83 @@ class TrimManager:
         batch fsyncs on a background flusher (see
         :class:`~repro.triples.wal.Durability`).
         Idempotent: returns the existing handle when already enabled.
+
+        A sharded TRIM gets a :class:`ShardedDurability`: one WAL
+        directory per shard under *directory* plus a coordinator
+        meta-WAL for multi-shard two-phase commit.
         """
         if self._durability is not None:
             return self._durability
-        self._durability = Durability(self.store, directory,
-                                      namespaces=self.namespaces,
-                                      compact_every=compact_every,
-                                      fsync=fsync,
-                                      commit_every=commit_every,
-                                      sync=sync)
+        if isinstance(self.store, ShardedTripleStore):
+            self._durability = ShardedDurability(self.store, directory,
+                                                 namespaces=self.namespaces,
+                                                 compact_every=compact_every,
+                                                 fsync=fsync,
+                                                 commit_every=commit_every,
+                                                 sync=sync)
+        else:
+            self._durability = Durability(self.store, directory,
+                                          namespaces=self.namespaces,
+                                          compact_every=compact_every,
+                                          fsync=fsync,
+                                          commit_every=commit_every,
+                                          sync=sync)
         for resource in self.store.resources():
             self.ids.observe(resource.uri)
         return self._durability
 
     @property
-    def durability(self) -> Optional[Durability]:
+    def durability(self) -> Optional[Union[Durability, ShardedDurability]]:
         """The attached durability handle, if durable mode is on."""
         return self._durability
 
-    def commit(self) -> bool:
+    @property
+    def shards(self) -> int:
+        """How many shards partition the store (1 = unsharded)."""
+        store = self.store
+        if isinstance(store, ShardedTripleStore):
+            return store.shard_count
+        return 1
+
+    def commit(self, subject: Union[str, Resource, None] = None) -> bool:
         """Close a durable group (fsync boundary); no-op when not durable.
 
         Call at user-level operation boundaries — everything since the
         previous commit becomes one atomic, crash-recoverable group.
         Returns whether anything was committed.
+
+        On a sharded TRIM, passing *subject* durably commits only the
+        shard owning that subject — the partitioned fast path that lets
+        concurrent writers on different shards overlap their fsyncs.  An
+        unsharded TRIM ignores *subject* and commits everything.
         """
         if self._durability is None:
             return False
+        if subject is not None and isinstance(self._durability,
+                                              ShardedDurability):
+            if isinstance(subject, str):
+                subject = Resource(subject)
+            return self._durability.commit_for(subject)
         return self._durability.commit()
 
     def close(self) -> None:
-        """Detach durability, if enabled (uncommitted changes are dropped)."""
-        if self._durability is not None:
-            self._durability.close()
-            self._durability = None
+        """Detach durability, if enabled (uncommitted changes are dropped).
+
+        Idempotent and safe from ``__del__``-time teardown: repeated
+        calls, and calls racing interpreter shutdown, are no-ops.
+        """
+        durability, self._durability = self._durability, None
+        if durability is not None:
+            durability.close()
+        store = self.store
+        if isinstance(store, ShardedTripleStore):
+            store.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except BaseException:
+            pass
 
     # -- undo -----------------------------------------------------------------
 

@@ -29,8 +29,19 @@ Record framing::
     record := u32 payload-length | u32 crc32(payload) | payload
     payload:= 'A'|'R' u64 sequence  str subject  str property  value
             | 'C' u64 group-number
+            | 'P' u64 txn  u32 participant-count  u64 epoch
     value  := 'r' str uri | 's'|'i'|'f'|'b' str encoded-literal
     str    := u32 length | utf-8 bytes
+
+``'P'`` is the two-phase-commit *prepare* record (DESIGN.md §11): a
+multi-shard batch writes the group's changes plus a prepare record to
+every participating shard's WAL (durably, but without the ``'C'``
+boundary), then records the commit/abort decision in the coordinator's
+meta-WAL, then *fences* each participant with a normal ``'C'``.  A WAL
+whose tail is a prepared-but-unfenced group is in doubt: plain
+:func:`recover` discards it (matching a crash before the decision), and
+:class:`~repro.triples.sharded.ShardedDurability` consults the meta-WAL
+first and finishes the fence when the decision was commit.
 
 Group numbers are monotonic and survive compaction: the snapshot header
 records the group it covers, and replay skips any logged group at or
@@ -114,12 +125,27 @@ def encode_commit(group: int) -> bytes:
     return b"C" + _U64.pack(group)
 
 
-class WalRecord(NamedTuple):
-    """One decoded WAL record: a change or a group boundary."""
+class PrepareInfo(NamedTuple):
+    """The payload of a 2PC prepare record."""
 
-    kind: str                      #: ``'change'`` or ``'commit'``
+    txn: int            #: coordinator transaction number
+    shard_count: int    #: how many shards participate in the transaction
+    epoch: int          #: store incarnation (guards against stale layouts)
+
+
+def encode_prepare(info: PrepareInfo) -> bytes:
+    """Serialize a 2PC prepare record payload."""
+    return (b"P" + _U64.pack(info.txn) + _U32.pack(info.shard_count)
+            + _U64.pack(info.epoch))
+
+
+class WalRecord(NamedTuple):
+    """One decoded WAL record: a change, a group boundary, or a prepare."""
+
+    kind: str                      #: ``'change'``, ``'commit'``, ``'prepare'``
     change: Optional[Change]       #: set for change records
     group: Optional[int]           #: set for commit records
+    prepare: Optional[PrepareInfo] = None  #: set for prepare records
 
 
 def decode_record(payload: bytes) -> WalRecord:
@@ -142,6 +168,14 @@ def _decode_record(payload: bytes) -> WalRecord:
             raise PersistenceError("bad WAL commit record length")
         (group,) = _U64.unpack_from(payload, 1)
         return WalRecord("commit", None, group)
+    if kind == b"P":
+        if len(payload) != 1 + _U64.size + _U32.size + _U64.size:
+            raise PersistenceError("bad WAL prepare record length")
+        (txn,) = _U64.unpack_from(payload, 1)
+        (shard_count,) = _U32.unpack_from(payload, 1 + _U64.size)
+        (epoch,) = _U64.unpack_from(payload, 1 + _U64.size + _U32.size)
+        return WalRecord("prepare", None, None,
+                         PrepareInfo(txn, shard_count, epoch))
     if kind not in (b"A", b"R"):
         raise PersistenceError(f"unknown WAL record kind: {kind!r}")
     (sequence,) = _U64.unpack_from(payload, 1)
@@ -167,6 +201,14 @@ def _decode_record(payload: bytes) -> WalRecord:
 
 # -- scanning ----------------------------------------------------------------
 
+class PreparedGroup(NamedTuple):
+    """A prepared-but-unfenced 2PC group at the tail of a WAL."""
+
+    info: PrepareInfo           #: txn / participant count / epoch
+    changes: List[Change]       #: the group's changes (up to the P record)
+    end_offset: int             #: byte offset just past the prepare record
+
+
 class WalScan(NamedTuple):
     """Result of reading a WAL file up to its last valid record."""
 
@@ -176,6 +218,7 @@ class WalScan(NamedTuple):
     total_bytes: int            #: file size as found on disk
     last_group: int             #: highest committed group number (0 if none)
     committed_end: int          #: byte offset of the last commit record's end
+    prepared: Optional[PreparedGroup] = None  #: in-doubt tail group, if any
 
 
 def scan_wal(path: str) -> WalScan:
@@ -202,6 +245,10 @@ def scan_wal(path: str) -> WalScan:
     valid_end = offset
     committed_end = offset
     last_group = 0
+    # (info, change-count-at-mark, end-offset) of the latest prepare record
+    # since the last commit; a following 'C' resolves it (the group is just
+    # committed), so only a *tail* prepare surfaces as in-doubt.
+    prepare_mark: Optional[Tuple[PrepareInfo, int, int]] = None
     while offset + _FRAME.size <= total:
         length, crc = _FRAME.unpack_from(data, offset)
         start = offset + _FRAME.size
@@ -218,14 +265,25 @@ def scan_wal(path: str) -> WalScan:
         if record.kind == "commit":
             groups.append((record.group, pending))
             pending = []
+            prepare_mark = None
             last_group = record.group
             committed_end = end
+        elif record.kind == "prepare":
+            prepare_mark = (record.prepare, len(pending), end)
         else:
             pending.append(record.change)
         offset = end
         valid_end = end
+    prepared = None
+    if prepare_mark is not None:
+        info, n_changes, mark_end = prepare_mark
+        # Changes recorded after the prepare (protocol violation or torn
+        # session) stay in `pending` and are discarded like any other
+        # uncommitted tail; the prepared group is exactly what the prepare
+        # record fenced in.
+        prepared = PreparedGroup(info, pending[:n_changes], mark_end)
     return WalScan(groups, pending, valid_end, total, last_group,
-                   committed_end)
+                   committed_end, prepared)
 
 
 # -- the log -----------------------------------------------------------------
@@ -273,6 +331,12 @@ class WriteAheadLog:
         self._group = scan.last_group
         self._dirty = 0
         self._buffer: List[bytes] = []
+        # 2PC staging: how many leading buffer entries (and how many bytes)
+        # the last prepare() wrote durably to disk.  Those frames stay in
+        # the buffer until fence()/abort_prepared() resolves them, so a
+        # failed fence can be retried without re-reading the file.
+        self._prepared_count = 0
+        self._prepared_bytes = 0
         self._file: Optional[IO[bytes]] = None
         try:
             if scan.committed_end == 0:
@@ -309,12 +373,121 @@ class WriteAheadLog:
         """
         return self._sync_count
 
+    @property
+    def prepared(self) -> bool:
+        """Whether a 2PC-prepared group is awaiting its fence/abort."""
+        return self._prepared_count > 0
+
     def append(self, change: Change) -> None:
         """Buffer one add/remove record (written by :meth:`commit`)."""
         with self._lock:
             self._require_open()
             self._buffer.append(_frame(encode_change(change)))
             self._dirty += 1
+
+    # -- two-phase commit (multi-shard groups; see ShardedDurability) --------
+
+    def prepare(self, info: PrepareInfo) -> bool:
+        """Phase 1: durably stage the current group behind a prepare record.
+
+        Writes every buffered change plus a ``'P'`` record carrying
+        *info*, flushes, and fsyncs — but writes **no** commit boundary,
+        so the group stays invisible to plain recovery.  The buffered
+        frames are kept until :meth:`fence` or :meth:`abort_prepared`
+        resolves the transaction, which makes a failed fence retryable.
+        Returns ``False`` (writing nothing) when the buffer is empty.
+
+        On an I/O error the file is rewound to the last durable group and
+        the buffer is kept, exactly like a failed :meth:`commit`.
+        """
+        with self._lock:
+            file = self._require_open()
+            if self._prepared_count:
+                raise PersistenceError(
+                    f"WAL {self.path} already holds a prepared group")
+            if not self._buffer:
+                return False
+            staged = list(self._buffer)
+            data = b"".join(staged) + _frame(encode_prepare(info))
+            try:
+                file.write(data)
+                file.flush()
+                if self._fsync:
+                    os.fsync(file.fileno())
+                    self._sync_count += 1
+            except OSError as exc:
+                self._rewind()
+                raise PersistenceError(
+                    f"cannot prepare WAL group in {self.path}: {exc}") from exc
+            self._prepared_count = len(staged)
+            self._prepared_bytes = len(data)
+            return True
+
+    def fence(self) -> int:
+        """Phase 2: commit the prepared group with a boundary record.
+
+        Appends the ``'C'`` record (one write + flush + fsync), bumps the
+        group counter, and drops the prepared frames from the buffer —
+        changes appended *after* the prepare stay buffered for the next
+        group.  On an I/O error the torn boundary bytes are truncated
+        away but the prepared group stays on disk and staged, so the
+        fence can be retried; the decision record in the coordinator's
+        meta-WAL — not this boundary — is what makes the transaction
+        durable, and recovery re-fences from it.
+        """
+        with self._lock:
+            file = self._require_open()
+            if not self._prepared_count:
+                raise PersistenceError(
+                    f"no prepared group to fence in WAL {self.path}")
+            group = self._group + 1
+            data = _frame(encode_commit(group))
+            prepared_end = self._good_end + self._prepared_bytes
+            try:
+                file.write(data)
+                file.flush()
+                if self._fsync:
+                    os.fsync(file.fileno())
+                    self._sync_count += 1
+            except OSError as exc:
+                # Drop only the torn boundary; keep the prepared bytes.
+                try:
+                    file.seek(prepared_end)
+                    file.truncate(prepared_end)
+                except OSError:
+                    self._file = None
+                    try:
+                        file.close()
+                    except OSError:
+                        pass
+                raise PersistenceError(
+                    f"cannot fence WAL group in {self.path}: {exc}") from exc
+            self._good_end = prepared_end + len(data)
+            self._group = group
+            del self._buffer[:self._prepared_count]
+            self._dirty -= self._prepared_count
+            self._prepared_count = 0
+            self._prepared_bytes = 0
+            return group
+
+    def abort_prepared(self) -> None:
+        """Roll a prepared group back off the disk (decision was abort).
+
+        Truncates the file to the end of the last durable group; the
+        group's frames stay buffered, so the caller may still commit or
+        prepare them again later.  Fails closed when the truncate fails,
+        like :meth:`_rewind`.
+        """
+        with self._lock:
+            if not self._prepared_count:
+                return
+            self._require_open()
+            self._prepared_count = 0
+            self._prepared_bytes = 0
+            self._rewind()
+            if self._file is None:
+                raise PersistenceError(
+                    f"WAL {self.path} failed closed aborting a prepared group")
 
     def commit(self) -> int:
         """Close the current group: one write + flush + fsync for all of it.
@@ -333,6 +506,10 @@ class WriteAheadLog:
         """
         with self._lock:
             file = self._require_open()
+            if self._prepared_count:
+                raise PersistenceError(
+                    f"WAL {self.path} holds a prepared group; "
+                    f"fence or abort it before committing")
             if not self._buffer:
                 return self._group
             group = self._group + 1
@@ -376,6 +553,8 @@ class WriteAheadLog:
                 self._group = max(self._group, group)
             self._buffer.clear()
             self._dirty = 0
+            self._prepared_count = 0
+            self._prepared_bytes = 0
 
     def close(self) -> None:
         """Write any buffered records, flush, and close (idempotent).
@@ -389,9 +568,12 @@ class WriteAheadLog:
             if self._file is None:
                 return
             try:
-                if self._buffer:
-                    data = b"".join(self._buffer)
-                    self._buffer.clear()
+                # A prepared prefix is already on disk; only the frames
+                # appended after the prepare still need writing.
+                tail = self._buffer[self._prepared_count:]
+                self._buffer.clear()
+                if tail:
+                    data = b"".join(tail)
                     try:
                         self._file.write(data)
                     except OSError as exc:
@@ -582,13 +764,22 @@ class _GroupCommitFlusher:
                 if low < ticket <= high:
                     raise error
 
-    def close(self) -> None:
-        """Drain outstanding requests, stop the thread, surface errors."""
+    def close(self, join: bool = True) -> None:
+        """Drain outstanding requests, stop the thread, surface errors.
+
+        ``join=False`` skips waiting for the (daemon) thread and is what
+        finalizers must use: a join inside ``__del__`` can deadlock when
+        garbage collection fires on a thread that is mid-bootstrap and
+        already holds CPython's ``_shutdown_locks_lock`` — which
+        ``Thread._stop`` (reached via ``join``) then tries to re-acquire.
+        """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
             self._cond.notify_all()
+        if not join:
+            return
         self._thread.join()
         if self._async_error is not None:
             error, self._async_error = self._async_error, None
@@ -826,6 +1017,9 @@ class Durability:
         will be discarded by recovery — commit first if they should
         survive.
         """
+        self._close(join=True)
+
+    def _close(self, join: bool) -> None:
         if self._closed:
             return
         self._closed = True
@@ -833,9 +1027,19 @@ class Durability:
         self._unsubscribe_atomic()
         try:
             if self._flusher is not None:
-                self._flusher.close()
+                self._flusher.close(join=join)
         finally:
             self._wal.close()
+
+    def __del__(self) -> None:
+        # Best-effort teardown that must never raise and never block:
+        # joining the flusher thread from a finalizer can deadlock (see
+        # _GroupCommitFlusher.close), so the join is skipped — explicit
+        # close() remains the way to observe stashed flusher errors.
+        try:
+            self._close(join=False)
+        except BaseException:
+            pass
 
     # -- internals -----------------------------------------------------------
 
