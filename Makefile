@@ -4,7 +4,7 @@
 PY := PYTHONPATH=src python -m
 
 .PHONY: test verify bench bench-smoke bench-ingest bench-concurrency \
-        bench-sharding bench-all
+        bench-sharding bench-caching bench-all check-floors
 
 test:            ## tier-1: the full unit/integration/property suite
 	$(PY) pytest -x -q
@@ -46,6 +46,19 @@ bench-concurrency: ## full-scale concurrency benchmark, rewrites its JSON
 # subject-routed query latency vs the unsharded store.
 bench-sharding:  ## full-scale sharding benchmark, rewrites its JSON
 	$(PY) pytest benchmarks/test_trim_sharding.py --benchmark-only -q -s
+
+# Regenerates BENCH_trim_caching.json at full scale: warm repeated
+# selects/queries through the generation-keyed cache vs the planner-only
+# baseline, and incremental view maintenance vs full-recompute views
+# under a mutating workload.
+bench-caching:   ## full-scale read-cache benchmark, rewrites its JSON
+	$(PY) pytest benchmarks/test_trim_caching.py --benchmark-only -q -s
+
+# Validates the committed BENCH_summary.json headline numbers against
+# the floors the acceptance criteria promised (planner speedup, cached
+# read ratio, incremental-view ratio) — see benchmarks/check_floors.py.
+check-floors:    ## committed bench headlines >= their promised floors
+	PYTHONPATH=src python benchmarks/check_floors.py
 
 # Re-runs every TRIM benchmark module (benchmarks/test_trim_*.py) at
 # full scale — each rewrites its own BENCH_trim_*.json trajectory file —

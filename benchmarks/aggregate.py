@@ -51,6 +51,11 @@ HEADLINES = {
         "durable_ingest_speedup_x": ("durable_ingest", "speedup_x"),
         "routed_query_ratio": ("query_routing", "routed_ratio"),
     },
+    "trim_caching": {
+        "cached_query_speedup_x": ("cached_reads", "query_speedup_x"),
+        "cached_read_hit_rate": ("cached_reads", "hit_rate"),
+        "incremental_view_speedup_x": ("incremental_views", "speedup_x"),
+    },
 }
 
 _META_KEYS = {"bench", "smoke", "workload"}

@@ -2,13 +2,14 @@
 
 Commands:
 
-- ``demo [--durable DIR] [--shards N]`` — the quickstart round trip,
-  printed; with ``--durable`` the pad's triples are logged crash-safely
-  under DIR; with ``--shards`` the pool is hash-partitioned across N
-  stores (each with its own WAL under DIR).
-- ``worksheet [--patients N] [--seed S] [--svg PATH]`` — build a rounds
-  worksheet over a synthetic census; print the outline; optionally write
-  the SVG rendering.
+- ``demo [--durable DIR] [--shards N] [--cache-stats]`` — the quickstart
+  round trip, printed; with ``--durable`` the pad's triples are logged
+  crash-safely under DIR; with ``--shards`` the pool is hash-partitioned
+  across N stores (each with its own WAL under DIR); ``--cache-stats``
+  reports read-cache hit rates at exit.
+- ``worksheet [--patients N] [--seed S] [--svg PATH] [--cache-stats]`` —
+  build a rounds worksheet over a synthetic census; print the outline;
+  optionally write the SVG rendering and/or the read-cache report.
 - ``handoff [--patients N] [--seed S]`` — build a worksheet and print the
   weekend hand-off report.
 - ``concordance TERM [TERM ...]`` — concordance + KWIC over the built-in
@@ -25,6 +26,27 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _print_cache_stats(stats: dict) -> None:
+    """Render TrimManager.cache_stats() as a compact report."""
+    select = stats.get("select_cache")
+    print("\ncache stats:")
+    if select is None:
+        print("  select/query cache: disabled")
+    else:
+        print(f"  select/query cache: {select['hits']} hit(s), "
+              f"{select['misses']} miss(es), "
+              f"{select['invalidations']} invalidation(s), "
+              f"{select['evictions']} eviction(s) "
+              f"({select['hit_rate']:.1%} hit rate, "
+              f"{select['entries']} entries, "
+              f"avg fill {select['avg_fill_us']:.1f}us)")
+    views = stats.get("views") or {}
+    if views.get("live") or views.get("reads"):
+        print(f"  views: {views['live']} live, {views['reads']} read(s), "
+              f"{views['recomputes']} recompute(s), "
+              f"{views['events_applied']} incremental event(s) applied")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -63,6 +85,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
               f"{len(trim.store)} triples{sharded}, "
               f"group {trim.durability.group} committed "
               f"(recover with: python -m repro recover {durable})")
+    if getattr(args, "cache_stats", False):
+        _print_cache_stats(pad.cache_stats())
     return 0
 
 
@@ -115,6 +139,8 @@ def _cmd_worksheet(args: argparse.Namespace) -> int:
         with open(args.svg, "w", encoding="utf-8") as handle:
             handle.write(svg)
         print(f"SVG written to {args.svg}")
+    if getattr(args, "cache_stats", False):
+        _print_cache_stats(slimpad.cache_stats())
     return 0
 
 
@@ -165,6 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="the quickstart round trip")
     demo.add_argument("--durable", default=None, metavar="DIR",
                       help="log the pad crash-safely under this directory")
+    demo.add_argument("--cache-stats", action="store_true",
+                      help="print read-cache hit/miss counters at exit")
     demo.add_argument("--shards", type=int, default=1, metavar="N",
                       help="hash-partition the triple pool across N stores")
     demo.set_defaults(handler=_cmd_demo)
@@ -173,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="build a rounds worksheet")
     worksheet.add_argument("--patients", type=int, default=3)
     worksheet.add_argument("--seed", type=int, default=2001)
+    worksheet.add_argument("--cache-stats", action="store_true",
+                           help="print read-cache hit/miss counters at exit")
     worksheet.add_argument("--svg", default=None,
                            help="write an SVG rendering to this path")
     worksheet.set_defaults(handler=_cmd_worksheet)

@@ -179,6 +179,12 @@ class DmiRuntime:
             return contextlib.nullcontext()
         return self.trim.batch()
 
+    def cache_stats(self) -> dict:
+        """Read-path cache metrics for this DMI's TRIM (hit rates for
+        attribute/reference reads, view maintenance counters) — see
+        :meth:`repro.triples.trim.TrimManager.cache_stats`."""
+        return self.trim.cache_stats()
+
     # -- attributes ----------------------------------------------------------------
 
     def update(self, obj: EntityObject, attr_name: str, value) -> None:
@@ -192,7 +198,7 @@ class DmiRuntime:
         self._require_live(obj)
         attr = obj._entity.attribute(attr_name)
         prop = self.property_resource(obj._entity.name, attr_name)
-        raw = self.trim.store.literal_of(obj._resource, prop)
+        raw = self.trim.literal_of(obj._resource, prop)
         if raw is None:
             return None
         return ATTR_TYPES[attr.type].decode(raw)
@@ -260,7 +266,7 @@ class DmiRuntime:
         prop = self.property_resource(obj._entity.name, ref_name)
         target_entity = self.spec.entity(ref.target)
         result = []
-        for node in self.trim.store.values_of(obj._resource, prop):
+        for node in self.trim.values_of(obj._resource, prop):
             if isinstance(node, Resource):
                 result.append(EntityObject(self, node, target_entity))
         return result

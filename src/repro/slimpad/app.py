@@ -99,6 +99,12 @@ class SlimPadApplication:
         """Close a durable group boundary; no-op when durability is off."""
         return self.dmi.runtime.trim.commit()
 
+    def cache_stats(self) -> dict:
+        """Read-path cache metrics for this pad's triple store — the
+        hit/miss/eviction counters SLIMPad workloads report (see
+        :meth:`repro.triples.trim.TrimManager.cache_stats`)."""
+        return self.dmi.runtime.trim.cache_stats()
+
     def open_durable(self, directory: str, compact_every: int = 64,
                      sync: str = "inline") -> EntityObject:
         """Recover a durably-persisted pad and make it current.

@@ -145,6 +145,19 @@ class Query:
         """All variable names, in first-appearance order."""
         return list(self._variables)
 
+    def cache_key(self) -> Tuple:
+        """A hashable identity for memoizing this query's results.
+
+        Two queries with the same written patterns and planner flag are
+        guaranteed to produce the same bindings against the same store
+        contents (the planner only reorders evaluation, never changes
+        the answer — but a different planner flag can change *cost*, so
+        it participates in the key to keep explain/debug traffic from
+        aliasing).  Patterns and terms are frozen dataclasses, so the
+        tuple is hashable and equality means structural equality.
+        """
+        return ("query", tuple(self.patterns), self.planner)
+
     def explain(self, store: TripleStore) -> List[PlanStep]:
         """The evaluation order :meth:`run` would use on *store*, as
         :class:`PlanStep` s (written order when the planner is off or the

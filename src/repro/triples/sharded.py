@@ -544,6 +544,24 @@ class ShardedTripleStore:
         so view caches keyed on it stay exactly as safe as before."""
         return sum(shard.generation for shard in self._shards)
 
+    def generation_of(self, subject: Resource) -> int:
+        """The owning shard's generation counter — the invalidation token
+        for subject-routed reads.  A write to any *other* shard leaves it
+        untouched, so caches keyed on it survive unrelated traffic; a 2PC
+        multi-shard commit bumps exactly the written shards' counters."""
+        return self.shard_for(subject).generation_of(subject)
+
+    @property
+    def generation_vector(self) -> Tuple[int, ...]:
+        """Per-shard generation counters, in shard order.
+
+        The stamp for unbound (scatter-gather) reads: any write anywhere
+        changes one slot, invalidating exactly the entries whose answer
+        could have changed.  Each slot goes through its shard's read
+        barrier, so a bulk owner reading the vector flushes first.
+        """
+        return tuple(shard.generation_of() for shard in self._shards)
+
     @property
     def sequence_ceiling(self) -> int:
         """The next global insertion-sequence number."""

@@ -20,9 +20,11 @@ crash at any point recovers to the last :meth:`commit` boundary.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+import weakref
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.triples import persistence
+from repro.triples.cache import GenerationCache
 from repro.triples.namespaces import NamespaceRegistry
 from repro.triples.query import Query
 from repro.triples.sharded import ShardedDurability, ShardedTripleStore
@@ -91,7 +93,9 @@ class TrimManager:
                  commit_every: Optional[int] = None,
                  sync: str = "inline",
                  concurrent: bool = False,
-                 shards: int = 1) -> None:
+                 shards: int = 1,
+                 cache: bool = True,
+                 cache_entries: int = 1024) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if shards > 1:
@@ -103,6 +107,10 @@ class TrimManager:
         self.ids = IdGenerator()
         self._undo: Optional[UndoLog] = None
         self._durability: Optional[Union[Durability, ShardedDurability]] = None
+        self._cache: Optional[GenerationCache] = \
+            GenerationCache(self.store, max_entries=cache_entries) \
+            if cache else None
+        self._views: List["weakref.ref"] = []
         if durable is not None:
             self.enable_durability(durable, compact_every=compact_every,
                                    commit_every=commit_every, sync=sync)
@@ -170,8 +178,48 @@ class TrimManager:
     def select(self, subject: Optional[Resource] = None,
                prop: Optional[Resource] = None,
                value: Optional[Node] = None) -> List[Triple]:
-        """TRIM's selection query: fix any subset of fields."""
-        return self.store.select(subject=subject, property=prop, value=value)
+        """TRIM's selection query: fix any subset of fields.
+
+        Memoized against the store's generation stamp (per-shard when
+        sharded), so repeated selections of an unchanged region cost a
+        dict probe plus a list copy (see :mod:`repro.triples.cache`).
+        """
+        cache = self._cache
+        if cache is None:
+            return self.store.select(subject=subject, property=prop,
+                                     value=value)
+        return cache.get(
+            ("select", subject, prop, value),
+            lambda: self.store.select(subject=subject, property=prop,
+                                      value=value),
+            subject=subject)
+
+    def value_of(self, subject: Resource, prop: Resource) -> Optional[Node]:
+        """The single value of *prop* on *subject* (None when absent),
+        through the select cache.  Raises ``LookupError`` on multiple."""
+        hits = self.select(subject=subject, prop=prop)
+        if not hits:
+            return None
+        if len(hits) > 1:
+            raise LookupError(
+                f"expected at most one match, found {len(hits)}")
+        return hits[0].value
+
+    def literal_of(self, subject: Resource, prop: Resource):
+        """The single literal value of *prop* on *subject* (unwrapped),
+        through the select cache; mirrors ``store.literal_of``."""
+        node = self.value_of(subject, prop)
+        if node is None:
+            return None
+        if not isinstance(node, Literal):
+            raise LookupError(
+                f"{subject} {prop} holds a resource, not a literal")
+        return node.value
+
+    def values_of(self, subject: Resource, prop: Resource) -> List[Node]:
+        """All values of *prop* on *subject*, in insertion order, through
+        the select cache."""
+        return [t.value for t in self.select(subject=subject, prop=prop)]
 
     def count(self, subject: Optional[Resource] = None,
               prop: Optional[Resource] = None,
@@ -181,8 +229,19 @@ class TrimManager:
         return self.store.count(subject=subject, property=prop, value=value)
 
     def query(self, query: Query) -> List[dict]:
-        """Run a conjunctive :class:`~repro.triples.query.Query` (extension)."""
-        return query.run_all(self.store)
+        """Run a conjunctive :class:`~repro.triples.query.Query` (extension).
+
+        Results are memoized on :meth:`Query.cache_key` plus the store's
+        generation vector — structurally equal queries share entries, and
+        any write anywhere invalidates (a conjunctive query can touch
+        every shard).  Returned binding dicts are caller-safe copies.
+        """
+        cache = self._cache
+        if cache is None:
+            return query.run_all(self.store)
+        return cache.get(query.cache_key(),
+                         lambda: query.run_all(self.store),
+                         copy=lambda rows: [dict(row) for row in rows])
 
     def explain(self, query: Query):
         """The plan :meth:`query` would evaluate, as
@@ -192,9 +251,56 @@ class TrimManager:
     # -- views ----------------------------------------------------------------
 
     def view(self, root: Resource, follow_properties=None,
-             max_depth: Optional[int] = None) -> View:
-        """A reachability view rooted at *root* (Section 4.4's "simple views")."""
-        return View(self.store, root, follow_properties, max_depth)
+             max_depth: Optional[int] = None,
+             incremental: bool = True) -> View:
+        """A reachability view rooted at *root* (Section 4.4's "simple views").
+
+        Incrementally maintained from the store's change stream by
+        default (``incremental=False`` restores the legacy
+        recompute-on-generation-bump behaviour).  Views are tracked
+        weakly so :meth:`cache_stats` can aggregate their maintenance
+        counters without keeping transient views alive.
+        """
+        view = View(self.store, root, follow_properties, max_depth,
+                    incremental=incremental)
+        self._views = [ref for ref in self._views if ref() is not None]
+        self._views.append(weakref.ref(view))
+        return view
+
+    # -- cache metrics ---------------------------------------------------------
+
+    @property
+    def cache(self) -> Optional[GenerationCache]:
+        """The select/query result cache (None when disabled)."""
+        return self._cache
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Read-path cache metrics: the select/query cache counters plus
+        aggregated maintenance counters over live views.
+
+        ::
+
+            {"select_cache": {"hits": ..., "misses": ..., ...},
+             "views": {"live": 2, "reads": ..., "recomputes": ...,
+                       "events_applied": ..., ...}}
+        """
+        live = [view for view in (ref() for ref in self._views)
+                if view is not None]
+        self._views = [weakref.ref(view) for view in live]
+        views: Dict[str, Any] = {"live": len(live), "reads": 0,
+                                 "recomputes": 0, "events_applied": 0,
+                                 "events_seen": 0, "events_queued": 0,
+                                 "overflows": 0}
+        for view in live:
+            stats = view.cache_stats()
+            for key in ("reads", "recomputes", "events_applied",
+                        "events_seen", "events_queued", "overflows"):
+                views[key] += stats[key]
+        return {
+            "select_cache": (self._cache.stats()
+                             if self._cache is not None else None),
+            "views": views,
+        }
 
     # -- persistence ----------------------------------------------------------
 
