@@ -4,7 +4,8 @@
 PY := PYTHONPATH=src python -m
 
 .PHONY: test verify bench bench-smoke bench-ingest bench-concurrency \
-        bench-sharding bench-caching bench-all check-floors
+        bench-sharding bench-caching bench-all check-floors \
+        check-regression replay-smoke
 
 test:            ## tier-1: the full unit/integration/property suite
 	$(PY) pytest -x -q
@@ -59,6 +60,25 @@ bench-caching:   ## full-scale read-cache benchmark, rewrites its JSON
 # read ratio, incremental-view ratio) — see benchmarks/check_floors.py.
 check-floors:    ## committed bench headlines >= their promised floors
 	PYTHONPATH=src python benchmarks/check_floors.py
+
+# The perf regression gate: every headline in the committed summary must
+# sit within 15% of benchmarks/BENCH_baseline.json (the baseline recorded
+# when the gate was introduced).  Re-baseline deliberately: copy the new
+# summary over the baseline in the same PR that justifies the change.
+check-regression: ## committed bench headlines within 15% of the baseline
+	PYTHONPATH=src python benchmarks/check_floors.py \
+	    --baseline benchmarks/BENCH_baseline.json --tolerance 0.15
+
+# The deterministic-replay smoke: captures one bundle per crash family
+# (a 2PC coordinator death, a WAL byte kill) and replays each twice —
+# all replays must recover to the byte-identical state the capture
+# recorded.  This is the fast end-to-end pass; tests/test_replay.py
+# holds the full matrix.
+replay-smoke:    ## capture + doubly-replay one bundle per crash family
+	$(PY) repro replay record --scenario 2pc-crash --out /tmp/replay-2pc.json
+	$(PY) repro replay run /tmp/replay-2pc.json
+	$(PY) repro replay record --scenario wal-kill --out /tmp/replay-wal.json
+	$(PY) repro replay run /tmp/replay-wal.json
 
 # Re-runs every TRIM benchmark module (benchmarks/test_trim_*.py) at
 # full scale — each rewrites its own BENCH_trim_*.json trajectory file —

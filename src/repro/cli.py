@@ -19,6 +19,12 @@ Commands:
   (snapshot + WAL tail; sharded layouts are detected and every shard
   recovered, finishing any in-doubt two-phase commit) and print recovery
   statistics; optionally export the recovered triples to a plain XML file.
+- ``replay record|run|verify`` — the deterministic replay harness:
+  ``record`` captures a built-in crash scenario (a WAL byte-offset kill
+  or a 2PC coordinator death) as a schema-validated bundle; ``run``
+  re-executes a bundle N times against fresh stores and asserts every
+  run recovers byte-identical state (and matches the bundle's recorded
+  outcome); ``verify`` schema-checks a bundle without executing it.
 """
 
 from __future__ import annotations
@@ -121,6 +127,63 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     if args.out:
         persistence.save(store, args.out, namespaces)
         print(f"recovered store written to {args.out}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.errors import BundleError, ReplayDivergenceError
+    from repro.replay import bundle as bundle_format
+    from repro.replay import replay_check
+    from repro.replay.scenarios import capture_2pc_crash, capture_wal_kill
+
+    if args.action == "record":
+        directory = args.dir or tempfile.mkdtemp(prefix="repro-capture-")
+        if args.scenario == "wal-kill":
+            bundle = capture_wal_kill(directory, seed=args.seed)
+        else:
+            bundle = capture_2pc_crash(directory, seed=args.seed,
+                                       stage=args.stage, shards=args.shards)
+        bundle_format.save(bundle, args.out)
+        outcome = bundle["outcome"]
+        print(f"captured {args.scenario} scenario -> {args.out}")
+        print(f"  {len(bundle['ops'])} op(s), outcome: "
+              f"{outcome['triples']} triple(s), "
+              f"digest {outcome['digest'][:16]}…")
+        print(f"  session directory: {directory}")
+        print(f"  re-run with: python -m repro replay run {args.out}")
+        return 0
+
+    try:
+        bundle = bundle_format.load(args.bundle)
+    except BundleError as exc:
+        print(f"invalid bundle: {exc}", file=sys.stderr)
+        return 1
+    if args.action == "verify":
+        print(f"{args.bundle}: valid version-{bundle['version']} bundle "
+              f"({len(bundle['ops'])} op(s), "
+              f"{bundle['config'].get('shards', 1)} shard(s))")
+        return 0
+
+    directory = args.dir or tempfile.mkdtemp(prefix="repro-replay-")
+    try:
+        results = replay_check(bundle, directory, runs=args.runs)
+    except ReplayDivergenceError as exc:
+        print(f"REPLAY DIVERGED: {exc}", file=sys.stderr)
+        return 1
+    first = results[0]
+    print(f"{args.runs} replay(s) of {args.bundle}: all identical")
+    print(f"  recovered {first.triples} triple(s), "
+          f"digest {first.digest}")
+    if first.crashed:
+        print("  injected: 2PC coordinator kill (recovered via repair)")
+    if first.killed_at is not None:
+        print(f"  injected: WAL truncation at byte {first.killed_at}")
+    outcome = bundle.get("outcome")
+    if outcome is not None:
+        print(f"  matches the captured outcome "
+              f"({outcome['digest'][:16]}…)")
     return 0
 
 
@@ -228,6 +291,40 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--out", default=None,
                          help="also export the recovered store to this XML file")
     recover.set_defaults(handler=_cmd_recover)
+
+    replay = commands.add_parser(
+        "replay", help="capture / re-run deterministic replay bundles")
+    actions = replay.add_subparsers(dest="action", required=True)
+    record = actions.add_parser(
+        "record", help="capture a built-in crash scenario as a bundle")
+    record.add_argument("--scenario", choices=["wal-kill", "2pc-crash"],
+                        default="2pc-crash",
+                        help="which crash family to capture")
+    record.add_argument("--out", default="replay-bundle.json",
+                        help="bundle file to write")
+    record.add_argument("--seed", type=int, default=2001,
+                        help="workload + kill-point seed")
+    record.add_argument("--stage", choices=["prepare", "decide", "decided",
+                                            "fence", "finish"],
+                        default="decided",
+                        help="2PC stage to kill the coordinator at")
+    record.add_argument("--shards", type=int, default=4,
+                        help="shard count for the 2pc-crash scenario")
+    record.add_argument("--dir", default=None,
+                        help="capture session directory (default: temp)")
+    record.set_defaults(handler=_cmd_replay)
+    run = actions.add_parser(
+        "run", help="re-execute a bundle; assert identical recovered state")
+    run.add_argument("bundle", help="bundle file to replay")
+    run.add_argument("--runs", type=int, default=2,
+                     help="independent replays that must agree (default 2)")
+    run.add_argument("--dir", default=None,
+                     help="parent directory for replay stores (default: temp)")
+    run.set_defaults(handler=_cmd_replay)
+    verify = actions.add_parser(
+        "verify", help="schema-validate a bundle without executing it")
+    verify.add_argument("bundle", help="bundle file to check")
+    verify.set_defaults(handler=_cmd_replay)
     return parser
 
 

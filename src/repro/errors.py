@@ -140,3 +140,19 @@ class ParseError(BaseLayerError):
 
 class SlimPadError(ReproError):
     """Base class for SLIMPad application failures."""
+
+
+# ---------------------------------------------------------------------------
+# Replay harness
+# ---------------------------------------------------------------------------
+
+class ReplayError(ReproError):
+    """Base class for deterministic-replay harness failures."""
+
+
+class BundleError(ReplayError):
+    """A replay bundle is malformed, oversized, or the wrong version."""
+
+
+class ReplayDivergenceError(ReplayError):
+    """A replayed run did not reproduce the bundle's recorded state."""

@@ -1,0 +1,166 @@
+"""Re-execute a replay bundle against a fresh store and check the state.
+
+:func:`replay` builds a fresh durable :class:`~repro.triples.trim.TrimManager`
+with the bundle's recorded configuration, re-applies the operation
+stream — every add at its captured global insertion sequence (via
+``store.restore``, so ordering is reproduced exactly, not merely
+membership), every remove, every commit boundary — injects the recorded
+crash (a 2PC stage kill or a WAL byte truncation), runs recovery, and
+returns the recovered store with its canonical digest.
+
+Against the bundle's recorded ``outcome``, and between any two runs,
+the digest must match byte for byte; :func:`replay_check` packages the
+two-independent-runs assertion the acceptance criteria name.  A
+mismatch raises :class:`~repro.errors.ReplayDivergenceError` carrying
+both digests — the one-line signal that determinism broke somewhere
+between the capture and this machine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, NamedTuple, Optional
+
+from repro.errors import ReplayDivergenceError, ReplayError
+from repro.replay import bundle as bundle_format
+from repro.replay.digest import state_digest
+from repro.triples.sharded import ShardedDurability, SimulatedCrash, \
+    recover_sharded
+from repro.triples.triple import Resource
+from repro.triples.trim import TrimManager
+from repro.triples.wal import WAL_FILE, recover
+
+
+class ReplayResult(NamedTuple):
+    """What one replay run produced."""
+
+    digest: str           #: sha256 of the recovered store's canonical form
+    triples: int          #: recovered triple count
+    ops_applied: int      #: operations re-executed from the bundle
+    crashed: bool         #: a 2PC stage kill fired
+    killed_at: Optional[int]  #: WAL truncation offset, when one was replayed
+    store: Any            #: the recovered store itself
+
+
+def _crash_hook(stage: str, index: Optional[int]):
+    def hook(hook_stage: str, txn: int, i: Optional[int]) -> None:
+        if hook_stage == stage and (index is None or i == index):
+            raise SimulatedCrash(f"{hook_stage}[{i}] txn {txn}")
+    return hook
+
+
+def replay(bundle: Dict[str, Any], directory: str,
+           verify_outcome: bool = True) -> ReplayResult:
+    """Execute *bundle* under *directory* (which must be fresh/empty).
+
+    With *verify_outcome* (the default), a bundle carrying a recorded
+    ``outcome`` digest raises :class:`ReplayDivergenceError` unless the
+    recovered state reproduces it exactly.
+    """
+    bundle = bundle_format.validate_bundle(bundle)
+    config = bundle["config"]
+    shards = config.get("shards", 1)
+    if os.path.isdir(directory) and os.listdir(directory):
+        raise ReplayError(f"replay target {directory!r} is not empty — "
+                          f"a replay must start from nothing")
+    trim = TrimManager(shards=shards, cache=False)
+    trim.enable_durability(directory,
+                           compact_every=config.get("compact_every", 64),
+                           fsync=config.get("fsync", False),
+                           commit_every=config.get("commit_every"))
+    crashed = False
+    killed_at: Optional[int] = None
+    ops_applied = 0
+    try:
+        for op in bundle["ops"]:
+            kind = op["op"]
+            if kind == "add":
+                _, statement, sequence = bundle_format.decode_change(op)
+                trim.store.restore(statement, sequence)
+            elif kind == "remove":
+                _, statement, _ = bundle_format.decode_change(op)
+                trim.store.discard(statement)
+            elif kind == "commit":
+                trim.commit(subject=op.get("subject"))
+            elif kind == "crash":
+                crashed = _replay_crash(trim, op)
+            elif kind == "kill":
+                killed_at = op["offset"]
+            ops_applied += 1
+    finally:
+        # Always close: after a crash the durability is already
+        # abandoned (close is then a no-op on it), but the shard pool
+        # must still be shut down here — leaking it to GC risks a
+        # finalizer-time thread join (see ShardedTripleStore.close).
+        trim.close()
+    if killed_at is not None:
+        _truncate_wal(directory, killed_at)
+    if shards > 1:
+        recovered = recover_sharded(directory).store
+    else:
+        recovered = recover(directory).store
+    result = ReplayResult(state_digest(recovered), len(recovered),
+                          ops_applied, crashed, killed_at, recovered)
+    outcome = bundle.get("outcome")
+    if verify_outcome and outcome is not None \
+            and result.digest != outcome["digest"]:
+        raise ReplayDivergenceError(
+            f"replay diverged from the captured outcome: recovered "
+            f"{result.triples} triple(s) with digest {result.digest}, "
+            f"bundle recorded {outcome['triples']} with "
+            f"{outcome['digest']}")
+    return result
+
+
+def _replay_crash(trim: TrimManager, op: Dict[str, Any]) -> bool:
+    """Arm and fire the recorded 2PC stage kill; abandon the coordinator."""
+    durability = trim.durability
+    if not isinstance(durability, ShardedDurability):
+        raise ReplayError("bundle contains a 'crash' op but the store "
+                          "is not sharded")  # validate_bundle precludes this
+    durability.crash_hook = _crash_hook(op["stage"], op.get("index"))
+    try:
+        trim.commit()
+    except SimulatedCrash:
+        durability.abandon()
+        return True
+    raise ReplayDivergenceError(
+        f"recorded crash at 2PC stage {op['stage']!r} did not fire on "
+        f"replay — the commit completed, so the re-executed group lost "
+        f"its multi-shard spread")
+
+
+def _truncate_wal(directory: str, offset: int) -> None:
+    """Cut the regenerated WAL at the recorded kill offset."""
+    path = os.path.join(directory, WAL_FILE)
+    size = os.path.getsize(path) if os.path.exists(path) else 0
+    if offset > size:
+        raise ReplayDivergenceError(
+            f"recorded kill offset {offset} lies past the regenerated "
+            f"WAL ({size} bytes) — the replayed log diverged from the "
+            f"captured one")
+    with open(path, "r+b") as handle:
+        handle.truncate(offset)
+
+
+def replay_check(bundle: Dict[str, Any], directory: str,
+                 runs: int = 2) -> "list[ReplayResult]":
+    """The determinism gate: *runs* independent replays must agree.
+
+    Each run executes in its own fresh subdirectory of *directory*; all
+    resulting digests (and the bundle's recorded outcome, when present)
+    must be identical, else :class:`ReplayDivergenceError`.
+    """
+    if runs < 1:
+        raise ReplayError("runs must be >= 1")
+    results = []
+    for run in range(runs):
+        target = os.path.join(directory, f"run-{run:02d}")
+        os.makedirs(target, exist_ok=True)
+        results.append(replay(bundle, target))
+    digests = {result.digest for result in results}
+    if len(digests) != 1:
+        raise ReplayDivergenceError(
+            f"{runs} replays of the same bundle produced "
+            f"{len(digests)} distinct states: {sorted(digests)}")
+    return results

@@ -1216,6 +1216,35 @@ class ShardedDurability:
         except BaseException:
             pass
 
+    def abandon(self) -> None:
+        """Make a "crashed" coordinator inert, as if its process died.
+
+        A dead process writes nothing more, so neither may this object
+        or its finalizers: every shard :class:`~repro.triples.wal.Durability`
+        is abandoned (buffers dropped, file handles released where the
+        last durable write left them) and the meta-WAL handle closed
+        without flushing.  The directory then looks like a hard kill mid
+        2PC and must go through :func:`recover_sharded`.  This is the
+        crash-simulation primitive behind the crash matrix in
+        ``tests/test_sharding.py`` and the replay harness
+        (:mod:`repro.replay`).  Only valid under ``sync='inline'``.
+        """
+        if self._flusher is not None:
+            raise PersistenceError(
+                "abandon() requires sync='inline' — a background flusher "
+                "cannot be killed deterministically")
+        self._closed = True
+        self._unsubscribe()
+        self._unsubscribe_atomic()
+        for shard_durability in self._durs:
+            shard_durability.abandon()
+        meta_file, self._meta._file = self._meta._file, None
+        if meta_file is not None:
+            try:
+                meta_file.close()
+            except OSError:
+                pass
+
     # -- internals ------------------------------------------------------------
 
     def _crash(self, stage: str, txn: int, index: Optional[int] = None) -> None:

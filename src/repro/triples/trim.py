@@ -403,22 +403,29 @@ class TrimManager:
             return self._durability.commit_for(subject)
         return self._durability.commit()
 
-    def close(self) -> None:
+    def close(self, wait: bool = True) -> None:
         """Detach durability, if enabled (uncommitted changes are dropped).
 
         Idempotent and safe from ``__del__``-time teardown: repeated
         calls, and calls racing interpreter shutdown, are no-ops.
+        ``wait=False`` skips joining flusher/pool threads — finalizers
+        must use it (see the :class:`ShardedTripleStore` pool docstring
+        for the GC ``_shutdown_locks_lock`` deadlock a finalizer-time
+        join can hit).
         """
         durability, self._durability = self._durability, None
         if durability is not None:
-            durability.close()
+            if wait:
+                durability.close()
+            else:
+                durability._close(join=False)
         store = self.store
         if isinstance(store, ShardedTripleStore):
-            store.close()
+            store.close(wait=wait)
 
     def __del__(self) -> None:
         try:
-            self.close()
+            self.close(wait=False)
         except BaseException:
             pass
 

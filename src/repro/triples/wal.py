@@ -1041,6 +1041,33 @@ class Durability:
         except BaseException:
             pass
 
+    def abandon(self) -> None:
+        """Make this handle inert, as if its process just died.
+
+        The crash-simulation primitive the replay harness and the crash
+        matrices share: unlike :meth:`close`, nothing is flushed — the
+        WAL's in-memory buffer is dropped and the file handle released
+        exactly where the last durable write left it, so the directory
+        looks like a hard kill and must go through :func:`recover`.
+        Only meaningful under ``sync='inline'`` (a background flusher
+        is its own thread; "crashing" it cleanly is a contradiction).
+        Idempotent.
+        """
+        if self._flusher is not None:
+            raise PersistenceError(
+                "abandon() requires sync='inline' — a background flusher "
+                "cannot be killed deterministically")
+        self._closed = True
+        self._unsubscribe()
+        self._unsubscribe_atomic()
+        wal = self._wal
+        file, wal._file = wal._file, None
+        if file is not None:
+            try:
+                file.close()
+            except OSError:
+                pass
+
     # -- internals -----------------------------------------------------------
 
     def _flush_group(self) -> bool:

@@ -1,0 +1,33 @@
+"""Tolerant environment-variable parsing for test/tooling knobs.
+
+Harness knobs like ``CRASH_POINTS`` are read at *import* time by test
+modules; a typo'd value (``CRASH_POINTS=lots``) used to raise
+``ValueError`` during collection and abort the whole module — the worst
+possible failure mode for a knob whose entire job is to run *more*
+tests.  :func:`env_int` falls back to the default with a warning
+instead, so a malformed knob can never mask the suite it configures.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+
+def env_int(name: str, default: int) -> int:
+    """``int(os.environ[name])`` with a warning-not-crash fallback.
+
+    Returns *default* when the variable is unset, empty, or not a valid
+    integer literal (a warning identifies the rejected value).
+    Surrounding whitespace is tolerated, like ``int()`` itself.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {name}={raw!r}; using default {default}",
+            RuntimeWarning, stacklevel=2)
+        return default

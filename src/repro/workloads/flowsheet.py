@@ -31,6 +31,23 @@ _CELL_DX = 96.0
 _CELL_DY = 26.0
 
 
+def _stable_seed(seed: int, number: int) -> int:
+    """Mix *seed* and a patient *number* into one RNG seed, stably.
+
+    ``hash((seed, number))`` varies with the interpreter's tuple-hash
+    algorithm (and siphash key handling), so the lab series it seeded
+    were only reproducible within one Python build — unacceptable now
+    that replay bundles pin workload output across machines.  This is a
+    splitmix64-style arithmetic mix: pure 64-bit integer ops, identical
+    everywhere.
+    """
+    mixed = (seed * 0x9E3779B97F4A7C15 + number * 0xBF58476D1CE4E5B9) \
+        & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 31
+    mixed = (mixed * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return mixed ^ (mixed >> 29)
+
+
 def generate_lab_series(dataset: IcuDataset, patient: Patient,
                         times: List[str], seed: int = 0) -> List[str]:
     """Create one time-stamped lab report per entry of *times*.
@@ -39,7 +56,7 @@ def generate_lab_series(dataset: IcuDataset, patient: Patient,
     from *seed*.  Returns the created document names
     (``labs-NNN-tK.xml``).
     """
-    rng = random.Random((seed, patient.number).__hash__())
+    rng = random.Random(_stable_seed(seed, patient.number))
     names: List[str] = []
     values = dict(patient.labs)
     for index, time_label in enumerate(times):

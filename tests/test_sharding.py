@@ -26,8 +26,9 @@ from repro.triples.store import TripleStore
 from repro.triples.trim import TrimManager
 from repro.triples.triple import Literal, Resource, Triple, triple
 from repro.triples.wal import Durability
+from repro.util.env import env_int
 
-CRASH_POINTS = int(os.environ.get("CRASH_POINTS", "40"))
+CRASH_POINTS = env_int("CRASH_POINTS", 40)
 
 
 def T(i, prop="slim:p", value=None):
@@ -395,27 +396,6 @@ class TestShardedDurability:
 # the 2PC crash matrix
 
 
-def _abandon(durability):
-    """Make a 'crashed' coordinator inert: a dead process writes nothing
-    more, so neither may this object's finalizers."""
-    durability._closed = True
-    for shard_durability in durability._durs:
-        shard_durability._closed = True
-        wal = shard_durability._wal
-        file, wal._file = wal._file, None
-        if file is not None:
-            try:
-                file.close()
-            except OSError:
-                pass
-    meta_file, durability._meta._file = durability._meta._file, None
-    if meta_file is not None:
-        try:
-            meta_file.close()
-        except OSError:
-            pass
-
-
 def _crash_at(stage_name, index=None):
     def hook(stage, txn, i):
         if stage == stage_name and (index is None or i == index):
@@ -448,7 +428,7 @@ class TestTwoPhaseCrashMatrix:
         store.add_all(self.INFLIGHT)
         with pytest.raises(SimulatedCrash):
             durability.commit()
-        _abandon(durability)
+        durability.abandon()
 
     @pytest.mark.parametrize("index", [0, 1, 2, 3])
     def test_crash_mid_prepare_rolls_back(self, tmp_path, index):
@@ -564,7 +544,7 @@ class TestTwoPhaseCrashMatrix:
                 crashed = False  # single-participant group: no 2PC window
             except SimulatedCrash:
                 crashed = True
-            _abandon(durability)
+            durability.abandon()
             result = recover_sharded(directory)
             # The commit point is the decision record: a crash before it
             # ('prepare'/'decide' stages) must roll back, a crash after

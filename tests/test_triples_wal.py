@@ -28,8 +28,9 @@ from repro.triples.triple import Literal, Resource, triple
 from repro.triples.wal import (MAGIC, SNAPSHOT_FILE, WAL_FILE, Durability,
                                WriteAheadLog, decode_record, encode_change,
                                encode_commit, recover, scan_wal)
+from repro.util.env import env_int
 
-CRASH_POINTS = int(os.environ.get("CRASH_POINTS", "40"))
+CRASH_POINTS = env_int("CRASH_POINTS", 40)
 
 
 class TestRecordCodec:

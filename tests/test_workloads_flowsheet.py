@@ -50,6 +50,19 @@ class TestLabSeries:
                         for n in second]
         assert first_texts == second_texts
 
+    def test_seed_mix_is_interpreter_independent(self):
+        """Pinned values: the (seed, patient) mix must never vary with
+        the interpreter's hash algorithm (it once did, via tuple-hash),
+        or replay bundles capturing a workload would diverge across
+        Python builds."""
+        from repro.workloads.flowsheet import _stable_seed
+        assert _stable_seed(0, 1) == 11280537896193822047
+        assert _stable_seed(7, 3) == 10452992313184713416
+        assert _stable_seed(0, 2) == 6880144289867709422
+        # distinct patients under one seed draw distinct RNG streams
+        assert _stable_seed(0, 1) != _stable_seed(0, 2)
+        assert _stable_seed(0, 1) != _stable_seed(1, 1)
+
 
 class TestFlowsheet:
     def test_grid_shape(self, world):
