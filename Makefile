@@ -4,8 +4,8 @@
 PY := PYTHONPATH=src python -m
 
 .PHONY: test verify bench bench-smoke bench-ingest bench-concurrency \
-        bench-sharding bench-caching bench-all check-floors \
-        check-regression replay-smoke
+        bench-sharding bench-caching bench-resharding bench-all \
+        check-floors check-regression replay-smoke
 
 test:            ## tier-1: the full unit/integration/property suite
 	$(PY) pytest -x -q
@@ -54,6 +54,13 @@ bench-sharding:  ## full-scale sharding benchmark, rewrites its JSON
 # under a mutating workload.
 bench-caching:   ## full-scale read-cache benchmark, rewrites its JSON
 	$(PY) pytest benchmarks/test_trim_caching.py --benchmark-only -q -s
+
+# Regenerates BENCH_trim_resharding.json at full scale: the durable
+# ingest scale-out curve at 1/2/4/8 shards (with per-commit latency
+# percentiles) and the throughput dip/recovery while reshard(1 -> 4)
+# migrates under a live zipfian writer.
+bench-resharding: ## full-scale resharding benchmark, rewrites its JSON
+	$(PY) pytest benchmarks/test_trim_resharding.py --benchmark-only -q -s
 
 # Validates the committed BENCH_summary.json headline numbers against
 # the floors the acceptance criteria promised (planner speedup, cached

@@ -56,6 +56,13 @@ HEADLINES = {
         "cached_read_hit_rate": ("cached_reads", "hit_rate"),
         "incremental_view_speedup_x": ("incremental_views", "speedup_x"),
     },
+    "trim_resharding": {
+        "scaling_speedup_4_vs_1": ("scaling_curve", "speedup_4_vs_1"),
+        "scaling_speedup_8_vs_1": ("scaling_curve", "speedup_8_vs_1"),
+        "reshard_seconds": ("reshard_under_load", "reshard_seconds"),
+        "reshard_recovery_ratio": ("reshard_under_load",
+                                   "throughput_recovery_ratio"),
+    },
 }
 
 _META_KEYS = {"bench", "smoke", "workload"}

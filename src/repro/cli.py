@@ -25,6 +25,10 @@ Commands:
   re-executes a bundle N times against fresh stores and asserts every
   run recovers byte-identical state (and matches the bundle's recorded
   outcome); ``verify`` schema-checks a bundle without executing it.
+- ``shards info DIR`` — shard-map version, per-shard triple counts, and
+  the max/mean balance skew of a sharded durable root; ``shards split
+  DIR --shards N [--out DIR]`` — offline rewrite to N shards (the only
+  path that shrinks; live growth is ``TrimManager.reshard``).
 """
 
 from __future__ import annotations
@@ -127,6 +131,43 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     if args.out:
         persistence.save(store, args.out, namespaces)
         print(f"recovered store written to {args.out}")
+    return 0
+
+
+def _cmd_shards(args: argparse.Namespace) -> int:
+    from repro.triples.sharded import (is_sharded_directory, recover_sharded,
+                                       split_offline)
+
+    if not is_sharded_directory(args.directory):
+        print(f"{args.directory} is not a sharded durable root",
+              file=sys.stderr)
+        return 1
+    if args.action == "split":
+        shard_map = split_offline(args.directory, args.shards, out=args.out)
+        where = args.out or args.directory
+        print(f"rewrote {args.directory} -> {where}: "
+              f"{shard_map.shard_count} shard(s), map version "
+              f"{shard_map.version}")
+        return 0
+    result = recover_sharded(args.directory)
+    try:
+        store = result.store
+        counts = [len(shard) for shard in store.shards]
+        total = sum(counts)
+        mean = total / len(counts) if counts else 0.0
+        skew = (max(counts) / mean) if mean else 1.0
+        print(f"{args.directory}: {total} triple(s) across "
+              f"{store.shard_count} shard(s)")
+        print(f"  shard map: version {result.map_version}, "
+              f"{len(store.shard_map.slots)} slot(s)"
+              + (", MIGRATION IN PROGRESS (reopen to resume)"
+                 if result.migration_open else ""))
+        for i, n in enumerate(counts):
+            print(f"  shard {i}: {n} triple(s)")
+        print(f"  balance: max/mean skew {skew:.3f} "
+              f"(1.0 = perfectly level)")
+    finally:
+        result.store.close()
     return 0
 
 
@@ -325,6 +366,24 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="schema-validate a bundle without executing it")
     verify.add_argument("bundle", help="bundle file to check")
     verify.set_defaults(handler=_cmd_replay)
+
+    shards = commands.add_parser(
+        "shards", help="inspect / rewrite a sharded durable directory")
+    shard_actions = shards.add_subparsers(dest="action", required=True)
+    info = shard_actions.add_parser(
+        "info", help="shard-map version, per-shard counts, balance skew")
+    info.add_argument("directory", help="sharded durable root")
+    info.set_defaults(handler=_cmd_shards)
+    split = shard_actions.add_parser(
+        "split", help="offline rewrite to a different shard count "
+                      "(grow or shrink)")
+    split.add_argument("directory", help="sharded durable root")
+    split.add_argument("--shards", type=int, required=True, metavar="N",
+                       help="target shard count")
+    split.add_argument("--out", default=None, metavar="DIR",
+                       help="write the rebuilt tree here instead of "
+                            "swapping in place")
+    split.set_defaults(handler=_cmd_shards)
     return parser
 
 

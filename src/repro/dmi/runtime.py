@@ -99,6 +99,13 @@ class DmiRuntime:
         # repro.triples.sharded); ignored when a TrimManager is supplied.
         self.trim = trim or TrimManager(shards=shards)
 
+    def reshard(self, new_count: int, batch_subjects: int = 256,
+                wait: bool = True):
+        """Grow the underlying TRIM's shard count live (see
+        :meth:`TrimManager.reshard <repro.triples.trim.TrimManager.reshard>`)."""
+        return self.trim.reshard(new_count, batch_subjects=batch_subjects,
+                                 wait=wait)
+
     # -- naming ---------------------------------------------------------------
 
     def type_resource(self, entity_name: str) -> Resource:

@@ -219,6 +219,9 @@ def validate_bundle(bundle: Any) -> Dict[str, Any]:
     shards = config.get("shards", 1)
     _require(isinstance(shards, int) and shards >= 1,
              "config.shards must be an int >= 1")
+    map_version = config.get("map_version", 1)
+    _require(isinstance(map_version, int) and map_version >= 1,
+             "config.map_version must be an int >= 1")
     compact_every = config.get("compact_every", 64)
     _require(isinstance(compact_every, int) and compact_every >= 1,
              "config.compact_every must be an int >= 1")

@@ -74,6 +74,7 @@ class CaptureTap:
         self._detached = False
         self.config: Dict[str, Any] = {
             "shards": trim.shards,
+            "map_version": trim.map_version,
             "compact_every": durability.compact_every,
             "commit_every": durability.commit_every,
             "fsync": self._wal_fsync(durability),
@@ -203,6 +204,9 @@ class CaptureTap:
         replay then defines it).
         """
         self.detach()
+        # A reshard mid-capture rewrites routing under the recorded ops;
+        # stamp the final version so replay can fail closed on v > 1.
+        self.config["map_version"] = self._trim.map_version
         outcome = None
         if recovered_store is not None:
             outcome = {"digest": state_digest(recovered_store),

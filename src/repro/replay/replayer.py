@@ -60,6 +60,16 @@ def replay(bundle: Dict[str, Any], directory: str,
     bundle = bundle_format.validate_bundle(bundle)
     config = bundle["config"]
     shards = config.get("shards", 1)
+    map_version = config.get("map_version", 1)
+    if map_version != 1:
+        # A replay rebuilds from an empty directory, whose map is the
+        # version-1 layout; ops captured under a rebalanced map would
+        # route (and recover) onto different shards, breaking the
+        # byte-identical contract.  Fail closed rather than diverge.
+        raise ReplayError(
+            f"bundle was captured under shard-map version {map_version}; "
+            f"replay only reproduces the version-1 layout — re-record the "
+            f"session against a fresh directory")
     if os.path.isdir(directory) and os.listdir(directory):
         raise ReplayError(f"replay target {directory!r} is not empty — "
                           f"a replay must start from nothing")

@@ -99,6 +99,13 @@ class SlimPadApplication:
         """Close a durable group boundary; no-op when durability is off."""
         return self.dmi.runtime.trim.commit()
 
+    def reshard(self, new_count: int, batch_subjects: int = 256,
+                wait: bool = True):
+        """Grow the pad's shard count live without closing it (see
+        :meth:`TrimManager.reshard <repro.triples.trim.TrimManager.reshard>`)."""
+        return self.dmi.runtime.trim.reshard(
+            new_count, batch_subjects=batch_subjects, wait=wait)
+
     def cache_stats(self) -> dict:
         """Read-path cache metrics for this pad's triple store — the
         hit/miss/eviction counters SLIMPad workloads report (see

@@ -23,12 +23,21 @@ across N independent store instances:
 Routing
 -------
 
-A triple lives on shard ``crc32(subject.uri) % N``.  CRC-32 is stable
-across processes and Python versions (unlike the salted builtin
+A triple lives on the shard its subject's slot maps to:
+``map.slots[crc32(subject.uri) % len(map.slots)]``, where the
+:class:`ShardMap` slot table (64 slots per shard) is versioned data
+persisted in the meta-WAL, not code.  The version-1 layout is
+``slots[i] = i % N``, which is bit-identical to the original
+``crc32 % N`` arithmetic — directories written before maps existed
+reopen under their implicit v1 map with no migration.  CRC-32 is
+stable across processes and Python versions (unlike the salted builtin
 ``hash``), so a directory written by one process routes identically in
 the next.  Subject-bound probes — the DMI's dominant traffic
 (``value_of``, liveness checks, entity reads) — therefore touch exactly
-one shard and stay flat-latency as N grows.
+one shard and stay flat-latency as N grows.  ``reshard(new_count)``
+bumps the map version and live-migrates the affected slots' subjects
+(DESIGN.md §14); :func:`split_offline` rewrites cold directories and is
+the shrink path.
 
 Global ordering
 ---------------
@@ -84,8 +93,10 @@ from __future__ import annotations
 import heapq
 import os
 import re
+import shutil
 import struct
 import threading
+import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import (Callable, Dict, Iterable, Iterator, List, NamedTuple,
@@ -121,6 +132,153 @@ def shard_of(uri: str, shard_count: int) -> int:
     processes, so a durable directory reopens onto the same layout.
     """
     return zlib.crc32(uri.encode("utf-8", "surrogatepass")) % shard_count
+
+
+#: Slots allocated per shard when a map is first laid out.  The slot
+#: table is the unit of migration: growing from N to M shards reassigns
+#: whole slots, so N*64 slots support growth to 64x the original count
+#: before a table rebuild (offline split) is needed.
+SLOTS_PER_SHARD = 64
+
+
+class ShardMap:
+    """A versioned slot table mapping subject hashes to shard indices.
+
+    Routing is ``slots[crc32(uri) % len(slots)]``.  Version 1 lays the
+    table out as ``slots[i] = i % N`` over ``N * SLOTS_PER_SHARD``
+    slots, which makes it *exactly* equivalent to the legacy
+    ``crc32(uri) % N`` routing (``N`` divides the slot count), so
+    directories written before maps existed route identically under
+    their implicit version-1 map.  :meth:`rebalanced` produces the
+    next version, reassigning the minimum number of slots needed to
+    level the table over a new shard count — resharding moves only the
+    subjects whose slot changed owner.
+    """
+
+    __slots__ = ("version", "slots", "shard_count")
+
+    def __init__(self, version: int, slots: Tuple[int, ...],
+                 shard_count: int) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if len(slots) < shard_count:
+            raise ValueError("slot table smaller than shard count")
+        self.version = version
+        self.slots = tuple(slots)
+        self.shard_count = shard_count
+
+    @classmethod
+    def initial(cls, shard_count: int) -> "ShardMap":
+        """The version-1 map: legacy ``crc32 % N`` parity by layout."""
+        slots = tuple(i % shard_count
+                      for i in range(shard_count * SLOTS_PER_SHARD))
+        return cls(1, slots, shard_count)
+
+    def slot_of(self, uri: str) -> int:
+        """Which slot the subject hash lands in."""
+        return zlib.crc32(uri.encode("utf-8", "surrogatepass")) \
+            % len(self.slots)
+
+    def shard_for_uri(self, uri: str) -> int:
+        """The shard index owning subject *uri* under this map."""
+        return self.slots[self.slot_of(uri)]
+
+    def rebalanced(self, new_count: int) -> "ShardMap":
+        """The next-version map levelled over *new_count* shards.
+
+        Deterministic and movement-minimal: every shard keeps as many of
+        its current slots as its new target size allows; only the excess
+        (and any slot pointing past the new count, when shrinking) is
+        reassigned, in slot order, to the under-target shards.
+        """
+        n_slots = len(self.slots)
+        if not 1 <= new_count <= n_slots:
+            raise ValueError(
+                f"new shard count must be in 1..{n_slots} for this slot "
+                f"table (rebuild it with an offline split to go higher)")
+        base, extra = divmod(n_slots, new_count)
+        target = [base + (1 if i < extra else 0) for i in range(new_count)]
+        slots = list(self.slots)
+        counts = [0] * new_count
+        excess: List[int] = []
+        for slot, owner in enumerate(slots):
+            if owner < new_count and counts[owner] < target[owner]:
+                counts[owner] += 1
+            else:
+                excess.append(slot)
+        moves = iter(excess)
+        for shard in range(new_count):
+            while counts[shard] < target[shard]:
+                slots[next(moves)] = shard
+                counts[shard] += 1
+        return ShardMap(self.version + 1, tuple(slots), new_count)
+
+    def diff(self, other: "ShardMap") -> Dict[int, Tuple[int, int]]:
+        """``{slot: (from_shard, to_shard)}`` for slots that change owner."""
+        return {slot: (mine, theirs)
+                for slot, (mine, theirs)
+                in enumerate(zip(self.slots, other.slots))
+                if mine != theirs}
+
+    def encode(self) -> bytes:
+        """The meta-WAL ``'M'`` record payload for this map."""
+        return (b"M" + _U64.pack(self.version) + _U32.pack(self.shard_count)
+                + _U32.pack(len(self.slots))
+                + struct.pack(">%dH" % len(self.slots), *self.slots))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ShardMap)
+                and self.version == other.version
+                and self.shard_count == other.shard_count
+                and self.slots == other.slots)
+
+    def __repr__(self) -> str:
+        return (f"ShardMap(version={self.version}, "
+                f"shards={self.shard_count}, slots={len(self.slots)})")
+
+
+class MigrationPlan(NamedTuple):
+    """A persisted migration intent (the meta-WAL ``'G'`` record)."""
+
+    target_version: int            #: map version the migration installs
+    target_count: int              #: shard count after the migration
+    moves: Dict[int, Tuple[int, int]]  #: slot -> (donor, recipient)
+
+    def target_map(self, current: ShardMap) -> ShardMap:
+        """The map this migration installs, reconstructed from *current*."""
+        slots = list(current.slots)
+        for slot, (_, to) in self.moves.items():
+            slots[slot] = to
+        return ShardMap(self.target_version, tuple(slots), self.target_count)
+
+    def encode(self) -> bytes:
+        """The meta-WAL ``'G'`` record payload for this plan."""
+        out = [b"G", _U64.pack(self.target_version),
+               _U32.pack(self.target_count), _U32.pack(len(self.moves))]
+        for slot in sorted(self.moves):
+            frm, to = self.moves[slot]
+            out.append(_U32.pack(slot) + _U32.pack(frm) + _U32.pack(to))
+        return b"".join(out)
+
+
+class _ActiveMigration:
+    """In-memory routing state while a migration drains.
+
+    ``moves`` is the slot reassignment being applied; ``moved`` holds
+    the subject URIs whose triples already live on their recipient
+    shard.  A subject in a migrating slot routes to the donor until its
+    URI enters ``moved``, then to the recipient — the flip happens
+    while both shards' store locks are held, so lock-validated writers
+    never straddle it.
+    """
+
+    __slots__ = ("target", "moves", "moved")
+
+    def __init__(self, target: ShardMap,
+                 moves: Dict[int, Tuple[int, int]]) -> None:
+        self.target = target
+        self.moves = dict(moves)
+        self.moved: Set[str] = set()
 
 
 class SimulatedCrash(BaseException):
@@ -180,11 +338,20 @@ class ShardedTripleStore:
 
     def __init__(self, shards: int = 4, concurrent: bool = False,
                  store_factory: Callable[..., TripleStore] = TripleStore,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 shard_map: Optional[ShardMap] = None) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if shard_map is not None and shard_map.shard_count > shards:
+            raise ValueError(
+                f"shard map routes to {shard_map.shard_count} shard(s) but "
+                f"only {shards} were created")
         self._shards: List[TripleStore] = [
             store_factory(concurrent=concurrent) for _ in range(shards)]
+        self._map = shard_map if shard_map is not None \
+            else ShardMap.initial(shards)
+        self._migration: Optional[_ActiveMigration] = None
+        self._store_factory = store_factory
         self.concurrent = concurrent
         self._lock = threading.RLock()
         self._sequence = 0
@@ -210,13 +377,85 @@ class ShardedTripleStore:
         """How many shards partition this store."""
         return len(self._shards)
 
+    @property
+    def shard_map(self) -> ShardMap:
+        """The versioned slot table routing subjects to shards."""
+        return self._map
+
+    @property
+    def map_version(self) -> int:
+        """The current shard-map version (bumps on every reshard)."""
+        return self._map.version
+
+    @property
+    def migration_active(self) -> bool:
+        """Whether a reshard migration is currently draining."""
+        return self._migration is not None
+
+    def _route_uri(self, uri: str) -> int:
+        """The shard index owning *uri* right now.
+
+        Reads ``_migration`` *before* ``_map`` so lock-free readers stay
+        correct across a finalize (which installs the new map first,
+        then clears the migration): seeing the new map with the old
+        migration routes moved subjects to their recipients; seeing
+        neither update routes by the still-valid old state.
+        """
+        mig = self._migration
+        m = self._map
+        slot = zlib.crc32(uri.encode("utf-8", "surrogatepass")) \
+            % len(m.slots)
+        if mig is not None:
+            move = mig.moves.get(slot)
+            if move is not None:
+                return move[1] if uri in mig.moved else move[0]
+        return m.slots[slot]
+
     def shard_index(self, subject: Resource) -> int:
         """Which shard owns triples with this subject."""
-        return shard_of(subject.uri, len(self._shards))
+        return self._route_uri(subject.uri)
 
     def shard_for(self, subject: Resource) -> TripleStore:
         """The shard store owning triples with this subject."""
-        return self._shards[self.shard_index(subject)]
+        return self._shards[self._route_uri(subject.uri)]
+
+    def _acquire_shard(self, uri: str) -> TripleStore:
+        """Acquire and return the owning shard's lock, route-validated.
+
+        Any routing change for *uri* (a migration moving its subject, or
+        a finalize swapping the map) happens while its owning shard's
+        store lock is held, so re-checking the route under the lock
+        closes the window where a writer lands a triple on a shard the
+        map no longer points at.  Caller must release ``shard._lock``.
+        """
+        while True:
+            shard = self._shards[self._route_uri(uri)]
+            shard._lock.acquire()
+            if self._shards[self._route_uri(uri)] is shard:
+                return shard
+            shard._lock.release()
+
+    def _route_read(self, subject: Resource
+                    ) -> Tuple[TripleStore, Optional[TripleStore]]:
+        """(primary, secondary) shards for a lock-free subject read.
+
+        Outside a migration the secondary is ``None``.  While the
+        subject's slot is migrating, both the donor and the recipient
+        are returned — mid-move, a subject's triples are guaranteed to
+        be present on at least one of them (inserted on the recipient
+        before being removed from the donor), so merging the two with
+        sequence-dedup never misses and never double-counts.
+        """
+        mig = self._migration
+        m = self._map
+        uri = subject.uri
+        slot = zlib.crc32(uri.encode("utf-8", "surrogatepass")) \
+            % len(m.slots)
+        if mig is not None:
+            move = mig.moves.get(slot)
+            if move is not None:
+                return self._shards[move[0]], self._shards[move[1]]
+        return self._shards[m.slots[slot]], None
 
     def route(self, subject: Optional[Resource] = None,
               property: Optional[Resource] = None,
@@ -383,17 +622,23 @@ class ShardedTripleStore:
         earlier one and trip restore's below-tail O(n log n) rebuild on
         every race.
         """
-        shard = self.shard_for(triple.subject)
-        with shard._lock:
+        shard = self._acquire_shard(triple.subject.uri)
+        try:
             sequence = self._next_sequence()
             return shard.restore(triple, sequence)
+        finally:
+            shard._lock.release()
 
     def restore(self, triple: Triple, sequence: int) -> bool:
         """Insert *triple* at an explicit global sequence position
         (undo/rollback/WAL replay; see :meth:`TripleStore.restore`)."""
         with self._lock:
             self._sequence = max(self._sequence, sequence + 1)
-        return self.shard_for(triple.subject).restore(triple, sequence)
+        shard = self._acquire_shard(triple.subject.uri)
+        try:
+            return shard.restore(triple, sequence)
+        finally:
+            shard._lock.release()
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; return how many were new.
@@ -406,12 +651,13 @@ class ShardedTripleStore:
         group is a pending-buffer append riding the deferred-index path.
         """
         count = len(self._shards)
+        routed_map = self._map
         groups: List[List[Tuple[Triple, int]]] = [[] for _ in range(count)]
         total = 0
         with self._lock:
             sequence = self._sequence
             for t in triples:
-                groups[shard_of(t.subject.uri, count)].append((t, sequence))
+                groups[self._route_uri(t.subject.uri)].append((t, sequence))
                 sequence += 1
                 total += 1
             self._sequence = sequence
@@ -419,27 +665,53 @@ class ShardedTripleStore:
                 for i, group in enumerate(groups) if group]
         pool = self._get_pool() if total >= _PARALLEL_MIN else None
         if pool is None or len(busy) < 2:
-            return sum(self._apply_group(shard, group)
+            return sum(self._apply_group(shard, group, routed_map)
                        for shard, group in busy)
-        futures = [pool.submit(self._apply_group, shard, group)
+        futures = [pool.submit(self._apply_group, shard, group, routed_map)
                    for shard, group in busy]
         return sum(f.result() for f in futures)
 
-    @staticmethod
-    def _apply_group(shard: TripleStore, group: List[Tuple[Triple, int]]) -> int:
+    def _apply_group(self, shard: TripleStore,
+                     group: List[Tuple[Triple, int]],
+                     routed_map: ShardMap) -> int:
         added = 0
-        for t, sequence in group:
+        for i, (t, sequence) in enumerate(group):
+            # The group was routed in one pass; a migration starting (or
+            # finalizing) since then can invalidate those routes, so the
+            # moment one is detected the rest of the group re-routes
+            # per-triple under lock validation.  Triples already landed
+            # on a now-donor shard are swept up by the drain loop, which
+            # only finalizes once every donor is verifiably empty.
+            if self._migration is not None or self._map is not routed_map:
+                for t2, seq2 in group[i:]:
+                    added += self._routed_restore(t2, seq2)
+                return added
             if shard.restore(t, sequence):
                 added += 1
         return added
 
+    def _routed_restore(self, triple: Triple, sequence: int) -> int:
+        shard = self._acquire_shard(triple.subject.uri)
+        try:
+            return 1 if shard.restore(triple, sequence) else 0
+        finally:
+            shard._lock.release()
+
     def remove(self, triple: Triple) -> None:
         """Delete *triple*; raise :class:`TripleNotFoundError` if absent."""
-        self.shard_for(triple.subject).remove(triple)
+        shard = self._acquire_shard(triple.subject.uri)
+        try:
+            shard.remove(triple)
+        finally:
+            shard._lock.release()
 
     def discard(self, triple: Triple) -> bool:
         """Delete *triple* if present; return whether it was."""
-        return self.shard_for(triple.subject).discard(triple)
+        shard = self._acquire_shard(triple.subject.uri)
+        try:
+            return shard.discard(triple)
+        finally:
+            shard._lock.release()
 
     def remove_matching(self, subject: Optional[Resource] = None,
                         property: Optional[Resource] = None,
@@ -447,8 +719,11 @@ class ShardedTripleStore:
         """Delete every matching triple; subject-bound removals touch one
         shard, the rest sweep all shards.  Returns the total count."""
         if subject is not None:
-            return self.shard_for(subject).remove_matching(
-                subject, property, value)
+            shard = self._acquire_shard(subject.uri)
+            try:
+                return shard.remove_matching(subject, property, value)
+            finally:
+                shard._lock.release()
         return sum(shard.remove_matching(subject, property, value)
                    for shard in self._shards)
 
@@ -463,12 +738,58 @@ class ShardedTripleStore:
               property: Optional[Resource] = None,
               value: Optional[Node] = None) -> Iterator[Triple]:
         """Yield matching triples: routed to one shard when the subject is
-        fixed, scatter-gathered (shard-index order) otherwise."""
+        fixed, scatter-gathered (shard-index order) otherwise.
+
+        While a migration drains, a migrating subject's triples may
+        transiently exist on both its donor and recipient shard, so
+        those probes (and the scatter sweep) dedup before yielding."""
         if subject is not None:
-            yield from self.shard_for(subject).match(subject, property, value)
+            primary, secondary = self._route_read(subject)
+            if secondary is None:
+                yield from primary.match(subject, property, value)
+                return
+            seen = set()
+            for shard in (primary, secondary):
+                for t in shard.match(subject, property, value):
+                    if t not in seen:
+                        seen.add(t)
+                        yield t
             return
+        # Scatter.  The shard list is visited in index order; growth
+        # migrations only move subjects donor -> higher-index recipient,
+        # so a subject moved mid-sweep is either deduped (read on its
+        # donor first) or picked up on its recipient later — never lost.
+        # ``seen`` records every yield so dedup stays correct even when
+        # a migration begins mid-sweep.
+        version = self._map.version
+        careful = self._migration is not None
+        seen: Set[Triple] = set()
         for shard in self._shards:
-            yield from shard.match(subject, property, value)
+            careful = (careful or self._migration is not None
+                       or self._map.version != version)
+            hits: Optional[List[Triple]] = None
+            if careful:
+                with shard._lock:
+                    hits = list(shard.match(subject, property, value))
+            else:
+                try:
+                    for t in shard.match(subject, property, value):
+                        if t not in seen:
+                            seen.add(t)
+                            yield t
+                    continue
+                except RuntimeError:
+                    # A migration started under us and moved a subject
+                    # out of this shard's indexes mid-iteration; re-read
+                    # the shard consistently under its lock (everything
+                    # already yielded from it is in ``seen``).
+                    careful = True
+                    with shard._lock:
+                        hits = list(shard.match(subject, property, value))
+            for t in hits:
+                if t not in seen:
+                    seen.add(t)
+                    yield t
 
     def select(self, subject: Optional[Resource] = None,
                property: Optional[Resource] = None,
@@ -478,19 +799,60 @@ class ShardedTripleStore:
         Subject-bound selections are a single shard's (already globally
         ordered) result; scatter-gather merges the per-shard sorted runs
         by sequence number — k sorted runs, O(n log k), no full re-sort.
+        Mid-migration duplicates (a subject present on its donor and its
+        recipient) collapse in the merge: both copies carry the same
+        global sequence number.
         """
         if subject is not None:
-            return self.shard_for(subject).select(subject, property, value)
+            primary, secondary = self._route_read(subject)
+            hits = primary.select(subject, property, value)
+            if secondary is not None:
+                present = set(hits)
+                extra = [t for t in secondary.select(subject, property, value)
+                         if t not in present]
+                if extra:
+                    if hits:
+                        hits = hits + extra
+                        hits.sort(key=lambda t: max(
+                            self._sequence_or(primary, t),
+                            self._sequence_or(secondary, t)))
+                    else:
+                        hits = extra
+            return hits
         runs: List[List[Tuple[int, Triple]]] = []
         for shard in self._shards:
-            hits = shard.select(subject, property, value)
-            if hits:
-                runs.append([(self._sequence_or(shard, t), t) for t in hits])
+            if self._migration is not None:
+                with shard._lock:
+                    hits = shard.select(subject, property, value)
+                    run = [(self._sequence_or(shard, t), t) for t in hits]
+            else:
+                try:
+                    hits = shard.select(subject, property, value)
+                except RuntimeError:   # migration moved a subject mid-read
+                    with shard._lock:
+                        hits = shard.select(subject, property, value)
+                run = [(self._sequence_or(shard, t), t) for t in hits]
+            if run:
+                runs.append(run)
         if not runs:
             return []
         if len(runs) == 1:
             return [t for _, t in runs[0]]
-        return [t for _, t in heapq.merge(*runs)]
+        return self._merge_runs(runs)
+
+    @staticmethod
+    def _merge_runs(runs: List[List[Tuple[int, Triple]]]) -> List[Triple]:
+        """Merge per-shard (sequence, triple) runs, dropping mid-move
+        duplicates (same triple, same sequence, two shards)."""
+        out: List[Triple] = []
+        last_seq = -1
+        last_t: Optional[Triple] = None
+        for seq, t in heapq.merge(*runs, key=lambda item: item[0]):
+            if seq == last_seq and t == last_t:
+                continue
+            out.append(t)
+            last_seq, last_t = seq, t
+        return out
 
     @staticmethod
     def _sequence_or(shard: TripleStore, triple: Triple) -> int:
@@ -548,8 +910,15 @@ class ShardedTripleStore:
         """The owning shard's generation counter — the invalidation token
         for subject-routed reads.  A write to any *other* shard leaves it
         untouched, so caches keyed on it survive unrelated traffic; a 2PC
-        multi-shard commit bumps exactly the written shards' counters."""
-        return self.shard_for(subject).generation_of(subject)
+        multi-shard commit bumps exactly the written shards' counters.
+        Mid-migration, a migrating subject stamps with the *sum* of its
+        donor's and recipient's counters — it changes when either side
+        does, so cache entries can never go stale across the move."""
+        primary, secondary = self._route_read(subject)
+        if secondary is None:
+            return primary.generation_of(subject)
+        return (primary.generation_of(subject)
+                + secondary.generation_of(subject))
 
     @property
     def generation_vector(self) -> Tuple[int, ...]:
@@ -575,32 +944,66 @@ class ShardedTripleStore:
         makes per-shard statistics feed a *global* selectivity estimate
         for the planner without any planner changes."""
         if subject is not None:
-            return self.shard_for(subject).count(subject, property, value)
+            primary, secondary = self._route_read(subject)
+            if secondary is None:
+                return primary.count(subject, property, value)
+            # Mid-move both shards may hold copies; the deduped select
+            # is the exact answer (migration windows are bounded).
+            return len(self.select(subject, property, value))
         return sum(shard.count(subject, property, value)
                    for shard in self._shards)
 
     # -- inspection -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(len(shard) for shard in self._shards)
+        if self._migration is None:
+            return sum(len(shard) for shard in self._shards)
+        return sum(1 for _ in self)
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple in self.shard_for(triple.subject)
+        primary, secondary = self._route_read(triple.subject)
+        if triple in primary:
+            return True
+        return secondary is not None and triple in secondary
 
     def _merged_items(self) -> Iterator[Tuple[int, Triple]]:
         runs = []
         for shard in self._shards:
-            items = [(self._sequence_or(shard, t), t) for t in shard]
+            if self._migration is not None:
+                with shard._lock:
+                    items = [(self._sequence_or(shard, t), t) for t in shard]
+            else:
+                try:
+                    items = [(self._sequence_or(shard, t), t) for t in shard]
+                except RuntimeError:   # migration moved a subject mid-read
+                    with shard._lock:
+                        items = [(self._sequence_or(shard, t), t)
+                                 for t in shard]
             if items:
                 runs.append(items)
-        return heapq.merge(*runs)
+        # Keyed merge: mid-migration a moved triple can appear in two
+        # runs with the same sequence, and equal bare tuples would try
+        # to order the triples themselves.
+        last_seq = -1
+        last_t: Optional[Triple] = None
+        for seq, t in heapq.merge(*runs, key=lambda item: item[0]):
+            if seq == last_seq and t == last_t:
+                continue
+            yield seq, t
+            last_seq, last_t = seq, t
 
     def __iter__(self) -> Iterator[Triple]:
         return (t for _, t in self._merged_items())
 
     def sequence_of(self, triple: Triple) -> int:
         """The global insertion-sequence number of a present triple."""
-        return self.shard_for(triple.subject).sequence_of(triple)
+        primary, secondary = self._route_read(triple.subject)
+        try:
+            return primary.sequence_of(triple)
+        except TripleNotFoundError:
+            if secondary is None:
+                raise
+            return secondary.sequence_of(triple)
 
     def subjects(self) -> List[Resource]:
         """Distinct subjects, in first-appearance (global) order."""
@@ -667,6 +1070,194 @@ class ShardedTripleStore:
                           default=0)
             self._sequence = max(self._sequence, ceiling)
 
+    # -- resharding (live migration) ------------------------------------------
+
+    def _install_map(self, shard_map: ShardMap,
+                     migration: Optional[_ActiveMigration] = None) -> None:
+        """Adopt a persisted map (and open migration) — recovery path."""
+        if shard_map.shard_count > len(self._shards):
+            raise ValueError(
+                f"map routes to {shard_map.shard_count} shard(s), store has "
+                f"{len(self._shards)}")
+        self._map = shard_map
+        self._migration = migration
+
+    def _grow_shards(self, new_total: int) -> None:
+        """Append fresh (empty) shards up to *new_total*.
+
+        New shards join the forwarding fan-out immediately; the ingest
+        pool is retired so the next fan-out sizes itself to the new
+        count.  Routing is untouched — nothing points at the new shards
+        until a migration (or a map install) says so.
+        """
+        with self._lock:
+            while len(self._shards) < new_total:
+                shard = self._store_factory(concurrent=self.concurrent)
+                if self._forwarding:
+                    shard.add_listener(self._forward)
+                self._shards.append(shard)
+        self.close(wait=True)
+
+    def _begin_migration(self, target: ShardMap,
+                         moves: Dict[int, Tuple[int, int]]
+                         ) -> _ActiveMigration:
+        """Install migration routing state.  Routing is initially
+        unchanged (every migrating slot still routes to its donor), so a
+        plain assignment is enough — no locks needed."""
+        if self._migration is not None:
+            raise TransactionError("a shard migration is already active")
+        if target.shard_count > len(self._shards):
+            raise ValueError("grow the shard list before migrating onto it")
+        migration = _ActiveMigration(target, moves)
+        self._migration = migration
+        return migration
+
+    def _migration_pending(self, limit: int) -> Dict[Tuple[int, int],
+                                                     List[str]]:
+        """Up to *limit* subject URIs still on their donor shards,
+        grouped by (donor, recipient) pair.  Empty when drained."""
+        mig = self._migration
+        if mig is None:
+            return {}
+        donors: Dict[int, Dict[int, int]] = {}
+        for slot, (frm, to) in mig.moves.items():
+            donors.setdefault(frm, {})[slot] = to
+        out: Dict[Tuple[int, int], List[str]] = {}
+        n = 0
+        for frm, slot_map in sorted(donors.items()):
+            donor = self._shards[frm]
+            with donor._lock:
+                subjects = list(donor._by_subject.keys())
+            for subject in subjects:
+                uri = subject.uri
+                to = slot_map.get(self._map.slot_of(uri))
+                if to is None:
+                    continue
+                out.setdefault((frm, to), []).append(uri)
+                n += 1
+                if n >= limit:
+                    return out
+        return out
+
+    def _move_subjects_locked(self, frm: int, to: int,
+                              uris: List[str]) -> int:
+        """Move the given subjects' triples donor -> recipient.
+
+        Caller holds **both** shards' store locks.  Per subject: insert
+        every triple on the recipient (original sequences, so global
+        order survives), flip the subject's route, then remove from the
+        donor — lock-free readers see the subject on at least one side
+        at every instant.  Returns how many subjects moved triples.
+        """
+        mig = self._migration
+        if mig is None:
+            raise TransactionError("no active migration")
+        donor, recipient = self._shards[frm], self._shards[to]
+        moved = 0
+        for uri in uris:
+            subject = Resource(uri)
+            hits = donor.select(subject=subject)
+            if not hits:
+                mig.moved.add(uri)
+                continue
+            pairs = [(t, donor.sequence_of(t)) for t in hits]
+            recipient.restore_all(pairs)
+            mig.moved.add(uri)
+            for t, _ in pairs:
+                donor.discard(t)
+            moved += 1
+        return moved
+
+    def _migration_drained_locked(self) -> bool:
+        """Whether every donor is empty of migrating subjects.
+
+        Caller holds every shard's store lock.  Checks both the indexed
+        membership and any bulk-pending buffers — pending inserts are
+        invisible to the drain loop, so finalizing past them would
+        strand their flush on a de-routed shard.
+        """
+        mig = self._migration
+        if mig is None:
+            return True
+        donors: Dict[int, Set[int]] = {}
+        for slot, (frm, _) in mig.moves.items():
+            donors.setdefault(frm, set()).add(slot)
+        for frm, slots in donors.items():
+            donor = self._shards[frm]
+            for subject in donor._by_subject:
+                if self._map.slot_of(subject.uri) in slots \
+                        and donor._by_subject.get(subject):
+                    return False
+            if donor._pending is not None:
+                for t, _ in donor._pending:
+                    if self._map.slot_of(t.subject.uri) in slots:
+                        return False
+        return True
+
+    def _try_finish_migration(self) -> bool:
+        """Finalize if every donor is drained: swap the map in, clear the
+        migration.  Holds every shard lock so no writer can race the
+        cutover; returns ``False`` (caller keeps draining) otherwise."""
+        with self._lock:
+            locks = [shard._lock for shard in self._shards]
+        for lock in locks:
+            lock.acquire()
+        try:
+            mig = self._migration
+            if mig is None:
+                return True
+            if not self._migration_drained_locked():
+                return False
+            # Map first, then migration: lock-free readers load the
+            # migration before the map (see _route_uri), so either
+            # snapshot they observe routes moved subjects correctly.
+            self._map = mig.target
+            self._migration = None
+            return True
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
+    def reshard(self, new_count: int, batch_subjects: int = 256) -> int:
+        """Grow (or shrink) the in-memory partition count live.
+
+        Produces the rebalanced next-version map, migrates affected
+        subjects in bounded batches (readers and writers keep running —
+        writers re-validate routes under shard locks, readers follow
+        moved subjects through the migration state), then swaps the new
+        map in.  Returns the new map version.
+
+        Durable stores must go through
+        :meth:`ShardedDurability.reshard` (via
+        :meth:`TrimManager.reshard`) so the migration rides the 2PC
+        machinery; calling this on a store with durability attached
+        raises.
+        """
+        if getattr(self, "_durability_attached", False):
+            raise TransactionError(
+                "this store is durable — use TrimManager.reshard() / "
+                "ShardedDurability.reshard() so the migration is "
+                "crash-consistent")
+        if self._in_bulk:
+            raise TransactionError("cannot reshard during a bulk load")
+        target = self._map.rebalanced(new_count)
+        moves = self._map.diff(target)
+        if new_count > len(self._shards):
+            self._grow_shards(new_count)
+        self._begin_migration(target, moves)
+        while True:
+            batch = self._migration_pending(batch_subjects)
+            if not batch:
+                if self._try_finish_migration():
+                    break
+                time.sleep(0.001)
+                continue
+            for (frm, to), uris in batch.items():
+                first, second = sorted((frm, to))
+                with self._shards[first]._lock, self._shards[second]._lock:
+                    self._move_subjects_locked(frm, to, uris)
+        return self._map.version
+
 
 # -- the coordinator meta-WAL -------------------------------------------------
 
@@ -680,6 +1271,18 @@ class MetaScan(NamedTuple):
     txn_floor: int              #: highest txn number ever issued
     valid_end: int              #: offset past the last valid record
     total_bytes: int            #: file size on disk
+    map: Optional[ShardMap] = None           #: latest 'M' record, if any
+    migration: Optional[MigrationPlan] = None  #: open 'G' record, if any
+
+    def live_shard_count(self) -> int:
+        """The shard count the directory is currently laid out for:
+        the open migration's target, else the map's count, else the
+        legacy epoch-record count."""
+        if self.migration is not None:
+            return self.migration.target_count
+        if self.map is not None:
+            return self.map.shard_count
+        return self.shard_count
 
 
 def _scan_meta(path: str) -> MetaScan:
@@ -700,6 +1303,8 @@ def _scan_meta(path: str) -> MetaScan:
     decisions: Dict[int, bool] = {}
     finished: Set[int] = set()
     txn_floor = 0
+    shard_map: Optional[ShardMap] = None
+    migration: Optional[MigrationPlan] = None
     offset = len(META_MAGIC)
     valid_end = offset
     while offset + _FRAME.size <= total:
@@ -725,6 +1330,34 @@ def _scan_meta(path: str) -> MetaScan:
             elif kind == b"F" and len(payload) == 1 + 8:
                 (txn,) = _U64.unpack_from(payload, 1)
                 finished.add(txn)
+            elif kind == b"M" and len(payload) >= 1 + 8 + 4 + 4:
+                (version,) = _U64.unpack_from(payload, 1)
+                (count,) = _U32.unpack_from(payload, 9)
+                (n_slots,) = _U32.unpack_from(payload, 13)
+                if len(payload) != 17 + 2 * n_slots:
+                    break
+                slots = struct.unpack_from(">%dH" % n_slots, payload, 17)
+                shard_map = ShardMap(version, slots, count)
+                # A map at (or past) an open migration's target version
+                # is the migration's durable completion record.
+                if migration is not None \
+                        and version >= migration.target_version:
+                    migration = None
+            elif kind == b"G" and len(payload) >= 1 + 8 + 4 + 4:
+                (version,) = _U64.unpack_from(payload, 1)
+                (count,) = _U32.unpack_from(payload, 9)
+                (n_moves,) = _U32.unpack_from(payload, 13)
+                if len(payload) != 17 + 12 * n_moves:
+                    break
+                moves: Dict[int, Tuple[int, int]] = {}
+                pos = 17
+                for _ in range(n_moves):
+                    (slot,) = _U32.unpack_from(payload, pos)
+                    (frm,) = _U32.unpack_from(payload, pos + 4)
+                    (to,) = _U32.unpack_from(payload, pos + 8)
+                    moves[slot] = (frm, to)
+                    pos += 12
+                migration = MigrationPlan(version, count, moves)
             else:
                 break
         except struct.error:
@@ -732,13 +1365,17 @@ def _scan_meta(path: str) -> MetaScan:
         offset = end
         valid_end = end
     return MetaScan(epoch, shard_count, decisions, finished, txn_floor,
-                    valid_end, total)
+                    valid_end, total, shard_map, migration)
 
 
-def _meta_header(epoch: int, shard_count: int, txn_floor: int) -> bytes:
+def _meta_header(epoch: int, shard_count: int, txn_floor: int,
+                 shard_map: Optional[ShardMap] = None) -> bytes:
     record = (b"E" + _U64.pack(epoch) + _U32.pack(shard_count)
               + _U64.pack(txn_floor))
-    return META_MAGIC + _frame(record)
+    header = META_MAGIC + _frame(record)
+    if shard_map is not None:
+        header += _frame(shard_map.encode())
+    return header
 
 
 class _MetaLog:
@@ -758,7 +1395,8 @@ class _MetaLog:
     COMPACT_DECISIONS = 64
 
     def __init__(self, path: str, shard_count: int, fsync: bool = True,
-                 epoch_floor: int = 0) -> None:
+                 epoch_floor: int = 0,
+                 initial_map: Optional[ShardMap] = None) -> None:
         self.path = path
         self._fsync = fsync
         self._lock = threading.RLock()
@@ -771,23 +1409,41 @@ class _MetaLog:
             self.epoch = max(scan.epoch, epoch_floor) + 1
             self.shard_count = shard_count
             self._txn = scan.txn_floor
-            _atomic_write(path, _meta_header(self.epoch, shard_count,
-                                             self._txn))
+            self.map = initial_map if initial_map is not None \
+                else ShardMap.initial(shard_count)
+            self.migration: Optional[MigrationPlan] = None
+            header = _meta_header(self.epoch, shard_count, self._txn,
+                                  self.map)
+            _atomic_write(path, header)
             self.decisions: Dict[int, bool] = {}
             self.finished: Set[int] = set()
-            valid_end = len(_meta_header(self.epoch, shard_count, self._txn))
+            valid_end = len(header)
         else:
             self.epoch = scan.epoch
-            self.shard_count = scan.shard_count
+            # Directories written before shard maps existed carry no 'M'
+            # record; their routing is exactly the implicit version-1
+            # map (see ShardMap.initial).
+            self.map = scan.map if scan.map is not None \
+                else ShardMap.initial(scan.shard_count)
+            self.migration = scan.migration
+            self.shard_count = scan.live_shard_count()
             self._txn = scan.txn_floor
             self.decisions = dict(scan.decisions)
             self.finished = set(scan.finished)
             valid_end = scan.valid_end
-            if shard_count != scan.shard_count:
+            if shard_count != self.shard_count:
+                status = (f"a migration to {self.shard_count} shard(s) is "
+                          f"in progress" if scan.migration is not None
+                          else f"laid out for {self.shard_count} shard(s)")
                 raise PersistenceError(
-                    f"{path}: layout has {scan.shard_count} shard(s), "
-                    f"store was opened with {shard_count} — resharding an "
-                    f"existing directory is not supported")
+                    f"{path}: {status} at map version {self.map.version}, "
+                    f"but the store was opened with shard_count="
+                    f"{shard_count}.  Reopen with shards="
+                    f"{self.shard_count}, grow it live with "
+                    f"TrimManager.reshard({shard_count}) / "
+                    f"ShardedDurability.reshard({shard_count}), or rewrite "
+                    f"it offline with `python -m repro shards split <dir> "
+                    f"--shards {shard_count}`")
         try:
             self._file = open(path, "r+b")
             self._file.truncate(valid_end)
@@ -815,16 +1471,51 @@ class _MetaLog:
         with self._lock:
             self.finished.add(txn)
 
+    def begin_migration(self, plan: MigrationPlan) -> None:
+        """Durably record a reshard's intent (the ``'G'`` record).
+
+        From this record on, every recovery knows which slots are in
+        flight and to which recipients — until a map record at the
+        plan's target version supersedes it, reopening the directory
+        resumes (and completes) the migration.
+        """
+        with self._lock:
+            if self.migration is not None:
+                raise TransactionError(
+                    "a shard migration is already recorded as in progress")
+            self._append(plan.encode(), durable=True)
+            self.migration = plan
+            self.shard_count = plan.target_count
+
+    def write_map(self, shard_map: ShardMap) -> None:
+        """Durably install a new shard map (the ``'M'`` record).
+
+        Written at reshard finalize; at (or past) an open migration's
+        target version it doubles as the migration's completion record.
+        """
+        with self._lock:
+            self._append(shard_map.encode(), durable=True)
+            self.map = shard_map
+            self.shard_count = shard_map.shard_count
+            if self.migration is not None \
+                    and shard_map.version >= self.migration.target_version:
+                self.migration = None
+
     def maybe_compact(self) -> None:
         """Drop fully-finished decisions by rewriting the log atomically."""
         with self._lock:
             if self._file is None:
                 return
+            if self.migration is not None:
+                # An open 'G' record must survive verbatim until its
+                # closing 'M' lands; compaction waits the migration out.
+                return
             if len(self.decisions) < self.COMPACT_DECISIONS:
                 return
             if any(txn not in self.finished for txn in self.decisions):
                 return
-            header = _meta_header(self.epoch, self.shard_count, self._txn)
+            header = _meta_header(self.epoch, self.shard_count, self._txn,
+                                  self.map)
             _atomic_write(self.path, header)
             self._file.close()
             try:
@@ -910,6 +1601,8 @@ class ShardedRecoveryResult(NamedTuple):
     repaired: int                    #: prepared groups fenced from meta-WAL
     epoch: int                       #: coordinator epoch found (0 if none)
     namespaces: NamespaceRegistry    #: registry with every declaration
+    map_version: int = 1             #: shard-map version in force
+    migration_open: bool = False     #: a reshard was mid-flight at crash
 
 
 def shard_directories(directory: str) -> List[str]:
@@ -950,7 +1643,13 @@ def recover_sharded(directory: str,
             f"{directory!r} holds no shard directories (not a sharded "
             f"durable root)")
     meta = _scan_meta(os.path.join(directory, META_FILE))
-    store = ShardedTripleStore(len(dirs), concurrent=concurrent,
+    shard_map = meta.map if meta.map is not None \
+        else ShardMap.initial(len(dirs))
+    # A crash between the 'G' record and the recipient-directory
+    # creation leaves fewer dirs than the migration target; size the
+    # store for whichever is larger and recover the dirs that exist.
+    count = max(len(dirs), meta.live_shard_count())
+    store = ShardedTripleStore(count, concurrent=concurrent,
                                store_factory=store_factory)
     registry = namespaces if namespaces is not None else NamespaceRegistry()
     repaired = 0
@@ -962,8 +1661,25 @@ def recover_sharded(directory: str,
                 repaired += 1
         results.append(recover(shard_dir, store=shard, namespaces=registry))
     store._resync_sequence()
+    migration = None
+    if meta.migration is not None:
+        # Rebuild the in-flight routing state: a subject already on a
+        # recipient shard (for its migrating slot) committed its move
+        # before the crash, so it routes there; everything else still
+        # routes to its donor.  Recovery already made each batch
+        # all-or-nothing, so membership is unambiguous.
+        target = meta.migration.target_map(shard_map)
+        migration = _ActiveMigration(target, meta.migration.moves)
+        for slot, (_, to) in meta.migration.moves.items():
+            recipient = store.shards[to]
+            for subject in recipient._by_subject:
+                uri = subject.uri
+                if shard_map.slot_of(uri) == slot:
+                    migration.moved.add(uri)
+    store._install_map(shard_map, migration)
     return ShardedRecoveryResult(store, results, repaired, meta.epoch,
-                                 registry)
+                                 registry, shard_map.version,
+                                 meta.migration is not None)
 
 
 # -- the sharded durability orchestrator --------------------------------------
@@ -1011,13 +1727,25 @@ class ShardedDurability:
         self.compact_every = compact_every
         self.commit_every = commit_every
         self.sync = sync
+        self._fsync = fsync
         self._store = store
         count = store.shard_count
         existing = shard_directories(directory)
         if existing and len(existing) != count:
-            raise PersistenceError(
-                f"{directory!r} holds {len(existing)} shard(s), store was "
-                f"opened with {count} — resharding is not supported")
+            scan = _scan_meta(os.path.join(directory, META_FILE))
+            resumable = (scan.migration is not None
+                         and scan.live_shard_count() == count
+                         and len(existing) < count)
+            if not resumable:
+                live = scan.live_shard_count() or len(existing)
+                raise PersistenceError(
+                    f"{directory!r} is laid out for {live} shard(s) but the "
+                    f"store was opened with shard_count={count}.  Reopen "
+                    f"with shards={live}, grow it live with "
+                    f"TrimManager.reshard({count}) / "
+                    f"ShardedDurability.reshard({count}), or rewrite it "
+                    f"offline with `python -m repro shards split "
+                    f"{directory} --shards {count}`")
         os.makedirs(directory, exist_ok=True)
         shard_dirs = [os.path.join(directory, SHARD_DIR_FMT % i)
                       for i in range(count)]
@@ -1030,7 +1758,9 @@ class ShardedDurability:
                 epoch_floor = max(epoch_floor, scan.prepared.info.epoch)
         self._meta = _MetaLog(os.path.join(directory, META_FILE),
                               shard_count=count, fsync=fsync,
-                              epoch_floor=epoch_floor)
+                              epoch_floor=epoch_floor,
+                              initial_map=store.shard_map
+                              if store.map_version > 1 else None)
         #: How many in-doubt groups recovery fenced to completion.
         self.repaired = 0
         for shard_dir in shard_dirs:
@@ -1054,10 +1784,30 @@ class ShardedDurability:
             self._meta.close()
             raise
         store._resync_sequence()
+        # Adopt the persisted map (a reopened directory may be several
+        # reshards past the implicit version-1 layout the store was
+        # constructed with) and, when a crash left a migration open,
+        # rebuild its routing state for the resume below.
+        migration = None
+        if self._meta.migration is not None:
+            plan = self._meta.migration
+            target = plan.target_map(self._meta.map)
+            migration = _ActiveMigration(target, plan.moves)
+            for slot, (_, to) in plan.moves.items():
+                recipient = store.shards[to]
+                for subject in recipient._by_subject:
+                    if self._meta.map.slot_of(subject.uri) == slot:
+                        migration.moved.add(subject.uri)
+        store._install_map(self._meta.map, migration)
+        store._durability_attached = True
         self._meta_lock = threading.Lock()
         self._shard_locks = [threading.Lock() for _ in range(count)]
         self._inline_commits = 0
         self._closed = False
+        self._2pc_pool: Optional[ThreadPoolExecutor] = None
+        self._2pc_pool_lock = threading.Lock()
+        #: Whether attaching found (and completed) an interrupted reshard.
+        self.resumed_migration = False
         self._flusher: Optional[_GroupCommitFlusher] = None
         #: Test instrumentation: called as ``hook(stage, txn, index)`` at
         #: each 2PC protocol step; raising :class:`SimulatedCrash` kills
@@ -1068,6 +1818,12 @@ class ShardedDurability:
         self._unsubscribe_atomic = store.add_atomic_listener(
             self._on_atomic_end)
         try:
+            if migration is not None:
+                # Finish what the crashed incarnation started: drain the
+                # remaining subjects batch by batch (each batch is its
+                # own 2PC transaction) and write the closing map record.
+                self._drain_migration(batch_subjects=256)
+                self.resumed_migration = True
             self._meta.maybe_compact()
             if sync != "inline":
                 self._flusher = _GroupCommitFlusher(self,
@@ -1169,11 +1925,176 @@ class ShardedDurability:
         """Fold every shard's log into a fresh snapshot."""
         if self._closed:
             raise PersistenceError("sharded durability handle is closed")
-        for lock, dur in zip(self._shard_locks, self._durs):
+        for lock, dur in zip(list(self._shard_locks), list(self._durs)):
             with lock:
                 dur.compact()
         with self._meta._lock:
             self._meta.maybe_compact()
+
+    # -- resharding -----------------------------------------------------------
+
+    @property
+    def map_version(self) -> int:
+        """The persisted shard-map version."""
+        return self._meta.map.version
+
+    @property
+    def shard_map(self) -> ShardMap:
+        """The persisted shard map."""
+        return self._meta.map
+
+    def reshard(self, new_count: int, batch_subjects: int = 256,
+                wait: bool = True) -> "ReshardJob":
+        """Grow the shard count live, migrating subjects under 2PC.
+
+        The rebalanced next-version map is computed, the recipient
+        directories and durability handles are created, and the
+        migration intent lands durably in the meta-WAL (the ``'G'``
+        record) *before* any subject moves — a crash at any later point
+        reopens into an automatic resume.  Subjects then drain from
+        donors to recipients in bounded batches; each batch buffers the
+        moves into both WALs and commits them as one two-phase
+        transaction (prepare both, decision in the meta-WAL, fence),
+        with both shards' store locks and WAL locks held across the
+        window so racing writers and per-shard commits can never split
+        a half-moved subject.  Readers and writers never block for the
+        whole migration — only for the batch touching their shard.
+        Finalizing writes the new map record, the migration's durable
+        completion.
+
+        ``wait=False`` runs the drain on a background thread; the
+        returned :class:`ReshardJob` exposes progress and ``join()``.
+        Live resharding only grows; use ``python -m repro shards
+        split`` offline to shrink.
+        """
+        if self._closed:
+            raise PersistenceError("sharded durability handle is closed")
+        store = self._store
+        current = self._meta.map.shard_count
+        if new_count == current:
+            return ReshardJob(self, batch_subjects, done=True)
+        if new_count < current:
+            raise PersistenceError(
+                f"live resharding only grows ({current} -> {new_count} "
+                f"shrinks); rewrite the directory offline with `python -m "
+                f"repro shards split {self.directory} --shards {new_count}`")
+        if self._meta.migration is not None \
+                or store.migration_active:
+            raise TransactionError("a shard migration is already in progress")
+        if store.in_bulk:
+            raise TransactionError("cannot reshard during a bulk load")
+        target = self._meta.map.rebalanced(new_count)
+        plan = MigrationPlan(target.version, new_count,
+                             self._meta.map.diff(target))
+        # Durable intent first: once the 'G' record is down, any crash
+        # resumes the migration on reopen (with shards=new_count) —
+        # recipient directories are recreated there if missing.
+        self._meta.begin_migration(plan)
+        self._crash("reshard-begin", 0)
+        self._grow(new_count)
+        self._crash("reshard-grown", 0)
+        store._begin_migration(target, plan.moves)
+        job = ReshardJob(self, batch_subjects)
+        if wait:
+            job.run()
+        else:
+            thread = threading.Thread(target=job.run, daemon=True,
+                                      name="slim-reshard")
+            job._thread = thread
+            thread.start()
+        return job
+
+    def _grow(self, new_count: int) -> None:
+        """Create recipient shards, directories, and durability handles."""
+        store = self._store
+        store._grow_shards(new_count)
+        with self._meta_lock:
+            for i in range(len(self._durs), new_count):
+                shard_dir = os.path.join(self.directory, SHARD_DIR_FMT % i)
+                os.makedirs(shard_dir, exist_ok=True)
+                self._durs.append(Durability(
+                    store.shards[i], shard_dir, namespaces=self.namespaces,
+                    compact_every=self.compact_every, fsync=self._fsync,
+                    commit_every=None, sync="inline"))
+                self._shard_locks.append(threading.Lock())
+        # Retire the 2PC pool so the next one sizes to the new count.
+        with self._2pc_pool_lock:
+            pool, self._2pc_pool = self._2pc_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _drain_migration(self, batch_subjects: int) -> Tuple[int, int]:
+        """Move every pending subject, then finalize.  Returns
+        (batches, subjects_moved)."""
+        store = self._store
+        batches = moved = 0
+        while True:
+            batch = store._migration_pending(batch_subjects)
+            if not batch:
+                if self._finalize_migration():
+                    return batches, moved
+                time.sleep(0.001)
+                continue
+            for (frm, to), uris in batch.items():
+                moved += self._migrate_batch(frm, to, uris)
+                batches += 1
+
+    def _migrate_batch(self, frm: int, to: int, uris: List[str]) -> int:
+        """Move one bounded batch of subjects and 2PC-commit it.
+
+        Lock order is the store tier first (both shards, ascending),
+        then the durability tier (both shard WAL locks, ascending) —
+        the same order every writer and committer uses, so there is no
+        cycle.  The WAL locks are held from *before* the first move
+        event is buffered until the fence completes: a racing
+        ``commit_for`` on the donor can therefore never durably commit
+        the removals without the recipient's inserts.
+        """
+        store = self._store
+        first, second = sorted((frm, to))
+        store.begin_atomic()   # defers commit_every auto-commits
+        try:
+            with store.shards[first]._lock, store.shards[second]._lock:
+                with self._shard_locks[first], self._shard_locks[second]:
+                    moved = store._move_subjects_locked(frm, to, uris)
+                    participants = [dur for dur in
+                                    (self._durs[frm], self._durs[to])
+                                    if dur.pending_changes > 0]
+                    if len(participants) == 2:
+                        self._two_phase_commit(participants, use_pool=False)
+                    elif participants:
+                        participants[0]._flush_group()
+            return moved
+        finally:
+            store.end_atomic()
+
+    def _finalize_migration(self) -> bool:
+        """Write the closing map record and swap routing, if drained.
+
+        Holds every shard's store lock: the emptiness re-check, the
+        durable map record, and the in-memory cutover happen in one
+        critical section no writer can interleave.
+        """
+        store = self._store
+        with store._lock:
+            locks = [shard._lock for shard in store._shards]
+        for lock in locks:
+            lock.acquire()
+        try:
+            migration = store._migration
+            if migration is None:
+                return True
+            if not store._migration_drained_locked():
+                return False
+            self._crash("reshard-final", 0)
+            self._meta.write_map(migration.target)
+            self._crash("reshard-installed", 0)
+            store._map = migration.target
+            store._migration = None
+            return True
+        finally:
+            for lock in reversed(locks):
+                lock.release()
 
     def close(self) -> None:
         """Detach from the store and close every log (idempotent).
@@ -1196,6 +2117,10 @@ class ShardedDurability:
                 self._flusher.close(join=join)
             except BaseException as exc:
                 errors.append(exc)
+        with self._2pc_pool_lock:
+            pool, self._2pc_pool = self._2pc_pool, None
+        if pool is not None:
+            pool.shutdown(wait=join)
         for dur in self._durs:
             try:
                 dur._close(join=join)
@@ -1275,13 +2200,31 @@ class ShardedDurability:
                 for lock in reversed(self._shard_locks):
                     lock.release()
 
-    def _two_phase_commit(self, participants: List[Durability]) -> None:
+    def _get_2pc_pool(self) -> ThreadPoolExecutor:
+        """The dedicated prepare/fence fan-out pool.
+
+        2PC must never borrow the store's ingest pool: during a
+        migration every ingest worker can be parked on a store lock the
+        migrating batch holds, and a group commit queued behind them
+        (while holding every WAL lock the batch needs) would deadlock
+        the triangle.  This pool only ever runs WAL calls, which take
+        no store locks.
+        """
+        with self._2pc_pool_lock:
+            if self._2pc_pool is None:
+                self._2pc_pool = ThreadPoolExecutor(
+                    max_workers=len(self._durs),
+                    thread_name_prefix="slim-2pc")
+            return self._2pc_pool
+
+    def _two_phase_commit(self, participants: List[Durability],
+                          use_pool: bool = True) -> None:
         txn = self._meta.next_txn()
         info = PrepareInfo(txn, len(participants), self._meta.epoch)
         prepared: List[Durability] = []
         try:
-            if self.crash_hook is None and len(participants) > 1:
-                pool = self._store._get_pool()
+            if use_pool and self.crash_hook is None and len(participants) > 1:
+                pool = self._get_2pc_pool()
             else:
                 # Crash-injection runs serially so every inter-step
                 # window is a deterministic kill point.
@@ -1315,8 +2258,9 @@ class ShardedDurability:
         self._crash("decide", txn)
         self._meta.decide(txn, commit=True)   # <- the commit point
         self._crash("decided", txn)
-        pool = (self._store._get_pool()
-                if self.crash_hook is None and len(participants) > 1 else None)
+        pool = (self._get_2pc_pool()
+                if use_pool and self.crash_hook is None
+                and len(participants) > 1 else None)
         if pool is None:
             for i, dur in enumerate(participants):
                 dur._wal.fence()
@@ -1337,7 +2281,7 @@ class ShardedDurability:
     def _maybe_compact(self) -> None:
         """Per-shard compaction at each shard's own cadence; never blocks
         on a busy shard (same contract as :meth:`Durability._maybe_compact`)."""
-        for lock, dur in zip(self._shard_locks, self._durs):
+        for lock, dur in zip(list(self._shard_locks), list(self._durs)):
             if not lock.acquire(blocking=False):
                 continue
             try:
@@ -1357,3 +2301,101 @@ class ShardedDurability:
         if self.pending_changes >= self.commit_every \
                 and not self._store.in_atomic:
             self.commit(wait=False)
+
+
+class ReshardJob:
+    """Handle on a live migration started by :meth:`ShardedDurability.reshard`.
+
+    With ``wait=True`` (the default) the job has already run by the time
+    the caller sees it; with ``wait=False`` it drains on a background
+    thread and :meth:`join` blocks until the closing map record is
+    durable.  ``subjects_moved``/``batches`` are progress counters, and
+    ``error`` carries a background failure (also re-raised by ``join``).
+    """
+
+    def __init__(self, durability: "ShardedDurability", batch_subjects: int,
+                 done: bool = False) -> None:
+        self._durability = durability
+        self._batch_subjects = batch_subjects
+        self._thread: Optional[threading.Thread] = None
+        self.done = done
+        self.batches = 0
+        self.subjects_moved = 0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        """Drain the migration to completion (idempotent once done)."""
+        if self.done:
+            return
+        try:
+            self.batches, self.subjects_moved = \
+                self._durability._drain_migration(self._batch_subjects)
+            self.done = True
+        except BaseException as exc:
+            self.error = exc
+            if self._thread is None:
+                raise
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for a background drain to finish; re-raise its error."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+        if self.error is not None:
+            raise self.error
+
+
+def split_offline(directory: str, new_count: int,
+                  namespaces: Optional[NamespaceRegistry] = None,
+                  out: Optional[str] = None) -> ShardMap:
+    """Rewrite a cold sharded directory for *new_count* shards.
+
+    The offline fallback for what :meth:`ShardedDurability.reshard` does
+    live — and the only path that *shrinks*.  The directory is recovered
+    in full, rebuilt shard by shard under a fresh version-bumped map
+    with the even initial layout (slot table sized to the new count, so
+    a later live grow is not capped by the old table), committed,
+    compacted, and either written to *out* or swapped into place.  The
+    in-place swap keeps the original under ``<directory>.split-old``
+    until the rebuilt tree is durable, then removes it; a crash mid-swap
+    leaves one intact directory at one of the two names.  Returns the
+    new map.
+    """
+    if new_count < 1:
+        raise ValueError("new_count must be >= 1")
+    result = recover_sharded(directory, namespaces=namespaces)
+    try:
+        if result.migration_open:
+            raise PersistenceError(
+                f"{directory!r} has a live migration in progress; reopen it "
+                f"with shards={result.store.shard_count} to let the "
+                f"migration resume and finish before splitting offline")
+        old_map = result.store.shard_map
+        target = ShardMap(old_map.version + 1,
+                          ShardMap.initial(new_count).slots, new_count)
+        in_place = out is None
+        dest = directory + ".split-tmp" if in_place else out
+        if os.path.exists(dest) and os.listdir(dest):
+            raise PersistenceError(f"split destination {dest!r} is not empty")
+        os.makedirs(dest, exist_ok=True)
+        new_store = ShardedTripleStore(new_count, shard_map=target)
+        dur = ShardedDurability(new_store, dest, namespaces=result.namespaces,
+                                commit_every=None, sync="inline")
+        try:
+            with new_store.bulk():
+                for sequence, triple in result.store._merged_items():
+                    new_store.restore(triple, sequence)
+            dur.commit()
+            dur.compact()
+        finally:
+            dur.close()
+            new_store.close()
+    finally:
+        result.store.close()
+    if in_place:
+        old = directory + ".split-old"
+        if os.path.exists(old):
+            shutil.rmtree(old)
+        os.rename(directory, old)
+        os.rename(dest, directory)
+        shutil.rmtree(old)
+    return target

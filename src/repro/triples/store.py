@@ -401,6 +401,44 @@ class TripleStore:
                 return sequence
         raise TripleNotFoundError(f"triple not in store: {triple}")
 
+    def restore_all(self, items: Iterable[Tuple[Triple, int]]) -> int:
+        """Batch :meth:`restore`: insert many (triple, sequence) pairs.
+
+        Semantically N ``restore`` calls — same listener events, same
+        final ordering — but the ordered membership map is rebuilt at
+        most once, so migrating a block of old-sequence triples into a
+        store with a higher tail costs one O(n log n) pass instead of
+        one per triple.  Returns how many were new.
+        """
+        with self._lock:
+            if self._pending is not None:
+                added = 0
+                for triple, sequence in items:
+                    added += self.restore(triple, sequence)
+                return added
+            accepted: List[Tuple[Triple, int]] = []
+            tail = (next(reversed(self._triples.values()))
+                    if self._triples else -1)
+            out_of_order = False
+            for triple, sequence in items:
+                if triple in self._triples:
+                    continue
+                self._triples[triple] = sequence
+                if sequence < tail:
+                    out_of_order = True
+                else:
+                    tail = sequence
+                self._sequence = max(self._sequence, sequence + 1)
+                accepted.append((triple, sequence))
+            if out_of_order:
+                self._triples = dict(
+                    sorted(self._triples.items(), key=lambda item: item[1]))
+            for triple, sequence in accepted:
+                self._generation += 1
+                self._index_insert(triple)
+                self._notify("add", triple, sequence)
+            return len(accepted)
+
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; return how many were new.
 

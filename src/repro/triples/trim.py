@@ -23,6 +23,7 @@ from __future__ import annotations
 import weakref
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.errors import TransactionError
 from repro.triples import persistence
 from repro.triples.cache import GenerationCache
 from repro.triples.namespaces import NamespaceRegistry
@@ -381,6 +382,36 @@ class TrimManager:
         if isinstance(store, ShardedTripleStore):
             return store.shard_count
         return 1
+
+    @property
+    def map_version(self) -> int:
+        """The active shard-map version (1 = the implicit legacy map)."""
+        store = self.store
+        if isinstance(store, ShardedTripleStore):
+            return store.map_version
+        return 1
+
+    def reshard(self, new_count: int, batch_subjects: int = 256,
+                wait: bool = True):
+        """Grow the shard count live (see
+        :meth:`ShardedDurability.reshard`).
+
+        A durable sharded TRIM migrates subjects under 2PC with the new
+        map persisted in the meta-WAL; a purely in-memory sharded TRIM
+        rebalances in place.  Raises :class:`TransactionError` on an
+        unsharded TRIM — shard count is chosen at construction
+        (``TrimManager(shards=N)``).
+        """
+        if isinstance(self._durability, ShardedDurability):
+            return self._durability.reshard(new_count,
+                                            batch_subjects=batch_subjects,
+                                            wait=wait)
+        store = self.store
+        if isinstance(store, ShardedTripleStore):
+            return store.reshard(new_count, batch_subjects=batch_subjects)
+        raise TransactionError(
+            "reshard() needs a sharded TRIM — construct with "
+            "TrimManager(shards=N)")
 
     def commit(self, subject: Union[str, Resource, None] = None) -> bool:
         """Close a durable group (fsync boundary); no-op when not durable.

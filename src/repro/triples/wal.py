@@ -950,6 +950,16 @@ class Durability:
         """Group-commit fsyncs issued by the underlying WAL."""
         return self._wal.sync_count
 
+    @property
+    def map_version(self) -> int:
+        """Shard-map version: always 1 for an unsharded store.
+
+        Mirrors :attr:`ShardedDurability.map_version
+        <repro.triples.sharded.ShardedDurability.map_version>` so
+        callers (replay capture, CLI info) read one attribute on either
+        handle."""
+        return 1
+
     def commit(self, wait: Optional[bool] = None) -> bool:
         """Close the current group; ``False`` when nothing changed.
 
