@@ -4,8 +4,8 @@
 PY := PYTHONPATH=src python -m
 
 .PHONY: test verify bench bench-smoke bench-ingest bench-concurrency \
-        bench-sharding bench-caching bench-resharding bench-all \
-        check-floors check-regression replay-smoke
+        bench-sharding bench-caching bench-resharding bench-service \
+        bench-all check-floors check-regression replay-smoke
 
 test:            ## tier-1: the full unit/integration/property suite
 	$(PY) pytest -x -q
@@ -61,6 +61,13 @@ bench-caching:   ## full-scale read-cache benchmark, rewrites its JSON
 # migrates under a live zipfian writer.
 bench-resharding: ## full-scale resharding benchmark, rewrites its JSON
 	$(PY) pytest benchmarks/test_trim_resharding.py --benchmark-only -q -s
+
+# Regenerates BENCH_trim_service.json at full scale: 16 TCP connections
+# of zipfian writes through `python -m repro serve` (write-coalescing
+# ratio + request latency under RETRY_AFTER backpressure), and the
+# SIGTERM-during-load drain (zero lost acknowledged writes on reopen).
+bench-service:   ## full-scale TRIM-service benchmark, rewrites its JSON
+	$(PY) pytest benchmarks/test_trim_service.py --benchmark-only -q -s
 
 # Validates the committed BENCH_summary.json headline numbers against
 # the floors the acceptance criteria promised (planner speedup, cached

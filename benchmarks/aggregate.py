@@ -63,6 +63,13 @@ HEADLINES = {
         "reshard_recovery_ratio": ("reshard_under_load",
                                    "throughput_recovery_ratio"),
     },
+    "trim_service": {
+        "coalesce_ratio": ("write_coalescing", "coalesce_ratio"),
+        "requests_per_s": ("write_coalescing", "requests_per_s"),
+        "write_p99_us": ("write_coalescing", "p99_us"),
+        "lost_acked_writes": ("drain_on_sigterm", "lost_acked_writes"),
+        "drain_seconds": ("drain_on_sigterm", "drain_seconds"),
+    },
 }
 
 _META_KEYS = {"bench", "smoke", "workload"}

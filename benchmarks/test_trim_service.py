@@ -1,0 +1,306 @@
+"""TRIM-service benchmarks: write coalescing + drain-on-SIGTERM (ISSUE 9).
+
+Two questions the multi-tenant front end has to answer with numbers:
+
+1. **Write coalescing** — ``NUM_CONNECTIONS`` real TCP clients pound one
+   tenant with zipfian subject traffic through ``python -m repro serve``
+   (a genuine subprocess, so the path measured includes the socket, the
+   event loop, and the coalescer).  The throughput story is the
+   ``coalesce_ratio``: durably-acked requests per commit group.  N
+   connections must cost ~one fsync group per drain cycle, not N — the
+   ratio has to be well above 1 — while admission control keeps the
+   request p99 bounded instead of letting queues grow without limit
+   (``RETRY_AFTER`` + client backoff, all counted).
+2. **Drain on SIGTERM** — the same server is killed with SIGTERM while
+   the connections are mid-flight.  The gate: exit code 0, and *every*
+   acknowledged write is recovered by reopening the tenant directories
+   (zero lost acks); the drain time is recorded alongside.
+
+Results print via ``print_table`` (run with ``-s``) and aggregate into
+``BENCH_trim_service.json`` at the repo root.  ``BENCH_SMOKE=1`` shrinks
+the workload and redirects the JSON to a temp path.
+"""
+
+import bisect
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.triples.trim import TrimManager
+
+from benchmarks.conftest import print_table, run_once
+
+_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+#: Coalescing workload shape: connections x durably-acked requests each.
+NUM_CONNECTIONS = 16
+REQUESTS_EACH = 8 if _SMOKE else 120
+NUM_SUBJECTS = 64 if _SMOKE else 400
+ZIPF_S = 1.1
+#: Admission control for the benched tenant: half the connection count,
+#: so the 16 clients genuinely hit the high-water mark and the p99 is
+#: measured *under* RETRY_AFTER backpressure, not beside it.
+HIGH_WATER = 8
+#: Drain workload shape.
+DRAIN_TENANTS = 2
+DRAIN_CONNECTIONS = 4
+DRAIN_LOAD_SECONDS = 0.2 if _SMOKE else 1.0
+_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_trim_service.json"
+
+#: Sections accumulated by the tests below; the last test writes the file.
+_RESULTS = {}
+
+
+def _percentiles(latencies_s):
+    """p50/p95/p99 of a latency sample, in microseconds."""
+    if not latencies_s:
+        return {"p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
+    ordered = sorted(latencies_s)
+    last = len(ordered) - 1
+
+    def pct(p):
+        return round(ordered[min(last, round(p / 100 * last))] * 1e6, 1)
+
+    return {"p50_us": pct(50), "p95_us": pct(95), "p99_us": pct(99)}
+
+
+def _zipf_picker(rng, n, s=ZIPF_S):
+    """A zipfian subject sampler over ``n`` ranks (no numpy: inverse-CDF
+    over the precomputed harmonic weights)."""
+    cumulative, total = [], 0.0
+    for rank in range(1, n + 1):
+        total += 1.0 / rank ** s
+        cumulative.append(total)
+
+    def pick():
+        return bisect.bisect_left(cumulative, rng.random() * total)
+
+    return pick
+
+
+def _spawn_server(root, high_water=HIGH_WATER):
+    """``python -m repro serve`` on an ephemeral port -> (proc, port)."""
+    repo = Path(__file__).resolve().parents[1]
+    env = dict(os.environ, PYTHONPATH=str(repo / "src"),
+               PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(root), "--port", "0",
+         "--high-water", str(high_water)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        cwd=str(repo), text=True)
+    line = proc.stdout.readline()
+    assert "listening on" in line, f"server failed to start: {line!r}"
+    port = int(line.split("listening on ")[1].split()[0].rsplit(":", 1)[1])
+    return proc, port
+
+
+def test_write_coalescing_zipfian(benchmark, tmp_path):
+    """16 connections of zipfian writes: commit groups << requests, and
+    p99 stays bounded under RETRY_AFTER backpressure."""
+    root = tmp_path / "coalesce"
+    proc, port = _spawn_server(root)
+    latencies = [[] for _ in range(NUM_CONNECTIONS)]
+    retries = [0] * NUM_CONNECTIONS
+    errors = []
+    barrier = threading.Barrier(NUM_CONNECTIONS + 1)
+
+    def connection(n):
+        rng = random.Random(1000 + n)
+        pick = _zipf_picker(rng, NUM_SUBJECTS)
+        try:
+            with ServiceClient("127.0.0.1", port, tenant="bench") as client:
+                barrier.wait()
+                for i in range(REQUESTS_EACH):
+                    subject = f"slim:subj-{pick()}"
+                    begun = time.perf_counter()
+                    _, r = client.submit_with_retry(
+                        "trim.create",
+                        {"s": subject, "p": f"slim:p{n}",
+                         "value": protocol.encode_value(i)})
+                    latencies[n].append(time.perf_counter() - begun)
+                    retries[n] += r
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=connection, args=(n,))
+               for n in range(NUM_CONNECTIONS)]
+    for t in threads:
+        t.start()
+
+    def run_load():
+        barrier.wait()
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        return time.perf_counter() - start
+
+    wall = run_once(benchmark, run_load)
+    assert not errors, errors[0]
+    with ServiceClient("127.0.0.1", port, tenant="bench") as client:
+        tenant = client.stats()["tenant"]
+        server = client.admin_stats()["server"]
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0
+
+    requests = NUM_CONNECTIONS * REQUESTS_EACH
+    flat = [sample for per_conn in latencies for sample in per_conn]
+    groups = tenant["fsync_count"] if tenant.get("fsync_count") \
+        else tenant["write_batches"]
+    coalesce_ratio = round(requests / groups, 2) if groups else 0.0
+    stats = {
+        "connections": NUM_CONNECTIONS,
+        "requests": requests,
+        "subjects": NUM_SUBJECTS,
+        "zipf_s": ZIPF_S,
+        "high_water": HIGH_WATER,
+        "seconds": round(wall, 6),
+        "requests_per_s": int(requests / wall),
+        "write_batches": tenant["write_batches"],
+        "commit_groups": groups,
+        "coalesce_ratio": coalesce_ratio,
+        "rejected_retry_after": tenant["rejected"],
+        "client_retries": sum(retries),
+        "server_retry_frames": server["retry_after_total"],
+        "latency": _percentiles(flat),
+        # Flattened for the aggregator's headline picks (which read
+        # top-level scalars of a section).
+        "p99_us": _percentiles(flat)["p99_us"],
+    }
+    # The tentpole claim: concurrent connections' writes coalesce into
+    # far fewer durable groups than requests.
+    if not _SMOKE:
+        assert coalesce_ratio >= 1.5, \
+            f"no write coalescing: {requests} requests took {groups} groups"
+        # Bounded tail even when admission control pushed back: p99 of a
+        # durably-acked network write stays under a second.
+        assert stats["latency"]["p99_us"] < 1_000_000, stats["latency"]
+    # Every ack is already on disk: reopen the tenant and count.
+    trim = TrimManager(durable=str(root / "bench"))
+    assert len(trim.store) == requests
+    trim.close()
+
+    _RESULTS["write_coalescing"] = stats
+    print_table(
+        f"zipfian writes over {NUM_CONNECTIONS} connections "
+        f"({REQUESTS_EACH} each, high-water {HIGH_WATER})",
+        ["requests", "req/s", "groups", "coalesce", "retry frames",
+         "p50 µs", "p99 µs"],
+        [(requests, stats["requests_per_s"], groups, coalesce_ratio,
+          stats["server_retry_frames"], stats["latency"]["p50_us"],
+          stats["latency"]["p99_us"])])
+
+
+def test_drain_on_sigterm_zero_lost_acks(benchmark, tmp_path):
+    """SIGTERM mid-load: clean exit, every acked write recovered."""
+    root = tmp_path / "drain"
+    proc, port = _spawn_server(root)
+    acked = [[] for _ in range(DRAIN_CONNECTIONS)]
+    stop = threading.Event()
+
+    def connection(n):
+        tenant = f"t{n % DRAIN_TENANTS}"
+        try:
+            with ServiceClient("127.0.0.1", port, tenant=tenant) as client:
+                i = 0
+                while not stop.is_set():
+                    key = f"slim:c{n}-{i}"
+                    client.submit_with_retry(
+                        "trim.create",
+                        {"s": key, "p": "slim:p",
+                         "value": protocol.encode_value(i)})
+                    acked[n].append(key)
+                    i += 1
+        except Exception:
+            pass  # the drain closed us mid-request; prior acks stand
+
+    threads = [threading.Thread(target=connection, args=(n,))
+               for n in range(DRAIN_CONNECTIONS)]
+    for t in threads:
+        t.start()
+    time.sleep(DRAIN_LOAD_SECONDS)
+
+    def kill_and_drain():
+        begun = time.perf_counter()
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        return code, time.perf_counter() - begun
+
+    exit_code, drain_seconds = run_once(benchmark, kill_and_drain)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert exit_code == 0, f"serve exited {exit_code} on SIGTERM"
+
+    total_acked = sum(len(keys) for keys in acked)
+    assert total_acked > 0, "no load built up before the SIGTERM"
+    lost = 0
+    recovered_total = 0
+    for tenant_index in range(DRAIN_TENANTS):
+        expected = {key for n in range(DRAIN_CONNECTIONS)
+                    if n % DRAIN_TENANTS == tenant_index
+                    for key in acked[n]}
+        if not expected:
+            continue
+        trim = TrimManager(durable=str(root / f"t{tenant_index}"))
+        subjects = {t.subject.uri for t in trim.store}
+        recovered_total += len(trim.store)
+        trim.close()
+        lost += len(expected - subjects)
+    assert lost == 0, f"lost {lost} acknowledged write(s) across the drain"
+
+    _RESULTS["drain_on_sigterm"] = {
+        "tenants": DRAIN_TENANTS,
+        "connections": DRAIN_CONNECTIONS,
+        "acked_writes": total_acked,
+        "recovered_triples": recovered_total,
+        "lost_acked_writes": lost,
+        "drain_seconds": round(drain_seconds, 4),
+        "exit_code": exit_code,
+    }
+    print_table(
+        f"SIGTERM during load ({DRAIN_CONNECTIONS} connections over "
+        f"{DRAIN_TENANTS} tenants)",
+        ["acked", "recovered", "lost", "drain s", "exit"],
+        [(total_acked, recovered_total, lost,
+          round(drain_seconds, 3), exit_code)])
+
+
+def test_writes_trajectory_json(benchmark, tmp_path):
+    """Aggregate the sections above into BENCH_trim_service.json.
+
+    Smoke runs write to a temp path instead, so the checked-in trajectory
+    file always holds full-scale numbers.
+    """
+    assert set(_RESULTS) == {"write_coalescing", "drain_on_sigterm"}, \
+        "earlier bench tests must run first"
+    json_path = ((tmp_path / "BENCH_trim_service.json")
+                 if _SMOKE else _JSON_PATH)
+    payload = {
+        "bench": "trim_service",
+        "smoke": _SMOKE,
+        "workload": {
+            "connections": NUM_CONNECTIONS,
+            "requests_each": REQUESTS_EACH,
+            "subjects": NUM_SUBJECTS,
+            "zipf_s": ZIPF_S,
+            "high_water": HIGH_WATER,
+            "drain_tenants": DRAIN_TENANTS,
+            "drain_connections": DRAIN_CONNECTIONS,
+        },
+        **_RESULTS,
+    }
+
+    def write():
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        return json_path
+
+    path = run_once(benchmark, write)
+    assert path.exists()
+    assert json.loads(path.read_text())["bench"] == "trim_service"

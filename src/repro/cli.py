@@ -29,6 +29,15 @@ Commands:
   the max/mean balance skew of a sharded durable root; ``shards split
   DIR --shards N [--out DIR]`` — offline rewrite to N shards (the only
   path that shrinks; live growth is ``TrimManager.reshard``).
+- ``serve ROOT [--host H] [--port P] [--shards N] [--high-water N]
+  [--idle-ttl SECONDS]`` — run the multi-tenant TRIM service
+  (:mod:`repro.service`): an asyncio TCP front end where each tenant
+  name maps to its own durable shard-set + WAL directory under ROOT.
+  SIGTERM/SIGINT drain gracefully (flush every tenant, close WALs).
+
+Every command runs through interrupt-safe dispatch: a Ctrl-C anywhere
+exits with the conventional code 130 instead of a traceback, after the
+command's cleanup (``finally`` blocks, context managers) has run.
 """
 
 from __future__ import annotations
@@ -285,6 +294,17 @@ def _cmd_models(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import TrimService
+
+    service = TrimService(args.root, host=args.host, port=args.port,
+                          shards=args.shards, high_water=args.high_water,
+                          idle_ttl=args.idle_ttl)
+    def announce(line: str) -> None:
+        print(line, flush=True)
+    return service.run(announce=announce)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -384,13 +404,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the rebuilt tree here instead of "
                             "swapping in place")
     split.set_defaults(handler=_cmd_shards)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant TRIM service (asyncio TCP)")
+    serve.add_argument("root",
+                       help="registry root (one durable subdir per tenant)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(default 7421)")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="shards per tenant store (default 1)")
+    serve.add_argument("--high-water", type=int, default=64, metavar="N",
+                       help="per-tenant inflight writes before RETRY_AFTER "
+                            "(default 64)")
+    serve.add_argument("--idle-ttl", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="close tenants idle this long (default 300)")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Dispatch is interrupt-safe: a :class:`KeyboardInterrupt` escaping any
+    command (including ``serve``, whose signal handlers normally catch
+    SIGINT first and drain before returning 130) is caught here so the
+    process exits with the conventional ``128 + SIGINT`` code instead of
+    dumping a traceback.  Cleanup registered by the command — ``finally``
+    blocks, ``with TrimManager(...)`` exits — has already run by the time
+    the interrupt reaches this frame.
+    """
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Output piped into a pager that quit; conventional silent exit.
+        return 0
 
 
 if __name__ == "__main__":

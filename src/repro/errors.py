@@ -9,6 +9,8 @@ callers can catch one base class.  Subsystems raise the narrower types:
 - Mark Manager and modules   -> :class:`MarkError` and children
 - base applications          -> :class:`BaseLayerError` and children
 - SLIMPad application        -> :class:`SlimPadError`
+- replay harness             -> :class:`ReplayError` and children
+- TRIM service (network)     -> :class:`ServiceError` and children
 """
 
 from __future__ import annotations
@@ -156,3 +158,43 @@ class BundleError(ReplayError):
 
 class ReplayDivergenceError(ReplayError):
     """A replayed run did not reproduce the bundle's recorded state."""
+
+
+# ---------------------------------------------------------------------------
+# TRIM service (network front end)
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for TRIM-service (network front end) failures."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame was malformed, oversized, or the wrong version."""
+
+
+class BackpressureError(ServiceError):
+    """The tenant's inflight queue is past its high-water mark.
+
+    Carries ``retry_after_ms``, the server's suggested client backoff.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int = 50) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class ServiceUnavailableError(ServiceError):
+    """The server (or one tenant) is draining for shutdown or closed."""
+
+
+class RemoteOpError(ServiceError):
+    """A server-side operation failed; ``code`` names the error frame.
+
+    Raised by the client library when a response envelope carries
+    ``ok: false``; the remote exception type and message are preserved
+    in ``code`` and the error string.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code

@@ -1,0 +1,282 @@
+"""A small blocking-socket client for the TRIM service.
+
+:class:`ServiceClient` speaks the NDJSON protocol of
+:mod:`repro.service.protocol` over one TCP connection.  It is
+deliberately simple — synchronous, one request inflight at a time —
+because that is what the tests, benchmarks, and CLI smoke paths need;
+a fancier pipelined client can be layered on the same protocol module.
+
+::
+
+    with ServiceClient("127.0.0.1", 7421, tenant="ward-6") as client:
+        client.create("slim:pat-4", "slim:hr", 88)
+        rows = client.select(s="slim:pat-4")
+
+Error frames surface as typed exceptions: ``RETRY_AFTER`` raises
+:class:`~repro.errors.BackpressureError` (carrying the server's
+suggested ``retry_after_ms``), ``SHUTTING_DOWN`` raises
+:class:`~repro.errors.ServiceUnavailableError`, and everything else
+raises :class:`~repro.errors.RemoteOpError` with the frame's code.
+``submit_with_retry`` wraps a mutation in bounded backoff-and-retry so
+callers can opt into riding out backpressure instead of handling it.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (BackpressureError, ProtocolError, RemoteOpError,
+                          ServiceUnavailableError)
+from repro.service import protocol
+from repro.triples.triple import Node
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One blocking connection to a :class:`~repro.service.server.TrimService`.
+
+    *tenant* is the default tenant for every operation (overridable per
+    call).  The client is **not** thread-safe — use one per thread, the
+    way the benchmark drives one per simulated connection.
+    """
+
+    def __init__(self, host: str, port: int, tenant: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._seq = 0
+
+    # -- plumbing --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the connected client itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Context-manager exit: close the socket; never suppress."""
+        self.close()
+        return False
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"c{self._seq}"
+
+    def request(self, op: str, params: Optional[Dict[str, Any]] = None,
+                tenant: Optional[str] = None) -> Any:
+        """Send one request and block for its response's ``result``.
+
+        Raises the typed exception matching the error frame's code when
+        the server answers ``ok: false``.
+        """
+        if self._sock is None:
+            raise ServiceUnavailableError("client is closed")
+        envelope = protocol.request(
+            op, self._next_id(),
+            tenant=tenant if tenant is not None else self.tenant,
+            params=params)
+        self._sock.sendall(protocol.encode_frame(envelope))
+        line = self._reader.readline()
+        if not line:
+            raise ServiceUnavailableError(
+                "server closed the connection (draining?)")
+        response = protocol.decode_frame(line)
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        code = error.get("code", "INTERNAL")
+        message = error.get("message", "")
+        if code == "RETRY_AFTER":
+            raise BackpressureError(
+                message, retry_after_ms=error.get("retry_after_ms", 50))
+        if code == "SHUTTING_DOWN":
+            raise ServiceUnavailableError(message)
+        raise RemoteOpError(code, message)
+
+    def submit_with_retry(self, op: str,
+                          params: Optional[Dict[str, Any]] = None,
+                          tenant: Optional[str] = None,
+                          max_attempts: int = 50) -> Tuple[Any, int]:
+        """Run *op*, backing off and retrying through ``RETRY_AFTER``.
+
+        Returns ``(result, retries)`` so callers (the benchmark) can
+        count how often admission control pushed back.  Re-raises the
+        final :class:`BackpressureError` after *max_attempts*.
+        """
+        retries = 0
+        while True:
+            try:
+                return self.request(op, params, tenant=tenant), retries
+            except BackpressureError as exc:
+                retries += 1
+                if retries >= max_attempts:
+                    raise
+                time.sleep(exc.retry_after_ms / 1000.0)
+
+    # -- TRIM surface ----------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe; also reports whether the server is draining."""
+        return self.request("ping")
+
+    def create(self, s: str, p: str, value: Any) -> Dict[str, Any]:
+        """Durably add one triple (``trim.create``)."""
+        return self.request("trim.create", {
+            "s": s, "p": p, "value": protocol.encode_value(value)})
+
+    def remove(self, s: str, p: str, value: Any) -> Dict[str, Any]:
+        """Durably remove one exact triple (``trim.remove``)."""
+        return self.request("trim.remove", {
+            "s": s, "p": p, "value": protocol.encode_value(value)})
+
+    def remove_about(self, s: str) -> int:
+        """Remove every triple about a subject; returns the count."""
+        return self.request("trim.remove_about", {"s": s})["removed"]
+
+    def add_all(self, triples: List[Tuple[str, str, Any]]) -> int:
+        """Durably add a batch of ``(s, p, value)`` triples at once."""
+        payload = [{"s": s, "p": p, "v": protocol.encode_value(v)}
+                   for s, p, v in triples]
+        return self.request("trim.add_all", {"triples": payload})["added"]
+
+    def commit(self) -> bool:
+        """Force a durability boundary for this tenant."""
+        return self.request("trim.commit")["committed"]
+
+    def select(self, s: Optional[str] = None, p: Optional[str] = None,
+               value: Any = None) -> List[Tuple[str, str, Node]]:
+        """TRIM selection; returns decoded ``(s_uri, p_uri, value)`` rows."""
+        params: Dict[str, Any] = {}
+        if s is not None:
+            params["s"] = s
+        if p is not None:
+            params["p"] = p
+        if value is not None:
+            params["value"] = protocol.encode_value(value)
+        result = self.request("trim.select", params)
+        return [protocol.decode_triple(t) for t in result["triples"]]
+
+    def count(self, s: Optional[str] = None, p: Optional[str] = None,
+              value: Any = None) -> int:
+        """Count matching triples without shipping them."""
+        params: Dict[str, Any] = {}
+        if s is not None:
+            params["s"] = s
+        if p is not None:
+            params["p"] = p
+        if value is not None:
+            params["value"] = protocol.encode_value(value)
+        return self.request("trim.count", params)["count"]
+
+    def values(self, s: str, p: str) -> List[Any]:
+        """All values of one (subject, property) pair, decoded."""
+        result = self.request("trim.values", {"s": s, "p": p})
+        return [protocol.decode_value(v) for v in result["values"]]
+
+    def query(self, patterns: List[Tuple[Any, Any, Any]],
+              planner: bool = True) -> List[Dict[str, Any]]:
+        """Conjunctive query; ``"?x"`` strings are variables, ``None``
+        wildcards.  Returns decoded binding dicts."""
+        payload = [[s, p,
+                    protocol.encode_value(v) if v is not None
+                    and not (isinstance(v, str) and v.startswith("?"))
+                    else v]
+                   for s, p, v in patterns]
+        result = self.request("trim.query", {"patterns": payload,
+                                             "planner": planner})
+        return [{name: protocol.decode_value(node)
+                 for name, node in row.items()}
+                for row in result["bindings"]]
+
+    def view(self, root: str, follow: Optional[List[str]] = None,
+             max_depth: Optional[int] = None
+             ) -> List[Tuple[str, str, Node]]:
+        """Reachability view from *root* (``trim.view``), decoded."""
+        params: Dict[str, Any] = {"root": root}
+        if follow is not None:
+            params["follow"] = follow
+        if max_depth is not None:
+            params["max_depth"] = max_depth
+        result = self.request("trim.view", params)
+        return [protocol.decode_triple(t) for t in result["triples"]]
+
+    def stats(self) -> Dict[str, Any]:
+        """This tenant's counters (coalescer, durability, cache)."""
+        return self.request("trim.stats")
+
+    # -- DMI / SLIMPad surface -------------------------------------------------
+
+    def dmi_create(self, entity: str, **attrs: Any) -> str:
+        """Create one entity instance; returns its id."""
+        encoded = {name: protocol.encode_value(value)
+                   for name, value in attrs.items()}
+        return self.request("dmi.create", {"entity": entity,
+                                           "attrs": encoded})["id"]
+
+    def dmi_update(self, entity: str, instance_id: str, attr: str,
+                   value: Any) -> None:
+        """Update one attribute of one instance."""
+        self.request("dmi.update", {
+            "entity": entity, "id": instance_id, "attr": attr,
+            "value": protocol.encode_value(value)})
+
+    def dmi_value(self, entity: str, instance_id: str, attr: str) -> Any:
+        """Read one attribute of one instance, decoded."""
+        result = self.request("dmi.value", {
+            "entity": entity, "id": instance_id, "attr": attr})
+        return protocol.decode_value(result["value"])
+
+    def dmi_add_ref(self, entity: str, instance_id: str, ref: str,
+                    target_entity: str, target_id: str) -> None:
+        """Append one reference between two instances."""
+        self.request("dmi.add_ref", {
+            "entity": entity, "id": instance_id, "ref": ref,
+            "target_entity": target_entity, "target_id": target_id})
+
+    def dmi_delete(self, entity: str, instance_id: str) -> int:
+        """Delete one instance; returns the triple count removed."""
+        return self.request("dmi.delete", {
+            "entity": entity, "id": instance_id})["removed"]
+
+    def dmi_all(self, entity: str) -> List[str]:
+        """Ids of every instance of *entity* for this tenant."""
+        return self.request("dmi.all", {"entity": entity})["ids"]
+
+    def pad_new(self, name: str) -> Dict[str, str]:
+        """Create this tenant's SLIMPad (pad + root bundle ids)."""
+        return self.request("pad.new", {"name": name})
+
+    def pad_note(self, text: str, x: float = 0.0, y: float = 0.0) -> str:
+        """Drop a scrap on the tenant's root bundle; returns its id."""
+        return self.request("pad.note", {"text": text, "x": x,
+                                         "y": y})["scrap"]
+
+    # -- admin -----------------------------------------------------------------
+
+    def admin_stats(self) -> Dict[str, Any]:
+        """Server-wide registry and connection counters."""
+        return self.request("admin.stats")
+
+    def admin_evict(self, force: bool = False) -> List[str]:
+        """Run an idle-eviction pass; ``force`` treats every refcount-0
+        tenant as expired (test hook)."""
+        return self.request("admin.evict",
+                            {"force": force} if force else {})["evicted"]

@@ -1,0 +1,214 @@
+"""The TRIM service wire protocol: newline-delimited JSON envelopes.
+
+One request or response per line (NDJSON), UTF-8, ``\\n``-terminated.
+Every frame is a *versioned envelope* so the format can evolve without
+breaking deployed clients:
+
+Request::
+
+    {"v": 1, "id": "c3-17", "tenant": "ward-6", "op": "trim.create",
+     "params": {"s": "slim:pat-4", "p": "slim:hr", "value": ["l", "integer", 88]}}
+
+Success response::
+
+    {"v": 1, "id": "c3-17", "ok": true, "result": {"added": true}}
+
+Typed error frame::
+
+    {"v": 1, "id": "c3-17", "ok": false,
+     "error": {"code": "RETRY_AFTER", "message": "tenant ward-6 is past
+               its high-water mark", "retry_after_ms": 50}}
+
+``id`` is an opaque client-chosen string echoed verbatim, so clients may
+pipeline requests and match responses by id (responses on one connection
+always come back in request order).  ``tenant`` routes the operation to
+one named pad; admin operations (``ping``, ``admin.stats``) omit it.
+
+Triple slots travel as the same tagged arrays the replay bundles use
+(:mod:`repro.replay.bundle`): ``["r", uri]`` for resources, ``["l",
+type_name, value]`` for literals — so ``Literal(3)``, ``3.0`` and
+``True`` survive JSON untouched.  Subjects and properties, which are
+always resources, travel as bare URI strings.
+
+Frames are bounded (:data:`MAX_FRAME_BYTES`) so one hostile line cannot
+balloon server memory; oversized or malformed frames raise
+:class:`~repro.errors.ProtocolError`, which the server answers with a
+``BAD_REQUEST`` error frame rather than dropping the connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import BundleError, ProtocolError
+from repro.replay.bundle import decode_node, encode_node
+from repro.triples.triple import Node, Triple
+
+#: Protocol version this module speaks.  Requests carrying any other
+#: version are answered with an ``UNSUPPORTED_VERSION`` error frame.
+VERSION = 1
+
+#: Upper bound on one encoded frame (request or response line), bytes.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Error codes a version-1 error frame may carry.
+ERROR_CODES = (
+    "BAD_REQUEST",          # malformed envelope / params
+    "UNSUPPORTED_VERSION",  # request "v" != VERSION
+    "UNKNOWN_OP",           # "op" not in the dispatch table
+    "TENANT_REQUIRED",      # tenant-scoped op without a "tenant" field
+    "BAD_TENANT",           # tenant name fails validation
+    "RETRY_AFTER",          # admission control: back off and retry
+    "SHUTTING_DOWN",        # server (or tenant) is draining
+    "OP_FAILED",            # the operation itself raised (typed message)
+    "INTERNAL",             # unexpected server-side failure
+)
+
+
+def encode_value(value: Any) -> Any:
+    """One operation argument as JSON-safe payload.
+
+    Nodes use the tagged codec; coordinates (SLIMPad positions) encode
+    as ``["c", x, y]``; plain JSON scalars pass through.
+    """
+    from repro.util.coordinates import Coordinate
+    if isinstance(value, Node):
+        return encode_node(value)
+    if isinstance(value, Coordinate):
+        return ["c", value.x, value.y]
+    return value
+
+
+def decode_value(payload: Any) -> Any:
+    """Inverse of :func:`encode_value` (raises :class:`ProtocolError`)."""
+    from repro.util.coordinates import Coordinate
+    if isinstance(payload, list) and payload and payload[0] == "c":
+        if len(payload) != 3 or not all(
+                isinstance(c, (int, float)) and not isinstance(c, bool)
+                for c in payload[1:]):
+            raise ProtocolError(f"malformed coordinate payload: {payload!r}")
+        return Coordinate(payload[1], payload[2])
+    if isinstance(payload, list):
+        try:
+            return decode_node(payload)
+        except BundleError as exc:
+            raise ProtocolError(str(exc)) from None
+    return payload
+
+
+def encode_triple(statement: Triple) -> Dict[str, Any]:
+    """One triple as the wire dict ``{"s": uri, "p": uri, "v": node}``."""
+    return {"s": statement.subject.uri, "p": statement.property.uri,
+            "v": encode_node(statement.value)}
+
+
+def decode_triple(payload: Any) -> Tuple[str, str, Node]:
+    """Inverse of :func:`encode_triple` -> ``(subject_uri, prop_uri, value)``."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"triple payload must be an object: {payload!r}")
+    subject, prop = payload.get("s"), payload.get("p")
+    if not isinstance(subject, str) or not isinstance(prop, str):
+        raise ProtocolError(f"triple payload needs string s/p: {payload!r}")
+    try:
+        value = decode_node(payload.get("v"))
+    except BundleError as exc:
+        raise ProtocolError(str(exc)) from None
+    return subject, prop, value
+
+
+def request(op: str, request_id: str, tenant: Optional[str] = None,
+            params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build a request envelope (not yet serialized)."""
+    envelope: Dict[str, Any] = {"v": VERSION, "id": request_id, "op": op}
+    if tenant is not None:
+        envelope["tenant"] = tenant
+    if params:
+        envelope["params"] = params
+    return envelope
+
+
+def ok_response(request_id: Optional[str], result: Any) -> Dict[str, Any]:
+    """Build a success envelope for *request_id*."""
+    return {"v": VERSION, "id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Optional[str], code: str, message: str,
+                   retry_after_ms: Optional[int] = None) -> Dict[str, Any]:
+    """Build a typed error envelope (``code`` from :data:`ERROR_CODES`)."""
+    assert code in ERROR_CODES, code
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = retry_after_ms
+    return {"v": VERSION, "id": request_id, "ok": False, "error": error}
+
+
+def encode_frame(envelope: Dict[str, Any]) -> bytes:
+    """Serialize one envelope to a ``\\n``-terminated UTF-8 line."""
+    line = json.dumps(envelope, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8") + b"\n"
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds {MAX_FRAME_BYTES}")
+    return line
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into an envelope dict.
+
+    Raises :class:`ProtocolError` on oversized, non-UTF-8, non-JSON, or
+    non-object frames; envelope *fields* are validated separately by
+    :func:`validate_request` so the server can still echo the id.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        envelope = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(envelope, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(envelope).__name__}")
+    return envelope
+
+
+def validate_request(envelope: Dict[str, Any]) -> Tuple[str, str]:
+    """Check a request envelope's fixed fields; return ``(id, op)``.
+
+    Raises :class:`ProtocolError` with a message naming the offending
+    field.  Version mismatches raise too — the server maps that message
+    onto an ``UNSUPPORTED_VERSION`` frame.
+    """
+    version = envelope.get("v")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version!r} "
+                            f"(this server speaks {VERSION})")
+    request_id = envelope.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("request id must be a non-empty string")
+    op = envelope.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request op must be a non-empty string")
+    params = envelope.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("request params must be an object")
+    tenant = envelope.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        raise ProtocolError("tenant must be a string")
+    return request_id, op
+
+
+def select_args(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Decode the optional ``s``/``p``/``value`` fields of a selection."""
+    args: Dict[str, Any] = {}
+    for field, key in (("s", "subject"), ("p", "prop")):
+        uri = params.get(field)
+        if uri is not None:
+            if not isinstance(uri, str):
+                raise ProtocolError(f"{field} must be a URI string")
+            args[key] = uri
+    value = params.get("value")
+    if value is not None:
+        args["value"] = decode_value(value)
+    return args

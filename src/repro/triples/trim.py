@@ -20,6 +20,7 @@ crash at any point recovers to the last :meth:`commit` boundary.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Dict, Iterable, List, Optional, Union
 
@@ -59,6 +60,11 @@ class IngestSession:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         bulk, self._bulk = self._bulk, None
+        # The inner bulk's __exit__ return is deliberately discarded: even
+        # if a future Batch/BulkLoad returned truthy, an exception raised
+        # inside a ``with trim.bulk_ingest()`` block must propagate — a
+        # swallowed ingest error would leave the WAL uncommitted while the
+        # caller believes the session succeeded.
         bulk.__exit__(exc_type, exc, tb)
         if exc_type is None:
             self._trim.commit()
@@ -112,6 +118,7 @@ class TrimManager:
             GenerationCache(self.store, max_entries=cache_entries) \
             if cache else None
         self._views: List["weakref.ref"] = []
+        self._views_lock = threading.Lock()
         if durable is not None:
             self.enable_durability(durable, compact_every=compact_every,
                                    commit_every=commit_every, sync=sync)
@@ -264,8 +271,9 @@ class TrimManager:
         """
         view = View(self.store, root, follow_properties, max_depth,
                     incremental=incremental)
-        self._views = [ref for ref in self._views if ref() is not None]
-        self._views.append(weakref.ref(view))
+        with self._views_lock:
+            self._views = [ref for ref in self._views if ref() is not None]
+            self._views.append(weakref.ref(view))
         return view
 
     # -- cache metrics ---------------------------------------------------------
@@ -285,9 +293,14 @@ class TrimManager:
              "views": {"live": 2, "reads": ..., "recomputes": ...,
                        "events_applied": ..., ...}}
         """
-        live = [view for view in (ref() for ref in self._views)
-                if view is not None]
-        self._views = [weakref.ref(view) for view in live]
+        # Snapshot + prune under the views lock: ``view()`` on another
+        # thread (e.g. the service's read executor) rebuilds this list
+        # concurrently, and an unlocked read-modify-write here could drop
+        # its freshly registered view — or hand admin.stats a torn list.
+        with self._views_lock:
+            live = [view for view in (ref() for ref in self._views)
+                    if view is not None]
+            self._views = [weakref.ref(view) for view in live]
         views: Dict[str, Any] = {"live": len(live), "reads": 0,
                                  "recomputes": 0, "events_applied": 0,
                                  "events_seen": 0, "events_queued": 0,
@@ -453,6 +466,31 @@ class TrimManager:
         store = self.store
         if isinstance(store, ShardedTripleStore):
             store.close(wait=wait)
+
+    def __enter__(self) -> "TrimManager":
+        """Context-manager entry: the manager itself.
+
+        ``with TrimManager(durable=dir) as trim:`` commits and closes on
+        a clean exit, so short-lived tools (the CLI, tests) cannot leak a
+        WAL handle.
+        """
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Commit (clean exit only) and close; **never** suppresses.
+
+        An exception inside the ``with`` block skips the commit — the
+        WAL stays at the last explicit boundary, exactly what crash
+        recovery replays — and always propagates: this method returns
+        ``False`` unconditionally, regardless of what any inner context
+        manager returned.
+        """
+        try:
+            if exc_type is None:
+                self.commit()
+        finally:
+            self.close()
+        return False
 
     def __del__(self) -> None:
         try:

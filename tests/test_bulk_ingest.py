@@ -201,3 +201,68 @@ class TestSlimPadCreateScraps:
         assert len(scan.groups) == groups_before + 1
         # 7 x (rdf:type + scrapName + scrapPos) + 7 containment links.
         assert len(scan.groups[-1][1]) == 7 * 3 + 7
+
+
+class TestLifecycleExitContracts:
+    """Pin the `with` semantics of the ingest/manager lifecycle.
+
+    The service front end leans on these: an exception inside a durable
+    session must always propagate (a suppressed error would ack an
+    uncommitted write), and ``with TrimManager(...)`` must commit-and-
+    close on the clean path without ever swallowing the exceptional one.
+    """
+
+    def test_ingest_exit_ignores_truthy_inner_exit(self):
+        # Even if the store's bulk context (or a future replacement)
+        # returned truthy from __exit__, the ingest session must not
+        # start suppressing: pin by substituting a suppressing bulk.
+        trim = TrimManager()
+
+        class SuppressingBulk:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                return True  # a well-behaved session must ignore this
+
+        trim.store.bulk = lambda: SuppressingBulk()
+        with pytest.raises(RuntimeError, match="must escape"):
+            with trim.bulk_ingest():
+                raise RuntimeError("must escape")
+
+    def test_ingest_exit_returns_false(self):
+        trim = TrimManager()
+        session = trim.bulk_ingest()
+        session.__enter__()
+        assert session.__exit__(None, None, None) is False
+
+    def test_manager_with_block_commits_and_closes(self, tmp_path):
+        directory = str(tmp_path)
+        with TrimManager(durable=directory) as trim:
+            trim.create("s", "p", 1)
+        # Exiting committed (the triple is recoverable) and closed (the
+        # durability handle detached).
+        assert trim.durability is None
+        assert list(recover(directory).store) == [triple("s", "p", 1)]
+
+    def test_manager_with_block_propagates_and_skips_commit(self, tmp_path):
+        directory = str(tmp_path)
+        with pytest.raises(RuntimeError, match="boom"):
+            with TrimManager(durable=directory) as trim:
+                trim.create("doomed", "p", 1)
+                raise RuntimeError("boom")
+        assert trim.durability is None  # still closed on the error path
+        assert list(recover(directory).store) == []
+
+    def test_manager_exit_returns_false_even_with_exception(self):
+        trim = TrimManager()
+        trim.__enter__()
+        assert trim.__exit__(RuntimeError, RuntimeError("x"), None) is False
+
+    def test_manager_with_block_is_reentrant_safe_after_close(self, tmp_path):
+        # close() inside the block must not break the __exit__ close.
+        with TrimManager(durable=str(tmp_path)) as trim:
+            trim.create("s", "p", 1)
+            trim.commit()
+            trim.close()
+        assert trim.durability is None

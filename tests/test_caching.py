@@ -460,3 +460,85 @@ class TestTrimViewStats:
         del view
         gc.collect()
         assert trim.cache_stats()["views"]["live"] == 0
+
+
+class TestCacheStatsConcurrency:
+    """`cache_stats()` under concurrent writers and view registration.
+
+    The service's ``admin.stats`` / ``trim.stats`` ops call
+    ``cache_stats()`` from executor threads while the tenant's writer
+    thread commits (under sharding, a 2PC commit) — the snapshot must
+    be internally consistent and must never lose a concurrently
+    registered view (the ``_views`` list is rebuilt by both ``view()``
+    and ``cache_stats()``; pre-lock, that read-modify-write could drop
+    a registration).
+    """
+
+    def test_counter_snapshot_is_consistent_under_2pc_commits(self, tmp_path):
+        trim = TrimManager(durable=str(tmp_path), shards=4, concurrent=True)
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                trim.create(f"s{i % 17}", "p", i)
+                trim.commit()  # multi-shard durable group (2PC)
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                trim.select(subject=Resource("s1"))
+                stats = trim.cache_stats()
+                select = stats["select_cache"]
+                try:
+                    # The invariant the cache maintains per snapshot:
+                    # every fill was preceded by a miss (or a racy/
+                    # oversize skip accounted against one).
+                    assert select["fills"] + select["racy_fills_skipped"] \
+                        + select["oversize_skipped"] \
+                        <= select["misses"] + select["invalidations"]
+                    assert 0.0 <= select["hit_rate"] <= 1.0
+                except AssertionError as exc:
+                    failures.append(exc)
+                    stop.set()
+
+        threads = [threading.Thread(target=writer)] + \
+            [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        stop.wait(1.5)
+        stop.set()
+        for t in threads:
+            t.join()
+        trim.close()
+        assert not failures, failures[0]
+
+    def test_concurrent_view_registration_is_never_lost(self):
+        trim = TrimManager(concurrent=True)
+        trim.create("root", "p", Resource("a"))
+        stop = threading.Event()
+        registered = []
+        failures = []
+
+        def registrar():
+            while not stop.is_set():
+                registered.append(trim.view(Resource("root")))
+
+        def poller():
+            while not stop.is_set():
+                trim.cache_stats()
+
+        threads = [threading.Thread(target=registrar) for _ in range(2)] + \
+            [threading.Thread(target=poller) for _ in range(2)]
+        for t in threads:
+            t.start()
+        stop.wait(0.8)
+        stop.set()
+        for t in threads:
+            t.join()
+        # Every strongly-held view must still be tracked: none was
+        # dropped by a racing cache_stats() rebuild of the weakref list.
+        live = trim.cache_stats()["views"]["live"]
+        assert live == len(registered), (live, len(registered))
+        assert not failures
