@@ -5,7 +5,8 @@ PY := PYTHONPATH=src python -m
 
 .PHONY: test verify bench bench-smoke bench-ingest bench-concurrency \
         bench-sharding bench-caching bench-resharding bench-service \
-        bench-all check-floors check-regression replay-smoke
+        bench-recovery bench-all check-floors check-regression \
+        replay-smoke
 
 test:            ## tier-1: the full unit/integration/property suite
 	$(PY) pytest -x -q
@@ -68,6 +69,14 @@ bench-resharding: ## full-scale resharding benchmark, rewrites its JSON
 # SIGTERM-during-load drain (zero lost acknowledged writes on reopen).
 bench-service:   ## full-scale TRIM-service benchmark, rewrites its JSON
 	$(PY) pytest benchmarks/test_trim_service.py --benchmark-only -q -s
+
+# Regenerates BENCH_trim_recovery.json at full scale: v3 binary
+# snapshot load vs WAL replay at 100k and 1M triples, serial vs
+# pooled 4-shard recovery, cold tenant open p50/p99 through the
+# registry (eviction compacts), and the delta-compaction stall as
+# the store grows 10x.
+bench-recovery:  ## full-scale cold-start recovery benchmark, rewrites its JSON
+	$(PY) pytest benchmarks/test_trim_recovery.py --benchmark-only -q -s
 
 # Validates the committed BENCH_summary.json headline numbers against
 # the floors the acceptance criteria promised (planner speedup, cached

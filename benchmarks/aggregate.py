@@ -70,6 +70,16 @@ HEADLINES = {
         "lost_acked_writes": ("drain_on_sigterm", "lost_acked_writes"),
         "drain_seconds": ("drain_on_sigterm", "drain_seconds"),
     },
+    "trim_recovery": {
+        "snapshot_recovery_speedup_100k": ("snapshot_vs_replay",
+                                           "speedup_100k"),
+        "snapshot_recovery_speedup_1m": ("snapshot_vs_replay",
+                                         "speedup_1m"),
+        "parallel_recovery_speedup_x": ("parallel_recovery", "speedup_x"),
+        "cold_open_p99_us": ("cold_open", "open_p99_us"),
+        "compaction_stall_ratio_10x": ("compaction_stall",
+                                       "stall_ratio_10x"),
+    },
 }
 
 _META_KEYS = {"bench", "smoke", "workload"}

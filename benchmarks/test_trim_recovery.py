@@ -1,0 +1,311 @@
+"""Cold-start recovery: binary snapshots, parallel shards, delta stalls.
+
+Four questions the recovery overhaul (ISSUE 10) raises:
+
+1. **Snapshot vs replay, at scale** — rebuilding an N-triple state from
+   a v3 binary columnar snapshot versus replaying the WAL, at 100k and
+   1M triples.  The v2 XML snapshot *lost* to replay (0.66x in the old
+   trajectory); the binary format with the ``restore_rows`` fast path
+   must reverse that.  Both recovery shapes are timed into the same
+   store implementation so the ratio isolates the on-disk format: the
+   interned store (dictionary ids map straight into the intern table —
+   the format's designed-for path) and the plain ``TripleStore``
+   default are reported separately.
+2. **Parallel shard recovery** — ``recover_sharded`` fans per-shard
+   recovery over the shard pool; serial vs parallel wall-clock on a
+   4-shard store.  The gate host is single-core (``nproc`` = 1), so
+   CPU-bound decode cannot overlap and the honest expectation here is
+   ~1.0x, not the multi-core win; the floor asserts parallel recovery
+   *costs* nothing (>= 0.7x), not that one core becomes four.
+3. **Cold tenant open latency** — the full service path: evicted
+   (compacted-on-close) tenants reopened through ``PadRegistry``,
+   p50/p99 from the registry's own open-latency window.
+4. **Compaction stall** — delta compaction folds the committed WAL tail
+   into an fsynced delta segment without rewriting the snapshot, so the
+   stall must track changes-since-last-compact, staying flat as the
+   store grows 10x.
+
+Results print via ``print_table`` (run with ``-s``) and aggregate into
+``BENCH_trim_recovery.json`` at the repo root.  ``BENCH_SMOKE=1``
+shrinks the workload and redirects the JSON to a temp path.
+"""
+
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.registry import PadRegistry
+from repro.triples.interned import InternedTripleStore
+from repro.triples.sharded import ShardedTripleStore, recover_sharded
+from repro.triples.store import TripleStore
+from repro.triples.trim import TrimManager
+from repro.triples.triple import Resource, triple
+from repro.triples.wal import recover
+from repro.workloads.generator import random_triples
+
+from benchmarks.conftest import print_table, run_once
+
+_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+#: snapshot-vs-replay sizes: (label, triples, which store impls to time).
+SCALE_POINTS = (
+    ("100k", 5_000 if _SMOKE else 100_000, ("plain", "interned")),
+    ("1m", 20_000 if _SMOKE else 1_000_000, ("interned",)),
+)
+#: parallel-recovery shape: shards x triples spread across them.
+PARALLEL_SHARDS = 4
+PARALLEL_TRIPLES = 2_000 if _SMOKE else 40_000
+#: cold-open shape: tenants x triples each.
+COLD_TENANTS = 3 if _SMOKE else 8
+COLD_TRIPLES = 300 if _SMOKE else 5_000
+#: compaction-stall shape: base store size (and 10x it), changes per
+#: measured compact.
+STALL_BASE = 1_000 if _SMOKE else 20_000
+STALL_CHANGES = 500
+_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_trim_recovery.json"
+
+#: Sections accumulated by the tests below; the last test writes the file.
+_RESULTS = {}
+
+_IMPLS = {"plain": TripleStore, "interned": InternedTripleStore}
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _build_dirs(base, items):
+    """One WAL-only directory and one fully-compacted (v3 snapshot)
+    directory holding the same final state."""
+    wal_dir, snap_dir = str(base / "wal-only"), str(base / "snapshotted")
+    for directory, compact in ((wal_dir, False), (snap_dir, True)):
+        trim = TrimManager()
+        trim.enable_durability(directory, fsync=False)
+        trim.bulk_ingest(items)
+        if compact:
+            trim.durability.compact()
+        trim.close()
+    return wal_dir, snap_dir
+
+
+def test_snapshot_vs_replay_at_scale(benchmark, tmp_path):
+    """The headline reversal: v3 snapshot load vs full WAL replay."""
+    sections = {}
+    table_rows = []
+
+    def measure_all():
+        for label, count, impls in SCALE_POINTS:
+            items = random_triples(count, num_subjects=max(count // 10, 10),
+                                   num_properties=8)
+            base = tmp_path / label
+            base.mkdir()
+            wal_dir, snap_dir = _build_dirs(base, items)
+            point = {
+                "triples": count,
+                "wal_bytes": os.path.getsize(
+                    os.path.join(wal_dir, "wal.log")),
+                "snapshot_bytes": os.path.getsize(
+                    os.path.join(snap_dir, "snapshot.slim")),
+            }
+            for impl in impls:
+                replay_s, replayed = _timed(
+                    lambda: recover(wal_dir, store=_IMPLS[impl]()))
+                snapshot_s, snapshotted = _timed(
+                    lambda: recover(snap_dir, store=_IMPLS[impl]()))
+                assert len(replayed.store) == len(snapshotted.store)
+                assert snapshotted.groups_replayed == 0
+                assert replayed.snapshot_triples == 0
+                point[impl] = {
+                    "replay_s": round(replay_s, 6),
+                    "snapshot_s": round(snapshot_s, 6),
+                    "speedup_x": round(replay_s / snapshot_s, 2),
+                }
+                table_rows.append(
+                    (label, impl, f"{replay_s:.3f}", f"{snapshot_s:.3f}",
+                     f"{replay_s / snapshot_s:.2f}x"))
+            sections[label] = point
+            # Drop the triples and stores between points: the 1M point
+            # must not be timed under the 100k point's garbage.
+            del items
+            shutil.rmtree(base)
+        return sections
+
+    run_once(benchmark, measure_all)
+    _RESULTS["snapshot_vs_replay"] = {
+        "speedup_100k": sections["100k"]["interned"]["speedup_x"],
+        "speedup_100k_plain": sections["100k"]["plain"]["speedup_x"],
+        "speedup_1m": sections["1m"]["interned"]["speedup_x"],
+        **sections,
+    }
+    print_table(
+        "Snapshot load vs WAL replay (same final state)",
+        ["scale", "store", "replay s", "snapshot s", "speedup"],
+        table_rows)
+
+
+def test_parallel_shard_recovery(benchmark, tmp_path):
+    """Serial vs pooled per-shard recovery of the same 4-shard state."""
+    directory = str(tmp_path / "sharded")
+    items = random_triples(PARALLEL_TRIPLES,
+                           num_subjects=max(PARALLEL_TRIPLES // 10, 10),
+                           num_properties=8)
+    trim = TrimManager(shards=PARALLEL_SHARDS)
+    trim.enable_durability(directory, fsync=False)
+    trim.bulk_ingest(items)
+    trim.durability.compact()
+    trim.close()
+
+    # Serial reference: the same recovery with the shard pool disabled,
+    # so the fan-out's overhead (futures, pool dispatch) is the only
+    # difference between the two measurements.
+    pool_getter = ShardedTripleStore._get_pool
+    ShardedTripleStore._get_pool = lambda self: None
+    try:
+        serial_s, serial = _timed(lambda: recover_sharded(directory))
+    finally:
+        ShardedTripleStore._get_pool = pool_getter
+    parallel_s, parallel = run_once(
+        benchmark, lambda: _timed(lambda: recover_sharded(directory)))
+    assert len(serial.store) == len(parallel.store)
+    assert serial.stage_seconds is not None
+    assert parallel.stage_seconds is not None
+
+    _RESULTS["parallel_recovery"] = {
+        "shards": PARALLEL_SHARDS,
+        "triples": len(parallel.store),
+        "serial_s": round(serial_s, 6),
+        "parallel_s": round(parallel_s, 6),
+        "speedup_x": round(serial_s / parallel_s, 2),
+        "stage_seconds": parallel.stage_seconds,
+    }
+    print_table(
+        f"Parallel recovery of {PARALLEL_SHARDS} shards "
+        f"({len(parallel.store)} triples, single-core host)",
+        ["mode", "seconds"],
+        [("serial (pool disabled)", f"{serial_s:.4f}"),
+         ("pooled fan-out", f"{parallel_s:.4f}"),
+         ("speedup", f"{serial_s / parallel_s:.2f}x")])
+
+
+def test_cold_tenant_open_latency(benchmark, tmp_path):
+    """Evicted tenants reopened through the registry: p50/p99 open."""
+    root = str(tmp_path / "registry")
+    registry = PadRegistry(root, idle_ttl=0.0)
+    names = [f"tenant-{i:02d}" for i in range(COLD_TENANTS)]
+    for name in names:
+        handle = registry.acquire(name)
+        try:
+            for i in range(COLD_TRIPLES):
+                handle.trim.store.add(triple(
+                    Resource(f"t:{name}-s{i % (COLD_TRIPLES // 10)}"),
+                    Resource(f"t:p{i % 8}"), f"v{i}"))
+            handle.trim.commit()
+        finally:
+            registry.release(handle)
+    # Eviction compacts each tenant on the way out, so the reopen below
+    # is the optimized path: one v3 snapshot load, empty WAL tail.
+    evicted = registry.evict_idle()
+    assert sorted(evicted) == names
+    registry.close_all()
+
+    def reopen_all():
+        fresh = PadRegistry(root, idle_ttl=0.0)
+        for name in names:
+            handle = fresh.acquire(name)
+            assert len(handle.trim.store) > 0
+            assert handle.trim.recovery_stats().get("groups_replayed", 1) == 0
+            fresh.release(handle)
+        stats = fresh.stats()
+        fresh.close_all()
+        return stats
+
+    stats = run_once(benchmark, reopen_all)
+    latency = stats["open_latency_us"]
+    _RESULTS["cold_open"] = {
+        "tenants": COLD_TENANTS,
+        "triples_per_tenant": COLD_TRIPLES,
+        "open_p50_us": latency["p50_us"],
+        "open_p99_us": latency["p99_us"],
+    }
+    print_table(
+        f"Cold tenant open through PadRegistry "
+        f"({COLD_TENANTS} tenants x {COLD_TRIPLES} triples, "
+        f"compacted on eviction)",
+        ["percentile", "microseconds"],
+        [("p50", latency["p50_us"]), ("p99", latency["p99_us"])])
+
+
+def _stall_for(directory, size):
+    """Seconds one delta compaction takes over STALL_CHANGES fresh
+    changes, on a store holding *size* triples."""
+    trim = TrimManager()
+    trim.enable_durability(directory, fsync=False)
+    trim.bulk_ingest(random_triples(size, num_subjects=max(size // 10, 10),
+                                    num_properties=8))
+    trim.durability.compact()    # baseline: snapshot covers everything
+    for i in range(STALL_CHANGES):
+        trim.store.add(triple(Resource(f"fresh:s{i}"), Resource("fresh:p"),
+                              f"v{i}"))
+        if (i + 1) % 50 == 0:
+            trim.commit()
+    trim.commit()
+    stall_s, did = _timed(trim.durability.delta_compact)
+    assert did, "delta compaction must have fresh groups to fold"
+    trim.close()
+    return stall_s
+
+
+def test_compaction_stall_stays_flat(benchmark, tmp_path):
+    """Delta compaction cost tracks fresh changes, not store size."""
+    base_s = _stall_for(str(tmp_path / "base"), STALL_BASE)
+    big_s = run_once(benchmark, lambda: _stall_for(
+        str(tmp_path / "big"), STALL_BASE * 10))
+    ratio = big_s / base_s
+    _RESULTS["compaction_stall"] = {
+        "base_triples": STALL_BASE,
+        "big_triples": STALL_BASE * 10,
+        "changes_per_compact": STALL_CHANGES,
+        "stall_base_s": round(base_s, 6),
+        "stall_10x_s": round(big_s, 6),
+        "stall_ratio_10x": round(ratio, 2),
+    }
+    print_table(
+        f"Delta-compaction stall, {STALL_CHANGES} fresh changes",
+        ["store size", "stall seconds"],
+        [(STALL_BASE, f"{base_s:.6f}"),
+         (STALL_BASE * 10, f"{big_s:.6f}"),
+         ("ratio", f"{ratio:.2f}x")])
+
+
+def test_writes_trajectory_json(benchmark, tmp_path):
+    """Aggregate the sections above into BENCH_trim_recovery.json."""
+    assert set(_RESULTS) == {"snapshot_vs_replay", "parallel_recovery",
+                             "cold_open", "compaction_stall"}, \
+        "earlier bench tests must run first"
+    json_path = ((tmp_path / "BENCH_trim_recovery.json")
+                 if _SMOKE else _JSON_PATH)
+    payload = {
+        "bench": "trim_recovery",
+        "smoke": _SMOKE,
+        "workload": {
+            "generator": "repro.workloads.generator.random_triples",
+            "scale_points": {label: count
+                             for label, count, _ in SCALE_POINTS},
+            "parallel_shards": PARALLEL_SHARDS,
+            "cold_tenants": COLD_TENANTS,
+        },
+        **_RESULTS,
+    }
+
+    def write():
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        return json_path
+
+    path = run_once(benchmark, write)
+    assert path.exists()
+    assert json.loads(path.read_text())["bench"] == "trim_recovery"

@@ -35,6 +35,7 @@ from pathlib import Path
 from repro.service import protocol
 from repro.service.client import ServiceClient
 from repro.triples.trim import TrimManager
+from repro.util.stats import percentiles_us as _percentiles
 
 from benchmarks.conftest import print_table, run_once
 
@@ -56,19 +57,6 @@ _JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_trim_service.json"
 
 #: Sections accumulated by the tests below; the last test writes the file.
 _RESULTS = {}
-
-
-def _percentiles(latencies_s):
-    """p50/p95/p99 of a latency sample, in microseconds."""
-    if not latencies_s:
-        return {"p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
-    ordered = sorted(latencies_s)
-    last = len(ordered) - 1
-
-    def pct(p):
-        return round(ordered[min(last, round(p / 100 * last))] * 1e6, 1)
-
-    return {"p50_us": pct(50), "p95_us": pct(95), "p99_us": pct(99)}
 
 
 def _zipf_picker(rng, n, s=ZIPF_S):

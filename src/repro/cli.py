@@ -114,26 +114,40 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.triples.sharded import is_sharded_directory, recover_sharded
     from repro.triples.wal import recover
 
+    def _stage_line(stage_seconds, indent="  "):
+        if not stage_seconds:
+            return
+        parts = ", ".join(f"{stage.rsplit('_', 1)[0]} {seconds * 1000:.1f}ms"
+                          for stage, seconds in stage_seconds.items())
+        print(f"{indent}stages: {parts}")
+
     if is_sharded_directory(args.directory):
         sharded = recover_sharded(args.directory)
         store, namespaces = sharded.store, sharded.namespaces
         print(f"recovered {len(store)} triple(s) from {args.directory} "
               f"({store.shard_count} shards, epoch {sharded.epoch})")
+        _stage_line(sharded.stage_seconds)
         if sharded.repaired:
             print(f"  finished the fence of {sharded.repaired} "
                   f"prepared group(s) whose commit was decided")
         for i, result in enumerate(sharded.shards):
             print(f"  shard {i}: {len(result.store)} triple(s) "
                   f"({result.snapshot_triples} snapshot, "
+                  f"{result.delta_segments} delta segment(s), "
                   f"{result.groups_replayed} WAL group(s) replayed)")
+            _stage_line(result.stage_seconds, indent="    ")
     else:
         result = recover(args.directory)
         store, namespaces = result.store, result.namespaces
         print(f"recovered {len(store)} triple(s) from {args.directory}")
         print(f"  snapshot: {result.snapshot_triples} triple(s) "
               f"(through group {result.snapshot_group})")
+        print(f"  deltas: {result.delta_segments} segment(s), "
+              f"{result.delta_changes} change(s) "
+              f"(through group {result.covered_group})")
         print(f"  WAL tail: {result.groups_replayed} group(s), "
               f"{result.changes_replayed} change(s) replayed")
+        _stage_line(result.stage_seconds)
         if result.discarded_bytes:
             print(f"  discarded {result.discarded_bytes} corrupt/torn "
                   f"byte(s) past the last complete group")
@@ -226,6 +240,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     print(f"{args.runs} replay(s) of {args.bundle}: all identical")
     print(f"  recovered {first.triples} triple(s), "
           f"digest {first.digest}")
+    if first.op_latency_us:
+        lat = first.op_latency_us
+        print(f"  op latency: p50 {lat['p50_us']}us, "
+              f"p95 {lat['p95_us']}us, p99 {lat['p99_us']}us")
     if first.crashed:
         print("  injected: 2PC coordinator kill (recovered via repair)")
     if first.killed_at is not None:

@@ -19,6 +19,7 @@ between the capture and this machine.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, NamedTuple, Optional
 
 from repro.errors import ReplayDivergenceError, ReplayError
@@ -29,6 +30,7 @@ from repro.triples.sharded import ShardedDurability, SimulatedCrash, \
 from repro.triples.triple import Resource
 from repro.triples.trim import TrimManager
 from repro.triples.wal import WAL_FILE, recover
+from repro.util.stats import percentiles_us
 
 
 class ReplayResult(NamedTuple):
@@ -40,6 +42,11 @@ class ReplayResult(NamedTuple):
     crashed: bool         #: a 2PC stage kill fired
     killed_at: Optional[int]  #: WAL truncation offset, when one was replayed
     store: Any            #: the recovered store itself
+    #: Per-op re-execution latency percentiles (``p50_us``/``p95_us``/
+    #: ``p99_us``) over every op in the bundle — the perf-regression
+    #: gate reads these so a slow op class shows up as a tail shift,
+    #: not just a total-seconds drift.  Empty dict on zero-op bundles.
+    op_latency_us: Dict[str, float] = {}
 
 
 def _crash_hook(stage: str, index: Optional[int]):
@@ -81,9 +88,11 @@ def replay(bundle: Dict[str, Any], directory: str,
     crashed = False
     killed_at: Optional[int] = None
     ops_applied = 0
+    op_latencies: "list[float]" = []
     try:
         for op in bundle["ops"]:
             kind = op["op"]
+            op_started = time.perf_counter()
             if kind == "add":
                 _, statement, sequence = bundle_format.decode_change(op)
                 trim.store.restore(statement, sequence)
@@ -96,6 +105,7 @@ def replay(bundle: Dict[str, Any], directory: str,
                 crashed = _replay_crash(trim, op)
             elif kind == "kill":
                 killed_at = op["offset"]
+            op_latencies.append(time.perf_counter() - op_started)
             ops_applied += 1
     finally:
         # Always close: after a crash the durability is already
@@ -110,7 +120,9 @@ def replay(bundle: Dict[str, Any], directory: str,
     else:
         recovered = recover(directory).store
     result = ReplayResult(state_digest(recovered), len(recovered),
-                          ops_applied, crashed, killed_at, recovered)
+                          ops_applied, crashed, killed_at, recovered,
+                          percentiles_us(op_latencies)
+                          if op_latencies else {})
     outcome = bundle.get("outcome")
     if verify_outcome and outcome is not None \
             and result.digest != outcome["digest"]:

@@ -54,6 +54,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import (BackpressureError, ProtocolError,
                           ServiceUnavailableError)
 from repro.triples.trim import TrimManager
+from repro.util.stats import percentiles_us
 
 __all__ = ["PadRegistry", "TenantHandle", "valid_tenant_name"]
 
@@ -139,8 +140,12 @@ class TenantHandle:
                  compact_every: int = 64) -> None:
         self.name = name
         self.directory = directory
+        opened = time.perf_counter()
         self.trim = TrimManager(durable=directory, shards=shards,
                                 concurrent=True, compact_every=compact_every)
+        #: Cold-open cost: wall-clock seconds recovery took for this
+        #: tenant (snapshot + delta + WAL fold, all shards).
+        self.open_seconds = time.perf_counter() - opened
         self._dmi = None
         self._dmi_lock = threading.Lock()
         self.high_water = high_water
@@ -260,12 +265,17 @@ class TenantHandle:
         """Refresh the idle clock (reads call this; submits do it inline)."""
         self.last_used = time.monotonic()
 
-    def close(self) -> None:
+    def close(self, compact: bool = False) -> None:
         """Drain the coalescer, commit, and close the WAL (idempotent).
 
         Everything already queued is applied and durably committed —
         acked writes are never dropped — then the writer thread exits
-        and the TRIM detaches its durability handle.
+        and the TRIM detaches its durability handle.  With *compact*
+        the tenant is fully compacted first — one v3 snapshot per
+        shard, delta log and WAL reset — so the *next* open of this
+        directory is a pure snapshot load, the fastest recovery path.
+        Eviction passes it; shutdown does not (drain time over reopen
+        speed when every tenant closes at once).
         """
         with self._lock:
             if self._closing:
@@ -280,6 +290,10 @@ class TenantHandle:
         # load-bearing if the writer thread died to an unexpected error.
         try:
             self.trim.commit()
+            if compact and not already:
+                durability = self.trim.durability
+                if durability is not None:
+                    durability.compact()
         finally:
             self.trim.close()
 
@@ -299,6 +313,7 @@ class TenantHandle:
                 "write_batches": self._write_batches,
                 "rejected": self._rejected,
                 "idle_seconds": round(time.monotonic() - self.last_used, 3),
+                "open_seconds": round(self.open_seconds, 6),
             }
         if durability is not None:
             block["commits_requested"] = durability.commits_requested
@@ -323,6 +338,9 @@ class PadRegistry:
     Thread-safe; see the module docstring for the lifecycle contract.
     """
 
+    #: How many recent cold-open latencies feed the percentile block.
+    _OPEN_LATENCY_WINDOW = 512
+
     def __init__(self, root: str, shards: int = 1, high_water: int = 64,
                  max_batch: int = 256, idle_ttl: float = 300.0,
                  compact_every: int = 64) -> None:
@@ -343,6 +361,9 @@ class PadRegistry:
         self._closed = False
         self._opens = 0
         self._evictions = 0
+        #: Recent cold-open latencies (seconds), newest last, bounded so
+        #: a long-lived server's stats block stays O(1).
+        self._open_latencies: List[float] = []
 
     def _name_lock(self, name: str) -> threading.Lock:
         with self._lock:
@@ -388,6 +409,8 @@ class PadRegistry:
                     raise ServiceUnavailableError("registry is closed")
                 self._tenants[name] = handle
                 self._opens += 1
+                self._open_latencies.append(handle.open_seconds)
+                del self._open_latencies[:-self._OPEN_LATENCY_WINDOW]
                 handle.refcount += 1
                 handle.touch()
                 return handle
@@ -429,8 +452,11 @@ class PadRegistry:
                     self._evictions += 1
                 # Close under the name lock (but outside the registry
                 # lock): a late acquire of this name now blocks until
-                # the WAL is fully released.
-                handle.close()
+                # the WAL is fully released.  Eviction compacts on the
+                # way out: the tenant is cold, so spend the snapshot
+                # write now to make its next cold open a pure (fast)
+                # snapshot load instead of a WAL replay.
+                handle.close(compact=True)
                 victims.append(name)
         return victims
 
@@ -468,12 +494,14 @@ class PadRegistry:
         with self._lock:
             handles = dict(self._tenants)
             opens, evictions = self._opens, self._evictions
+            latencies = list(self._open_latencies)
         return {
             "root": self.root,
             "open_tenants": len(handles),
             "opens": opens,
             "evictions": evictions,
             "idle_ttl": self.idle_ttl,
+            "open_latency_us": percentiles_us(latencies),
             "tenants": {name: handle.stats()
                         for name, handle in sorted(handles.items())},
         }

@@ -301,6 +301,72 @@ class InternedTripleStore:
             self._notify("add", triple, sequence)
             return True
 
+    def restore_rows(self, nodes: List[Node],
+                     rows: Iterable[Tuple[int, int, int, int]]) -> int:
+        """Bulk-restore dictionary-encoded rows (binary snapshot fast path).
+
+        The v3 snapshot loader hands over its decoded string dictionary
+        and integer ``(subject-id, property-id, value-id, sequence)``
+        rows wholesale; the dictionary maps straight into the intern
+        table (on a fresh store snapshot ids and intern ids coincide, so
+        no per-triple node hashing happens at all).  All-or-nothing: the
+        statement map and all five indexes are built in local containers
+        and installed only after every row has decoded — a bad row (id
+        out of bounds, literal where a resource belongs) raises
+        ``IndexError``/``ValueError`` and leaves the store untouched.
+
+        Only valid on an empty store with no active bulk load and no
+        change listeners (recovery runs before any attach); returns the
+        number of statements restored.
+        """
+        with self._lock:
+            if self._statements or self._pending is not None:
+                raise TransactionError(
+                    "restore_rows requires an empty, idle store")
+            if self._listeners:
+                raise TransactionError(
+                    "restore_rows cannot notify change listeners")
+            ids = [self._intern(node) for node in nodes]
+            resource = [isinstance(node, Resource) for node in nodes]
+            statements: Dict[_Key, int] = {}
+            by_s: Dict[int, Set[_Key]] = {}
+            by_p: Dict[int, Set[_Key]] = {}
+            by_v: Dict[int, Set[_Key]] = {}
+            by_sp: Dict[Tuple[int, int], Set[_Key]] = {}
+            by_pv: Dict[Tuple[int, int], Set[_Key]] = {}
+            tail = -1
+            top = -1
+            need_sort = False
+            for sid, pid, vid, sequence in rows:
+                if not (resource[sid] and resource[pid]):
+                    raise ValueError(
+                        "triple subject/property must be resources")
+                key = (ids[sid], ids[pid], ids[vid])
+                statements[key] = sequence
+                if sequence < tail:
+                    need_sort = True
+                else:
+                    tail = sequence
+                if sequence > top:
+                    top = sequence
+                by_s.setdefault(key[0], set()).add(key)
+                by_p.setdefault(key[1], set()).add(key)
+                by_v.setdefault(key[2], set()).add(key)
+                by_sp.setdefault((key[0], key[1]), set()).add(key)
+                by_pv.setdefault((key[1], key[2]), set()).add(key)
+            if need_sort:
+                statements = dict(
+                    sorted(statements.items(), key=lambda item: item[1]))
+            self._statements = statements
+            self._by_subject = by_s
+            self._by_property = by_p
+            self._by_value = by_v
+            self._by_subject_property = by_sp
+            self._by_property_value = by_pv
+            self._sequence = max(self._sequence, top + 1)
+            self._generation += len(statements)
+            return len(statements)
+
     def sequence_of(self, triple: Triple) -> int:
         """The insertion-sequence number of a present triple (else raises).
 

@@ -15,6 +15,7 @@ Three registries' worth of well-known names ship with the library:
 from __future__ import annotations
 
 import re
+import threading
 from typing import Dict, Iterator, Tuple
 
 from repro.errors import NamespaceError
@@ -64,10 +65,17 @@ class NamespaceRegistry:
 
     Registering the same prefix twice with a different URI is an error;
     re-registering identically is a no-op (idempotent loads).
+
+    Thread-safe: parallel shard recovery registers each snapshot's
+    declarations into one shared registry from pool workers, so the
+    check-then-act in :meth:`register` runs under an internal lock.
+    Reads stay lock-free (dict reads are atomic; :meth:`__iter__`
+    snapshots the value list).
     """
 
     def __init__(self) -> None:
         self._by_prefix: Dict[str, Namespace] = {}
+        self._register_lock = threading.Lock()
 
     @classmethod
     def with_defaults(cls) -> "NamespaceRegistry":
@@ -80,15 +88,16 @@ class NamespaceRegistry:
 
     def register(self, prefix: str, uri: str) -> Namespace:
         """Bind *prefix* to *uri*, returning the :class:`Namespace`."""
-        existing = self._by_prefix.get(prefix)
-        if existing is not None:
-            if existing.uri != uri:
-                raise NamespaceError(
-                    f"prefix {prefix!r} already bound to {existing.uri!r}")
-            return existing
-        namespace = Namespace(prefix, uri)
-        self._by_prefix[prefix] = namespace
-        return namespace
+        with self._register_lock:
+            existing = self._by_prefix.get(prefix)
+            if existing is not None:
+                if existing.uri != uri:
+                    raise NamespaceError(
+                        f"prefix {prefix!r} already bound to {existing.uri!r}")
+                return existing
+            namespace = Namespace(prefix, uri)
+            self._by_prefix[prefix] = namespace
+            return namespace
 
     def get(self, prefix: str) -> Namespace:
         """Return the namespace for *prefix*; raise if unregistered."""
@@ -101,7 +110,7 @@ class NamespaceRegistry:
         return prefix in self._by_prefix
 
     def __iter__(self) -> Iterator[Namespace]:
-        return iter(self._by_prefix.values())
+        return iter(list(self._by_prefix.values()))
 
     def expand(self, qname: str) -> str:
         """Expand ``'slim:Bundle'`` to its full URI.
@@ -116,7 +125,7 @@ class NamespaceRegistry:
 
     def compact(self, uri: str) -> str:
         """Compact a full URI back to a qname when a prefix matches."""
-        for namespace in self._by_prefix.values():
+        for namespace in list(self._by_prefix.values()):
             if uri.startswith(namespace.uri):
                 local = uri[len(namespace.uri):]
                 if local:

@@ -1593,6 +1593,39 @@ def _repair_shard_wal(path: str, decisions: Dict[int, bool],
     return True
 
 
+def _recover_shards(store: ShardedTripleStore, dirs: List[str],
+                    registry: NamespaceRegistry) -> List[RecoveryResult]:
+    """Recover each shard directory into its shard, in parallel.
+
+    Shards never share files or stores, so per-shard recovery is
+    embarrassingly parallel; on a multi-shard store the work fans out
+    over the store's shard pool (snapshot decode overlaps another
+    shard's disk reads).  The registry is the one shared structure —
+    :meth:`NamespaceRegistry.register` is thread-safe.  Results come
+    back in shard order; the first failure propagates after the
+    remaining workers finish, so no thread outlives this call.
+    """
+    pairs = list(zip(store.shards, dirs))
+    pool = store._get_pool() if len(pairs) > 1 else None
+    if pool is None:
+        return [recover(shard_dir, store=shard, namespaces=registry)
+                for shard, shard_dir in pairs]
+    futures = [pool.submit(recover, shard_dir, store=shard,
+                           namespaces=registry)
+               for shard, shard_dir in pairs]
+    results: List[RecoveryResult] = []
+    error: Optional[BaseException] = None
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if error is None:
+                error = exc
+    if error is not None:
+        raise error
+    return results
+
+
 class ShardedRecoveryResult(NamedTuple):
     """What :func:`recover_sharded` reconstructed and how."""
 
@@ -1603,6 +1636,12 @@ class ShardedRecoveryResult(NamedTuple):
     namespaces: NamespaceRegistry    #: registry with every declaration
     map_version: int = 1             #: shard-map version in force
     migration_open: bool = False     #: a reshard was mid-flight at crash
+    #: Wall-clock seconds per recovery stage: ``repair_s`` (meta-WAL
+    #: decision fences, always serial), ``shards_s`` (per-shard snapshot
+    #: + delta + WAL recovery, fanned out over the shard pool) and
+    #: ``routing_s`` (migration routing rebuild).  ``None`` on results
+    #: built before timing existed.
+    stage_seconds: Optional[Dict[str, float]] = None
 
 
 def shard_directories(directory: str) -> List[str]:
@@ -1636,6 +1675,12 @@ def recover_sharded(directory: str,
     :class:`ShardedTripleStore`.  The resulting store is consistent:
     every in-flight multi-shard transaction is either fully applied or
     fully absent, on all shards alike.
+
+    Decision repair is single-threaded and strictly ordered (it mutates
+    shard WAL tails based on the one coordinator log); the per-shard
+    snapshot/delta/WAL recovery that follows touches only its own shard
+    and directory, so it fans out over the store's shard pool.  Results
+    are collected in shard order regardless of completion order.
     """
     dirs = shard_directories(directory)
     if not dirs:
@@ -1653,14 +1698,16 @@ def recover_sharded(directory: str,
                                store_factory=store_factory)
     registry = namespaces if namespaces is not None else NamespaceRegistry()
     repaired = 0
-    results: List[RecoveryResult] = []
-    for shard, shard_dir in zip(store.shards, dirs):
-        if meta.epoch:
+    started = time.perf_counter()
+    if meta.epoch:
+        for shard_dir in dirs:
             if _repair_shard_wal(os.path.join(shard_dir, WAL_FILE),
                                  meta.decisions, meta.epoch):
                 repaired += 1
-        results.append(recover(shard_dir, store=shard, namespaces=registry))
+    repaired_at = time.perf_counter()
+    results = _recover_shards(store, dirs, registry)
     store._resync_sequence()
+    shards_at = time.perf_counter()
     migration = None
     if meta.migration is not None:
         # Rebuild the in-flight routing state: a subject already on a
@@ -1677,9 +1724,15 @@ def recover_sharded(directory: str,
                 if shard_map.slot_of(uri) == slot:
                     migration.moved.add(uri)
     store._install_map(shard_map, migration)
+    stage_seconds = {
+        "repair_s": round(repaired_at - started, 6),
+        "shards_s": round(shards_at - repaired_at, 6),
+        "routing_s": round(time.perf_counter() - shards_at, 6),
+    }
     return ShardedRecoveryResult(store, results, repaired, meta.epoch,
                                  registry, shard_map.version,
-                                 meta.migration is not None)
+                                 meta.migration is not None,
+                                 stage_seconds)
 
 
 # -- the sharded durability orchestrator --------------------------------------
@@ -1715,18 +1768,22 @@ class ShardedDurability:
                  namespaces: Optional[NamespaceRegistry] = None,
                  compact_every: int = 64, fsync: bool = True,
                  commit_every: Optional[int] = None,
-                 sync: str = "inline") -> None:
+                 sync: str = "inline",
+                 delta_ratio: float = 0.5) -> None:
         if compact_every < 1:
             raise ValueError("compact_every must be >= 1")
         if commit_every is not None and commit_every < 1:
             raise ValueError("commit_every must be >= 1 or None")
         if sync not in self._SYNC_MODES:
             raise ValueError(f"sync must be one of {self._SYNC_MODES}")
+        if delta_ratio < 0:
+            raise ValueError("delta_ratio must be >= 0")
         self.directory = directory
         self.namespaces = namespaces
         self.compact_every = compact_every
         self.commit_every = commit_every
         self.sync = sync
+        self.delta_ratio = delta_ratio
         self._fsync = fsync
         self._store = store
         count = store.shard_count
@@ -1770,14 +1827,7 @@ class ShardedDurability:
                 self.repaired += 1
         self._durs: List[Durability] = []
         try:
-            for shard, shard_dir in zip(store.shards, shard_dirs):
-                # Per-shard orchestrators recover their shard and log its
-                # changes; the coordinator owns all commit decisions, so
-                # auto-grouping and background sync stay disabled here.
-                self._durs.append(Durability(
-                    shard, shard_dir, namespaces=namespaces,
-                    compact_every=compact_every, fsync=fsync,
-                    commit_every=None, sync="inline"))
+            self._durs = self._attach_shards(store, shard_dirs)
         except BaseException:
             for dur in self._durs:
                 dur.close()
@@ -1835,6 +1885,56 @@ class ShardedDurability:
                 dur.close()
             self._meta.close()
             raise
+
+    def _attach_shards(self, store: ShardedTripleStore,
+                       shard_dirs: List[str]) -> List[Durability]:
+        """Build one per-shard :class:`Durability`, fanned out over the
+        shard pool.
+
+        Each orchestrator recovers its own shard directory and logs that
+        shard's changes; the coordinator owns all commit decisions, so
+        auto-grouping and background sync stay disabled per shard.
+        Construction order does not matter (every shard touches only its
+        own files), but the returned list is in shard-index order.  On
+        any failure the orchestrators that did come up are closed before
+        the first error propagates — no WAL handle leaks.
+        """
+        def build(shard: TripleStore, shard_dir: str) -> Durability:
+            return Durability(shard, shard_dir,
+                              namespaces=self.namespaces,
+                              compact_every=self.compact_every,
+                              fsync=self._fsync, commit_every=None,
+                              sync="inline", delta_ratio=self.delta_ratio)
+
+        pairs = list(zip(store.shards, shard_dirs))
+        pool = store._get_pool() if len(pairs) > 1 else None
+        if pool is None:
+            durs: List[Durability] = []
+            try:
+                for shard, shard_dir in pairs:
+                    durs.append(build(shard, shard_dir))
+            except BaseException:
+                for dur in durs:
+                    dur.close()
+                raise
+            return durs
+        futures = [pool.submit(build, shard, shard_dir)
+                   for shard, shard_dir in pairs]
+        built: List[Optional[Durability]] = []
+        error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                built.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+                built.append(None)
+        if error is not None:
+            for dur in built:
+                if dur is not None:
+                    dur.close()
+            raise error
+        return [dur for dur in built if dur is not None]
 
     # -- observability --------------------------------------------------------
 
@@ -2015,7 +2115,8 @@ class ShardedDurability:
                 self._durs.append(Durability(
                     store.shards[i], shard_dir, namespaces=self.namespaces,
                     compact_every=self.compact_every, fsync=self._fsync,
-                    commit_every=None, sync="inline"))
+                    commit_every=None, sync="inline",
+                    delta_ratio=self.delta_ratio))
                 self._shard_locks.append(threading.Lock())
         # Retire the 2PC pool so the next one sizes to the new count.
         with self._2pc_pool_lock:

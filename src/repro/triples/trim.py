@@ -39,6 +39,24 @@ from repro.triples.wal import Durability
 from repro.util.identifiers import IdGenerator
 
 
+def _recovery_stats_dict(result) -> Dict[str, Any]:
+    """Flatten one :class:`~repro.triples.wal.RecoveryResult` for
+    :meth:`TrimManager.recovery_stats`; empty when nothing recovered."""
+    if result is None:
+        return {}
+    return {
+        "snapshot_group": result.snapshot_group,
+        "snapshot_triples": result.snapshot_triples,
+        "covered_group": result.covered_group,
+        "delta_segments": result.delta_segments,
+        "delta_changes": result.delta_changes,
+        "groups_replayed": result.groups_replayed,
+        "changes_replayed": result.changes_replayed,
+        "last_group": result.last_group,
+        "stage_seconds": dict(result.stage_seconds or {}),
+    }
+
+
 class IngestSession:
     """Context manager for a high-throughput ingest through a TRIM.
 
@@ -102,7 +120,8 @@ class TrimManager:
                  concurrent: bool = False,
                  shards: int = 1,
                  cache: bool = True,
-                 cache_entries: int = 1024) -> None:
+                 cache_entries: int = 1024,
+                 delta_ratio: float = 0.5) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if shards > 1:
@@ -121,7 +140,8 @@ class TrimManager:
         self._views_lock = threading.Lock()
         if durable is not None:
             self.enable_durability(durable, compact_every=compact_every,
-                                   commit_every=commit_every, sync=sync)
+                                   commit_every=commit_every, sync=sync,
+                                   delta_ratio=delta_ratio)
 
     # -- create / remove ------------------------------------------------------
 
@@ -347,7 +367,8 @@ class TrimManager:
     def enable_durability(self, directory: str, compact_every: int = 64,
                           fsync: bool = True,
                           commit_every: Optional[int] = None,
-                          sync: str = "inline") -> Durability:
+                          sync: str = "inline",
+                          delta_ratio: float = 0.5) -> Durability:
         """Attach crash-safe persistence rooted at *directory*.
 
         Recovers any existing snapshot + WAL state into the store (which
@@ -371,14 +392,16 @@ class TrimManager:
                                                  compact_every=compact_every,
                                                  fsync=fsync,
                                                  commit_every=commit_every,
-                                                 sync=sync)
+                                                 sync=sync,
+                                                 delta_ratio=delta_ratio)
         else:
             self._durability = Durability(self.store, directory,
                                           namespaces=self.namespaces,
                                           compact_every=compact_every,
                                           fsync=fsync,
                                           commit_every=commit_every,
-                                          sync=sync)
+                                          sync=sync,
+                                          delta_ratio=delta_ratio)
         for resource in self.store.resources():
             self.ids.observe(resource.uri)
         return self._durability
@@ -387,6 +410,31 @@ class TrimManager:
     def durability(self) -> Optional[Union[Durability, ShardedDurability]]:
         """The attached durability handle, if durable mode is on."""
         return self._durability
+
+    def recovery_stats(self) -> Dict[str, Any]:
+        """What the last durable open recovered, and how long each stage
+        took.
+
+        Unsharded: one dict of volumes (triples, delta/WAL replay
+        counts) plus ``stage_seconds`` with ``snapshot_s``/``deltas_s``/
+        ``wal_s``.  Sharded: a ``shards`` list of those per-shard dicts
+        plus aggregated ``stage_seconds``.  Empty when not durable or
+        when the directory was fresh (nothing recovered).
+        """
+        dur = self._durability
+        if dur is None:
+            return {}
+        if isinstance(dur, ShardedDurability):
+            shards = [_recovery_stats_dict(result)
+                      for result in dur.recovered]
+            totals: Dict[str, float] = {}
+            for entry in shards:
+                for stage, seconds in entry.get("stage_seconds", {}).items():
+                    totals[stage] = round(totals.get(stage, 0.0) + seconds, 6)
+            if not any(shards):
+                return {}
+            return {"shards": shards, "stage_seconds": totals}
+        return _recovery_stats_dict(dur.recovered)
 
     @property
     def shards(self) -> int:

@@ -48,6 +48,22 @@ records the group it covers, and replay skips any logged group at or
 below it — so a crash *between* snapshot rename and log reset cannot
 double-apply changes.
 
+Compaction comes in two grades.  A **full rewrite** folds the whole
+store into a fresh snapshot — cost proportional to store size, which
+would stall the group-commit flusher as the store grows.  The routine
+path is therefore **delta compaction**: the committed WAL groups are
+flattened into one fsynced segment appended to a side log
+(``deltas.slim``), and the WAL alone is truncated — cost proportional to
+the changes since the last compaction, independent of store size.
+Recovery folds state in snapshot → delta segments → WAL order, skipping
+anything at or below the group each layer already covers; the same
+monotone-group argument that makes snapshot compaction crash-safe at
+every intermediate step applies unchanged (append is fsynced before the
+WAL truncate, so a crash in between merely leaves covered groups in the
+WAL that replay skips).  A size-ratio trigger (``delta_ratio``) promotes
+to a full rewrite once the delta log outgrows the snapshot, bounding
+recovery reads.
+
 Concurrency (DESIGN.md §10): the log's buffer/offset state is guarded by
 an internal lock, so concurrent appenders and committers serialize
 correctly.  :class:`Durability` can additionally run a background
@@ -63,8 +79,9 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import time
 import zlib
-from typing import IO, List, NamedTuple, Optional, Tuple
+from typing import IO, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.errors import PersistenceError
 from repro.triples import persistence
@@ -74,9 +91,11 @@ from repro.triples.transactions import Change
 from repro.triples.triple import Literal, Resource, Triple
 
 MAGIC = b"SLIMWAL1"
+DELTA_MAGIC = b"SLIMDLT1"
 
 SNAPSHOT_FILE = "snapshot.slim"
 WAL_FILE = "wal.log"
+DELTAS_FILE = "deltas.slim"
 
 _FRAME = struct.Struct(">II")   # payload length, crc32
 _U64 = struct.Struct(">Q")
@@ -284,6 +303,112 @@ def scan_wal(path: str) -> WalScan:
         prepared = PreparedGroup(info, pending[:n_changes], mark_end)
     return WalScan(groups, pending, valid_end, total, last_group,
                    committed_end, prepared)
+
+
+# -- delta segments ----------------------------------------------------------
+
+class DeltaSegment(NamedTuple):
+    """One flattened run of committed groups in the delta log."""
+
+    from_group: int         #: first WAL group folded into this segment
+    to_group: int           #: last WAL group folded into this segment
+    changes: List[Change]   #: the groups' changes, in commit order
+
+
+class DeltaScan(NamedTuple):
+    """Result of reading a delta log up to its last valid segment."""
+
+    segments: List[DeltaSegment]  #: valid segments, in append order
+    valid_end: int                #: byte offset of the last valid segment's end
+    total_bytes: int              #: file size as found on disk
+    covered_group: int            #: highest ``to_group`` seen (0 if none)
+
+
+def scan_deltas(path: str) -> DeltaScan:
+    """Read a delta log, truncating (logically) at the first bad segment.
+
+    Same prefix semantics as :func:`scan_wal`: torn frames, checksum
+    mismatches, garbled bodies, and non-monotone group ranges all end
+    the scan at the last fully valid segment — everything before the
+    damage is kept (the groups after it are still in the WAL, because
+    the WAL is only truncated once the covering segment is durable).
+    A missing file or a damaged magic header scans as empty.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return DeltaScan([], 0, 0, 0)
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path}: {exc}") from exc
+    total = len(data)
+    if data[:len(DELTA_MAGIC)] != DELTA_MAGIC:
+        return DeltaScan([], 0, total, 0)
+    segments: List[DeltaSegment] = []
+    offset = len(DELTA_MAGIC)
+    valid_end = offset
+    covered = 0
+    while offset + _FRAME.size <= total:
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > total:
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            segment = _decode_delta_segment(payload)
+        except PersistenceError:
+            break
+        if segment.from_group <= covered or segment.to_group < segment.from_group:
+            break  # ranges must be disjoint and monotone
+        segments.append(segment)
+        covered = segment.to_group
+        offset = end
+        valid_end = end
+    return DeltaScan(segments, valid_end, total, covered)
+
+
+def encode_delta_segment(from_group: int, to_group: int,
+                         changes: List[Change]) -> bytes:
+    """Serialize one delta-segment payload (framed by the caller)."""
+    parts = [b"S", _U64.pack(from_group), _U64.pack(to_group),
+             _U32.pack(len(changes))]
+    for change in changes:
+        payload = encode_change(change)
+        parts.append(_U32.pack(len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def _decode_delta_segment(payload: bytes) -> DeltaSegment:
+    try:
+        if payload[:1] != b"S":
+            raise PersistenceError(
+                f"unknown delta segment kind: {payload[:1]!r}")
+        (from_group,) = _U64.unpack_from(payload, 1)
+        (to_group,) = _U64.unpack_from(payload, 1 + _U64.size)
+        (count,) = _U32.unpack_from(payload, 1 + 2 * _U64.size)
+        offset = 1 + 2 * _U64.size + _U32.size
+        changes: List[Change] = []
+        for _ in range(count):
+            (length,) = _U32.unpack_from(payload, offset)
+            offset += _U32.size
+            end = offset + length
+            if end > len(payload):
+                raise PersistenceError("delta change overruns segment")
+            record = decode_record(payload[offset:end])
+            if record.kind != "change":
+                raise PersistenceError(
+                    f"non-change record in delta segment: {record.kind}")
+            changes.append(record.change)
+            offset = end
+        if offset != len(payload):
+            raise PersistenceError("trailing bytes in delta segment")
+    except struct.error as exc:
+        raise PersistenceError(f"garbled delta segment: {exc}") from exc
+    return DeltaSegment(from_group, to_group, changes)
 
 
 # -- the log -----------------------------------------------------------------
@@ -556,6 +681,34 @@ class WriteAheadLog:
             self._prepared_count = 0
             self._prepared_bytes = 0
 
+    def reset_to_header(self) -> None:
+        """Truncate the on-disk log to its magic header, *keeping* the
+        in-memory buffer of uncommitted appends.
+
+        The delta-compaction path calls this after folding every
+        committed group into a durable delta segment.  It is safe
+        precisely because of the group-commit write discipline: the
+        on-disk body holds only committed groups (:meth:`append` merely
+        buffers; :meth:`commit`/:meth:`prepare` write), so dropping the
+        body loses nothing that is not already in the delta log.  A
+        staged 2PC prepare *is* on disk without a boundary, so callers
+        must resolve it first — this method refuses while one is held.
+        """
+        with self._lock:
+            file = self._require_open()
+            if self._prepared_count:
+                raise PersistenceError(
+                    f"WAL {self.path} holds a prepared group; "
+                    f"cannot reset to header")
+            try:
+                file.seek(len(MAGIC))
+                file.truncate(len(MAGIC))
+            except OSError as exc:
+                raise PersistenceError(
+                    f"cannot reset WAL {self.path}: {exc}") from exc
+            self._flush()
+            self._good_end = len(MAGIC)
+
     def close(self) -> None:
         """Write any buffered records, flush, and close (idempotent).
 
@@ -624,6 +777,115 @@ class WriteAheadLog:
                 f"cannot flush WAL {self.path}: {exc}") from exc
 
 
+class _DeltaLog:
+    """Append-only log of flattened committed-group segments.
+
+    The durable sibling of the WAL that makes routine compaction
+    O(changes-since-last-compact): :meth:`append` writes one CRC-framed
+    :func:`encode_delta_segment` record and fsyncs it; :meth:`reset`
+    truncates back to the magic header after a full snapshot rewrite.
+    Opening scans the file and truncates a torn tail away, mirroring
+    :class:`WriteAheadLog`.  Callers (``Durability``) serialize access
+    under their meta lock, so no internal lock is needed.
+    """
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = path
+        self._fsync = fsync
+        scan = scan_deltas(path)
+        self.covered_group = scan.covered_group
+        self.segment_count = len(scan.segments)
+        self._file: Optional[IO[bytes]] = None
+        try:
+            if scan.valid_end == 0:
+                self._file = open(path, "wb")
+                self._file.write(DELTA_MAGIC)
+                self._size = len(DELTA_MAGIC)
+            else:
+                self._file = open(path, "r+b")
+                self._file.truncate(scan.valid_end)
+                self._file.seek(scan.valid_end)
+                self._size = scan.valid_end
+            self._file.flush()
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot open delta log {path}: {exc}") from exc
+
+    @property
+    def size(self) -> int:
+        """On-disk size in bytes (drives the full-rewrite ratio trigger)."""
+        return self._size
+
+    def append(self, from_group: int, to_group: int,
+               changes: List[Change]) -> None:
+        """Durably append one segment covering groups [from, to]."""
+        file = self._require_open()
+        data = _frame(encode_delta_segment(from_group, to_group, changes))
+        try:
+            file.write(data)
+            file.flush()
+            if self._fsync:
+                os.fsync(file.fileno())
+        except OSError as exc:
+            # Drop the torn segment so the next append starts clean; the
+            # folded groups are still in the WAL (it is only truncated
+            # after this append succeeds), so nothing is lost.
+            try:
+                file.seek(self._size)
+                file.truncate(self._size)
+            except OSError:
+                self._file = None
+                try:
+                    file.close()
+                except OSError:
+                    pass
+            raise PersistenceError(
+                f"cannot append delta segment to {self.path}: {exc}") from exc
+        self._size += len(data)
+        self.covered_group = max(self.covered_group, to_group)
+        self.segment_count += 1
+
+    def reset(self) -> None:
+        """Truncate back to the magic header (after a full snapshot)."""
+        file = self._require_open()
+        try:
+            file.seek(len(DELTA_MAGIC))
+            file.truncate(len(DELTA_MAGIC))
+            file.flush()
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot reset delta log {self.path}: {exc}") from exc
+        self._size = len(DELTA_MAGIC)
+        self.covered_group = 0
+        self.segment_count = 0
+
+    def close(self) -> None:
+        """Flush and close (idempotent)."""
+        file = self._file
+        if file is None:
+            return
+        self._file = None
+        try:
+            file.flush()
+            file.close()
+        except OSError:
+            pass
+
+    def abandon(self) -> None:
+        """Release the file handle without flushing (crash simulation)."""
+        file, self._file = self._file, None
+        if file is not None:
+            try:
+                file.close()
+            except OSError:
+                pass
+
+    def _require_open(self) -> IO[bytes]:
+        if self._file is None:
+            raise PersistenceError(f"delta log {self.path} is closed")
+        return self._file
+
+
 # -- recovery ----------------------------------------------------------------
 
 class RecoveryResult(NamedTuple):
@@ -637,6 +899,12 @@ class RecoveryResult(NamedTuple):
     last_group: int             #: highest group number in the final state
     discarded_bytes: int        #: corrupt/torn WAL tail bytes ignored
     namespaces: NamespaceRegistry  #: registry with the snapshot's declarations
+    delta_segments: int = 0     #: valid delta segments folded in
+    delta_changes: int = 0      #: individual changes applied from deltas
+    covered_group: int = 0      #: highest group snapshot+deltas cover
+    #: per-stage wall-clock timings (``snapshot_s``/``deltas_s``/``wal_s``);
+    #: ``wal_s`` includes the bulk-load index build at scope exit.
+    stage_seconds: Optional[Dict[str, float]] = None
 
 
 def recover(directory: str,
@@ -644,9 +912,11 @@ def recover(directory: str,
             namespaces: Optional[NamespaceRegistry] = None) -> RecoveryResult:
     """Rebuild the durable state under *directory*.
 
-    Loads the latest valid snapshot (if any), then replays every complete
-    WAL group with a number above the snapshot's, stopping at the first
-    corrupt record.  Adds replay through
+    Folds the three durable layers in order: the latest valid snapshot,
+    then every valid delta segment whose groups the snapshot does not
+    already cover, then every complete WAL group above what snapshot and
+    deltas cover — stopping at the first corrupt record in each log.
+    Adds replay through
     :meth:`~repro.triples.store.TripleStore.restore` with their logged
     sequence numbers, so the recovered store matches the crashed store's
     iteration and ``select()`` order exactly, not just its set of triples.
@@ -664,6 +934,7 @@ def recover(directory: str,
     snapshot_path = os.path.join(directory, SNAPSHOT_FILE)
     snapshot_group = 0
     snapshot_triples = 0
+    t_start = time.perf_counter()
     if os.path.exists(snapshot_path):
         # Streamed straight into the target store (constant parse memory)
         # rather than through an intermediate store plus a restore loop.
@@ -671,17 +942,38 @@ def recover(directory: str,
                                              store=store)
         snapshot_group = snapshot.group
         snapshot_triples = len(store)
+    t_snapshot = time.perf_counter()
+    delta_scan = scan_deltas(os.path.join(directory, DELTAS_FILE))
     scan = scan_wal(os.path.join(directory, WAL_FILE))
+    covered = snapshot_group
+    delta_segments = 0
+    delta_changes = 0
     groups_replayed = 0
     changes_replayed = 0
-    last_group = snapshot_group
+    t_deltas = t_snapshot
     with store.bulk():
         # Replayed adds ride the bulk path: index maintenance happens in
         # one pass at exit instead of per change.  Removals flush first,
         # so mixed groups replay exactly as they would per-op.
+        for segment in delta_scan.segments:
+            if segment.to_group <= snapshot_group:
+                # A full snapshot covers every group at or below its own,
+                # and segments never straddle it (deltas are reset after
+                # the snapshot lands) — skip whole stale segments.
+                continue
+            for change in segment.changes:
+                if change.action == "add":
+                    store.restore(change.triple, change.sequence)
+                else:
+                    store.discard(change.triple)
+            delta_segments += 1
+            delta_changes += len(segment.changes)
+            covered = max(covered, segment.to_group)
+        t_deltas = time.perf_counter()
         for group, changes in scan.groups:
-            if group <= snapshot_group:
-                continue  # already in snapshot (crash between rename/reset)
+            if group <= covered:
+                continue  # already in snapshot/deltas (crash between
+                #           the covering write and the WAL truncate)
             for change in changes:
                 if change.action == "add":
                     store.restore(change.triple, change.sequence)
@@ -689,11 +981,16 @@ def recover(directory: str,
                     store.discard(change.triple)
             groups_replayed += 1
             changes_replayed += len(changes)
-            last_group = max(last_group, group)
-    last_group = max(last_group, scan.last_group)
+    last_group = max(covered, scan.last_group)
+    t_end = time.perf_counter()
+    stage_seconds = {"snapshot_s": t_snapshot - t_start,
+                     "deltas_s": t_deltas - t_snapshot,
+                     "wal_s": t_end - t_deltas}
     return RecoveryResult(store, snapshot_group, snapshot_triples,
                           groups_replayed, changes_replayed, last_group,
-                          scan.total_bytes - scan.valid_end, registry)
+                          scan.total_bytes - scan.valid_end, registry,
+                          delta_segments, delta_changes, covered,
+                          stage_seconds)
 
 
 # -- the group-commit flusher -------------------------------------------------
@@ -827,10 +1124,16 @@ class Durability:
     triples are never invisible to recovery.
 
     Call :meth:`commit` at user-level operation boundaries; after
-    *compact_every* committed groups the log is folded into a new atomic
-    snapshot.  All writes go through the checksummed formats in
-    :mod:`repro.triples.persistence` and this module, so a crash at any
-    point leaves a recoverable directory.
+    *compact_every* committed groups the log is compacted.  Routine
+    compactions are *delta* compactions — the committed groups are
+    flattened into one fsynced segment of the delta log and the WAL is
+    truncated, at a cost proportional to the changes folded, not the
+    store size.  Once the delta log outgrows ``delta_ratio`` times the
+    snapshot (or a fixed floor when no snapshot exists yet), the next
+    compaction is a *full rewrite*: a fresh atomic snapshot, after which
+    both the delta log and the WAL reset.  All writes go through the
+    checksummed formats in :mod:`repro.triples.persistence` and this
+    module, so a crash at any point leaves a recoverable directory.
 
     *commit_every* (optional) turns on auto-grouping: once that many
     changes have accumulated since the last commit, the next change
@@ -863,18 +1166,22 @@ class Durability:
                  namespaces: Optional[NamespaceRegistry] = None,
                  compact_every: int = 64, fsync: bool = True,
                  commit_every: Optional[int] = None,
-                 sync: str = "inline") -> None:
+                 sync: str = "inline",
+                 delta_ratio: float = 0.5) -> None:
         if compact_every < 1:
             raise ValueError("compact_every must be >= 1")
         if commit_every is not None and commit_every < 1:
             raise ValueError("commit_every must be >= 1 or None")
         if sync not in self._SYNC_MODES:
             raise ValueError(f"sync must be one of {self._SYNC_MODES}")
+        if delta_ratio < 0:
+            raise ValueError("delta_ratio must be >= 0")
         self.directory = directory
         self.namespaces = namespaces
         self.compact_every = compact_every
         self.commit_every = commit_every
         self.sync = sync
+        self.delta_ratio = delta_ratio
         self._store = store
         # Guards the commit/compaction metadata (_groups_since_snapshot)
         # and serializes flush-vs-compact decisions.  Lock order:
@@ -890,12 +1197,22 @@ class Durability:
         if had_state:
             self.recovered = recover(directory, store, namespaces)
         self._wal = WriteAheadLog(wal_path, fsync=fsync)
+        try:
+            self._deltas = _DeltaLog(os.path.join(directory, DELTAS_FILE),
+                                     fsync=fsync)
+        except BaseException:
+            self._wal.close()
+            raise
+        self._covered_group = (self.recovered.covered_group
+                               if self.recovered is not None else 0)
+        self._delta_compactions = 0
+        self._full_compactions = 0
         if self.recovered is not None \
-                and self.recovered.snapshot_group > self._wal.group:
-            # Crash between snapshot rename and log reset: every logged
-            # group is covered by the snapshot.  Finish the interrupted
-            # reset and fast-forward the counter past the snapshot, so
-            # fresh commits get numbers replay will not skip.
+                and self.recovered.covered_group > self._wal.group:
+            # Crash between the covering write (snapshot rename or delta
+            # append) and the log reset: every logged group is covered.
+            # Finish the interrupted reset and fast-forward the counter,
+            # so fresh commits get numbers replay will not skip.
             self._wal.reset(group=self.recovered.last_group)
         self._groups_since_snapshot = (self.recovered.groups_replayed
                                        if self.recovered is not None else 0)
@@ -915,10 +1232,11 @@ class Durability:
         except BaseException:
             # Construction failed after the listeners attached: detach
             # them so later store mutations don't feed a half-built,
-            # closed-over handle, and release the WAL file.
+            # closed-over handle, and release the log files.
             self._unsubscribe()
             self._unsubscribe_atomic()
             self._wal.close()
+            self._deltas.close()
             raise
 
     @property
@@ -933,8 +1251,24 @@ class Durability:
 
     @property
     def groups_since_snapshot(self) -> int:
-        """Committed groups accumulated since the last compaction."""
+        """Committed groups accumulated since the last compaction
+        (delta or full)."""
         return self._groups_since_snapshot
+
+    @property
+    def covered_group(self) -> int:
+        """Highest WAL group the snapshot + delta log durably cover."""
+        return self._covered_group
+
+    @property
+    def delta_log_bytes(self) -> int:
+        """On-disk size of the delta log."""
+        return self._deltas.size
+
+    @property
+    def compaction_counts(self) -> Tuple[int, int]:
+        """``(delta, full)`` compactions performed by this handle."""
+        return (self._delta_compactions, self._full_compactions)
 
     @property
     def commits_requested(self) -> int:
@@ -990,12 +1324,14 @@ class Durability:
         return True
 
     def compact(self) -> None:
-        """Fold the log into a fresh atomic snapshot and reset the WAL.
+        """Full rewrite: fold everything into a fresh atomic snapshot,
+        then reset the delta log and the WAL.
 
-        Ordering is crash-safe: the snapshot (recording the covered group
-        number) is fsynced and renamed into place *before* the log is
-        truncated.  A crash in between leaves groups in the log that the
-        snapshot already covers; replay skips them by group number.
+        Ordering is crash-safe at every step by the monotone-group
+        argument: the snapshot (recording the covered group number) is
+        fsynced and renamed into place *before* either log is truncated.
+        A crash in between leaves delta segments / WAL groups that the
+        snapshot already covers; recovery skips them by group number.
 
         Runs under the store lock (when the store has one) so the
         snapshot writer never iterates a store mid-mutation, then the
@@ -1014,8 +1350,48 @@ class Durability:
         with self._meta_lock:
             persistence.save_snapshot(self._store, self._snapshot_path,
                                       self.namespaces, group=self._wal.group)
+            self._deltas.reset()
             self._wal.reset()
+            self._covered_group = self._wal.group
             self._groups_since_snapshot = 0
+            self._full_compactions += 1
+
+    def delta_compact(self) -> bool:
+        """Routine compaction: fold committed WAL groups into one delta
+        segment and truncate the WAL — O(changes folded), no store lock.
+
+        The segment is fsynced *before* the WAL truncate, so a crash in
+        between leaves covered groups in the WAL that recovery skips by
+        number.  Returns ``False`` without writing when there is nothing
+        new to fold or when a 2PC-prepared group is staged (the prepare
+        bytes live in the WAL body; folding around them must wait for
+        the fence/abort — the next compaction picks the groups up).
+        """
+        if self._closed:
+            raise PersistenceError("durability handle is closed")
+        with self._meta_lock:
+            return self._delta_compact_meta_locked()
+
+    def _delta_compact_meta_locked(self) -> bool:
+        wal = self._wal
+        # Hold the WAL lock across scan + append + truncate so no commit,
+        # prepare, or fence interleaves with the fold (meta -> WAL is the
+        # global lock order; the store lock is never needed here).
+        with wal._lock:
+            if wal._prepared_count:
+                return False
+            scan = scan_wal(wal.path)
+            fresh = [(group, changes) for group, changes in scan.groups
+                     if group > self._covered_group]
+            if fresh:
+                flattened = [change for _, changes in fresh
+                             for change in changes]
+                self._deltas.append(fresh[0][0], fresh[-1][0], flattened)
+                wal.reset_to_header()
+                self._covered_group = max(self._covered_group, fresh[-1][0])
+                self._delta_compactions += 1
+            self._groups_since_snapshot = 0
+            return bool(fresh)
 
     def close(self) -> None:
         """Detach from the store and close the log (idempotent).
@@ -1040,6 +1416,7 @@ class Durability:
                 self._flusher.close(join=join)
         finally:
             self._wal.close()
+            self._deltas.close()
 
     def __del__(self) -> None:
         # Best-effort teardown that must never raise and never block:
@@ -1077,6 +1454,7 @@ class Durability:
                 file.close()
             except OSError:
                 pass
+        self._deltas.abandon()
 
     # -- internals -----------------------------------------------------------
 
@@ -1101,10 +1479,19 @@ class Durability:
         inside listener fan-out, under the store lock), so a blocking
         acquire could deadlock.  When the store is busy the compaction
         is simply deferred to the next flush.
+
+        Routine housekeeping is a delta compaction — O(changes since the
+        last compact) and needing no store lock at all, so the flusher
+        never stalls on store size.  A full snapshot rewrite happens only
+        once the delta log outgrows ``delta_ratio`` × the snapshot (or
+        the fixed floor when no snapshot exists yet).
         """
         with self._meta_lock:
             due = self._groups_since_snapshot >= self.compact_every
         if not due:
+            return
+        if not self._full_rewrite_due():
+            self.delta_compact()
             return
         lock = getattr(self._store, "lock", None)
         if lock is None:
@@ -1116,6 +1503,21 @@ class Durability:
             self._compact_locked()
         finally:
             lock.release()
+
+    #: Below this delta-log size a full rewrite is never ratio-triggered —
+    #: small stores would otherwise rewrite constantly (any delta log
+    #: dwarfs a tiny snapshot).
+    _DELTA_FLOOR_BYTES = 64 * 1024
+
+    def _full_rewrite_due(self) -> bool:
+        """Whether the delta log has outgrown the snapshot it amends."""
+        try:
+            snapshot_bytes = os.path.getsize(self._snapshot_path)
+        except OSError:
+            snapshot_bytes = 0
+        threshold = max(self._DELTA_FLOOR_BYTES,
+                        self.delta_ratio * snapshot_bytes)
+        return self._deltas.size > threshold
 
     def _on_change(self, action: str, triple: Triple, sequence: int) -> None:
         self._wal.append(Change(action, triple, sequence))

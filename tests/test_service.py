@@ -32,6 +32,7 @@ from repro.service.registry import PadRegistry, valid_tenant_name
 from repro.service.server import TrimService
 from repro.triples.trim import TrimManager
 from repro.triples.triple import Literal, Resource, triple
+from repro.triples.wal import recover
 
 
 # ---------------------------------------------------------------------------
@@ -181,6 +182,32 @@ class TestPadRegistry:
         assert registry.evict_idle() == []  # refcount > 0: never evicted
         registry.release(handle)
         assert registry.evict_idle() == ["busy"]
+        registry.close_all()
+
+    def test_eviction_compacts_tenant_before_close(self, tmp_path):
+        # Eviction is the cheap moment to compact: the next cold open
+        # must be one snapshot load, not a WAL replay of the session.
+        registry = PadRegistry(str(tmp_path), idle_ttl=0.0)
+        handle = registry.acquire("t")
+        for i in range(5):
+            handle.submit(
+                lambda h=handle, k=f"w{i}": h.trim.create(k, "p", 1)).wait()
+        registry.release(handle)
+        assert registry.evict_idle() == ["t"]
+        registry.close_all()
+        result = recover(os.path.join(str(tmp_path), "t"))
+        assert result.snapshot_triples == 5
+        assert result.groups_replayed == 0
+        assert result.delta_segments == 0
+
+    def test_stats_report_open_latency(self, tmp_path):
+        registry = PadRegistry(str(tmp_path))
+        handle = registry.acquire("t")
+        assert handle.stats()["open_seconds"] > 0
+        registry.release(handle)
+        latency = registry.stats()["open_latency_us"]
+        assert set(latency) == {"p50_us", "p95_us", "p99_us"}
+        assert latency["p50_us"] > 0
         registry.close_all()
 
     def test_eviction_racing_late_write_reopens_cleanly(self, tmp_path):

@@ -70,6 +70,44 @@ class TestDurableTrim:
         plain.load(xml_path)
         assert list(plain.store) == [triple("a", "p", 1)]
 
+    def test_recovery_stats_surface(self, tmp_path):
+        assert TrimManager().recovery_stats() == {}
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory)
+        for i in range(3):
+            trim.create(f"r{i}", "p", i)
+            trim.commit()
+        trim.close()
+        again = TrimManager(durable=directory)
+        stats = again.recovery_stats()
+        assert stats["groups_replayed"] == 3
+        assert stats["changes_replayed"] == 3
+        assert stats["snapshot_group"] == 0
+        assert set(stats["stage_seconds"]) == \
+            {"snapshot_s", "deltas_s", "wal_s"}
+        again.durability.compact()
+        again.close()
+        compacted = TrimManager(durable=directory)
+        assert compacted.recovery_stats()["groups_replayed"] == 0
+        assert compacted.recovery_stats()["snapshot_group"] == 3
+        compacted.close()
+
+    def test_recovery_stats_sharded(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory, shards=2)
+        trim.create("a", "p", 1)
+        trim.create("b", "p", 2)
+        trim.commit()
+        trim.close()
+        again = TrimManager(durable=directory, shards=2)
+        stats = again.recovery_stats()
+        assert len(stats["shards"]) == 2
+        assert set(stats["stage_seconds"]) == \
+            {"snapshot_s", "deltas_s", "wal_s"}
+        assert sum(s.get("changes_replayed", 0)
+                   for s in stats["shards"]) == 2
+        again.close()
+
     def test_batch_rollback_is_logged_coherently(self, tmp_path):
         directory = str(tmp_path)
         trim = TrimManager(durable=directory)

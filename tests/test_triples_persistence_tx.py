@@ -227,13 +227,20 @@ class TestSnapshots:
         assert [snapshot.document.store.sequence_of(t) for t in items] == \
             [s.sequence_of(t) for t in items]
 
-    def test_snapshot_header_is_human_readable(self, tmp_path):
+    def test_v2_snapshot_header_is_human_readable(self, tmp_path):
+        s = TripleStore()
+        s.add(triple("a", "p", 1))
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path, group=3, format=2)
+        first_line = open(path, "rb").readline().decode("ascii")
+        assert first_line.startswith("#slim-snapshot v2 group=3 ")
+
+    def test_v3_snapshot_starts_with_binary_magic(self, tmp_path):
         s = TripleStore()
         s.add(triple("a", "p", 1))
         path = str(tmp_path / "snap.slim")
         persistence.save_snapshot(s, path, group=3)
-        first_line = open(path, "rb").readline().decode("ascii")
-        assert first_line.startswith("#slim-snapshot v2 group=3 ")
+        assert open(path, "rb").read(8) == persistence.SNAPSHOT_MAGIC_V3
 
     def test_truncated_snapshot_rejected(self, tmp_path):
         s = TripleStore()
@@ -250,6 +257,107 @@ class TestSnapshots:
         open(path, "w").write("<slim-store version='2'/>")
         with pytest.raises(PersistenceError):
             persistence.load_snapshot(path)
+
+
+class TestV3SnapshotFormat:
+    """Edge cases of the binary columnar snapshot: hostile text, literal
+    typing, sparse sequences, dictionary dedup, and corruption checks.
+
+    The v3 writer has no escaping layer (strings travel as raw
+    length-prefixed UTF-8 with ``surrogatepass``), so the hostile-text
+    cases the XML escapers needed special handling for must round trip
+    byte-exactly here with no transformation at all.
+    """
+
+    def test_hostile_text_round_trips_exactly(self, tmp_path):
+        s = TripleStore()
+        hostile = ["\x00", "CR\rLF\nTAB\t", "\ud800 lone surrogate",
+                   "￾￿", "]]>&<'\"", "café \U0001f40d", " "]
+        for i, text in enumerate(hostile):
+            s.add(Triple(Resource(text), Resource(f"p{i}"), Literal(text)))
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path, group=1)
+        loaded = persistence.load_snapshot(path).document.store
+        assert list(loaded) == list(s)
+        assert [t.subject.uri for t in loaded] == hostile
+
+    def test_literal_types_survive_distinctly(self, tmp_path):
+        s = TripleStore()
+        for value in ("3", 3, 3.0, True, False, "", -2**40, 0.5):
+            s.add(triple("a", "p", value))
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path)
+        loaded = persistence.load_snapshot(path).document.store
+        assert [t.value for t in loaded] == [t.value for t in s]
+        assert [type(t.value.value) for t in loaded] == \
+            [type(t.value.value) for t in s]
+
+    def test_empty_store_round_trips_with_group(self, tmp_path):
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(TripleStore(), path, group=41)
+        snapshot = persistence.load_snapshot(path)
+        assert snapshot.group == 41
+        assert len(snapshot.document.store) == 0
+
+    def test_sparse_sequences_preserved(self, tmp_path):
+        s = TripleStore()
+        for seq in (3, 100, 7, 2**40):
+            s.restore(triple(f"s{seq}", "p", seq), seq)
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path)
+        loaded = persistence.load_snapshot(path).document.store
+        assert [loaded.sequence_of(t) for t in loaded] == [3, 7, 100, 2**40]
+
+    def test_dictionary_stores_repeated_nodes_once(self, tmp_path):
+        s = TripleStore()
+        for i in range(50):
+            s.add(triple("the-shared-subject", "the-shared-property", i))
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path)
+        data = open(path, "rb").read()
+        assert data.count(b"the-shared-subject") == 1
+        assert data.count(b"the-shared-property") == 1
+
+    def test_namespaces_restored(self, tmp_path):
+        registry = NamespaceRegistry()
+        registry.register("slim", "http://example.org/slim#")
+        s = TripleStore()
+        s.add(triple("a", "slim:p", 1))
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path, registry, group=2)
+        loaded = persistence.load_snapshot(path)
+        assert [(n.prefix, n.uri) for n in loaded.document.namespaces] == \
+            [("slim", "http://example.org/slim#")]
+
+    def test_bit_flips_never_load_silently(self, tmp_path):
+        s = TripleStore()
+        for i in range(20):
+            s.add(triple(f"s{i}", "p", f"value-{i}"))
+        path = str(tmp_path / "snap.slim")
+        persistence.save_snapshot(s, path)
+        data = open(path, "rb").read()
+        expected = list(s)
+        for offset in range(0, len(data), 7):
+            damaged = bytearray(data)
+            damaged[offset] ^= 0xFF
+            open(path, "wb").write(bytes(damaged))
+            # Either the loader rejects the file outright, or the flip
+            # landed in a frame-length field that still framed a
+            # CRC-valid prefix — never a silently different store.
+            try:
+                loaded = persistence.load_snapshot(path).document.store
+            except PersistenceError:
+                continue
+            assert list(loaded) == expected, f"flip@{offset}"
+
+    @given(items=st.lists(hostile_triples_st, max_size=8, unique=True))
+    def test_hostile_round_trip_is_identity(self, items, tmp_path_factory):
+        path = str(tmp_path_factory.getbasetemp() / "v3-hostile.slim")
+        s = TripleStore()
+        s.add_all(items)
+        persistence.save_snapshot(s, path)
+        loaded = persistence.load_snapshot(path).document.store
+        assert list(loaded) == list(s)
 
 
 class TestAtomicSave:

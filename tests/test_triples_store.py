@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import TripleNotFoundError
+from repro.errors import TransactionError, TripleNotFoundError
 from repro.triples.store import TripleStore
 from repro.triples.triple import Literal, Resource, Triple, triple
 
@@ -184,6 +184,126 @@ class TestListeners:
         unsubscribe()
         store.add(triple("x", "p", 1))
         assert log == []
+
+
+class TestRestoreRows:
+    """The dictionary-encoded bulk restore the v3 snapshot loader uses.
+
+    ``restore_rows`` bypasses the per-triple constructor and index
+    maintenance, so these tests pin its one obligation: the resulting
+    store must be indistinguishable from one built through ``add`` /
+    ``restore`` — same membership, iteration order, sequences, and
+    index-backed selection — and a bad input must leave the store
+    untouched rather than half-built.
+    """
+
+    NODES = [Resource("b1"), Resource("slim:bundleName"), Literal("Electrolyte"),
+             Resource("slim:bundleContent"), Resource("s1"), Literal(3.9),
+             Literal(True)]
+    ROWS = [(0, 1, 2, 0), (0, 3, 4, 1), (4, 1, 5, 2), (4, 3, 6, 7)]
+
+    def _restored(self):
+        s = TripleStore()
+        assert s.restore_rows(self.NODES, self.ROWS) == len(self.ROWS)
+        return s
+
+    def _reference(self):
+        s = TripleStore()
+        for sid, pid, vid, seq in self.ROWS:
+            s.restore(Triple(self.NODES[sid], self.NODES[pid],
+                             self.NODES[vid]), seq)
+        return s
+
+    def test_parity_with_restore_path(self):
+        restored, reference = self._restored(), self._reference()
+        assert list(restored) == list(reference)
+        for t in reference:
+            assert restored.sequence_of(t) == reference.sequence_of(t)
+
+    def test_indexes_serve_selections(self):
+        s = self._restored()
+        assert len(s.select(subject=Resource("b1"))) == 2
+        assert len(s.select(property=Resource("slim:bundleName"))) == 2
+        assert s.one(subject=Resource("s1"),
+                     property=Resource("slim:bundleName")).value == Literal(3.9)
+        assert [t.subject.uri
+                for t in s.match(value=Resource("s1"))] == ["b1"]
+
+    def test_out_of_order_sequences_iterate_sorted(self):
+        s = TripleStore()
+        shuffled = [self.ROWS[2], self.ROWS[0], self.ROWS[3], self.ROWS[1]]
+        s.restore_rows(self.NODES, shuffled)
+        assert [s.sequence_of(t) for t in s] == [0, 1, 2, 7]
+
+    def test_next_sequence_continues_above_restored(self):
+        s = self._restored()
+        t = triple("fresh", "p", "v")
+        s.add(t)
+        assert s.sequence_of(t) == 8   # top restored sequence was 7
+
+    def test_requires_empty_store(self):
+        s = TripleStore()
+        s.add(triple("a", "p", 1))
+        with pytest.raises(TransactionError):
+            s.restore_rows(self.NODES, self.ROWS)
+
+    def test_requires_idle_store(self):
+        s = TripleStore()
+        with pytest.raises(TransactionError):
+            with s.bulk():
+                s.restore_rows(self.NODES, self.ROWS)
+
+    def test_rejects_listeners(self):
+        s = TripleStore()
+        s.add_listener(lambda action, t, seq: None)
+        with pytest.raises(TransactionError):
+            s.restore_rows(self.NODES, self.ROWS)
+
+    def test_rejects_non_node_dictionary_entry(self):
+        s = TripleStore()
+        with pytest.raises(ValueError):
+            s.restore_rows([Resource("a"), "not-a-node"], [(0, 0, 1, 0)])
+        assert len(s) == 0
+
+    def test_rejects_literal_subject_and_property(self):
+        s = TripleStore()
+        nodes = [Resource("r"), Literal("text")]
+        with pytest.raises(ValueError):
+            s.restore_rows(nodes, [(1, 0, 0, 0)])   # literal subject
+        with pytest.raises(ValueError):
+            s.restore_rows(nodes, [(0, 1, 0, 0)])   # literal property
+        assert len(s) == 0
+        assert s.add(triple("still", "works", 1))   # store left usable
+
+    def test_failed_restore_leaves_store_empty(self):
+        s = TripleStore()
+        rows = list(self.ROWS) + [(99, 0, 0, 8)]    # id out of bounds
+        with pytest.raises(IndexError):
+            s.restore_rows(self.NODES, rows)
+        assert len(s) == 0
+        assert s.select(subject=Resource("b1")) == []
+
+    @given(st.lists(st.tuples(triples_st, st.integers(0, 10_000)),
+                    max_size=30, unique_by=lambda pair: pair[0]))
+    def test_random_parity_with_restore(self, items):
+        reference = TripleStore()
+        for t, seq in items:
+            reference.restore(t, seq)
+        # Dictionary-encode the reference the way the v3 writer does.
+        ids, nodes, rows = {}, [], []
+        for t, seq in items:
+            key = []
+            for node in (t.subject, t.property, t.value):
+                if node not in ids:
+                    ids[node] = len(nodes)
+                    nodes.append(node)
+                key.append(ids[node])
+            rows.append((key[0], key[1], key[2], seq))
+        restored = TripleStore()
+        restored.restore_rows(nodes, rows)
+        assert list(restored) == list(reference)
+        assert all(restored.sequence_of(t) == reference.sequence_of(t)
+                   for t, _ in items)
 
 
 class TestStoreProperties:

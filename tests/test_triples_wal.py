@@ -25,9 +25,10 @@ from repro.triples.transactions import Change
 from repro.triples.trim import TrimManager
 from repro.triples.store import TripleStore
 from repro.triples.triple import Literal, Resource, triple
-from repro.triples.wal import (MAGIC, SNAPSHOT_FILE, WAL_FILE, Durability,
-                               WriteAheadLog, decode_record, encode_change,
-                               encode_commit, recover, scan_wal)
+from repro.triples.wal import (DELTAS_FILE, MAGIC, SNAPSHOT_FILE, WAL_FILE,
+                               Durability, WriteAheadLog, decode_record,
+                               encode_change, encode_commit, recover,
+                               scan_deltas, scan_wal)
 from repro.util.env import env_int
 
 CRASH_POINTS = env_int("CRASH_POINTS", 40)
@@ -386,17 +387,19 @@ class TestCrashInjection:
                 f"corrupt@{offset}"
 
     def test_truncation_with_snapshot_in_play(self, tmp_path):
-        """Same property when recovery stacks WAL tail on a snapshot."""
+        """Same property when recovery stacks the WAL tail on compacted
+        state (the delta log that routine auto-compaction now writes)."""
         directory = str(tmp_path / "snap")
         trim = TrimManager(durable=directory, compact_every=3)
         wal_path = os.path.join(directory, WAL_FILE)
-        snapshot_state = []     # what the latest snapshot covers
-        boundaries = []         # (wal size, state) since that snapshot
+        deltas_path = os.path.join(directory, DELTAS_FILE)
+        covered_state = []      # what the latest compaction covers
+        boundaries = []         # (wal size, state) since that compaction
         for i in range(8):      # compaction fires after commits 3 and 6
             trim.create(f"r{i}", "p", i)
             trim.commit()
             if trim.durability.groups_since_snapshot == 0:  # just compacted
-                snapshot_state = list(trim.store)
+                covered_state = list(trim.store)
                 boundaries = []
             else:
                 boundaries.append((os.path.getsize(wal_path),
@@ -404,17 +407,18 @@ class TestCrashInjection:
         trim.create("tail", "p", "uncommitted")
         trim.close()
         wal_bytes = open(wal_path, "rb").read()
-        snapshot_bytes = open(os.path.join(directory, SNAPSHOT_FILE),
-                              "rb").read()
-        assert boundaries, "script must leave a WAL tail past the snapshot"
+        deltas_bytes = open(deltas_path, "rb").read()
+        assert scan_deltas(deltas_path).segments, \
+            "script must have delta-compacted"
+        assert boundaries, "script must leave a WAL tail past the compaction"
         for i, offset in enumerate(range(0, len(wal_bytes) + 1, 5)):
             crash_dir = tmp_path / f"s{i}"
             crash_dir.mkdir()
-            (crash_dir / SNAPSHOT_FILE).write_bytes(snapshot_bytes)
+            (crash_dir / DELTAS_FILE).write_bytes(deltas_bytes)
             (crash_dir / WAL_FILE).write_bytes(wal_bytes[:offset])
             result = recover(str(crash_dir))
-            # A damaged/short WAL never loses the snapshot's groups.
-            expected = snapshot_state
+            # A damaged/short WAL never loses the compacted groups.
+            expected = covered_state
             for size, triples in boundaries:
                 if size <= offset:
                     expected = triples
@@ -579,6 +583,227 @@ class TestSnapshotSafety:
                                                  triple("b", "p", 3)}
 
 
+class TestDeltaLogCrashInjection:
+    """Crashes inside delta compaction itself must lose nothing.
+
+    The fold protocol: the segment covering fresh WAL groups is written
+    and fsynced *before* the WAL is truncated.  So the crash surface has
+    two stages — (a) a torn/corrupt segment write with the WAL intact,
+    where the CRC scan skips the damaged tail and the same groups replay
+    from the WAL; (b) a durable segment with the WAL not yet truncated,
+    where recovery skips the doubly-held groups by group number.  Either
+    way the recovered state is identical to the no-crash state, at every
+    byte offset of the segment write.
+    """
+
+    @pytest.fixture(scope="class")
+    def fold(self, tmp_path_factory):
+        """Capture the file states on both sides of one delta fold."""
+        directory = str(tmp_path_factory.mktemp("delta-fold"))
+        trim = TrimManager(durable=directory, compact_every=10_000)
+        wal_path = os.path.join(directory, WAL_FILE)
+        deltas_path = os.path.join(directory, DELTAS_FILE)
+        # One already-durable segment, so the crashed write lands
+        # mid-log rather than against an empty file.
+        for i in range(3):
+            trim.create(f"a{i}", "slim:size", i)
+            trim.commit()
+        assert trim.durability.delta_compact()
+        deltas_before = open(deltas_path, "rb").read()
+        # The groups whose fold we crash: adds, a removal, and literal
+        # payloads that exercise the record codec inside the segment.
+        trim.create("s1", "slim:scrapName", "CR\rLF\nNUL\x00")
+        trim.commit()
+        trim.remove(triple("a1", "slim:size", 1))
+        trim.create("b2", "slim:bundleWeight", 70.5)
+        trim.commit()
+        wal_before = open(wal_path, "rb").read()
+        assert trim.durability.delta_compact()
+        deltas_after = open(deltas_path, "rb").read()
+        expected = list(trim.store)
+        trim.close()
+        assert deltas_after[:len(deltas_before)] == deltas_before
+        assert len(deltas_after) > len(deltas_before)
+        return deltas_before, deltas_after, wal_before, expected
+
+    def _crash_dir(self, tmp_path, name, deltas, wal):
+        crash_dir = tmp_path / name
+        crash_dir.mkdir()
+        (crash_dir / DELTAS_FILE).write_bytes(deltas)
+        (crash_dir / WAL_FILE).write_bytes(wal)
+        return str(crash_dir)
+
+    def test_torn_segment_write_replays_from_wal(self, fold, tmp_path):
+        deltas_before, deltas_after, wal_before, expected = fold
+        for offset in range(len(deltas_before), len(deltas_after) + 1):
+            directory = self._crash_dir(tmp_path, f"t{offset}",
+                                        deltas_after[:offset], wal_before)
+            result = recover(directory)
+            assert list(result.store) == expected, f"delta-truncate@{offset}"
+            if offset < len(deltas_after):
+                # Torn segment: skipped, groups came from the WAL.
+                assert result.groups_replayed == 2, f"delta-truncate@{offset}"
+            else:
+                # Complete segment: WAL groups skipped by group number.
+                assert result.groups_replayed == 0
+
+    def test_bit_flipped_segment_replays_from_wal(self, fold, tmp_path):
+        deltas_before, deltas_after, wal_before, expected = fold
+        for offset in range(len(deltas_before), len(deltas_after)):
+            damaged = bytearray(deltas_after)
+            damaged[offset] ^= 0xFF
+            directory = self._crash_dir(tmp_path, f"c{offset}",
+                                        bytes(damaged), wal_before)
+            result = recover(directory)
+            assert list(result.store) == expected, f"delta-corrupt@{offset}"
+
+    def test_durable_segment_with_untruncated_wal(self, fold, tmp_path):
+        # Stage (b): crash after the segment fsync, before the WAL
+        # truncate — the groups exist in both logs and must apply once.
+        _, deltas_after, wal_before, expected = fold
+        result = recover(self._crash_dir(tmp_path, "both",
+                                         deltas_after, wal_before))
+        assert list(result.store) == expected
+        assert result.delta_segments == 2
+        assert result.groups_replayed == 0
+
+    def test_reopen_after_torn_segment_keeps_writing(self, fold, tmp_path):
+        # A session that reopens on a crashed fold must carry on: the
+        # torn tail stays dead (never extended into validity) and new
+        # commits land after recovery of the full pre-crash state.
+        deltas_before, deltas_after, wal_before, expected = fold
+        torn = deltas_after[:len(deltas_before)
+                            + (len(deltas_after) - len(deltas_before)) // 2]
+        directory = self._crash_dir(tmp_path, "reopen", torn, wal_before)
+        trim = TrimManager(durable=directory, compact_every=10_000)
+        assert list(trim.store) == expected
+        trim.create("post-crash", "p", 1)
+        trim.commit()
+        trim.durability.delta_compact()
+        trim.close()
+        assert list(recover(directory).store) == \
+            expected + [triple("post-crash", "p", 1)]
+
+    def test_full_rewrite_crash_leaves_covered_logs_harmless(self, tmp_path):
+        # The full-rewrite analogue of stage (b): snapshot written and
+        # renamed, crash before the delta log and WAL resets — recovery
+        # must skip every stale segment and group by number.
+        directory = str(tmp_path / "full")
+        trim = TrimManager(durable=directory, compact_every=10_000)
+        for i in range(3):
+            trim.create(f"r{i}", "p", i)
+            trim.commit()
+        trim.durability.delta_compact()
+        trim.create("r3", "p", 3)
+        trim.commit()
+        wal_bytes = open(os.path.join(directory, WAL_FILE), "rb").read()
+        deltas_bytes = open(os.path.join(directory, DELTAS_FILE), "rb").read()
+        trim.durability.compact()   # snapshot now covers everything
+        snapshot_bytes = open(os.path.join(directory, SNAPSHOT_FILE),
+                              "rb").read()
+        expected = list(trim.store)
+        trim.close()
+        crash_dir = tmp_path / "crash"
+        crash_dir.mkdir()
+        (crash_dir / SNAPSHOT_FILE).write_bytes(snapshot_bytes)
+        (crash_dir / DELTAS_FILE).write_bytes(deltas_bytes)
+        (crash_dir / WAL_FILE).write_bytes(wal_bytes)
+        result = recover(str(crash_dir))
+        assert list(result.store) == expected
+        assert result.delta_segments == 0
+        assert result.groups_replayed == 0
+
+
+class TestMixedFormatRecovery:
+    """Directories written by older releases keep working unchanged.
+
+    The v3 loader auto-detects by magic, so a legacy v2 XML snapshot
+    composes with v3-era delta segments and a WAL tail; a pre-delta
+    directory (snapshot + WAL, no deltas file) recovers exactly as it
+    did before the delta log existed.
+    """
+
+    def test_v2_snapshot_with_delta_segments_and_wal_tail(self, tmp_path):
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory, compact_every=10_000)
+        for i in range(3):
+            trim.create(f"r{i}", "slim:size", i)
+            trim.commit()
+        trim.durability.compact()
+        # Swap the covering snapshot for its v2 text form, as an old
+        # release would have written it — same state, same group.
+        persistence.save_snapshot(trim.store,
+                                  os.path.join(directory, SNAPSHOT_FILE),
+                                  trim.namespaces,
+                                  group=trim.durability.group, format=2)
+        trim.create("r3", "slim:size", 3)
+        trim.remove(triple("r1", "slim:size", 1))
+        trim.commit()
+        trim.durability.delta_compact()     # a v3-era delta segment
+        trim.create("r4", "slim:size", 4)
+        trim.commit()                       # a WAL tail on top
+        expected = list(trim.store)
+        sequences = [trim.store.sequence_of(t) for t in expected]
+        trim.close()
+        result = recover(directory)
+        assert list(result.store) == expected
+        assert [result.store.sequence_of(t) for t in result.store] == sequences
+        assert result.snapshot_group == 3
+        assert result.delta_segments == 1
+        assert result.groups_replayed == 1
+        # And the reopened directory keeps working as a live pad.
+        trim = TrimManager(durable=directory)
+        assert list(trim.store) == expected
+        trim.create("r5", "slim:size", 5)
+        trim.commit()
+        trim.close()
+        assert len(recover(directory).store) == len(expected) + 1
+
+    def test_pre_delta_directory_recovers(self, tmp_path):
+        # Snapshot + WAL only — the layout every pre-delta release left
+        # behind.  Built with a v2 snapshot and the deltas file removed.
+        directory = str(tmp_path)
+        trim = TrimManager(durable=directory, compact_every=10_000)
+        trim.create("a", "p", 1)
+        trim.commit()
+        persistence.save_snapshot(trim.store,
+                                  os.path.join(directory, SNAPSHOT_FILE),
+                                  trim.namespaces,
+                                  group=trim.durability.group, format=2)
+        trim.create("b", "p", 2)
+        trim.commit()
+        expected = list(trim.store)
+        trim.close()
+        os.remove(os.path.join(directory, DELTAS_FILE))
+        result = recover(directory)
+        assert list(result.store) == expected
+        assert result.delta_segments == 0
+        assert result.snapshot_group == 1
+        assert result.groups_replayed == 1
+
+    def test_recovered_state_dumps_identically_across_formats(self, tmp_path):
+        # The same store persisted through a v2 snapshot and through a
+        # v3 snapshot must recover to byte-identical XML dumps (order,
+        # sequences, escaping — everything).
+        source = TripleStore()
+        source.add(triple("b1", "slim:bundleName", "Electrolyte"))
+        source.add(triple("s2", "slim:scrapName", "CR\rLF\nNUL\x00"))
+        source.add(triple("b1", "slim:bundleWeight", 70.5))
+        source.remove(triple("s2", "slim:scrapName", "CR\rLF\nNUL\x00"))
+        source.restore(triple("s2", "slim:scrapName", "CR\rLF\nNUL\x00"), 1)
+        stores = []
+        for version in (2, 3):
+            directory = tmp_path / f"v{version}"
+            directory.mkdir()
+            persistence.save_snapshot(source, str(directory / SNAPSHOT_FILE),
+                                      group=1, format=version)
+            stores.append(recover(str(directory)).store)
+        v2_store, v3_store = stores
+        assert persistence.dumps(v2_store, with_sequences=True) == \
+            persistence.dumps(v3_store, with_sequences=True) == \
+            persistence.dumps(source, with_sequences=True)
+
+
 class TestDurabilityLifecycle:
     def test_recovery_preserves_exact_order_and_sequences(self, tmp_path):
         directory = str(tmp_path)
@@ -650,9 +875,12 @@ class TestDurabilityLifecycle:
         trim.create("b", "p", 2)
         trim.commit()
         trim.create("c", "p", 3)
-        trim.commit()   # third group since snapshot -> compaction
+        trim.commit()   # third group since compaction -> delta compaction
         assert trim.durability.groups_since_snapshot == 0
-        assert os.path.exists(os.path.join(directory, SNAPSHOT_FILE))
+        # Routine compaction folds the groups into the delta log (no full
+        # snapshot rewrite) and truncates the WAL.
+        assert trim.durability.covered_group == 3
+        assert scan_deltas(os.path.join(directory, DELTAS_FILE)).covered_group == 3
         assert os.path.getsize(os.path.join(directory, WAL_FILE)) == len(MAGIC)
         trim.close()
         assert len(recover(directory).store) == 3
